@@ -1,0 +1,234 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (section 7) and runs Bechamel micro-benchmarks
+   of the library's hot paths.
+
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- --only table3
+     dune exec bench/main.exe -- --scale 0.05 # closer to full size
+     dune exec bench/main.exe -- --list
+
+   Experiment ids: micro, bechamel, figure2, table1 (= table4 =
+   scenarios), table3, table5, table6, figure5, nginx-sweep, memory,
+   nolock, explore, ablation. *)
+
+module Experiments = Kard_harness.Experiments
+module Runner = Kard_harness.Runner
+module Registry = Kard_workloads.Registry
+module Config = Kard_core.Config
+
+let scale = ref 0.01
+let only = ref []
+
+(* {1 Bechamel micro-benchmarks: the simulator's real hot paths} *)
+
+let bench_mpk_check () =
+  let hw = Kard_mpk.Mpk_hw.create () in
+  Kard_mpk.Mpk_hw.register_thread hw 0;
+  let (_ : int) = Kard_mpk.Mpk_hw.pkey_mprotect hw ~base:0x10000 ~len:4096 (Kard_mpk.Pkey.of_int 3) in
+  Bechamel.Test.make ~name:"mpk_hw.check_access"
+    (Bechamel.Staged.stage (fun () ->
+         ignore
+           (Kard_mpk.Mpk_hw.check_access hw ~tid:0 ~addr:0x10010 ~access:`Read ~ip:0 ~time:0
+             : (int, Kard_mpk.Fault.t) result)))
+
+let bench_pkru_update () =
+  Bechamel.Test.make ~name:"pkru.set"
+    (Bechamel.Staged.stage (fun () ->
+         ignore
+           (Kard_mpk.Pkru.set Kard_mpk.Pkru.deny_all (Kard_mpk.Pkey.of_int 5)
+              Kard_mpk.Perm.Read_write
+             : Kard_mpk.Pkru.t)))
+
+let bench_algorithm_step () =
+  let t = Kard_core.Algorithm.create () in
+  let i = ref 0 in
+  Bechamel.Test.make ~name:"algorithm.step (enter/write/exit)"
+    (Bechamel.Staged.stage (fun () ->
+         incr i;
+         let thread = !i land 1 in
+         ignore (Kard_core.Algorithm.step t (Kard_core.Algorithm.Enter { thread; section = 1 }));
+         ignore (Kard_core.Algorithm.step t (Kard_core.Algorithm.Write { thread; obj = 1 }));
+         ignore (Kard_core.Algorithm.step t (Kard_core.Algorithm.Exit { thread }))))
+
+let bench_tlb () =
+  let tlb = Kard_mpk.Tlb.create () in
+  let i = ref 0 in
+  Bechamel.Test.make ~name:"tlb.access"
+    (Bechamel.Staged.stage (fun () ->
+         incr i;
+         ignore (Kard_mpk.Tlb.access tlb (!i land 127) : [ `Hit | `Miss ])))
+
+let bench_unique_alloc () =
+  let phys = Kard_vm.Phys_mem.create () in
+  let aspace = Kard_vm.Address_space.create phys in
+  let meta = Kard_alloc.Meta_table.create () in
+  let upa =
+    Kard_alloc.Unique_page_alloc.create aspace ~meta ~cost:Kard_mpk.Cost_model.default ()
+  in
+  let iface = Kard_alloc.Unique_page_alloc.iface upa in
+  Bechamel.Test.make ~name:"unique_page_alloc.alloc(32B)"
+    (Bechamel.Staged.stage (fun () ->
+         ignore (iface.Kard_alloc.Alloc_iface.alloc ~site:0 32 : Kard_alloc.Obj_meta.t * int)))
+
+let run_bechamel () =
+  let open Bechamel in
+  let tests =
+    Test.make_grouped ~name:"kard"
+      [ bench_mpk_check (); bench_pkru_update (); bench_algorithm_step (); bench_tlb ();
+        bench_unique_alloc () ]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:(Some 100) () in
+  let raw = Benchmark.all cfg instances tests in
+  let results =
+    Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+      (Toolkit.Instance.monotonic_clock) raw
+  in
+  Printf.printf "host-time cost of the library's hot paths (ns/op):\n";
+  Hashtbl.iter
+    (fun name result ->
+      match Bechamel.Analyze.OLS.estimates result with
+      | Some [ est ] -> Printf.printf "  %-36s %8.1f\n" name est
+      | _ -> ())
+    results;
+  print_newline ()
+
+(* {1 Ablation: the design choices DESIGN.md calls out} *)
+
+let ablation () =
+  let spec = Registry.find "memcached" in
+  let base = Runner.run ~scale:!scale ~detector:Runner.Baseline spec in
+  let rows =
+    [ ("default (13 keys, all filters)", Config.default);
+      ("no proactive acquisition", { Config.default with Config.proactive_acquisition = false });
+      ("no protection interleaving", { Config.default with Config.protection_interleaving = false });
+      ("no redundancy pruning", { Config.default with Config.redundancy_pruning = false });
+      ("no metadata pruning", { Config.default with Config.metadata_pruning = false });
+      ("4 data keys", { Config.default with Config.data_keys = 4 });
+      ("1 data key", { Config.default with Config.data_keys = 1 });
+      ( "1 data key + software fallback",
+        { Config.default with Config.data_keys = 1; software_fallback = true } );
+      ( "binary mode (sections = locks)",
+        { Config.default with Config.section_identity = Config.By_lock } ) ]
+  in
+  let cells =
+    List.map
+      (fun (label, config) ->
+        let r = Runner.run ~scale:!scale ~detector:(Runner.Kard config) spec in
+        let stats = Option.get r.Runner.kard_stats in
+        [ label;
+          Kard_harness.Text_table.fmt_pct (Runner.overhead_pct ~baseline:base r);
+          string_of_int (List.length r.Runner.kard_races);
+          string_of_int stats.Kard_core.Detector.recycling_events;
+          string_of_int stats.Kard_core.Detector.sharing_events ])
+      rows
+  in
+  print_string
+    (Kard_harness.Text_table.render
+       ~header:[ "memcached, kard variant"; "overhead"; "records"; "recycle"; "share" ]
+       cells)
+
+(* {1 Lock-free benchmarks: the section 7.2 omission claim} *)
+
+let nolock () =
+  Printf.printf
+    "benchmarks without locks were omitted from Table 3 because Kard adds no overhead;\n\
+     demonstrated here (only the allocator substitution remains):\n";
+  let cells =
+    List.map
+      (fun spec ->
+        let base = Runner.run ~scale:!scale ~detector:Runner.Baseline spec in
+        let alloc = Runner.run ~scale:!scale ~detector:Runner.Alloc spec in
+        let kard = Runner.run ~scale:!scale ~detector:(Runner.Kard Config.default) spec in
+        [ spec.Kard_workloads.Spec.name;
+          Kard_harness.Text_table.fmt_pct (Runner.overhead_pct ~baseline:base alloc);
+          Kard_harness.Text_table.fmt_pct (Runner.overhead_pct ~baseline:base kard);
+          string_of_int kard.Runner.report.Kard_sched.Machine.faults;
+          string_of_int kard.Runner.report.Kard_sched.Machine.cs_entries ])
+      Registry.lock_free
+  in
+  print_string
+    (Kard_harness.Text_table.render
+       ~header:[ "benchmark"; "alloc%"; "kard%"; "faults"; "cs entries" ]
+       cells)
+
+(* {1 Schedule exploration: detection is schedule-sensitive} *)
+
+let explore () =
+  Printf.printf "per-run detection probability across 20 scheduler seeds:\n";
+  List.iter
+    (fun name ->
+      let scenario = Kard_workloads.Race_suite.find name in
+      Kard_harness.Explorer.print_summary ~name
+        (Kard_harness.Explorer.explore_scenario scenario))
+    [ "ilu-lock-lock"; "ilu-lock-nolock"; "exclusive-write"; "different-offset-small-cs";
+      "small-cs-race" ];
+  List.iter
+    (fun name ->
+      Kard_harness.Explorer.print_summary ~name
+        (Kard_harness.Explorer.explore_spec (Registry.find name)))
+    [ "aget"; "nginx" ];
+  (* Section 5.5's mitigation: delay injection raises the detection
+     rate of rarely-overlapping sections. *)
+  let scenario = Kard_workloads.Race_suite.small_cs_race in
+  List.iter
+    (fun (label, delay) ->
+      let config = { Config.default with Config.exit_delay_cycles = delay } in
+      Kard_harness.Explorer.print_summary
+        ~name:(Printf.sprintf "small-cs-race %s" label)
+        (Kard_harness.Explorer.explore_scenario ~config scenario))
+    [ ("(no delay)", 0); ("(delay 50k)", 50_000); ("(delay 200k)", 200_000) ]
+
+(* {1 Driver} *)
+
+let experiments =
+  [ ("micro", fun () -> Experiments.print_micro ());
+    ("bechamel", run_bechamel);
+    ("figure2", fun () -> Experiments.print_figure2 (Experiments.figure2 ()));
+    ("table1", fun () -> Experiments.print_scenarios (Experiments.scenarios ()));
+    ("table3", fun () -> Experiments.print_table3 (Experiments.table3 ~scale:!scale ()));
+    ( "table5",
+      fun () ->
+        print_endline "full key budget (13 data keys):";
+        Experiments.print_table5 (Experiments.table5 ~scale:!scale ());
+        print_endline "\npressure-scaled key budget (4 data keys; see EXPERIMENTS.md):";
+        Experiments.print_table5 (Experiments.table5 ~data_keys:4 ~scale:!scale ()) );
+    ("table6", fun () -> Experiments.print_table6 (Experiments.table6 ~scale:!scale ()));
+    ("figure5", fun () -> Experiments.print_figure5 (Experiments.figure5 ~scale:!scale ()));
+    ("nginx-sweep", fun () -> Experiments.print_nginx_sweep (Experiments.nginx_sweep ~scale:!scale ()));
+    ("memory", fun () -> Experiments.print_memory (Experiments.memory ~scale:!scale ()));
+    ("nolock", nolock);
+    ("explore", explore);
+    ("ablation", ablation) ]
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--only" :: name :: rest ->
+      only := name :: !only;
+      parse rest
+    | "--scale" :: s :: rest ->
+      scale := float_of_string s;
+      parse rest
+    | "--list" :: _ ->
+      List.iter (fun (name, _) -> print_endline name) experiments;
+      exit 0
+    | arg :: _ ->
+      Printf.eprintf "unknown argument %S\n" arg;
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let selected =
+    if !only = [] then experiments
+    else List.filter (fun (name, _) -> List.mem name !only) experiments
+  in
+  if selected = [] then begin
+    Printf.eprintf "no experiment matched; try --list\n";
+    exit 2
+  end;
+  List.iter
+    (fun (name, run) ->
+      Printf.printf "==== %s ====\n%!" name;
+      run ();
+      print_newline ())
+    selected

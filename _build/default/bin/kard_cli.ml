@@ -1,0 +1,237 @@
+(* kard — command-line driver for the Kard reproduction.
+
+   Subcommands:
+     list                      catalog of workloads and race scenarios
+     run <workload>            run one workload under one detector
+     scenario <name>           run one controlled race scenario
+     repro <experiment>        regenerate a paper table/figure
+*)
+
+module Machine = Kard_sched.Machine
+module Spec = Kard_workloads.Spec
+module Registry = Kard_workloads.Registry
+module Race_suite = Kard_workloads.Race_suite
+module Runner = Kard_harness.Runner
+module Experiments = Kard_harness.Experiments
+
+open Cmdliner
+
+let detector_conv =
+  let parse = function
+    | "baseline" -> Ok Runner.Baseline
+    | "alloc" -> Ok Runner.Alloc
+    | "kard" -> Ok (Runner.Kard Kard_core.Config.default)
+    | "tsan" -> Ok Runner.Tsan
+    | "lockset" -> Ok Runner.Lockset
+    | s -> Error (`Msg (Printf.sprintf "unknown detector %S" s))
+  in
+  let print fmt d = Format.pp_print_string fmt (Runner.detector_name d) in
+  Arg.conv (parse, print)
+
+let detector_arg =
+  Arg.(value & opt detector_conv (Runner.Kard Kard_core.Config.default)
+       & info [ "d"; "detector" ] ~docv:"DETECTOR"
+           ~doc:"Detector: baseline, alloc, kard, tsan or lockset.")
+
+let threads_arg =
+  Arg.(value & opt (some int) None & info [ "t"; "threads" ] ~docv:"N" ~doc:"Thread count.")
+
+let scale_arg =
+  Arg.(value & opt float 0.01 & info [ "scale" ] ~docv:"F" ~doc:"Workload scale factor (0,1].")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Scheduler seed.")
+
+(* list *)
+
+let list_cmd =
+  let action () =
+    Printf.printf "Workloads (Table 3):\n";
+    List.iter
+      (fun spec ->
+        Printf.printf "  %-16s %-10s %s\n" spec.Spec.name
+          (Spec.category_name spec.Spec.category)
+          spec.Spec.description)
+      Registry.all;
+    Printf.printf "\nRace scenarios (Tables 1/4, Figures 1/4):\n";
+    List.iter
+      (fun s -> Printf.printf "  %-28s %s\n" s.Race_suite.name s.Race_suite.description)
+      Race_suite.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List workloads and race scenarios")
+    Term.(const action $ const ())
+
+(* run *)
+
+let print_result (result : Runner.result) =
+  let r = result.Runner.report in
+  Printf.printf "workload:  %s\ndetector:  %s (threads=%d scale=%g seed=%d)\n" result.spec_name
+    result.detector_name result.threads result.scale result.seed;
+  Printf.printf "cycles:    %s (io %s, wall %s)\n" (Kard_harness.Text_table.fmt_int r.Machine.cycles)
+    (Kard_harness.Text_table.fmt_int r.Machine.io_cycles)
+    (Kard_harness.Text_table.fmt_int r.Machine.wall_cycles);
+  Printf.printf "steps:     %s   reads/writes: %s/%s\n"
+    (Kard_harness.Text_table.fmt_int r.Machine.steps)
+    (Kard_harness.Text_table.fmt_int r.Machine.reads)
+    (Kard_harness.Text_table.fmt_int r.Machine.writes);
+  Printf.printf "sections:  %d sites, %s entries (%s contended), max concurrent %d\n"
+    r.Machine.unique_sections
+    (Kard_harness.Text_table.fmt_int r.Machine.cs_entries)
+    (Kard_harness.Text_table.fmt_int r.Machine.contended_entries)
+    r.Machine.max_concurrent_sections;
+  Printf.printf "faults:    %d   rss: %s KiB   dTLB miss rate: %.5f\n" r.Machine.faults
+    (Kard_harness.Text_table.fmt_kb r.Machine.rss_bytes)
+    r.Machine.dtlb_miss_rate;
+  (match result.Runner.kard_stats with
+  | Some s ->
+    Printf.printf
+      "kard:      ident r/w %d/%d, proactive %d, reactive %d, migrations %d, demotions %d\n"
+      s.Kard_core.Detector.identifications_read s.Kard_core.Detector.identifications_write
+      s.Kard_core.Detector.proactive_acquisitions s.Kard_core.Detector.reactive_acquisitions
+      s.Kard_core.Detector.migrations s.Kard_core.Detector.demotions;
+    Printf.printf "keys:      fresh %d, reuse %d, recycle %d, share %d\n"
+      s.Kard_core.Detector.fresh_events s.Kard_core.Detector.reuse_events
+      s.Kard_core.Detector.recycling_events s.Kard_core.Detector.sharing_events;
+    Printf.printf "records:   logged %d, redundant %d, pruned spurious %d, surviving %d (ILU %d)\n"
+      s.Kard_core.Detector.records_logged s.Kard_core.Detector.records_redundant
+      s.Kard_core.Detector.records_pruned_spurious
+      (List.length result.Runner.kard_races)
+      (List.length result.Runner.kard_ilu_races);
+    List.iter
+      (fun race -> Format.printf "  %a@." Kard_core.Race_record.pp race)
+      result.Runner.kard_races
+  | None -> ());
+  if result.Runner.tsan_races <> [] then
+    Printf.printf "tsan:      %d races (%d ILU)\n"
+      (List.length result.Runner.tsan_races)
+      (List.length result.Runner.tsan_ilu_races);
+  if result.Runner.lockset_warnings <> [] then
+    Printf.printf "lockset:   %d warnings\n" (List.length result.Runner.lockset_warnings)
+
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit a machine-readable JSON report.")
+
+let run_cmd =
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc:"Workload name.")
+  in
+  let action name detector threads scale seed json =
+    match Registry.find name with
+    | spec ->
+      let result = Runner.run ?threads ~scale ~seed ~detector spec in
+      if json then
+        print_endline
+          (Kard_harness.Json_report.pretty (Kard_harness.Json_report.of_result result))
+      else print_result result
+    | exception Not_found -> Printf.eprintf "unknown workload %S; try `kard list`\n" name
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run one workload under one detector")
+    Term.(const action $ name_arg $ detector_arg $ threads_arg $ scale_arg $ seed_arg $ json_arg)
+
+let scenario_cmd =
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SCENARIO" ~doc:"Scenario name.")
+  in
+  let action name detector seed =
+    match Race_suite.find name with
+    | scenario -> print_result (Runner.run_scenario ~seed ~detector scenario)
+    | exception Not_found -> Printf.eprintf "unknown scenario %S; try `kard list`\n" name
+  in
+  Cmd.v (Cmd.info "scenario" ~doc:"Run one controlled race scenario")
+    Term.(const action $ name_arg $ detector_arg $ seed_arg)
+
+(* hunt: sweep seeds until a schedule manifests a race, then replay
+   that exact interleaving to confirm — the race-debugging loop. *)
+
+let hunt_cmd =
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SCENARIO" ~doc:"Scenario name.")
+  in
+  let tries_arg =
+    Arg.(value & opt int 50 & info [ "tries" ] ~docv:"N" ~doc:"Seeds to sweep (default 50).")
+  in
+  let action name tries =
+    match Race_suite.find name with
+    | exception Not_found -> Printf.eprintf "unknown scenario %S; try `kard list`\n" name
+    | scenario ->
+      let detector = Runner.Kard scenario.Race_suite.config in
+      let rec sweep seed =
+        if seed > tries then None
+        else
+          let r = Runner.run_scenario ~seed ~detector scenario in
+          if r.Runner.kard_ilu_races <> [] then Some (seed, r) else sweep (seed + 1)
+      in
+      (match sweep 1 with
+      | None -> Printf.printf "no race manifested in %d schedules\n" tries
+      | Some (seed, found) ->
+        Printf.printf "race manifested at seed %d (%d/%d schedules swept):\n" seed seed tries;
+        List.iter
+          (fun race -> Format.printf "  %a@." Kard_core.Race_record.pp race)
+          found.Runner.kard_ilu_races;
+        (* Replay the recorded interleaving: must reproduce exactly. *)
+        let tape = found.Runner.report.Machine.schedule_trace in
+        let cell = ref None in
+        let machine =
+          Machine.create ~schedule:(Kard_sched.Schedule.Replay tape)
+            ~allocator:(Machine.Unique_page { granule = 32; recycle_virtual_pages = false })
+            ~make_detector:(Kard_core.Detector.make ~config:scenario.Race_suite.config ~cell)
+            ()
+        in
+        scenario.Race_suite.build machine;
+        let (_ : Machine.report) = Machine.run machine in
+        let replayed = Kard_core.Detector.ilu_races (Option.get !cell) in
+        Printf.printf "replayed the %d-step schedule: %d race(s) reproduced %s\n"
+          (Array.length tape) (List.length replayed)
+          (if List.length replayed = List.length found.Runner.kard_ilu_races then "(exact)"
+           else "(differs!)"))
+  in
+  Cmd.v
+    (Cmd.info "hunt" ~doc:"Sweep schedules for a race, then replay the found interleaving")
+    Term.(const action $ name_arg $ tries_arg)
+
+(* repro *)
+
+let repro_one ~scale = function
+  | "table1" | "figure1" | "table4" | "figure4" | "scenarios" ->
+    Experiments.print_scenarios (Experiments.scenarios ())
+  | "table3" -> Experiments.print_table3 (Experiments.table3 ~scale ())
+  | "table5" ->
+    print_endline "full key budget (13 data keys):";
+    Experiments.print_table5 (Experiments.table5 ~scale ());
+    print_endline "\npressure-scaled key budget (4 data keys; see EXPERIMENTS.md):";
+    Experiments.print_table5 (Experiments.table5 ~data_keys:4 ~scale ())
+  | "table6" -> Experiments.print_table6 (Experiments.table6 ~scale ())
+  | "figure2" -> Experiments.print_figure2 (Experiments.figure2 ())
+  | "figure5" -> Experiments.print_figure5 (Experiments.figure5 ~scale ())
+  | "nginx-sweep" -> Experiments.print_nginx_sweep (Experiments.nginx_sweep ~scale ())
+  | "memory" -> Experiments.print_memory (Experiments.memory ~scale ())
+  | "micro" -> Experiments.print_micro ()
+  | exp -> Printf.eprintf "unknown experiment %S\n" exp
+
+let repro_cmd =
+  let exp_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"EXPERIMENT"
+             ~doc:
+               "One of: table1, table3, table4, table5, table6, figure2, figure5, nginx-sweep, \
+                memory, micro, all.")
+  in
+  let action exp scale =
+    let experiments =
+      if exp = "all" then
+        [ "micro"; "figure2"; "scenarios"; "table3"; "table5"; "table6"; "figure5"; "nginx-sweep";
+          "memory" ]
+      else [ exp ]
+    in
+    List.iter
+      (fun e ->
+        Printf.printf "== %s ==\n" e;
+        repro_one ~scale e;
+        print_newline ())
+      experiments
+  in
+  Cmd.v (Cmd.info "repro" ~doc:"Regenerate a table or figure from the paper")
+    Term.(const action $ exp_arg $ scale_arg)
+
+let () =
+  let info = Cmd.info "kard" ~doc:"Kard: MPK-based data race detection (ASPLOS'21), simulated" in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; scenario_cmd; hunt_cmd; repro_cmd ]))

@@ -1,0 +1,1 @@
+examples/ilu_demo.ml: Format Kard_core List

@@ -1,0 +1,1 @@
+examples/ilu_demo.mli:

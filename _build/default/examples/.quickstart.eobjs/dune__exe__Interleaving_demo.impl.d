@@ -1,0 +1,1 @@
+examples/interleaving_demo.ml: Format Kard_core Kard_sched Kard_workloads List Option

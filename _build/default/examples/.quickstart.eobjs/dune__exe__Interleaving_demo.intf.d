@@ -1,0 +1,1 @@
+examples/interleaving_demo.mli:

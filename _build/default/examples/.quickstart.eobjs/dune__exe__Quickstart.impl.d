@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Kard_alloc Kard_core Kard_sched List Option

@@ -1,0 +1,1 @@
+examples/webserver_race.ml: Format Kard_core Kard_harness Kard_sched Kard_workloads List

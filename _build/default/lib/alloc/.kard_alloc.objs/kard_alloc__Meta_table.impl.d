@@ -1,0 +1,1 @@
+lib/alloc/meta_table.ml: Hashtbl Kard_mpk List Obj_meta

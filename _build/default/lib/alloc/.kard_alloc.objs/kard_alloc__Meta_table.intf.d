@@ -1,0 +1,1 @@
+lib/alloc/meta_table.mli: Kard_mpk Obj_meta

@@ -1,0 +1,1 @@
+lib/alloc/native_alloc.ml: Alloc_iface Hashtbl Kard_mpk Kard_vm Meta_table Obj_meta Option

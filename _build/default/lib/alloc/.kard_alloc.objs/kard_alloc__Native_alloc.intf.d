@@ -1,0 +1,1 @@
+lib/alloc/native_alloc.mli: Alloc_iface Kard_mpk Kard_vm Meta_table

@@ -1,0 +1,1 @@
+lib/alloc/obj_meta.ml: Format Kard_mpk Printf

@@ -1,0 +1,1 @@
+lib/alloc/obj_meta.mli: Format Kard_mpk

@@ -1,0 +1,1 @@
+lib/alloc/unique_page_alloc.mli: Alloc_iface Kard_mpk Kard_vm Meta_table

@@ -1,0 +1,34 @@
+type stats = {
+  allocations : int;
+  frees : int;
+  global_allocations : int;
+  mmap_calls : int;
+  ftruncate_calls : int;
+  bytes_requested : int;
+  bytes_reserved : int;
+  recycled : int;
+}
+
+let zero_stats =
+  { allocations = 0;
+    frees = 0;
+    global_allocations = 0;
+    mmap_calls = 0;
+    ftruncate_calls = 0;
+    bytes_requested = 0;
+    bytes_reserved = 0;
+    recycled = 0 }
+
+type t = {
+  name : string;
+  alloc : site:int -> int -> Obj_meta.t * int;
+  alloc_global : site:int -> resident:bool -> int -> Obj_meta.t * int;
+  free : Obj_meta.t -> int;
+  stats : unit -> stats;
+}
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "@[<h>allocs=%d frees=%d globals=%d mmap=%d ftruncate=%d requested=%dB reserved=%dB recycled=%d@]"
+    s.allocations s.frees s.global_allocations s.mmap_calls s.ftruncate_calls
+    s.bytes_requested s.bytes_reserved s.recycled

@@ -1,0 +1,126 @@
+module Page = Kard_mpk.Page
+module Cost_model = Kard_mpk.Cost_model
+module Address_space = Kard_vm.Address_space
+
+type t = {
+  aspace : Address_space.t;
+  meta : Meta_table.t;
+  cost : Cost_model.t;
+  align : int;
+  mutable chunk_base : Page.addr; (* current bump chunk *)
+  mutable chunk_used : int;
+  mutable chunk_size : int;
+  mutable next_id : int;
+  mutable stats : Alloc_iface.stats;
+  (* Size-class freelists: freed blocks are reused, like malloc, so
+     allocation churn does not grow the arena. *)
+  freelists : (int, (Page.addr * int) list) Hashtbl.t; (* reserved -> (base, pages) *)
+}
+
+let chunk_pages = 32 (* 128 KiB arena chunks, like a malloc arena extension *)
+
+let create ?(align = 16) aspace ~meta ~cost () =
+  if align <= 0 || align land (align - 1) <> 0 then
+    invalid_arg "Native_alloc.create: align must be a positive power of two";
+  { aspace;
+    meta;
+    cost;
+    align;
+    chunk_base = 0;
+    chunk_used = 0;
+    chunk_size = 0;
+    next_id = 0;
+    stats = Alloc_iface.zero_stats;
+    freelists = Hashtbl.create 16 }
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  id
+
+let bump_stats t f = t.stats <- f t.stats
+
+let round_align t size = (size + t.align - 1) land lnot (t.align - 1)
+
+let carve t reserved =
+  (* Huge requests bypass the bump arena, like malloc's mmap path. *)
+  if reserved > chunk_pages * Page.size / 2 then begin
+    let pages = Page.pages_spanned 0 reserved in
+    let base = Address_space.mmap_anon t.aspace ~pages in
+    bump_stats t (fun s -> { s with mmap_calls = s.mmap_calls + 1 });
+    (base, pages, t.cost.Cost_model.mmap)
+  end
+  else begin
+    let grow_cost =
+      if t.chunk_used + reserved > t.chunk_size then begin
+        t.chunk_base <- Address_space.mmap_anon t.aspace ~pages:chunk_pages;
+        t.chunk_used <- 0;
+        t.chunk_size <- chunk_pages * Page.size;
+        bump_stats t (fun s -> { s with mmap_calls = s.mmap_calls + 1 });
+        t.cost.Cost_model.mmap
+      end
+      else 0
+    in
+    let base = t.chunk_base + t.chunk_used in
+    t.chunk_used <- t.chunk_used + reserved;
+    (base, Page.pages_spanned base reserved, grow_cost)
+  end
+
+let take_free t reserved =
+  match Hashtbl.find_opt t.freelists reserved with
+  | Some ((base, pages) :: rest) ->
+    Hashtbl.replace t.freelists reserved rest;
+    Some (base, pages)
+  | Some [] | None -> None
+
+let alloc_common t ~site ~kind size =
+  if size <= 0 then invalid_arg "Native_alloc.alloc: size must be positive";
+  let reserved = round_align t size in
+  let base, pages, extra_cost =
+    match take_free t reserved with
+    | Some (base, pages) -> (base, pages, 0)
+    | None -> carve t reserved
+  in
+  let kind = match kind with `Heap -> Obj_meta.Heap site | `Global -> Obj_meta.Global site in
+  let meta = { Obj_meta.id = fresh_id t; base; size; reserved; kind; pages } in
+  Meta_table.register t.meta meta;
+  bump_stats t (fun s ->
+      { s with
+        bytes_requested = s.bytes_requested + size;
+        bytes_reserved = s.bytes_reserved + reserved });
+  (meta, t.cost.Cost_model.malloc + extra_cost)
+
+let alloc t ~site size =
+  bump_stats t (fun s -> { s with allocations = s.allocations + 1 });
+  alloc_common t ~site ~kind:`Heap size
+
+(* The native data segment packs globals; residency is demand-paged,
+   so untouched globals cost nothing here either. *)
+let alloc_global t ~site ~resident size =
+  bump_stats t (fun s -> { s with global_allocations = s.global_allocations + 1 });
+  if resident then alloc_common t ~site ~kind:`Global size
+  else begin
+    let reserved = (size + t.align - 1) land lnot (t.align - 1) in
+    let pages = Page.pages_spanned 0 reserved in
+    let base = Address_space.reserve t.aspace ~pages in
+    let meta =
+      { Obj_meta.id = fresh_id t; base; size; reserved; kind = Obj_meta.Global site; pages }
+    in
+    Meta_table.register t.meta meta;
+    (meta, t.cost.Cost_model.atomic_op)
+  end
+
+let free t (meta : Obj_meta.t) =
+  Meta_table.unregister t.meta meta;
+  bump_stats t (fun s -> { s with frees = s.frees + 1 });
+  let existing = Option.value ~default:[] (Hashtbl.find_opt t.freelists meta.Obj_meta.reserved) in
+  Hashtbl.replace t.freelists meta.Obj_meta.reserved
+    ((meta.Obj_meta.base, meta.Obj_meta.pages) :: existing);
+  t.cost.Cost_model.atomic_op
+
+let iface t =
+  { Alloc_iface.name = "native-bump";
+    alloc = (fun ~site size -> alloc t ~site size);
+    alloc_global = (fun ~site ~resident size -> alloc_global t ~site ~resident size);
+    free = (fun meta -> free t meta);
+    stats = (fun () -> t.stats) }

@@ -1,0 +1,20 @@
+(** A compact bump allocator standing in for the native heap.
+
+    Baseline and TSan runs use this: many objects share a page, the
+    fast path costs a few tens of cycles, and no in-memory file or
+    per-object virtual pages exist.  Objects are still registered in
+    the {!Meta_table} so object-granular detectors (lockset) can
+    resolve addresses. *)
+
+type t
+
+val create :
+  ?align:int ->
+  Kard_vm.Address_space.t ->
+  meta:Meta_table.t ->
+  cost:Kard_mpk.Cost_model.t ->
+  unit ->
+  t
+(** [align] defaults to 16, glibc's malloc alignment. *)
+
+val iface : t -> Alloc_iface.t

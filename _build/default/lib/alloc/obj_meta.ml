@@ -1,0 +1,34 @@
+type kind =
+  | Heap of int
+  | Global of int
+
+type t = {
+  id : int;
+  base : Kard_mpk.Page.addr;
+  size : int;
+  reserved : int;
+  kind : kind;
+  pages : int;
+}
+
+let contains t addr = addr >= t.base && addr < t.base + t.size
+let offset_of t addr = addr - t.base
+
+let is_heap t =
+  match t.kind with
+  | Heap _ -> true
+  | Global _ -> false
+
+let site t =
+  match t.kind with
+  | Heap s | Global s -> s
+
+let equal a b = a.id = b.id
+
+let pp fmt t =
+  let kind =
+    match t.kind with
+    | Heap s -> Printf.sprintf "heap@%d" s
+    | Global s -> Printf.sprintf "global@%d" s
+  in
+  Format.fprintf fmt "obj#%d{%s %a +%d}" t.id kind Kard_mpk.Page.pp_addr t.base t.size

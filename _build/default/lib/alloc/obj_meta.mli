@@ -1,0 +1,28 @@
+(** Metadata for one sharable object.
+
+    Kard keeps the base address and size of every allocation so a
+    faulting address can be mapped back to its object (section 5.3). *)
+
+type kind =
+  | Heap of int   (** allocation-site id *)
+  | Global of int (** global-variable id, registered at startup *)
+
+type t = {
+  id : int;            (** Unique, monotonically increasing. *)
+  base : Kard_mpk.Page.addr;
+  size : int;          (** Requested size in bytes. *)
+  reserved : int;      (** Bytes actually reserved (granule-rounded). *)
+  kind : kind;
+  pages : int;         (** Virtual pages the object occupies. *)
+}
+
+val contains : t -> Kard_mpk.Page.addr -> bool
+
+val offset_of : t -> Kard_mpk.Page.addr -> int
+(** Byte offset of an address within the object; meaningful only when
+    {!contains} holds. *)
+
+val is_heap : t -> bool
+val site : t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,41 @@
+(** Kard's consolidated unique page allocator (section 5.3, figure 2).
+
+    Every object gets its own virtual page(s) so it can be protected
+    independently with MPK, but small objects are consolidated: their
+    virtual pages are [MAP_SHARED]-mapped onto a common in-memory file
+    so that up to 128 32-byte objects share one physical page.  Each
+    allocation's page-internal base address is shifted to its slot in
+    the physical page, so allocations never overlap.
+
+    Globals are given unique page-aligned {e unconsolidated} pages,
+    matching the paper's implementation note (section 6) that global
+    variables are not consolidated.
+
+    [recycle_virtual_pages] enables the future-work optimization the
+    paper cites from PUSh: freed unique-page mappings are kept per
+    size class and reused without a fresh [mmap]. Off by default to
+    match the evaluated system; the ablation bench flips it. *)
+
+type t
+
+val create :
+  ?granule:int ->
+  ?recycle_virtual_pages:bool ->
+  Kard_vm.Address_space.t ->
+  meta:Meta_table.t ->
+  cost:Kard_mpk.Cost_model.t ->
+  unit ->
+  t
+(** [granule] defaults to 32 bytes, the paper's fixed consolidation
+    size. @raise Invalid_argument unless it divides the page size. *)
+
+val iface : t -> Alloc_iface.t
+
+val granule : t -> int
+val file_bytes : t -> int
+(** Current size of the backing in-memory file. *)
+
+val wasted_bytes : t -> int
+(** Internal fragmentation: reserved minus requested over all live
+    heap objects (e.g. 8 B for each 24 B object — the water_nsquared
+    pathology of section 7.5). *)

@@ -1,0 +1,1 @@
+lib/baselines/lockset.ml: Hashtbl Int Kard_alloc Kard_mpk Kard_sched List Option Set

@@ -1,0 +1,1 @@
+lib/baselines/lockset.mli: Kard_mpk Kard_sched

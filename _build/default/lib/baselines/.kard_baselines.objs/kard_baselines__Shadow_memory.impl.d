@@ -1,0 +1,1 @@
+lib/baselines/shadow_memory.ml: Hashtbl

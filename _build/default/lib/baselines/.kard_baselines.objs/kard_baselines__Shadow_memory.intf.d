@@ -1,0 +1,1 @@
+lib/baselines/shadow_memory.mli: Kard_mpk

@@ -1,0 +1,1 @@
+lib/baselines/tsan.ml: Hashtbl Kard_alloc Kard_mpk Kard_sched List Option Shadow_memory Vector_clock

@@ -1,0 +1,1 @@
+lib/baselines/tsan.mli: Kard_mpk Kard_sched

@@ -1,0 +1,1 @@
+lib/baselines/vector_clock.mli: Format

@@ -1,0 +1,23 @@
+type epoch = { tid : int; clock : int }
+
+type cell = {
+  mutable write : epoch option;
+  mutable reads : (int * int) list;
+}
+
+type t = (int, cell) Hashtbl.t
+
+let create () = Hashtbl.create 4096
+
+let cell_of t addr =
+  let granule = addr lsr 3 in
+  match Hashtbl.find_opt t granule with
+  | Some cell -> cell
+  | None ->
+    let cell = { write = None; reads = [] } in
+    Hashtbl.replace t granule cell;
+    cell
+
+let clear t addr = Hashtbl.remove t (addr lsr 3)
+let cells t = Hashtbl.length t
+let bytes t = 32 * Hashtbl.length t

@@ -1,0 +1,29 @@
+type t = int array
+
+let create ~threads =
+  if threads <= 0 then invalid_arg "Vector_clock.create: threads must be positive";
+  Array.make threads 0
+
+let copy = Array.copy
+let get t i = t.(i)
+let set t i v = t.(i) <- v
+let tick t i = t.(i) <- t.(i) + 1
+
+let join ~into src =
+  for i = 0 to Array.length into - 1 do
+    if src.(i) > into.(i) then into.(i) <- src.(i)
+  done
+
+let leq a b =
+  let rec loop i = i >= Array.length a || (a.(i) <= b.(i) && loop (i + 1)) in
+  loop 0
+
+let size = Array.length
+let equal a b = a = b
+
+let pp fmt t =
+  Format.fprintf fmt "@[<h><%a>@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ",")
+       Format.pp_print_int)
+    (Array.to_list t)

@@ -1,0 +1,23 @@
+(** Vector clocks for the happens-before baseline detector. *)
+
+type t
+
+val create : threads:int -> t
+(** All components zero. *)
+
+val copy : t -> t
+val get : t -> int -> int
+val set : t -> int -> int -> unit
+
+val tick : t -> int -> unit
+(** Increment the thread's own component. *)
+
+val join : into:t -> t -> unit
+(** Pointwise maximum, in place. *)
+
+val leq : t -> t -> bool
+(** Pointwise less-or-equal: happens-before ordering. *)
+
+val size : t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

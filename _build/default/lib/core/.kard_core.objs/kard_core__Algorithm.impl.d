@@ -1,0 +1,1 @@
+lib/core/algorithm.ml: Hashtbl Key_sets List Option Printf

@@ -1,0 +1,1 @@
+lib/core/detector.ml: Config Domain_state Hashtbl Interleave Kard_alloc Kard_mpk Kard_sched Key_assign Key_section_map List Option Printf Pruning Race_record Section_object_map Soft_keys

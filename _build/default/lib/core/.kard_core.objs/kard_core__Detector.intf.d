@@ -1,0 +1,1 @@
+lib/core/detector.mli: Config Domain_state Kard_sched Key_section_map Race_record Section_object_map

@@ -1,0 +1,1 @@
+lib/core/domain_state.ml: Format Hashtbl Kard_mpk

@@ -1,0 +1,1 @@
+lib/core/domain_state.mli: Format Kard_mpk

@@ -1,0 +1,1 @@
+lib/core/interleave.ml: Hashtbl Int List Race_record Set

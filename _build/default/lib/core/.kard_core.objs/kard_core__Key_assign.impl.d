@@ -1,0 +1,1 @@
+lib/core/key_assign.ml: Config Domain_state Format Kard_mpk Key_section_map List Printf Section_object_map

@@ -1,0 +1,1 @@
+lib/core/key_assign.mli: Config Domain_state Format Kard_mpk Key_section_map Section_object_map

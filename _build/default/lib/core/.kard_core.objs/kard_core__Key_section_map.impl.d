@@ -1,0 +1,1 @@
+lib/core/key_section_map.ml: Format Hashtbl Kard_mpk List Option

@@ -1,0 +1,1 @@
+lib/core/key_section_map.mli: Kard_mpk

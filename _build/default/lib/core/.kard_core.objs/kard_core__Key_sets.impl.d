@@ -1,0 +1,1 @@
+lib/core/key_sets.ml: Format Int Map Set

@@ -1,0 +1,1 @@
+lib/core/key_sets.mli: Format Map Set

@@ -1,0 +1,1 @@
+lib/core/pruning.ml: Hashtbl List Race_record

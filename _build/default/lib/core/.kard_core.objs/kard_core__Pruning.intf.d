@@ -1,0 +1,1 @@
+lib/core/pruning.mli: Race_record

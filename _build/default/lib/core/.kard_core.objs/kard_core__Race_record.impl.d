@@ -1,0 +1,1 @@
+lib/core/race_record.ml: Format Kard_mpk List Option Printf

@@ -1,0 +1,1 @@
+lib/core/race_record.mli: Format Kard_mpk

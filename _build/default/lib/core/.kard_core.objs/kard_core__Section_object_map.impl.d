@@ -1,0 +1,1 @@
+lib/core/section_object_map.ml: Format Hashtbl List

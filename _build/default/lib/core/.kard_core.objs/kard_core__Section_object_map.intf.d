@@ -1,0 +1,1 @@
+lib/core/section_object_map.mli: Format

@@ -1,0 +1,1 @@
+lib/core/soft_keys.ml: Format Hashtbl Kard_mpk Key_section_map List Option

@@ -1,0 +1,1 @@
+lib/core/soft_keys.mli: Format Key_section_map

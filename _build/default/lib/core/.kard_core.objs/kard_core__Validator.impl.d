@@ -1,0 +1,1 @@
+lib/core/validator.ml: Config Detector Domain_state Format Hashtbl Kard_alloc Kard_mpk Kard_sched Key_section_map List Option

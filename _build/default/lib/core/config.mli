@@ -1,0 +1,57 @@
+(** Kard runtime configuration.
+
+    The defaults mirror the evaluated system; the ablation benches
+    flip individual switches. *)
+
+(** How critical sections are named (section 8's "program binary
+    extension"): with compiler support, by the synchronization call
+    site; on unmodified binaries (LD_PRELOAD interposition without
+    return-address tracking), only the lock identity is available,
+    giving coarser sections. *)
+type section_identity =
+  | By_call_site
+  | By_lock
+
+type t = {
+  data_keys : int;
+      (** Read-write domain keys available ([k1]..[k13] on Intel MPK;
+          the "advanced hardware" discussion of section 8 motivates
+          larger values, which the ablation bench exercises). *)
+  proactive_acquisition : bool;
+      (** Acquire known keys at section entry (section 5.4).  When
+          off, every first access in a section faults (reactive only). *)
+  protection_interleaving : bool;
+      (** The false-positive filter of section 5.5. *)
+  timestamp_pruning : bool;
+      (** Treat keys released less than a fault-delay ago as held. *)
+  redundancy_pruning : bool;
+      (** Drop repeated records of the same object/section pair. *)
+  metadata_pruning : bool;
+      (** Prune non-racy violations via the section-object map
+          (section 5.5): a fault on a key held by a section that never
+          touches the faulted object is key multiplexing, not a
+          conflict. *)
+  prefer_recycle : bool;
+      (** Rule 3 of effective key assignment: recycle before sharing. *)
+  share_disjoint_sections : bool;
+      (** When sharing is forced, prefer keys whose sections touch
+          disjoint object sets (the Table 4 mitigation). *)
+  software_fallback : bool;
+      (** Section 8: instead of ever sharing a hardware key, move the
+          object into a software-protected pool with one virtual key
+          per object.  Eliminates the sharing false negative at a
+          fault-per-access cost to pooled objects.  When enabled, one
+          hardware key is reserved for the pool (at most 12 data
+          keys remain). *)
+  exit_delay_cycles : int;
+      (** Delay injection (section 5.5): hold keys this many extra
+          cycles at section exit while a protection interleaving the
+          thread participates in is pending, widening the window in
+          which a conflicting access still observes a live holder.
+          0 disables (the default). *)
+  section_identity : section_identity;
+      (** Default [By_call_site] (the LLVM-pass deployment). *)
+}
+
+val default : t
+val pp : Format.formatter -> t -> unit

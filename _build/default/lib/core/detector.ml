@@ -1,0 +1,727 @@
+module Pkey = Kard_mpk.Pkey
+module Perm = Kard_mpk.Perm
+module Pkru = Kard_mpk.Pkru
+module Page = Kard_mpk.Page
+module Fault = Kard_mpk.Fault
+module Cost_model = Kard_mpk.Cost_model
+module Mpk_hw = Kard_mpk.Mpk_hw
+module Obj_meta = Kard_alloc.Obj_meta
+module Meta_table = Kard_alloc.Meta_table
+module Hooks = Kard_sched.Hooks
+
+type frame = {
+  lock : int;
+  site : int;
+  saved_pkru : Pkru.t;
+  mutable acquired : Pkey.t list;
+}
+
+type thread_state = { mutable frames : frame list }
+
+type stats = {
+  na_faults : int;
+  ro_faults : int;
+  data_faults : int;
+  anomalies : int;
+  identifications_read : int;
+  identifications_write : int;
+  proactive_acquisitions : int;
+  reactive_acquisitions : int;
+  demotions : int;
+  timestamp_rescues : int;
+  max_active_sections : int;
+  reuse_events : int;
+  fresh_events : int;
+  recycling_events : int;
+  sharing_events : int;
+  migrations : int;
+  interleavings_started : int;
+  records_logged : int;
+  records_redundant : int;
+  records_pruned_spurious : int;
+  soft_fallbacks : int;
+  soft_faults : int;
+}
+
+type t = {
+  config : Config.t;
+  env : Hooks.env;
+  domains : Domain_state.t;
+  somap : Section_object_map.t;
+  ksmap : Key_section_map.t;
+  assign : Key_assign.t;
+  interleave : Interleave.t;
+  pruning : Pruning.t;
+  soft : Soft_keys.t;
+  threads : (int, thread_state) Hashtbl.t;
+  active : (int, int list) Hashtbl.t; (* site -> executing threads *)
+  ro_seen : (int, unit) Hashtbl.t;
+  rw_seen : (int, unit) Hashtbl.t;
+  mutable active_count : int;
+  mutable max_active : int;
+  mutable na_faults : int;
+  mutable ro_faults : int;
+  mutable data_faults : int;
+  mutable anomalies : int;
+  mutable ident_read : int;
+  mutable ident_write : int;
+  mutable proactive_acq : int;
+  mutable reactive_acq : int;
+  mutable demotions : int;
+  mutable ts_rescues : int;
+  mutable soft_fallbacks : int;
+  mutable soft_faults : int;
+}
+
+(* The software pool reserves the last data key as its always-denied
+   hardware tag, leaving at most 12 for normal assignment. *)
+let soft_pool_key = Pkey.of_int 13
+
+let create ?(config = Config.default) env =
+  let assign_config =
+    if config.Config.software_fallback then
+      { config with Config.data_keys = min config.Config.data_keys (Pkey.data_key_count - 1) }
+    else config
+  in
+  { config;
+    env;
+    domains = Domain_state.create ();
+    somap = Section_object_map.create ();
+    ksmap = Key_section_map.create ();
+    assign = Key_assign.create assign_config;
+    interleave = Interleave.create ();
+    pruning = Pruning.create ~dedupe:config.Config.redundancy_pruning ();
+    soft = Soft_keys.create ();
+    threads = Hashtbl.create 64;
+    active = Hashtbl.create 64;
+    ro_seen = Hashtbl.create 256;
+    rw_seen = Hashtbl.create 256;
+    active_count = 0;
+    max_active = 0;
+    na_faults = 0;
+    ro_faults = 0;
+    data_faults = 0;
+    anomalies = 0;
+    ident_read = 0;
+    ident_write = 0;
+    proactive_acq = 0;
+    reactive_acq = 0;
+    demotions = 0;
+    ts_rescues = 0;
+    soft_fallbacks = 0;
+    soft_faults = 0 }
+
+let cost t = t.env.Hooks.cost
+let hw t = t.env.Hooks.hw
+let now t = t.env.Hooks.now ()
+
+let thread_state t tid =
+  match Hashtbl.find_opt t.threads tid with
+  | Some ts -> ts
+  | None ->
+    let ts = { frames = [] } in
+    Hashtbl.replace t.threads tid ts;
+    ts
+
+let current_frame t tid =
+  match (thread_state t tid).frames with
+  | [] -> None
+  | frame :: _ -> Some frame
+
+let current_site t tid = Option.map (fun f -> f.site) (current_frame t tid)
+
+(* {2 Active-section tracking (used for Read-only domain conflicts)} *)
+
+let active_enter t ~site ~tid =
+  let tids = Option.value ~default:[] (Hashtbl.find_opt t.active site) in
+  Hashtbl.replace t.active site (tid :: tids);
+  t.active_count <- t.active_count + 1;
+  if t.active_count > t.max_active then t.max_active <- t.active_count
+
+let active_exit t ~site ~tid =
+  let tids = Option.value ~default:[] (Hashtbl.find_opt t.active site) in
+  let rec drop_one = function
+    | [] -> []
+    | x :: rest -> if x = tid then rest else x :: drop_one rest
+  in
+  (match drop_one tids with
+  | [] -> Hashtbl.remove t.active site
+  | rest -> Hashtbl.replace t.active site rest);
+  t.active_count <- t.active_count - 1
+
+let active_readers t ~obj_id ~excluding_tid =
+  List.concat_map
+    (fun site ->
+      let tids = Option.value ~default:[] (Hashtbl.find_opt t.active site) in
+      List.filter_map
+        (fun tid -> if tid <> excluding_tid then Some (tid, site) else None)
+        tids)
+    (Section_object_map.sections_reading t.somap ~obj_id)
+
+(* {2 Protection changes} *)
+
+let protect_pages t (meta : Obj_meta.t) pkey =
+  let base = Page.base_of_vpage (Page.vpage_of_addr meta.Obj_meta.base) in
+  Mpk_hw.pkey_mprotect (hw t) ~base ~len:(meta.Obj_meta.pages * Page.size) pkey
+
+let demote_to_kna t (meta : Obj_meta.t) =
+  t.demotions <- t.demotions + 1;
+  Domain_state.set t.domains ~obj_id:meta.Obj_meta.id Domain_state.Not_accessed;
+  protect_pages t meta Pkey.k_na
+
+let demote_to_ro t (meta : Obj_meta.t) =
+  Domain_state.set t.domains ~obj_id:meta.Obj_meta.id Domain_state.Read_only;
+  protect_pages t meta Pkey.k_ro
+
+(* {2 PKRU plumbing} *)
+
+let grant_in_context t ~tid key perm =
+  let pkru = Mpk_hw.pkru_of (hw t) ~tid in
+  Mpk_hw.set_pkru_in_context (hw t) ~tid (Pkru.set pkru key perm)
+
+let frame_note_acquired frame key =
+  if not (List.mem key frame.acquired) then frame.acquired <- key :: frame.acquired
+
+(* {2 Key assignment for a write-identified object} *)
+
+(* Returns cycles.  The object lands in the Read-write domain and, if
+   the thread gained a key, the PKRU context is updated (reactive
+   acquisition, section 5.4). *)
+let assign_write_key t ~tid ~frame (meta : Obj_meta.t) =
+  let site = frame.site in
+  let decision =
+    Key_assign.choose t.assign ~ksmap:t.ksmap ~domains:t.domains ~somap:t.somap ~tid ~section:site
+  in
+  (* A Share redirected to the software pool is not a sharing event:
+     no key ends up multi-held. *)
+  (match decision with
+  | Key_assign.Share _ when t.config.Config.software_fallback -> ()
+  | d -> Key_assign.note t.assign d);
+  let c = cost t in
+  let finish_with key extra =
+    Domain_state.set t.domains ~obj_id:meta.Obj_meta.id (Domain_state.Read_write key);
+    Hashtbl.replace t.rw_seen meta.Obj_meta.id ();
+    let mprotect = protect_pages t meta key in
+    extra + mprotect + c.Cost_model.map_op
+  in
+  match decision with
+  | Key_assign.Reuse key -> (key, finish_with key 0)
+  | Key_assign.Fresh key ->
+    Key_section_map.acquire t.ksmap key
+      { Key_section_map.tid; perm = Perm.Read_write; section = site; lock = frame.lock };
+    frame_note_acquired frame key;
+    grant_in_context t ~tid key Perm.Read_write;
+    t.reactive_acq <- t.reactive_acq + 1;
+    (key, finish_with key c.Cost_model.atomic_op)
+  | Key_assign.Recycle (key, obj_ids) ->
+    let demote_cost =
+      List.fold_left
+        (fun acc obj_id ->
+          match Meta_table.find_id t.env.Hooks.meta obj_id with
+          | Some other -> acc + demote_to_ro t other
+          | None ->
+            Domain_state.forget t.domains ~obj_id;
+            acc)
+        0 obj_ids
+    in
+    Key_section_map.acquire t.ksmap key
+      { Key_section_map.tid; perm = Perm.Read_write; section = site; lock = frame.lock };
+    frame_note_acquired frame key;
+    grant_in_context t ~tid key Perm.Read_write;
+    t.reactive_acq <- t.reactive_acq + 1;
+    (key, finish_with key (demote_cost + c.Cost_model.atomic_op))
+  | Key_assign.Share key ->
+    if t.config.Config.software_fallback then begin
+      (* Section 8: never share — pool the object under a software
+         key instead.  Its pages get the reserved always-denied
+         hardware tag, so every access traps into the handler. *)
+      t.soft_fallbacks <- t.soft_fallbacks + 1;
+      Soft_keys.add_object t.soft ~obj_id:meta.Obj_meta.id;
+      (soft_pool_key, finish_with soft_pool_key c.Cost_model.atomic_op)
+    end
+    else begin
+      Key_section_map.force_acquire t.ksmap key
+        { Key_section_map.tid; perm = Perm.Read_write; section = site; lock = frame.lock };
+      frame_note_acquired frame key;
+      grant_in_context t ~tid key Perm.Read_write;
+      t.reactive_acq <- t.reactive_acq + 1;
+      (key, finish_with key c.Cost_model.atomic_op)
+    end
+
+(* {2 Race records} *)
+
+let side_of_holder (h : Key_section_map.holder) =
+  { Race_record.thread = h.Key_section_map.tid;
+    section = Some h.Key_section_map.section;
+    access = (if Perm.equal h.Key_section_map.perm Perm.Read_write then `Write else `Read);
+    ip = -1 }
+
+let record_of_fault t (fault : Fault.t) (meta : Obj_meta.t) holding =
+  let faulting =
+    { Race_record.thread = fault.Fault.thread;
+      section = current_site t fault.Fault.thread;
+      access = fault.Fault.access;
+      ip = fault.Fault.ip }
+  in
+  { Race_record.obj_id = meta.Obj_meta.id;
+    obj_base = meta.Obj_meta.base;
+    offset = Obj_meta.offset_of meta fault.Fault.addr;
+    faulting;
+    holding;
+    time = fault.Fault.time }
+
+let handle_verdict t ~obj_id = function
+  | Interleave.Pending -> ()
+  | Interleave.Spurious records ->
+    let removed = Pruning.remove t.pruning records in
+    Interleave.note_pruned t.interleave removed;
+    Interleave.finish t.interleave ~obj_id
+  | Interleave.Confirmed ->
+    Interleave.note_confirmed t.interleave;
+    Interleave.finish t.interleave ~obj_id
+
+(* Log a race and start/continue protection interleaving on the
+   object.  Returns nothing; protection changes are the caller's job. *)
+let log_race t (fault : Fault.t) (meta : Obj_meta.t) holding =
+  let record = record_of_fault t fault meta holding in
+  match Pruning.add t.pruning record with
+  | `Redundant ->
+    if t.config.Config.protection_interleaving && Interleave.active t.interleave ~obj_id:meta.Obj_meta.id
+    then
+      handle_verdict t ~obj_id:meta.Obj_meta.id
+        (Interleave.observe t.interleave ~obj_id:meta.Obj_meta.id ~tid:fault.Fault.thread
+           ~offset:record.Race_record.offset)
+  | `Fresh ->
+    if t.config.Config.protection_interleaving then begin
+      if Interleave.active t.interleave ~obj_id:meta.Obj_meta.id then begin
+        Interleave.attach_record t.interleave ~obj_id:meta.Obj_meta.id ~record;
+        handle_verdict t ~obj_id:meta.Obj_meta.id
+          (Interleave.observe t.interleave ~obj_id:meta.Obj_meta.id ~tid:fault.Fault.thread
+             ~offset:record.Race_record.offset)
+      end
+      else Interleave.start t.interleave ~obj_id:meta.Obj_meta.id ~record
+    end
+
+(* Feed an interleaving in progress with a fault observation that is
+   not itself a fresh race (identification faults on interleaved
+   objects). *)
+let observe_interleaving t (fault : Fault.t) (meta : Obj_meta.t) =
+  if t.config.Config.protection_interleaving
+     && Interleave.active t.interleave ~obj_id:meta.Obj_meta.id
+  then
+    handle_verdict t ~obj_id:meta.Obj_meta.id
+      (Interleave.observe t.interleave ~obj_id:meta.Obj_meta.id ~tid:fault.Fault.thread
+         ~offset:(Obj_meta.offset_of meta fault.Fault.addr))
+
+(* {2 Fault handling (section 5.5)} *)
+
+let handle_na_fault t (fault : Fault.t) (meta : Obj_meta.t) =
+  t.na_faults <- t.na_faults + 1;
+  observe_interleaving t fault meta;
+  let c = cost t in
+  match current_frame t fault.Fault.thread with
+  | None ->
+    (* Threads outside critical sections hold k_na read-write; a fault
+       here means the scheduler caught a demotion mid-flight.  Retry. *)
+    { Hooks.fault_cycles = c.Cost_model.map_op; action = Hooks.Retry }
+  | Some frame -> begin
+    let tid = fault.Fault.thread in
+    match fault.Fault.access with
+    | `Read ->
+      t.ident_read <- t.ident_read + 1;
+      Hashtbl.replace t.ro_seen meta.Obj_meta.id ();
+      Section_object_map.record t.somap ~section:frame.site ~obj_id:meta.Obj_meta.id
+        Section_object_map.Needs_read;
+      let mprotect = demote_to_ro t meta in
+      { Hooks.fault_cycles = mprotect + (2 * c.Cost_model.map_op); action = Hooks.Retry }
+    | `Write ->
+      t.ident_write <- t.ident_write + 1;
+      Section_object_map.record t.somap ~section:frame.site ~obj_id:meta.Obj_meta.id
+        Section_object_map.Needs_write;
+      let _key, cycles = assign_write_key t ~tid ~frame meta in
+      { Hooks.fault_cycles = cycles + (2 * c.Cost_model.map_op); action = Hooks.Retry }
+  end
+
+let handle_ro_fault t (fault : Fault.t) (meta : Obj_meta.t) =
+  t.ro_faults <- t.ro_faults + 1;
+  let c = cost t in
+  let tid = fault.Fault.thread in
+  (* A write on the Read-only domain.  Concurrent readers hold no key
+     (k_ro is universal), so conflicts are found through the
+     section-object map: sections recorded as readers of this object
+     that some other thread is executing right now. *)
+  let readers = active_readers t ~obj_id:meta.Obj_meta.id ~excluding_tid:tid in
+  if readers <> [] then begin
+    let holding =
+      List.map
+        (fun (reader_tid, site) ->
+          { Race_record.thread = reader_tid; section = Some site; access = `Read; ip = -1 })
+        readers
+    in
+    log_race t fault meta holding
+  end
+  else observe_interleaving t fault meta;
+  match current_frame t tid with
+  | Some frame ->
+    t.ident_write <- t.ident_write + 1;
+    Section_object_map.record t.somap ~section:frame.site ~obj_id:meta.Obj_meta.id
+      Section_object_map.Needs_write;
+    let _key, cycles = assign_write_key t ~tid ~frame meta in
+    { Hooks.fault_cycles = cycles + (2 * c.Cost_model.map_op); action = Hooks.Retry }
+  | None ->
+    let mprotect = demote_to_kna t meta in
+    { Hooks.fault_cycles = mprotect + (2 * c.Cost_model.map_op); action = Hooks.Retry }
+
+let handle_data_fault t (fault : Fault.t) (meta : Obj_meta.t) key =
+  t.data_faults <- t.data_faults + 1;
+  let c = cost t in
+  let tid = fault.Fault.thread in
+  (* Who conflicts?  A write conflicts with any other holder; a read
+     only with a read-write holder (shared read is fine). *)
+  let conflicts =
+    match fault.Fault.access with
+    | `Write -> Key_section_map.other_holders t.ksmap key ~tid
+    | `Read -> begin
+      match Key_section_map.write_holder t.ksmap key with
+      | Some h when h.Key_section_map.tid <> tid -> [ h ]
+      | Some _ | None -> []
+    end
+  in
+  (* Non-racy violation pruning (section 5.5): 13 keys multiplex many
+     objects, so a holder whose section never touches the faulted
+     object is a key collision, not a conflict. *)
+  let section_touches_obj (h : Key_section_map.holder) =
+    Option.is_some
+      (Section_object_map.need_of t.somap ~section:h.Key_section_map.section
+         ~obj_id:meta.Obj_meta.id)
+  in
+  let conflicts =
+    if t.config.Config.metadata_pruning then List.filter section_touches_obj conflicts
+    else conflicts
+  in
+  let conflicts, rescued =
+    if conflicts = [] && t.config.Config.timestamp_pruning then
+      (* The key may have been released between the #GP firing and the
+         handler running — a window of one fault round trip (section
+         5.5).  Two filters keep the window precise: the releaser's
+         section must touch this object (key multiplexing otherwise),
+         and it must have run under a lock the faulter does not hold —
+         back-to-back sections of one lock are ordered, not racing. *)
+      let faulter_locks = List.map (fun f -> f.lock) (thread_state t tid).frames in
+      match Key_section_map.last_release_by_other t.ksmap key ~tid with
+      | Some (time, h)
+        when h.Key_section_map.tid <> tid
+             && now t - time <= Cost_model.fault_delay_threshold c
+             && (fault.Fault.access = `Write || Perm.equal h.Key_section_map.perm Perm.Read_write)
+             && (not (List.mem h.Key_section_map.lock faulter_locks))
+             && ((not t.config.Config.metadata_pruning) || section_touches_obj h)
+        ->
+        ([ h ], true)
+      | Some _ | None -> (conflicts, false)
+    else (conflicts, false)
+  in
+  if rescued then t.ts_rescues <- t.ts_rescues + 1;
+  if conflicts <> [] then log_race t fault meta (List.map side_of_holder conflicts)
+  else observe_interleaving t fault meta;
+  match current_frame t tid with
+  | Some frame ->
+    if conflicts = [] then begin
+      (* Benign: late (reactive) acquisition of an unheld key. *)
+      let perm =
+        match fault.Fault.access with
+        | `Write -> Perm.Read_write
+        | `Read -> Perm.Read_only
+      in
+      if Key_section_map.can_acquire t.ksmap key ~tid perm then begin
+        Key_section_map.acquire t.ksmap key
+          { Key_section_map.tid; perm; section = frame.site; lock = frame.lock };
+        frame_note_acquired frame key;
+        grant_in_context t ~tid key perm;
+        t.reactive_acq <- t.reactive_acq + 1;
+        let need =
+          match fault.Fault.access with
+          | `Write -> Section_object_map.Needs_write
+          | `Read -> Section_object_map.Needs_read
+        in
+        Section_object_map.record t.somap ~section:frame.site ~obj_id:meta.Obj_meta.id need;
+        { Hooks.fault_cycles = 3 * c.Cost_model.map_op; action = Hooks.Retry }
+      end
+      else begin
+        (* Raced with another acquisition while handling; retag the
+           object with a key of ours (protection interleaving keeps
+           both sides observable). *)
+        let _key, cycles = assign_write_key t ~tid ~frame meta in
+        { Hooks.fault_cycles = cycles; action = Hooks.Retry }
+      end
+    end
+    else begin
+      (* Conflict: interleave protection so the holder faults next
+         (figure 4): move the object under a key of the faulter. *)
+      let need =
+        match fault.Fault.access with
+        | `Write -> Section_object_map.Needs_write
+        | `Read -> Section_object_map.Needs_read
+      in
+      Section_object_map.record t.somap ~section:frame.site ~obj_id:meta.Obj_meta.id need;
+      let _key, cycles = assign_write_key t ~tid ~frame meta in
+      { Hooks.fault_cycles = cycles + (2 * c.Cost_model.map_op); action = Hooks.Retry }
+    end
+  | None ->
+    (* Keyless thread outside any section: stop protecting the object
+       until it is re-identified (terminating any interleaving). *)
+    let mprotect = demote_to_kna t meta in
+    { Hooks.fault_cycles = mprotect + (2 * c.Cost_model.map_op); action = Hooks.Retry }
+
+(* Accesses to software-pooled objects always fault; the key-enforced
+   rules run in software with one virtual key per object, so there is
+   nothing to share and no false negative — at a fault per access. *)
+let handle_soft_fault t (fault : Fault.t) (meta : Obj_meta.t) =
+  t.soft_faults <- t.soft_faults + 1;
+  let c = cost t in
+  let tid = fault.Fault.thread in
+  let frame = current_frame t tid in
+  (match frame with
+  | Some f ->
+    let need =
+      match fault.Fault.access with
+      | `Write -> Section_object_map.Needs_write
+      | `Read -> Section_object_map.Needs_read
+    in
+    Section_object_map.record t.somap ~section:f.site ~obj_id:meta.Obj_meta.id need
+  | None -> ());
+  let verdict =
+    Soft_keys.access t.soft ~obj_id:meta.Obj_meta.id ~tid
+      ~section:(Option.map (fun f -> f.site) frame)
+      ~lock:(Option.map (fun f -> f.lock) frame)
+      ~access:fault.Fault.access
+  in
+  (match verdict with
+  | Soft_keys.Soft_ok -> ()
+  | Soft_keys.Soft_conflict holders ->
+    let faulter_locks = List.map (fun f -> f.lock) (thread_state t tid).frames in
+    let holders =
+      List.filter (fun h -> not (List.mem h.Key_section_map.lock faulter_locks)) holders
+    in
+    if holders <> [] then log_race t fault meta (List.map side_of_holder holders));
+  { Hooks.fault_cycles = 2 * c.Cost_model.map_op; action = Hooks.Emulate }
+
+let on_fault t (fault : Fault.t) =
+  let c = cost t in
+  match Meta_table.find_vpage t.env.Hooks.meta fault.Fault.vpage with
+  | None ->
+    t.anomalies <- t.anomalies + 1;
+    { Hooks.fault_cycles = c.Cost_model.map_op; action = Hooks.Emulate }
+  | Some meta ->
+    if Pkey.equal fault.Fault.pkey Pkey.k_na then handle_na_fault t fault meta
+    else if Pkey.equal fault.Fault.pkey Pkey.k_ro then handle_ro_fault t fault meta
+    else if
+      t.config.Config.software_fallback
+      && Pkey.equal fault.Fault.pkey soft_pool_key
+      && Soft_keys.mem t.soft ~obj_id:meta.Obj_meta.id
+    then handle_soft_fault t fault meta
+    else if Pkey.is_data_key fault.Fault.pkey then handle_data_fault t fault meta fault.Fault.pkey
+    else begin
+      t.anomalies <- t.anomalies + 1;
+      { Hooks.fault_cycles = c.Cost_model.map_op; action = Hooks.Emulate }
+    end
+
+(* {2 Section entry and exit (section 5.4)} *)
+
+let on_lock t ~tid ~lock ~site =
+  (* On unmodified binaries only the lock names the section
+     (section 8); sections sharing a lock merge. *)
+  let site =
+    match t.config.Config.section_identity with
+    | Config.By_call_site -> site
+    | Config.By_lock -> lock
+  in
+  let c = cost t in
+  let ts = thread_state t tid in
+  let pkru0 = Mpk_hw.pkru_of (hw t) ~tid in
+  let frame = { lock; site; saved_pkru = pkru0; acquired = [] } in
+  ts.frames <- frame :: ts.frames;
+  active_enter t ~site ~tid;
+  (* Internal synchronization scales with concurrently executing
+     sections: the runtime's maps are shared state. *)
+  let sync_cost = c.Cost_model.atomic_op * (1 + t.active_count) in
+  let cycles = ref (sync_cost + c.Cost_model.map_op) in
+  (* Retract k_na for the duration of the section (section 5.3). *)
+  let pkru = ref (Pkru.set pkru0 Pkey.k_na Perm.No_access) in
+  if t.config.Config.proactive_acquisition then
+    List.iter
+      (fun (obj_id, need) ->
+        (* Walking the section's object list is a cache-resident map
+           traversal; the per-key work below carries the real cost. *)
+        cycles := !cycles + 8;
+        match Domain_state.domain_of t.domains ~obj_id with
+        | Domain_state.Read_write key ->
+          let wanted =
+            match need with
+            | Section_object_map.Needs_write -> Perm.Read_write
+            | Section_object_map.Needs_read -> Perm.Read_only
+          in
+          let already = Pkru.get !pkru key in
+          if not (Perm.allows already `Read && Perm.compare already wanted >= 0) then begin
+            (* During a delay-injection cooldown the key's release is
+               stamped in the future: it still counts as held, so the
+               entry must fault reactively and the handler can test
+               for a conflict. *)
+            let cooling =
+              t.config.Config.exit_delay_cycles > 0
+              &&
+              match Key_section_map.last_release t.ksmap key with
+              | Some (stamp, _) -> now t < stamp
+              | None -> false
+            in
+            let granted =
+              if cooling then None
+              else if Key_section_map.can_acquire t.ksmap key ~tid wanted then Some wanted
+              else if
+                Perm.equal wanted Perm.Read_write
+                && Key_section_map.can_acquire t.ksmap key ~tid Perm.Read_only
+              then Some Perm.Read_only
+              else None
+            in
+            match granted with
+            | Some perm ->
+              Key_section_map.acquire t.ksmap key
+              { Key_section_map.tid; perm; section = site; lock = frame.lock };
+              frame_note_acquired frame key;
+              pkru := Pkru.set !pkru key perm;
+              t.proactive_acq <- t.proactive_acq + 1;
+              cycles := !cycles + c.Cost_model.atomic_op
+            | None -> ()
+          end
+        | Domain_state.Not_accessed | Domain_state.Read_only -> ())
+      (Section_object_map.objects_of t.somap ~section:site);
+  cycles := !cycles + Mpk_hw.wrpkru (hw t) ~tid !pkru;
+  !cycles
+
+let on_unlock t ~tid ~lock =
+  let c = cost t in
+  let ts = thread_state t tid in
+  match ts.frames with
+  | [] -> invalid_arg (Printf.sprintf "Kard: thread %d unlocks with no open section" tid)
+  | frame :: rest ->
+    if frame.lock <> lock then
+      invalid_arg
+        (Printf.sprintf "Kard: thread %d releases lock %d but innermost section holds %d" tid lock
+           frame.lock);
+    ts.frames <- rest;
+    let cycles = ref (c.Cost_model.rdtscp + c.Cost_model.atomic_op) in
+    (* Delay injection (section 5.5): the thread sleeps at section
+       exit, so its keys remain effectively held for the configured
+       extra cycles — the release stamp lands in the future, making
+       concurrent entries fail proactive acquisition (and fault) and
+       keeping the fault-window check positive while other threads
+       run.  Sleeping is not CPU time, so nothing is charged. *)
+    let time = now t + t.config.Config.exit_delay_cycles in
+    List.iter
+      (fun key ->
+        Key_section_map.release t.ksmap key ~tid ~time;
+        cycles := !cycles + c.Cost_model.atomic_op)
+      frame.acquired;
+    (* Terminate interleavings this thread participated in: the object
+       stays unprotected (Not-accessed) until re-identified. *)
+    List.iter
+      (fun obj_id ->
+        match Meta_table.find_id t.env.Hooks.meta obj_id with
+        | Some meta -> cycles := !cycles + demote_to_kna t meta
+        | None -> Domain_state.forget t.domains ~obj_id)
+      (Interleave.finish_thread t.interleave ~tid);
+    if t.config.Config.software_fallback then
+      Soft_keys.release_thread t.soft ~tid ~time;
+    cycles := !cycles + Mpk_hw.wrpkru (hw t) ~tid frame.saved_pkru;
+    active_exit t ~site:frame.site ~tid;
+    !cycles
+
+(* {2 Allocation hooks} *)
+
+let initial_pkru =
+  Pkru.of_assignments
+    [ (Pkey.k_ro, Perm.Read_only); (Pkey.k_na, Perm.Read_write) ]
+
+let on_spawn t ~tid =
+  Mpk_hw.set_pkru_in_context (hw t) ~tid initial_pkru;
+  (cost t).Cost_model.wrpkru
+
+let on_alloc t ~tid:_ meta = protect_pages t meta Pkey.k_na
+
+let on_free t ~tid:_ (meta : Obj_meta.t) =
+  let obj_id = meta.Obj_meta.id in
+  Domain_state.forget t.domains ~obj_id;
+  Section_object_map.forget_object t.somap ~obj_id;
+  Interleave.finish t.interleave ~obj_id;
+  (cost t).Cost_model.map_op
+
+(* {2 Assembled interface} *)
+
+let metadata_bytes t =
+  let per_domain_entry = 96 in
+  let per_somap_entry = 64 in
+  let per_section = 48 in
+  let per_record = 256 in
+  let fixed = 4096 in
+  fixed
+  + (per_domain_entry * Domain_state.tracked t.domains)
+  + (per_somap_entry * Section_object_map.entry_count t.somap)
+  + (per_section * Section_object_map.section_count t.somap)
+  + (per_record * Pruning.logged t.pruning)
+
+let hooks t =
+  { Hooks.name = "kard";
+    on_spawn = (fun ~tid -> on_spawn t ~tid);
+    on_global = (fun meta -> on_alloc t ~tid:(-1) meta);
+    on_alloc = (fun ~tid meta -> on_alloc t ~tid meta);
+    on_free = (fun ~tid meta -> on_free t ~tid meta);
+    on_lock = (fun ~tid ~lock ~site -> on_lock t ~tid ~lock ~site);
+    on_unlock = (fun ~tid ~lock -> on_unlock t ~tid ~lock);
+    (* Kard's whole point: no per-access instrumentation. *)
+    on_read = (fun ~tid:_ ~addr:_ -> 0);
+    on_write = (fun ~tid:_ ~addr:_ -> 0);
+    on_read_block = (fun ~tid:_ ~block:_ -> 0);
+    on_write_block = (fun ~tid:_ ~block:_ -> 0);
+    on_fault = (fun fault -> on_fault t fault);
+    on_thread_exit = (fun ~tid:_ -> 0);
+    on_finish = (fun () -> ());
+    metadata_bytes = (fun () -> metadata_bytes t) }
+
+let races t = Pruning.records t.pruning
+let ilu_races t = Pruning.ilu_records t.pruning
+
+let stats t : stats =
+  let ks = Key_assign.stats t.assign in
+  { na_faults = t.na_faults;
+    ro_faults = t.ro_faults;
+    data_faults = t.data_faults;
+    anomalies = t.anomalies;
+    identifications_read = t.ident_read;
+    identifications_write = t.ident_write;
+    proactive_acquisitions = t.proactive_acq;
+    reactive_acquisitions = t.reactive_acq;
+    demotions = t.demotions;
+    timestamp_rescues = t.ts_rescues;
+    max_active_sections = t.max_active;
+    reuse_events = ks.Key_assign.reuse_events;
+    fresh_events = ks.Key_assign.fresh_events;
+    recycling_events = ks.Key_assign.recycling_events;
+    sharing_events = ks.Key_assign.sharing_events;
+    migrations = Domain_state.migrations t.domains;
+    interleavings_started = Interleave.started_count t.interleave;
+    records_logged = Pruning.logged t.pruning;
+    records_redundant = Pruning.redundant t.pruning;
+    records_pruned_spurious = Pruning.removed_spurious t.pruning;
+    soft_fallbacks = t.soft_fallbacks;
+    soft_faults = t.soft_faults }
+
+let unique_ro_objects t = Hashtbl.length t.ro_seen
+let unique_rw_objects t = Hashtbl.length t.rw_seen
+let domains t = t.domains
+let section_object_map t = t.somap
+let key_section_map t = t.ksmap
+let config t = t.config
+
+let make ?config ~cell env =
+  let t = create ?config env in
+  cell := Some t;
+  hooks t

@@ -1,0 +1,62 @@
+(** The Kard runtime: key-enforced race detection over the MPK model.
+
+    Implements the full pipeline of sections 5.2-5.5 as a set of
+    {!Kard_sched.Hooks.t} hooks: protection domains, on-demand shared
+    object identification, proactive and reactive key acquisition,
+    effective key assignment, the custom fault handler with timestamp
+    checks, protection interleaving, and automated pruning. *)
+
+type t
+
+type stats = {
+  na_faults : int;          (** Identification faults ([k_na]). *)
+  ro_faults : int;          (** Write faults on the Read-only domain. *)
+  data_faults : int;        (** Faults on Read-write domain keys. *)
+  anomalies : int;          (** Faults the handler could not attribute. *)
+  identifications_read : int;
+  identifications_write : int;
+  proactive_acquisitions : int;
+  reactive_acquisitions : int;
+  demotions : int;          (** Objects bounced back to Not-accessed. *)
+  timestamp_rescues : int;  (** Races attributed via the release-time window. *)
+  max_active_sections : int;
+  reuse_events : int;
+  fresh_events : int;
+  recycling_events : int;
+  sharing_events : int;
+  migrations : int;
+  interleavings_started : int;
+  records_logged : int;
+  records_redundant : int;
+  records_pruned_spurious : int;
+  soft_fallbacks : int;   (** Objects moved to the software pool. *)
+  soft_faults : int;      (** Per-access faults on pooled objects. *)
+}
+
+val create : ?config:Config.t -> Kard_sched.Hooks.env -> t
+
+val hooks : t -> Kard_sched.Hooks.t
+
+val races : t -> Race_record.t list
+(** Surviving potential data-race records. *)
+
+val ilu_races : t -> Race_record.t list
+
+val stats : t -> stats
+
+val domains : t -> Domain_state.t
+val section_object_map : t -> Section_object_map.t
+val key_section_map : t -> Key_section_map.t
+val config : t -> Config.t
+
+val unique_ro_objects : t -> int
+(** Distinct objects ever identified into the Read-only domain
+    (Table 3 "Shared objects / RO"). *)
+
+val unique_rw_objects : t -> int
+(** Distinct objects ever identified into the Read-write domain. *)
+
+val make :
+  ?config:Config.t -> cell:t option ref -> Kard_sched.Hooks.env -> Kard_sched.Hooks.t
+(** Convenience for {!Kard_sched.Machine.create}: builds the detector,
+    stores it in [cell] for post-run inspection, returns its hooks. *)

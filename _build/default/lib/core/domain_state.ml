@@ -1,0 +1,70 @@
+module Pkey = Kard_mpk.Pkey
+
+type domain =
+  | Not_accessed
+  | Read_only
+  | Read_write of Pkey.t
+
+type t = {
+  domains : (int, domain) Hashtbl.t;
+  by_key : (int, (int, unit) Hashtbl.t) Hashtbl.t; (* data key -> obj set *)
+  mutable migrations : int;
+}
+
+let create () = { domains = Hashtbl.create 256; by_key = Hashtbl.create 16; migrations = 0 }
+
+let domain_of t ~obj_id =
+  match Hashtbl.find_opt t.domains obj_id with
+  | Some d -> d
+  | None -> Not_accessed
+
+let key_bucket t key =
+  let k = Pkey.to_int key in
+  match Hashtbl.find_opt t.by_key k with
+  | Some bucket -> bucket
+  | None ->
+    let bucket = Hashtbl.create 16 in
+    Hashtbl.replace t.by_key k bucket;
+    bucket
+
+let detach t ~obj_id =
+  match Hashtbl.find_opt t.domains obj_id with
+  | Some (Read_write key) -> Hashtbl.remove (key_bucket t key) obj_id
+  | Some (Not_accessed | Read_only) | None -> ()
+
+let set t ~obj_id domain =
+  let before = domain_of t ~obj_id in
+  if before <> domain then begin
+    detach t ~obj_id;
+    Hashtbl.replace t.domains obj_id domain;
+    (match domain with
+    | Read_write key -> Hashtbl.replace (key_bucket t key) obj_id ()
+    | Not_accessed | Read_only -> ());
+    t.migrations <- t.migrations + 1
+  end
+
+let forget t ~obj_id =
+  detach t ~obj_id;
+  Hashtbl.remove t.domains obj_id
+
+let objects_with_key t key =
+  match Hashtbl.find_opt t.by_key (Pkey.to_int key) with
+  | Some bucket -> Hashtbl.fold (fun obj_id () acc -> obj_id :: acc) bucket []
+  | None -> []
+
+let count_in t which =
+  Hashtbl.fold
+    (fun _ domain acc ->
+      match which, domain with
+      | `Not_accessed, Not_accessed | `Read_only, Read_only | `Read_write, Read_write _ ->
+        acc + 1
+      | (`Not_accessed | `Read_only | `Read_write), _ -> acc)
+    t.domains 0
+
+let migrations t = t.migrations
+let tracked t = Hashtbl.length t.domains
+
+let pp_domain fmt = function
+  | Not_accessed -> Format.pp_print_string fmt "not-accessed"
+  | Read_only -> Format.pp_print_string fmt "read-only"
+  | Read_write key -> Format.fprintf fmt "read-write(%a)" Pkey.pp key

@@ -1,0 +1,33 @@
+(** Per-object protection domains (section 5.2).
+
+    Every sharable object is in exactly one of the three domains:
+    Not-accessed ([k_na]), Read-only ([k_ro]) or Read-write (one of
+    the 13 data keys).  Migrations are what cost [pkey_mprotect]
+    calls at run time. *)
+
+type domain =
+  | Not_accessed
+  | Read_only
+  | Read_write of Kard_mpk.Pkey.t
+
+type t
+
+val create : unit -> t
+
+val domain_of : t -> obj_id:int -> domain
+(** Objects never seen are Not-accessed. *)
+
+val set : t -> obj_id:int -> domain -> unit
+val forget : t -> obj_id:int -> unit
+
+val objects_with_key : t -> Kard_mpk.Pkey.t -> int list
+(** Objects currently in the Read-write domain under this key. *)
+
+val count_in : t -> [ `Not_accessed | `Read_only | `Read_write ] -> int
+(** Objects explicitly recorded in the given domain. *)
+
+val migrations : t -> int
+(** Domain changes performed so far (a performance counter). *)
+
+val tracked : t -> int
+val pp_domain : Format.formatter -> domain -> unit

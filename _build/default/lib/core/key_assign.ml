@@ -1,0 +1,123 @@
+module Pkey = Kard_mpk.Pkey
+
+type decision =
+  | Reuse of Pkey.t
+  | Fresh of Pkey.t
+  | Recycle of Pkey.t * int list
+  | Share of Pkey.t
+
+type stats = {
+  reuse_events : int;
+  fresh_events : int;
+  recycling_events : int;
+  sharing_events : int;
+}
+
+type t = {
+  config : Config.t;
+  keys : Pkey.t list;
+  mutable stats : stats;
+}
+
+let create config =
+  if config.Config.data_keys < 1 || config.Config.data_keys > Pkey.data_key_count then
+    invalid_arg
+      (Printf.sprintf "Key_assign.create: data_keys must be within [1, %d]" Pkey.data_key_count);
+  { config;
+    keys = List.filteri (fun i _ -> i < config.Config.data_keys) Pkey.data_keys;
+    stats = { reuse_events = 0; fresh_events = 0; recycling_events = 0; sharing_events = 0 } }
+
+let available_keys t = t.keys
+
+let disjoint_sections somap ~section holders =
+  let my_objects = List.map fst (Section_object_map.objects_of somap ~section) in
+  List.for_all
+    (fun holder ->
+      let their_objects =
+        List.map fst (Section_object_map.objects_of somap ~section:holder.Key_section_map.section)
+      in
+      not (List.exists (fun obj -> List.mem obj their_objects) my_objects))
+    holders
+
+let choose t ~ksmap ~domains ~somap ~tid ~section =
+  (* Rule 1: reuse a data key the faulting thread already holds with
+     read-write permission (granting another thread's read-only key a
+     new object would leak writes). *)
+  let held =
+    List.filter
+      (fun (key, perm) ->
+        List.mem key t.keys && Kard_mpk.Perm.equal perm Kard_mpk.Perm.Read_write)
+      (Key_section_map.held_by ksmap ~tid)
+  in
+  match held with
+  | (key, _) :: _ -> Reuse key
+  | [] -> begin
+    (* Rule 2: an unassigned key (no holders, protects no object). *)
+    let fresh =
+      List.find_opt
+        (fun key ->
+          Key_section_map.holders ksmap key = [] && Domain_state.objects_with_key domains key = [])
+        t.keys
+    in
+    match fresh with
+    | Some key -> Fresh key
+    | None -> begin
+      (* Rule 3a: recycle an unheld key, demoting its objects. *)
+      let recyclable =
+        if t.config.Config.prefer_recycle then
+          let unheld = Key_section_map.unheld_keys ksmap ~among:t.keys in
+          let with_load =
+            List.map (fun key -> (key, Domain_state.objects_with_key domains key)) unheld
+          in
+          match List.sort (fun (_, a) (_, b) -> compare (List.length a) (List.length b)) with_load with
+          | [] -> None
+          | (key, objs) :: _ -> Some (key, objs)
+        else None
+      in
+      match recyclable with
+      | Some (key, objs) -> Recycle (key, objs)
+      | None ->
+        (* Rule 3b: share.  Prefer a key whose holding sections touch
+           objects disjoint from this section's. *)
+        let scored =
+          List.map (fun key -> (key, Key_section_map.holders ksmap key)) t.keys
+        in
+        let disjoint =
+          if t.config.Config.share_disjoint_sections then
+            List.find_opt (fun (_, holders) -> disjoint_sections somap ~section holders) scored
+          else None
+        in
+        let key =
+          match disjoint with
+          | Some (key, _) -> key
+          | None ->
+            (* Least-loaded key as a fallback. *)
+            let sorted =
+              List.sort
+                (fun (_, a) (_, b) -> compare (List.length a) (List.length b))
+                scored
+            in
+            (match sorted with
+            | (key, _) :: _ -> key
+            | [] -> assert false (* t.keys is non-empty by construction *))
+        in
+        Share key
+    end
+  end
+
+let note t decision =
+  let s = t.stats in
+  t.stats <-
+    (match decision with
+    | Reuse _ -> { s with reuse_events = s.reuse_events + 1 }
+    | Fresh _ -> { s with fresh_events = s.fresh_events + 1 }
+    | Recycle _ -> { s with recycling_events = s.recycling_events + 1 }
+    | Share _ -> { s with sharing_events = s.sharing_events + 1 })
+
+let stats t = t.stats
+
+let pp_decision fmt = function
+  | Reuse key -> Format.fprintf fmt "reuse %a" Pkey.pp key
+  | Fresh key -> Format.fprintf fmt "fresh %a" Pkey.pp key
+  | Recycle (key, objs) -> Format.fprintf fmt "recycle %a (%d objects)" Pkey.pp key (List.length objs)
+  | Share key -> Format.fprintf fmt "share %a" Pkey.pp key

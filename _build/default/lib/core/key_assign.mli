@@ -1,0 +1,52 @@
+(** Effective key assignment (section 5.4).
+
+    When a newly identified shared object needs a Read-write domain
+    key, Kard follows three rules: reuse a key the faulting thread
+    already holds; otherwise take an unassigned key; otherwise recycle
+    an assigned-but-unheld key (demoting its objects to the Read-only
+    domain) or, as a last resort, share a held key — preferring keys
+    whose holding sections touch disjoint object sets, since sharing
+    is the one source of false negatives (Table 4). *)
+
+type decision =
+  | Reuse of Kard_mpk.Pkey.t
+      (** The thread already holds this key; protect the object with it. *)
+  | Fresh of Kard_mpk.Pkey.t
+      (** An unassigned key. *)
+  | Recycle of Kard_mpk.Pkey.t * int list
+      (** An unheld key; the listed objects must be demoted to the
+          Read-only domain before reuse. *)
+  | Share of Kard_mpk.Pkey.t
+      (** A currently held key; may cause false negatives. *)
+
+type stats = {
+  reuse_events : int;
+  fresh_events : int;
+  recycling_events : int;
+  sharing_events : int;
+}
+
+type t
+
+val create : Config.t -> t
+
+val available_keys : t -> Kard_mpk.Pkey.t list
+(** The data keys this configuration may hand out. *)
+
+val choose :
+  t ->
+  ksmap:Key_section_map.t ->
+  domains:Domain_state.t ->
+  somap:Section_object_map.t ->
+  tid:int ->
+  section:int ->
+  decision
+(** Decide a key for a new Read-write domain object identified by
+    [tid] inside [section]. *)
+
+val note : t -> decision -> unit
+(** Record the decision in the statistics (callers invoke this after
+    actually applying the decision). *)
+
+val stats : t -> stats
+val pp_decision : Format.formatter -> decision -> unit

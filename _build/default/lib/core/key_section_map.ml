@@ -1,0 +1,105 @@
+module Pkey = Kard_mpk.Pkey
+module Perm = Kard_mpk.Perm
+
+type holder = {
+  tid : int;
+  perm : Perm.t;
+  section : int;
+  lock : int;
+}
+
+type t = {
+  holding : (int, holder list) Hashtbl.t;            (* key -> holders *)
+  last_release : (int, int * holder) Hashtbl.t;      (* key -> time, who *)
+  last_release_by : (int * int, int * holder) Hashtbl.t; (* key, tid -> time, who *)
+  section_refs : (int, int) Hashtbl.t;               (* section -> live holdings *)
+}
+
+let create () =
+  { holding = Hashtbl.create 16;
+    last_release = Hashtbl.create 16;
+    last_release_by = Hashtbl.create 32;
+    section_refs = Hashtbl.create 64 }
+
+let holders t key = Option.value ~default:[] (Hashtbl.find_opt t.holding (Pkey.to_int key))
+
+let other_holders t key ~tid = List.filter (fun h -> h.tid <> tid) (holders t key)
+
+let write_holder t key =
+  List.find_opt (fun h -> Perm.equal h.perm Perm.Read_write) (holders t key)
+
+let held_by t ~tid =
+  Hashtbl.fold
+    (fun k hs acc ->
+      match List.find_opt (fun h -> h.tid = tid) hs with
+      | Some h -> (Pkey.of_int k, h.perm) :: acc
+      | None -> acc)
+    t.holding []
+
+let can_acquire t key ~tid perm =
+  let others = other_holders t key ~tid in
+  match perm with
+  | Perm.Read_write -> others = []
+  | Perm.Read_only -> not (List.exists (fun h -> Perm.equal h.perm Perm.Read_write) others)
+  | Perm.No_access -> false
+
+let section_ref t section delta =
+  let count = Option.value ~default:0 (Hashtbl.find_opt t.section_refs section) + delta in
+  if count <= 0 then Hashtbl.remove t.section_refs section
+  else Hashtbl.replace t.section_refs section count
+
+let add_holding t key holder =
+  let k = Pkey.to_int key in
+  let existing = holders t key in
+  match List.find_opt (fun h -> h.tid = holder.tid) existing with
+  | Some old ->
+    (* Upgrade (or idempotent re-acquire): replace the holding. *)
+    let rest = List.filter (fun h -> h.tid <> holder.tid) existing in
+    Hashtbl.replace t.holding k ({ holder with perm = Perm.join old.perm holder.perm } :: rest)
+  | None ->
+    Hashtbl.replace t.holding k (holder :: existing);
+    section_ref t holder.section 1
+
+let acquire t key holder =
+  if not (can_acquire t key ~tid:holder.tid holder.perm) then
+    invalid_arg
+      (Format.asprintf "Key_section_map.acquire: %a not acquirable by t%d as %a" Pkey.pp key
+         holder.tid Perm.pp holder.perm);
+  add_holding t key holder
+
+let force_acquire t key holder = add_holding t key holder
+
+let release t key ~tid ~time =
+  let k = Pkey.to_int key in
+  let existing = holders t key in
+  match List.find_opt (fun h -> h.tid = tid) existing with
+  | None -> ()
+  | Some holder ->
+    let rest = List.filter (fun h -> h.tid <> tid) existing in
+    if rest = [] then Hashtbl.remove t.holding k else Hashtbl.replace t.holding k rest;
+    Hashtbl.replace t.last_release k (time, holder);
+    Hashtbl.replace t.last_release_by (k, tid) (time, holder);
+    section_ref t holder.section (-1)
+
+let last_release t key = Hashtbl.find_opt t.last_release (Pkey.to_int key)
+
+let last_release_by_other t key ~tid =
+  Hashtbl.fold
+    (fun (k, releaser) (time, holder) best ->
+      if k <> Pkey.to_int key || releaser = tid then best
+      else
+        match best with
+        | Some (best_time, _) when best_time >= time -> best
+        | Some _ | None -> Some (time, holder))
+    t.last_release_by None
+
+let recently_released t key ~now ~window =
+  match last_release t key with
+  | Some (time, _) -> now - time <= window
+  | None -> false
+
+let unheld_keys t ~among = List.filter (fun key -> holders t key = []) among
+
+let active_sections t = Hashtbl.fold (fun section _ acc -> section :: acc) t.section_refs []
+
+let is_section_active t ~section = Hashtbl.mem t.section_refs section

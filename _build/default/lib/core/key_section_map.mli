@@ -1,0 +1,61 @@
+(** The key-section map (section 5.4, figure 3).
+
+    Tracks which threads (and on behalf of which critical sections)
+    currently hold each Read-write domain key, with what permission,
+    and when each key was last released — the input to race checks,
+    key assignment and the timestamp-based pruning of section 5.5. *)
+
+type holder = {
+  tid : int;
+  perm : Kard_mpk.Perm.t;  (** [Read_only] or [Read_write]. *)
+  section : int;           (** The section the key was acquired for. *)
+  lock : int;              (** The lock guarding that section: conflicts
+                               between sections of the same lock are
+                               ordered, hence never ILU races. *)
+}
+
+type t
+
+val create : unit -> t
+
+val holders : t -> Kard_mpk.Pkey.t -> holder list
+
+val other_holders : t -> Kard_mpk.Pkey.t -> tid:int -> holder list
+
+val write_holder : t -> Kard_mpk.Pkey.t -> holder option
+(** The holder with read-write permission, if any (at most one). *)
+
+val held_by : t -> tid:int -> (Kard_mpk.Pkey.t * Kard_mpk.Perm.t) list
+
+val can_acquire : t -> Kard_mpk.Pkey.t -> tid:int -> Kard_mpk.Perm.t -> bool
+(** Read-write: no other holder at all; read-only: no other
+    read-write holder (section 5.4). *)
+
+val acquire : t -> Kard_mpk.Pkey.t -> holder -> unit
+(** Upgrades in place if the thread already holds the key.
+    @raise Invalid_argument when the acquisition is not permitted. *)
+
+val force_acquire : t -> Kard_mpk.Pkey.t -> holder -> unit
+(** Key sharing (section 5.4 rule 3b): adds the holding even when it
+    violates exclusivity — the documented false-negative source. *)
+
+val release : t -> Kard_mpk.Pkey.t -> tid:int -> time:int -> unit
+(** Removes the thread's holding and stamps the release time. *)
+
+val last_release : t -> Kard_mpk.Pkey.t -> (int * holder) option
+(** Time and identity of the most recent release, for the fault-delay
+    window check of section 5.5. *)
+
+val last_release_by_other : t -> Kard_mpk.Pkey.t -> tid:int -> (int * holder) option
+(** The most recent release of the key by a thread other than [tid]
+    (each thread's latest release is remembered separately, so a
+    faulter's own releases do not mask the conflicting one). *)
+
+val recently_released : t -> Kard_mpk.Pkey.t -> now:int -> window:int -> bool
+
+val unheld_keys : t -> among:Kard_mpk.Pkey.t list -> Kard_mpk.Pkey.t list
+
+val active_sections : t -> int list
+(** Sections on whose behalf some key is currently held. *)
+
+val is_section_active : t -> section:int -> bool

@@ -1,0 +1,35 @@
+type t =
+  | Rk of int
+  | Wk of int
+
+let obj = function
+  | Rk id | Wk id -> id
+
+let is_read = function
+  | Rk _ -> true
+  | Wk _ -> false
+
+let is_write = function
+  | Wk _ -> true
+  | Rk _ -> false
+
+let compare a b =
+  match a, b with
+  | Rk x, Rk y | Wk x, Wk y -> Int.compare x y
+  | Rk _, Wk _ -> -1
+  | Wk _, Rk _ -> 1
+
+let equal a b = compare a b = 0
+
+let pp fmt = function
+  | Rk id -> Format.fprintf fmt "rk%d" id
+  | Wk id -> Format.fprintf fmt "wk%d" id
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

@@ -1,0 +1,20 @@
+(** Key tokens for the pure key-enforced access algorithm.
+
+    Algorithm 1 names a read-only key [rk_o] and a read-write key
+    [wk_o] per object [o]; the idealized algorithm has one per object
+    (the MPK implementation multiplexes 13 physical keys — that lives
+    in {!Key_assign}). *)
+
+type t =
+  | Rk of int  (** Read-only key for object [id]. *)
+  | Wk of int  (** Read-write key for object [id]. *)
+
+val obj : t -> int
+val is_read : t -> bool
+val is_write : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

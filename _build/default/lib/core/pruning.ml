@@ -1,0 +1,40 @@
+type t = {
+  dedupe : bool;
+  mutable live : Race_record.t list; (* newest first *)
+  seen : (int * int option * int option * [ `Read | `Write ], unit) Hashtbl.t;
+  mutable logged : int;
+  mutable redundant : int;
+  mutable removed : int;
+}
+
+let create ~dedupe () =
+  { dedupe; live = []; seen = Hashtbl.create 64; logged = 0; redundant = 0; removed = 0 }
+
+let add t record =
+  let key = Race_record.dedupe_key record in
+  if t.dedupe && Hashtbl.mem t.seen key then begin
+    t.redundant <- t.redundant + 1;
+    `Redundant
+  end
+  else begin
+    Hashtbl.replace t.seen key ();
+    t.live <- record :: t.live;
+    t.logged <- t.logged + 1;
+    `Fresh
+  end
+
+(* Dedupe keys of pruned records stay in [seen]: interleaving proved
+   the section pair touches disjoint bytes, so re-observing the same
+   pair must not resurrect the record every round. *)
+let remove t records =
+  let before = List.length t.live in
+  t.live <- List.filter (fun r -> not (List.memq r records)) t.live;
+  let removed = before - List.length t.live in
+  t.removed <- t.removed + removed;
+  removed
+
+let records t = List.rev t.live
+let ilu_records t = List.filter Race_record.is_ilu (records t)
+let logged t = t.logged
+let redundant t = t.redundant
+let removed_spurious t = t.removed

@@ -1,0 +1,24 @@
+(** The race-record log with automated pruning (section 5.5).
+
+    Redundant faults — same object, same pair of sections, same access
+    type — collapse into one record; records that protection
+    interleaving proves spurious are removed. *)
+
+type t
+
+val create : dedupe:bool -> unit -> t
+
+val add : t -> Race_record.t -> [ `Fresh | `Redundant ]
+(** Log a record, or recognize it as a duplicate of a live record. *)
+
+val remove : t -> Race_record.t list -> int
+(** Remove records proven spurious; returns how many were live. *)
+
+val records : t -> Race_record.t list
+(** Surviving records, oldest first. *)
+
+val ilu_records : t -> Race_record.t list
+
+val logged : t -> int
+val redundant : t -> int
+val removed_spurious : t -> int

@@ -1,0 +1,43 @@
+type side = {
+  thread : int;
+  section : int option;
+  access : [ `Read | `Write ];
+  ip : int;
+}
+
+type t = {
+  obj_id : int;
+  obj_base : Kard_mpk.Page.addr;
+  offset : int;
+  faulting : side;
+  holding : side list;
+  time : int;
+}
+
+let side_locked side = Option.is_some side.section
+
+let is_ilu t = side_locked t.faulting || List.exists side_locked t.holding
+
+let dedupe_key t =
+  let first_holder =
+    match t.holding with
+    | [] -> None
+    | h :: _ -> h.section
+  in
+  (t.obj_id, t.faulting.section, first_holder, t.faulting.access)
+
+let pp_side fmt s =
+  let section =
+    match s.section with
+    | Some site -> Printf.sprintf "s%d" site
+    | None -> "no-lock"
+  in
+  Format.fprintf fmt "t%d(%s %s ip=%d)" s.thread
+    (match s.access with `Read -> "read" | `Write -> "write")
+    section s.ip
+
+let pp fmt t =
+  Format.fprintf fmt "@[<h>race obj#%d+%d: %a vs %a @@%d@]" t.obj_id t.offset pp_side
+    t.faulting
+    (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ") pp_side)
+    t.holding t.time

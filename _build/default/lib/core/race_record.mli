@@ -1,0 +1,32 @@
+(** Potential data-race records (section 5.5).
+
+    A record carries both sides of the conflict: the faulting access
+    and the holder(s) of the object's key, with sections, access
+    types, thread ids, contexts and a timestamp — the fields the
+    paper enumerates for its reports. *)
+
+type side = {
+  thread : int;
+  section : int option;  (** Synchronization call site, [None] when the
+                             access happened outside any section. *)
+  access : [ `Read | `Write ];
+  ip : int;               (** Op index standing in for the PC. *)
+}
+
+type t = {
+  obj_id : int;
+  obj_base : Kard_mpk.Page.addr;
+  offset : int;           (** Faulting offset within the object. *)
+  faulting : side;
+  holding : side list;    (** Who held the key at fault time. *)
+  time : int;
+}
+
+val is_ilu : t -> bool
+(** At least one side held a lock — the paper's scope (Table 1). *)
+
+val dedupe_key : t -> int * int option * int option * [ `Read | `Write ]
+(** Object, faulting section, first holding section, access type:
+    records agreeing on this tuple are redundant (section 5.5). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,66 @@
+type need =
+  | Needs_read
+  | Needs_write
+
+type t = {
+  by_section : (int, (int, need) Hashtbl.t) Hashtbl.t;
+  by_object : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+}
+
+let create () = { by_section = Hashtbl.create 64; by_object = Hashtbl.create 256 }
+
+let bucket table key ~size =
+  match Hashtbl.find_opt table key with
+  | Some b -> b
+  | None ->
+    let b = Hashtbl.create size in
+    Hashtbl.replace table key b;
+    b
+
+let record t ~section ~obj_id need =
+  let objs = bucket t.by_section section ~size:16 in
+  (match Hashtbl.find_opt objs obj_id, need with
+  | Some Needs_write, Needs_read -> () (* write need is sticky *)
+  | (Some (Needs_read | Needs_write) | None), _ -> Hashtbl.replace objs obj_id need);
+  Hashtbl.replace (bucket t.by_object obj_id ~size:8) section ()
+
+let objects_of t ~section =
+  match Hashtbl.find_opt t.by_section section with
+  | Some objs -> Hashtbl.fold (fun obj_id need acc -> (obj_id, need) :: acc) objs []
+  | None -> []
+
+let need_of t ~section ~obj_id =
+  match Hashtbl.find_opt t.by_section section with
+  | Some objs -> Hashtbl.find_opt objs obj_id
+  | None -> None
+
+let sections_touching t ~obj_id =
+  match Hashtbl.find_opt t.by_object obj_id with
+  | Some sections -> Hashtbl.fold (fun section () acc -> section :: acc) sections []
+  | None -> []
+
+let sections_reading t ~obj_id =
+  List.filter
+    (fun section -> need_of t ~section ~obj_id = Some Needs_read)
+    (sections_touching t ~obj_id)
+
+let forget_object t ~obj_id =
+  (match Hashtbl.find_opt t.by_object obj_id with
+  | Some sections ->
+    Hashtbl.iter
+      (fun section () ->
+        match Hashtbl.find_opt t.by_section section with
+        | Some objs -> Hashtbl.remove objs obj_id
+        | None -> ())
+      sections
+  | None -> ());
+  Hashtbl.remove t.by_object obj_id
+
+let section_count t = Hashtbl.length t.by_section
+
+let entry_count t =
+  Hashtbl.fold (fun _ objs acc -> acc + Hashtbl.length objs) t.by_section 0
+
+let pp_need fmt = function
+  | Needs_read -> Format.pp_print_string fmt "r"
+  | Needs_write -> Format.pp_print_string fmt "w"

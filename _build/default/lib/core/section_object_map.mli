@@ -1,0 +1,32 @@
+(** The section-object map (section 5.3, figure 3).
+
+    Tracks, for every critical section (named by its synchronization
+    call site), which shared objects it accessed and with what access
+    type.  Consulted at section entry for proactive key acquisition
+    and by the key-sharing heuristic. *)
+
+type need =
+  | Needs_read
+  | Needs_write
+
+type t
+
+val create : unit -> t
+
+val record : t -> section:int -> obj_id:int -> need -> unit
+(** A write need overrides an earlier read need, never the reverse. *)
+
+val objects_of : t -> section:int -> (int * need) list
+val need_of : t -> section:int -> obj_id:int -> need option
+
+val sections_reading : t -> obj_id:int -> int list
+(** Sections whose recorded need for the object is read-only. *)
+
+val sections_touching : t -> obj_id:int -> int list
+
+val forget_object : t -> obj_id:int -> unit
+(** Called when an object is freed or demoted to Not-accessed. *)
+
+val section_count : t -> int
+val entry_count : t -> int
+val pp_need : Format.formatter -> need -> unit

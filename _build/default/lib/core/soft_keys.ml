@@ -1,0 +1,69 @@
+module Perm = Kard_mpk.Perm
+
+type verdict =
+  | Soft_ok
+  | Soft_conflict of Key_section_map.holder list
+
+(* One virtual key per pooled object, holders tracked directly. *)
+type t = {
+  holders : (int, Key_section_map.holder list) Hashtbl.t; (* obj -> holders *)
+  pool : (int, unit) Hashtbl.t;
+}
+
+let create () = { holders = Hashtbl.create 32; pool = Hashtbl.create 32 }
+
+let add_object t ~obj_id =
+  Hashtbl.replace t.pool obj_id ();
+  if not (Hashtbl.mem t.holders obj_id) then Hashtbl.replace t.holders obj_id []
+
+let mem t ~obj_id = Hashtbl.mem t.pool obj_id
+
+let holders_of t obj_id = Option.value ~default:[] (Hashtbl.find_opt t.holders obj_id)
+
+let access t ~obj_id ~tid ~section ~lock ~access =
+  let holders = holders_of t obj_id in
+  let mine = List.find_opt (fun h -> h.Key_section_map.tid = tid) holders in
+  let others = List.filter (fun h -> h.Key_section_map.tid <> tid) holders in
+  let conflicting =
+    match access with
+    | `Write -> others
+    | `Read -> List.filter (fun h -> Perm.equal h.Key_section_map.perm Perm.Read_write) others
+  in
+  let already_sufficient =
+    match mine, access with
+    | Some _, `Read -> true
+    | Some h, `Write -> Perm.equal h.Key_section_map.perm Perm.Read_write
+    | None, (`Read | `Write) -> false
+  in
+  if conflicting <> [] && not already_sufficient then Soft_conflict conflicting
+  else begin
+    (match section, lock with
+    | Some section, Some lock when not already_sufficient ->
+      (* Claim (or upgrade) the virtual key for the section. *)
+      let perm =
+        match access with
+        | `Write -> Perm.Read_write
+        | `Read -> Perm.Read_only
+      in
+      let merged =
+        match mine with
+        | Some h -> { h with Key_section_map.perm = Perm.join h.Key_section_map.perm perm }
+        | None -> { Key_section_map.tid; perm; section; lock }
+      in
+      Hashtbl.replace t.holders obj_id (merged :: others)
+    | _ -> ());
+    Soft_ok
+  end
+
+let release_thread t ~tid ~time:_ =
+  Hashtbl.iter
+    (fun obj_id holders ->
+      let rest = List.filter (fun h -> h.Key_section_map.tid <> tid) holders in
+      if List.length rest <> List.length holders then Hashtbl.replace t.holders obj_id rest)
+    (Hashtbl.copy t.holders)
+
+let pooled t = Hashtbl.length t.pool
+
+let pp fmt t =
+  Format.fprintf fmt "soft-keys{%d pooled, %d held}" (Hashtbl.length t.pool)
+    (Hashtbl.fold (fun _ hs acc -> acc + List.length hs) t.holders 0)

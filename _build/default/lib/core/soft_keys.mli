@@ -1,0 +1,39 @@
+(** Software per-object keys: the fallback of section 8.
+
+    When effective key assignment would otherwise share a hardware key
+    (the one false-negative source), Kard can instead move the object
+    into a software-protected pool: the object's pages are tagged with
+    a reserved hardware key that no thread is ever granted, so {e
+    every} access faults, and the handler enforces the key-enforced
+    access rules purely in software — with one virtual key per object,
+    so there is no limit and no sharing.  The price is a fault per
+    access to pooled objects, the "significant performance cost" the
+    paper attributes to software memory protection. *)
+
+type t
+
+type verdict =
+  | Soft_ok        (** Access permitted; let it through once. *)
+  | Soft_conflict of Key_section_map.holder list
+      (** Conflicting software-key holders (a potential race). *)
+
+val create : unit -> t
+
+val add_object : t -> obj_id:int -> unit
+(** Move an object into the software pool. *)
+
+val mem : t -> obj_id:int -> bool
+
+val access :
+  t -> obj_id:int -> tid:int -> section:int option -> lock:int option ->
+  access:[ `Read | `Write ] -> verdict
+(** Apply the shared-read / exclusive-write rules with the thread's
+    current section: in-section accesses acquire the object's virtual
+    key (upgrading read to write as needed); outside-section accesses
+    only check for conflicts. *)
+
+val release_thread : t -> tid:int -> time:int -> unit
+(** Drop every virtual key the thread holds (on section exit). *)
+
+val pooled : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,34 @@
+(** A self-checking wrapper around the Kard detector.
+
+    Wraps the detector's hooks and verifies, on every event, the
+    invariants the design promises:
+
+    - outside critical sections a thread's PKRU grants exactly the
+      default key, read-only access to the Read-only domain, and
+      read-write access to the Not-accessed domain — never a data key;
+    - inside a critical section the Not-accessed key is retracted;
+    - no key ever has two read-write holders, or a read-write holder
+      alongside read-only holders (exclusive write / shared read);
+    - protection faults never carry the default key;
+    - every object in the Read-write domain is page-tagged with its
+      assigned key (sampled at section exits).
+
+    Violations raise {!Violation} immediately, so the failing event is
+    on the stack.  The wrapper is pure observation: cycle accounting
+    and detection behaviour are unchanged.  Used by the test suite to
+    validate the runtime across every workload and scenario; available
+    to users as a debugging aid. *)
+
+exception Violation of string
+
+type t
+
+val make :
+  ?config:Config.t ->
+  cell:Detector.t option ref ->
+  vcell:t option ref ->
+  Kard_sched.Hooks.env ->
+  Kard_sched.Hooks.t
+(** Like {!Detector.make}, with invariant checking attached. *)
+
+val checks_performed : t -> int

@@ -1,0 +1,1 @@
+lib/harness/chart.ml: Float List Printf String

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Chart Format Hashtbl Kard_alloc Kard_baselines Kard_core Kard_mpk Kard_sched Kard_vm Kard_workloads List Option Printf Runner Spec_alias Stats Text_table

@@ -1,0 +1,1 @@
+lib/harness/experiments.mli: Kard_workloads Runner Spec_alias

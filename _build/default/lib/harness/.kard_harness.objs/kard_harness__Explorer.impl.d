@@ -1,0 +1,1 @@
+lib/harness/explorer.ml: Kard_core Kard_workloads List Option Printf Runner Spec_alias

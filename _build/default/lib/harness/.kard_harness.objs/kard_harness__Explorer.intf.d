@@ -1,0 +1,1 @@
+lib/harness/explorer.mli: Kard_core Kard_workloads Spec_alias

@@ -1,0 +1,1 @@
+lib/harness/json_report.ml: Buffer Char Kard_core Kard_sched List Printf Runner String

@@ -1,0 +1,1 @@
+lib/harness/json_report.mli: Kard_core Runner

@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Kard_baselines Kard_core Kard_sched Kard_workloads Option Spec_alias

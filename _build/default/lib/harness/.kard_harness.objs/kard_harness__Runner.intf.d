@@ -1,0 +1,1 @@
+lib/harness/runner.mli: Kard_baselines Kard_core Kard_sched Kard_workloads Spec_alias

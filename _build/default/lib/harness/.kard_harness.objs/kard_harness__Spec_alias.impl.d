@@ -1,0 +1,1 @@
+lib/harness/spec_alias.ml: Kard_workloads

@@ -1,0 +1,1 @@
+lib/harness/spec_alias.mli: Kard_workloads

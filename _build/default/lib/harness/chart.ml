@@ -1,0 +1,39 @@
+let bar ~width ~max_value value =
+  if value <= 0. || max_value <= 0. then ""
+  else
+    let n = int_of_float (Float.round (value /. max_value *. float_of_int width)) in
+    String.make (max 0 (min width n)) '#'
+
+let bars ?(width = 40) ?(unit_label = "") rows =
+  let max_value = List.fold_left (fun acc (_, v) -> Float.max acc v) 0. rows in
+  let label_width =
+    List.fold_left (fun acc (label, _) -> max acc (String.length label)) 0 rows
+  in
+  let line (label, value) =
+    Printf.sprintf "%-*s %8.1f%s |%s" label_width label value unit_label
+      (bar ~width ~max_value value)
+  in
+  String.concat "\n" (List.map line rows) ^ "\n"
+
+let grouped ?(width = 30) ~series rows =
+  let max_value =
+    List.fold_left
+      (fun acc (_, values) -> List.fold_left Float.max acc values)
+      0. rows
+  in
+  let label_width =
+    List.fold_left (fun acc (label, _) -> max acc (String.length label)) 0 rows
+  in
+  let series_width = List.fold_left (fun acc s -> max acc (String.length s)) 0 series in
+  let block (label, values) =
+    let lines =
+      List.map2
+        (fun s v ->
+          Printf.sprintf "%-*s  %-*s %8.1f |%s" label_width "" series_width s v
+            (bar ~width ~max_value v))
+        series values
+    in
+    Printf.sprintf "%-*s" label_width label
+    :: lines
+  in
+  String.concat "\n" (List.concat_map block rows) ^ "\n"

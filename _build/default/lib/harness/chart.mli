@@ -1,0 +1,12 @@
+(** Minimal ASCII bar charts for the figure reproductions. *)
+
+val bars :
+  ?width:int -> ?unit_label:string -> (string * float) list -> string
+(** One horizontal bar per (label, value); values are scaled to the
+    largest. Negative values render as an empty bar with the number.
+    [width] is the maximum bar length (default 40). *)
+
+val grouped :
+  ?width:int -> series:string list -> (string * float list) list -> string
+(** Grouped bars: each row has one value per series (Figure 5's three
+    thread counts). *)

@@ -1,0 +1,392 @@
+module Machine = Kard_sched.Machine
+module Spec = Kard_workloads.Spec
+module Race_suite = Kard_workloads.Race_suite
+module Registry = Kard_workloads.Registry
+
+(* {1 Table 3} *)
+
+type t3_row = {
+  spec : Spec_alias.t;
+  base : Runner.result;
+  alloc : Runner.result;
+  kard : Runner.result;
+  tsan : Runner.result;
+}
+
+let table3 ?(threads = 4) ?(scale = 0.01) ?(specs = Registry.all) () =
+  List.map
+    (fun spec ->
+      let run detector = Runner.run ~threads ~scale ~detector spec in
+      { spec;
+        base = run Runner.Baseline;
+        alloc = run Runner.Alloc;
+        kard = run (Runner.Kard Kard_core.Config.default);
+        tsan = run Runner.Tsan })
+    specs
+
+let t3_kard_pct row = Runner.overhead_pct ~baseline:row.base row.kard
+let t3_alloc_pct row = Runner.overhead_pct ~baseline:row.base row.alloc
+let t3_tsan_pct row = Runner.overhead_pct ~baseline:row.base row.tsan
+let t3_rss_pct row = Runner.rss_overhead_pct ~baseline:row.base row.kard
+
+let print_geomean label rows pct_of paper_of =
+  if rows <> [] then
+    Printf.printf "%s geomean: Kard %s (paper %s)\n" label
+      (Text_table.fmt_pct (Stats.geomean_overhead_pct (List.map pct_of rows)))
+      (Text_table.fmt_pct (Stats.geomean_overhead_pct (List.map paper_of rows)))
+
+let print_table3 rows =
+  let header =
+    [ "benchmark"; "heap"; "glob"; "RO"; "RW"; "CS"; "act"; "entries"; "base(Mc)"; "alloc%";
+      "(paper)"; "kard%"; "(paper)"; "tsan"; "(paper)"; "rss%"; "(paper)"; "dTLBk" ]
+  in
+  let cells row =
+    let p = row.spec.Spec.paper in
+    let r = row.base.Runner.report in
+    let allocs = r.Machine.alloc_stats.Kard_alloc.Alloc_iface.allocations in
+    [ row.spec.Spec.name;
+      Text_table.fmt_int allocs;
+      Text_table.fmt_int r.Machine.alloc_stats.Kard_alloc.Alloc_iface.global_allocations;
+      Text_table.fmt_int row.kard.Runner.kard_unique_ro;
+      Text_table.fmt_int row.kard.Runner.kard_unique_rw;
+      Text_table.fmt_int row.base.Runner.report.Machine.unique_sections;
+      Text_table.fmt_int row.kard.Runner.report.Machine.max_concurrent_sections;
+      Text_table.fmt_int r.Machine.cs_entries;
+      Text_table.fmt_int (r.Machine.cycles / 1_000_000);
+      Text_table.fmt_pct (t3_alloc_pct row);
+      Text_table.fmt_pct p.Spec.p_alloc_pct;
+      Text_table.fmt_pct (t3_kard_pct row);
+      Text_table.fmt_pct p.Spec.p_kard_pct;
+      Text_table.fmt_times (1. +. (t3_tsan_pct row /. 100.));
+      Text_table.fmt_times (1. +. (p.Spec.p_tsan_pct /. 100.));
+      Text_table.fmt_pct (t3_rss_pct row);
+      Text_table.fmt_pct p.Spec.p_rss_kard_pct;
+      Text_table.fmt_rate (Runner.dtlb_rate row.kard) ]
+  in
+  print_string (Text_table.render ~header (List.map cells rows));
+  let benches, apps =
+    List.partition (fun row -> row.spec.Spec.category <> Spec.Real_world) rows
+  in
+  print_geomean "PARSEC+SPLASH-2x" benches t3_kard_pct (fun r -> r.spec.Spec.paper.Spec.p_kard_pct);
+  print_geomean "real-world" apps t3_kard_pct (fun r -> r.spec.Spec.paper.Spec.p_kard_pct)
+
+(* {1 Race scenarios (Tables 1 and 4, Figures 1 and 4)} *)
+
+type scenario_row = {
+  scenario : Race_suite.t;
+  kard_ilu : int;
+  tsan : int;
+  lockset : int;
+  kard_ok : bool;
+  tsan_ok : bool;
+  lockset_ok : bool;
+}
+
+let scenarios ?(names = List.map (fun s -> s.Race_suite.name) Race_suite.all) ?(seed = 42) () =
+  List.map
+    (fun name ->
+      let scenario = Race_suite.find name in
+      let kard =
+        Runner.run_scenario ~seed ~detector:(Runner.Kard scenario.Race_suite.config) scenario
+      in
+      let tsan = Runner.run_scenario ~seed ~detector:Runner.Tsan scenario in
+      let lockset = Runner.run_scenario ~seed ~detector:Runner.Lockset scenario in
+      let kard_ilu = List.length kard.Runner.kard_ilu_races in
+      let tsan_n = List.length tsan.Runner.tsan_races in
+      let lockset_n = List.length lockset.Runner.lockset_warnings in
+      { scenario;
+        kard_ilu;
+        tsan = tsan_n;
+        lockset = lockset_n;
+        kard_ok = Race_suite.check scenario.Race_suite.expect_kard_ilu kard_ilu;
+        tsan_ok = Race_suite.check scenario.Race_suite.expect_tsan tsan_n;
+        lockset_ok = Race_suite.check scenario.Race_suite.expect_lockset lockset_n })
+    names
+
+let print_scenarios rows =
+  let header = [ "scenario"; "kard"; "expect"; "tsan"; "expect"; "lockset"; "expect"; "ok" ] in
+  let cells row =
+    let fmt_exp e = Format.asprintf "%a" Race_suite.pp_expectation e in
+    [ row.scenario.Race_suite.name;
+      string_of_int row.kard_ilu;
+      fmt_exp row.scenario.Race_suite.expect_kard_ilu;
+      string_of_int row.tsan;
+      fmt_exp row.scenario.Race_suite.expect_tsan;
+      string_of_int row.lockset;
+      fmt_exp row.scenario.Race_suite.expect_lockset;
+      (if row.kard_ok && row.tsan_ok && row.lockset_ok then "yes" else "NO") ]
+  in
+  print_string (Text_table.render ~header (List.map cells rows))
+
+(* {1 Table 5} *)
+
+type t5_row = {
+  t5_threads : int;
+  total_cs : int;
+  unique_cs : int;
+  max_concurrent : int;
+  recycling : int;
+  sharing : int;
+}
+
+let table5 ?(data_keys = Kard_mpk.Pkey.data_key_count) ?(threads_list = [ 4; 8; 16; 32 ])
+    ?(scale = 0.01) () =
+  let spec = Registry.find "memcached" in
+  let config = { Kard_core.Config.default with Kard_core.Config.data_keys } in
+  List.map
+    (fun threads ->
+      let result = Runner.run ~threads ~scale ~detector:(Runner.Kard config) spec in
+      let stats = Option.get result.Runner.kard_stats in
+      { t5_threads = threads;
+        total_cs = result.Runner.report.Machine.cs_entries;
+        unique_cs = result.Runner.report.Machine.unique_sections;
+        max_concurrent = result.Runner.report.Machine.max_concurrent_sections;
+        recycling = stats.Kard_core.Detector.recycling_events;
+        sharing = stats.Kard_core.Detector.sharing_events })
+    threads_list
+
+let print_table5 rows =
+  let header = [ "memcached"; "t=4"; "t=8"; "t=16"; "t=32" ] in
+  let line label f =
+    label :: List.map (fun row -> Text_table.fmt_int (f row)) rows
+  in
+  let table =
+    [ line "Total executed CS" (fun r -> r.total_cs);
+      line "Uniquely executed CS" (fun r -> r.unique_cs);
+      line "Maximum concurrent CS" (fun r -> r.max_concurrent);
+      line "Key recycling events" (fun r -> r.recycling);
+      line "Key sharing events" (fun r -> r.sharing) ]
+  in
+  let header =
+    match rows with
+    | _ when List.length rows = 4 -> header
+    | _ -> "memcached" :: List.map (fun r -> Printf.sprintf "t=%d" r.t5_threads) rows
+  in
+  print_string (Text_table.render ~header table)
+
+(* {1 Table 6} *)
+
+type t6_row = {
+  app : string;
+  kard_races : int;
+  tsan_ilu : int;
+  tsan_non_ilu : int;
+  paper_kard : int;
+  paper_tsan_ilu : int;
+  paper_tsan_non_ilu : int;
+}
+
+(* The paper counts racy variables, not conflicting thread pairs:
+   collapse records to distinct objects (Kard) / granules (TSan). *)
+let distinct_by f items =
+  let seen = Hashtbl.create 16 in
+  List.iter (fun item -> Hashtbl.replace seen (f item) ()) items;
+  Hashtbl.length seen
+
+let table6 ?(scale = 0.01) () =
+  let paper = [ ("aget", 1, 1, 0); ("memcached", 3, 3, 0); ("nginx", 1, 1, 0); ("pigz", 1, 0, 0) ] in
+  List.map
+    (fun (name, pk, pti, ptn) ->
+      let spec = Registry.find name in
+      let kard = Runner.run ~scale ~detector:(Runner.Kard Kard_core.Config.default) spec in
+      let tsan = Runner.run ~scale ~detector:Runner.Tsan spec in
+      let granule (r : Kard_baselines.Tsan.race) = r.Kard_baselines.Tsan.addr lsr 3 in
+      let tsan_ilu = distinct_by granule tsan.Runner.tsan_ilu_races in
+      { app = name;
+        kard_races =
+          distinct_by (fun (r : Kard_core.Race_record.t) -> r.Kard_core.Race_record.obj_id)
+            kard.Runner.kard_races;
+        tsan_ilu;
+        tsan_non_ilu = distinct_by granule tsan.Runner.tsan_races - tsan_ilu;
+        paper_kard = pk;
+        paper_tsan_ilu = pti;
+        paper_tsan_non_ilu = ptn })
+    paper
+
+let print_table6 rows =
+  let header =
+    [ "application"; "kard"; "(paper)"; "tsan ILU"; "(paper)"; "tsan non-ILU"; "(paper)" ]
+  in
+  let cells row =
+    [ row.app;
+      string_of_int row.kard_races;
+      string_of_int row.paper_kard;
+      string_of_int row.tsan_ilu;
+      string_of_int row.paper_tsan_ilu;
+      string_of_int row.tsan_non_ilu;
+      string_of_int row.paper_tsan_non_ilu ]
+  in
+  print_string (Text_table.render ~header (List.map cells rows))
+
+(* {1 Figure 5} *)
+
+type f5_row = {
+  f5_name : string;
+  by_threads : (int * float) list;
+}
+
+let figure5 ?(threads_list = [ 8; 16; 32 ]) ?(scale = 0.01) ?(specs = Registry.benchmarks) () =
+  List.map
+    (fun spec ->
+      let by_threads =
+        List.map
+          (fun threads ->
+            let base = Runner.run ~threads ~scale ~detector:Runner.Baseline spec in
+            let kard =
+              Runner.run ~threads ~scale ~detector:(Runner.Kard Kard_core.Config.default) spec
+            in
+            (threads, Runner.overhead_pct ~baseline:base kard))
+          threads_list
+      in
+      { f5_name = spec.Spec.name; by_threads })
+    specs
+
+let print_figure5 rows =
+  match rows with
+  | [] -> ()
+  | first :: _ ->
+    let threads_list = List.map fst first.by_threads in
+    let header = "benchmark" :: List.map (fun t -> Printf.sprintf "t=%d" t) threads_list in
+    let cells row =
+      row.f5_name :: List.map (fun (_, p) -> Text_table.fmt_pct p) row.by_threads
+    in
+    print_string (Text_table.render ~header (List.map cells rows));
+    List.iter
+      (fun t ->
+        let pcts = List.map (fun row -> List.assoc t row.by_threads) rows in
+        Printf.printf "geomean t=%d: %s\n" t
+          (Text_table.fmt_pct (Stats.geomean_overhead_pct pcts)))
+      threads_list;
+    print_newline ();
+    print_string
+      (Chart.grouped
+         ~series:(List.map (fun t -> Printf.sprintf "t=%d" t) threads_list)
+         (List.map (fun row -> (row.f5_name, List.map snd row.by_threads)) rows))
+
+(* {1 NGINX sweep} *)
+
+type nginx_row = { file_kb : int; kard_pct : float }
+
+let nginx_sweep ?(sizes = [ 128; 256; 512; 1024 ]) ?(scale = 0.01) () =
+  List.map
+    (fun file_kb ->
+      let spec = Kard_workloads.Apps.nginx_with_file ~file_kb in
+      let base = Runner.run ~scale ~detector:Runner.Baseline spec in
+      let kard = Runner.run ~scale ~detector:(Runner.Kard Kard_core.Config.default) spec in
+      { file_kb; kard_pct = Runner.overhead_pct ~baseline:base kard })
+    sizes
+
+let print_nginx_sweep rows =
+  let header = [ "file size"; "kard overhead" ] in
+  let cells row = [ Printf.sprintf "%d kB" row.file_kb; Text_table.fmt_pct row.kard_pct ] in
+  print_string (Text_table.render ~header (List.map cells rows));
+  print_string
+    (Chart.bars ~unit_label:"%"
+       (List.map (fun row -> (Printf.sprintf "%d kB" row.file_kb, row.kard_pct)) rows));
+  print_string "paper: 128 kB -> +58.7%, 1 MB -> +8.8% (average +15.1%)\n"
+
+(* {1 Figure 2} *)
+
+type f2_stats = {
+  objects : int;
+  object_bytes : int;
+  virtual_pages : int;
+  physical_pages : int;
+  file_bytes : int;
+}
+
+let figure2 ?(objects = 128) ?(object_bytes = 32) () =
+  let phys = Kard_vm.Phys_mem.create () in
+  let aspace = Kard_vm.Address_space.create phys in
+  let meta = Kard_alloc.Meta_table.create () in
+  let upa =
+    Kard_alloc.Unique_page_alloc.create aspace ~meta ~cost:Kard_mpk.Cost_model.default ()
+  in
+  let iface = Kard_alloc.Unique_page_alloc.iface upa in
+  for i = 0 to objects - 1 do
+    let (_ : Kard_alloc.Obj_meta.t * int) = iface.Kard_alloc.Alloc_iface.alloc ~site:i object_bytes in
+    ()
+  done;
+  { objects;
+    object_bytes;
+    virtual_pages = Kard_vm.Address_space.mapped_pages aspace;
+    physical_pages = Kard_vm.Phys_mem.resident_frames phys;
+    file_bytes = Kard_alloc.Unique_page_alloc.file_bytes upa }
+
+let print_figure2 stats =
+  Printf.printf
+    "consolidated unique page allocation: %d objects of %d B -> %d virtual pages backed by %d \
+     physical pages (in-memory file: %d B)\n"
+    stats.objects stats.object_bytes stats.virtual_pages stats.physical_pages stats.file_bytes
+
+(* {1 Memory consumption breakdown (section 7.5)} *)
+
+type mem_row = {
+  mem_name : string;
+  base_rss : int;
+  kard_rss : int;
+  kard_data : int;
+  kard_page_tables : int;
+  kard_metadata : int;
+  wasted : int;
+}
+
+let memory ?(threads = 4) ?(scale = 0.01) ?(specs = Registry.all) () =
+  List.map
+    (fun spec ->
+      let base = Runner.run ~threads ~scale ~detector:Runner.Baseline spec in
+      let kard = Runner.run ~threads ~scale ~detector:(Runner.Kard Kard_core.Config.default) spec in
+      let kr = kard.Runner.report in
+      let alloc_stats = kr.Machine.alloc_stats in
+      { mem_name = spec.Spec.name;
+        base_rss = base.Runner.report.Machine.rss_bytes;
+        kard_rss = kr.Machine.rss_bytes;
+        kard_data = kr.Machine.data_rss_bytes;
+        kard_page_tables = kr.Machine.page_table_bytes;
+        kard_metadata = kr.Machine.detector_metadata_bytes;
+        wasted =
+          alloc_stats.Kard_alloc.Alloc_iface.bytes_reserved
+          - alloc_stats.Kard_alloc.Alloc_iface.bytes_requested })
+    specs
+
+let print_memory rows =
+  let header =
+    [ "workload"; "base KiB"; "kard KiB"; "overhead"; "data KiB"; "pt KiB"; "meta KiB";
+      "waste KiB" ]
+  in
+  let cells row =
+    [ row.mem_name;
+      Text_table.fmt_kb row.base_rss;
+      Text_table.fmt_kb row.kard_rss;
+      Text_table.fmt_pct (Stats.pct (float_of_int row.kard_rss) (float_of_int row.base_rss));
+      Text_table.fmt_kb row.kard_data;
+      Text_table.fmt_kb row.kard_page_tables;
+      Text_table.fmt_kb row.kard_metadata;
+      Text_table.fmt_kb row.wasted ]
+  in
+  print_string (Text_table.render ~header (List.map cells rows));
+  let pcts =
+    List.map
+      (fun row -> Stats.pct (float_of_int row.kard_rss) (float_of_int row.base_rss))
+      rows
+  in
+  Printf.printf "RSS overhead geomean: %s (paper: +68.0%% benchmarks, +85.6%% real-world)\n"
+    (Text_table.fmt_pct (Stats.geomean_overhead_pct pcts))
+
+(* {1 MPK micro} *)
+
+let print_micro () =
+  let c = Kard_mpk.Cost_model.default in
+  let header = [ "operation"; "modeled cycles"; "paper/literature" ] in
+  let rows =
+    [ [ "RDPKRU"; string_of_int c.Kard_mpk.Cost_model.rdpkru; "<1 cycle (libmpk)" ];
+      [ "WRPKRU"; string_of_int c.Kard_mpk.Cost_model.wrpkru; "~20 cycles (libmpk)" ];
+      [ "pkey_mprotect";
+        Printf.sprintf "%d + %d/page" c.Kard_mpk.Cost_model.pkey_mprotect_base
+          c.Kard_mpk.Cost_model.pkey_mprotect_page;
+        "~1 us syscall" ];
+      [ "#GP fault round trip";
+        string_of_int c.Kard_mpk.Cost_model.fault_roundtrip;
+        "24,000 cycles (section 5.5)" ] ]
+  in
+  print_string (Text_table.render ~header rows)

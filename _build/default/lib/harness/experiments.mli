@@ -1,0 +1,125 @@
+(** Drivers that regenerate every table and figure of the paper's
+    evaluation (section 7).  Each experiment returns structured data
+    (so the test suite can assert on shapes) and has a printer that
+    renders a paper-style table. *)
+
+(** {1 Table 3: performance, memory and dTLB overheads} *)
+
+type t3_row = {
+  spec : Spec_alias.t;
+  base : Runner.result;
+  alloc : Runner.result;
+  kard : Runner.result;
+  tsan : Runner.result;
+}
+
+val table3 :
+  ?threads:int -> ?scale:float -> ?specs:Spec_alias.t list -> unit -> t3_row list
+
+val print_table3 : t3_row list -> unit
+
+val t3_kard_pct : t3_row -> float
+val t3_alloc_pct : t3_row -> float
+val t3_tsan_pct : t3_row -> float
+val t3_rss_pct : t3_row -> float
+
+(** {1 Table 1 + Figure 1: ILU scope} *)
+
+type scenario_row = {
+  scenario : Kard_workloads.Race_suite.t;
+  kard_ilu : int;
+  tsan : int;
+  lockset : int;
+  kard_ok : bool;
+  tsan_ok : bool;
+  lockset_ok : bool;
+}
+
+val scenarios : ?names:string list -> ?seed:int -> unit -> scenario_row list
+val print_scenarios : scenario_row list -> unit
+
+(** {1 Table 5: memcached key recycling and sharing vs threads} *)
+
+type t5_row = {
+  t5_threads : int;
+  total_cs : int;
+  unique_cs : int;
+  max_concurrent : int;
+  recycling : int;
+  sharing : int;
+}
+
+val table5 : ?data_keys:int -> ?threads_list:int list -> ?scale:float -> unit -> t5_row list
+(** [data_keys] defaults to the full 13.  A scaled run holds a
+    proportionally smaller live key working set than the full 162k
+    request run, so the key-pressure dynamics of the paper's Table 5
+    are reproduced by scaling the key budget alongside (see
+    EXPERIMENTS.md); the printer emits both views. *)
+
+val print_table5 : t5_row list -> unit
+
+(** {1 Table 6: real-world data races} *)
+
+type t6_row = {
+  app : string;
+  kard_races : int;      (** Surviving Kard records (ILU scope). *)
+  tsan_ilu : int;
+  tsan_non_ilu : int;
+  paper_kard : int;
+  paper_tsan_ilu : int;
+  paper_tsan_non_ilu : int;
+}
+
+val table6 : ?scale:float -> unit -> t6_row list
+val print_table6 : t6_row list -> unit
+
+(** {1 Figure 5: scalability} *)
+
+type f5_row = {
+  f5_name : string;
+  by_threads : (int * float) list; (** thread count, Kard overhead %. *)
+}
+
+val figure5 :
+  ?threads_list:int list -> ?scale:float -> ?specs:Spec_alias.t list -> unit -> f5_row list
+
+val print_figure5 : f5_row list -> unit
+
+(** {1 NGINX file-size sweep (section 7.2)} *)
+
+type nginx_row = { file_kb : int; kard_pct : float }
+
+val nginx_sweep : ?sizes:int list -> ?scale:float -> unit -> nginx_row list
+val print_nginx_sweep : nginx_row list -> unit
+
+(** {1 Figure 2: consolidated unique page allocation} *)
+
+type f2_stats = {
+  objects : int;
+  object_bytes : int;
+  virtual_pages : int;
+  physical_pages : int;
+  file_bytes : int;
+}
+
+val figure2 : ?objects:int -> ?object_bytes:int -> unit -> f2_stats
+val print_figure2 : f2_stats -> unit
+
+(** {1 Memory consumption breakdown (section 7.5)} *)
+
+type mem_row = {
+  mem_name : string;
+  base_rss : int;
+  kard_rss : int;
+  kard_data : int;        (** Resident data pages (per-mapping). *)
+  kard_page_tables : int;
+  kard_metadata : int;    (** Detector + allocator metadata. *)
+  wasted : int;           (** Granule-rounding waste (32 B slots). *)
+}
+
+val memory : ?threads:int -> ?scale:float -> ?specs:Spec_alias.t list -> unit -> mem_row list
+val print_memory : mem_row list -> unit
+
+(** {1 MPK microbenchmarks (section 2.2)} *)
+
+val print_micro : unit -> unit

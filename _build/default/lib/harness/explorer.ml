@@ -1,0 +1,56 @@
+type outcome = {
+  seed : int;
+  kard_ilu : int;
+  records : int;
+}
+
+type summary = {
+  runs : int;
+  detecting_runs : int;
+  detection_rate : float;
+  min_races : int;
+  max_races : int;
+  outcomes : outcome list;
+}
+
+let default_seeds = List.init 20 (fun i -> i + 1)
+
+let summarize outcomes =
+  let runs = List.length outcomes in
+  let detecting = List.filter (fun o -> o.kard_ilu > 0) outcomes in
+  let races = List.map (fun o -> o.kard_ilu) outcomes in
+  { runs;
+    detecting_runs = List.length detecting;
+    detection_rate =
+      (if runs = 0 then 0. else float_of_int (List.length detecting) /. float_of_int runs);
+    min_races = List.fold_left min max_int races;
+    max_races = List.fold_left max 0 races;
+    outcomes }
+
+let explore_scenario ?(seeds = default_seeds) ?config (scenario : Kard_workloads.Race_suite.t) =
+  let config = Option.value ~default:scenario.Kard_workloads.Race_suite.config config in
+  summarize
+    (List.map
+       (fun seed ->
+         let r =
+           Runner.run_scenario ~seed ~override_config:config ~detector:(Runner.Kard config)
+             scenario
+         in
+         { seed;
+           kard_ilu = List.length r.Runner.kard_ilu_races;
+           records = List.length r.Runner.kard_races })
+       seeds)
+
+let explore_spec ?(seeds = default_seeds) ?(scale = 0.005) ?threads (spec : Spec_alias.t) =
+  summarize
+    (List.map
+       (fun seed ->
+         let r = Runner.run ?threads ~scale ~seed ~detector:(Runner.Kard Kard_core.Config.default) spec in
+         { seed;
+           kard_ilu = List.length r.Runner.kard_ilu_races;
+           records = List.length r.Runner.kard_races })
+       seeds)
+
+let print_summary ~name s =
+  Printf.printf "%-28s detection rate %3.0f%% (%d/%d runs), races per run %d..%d\n" name
+    (s.detection_rate *. 100.) s.detecting_runs s.runs s.min_races s.max_races

@@ -1,0 +1,32 @@
+(** Schedule exploration.
+
+    ILU detection is schedule-sensitive (section 3.1): a race
+    manifests only when the threads interleave the right way, and the
+    paper's mitigation is "multiple runs".  The explorer sweeps
+    scheduler seeds and reports how often each detector observes the
+    race — an estimate of per-run detection probability. *)
+
+type outcome = {
+  seed : int;
+  kard_ilu : int;
+  records : int;
+}
+
+type summary = {
+  runs : int;
+  detecting_runs : int;       (** Runs with at least one ILU record. *)
+  detection_rate : float;
+  min_races : int;
+  max_races : int;
+  outcomes : outcome list;
+}
+
+val explore_scenario :
+  ?seeds:int list -> ?config:Kard_core.Config.t -> Kard_workloads.Race_suite.t -> summary
+(** Default: seeds 1..20 and the scenario's own configuration. *)
+
+val explore_spec :
+  ?seeds:int list -> ?scale:float -> ?threads:int -> Spec_alias.t -> summary
+(** Sweep a full workload model (e.g. aget) across schedules. *)
+
+val print_summary : name:string -> summary -> unit

@@ -1,0 +1,126 @@
+module Machine = Kard_sched.Machine
+module Race_record = Kard_core.Race_record
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let str s = "\"" ^ escape s ^ "\""
+let field name value = str name ^ ":" ^ value
+let obj fields = "{" ^ String.concat "," fields ^ "}"
+let arr items = "[" ^ String.concat "," items ^ "]"
+let int_ = string_of_int
+let float_ f = Printf.sprintf "%.6g" f
+let bool_ b = if b then "true" else "false"
+
+let of_side (s : Race_record.side) =
+  obj
+    [ field "thread" (int_ s.Race_record.thread);
+      field "section"
+        (match s.Race_record.section with
+        | Some site -> int_ site
+        | None -> "null");
+      field "access" (str (match s.Race_record.access with `Read -> "read" | `Write -> "write"));
+      field "ip" (int_ s.Race_record.ip) ]
+
+let of_race (r : Race_record.t) =
+  obj
+    [ field "object" (int_ r.Race_record.obj_id);
+      field "offset" (int_ r.Race_record.offset);
+      field "ilu" (bool_ (Race_record.is_ilu r));
+      field "faulting" (of_side r.Race_record.faulting);
+      field "holding" (arr (List.map of_side r.Race_record.holding));
+      field "time" (int_ r.Race_record.time) ]
+
+let of_kard_stats (s : Kard_core.Detector.stats) =
+  obj
+    [ field "identifications_read" (int_ s.Kard_core.Detector.identifications_read);
+      field "identifications_write" (int_ s.Kard_core.Detector.identifications_write);
+      field "proactive_acquisitions" (int_ s.Kard_core.Detector.proactive_acquisitions);
+      field "reactive_acquisitions" (int_ s.Kard_core.Detector.reactive_acquisitions);
+      field "demotions" (int_ s.Kard_core.Detector.demotions);
+      field "migrations" (int_ s.Kard_core.Detector.migrations);
+      field "fresh" (int_ s.Kard_core.Detector.fresh_events);
+      field "reuse" (int_ s.Kard_core.Detector.reuse_events);
+      field "recycling" (int_ s.Kard_core.Detector.recycling_events);
+      field "sharing" (int_ s.Kard_core.Detector.sharing_events);
+      field "interleavings" (int_ s.Kard_core.Detector.interleavings_started);
+      field "records_logged" (int_ s.Kard_core.Detector.records_logged);
+      field "records_redundant" (int_ s.Kard_core.Detector.records_redundant);
+      field "records_pruned_spurious" (int_ s.Kard_core.Detector.records_pruned_spurious);
+      field "soft_fallbacks" (int_ s.Kard_core.Detector.soft_fallbacks);
+      field "soft_faults" (int_ s.Kard_core.Detector.soft_faults) ]
+
+let of_result (r : Runner.result) =
+  let report = r.Runner.report in
+  obj
+    ([ field "workload" (str r.Runner.spec_name);
+       field "detector" (str r.Runner.detector_name);
+       field "threads" (int_ r.Runner.threads);
+       field "scale" (float_ r.Runner.scale);
+       field "seed" (int_ r.Runner.seed);
+       field "cycles" (int_ report.Machine.cycles);
+       field "io_cycles" (int_ report.Machine.io_cycles);
+       field "cs_entries" (int_ report.Machine.cs_entries);
+       field "unique_sections" (int_ report.Machine.unique_sections);
+       field "faults" (int_ report.Machine.faults);
+       field "rss_bytes" (int_ report.Machine.rss_bytes);
+       field "dtlb_miss_rate" (float_ report.Machine.dtlb_miss_rate);
+       field "races" (arr (List.map of_race r.Runner.kard_races));
+       field "tsan_races" (int_ (List.length r.Runner.tsan_races));
+       field "lockset_warnings" (int_ (List.length r.Runner.lockset_warnings)) ]
+    @
+    match r.Runner.kard_stats with
+    | Some stats -> [ field "kard" (of_kard_stats stats) ]
+    | None -> [])
+
+let pretty json =
+  let buf = Buffer.create (String.length json * 2) in
+  let indent = ref 0 in
+  let in_string = ref false in
+  let escaped = ref false in
+  let newline () =
+    Buffer.add_char buf '\n';
+    for _ = 1 to !indent * 2 do
+      Buffer.add_char buf ' '
+    done
+  in
+  String.iter
+    (fun c ->
+      if !in_string then begin
+        Buffer.add_char buf c;
+        if !escaped then escaped := false
+        else if c = '\\' then escaped := true
+        else if c = '"' then in_string := false
+      end
+      else
+        match c with
+        | '"' ->
+          in_string := true;
+          Buffer.add_char buf c
+        | '{' | '[' ->
+          Buffer.add_char buf c;
+          incr indent;
+          newline ()
+        | '}' | ']' ->
+          decr indent;
+          newline ();
+          Buffer.add_char buf c
+        | ',' ->
+          Buffer.add_char buf c;
+          newline ()
+        | ':' -> Buffer.add_string buf ": "
+        | c -> Buffer.add_char buf c)
+    json;
+  Buffer.contents buf

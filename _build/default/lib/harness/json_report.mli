@@ -1,0 +1,18 @@
+(** Machine-readable run reports.
+
+    A minimal hand-rolled JSON emitter (the project takes no
+    dependencies beyond the test/bench stack) for integrating the
+    detector into scripts and CI: race records with both sides, the
+    run's cost counters, and the detector's event statistics. *)
+
+val escape : string -> string
+(** JSON string-escape (quotes, backslashes, control characters). *)
+
+val of_race : Kard_core.Race_record.t -> string
+
+val of_result : Runner.result -> string
+(** The full run: workload, detector, cycle/RSS/dTLB counters, races,
+    and (for Kard runs) the detector statistics. *)
+
+val pretty : string -> string
+(** Re-indent a JSON string (objects and arrays, 2 spaces). *)

@@ -1,0 +1,44 @@
+(** Run one workload under one detector configuration. *)
+
+type detector =
+  | Baseline      (** Native allocator, no detection. *)
+  | Alloc         (** Kard's allocator, no detection (Table 3 "Alloc"). *)
+  | Kard of Kard_core.Config.t
+  | Tsan
+  | Lockset
+
+type result = {
+  spec_name : string;
+  detector_name : string;
+  threads : int;
+  scale : float;
+  seed : int;
+  report : Kard_sched.Machine.report;
+  kard_stats : Kard_core.Detector.stats option;
+  kard_races : Kard_core.Race_record.t list;      (** All surviving records. *)
+  kard_ilu_races : Kard_core.Race_record.t list;
+  kard_unique_ro : int;
+  kard_unique_rw : int;
+  tsan_races : Kard_baselines.Tsan.race list;
+  tsan_ilu_races : Kard_baselines.Tsan.race list;
+  lockset_warnings : Kard_baselines.Lockset.warning list;
+}
+
+val detector_name : detector -> string
+
+val run :
+  ?threads:int -> ?scale:float -> ?seed:int -> detector:detector -> Spec_alias.t -> result
+(** Defaults: the spec's default thread count, scale 0.01, seed 42. *)
+
+val run_scenario :
+  ?seed:int -> ?override_config:Kard_core.Config.t -> detector:detector ->
+  Kard_workloads.Race_suite.t -> result
+(** Run a controlled race scenario (always at its own thread count and
+    full scale).  A [Kard _] detector runs with the scenario's own
+    configuration unless [override_config] is given. *)
+
+val overhead_pct : baseline:result -> result -> float
+(** Execution-time overhead in percent, from total cycles. *)
+
+val rss_overhead_pct : baseline:result -> result -> float
+val dtlb_rate : result -> float

@@ -1,0 +1,1 @@
+type t = Kard_workloads.Spec.t

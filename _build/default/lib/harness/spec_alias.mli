@@ -1,0 +1,4 @@
+(** Alias so the harness interface can name workload specs without a
+    long dotted path. *)
+
+type t = Kard_workloads.Spec.t

@@ -1,0 +1,17 @@
+let geomean_ratio ratios =
+  if ratios = [] then invalid_arg "Stats.geomean_ratio: empty";
+  List.iter
+    (fun r -> if r <= 0. then invalid_arg "Stats.geomean_ratio: non-positive ratio")
+    ratios;
+  let sum = List.fold_left (fun acc r -> acc +. log r) 0. ratios in
+  exp (sum /. float_of_int (List.length ratios))
+
+let geomean_overhead_pct pcts =
+  let ratios = List.map (fun p -> 1. +. (p /. 100.)) pcts in
+  (geomean_ratio ratios -. 1.) *. 100.
+
+let mean values =
+  if values = [] then 0.
+  else List.fold_left ( +. ) 0. values /. float_of_int (List.length values)
+
+let pct value baseline = if baseline = 0. then 0. else (value -. baseline) /. baseline *. 100.

@@ -1,0 +1,15 @@
+(** Small statistics helpers for the experiment reports. *)
+
+val geomean_ratio : float list -> float
+(** Geometric mean of ratios; inputs must be positive.
+    @raise Invalid_argument otherwise or on an empty list. *)
+
+val geomean_overhead_pct : float list -> float
+(** Geometric mean over overhead percentages, paper-style: each
+    percentage is converted to a ratio (1 + p/100), averaged
+    geometrically, and converted back. *)
+
+val mean : float list -> float
+val pct : float -> float -> float
+(** [pct value baseline] is the percent overhead of [value] over
+    [baseline]; 0 when the baseline is 0. *)

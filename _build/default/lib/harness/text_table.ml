@@ -1,0 +1,50 @@
+type align =
+  | Left
+  | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+let render ~header ?align rows =
+  let cols = List.length header in
+  let align =
+    match align with
+    | Some a ->
+      assert (List.length a = cols);
+      a
+    | None -> List.mapi (fun i _ -> if i = 0 then Left else Right) header
+  in
+  let widths = Array.of_list (List.map String.length header) in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> if i < cols then widths.(i) <- max widths.(i) (String.length cell)) row)
+    rows;
+  let render_row row =
+    String.concat "  "
+      (List.mapi (fun i cell -> pad (List.nth align i) widths.(i) cell) row)
+  in
+  let rule = String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths)) in
+  String.concat "\n" ((render_row header :: rule :: List.map render_row rows) @ [ "" ])
+
+let fmt_pct p = Printf.sprintf "%+.1f%%" p
+let fmt_times x = Printf.sprintf "%.1fx" x
+
+let fmt_int n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + (len / 3) + 1) in
+  if n < 0 then Buffer.add_char buf '-';
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let fmt_kb bytes = fmt_int (bytes / 1024)
+let fmt_rate r = Printf.sprintf "%.5f" r

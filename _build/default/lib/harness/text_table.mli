@@ -1,0 +1,24 @@
+(** Plain-text table rendering for the experiment reports. *)
+
+type align =
+  | Left
+  | Right
+
+val render : header:string list -> ?align:align list -> string list list -> string
+(** Columns are sized to fit; [align] defaults to left for the first
+    column and right for the rest. *)
+
+val fmt_pct : float -> string
+(** "+7.0%" / "-5.9%". *)
+
+val fmt_times : float -> string
+(** Slowdown factor, e.g. "7.9x". *)
+
+val fmt_int : int -> string
+(** Thousands-separated. *)
+
+val fmt_kb : int -> string
+(** Bytes rendered as KiB. *)
+
+val fmt_rate : float -> string
+(** Miss rates, 5 decimal places. *)

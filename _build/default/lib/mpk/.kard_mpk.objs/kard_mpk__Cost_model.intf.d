@@ -1,0 +1,1 @@
+lib/mpk/cost_model.mli: Format

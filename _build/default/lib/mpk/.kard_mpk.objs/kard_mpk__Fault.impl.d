@@ -1,0 +1,1 @@
+lib/mpk/fault.ml: Format Page Pkey

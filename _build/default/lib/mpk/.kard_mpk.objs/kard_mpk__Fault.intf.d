@@ -1,0 +1,1 @@
+lib/mpk/fault.mli: Format Page Pkey

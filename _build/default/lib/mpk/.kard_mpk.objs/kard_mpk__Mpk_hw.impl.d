@@ -1,0 +1,1 @@
+lib/mpk/mpk_hw.ml: Cost_model Fault Hashtbl Page Page_table Pkru Printf Tlb

@@ -1,0 +1,1 @@
+lib/mpk/mpk_hw.mli: Cost_model Fault Page Page_table Pkey Pkru

@@ -1,0 +1,1 @@
+lib/mpk/page.ml: Format

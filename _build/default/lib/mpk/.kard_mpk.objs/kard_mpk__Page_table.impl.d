@@ -1,0 +1,1 @@
+lib/mpk/page_table.ml: Hashtbl Page Pkey

@@ -1,0 +1,1 @@
+lib/mpk/page_table.mli: Page Pkey

@@ -1,0 +1,1 @@
+lib/mpk/perm.ml: Format Int

@@ -1,0 +1,1 @@
+lib/mpk/perm.mli: Format

@@ -1,0 +1,1 @@
+lib/mpk/pkru.ml: Format Int List Perm Pkey Printf

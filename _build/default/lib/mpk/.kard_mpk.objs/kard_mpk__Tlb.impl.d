@@ -1,0 +1,1 @@
+lib/mpk/tlb.ml: Array Page

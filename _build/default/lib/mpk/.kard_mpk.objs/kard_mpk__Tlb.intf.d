@@ -1,0 +1,1 @@
+lib/mpk/tlb.mli: Page

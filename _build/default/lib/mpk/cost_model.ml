@@ -1,0 +1,55 @@
+type t = {
+  rdpkru : int;
+  wrpkru : int;
+  pkey_mprotect_base : int;
+  pkey_mprotect_page : int;
+  mmap : int;
+  ftruncate : int;
+  munmap : int;
+  malloc : int;
+  fault_roundtrip : int;
+  mem_access : int;
+  mem_throughput : float;
+  dtlb_miss : int;
+  lock_uncontended : int;
+  lock_contended : int;
+  unlock : int;
+  map_op : int;
+  atomic_op : int;
+  rdtscp : int;
+  tsan_access : int;
+  tsan_sync : int;
+  cpu_ghz : float;
+}
+
+let default =
+  { rdpkru = 1;
+    wrpkru = 20;
+    pkey_mprotect_base = 1200;
+    pkey_mprotect_page = 40;
+    mmap = 8000;
+    ftruncate = 700;
+    munmap = 1400;
+    malloc = 90;
+    fault_roundtrip = 24_000;
+    mem_access = 1;
+    mem_throughput = 2.0;
+    dtlb_miss = 40;
+    lock_uncontended = 45;
+    lock_contended = 320;
+    unlock = 30;
+    map_op = 55;
+    atomic_op = 25;
+    rdtscp = 30;
+    tsan_access = 14;
+    tsan_sync = 160;
+    cpu_ghz = 2.1 }
+
+let fault_delay_threshold t = t.fault_roundtrip
+let cycles_to_seconds t cycles = float_of_int cycles /. (t.cpu_ghz *. 1e9)
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>wrpkru=%d rdpkru=%d pkey_mprotect=%d+%d/page mmap=%d fault=%d@]"
+    t.wrpkru t.rdpkru t.pkey_mprotect_base t.pkey_mprotect_page t.mmap
+    t.fault_roundtrip

@@ -1,0 +1,41 @@
+(** Cycle costs of the machine operations the simulator models.
+
+    The defaults come from the paper and the literature it cites:
+    RDPKRU < 1 cycle and WRPKRU ~= 20 cycles (section 2.2, citing
+    libmpk), a fault round trip of ~24,000 cycles on the evaluation
+    machine (section 5.5), and syscall/page-walk costs in line with a
+    4.15-era Linux kernel on Skylake. *)
+
+type t = {
+  rdpkru : int;
+  wrpkru : int;
+  pkey_mprotect_base : int;  (** Fixed syscall cost. *)
+  pkey_mprotect_page : int;  (** Additional cost per page retagged. *)
+  mmap : int;                (** One [mmap] call (unique-page allocator). *)
+  ftruncate : int;
+  munmap : int;
+  malloc : int;              (** Native allocator fast path. *)
+  fault_roundtrip : int;     (** #GP -> signal handler -> resume. *)
+  mem_access : int;          (** One data access, dTLB hit. *)
+  mem_throughput : float;    (** Streaming accesses retired per cycle
+                                 (block operations; superscalar IPC). *)
+  dtlb_miss : int;           (** Page-walk penalty added on a miss. *)
+  lock_uncontended : int;
+  lock_contended : int;      (** Extra cost when the lock was held. *)
+  unlock : int;
+  map_op : int;              (** One section-object / key-section map op. *)
+  atomic_op : int;           (** Internal synchronization of the runtime. *)
+  rdtscp : int;
+  tsan_access : int;         (** TSan shadow-memory work per access. *)
+  tsan_sync : int;           (** TSan work per lock/unlock. *)
+  cpu_ghz : float;           (** Only used to print cycle counts as seconds. *)
+}
+
+val default : t
+
+val fault_delay_threshold : t -> int
+(** The key-release-to-handler-entry window used by the timestamp
+    check of section 5.5 (the average fault handling delay). *)
+
+val cycles_to_seconds : t -> int -> float
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,22 @@
+type access = [ `Read | `Write ]
+
+type t = {
+  addr : Page.addr;
+  vpage : Page.vpage;
+  pkey : Pkey.t;
+  access : access;
+  thread : int;
+  ip : int;
+  time : int;
+}
+
+let make ~addr ~pkey ~access ~thread ~ip ~time =
+  { addr; vpage = Page.vpage_of_addr addr; pkey; access; thread; ip; time }
+
+let pp_access fmt = function
+  | `Read -> Format.pp_print_string fmt "read"
+  | `Write -> Format.pp_print_string fmt "write"
+
+let pp fmt t =
+  Format.fprintf fmt "#GP{t%d %a %a key=%a ip=%d @@%d}" t.thread pp_access t.access
+    Page.pp_addr t.addr Pkey.pp t.pkey t.ip t.time

@@ -1,0 +1,24 @@
+(** Protection faults (#GP) raised by MPK permission checks.
+
+    These carry exactly the information the paper's custom signal
+    handler extracts: faulting address, protection key, access type,
+    faulting thread and its context, and a timestamp (section 5.5). *)
+
+type access = [ `Read | `Write ]
+
+type t = {
+  addr : Page.addr;          (** Faulting virtual address. *)
+  vpage : Page.vpage;
+  pkey : Pkey.t;             (** Key tagging the faulting page. *)
+  access : access;
+  thread : int;              (** Faulting thread id. *)
+  ip : int;                  (** Instruction pointer (op index). *)
+  time : int;                (** Cycle timestamp when the fault fired. *)
+}
+
+val make :
+  addr:Page.addr -> pkey:Pkey.t -> access:access -> thread:int -> ip:int ->
+  time:int -> t
+
+val pp : Format.formatter -> t -> unit
+val pp_access : Format.formatter -> access -> unit

@@ -1,0 +1,110 @@
+type core = { mutable pkru : Pkru.t; tlb : Tlb.t }
+
+type stats = {
+  wrpkru_calls : int;
+  rdpkru_calls : int;
+  pkey_mprotect_calls : int;
+  pages_retagged : int;
+  faults : int;
+  dtlb_accesses : int;
+  dtlb_misses : int;
+}
+
+type t = {
+  cost : Cost_model.t;
+  page_table : Page_table.t;
+  cores : (int, core) Hashtbl.t;
+  mutable wrpkru_calls : int;
+  mutable rdpkru_calls : int;
+  mutable pkey_mprotect_calls : int;
+  mutable pages_retagged : int;
+  mutable faults : int;
+}
+
+let create ?(cost = Cost_model.default) () =
+  { cost;
+    page_table = Page_table.create ();
+    cores = Hashtbl.create 64;
+    wrpkru_calls = 0;
+    rdpkru_calls = 0;
+    pkey_mprotect_calls = 0;
+    pages_retagged = 0;
+    faults = 0 }
+
+let cost t = t.cost
+let page_table t = t.page_table
+
+let register_thread t tid =
+  Hashtbl.replace t.cores tid { pkru = Pkru.all_access; tlb = Tlb.create () }
+
+let core_of t tid =
+  match Hashtbl.find_opt t.cores tid with
+  | Some core -> core
+  | None -> invalid_arg (Printf.sprintf "Mpk_hw: thread %d not registered" tid)
+
+let wrpkru t ~tid pkru =
+  let core = core_of t tid in
+  core.pkru <- pkru;
+  t.wrpkru_calls <- t.wrpkru_calls + 1;
+  t.cost.Cost_model.wrpkru
+
+let rdpkru t ~tid =
+  let core = core_of t tid in
+  t.rdpkru_calls <- t.rdpkru_calls + 1;
+  (core.pkru, t.cost.Cost_model.rdpkru)
+
+let pkru_of t ~tid = (core_of t tid).pkru
+let set_pkru_in_context t ~tid pkru = (core_of t tid).pkru <- pkru
+
+let pkey_mprotect t ~base ~len pkey =
+  let pages = Page_table.set_pkey_range t.page_table ~base ~len pkey in
+  t.pkey_mprotect_calls <- t.pkey_mprotect_calls + 1;
+  t.pages_retagged <- t.pages_retagged + pages;
+  t.cost.Cost_model.pkey_mprotect_base + (pages * t.cost.Cost_model.pkey_mprotect_page)
+
+let check_access t ~tid ~addr ~access ~ip ~time =
+  let core = core_of t tid in
+  let pkey = Page_table.pkey_of_addr t.page_table addr in
+  if Pkru.grants core.pkru pkey access then begin
+    let tlb_penalty =
+      match Tlb.access core.tlb (Page.vpage_of_addr addr) with
+      | `Hit -> 0
+      | `Miss -> t.cost.Cost_model.dtlb_miss
+    in
+    Ok (t.cost.Cost_model.mem_access + tlb_penalty)
+  end
+  else begin
+    t.faults <- t.faults + 1;
+    Error (Fault.make ~addr ~pkey ~access ~thread:tid ~ip ~time)
+  end
+
+let note_tlb_hits t ~tid n = Tlb.note_hits (core_of t tid).tlb n
+let note_tlb_misses t ~tid n = Tlb.note_misses (core_of t tid).tlb n
+
+let stats t =
+  let dtlb_accesses = ref 0 and dtlb_misses = ref 0 in
+  Hashtbl.iter
+    (fun _ core ->
+      dtlb_accesses := !dtlb_accesses + Tlb.accesses core.tlb;
+      dtlb_misses := !dtlb_misses + Tlb.misses core.tlb)
+    t.cores;
+  { wrpkru_calls = t.wrpkru_calls;
+    rdpkru_calls = t.rdpkru_calls;
+    pkey_mprotect_calls = t.pkey_mprotect_calls;
+    pages_retagged = t.pages_retagged;
+    faults = t.faults;
+    dtlb_accesses = !dtlb_accesses;
+    dtlb_misses = !dtlb_misses }
+
+let dtlb_miss_rate t =
+  let s = stats t in
+  if s.dtlb_accesses = 0 then 0.
+  else float_of_int s.dtlb_misses /. float_of_int s.dtlb_accesses
+
+let reset_stats t =
+  t.wrpkru_calls <- 0;
+  t.rdpkru_calls <- 0;
+  t.pkey_mprotect_calls <- 0;
+  t.pages_retagged <- 0;
+  t.faults <- 0;
+  Hashtbl.iter (fun _ core -> Tlb.reset_stats core.tlb) t.cores

@@ -1,0 +1,68 @@
+(** The MPK machine facade: page table, per-thread PKRU registers and
+    per-core dTLBs, with cycle accounting.
+
+    Every data access of the simulated machine flows through
+    {!check_access}, which performs exactly the check the MMU performs:
+    look up the page's protection key, consult the accessing thread's
+    PKRU, and either charge the access cost (plus a possible dTLB miss
+    penalty) or produce a {!Fault.t}. *)
+
+type t
+
+type stats = {
+  wrpkru_calls : int;
+  rdpkru_calls : int;
+  pkey_mprotect_calls : int;
+  pages_retagged : int;
+  faults : int;
+  dtlb_accesses : int;
+  dtlb_misses : int;
+}
+
+val create : ?cost:Cost_model.t -> unit -> t
+val cost : t -> Cost_model.t
+val page_table : t -> Page_table.t
+
+(** {1 Thread registration} *)
+
+val register_thread : t -> int -> unit
+(** Give thread [tid] a fresh PKRU (all-access, like a fresh pthread)
+    and a private dTLB. Registering twice resets both. *)
+
+(** {1 Register instructions} *)
+
+val wrpkru : t -> tid:int -> Pkru.t -> int
+(** Returns the cycles consumed. *)
+
+val rdpkru : t -> tid:int -> Pkru.t * int
+
+val pkru_of : t -> tid:int -> Pkru.t
+(** Free inspection for the runtime's bookkeeping (no cycle charge). *)
+
+val set_pkru_in_context : t -> tid:int -> Pkru.t -> unit
+(** Reactive key assignment: the fault handler rewrites the interrupted
+    thread's saved PKRU context instead of executing WRPKRU
+    (section 5.4); no instruction cost is charged here because the
+    handler cost already covers it. *)
+
+(** {1 Protection system call} *)
+
+val pkey_mprotect : t -> base:Page.addr -> len:int -> Pkey.t -> int
+(** Tag a range of pages with a key; returns cycles consumed. *)
+
+(** {1 Access checking} *)
+
+val check_access :
+  t -> tid:int -> addr:Page.addr -> access:Fault.access -> ip:int -> time:int ->
+  (int, Fault.t) result
+(** [Ok cycles] on success; [Error fault] raises no exception so the
+    scheduler can route the fault to the registered handler. *)
+
+val note_tlb_hits : t -> tid:int -> int -> unit
+(** Account [n] extra dTLB hits for streamed block accesses. *)
+
+val note_tlb_misses : t -> tid:int -> int -> unit
+
+val stats : t -> stats
+val dtlb_miss_rate : t -> float
+val reset_stats : t -> unit

@@ -1,0 +1,30 @@
+type t = (Page.vpage, Pkey.t) Hashtbl.t
+
+let create () = Hashtbl.create 4096
+
+let set_pkey t vpage pkey =
+  if Pkey.equal pkey Pkey.k_def then Hashtbl.remove t vpage
+  else Hashtbl.replace t vpage pkey
+
+let iter_range ~base ~len f =
+  let first = Page.vpage_of_addr base in
+  let count = Page.pages_spanned base len in
+  for vpage = first to first + count - 1 do
+    f vpage
+  done;
+  count
+
+let set_pkey_range t ~base ~len pkey = iter_range ~base ~len (fun vp -> set_pkey t vp pkey)
+
+let pkey_of_vpage t vpage =
+  match Hashtbl.find_opt t vpage with
+  | Some pkey -> pkey
+  | None -> Pkey.k_def
+
+let pkey_of_addr t addr = pkey_of_vpage t (Page.vpage_of_addr addr)
+
+let clear_range t ~base ~len =
+  let (_ : int) = iter_range ~base ~len (fun vp -> Hashtbl.remove t vp) in
+  ()
+
+let entry_count t = Hashtbl.length t

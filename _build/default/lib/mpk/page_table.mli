@@ -1,0 +1,24 @@
+(** The per-process mapping from virtual pages to protection keys.
+
+    Mirrors the pkey field of page-table entries, i.e. the state that
+    [pkey_mprotect(2)] manipulates.  Pages with no explicit entry carry
+    {!Pkey.k_def}, matching how the kernel tags fresh mappings. *)
+
+type t
+
+val create : unit -> t
+
+val set_pkey : t -> Page.vpage -> Pkey.t -> unit
+
+val set_pkey_range : t -> base:Page.addr -> len:int -> Pkey.t -> int
+(** Tag every page spanned by [\[base, base+len)]; returns the number
+    of pages touched (the cost driver of a [pkey_mprotect] call). *)
+
+val pkey_of_vpage : t -> Page.vpage -> Pkey.t
+val pkey_of_addr : t -> Page.addr -> Pkey.t
+
+val clear_range : t -> base:Page.addr -> len:int -> unit
+(** Drop entries back to the default key, as [munmap] would. *)
+
+val entry_count : t -> int
+(** Number of pages carrying a non-default key. *)

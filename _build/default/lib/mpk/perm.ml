@@ -1,0 +1,40 @@
+type t =
+  | No_access
+  | Read_only
+  | Read_write
+
+let allows perm access =
+  match perm, access with
+  | No_access, (`Read | `Write) -> false
+  | Read_only, `Read -> true
+  | Read_only, `Write -> false
+  | Read_write, (`Read | `Write) -> true
+
+let rank = function
+  | No_access -> 0
+  | Read_only -> 1
+  | Read_write -> 2
+
+let join a b = if rank a >= rank b then a else b
+let meet a b = if rank a <= rank b then a else b
+let equal a b = rank a = rank b
+let compare a b = Int.compare (rank a) (rank b)
+
+let to_string = function
+  | No_access -> "no-access"
+  | Read_only -> "read-only"
+  | Read_write -> "read-write"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+(* PKRU encodes each key as two bits: bit 0 = AD (access disable),
+   bit 1 = WD (write disable). *)
+let to_bits = function
+  | No_access -> 0b01
+  | Read_only -> 0b10
+  | Read_write -> 0b00
+
+let of_bits bits =
+  if bits land 0b01 <> 0 then No_access
+  else if bits land 0b10 <> 0 then Read_only
+  else Read_write

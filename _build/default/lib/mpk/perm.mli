@@ -1,0 +1,30 @@
+(** Access permissions that a protection key grants to a thread.
+
+    Mirrors the three states encodable in the PKRU register's two bits
+    per key (access-disable and write-disable). *)
+
+type t =
+  | No_access  (** AD bit set: neither reads nor writes allowed. *)
+  | Read_only  (** WD bit set: reads allowed, writes fault. *)
+  | Read_write (** both bits clear: full access. *)
+
+(** [allows perm access] is [true] when [perm] permits [access]. *)
+val allows : t -> [ `Read | `Write ] -> bool
+
+(** Least upper bound: the weaker of two restrictions. *)
+val join : t -> t -> t
+
+(** Greatest lower bound: the stronger of two restrictions. *)
+val meet : t -> t -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Encode as the two PKRU bits [(ad, wd)]. *)
+val to_bits : t -> int
+
+(** Decode from the two PKRU bits; the [(ad=1, wd=1)] encoding also
+    means no access, like real hardware. *)
+val of_bits : int -> t

@@ -1,0 +1,40 @@
+(** Intel MPK protection keys.
+
+    MPK supports 16 keys ([k0]..[k15]).  Kard reserves [k0] for
+    backward-compatible default protection, [k14] for the Read-only
+    domain and [k15] for the Not-accessed domain, leaving [k1]..[k13]
+    for Read-write domain objects (paper section 5.2). *)
+
+type t = private int
+
+val count : int
+(** Number of hardware keys (16). *)
+
+val of_int : int -> t
+(** @raise Invalid_argument when outside [0, 15]. *)
+
+val to_int : t -> int
+
+val k_def : t
+(** Default key [k0]: thread-local data, mutexes — always accessible. *)
+
+val k_ro : t
+(** Read-only domain key [k14]. *)
+
+val k_na : t
+(** Not-accessed domain key [k15]. *)
+
+val data_keys : t list
+(** The 13 Read-write domain keys, [k1]..[k13], in ascending order. *)
+
+val data_key_count : int
+
+val is_data_key : t -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,55 @@
+type t = int
+
+let bits_per_key = 2
+let mask = 0b11
+
+let all_access = 0
+
+let shift key = Pkey.to_int key * bits_per_key
+
+let get t key = Perm.of_bits ((t lsr shift key) land mask)
+
+let set t key perm =
+  let s = shift key in
+  t land lnot (mask lsl s) lor (Perm.to_bits perm lsl s)
+
+let deny_all =
+  let rec loop acc i =
+    if i >= Pkey.count then acc
+    else loop (set acc (Pkey.of_int i) Perm.No_access) (i + 1)
+  in
+  let denied = loop all_access 0 in
+  set denied Pkey.k_def Perm.Read_write
+
+let of_int i =
+  if i < 0 || i > 0xffffffff then
+    invalid_arg (Printf.sprintf "Pkru.of_int: %d is not a 32-bit value" i);
+  i
+
+let to_int t = t
+
+let of_assignments assignments =
+  List.fold_left (fun acc (key, perm) -> set acc key perm) deny_all assignments
+
+let grants t key access = Perm.allows (get t key) access
+
+let held_keys t =
+  let rec loop acc i =
+    if i < 0 then acc
+    else
+      let key = Pkey.of_int i in
+      match get t key with
+      | Perm.No_access -> loop acc (i - 1)
+      | (Perm.Read_only | Perm.Read_write) as perm -> loop ((key, perm) :: acc) (i - 1)
+  in
+  loop [] (Pkey.count - 1)
+
+let equal = Int.equal
+
+let pp fmt t =
+  let held = held_keys t in
+  Format.fprintf fmt "@[<h>pkru{%a}@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+       (fun fmt (key, perm) -> Format.fprintf fmt "%a:%a" Pkey.pp key Perm.pp perm))
+    held

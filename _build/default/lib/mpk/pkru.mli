@@ -1,0 +1,35 @@
+(** The thread-local PKRU register.
+
+    A 32-bit register with two bits per protection key: access-disable
+    (AD) and write-disable (WD).  Updated with the non-privileged
+    [WRPKRU] instruction and read with [RDPKRU]. *)
+
+type t = private int
+(** The raw 32-bit register value. *)
+
+val all_access : t
+(** Every key readable and writable (register value 0). *)
+
+val deny_all : t
+(** Every key inaccessible except [k0], which stays read-write for
+    backward compatibility (real kernels never revoke [k0]). *)
+
+val get : t -> Pkey.t -> Perm.t
+val set : t -> Pkey.t -> Perm.t -> t
+
+val of_int : int -> t
+(** @raise Invalid_argument when outside the 32-bit range. *)
+
+val to_int : t -> int
+
+val of_assignments : (Pkey.t * Perm.t) list -> t
+(** Start from {!deny_all} but grant [k0] read-write, then apply the
+    assignments in order. *)
+
+val grants : t -> Pkey.t -> [ `Read | `Write ] -> bool
+
+val held_keys : t -> (Pkey.t * Perm.t) list
+(** Keys granted at least read access, ascending. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,70 @@
+type entry = {
+  mutable vpage : Page.vpage;
+  mutable valid : bool;
+  mutable stamp : int;
+}
+
+type t = {
+  sets : entry array array;
+  set_count : int;
+  mutable tick : int;
+  mutable accesses : int;
+  mutable misses : int;
+}
+
+let create ?(entries = 64) ?(ways = 4) () =
+  if entries <= 0 || ways <= 0 || entries mod ways <> 0 then
+    invalid_arg "Tlb.create: entries must be a positive multiple of ways";
+  let set_count = entries / ways in
+  let fresh_entry _ = { vpage = 0; valid = false; stamp = 0 } in
+  { sets = Array.init set_count (fun _ -> Array.init ways fresh_entry);
+    set_count;
+    tick = 0;
+    accesses = 0;
+    misses = 0 }
+
+let access t vpage =
+  t.tick <- t.tick + 1;
+  t.accesses <- t.accesses + 1;
+  let set = t.sets.(vpage mod t.set_count) in
+  let ways = Array.length set in
+  let rec find i = if i >= ways then None else if set.(i).valid && set.(i).vpage = vpage then Some set.(i) else find (i + 1) in
+  match find 0 with
+  | Some entry ->
+    entry.stamp <- t.tick;
+    `Hit
+  | None ->
+    t.misses <- t.misses + 1;
+    (* Evict the LRU way (or fill an invalid one, which has stamp 0). *)
+    let victim = ref set.(0) in
+    for i = 1 to ways - 1 do
+      let e = set.(i) in
+      let v = !victim in
+      if (not e.valid) && v.valid then victim := e
+      else if e.valid = v.valid && e.stamp < v.stamp then victim := e
+    done;
+    let v = !victim in
+    v.vpage <- vpage;
+    v.valid <- true;
+    v.stamp <- t.tick;
+    `Miss
+
+let note_hits t n =
+  assert (n >= 0);
+  t.accesses <- t.accesses + n
+
+let note_misses t n =
+  assert (n >= 0);
+  t.accesses <- t.accesses + n;
+  t.misses <- t.misses + n
+
+let flush t =
+  Array.iter (fun set -> Array.iter (fun e -> e.valid <- false) set) t.sets
+
+let accesses t = t.accesses
+let misses t = t.misses
+let miss_rate t = if t.accesses = 0 then 0. else float_of_int t.misses /. float_of_int t.accesses
+
+let reset_stats t =
+  t.accesses <- 0;
+  t.misses <- 0

@@ -1,0 +1,33 @@
+(** A set-associative data-TLB model with LRU replacement.
+
+    Kard's unique-page allocator spreads objects over many virtual
+    pages, which raises dTLB pressure — one of the three overhead
+    factors named in the paper's section 7.2.  This model produces the
+    dTLB miss-rate column of Table 3. *)
+
+type t
+
+val create : ?entries:int -> ?ways:int -> unit -> t
+(** Defaults model a Skylake-class L1 dTLB: 64 entries, 4-way. *)
+
+val access : t -> Page.vpage -> [ `Hit | `Miss ]
+(** Touch a page: records the access and updates recency. *)
+
+val note_hits : t -> int -> unit
+(** Record [n] additional accesses that hit (block operations touch a
+    page once through {!access} and stream the rest as hits). *)
+
+val note_misses : t -> int -> unit
+(** Record [n] additional accesses that missed (block sweeps over
+    buffers far larger than the TLB reach miss on every new page). *)
+
+val flush : t -> unit
+(** Full flush, as [mprotect] (but not [WRPKRU]!) would force. *)
+
+val accesses : t -> int
+val misses : t -> int
+
+val miss_rate : t -> float
+(** [misses / accesses]; 0 when nothing was accessed. *)
+
+val reset_stats : t -> unit

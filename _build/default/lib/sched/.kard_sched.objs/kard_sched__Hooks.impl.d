@@ -1,0 +1,1 @@
+lib/sched/hooks.ml: Kard_alloc Kard_mpk Op

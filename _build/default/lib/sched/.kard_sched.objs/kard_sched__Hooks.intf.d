@@ -1,0 +1,1 @@
+lib/sched/hooks.mli: Kard_alloc Kard_mpk Op

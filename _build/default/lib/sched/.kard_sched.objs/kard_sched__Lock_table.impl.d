@@ -1,0 +1,1 @@
+lib/sched/lock_table.ml: Hashtbl Printf Queue

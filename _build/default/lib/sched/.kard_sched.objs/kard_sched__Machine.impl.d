@@ -1,0 +1,1 @@
+lib/sched/machine.ml: Array Format Hashtbl Hooks Kard_alloc Kard_mpk Kard_vm List Lock_table Op Option Printf Program Schedule Sim_clock

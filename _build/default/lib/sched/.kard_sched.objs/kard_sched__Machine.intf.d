@@ -1,0 +1,1 @@
+lib/sched/machine.mli: Format Hooks Kard_alloc Kard_mpk Kard_vm Program Schedule

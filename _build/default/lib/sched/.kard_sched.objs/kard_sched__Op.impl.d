@@ -1,0 +1,1 @@
+lib/sched/op.ml: Format Kard_alloc Kard_mpk

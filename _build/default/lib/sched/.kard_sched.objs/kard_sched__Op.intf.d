@@ -1,0 +1,1 @@
+lib/sched/op.mli: Format Kard_alloc Kard_mpk

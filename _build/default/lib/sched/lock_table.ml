@@ -1,0 +1,68 @@
+type lock_state = {
+  mutable owner : int option;
+  waiters : int Queue.t;
+}
+
+type t = {
+  locks : (int, lock_state) Hashtbl.t;
+  mutable contended : int;
+  mutable total : int;
+}
+
+type acquire_result =
+  | Acquired
+  | Must_wait
+
+let create () = { locks = Hashtbl.create 64; contended = 0; total = 0 }
+
+let state_of t lock =
+  match Hashtbl.find_opt t.locks lock with
+  | Some s -> s
+  | None ->
+    let s = { owner = None; waiters = Queue.create () } in
+    Hashtbl.replace t.locks lock s;
+    s
+
+let acquire t ~lock ~tid =
+  let s = state_of t lock in
+  t.total <- t.total + 1;
+  match s.owner with
+  | None ->
+    s.owner <- Some tid;
+    Acquired
+  | Some owner when owner = tid ->
+    invalid_arg (Printf.sprintf "Lock_table.acquire: thread %d re-locks lock %d" tid lock)
+  | Some _ ->
+    t.contended <- t.contended + 1;
+    Queue.push tid s.waiters;
+    Must_wait
+
+let release t ~lock ~tid =
+  let s = state_of t lock in
+  (match s.owner with
+  | Some owner when owner = tid -> ()
+  | Some owner ->
+    invalid_arg
+      (Printf.sprintf "Lock_table.release: thread %d releases lock %d owned by %d" tid lock owner)
+  | None ->
+    invalid_arg (Printf.sprintf "Lock_table.release: thread %d releases free lock %d" tid lock));
+  if Queue.is_empty s.waiters then begin
+    s.owner <- None;
+    None
+  end
+  else begin
+    let next = Queue.pop s.waiters in
+    s.owner <- Some next;
+    Some next
+  end
+
+let owner t ~lock =
+  match Hashtbl.find_opt t.locks lock with
+  | Some s -> s.owner
+  | None -> None
+
+let held_by t ~tid =
+  Hashtbl.fold (fun lock s acc -> if s.owner = Some tid then lock :: acc else acc) t.locks []
+
+let contended_acquires t = t.contended
+let total_acquires t = t.total

@@ -1,0 +1,27 @@
+(** Mutex state for the simulated machine.
+
+    Non-reentrant POSIX-style mutexes with FIFO wakeup.  Lock ids are
+    plain ints chosen by the workload. *)
+
+type t
+
+val create : unit -> t
+
+type acquire_result =
+  | Acquired                (** The lock was free; caller now owns it. *)
+  | Must_wait               (** Caller was queued; it must block. *)
+
+val acquire : t -> lock:int -> tid:int -> acquire_result
+(** @raise Invalid_argument if [tid] already owns [lock] (the
+    simulated program deadlocked on itself). *)
+
+val release : t -> lock:int -> tid:int -> int option
+(** Returns the woken waiter, to whom ownership transfers directly.
+    @raise Invalid_argument if [tid] does not own [lock]. *)
+
+val owner : t -> lock:int -> int option
+val held_by : t -> tid:int -> int list
+(** All locks the thread currently owns. *)
+
+val contended_acquires : t -> int
+val total_acquires : t -> int

@@ -1,0 +1,420 @@
+module Page = Kard_mpk.Page
+module Cost_model = Kard_mpk.Cost_model
+module Mpk_hw = Kard_mpk.Mpk_hw
+module Fault = Kard_mpk.Fault
+module Address_space = Kard_vm.Address_space
+module Phys_mem = Kard_vm.Phys_mem
+module Meta_table = Kard_alloc.Meta_table
+module Alloc_iface = Kard_alloc.Alloc_iface
+
+type allocator_kind =
+  | Unique_page of { granule : int; recycle_virtual_pages : bool }
+  | Native
+
+type thread_status =
+  | Runnable
+  | Blocked of { lock : int; site : int }
+  | Finished
+
+type thread = {
+  tid : int;
+  program : Program.t;
+  mutable status : thread_status;
+  mutable cycles : int;
+  mutable lock_depth : int;
+  mutable op_index : int;
+}
+
+type t = {
+  sched : Schedule.state;
+  cost : Cost_model.t;
+  max_steps : int;
+  phys : Phys_mem.t;
+  aspace : Address_space.t;
+  hw : Mpk_hw.t;
+  meta : Meta_table.t;
+  clock : Sim_clock.t;
+  locks : Lock_table.t;
+  alloc : Alloc_iface.t;
+  hooks : Hooks.t;
+  mutable threads : thread list; (* reverse spawn order *)
+  mutable thread_count : int;
+  mutable steps : int;
+  mutable reads : int;
+  mutable writes : int;
+  mutable computes : int;
+  mutable io_cycles : int;
+  mutable startup_cycles : int;
+  mutable in_section : int; (* threads currently holding >= 1 lock *)
+  mutable max_in_section : int;
+  sites_seen : (int, unit) Hashtbl.t;
+  mutable started : bool;
+}
+
+exception Stuck of string
+
+let create ?(seed = 42) ?schedule ?(cost = Cost_model.default) ?(max_steps = 80_000_000)
+    ~allocator ~make_detector () =
+  let schedule = Option.value ~default:(Schedule.Random seed) schedule in
+  let phys = Phys_mem.create () in
+  let aspace = Address_space.create phys in
+  let hw = Mpk_hw.create ~cost () in
+  let meta = Meta_table.create () in
+  let clock = Sim_clock.create () in
+  let alloc =
+    match allocator with
+    | Unique_page { granule; recycle_virtual_pages } ->
+      Kard_alloc.Unique_page_alloc.iface
+        (Kard_alloc.Unique_page_alloc.create ~granule ~recycle_virtual_pages aspace ~meta ~cost ())
+    | Native -> Kard_alloc.Native_alloc.iface (Kard_alloc.Native_alloc.create aspace ~meta ~cost ())
+  in
+  let env = { Hooks.hw; meta; cost; now = (fun () -> Sim_clock.now clock) } in
+  let hooks = make_detector env in
+  { sched = Schedule.start schedule;
+    cost;
+    max_steps;
+    phys;
+    aspace;
+    hw;
+    meta;
+    clock;
+    locks = Lock_table.create ();
+    alloc;
+    hooks;
+    threads = [];
+    thread_count = 0;
+    steps = 0;
+    reads = 0;
+    writes = 0;
+    computes = 0;
+    io_cycles = 0;
+    startup_cycles = 0;
+    in_section = 0;
+    max_in_section = 0;
+    sites_seen = Hashtbl.create 64;
+    started = false }
+
+let env t = { Hooks.hw = t.hw; meta = t.meta; cost = t.cost; now = (fun () -> Sim_clock.now t.clock) }
+let aspace t = t.aspace
+let alloc_iface t = t.alloc
+let now t = Sim_clock.now t.clock
+
+let add_global ?(resident = false) t ~site ~size =
+  if t.started then invalid_arg "Machine.add_global: machine already running";
+  let meta, cycles = t.alloc.Alloc_iface.alloc_global ~site ~resident size in
+  let hook_cycles = t.hooks.Hooks.on_global meta in
+  t.startup_cycles <- t.startup_cycles + cycles + hook_cycles;
+  Sim_clock.advance t.clock (cycles + hook_cycles);
+  meta
+
+let spawn t program =
+  if t.started then invalid_arg "Machine.spawn: machine already running";
+  let tid = t.thread_count in
+  t.thread_count <- tid + 1;
+  Mpk_hw.register_thread t.hw tid;
+  let hook_cycles = t.hooks.Hooks.on_spawn ~tid in
+  t.startup_cycles <- t.startup_cycles + hook_cycles;
+  Sim_clock.advance t.clock hook_cycles;
+  let thread =
+    { tid; program; status = Runnable; cycles = 0; lock_depth = 0; op_index = 0 }
+  in
+  t.threads <- thread :: t.threads;
+  tid
+
+(* Cycles spent while holding locks also stall every thread blocked on
+   those locks: critical sections dilate the critical path.  This is
+   what makes detection work performed inside sections (fault
+   handling, key juggling) increasingly expensive as thread counts —
+   and hence waiter counts — grow (the paper's Figure 5 dynamic).
+   Baseline in-section compute dilates identically, so comparisons
+   stay fair. *)
+let charge_waiters t holder cycles =
+  if holder.lock_depth > 0 then
+    List.iter
+      (fun th ->
+        match th.status with
+        | Blocked { lock; _ } when Lock_table.owner t.locks ~lock = Some holder.tid ->
+          th.cycles <- th.cycles + cycles;
+          Sim_clock.advance t.clock cycles
+        | Blocked _ | Runnable | Finished -> ())
+      t.threads
+
+let charge t thread cycles =
+  assert (cycles >= 0);
+  thread.cycles <- thread.cycles + cycles;
+  Sim_clock.advance t.clock cycles;
+  if cycles > 0 then charge_waiters t thread cycles
+
+let enter_section t thread =
+  if thread.lock_depth = 0 then begin
+    t.in_section <- t.in_section + 1;
+    if t.in_section > t.max_in_section then t.max_in_section <- t.in_section
+  end;
+  thread.lock_depth <- thread.lock_depth + 1
+
+let exit_section t thread =
+  thread.lock_depth <- thread.lock_depth - 1;
+  assert (thread.lock_depth >= 0);
+  if thread.lock_depth = 0 then t.in_section <- t.in_section - 1
+
+let max_fault_retries = 8
+
+(* Perform one data access for [thread], routing faults to the
+   detector and retrying as the handler directs. *)
+let perform_access t thread addr access =
+  let rec attempt n emulate =
+    if emulate then charge t thread t.cost.Cost_model.mem_access
+    else
+      match
+        Mpk_hw.check_access t.hw ~tid:thread.tid ~addr ~access ~ip:thread.op_index
+          ~time:(Sim_clock.now t.clock)
+      with
+      | Ok cycles -> charge t thread cycles
+      | Error fault ->
+        if n >= max_fault_retries then
+          raise
+            (Stuck
+               (Format.asprintf "thread %d: access keeps faulting after %d handler rounds: %a"
+                  thread.tid n Fault.pp fault));
+        charge t thread t.cost.Cost_model.fault_roundtrip;
+        let outcome = t.hooks.Hooks.on_fault fault in
+        charge t thread outcome.Hooks.fault_cycles;
+        (match outcome.Hooks.action with
+        | Hooks.Retry -> attempt (n + 1) false
+        | Hooks.Emulate -> attempt n true)
+  in
+  attempt 0 false
+
+(* dTLB reach assumed by the analytic block model; matches the
+   default Tlb.create geometry. *)
+let tlb_reach_pages = 64
+
+(* Execute a block operation.  MPK semantics are page-granular, so a
+   bounded sample of the spanned pages is checked for faults (a block
+   targets a single object, whose pages share one key); the remaining
+   accesses are charged analytically: streaming throughput cycles plus
+   page-walk penalties when the buffer exceeds the dTLB reach. *)
+let perform_block t thread (b : Op.block) access =
+  if b.count <= 0 || b.stride <= 0 || b.span <= 0 then
+    raise (Stuck "block op with non-positive count/stride/span");
+  let span_pages = Page.pages_spanned b.Op.base b.Op.span in
+  let total_bytes = b.Op.count * b.Op.stride in
+  let pages_touched =
+    min span_pages (max 1 ((total_bytes + Page.size - 1) / Page.size))
+  in
+  let sampled = min pages_touched 64 in
+  let step_pages = max 1 (span_pages / sampled) in
+  for i = 0 to sampled - 1 do
+    perform_access t thread (b.Op.base + (i * step_pages * Page.size)) access
+  done;
+  let remaining = max 0 (b.Op.count - sampled) in
+  let est_misses =
+    if span_pages > tlb_reach_pages then begin
+      (* Every page visit misses once the sweep exceeds TLB reach. *)
+      let passes = max 1 (total_bytes / max 1 b.Op.span) in
+      min remaining (max 0 ((pages_touched * passes) - sampled))
+    end
+    else 0
+  in
+  Mpk_hw.note_tlb_misses t.hw ~tid:thread.tid est_misses;
+  Mpk_hw.note_tlb_hits t.hw ~tid:thread.tid (remaining - est_misses);
+  let cycles =
+    int_of_float (float_of_int remaining /. t.cost.Cost_model.mem_throughput)
+    + (est_misses * t.cost.Cost_model.dtlb_miss)
+  in
+  charge t thread cycles
+
+let thread_by_tid t tid =
+  match List.find_opt (fun th -> th.tid = tid) t.threads with
+  | Some th -> th
+  | None -> raise (Stuck (Printf.sprintf "unknown thread %d" tid))
+
+let exec_op t thread op =
+  match op with
+  | Op.Compute cycles ->
+    t.computes <- t.computes + 1;
+    charge t thread cycles
+  | Op.Io cycles ->
+    t.io_cycles <- t.io_cycles + cycles;
+    charge t thread cycles
+  | Op.Yield -> ()
+  | Op.Read addr ->
+    t.reads <- t.reads + 1;
+    charge t thread (t.hooks.Hooks.on_read ~tid:thread.tid ~addr);
+    perform_access t thread addr `Read
+  | Op.Write addr ->
+    t.writes <- t.writes + 1;
+    charge t thread (t.hooks.Hooks.on_write ~tid:thread.tid ~addr);
+    perform_access t thread addr `Write
+  | Op.Read_block b ->
+    t.reads <- t.reads + b.Op.count;
+    charge t thread (t.hooks.Hooks.on_read_block ~tid:thread.tid ~block:b);
+    perform_block t thread b `Read
+  | Op.Write_block b ->
+    t.writes <- t.writes + b.Op.count;
+    charge t thread (t.hooks.Hooks.on_write_block ~tid:thread.tid ~block:b);
+    perform_block t thread b `Write
+  | Op.Lock { lock; site } -> begin
+    Hashtbl.replace t.sites_seen site ();
+    match Lock_table.acquire t.locks ~lock ~tid:thread.tid with
+    | Lock_table.Acquired ->
+      charge t thread t.cost.Cost_model.lock_uncontended;
+      enter_section t thread;
+      charge t thread (t.hooks.Hooks.on_lock ~tid:thread.tid ~lock ~site)
+    | Lock_table.Must_wait -> thread.status <- Blocked { lock; site }
+  end
+  | Op.Unlock { lock } ->
+    charge t thread (t.hooks.Hooks.on_unlock ~tid:thread.tid ~lock);
+    charge t thread t.cost.Cost_model.unlock;
+    exit_section t thread;
+    (match Lock_table.release t.locks ~lock ~tid:thread.tid with
+    | None -> ()
+    | Some waiter_tid ->
+      (* Ownership transfers directly; the waiter pays the contended
+         acquisition and its section-entry hook fires now. *)
+      let waiter = thread_by_tid t waiter_tid in
+      let site =
+        match waiter.status with
+        | Blocked { lock = blocked_lock; site } ->
+          assert (blocked_lock = lock);
+          site
+        | Runnable | Finished ->
+          raise (Stuck (Printf.sprintf "woken thread %d was not blocked" waiter_tid))
+      in
+      waiter.status <- Runnable;
+      charge t waiter t.cost.Cost_model.lock_contended;
+      enter_section t waiter;
+      charge t waiter (t.hooks.Hooks.on_lock ~tid:waiter_tid ~lock ~site))
+  | Op.Alloc { size; site; on_result } ->
+    let meta, cycles = t.alloc.Alloc_iface.alloc ~site size in
+    charge t thread cycles;
+    charge t thread (t.hooks.Hooks.on_alloc ~tid:thread.tid meta);
+    on_result meta
+  | Op.Free meta ->
+    charge t thread (t.hooks.Hooks.on_free ~tid:thread.tid meta);
+    charge t thread (t.alloc.Alloc_iface.free meta)
+
+let step_thread t thread =
+  match thread.program () with
+  | None ->
+    thread.status <- Finished;
+    if thread.lock_depth > 0 then
+      raise (Stuck (Printf.sprintf "thread %d finished while holding a lock" thread.tid));
+    charge t thread (t.hooks.Hooks.on_thread_exit ~tid:thread.tid)
+  | Some op ->
+    thread.op_index <- thread.op_index + 1;
+    exec_op t thread op
+
+(* Modeled RSS: data frames + last-level page tables + allocator
+   metadata + detector metadata (paper section 7.5). *)
+let allocator_metadata_per_object = 48
+
+let rss_components t =
+  (* RSS counts resident pages once per mapping (like /proc), so
+     unique virtual pages dominate even when physically consolidated —
+     the mechanism behind the paper's section 7.5 numbers. *)
+  let data =
+    max (Address_space.peak_mapped_pages t.aspace * Page.size)
+      (Phys_mem.peak_resident_bytes t.phys)
+  in
+  let page_tables = Address_space.peak_page_table_pages t.aspace * Page.size in
+  let alloc_stats = t.alloc.Alloc_iface.stats () in
+  let alloc_meta =
+    (alloc_stats.Alloc_iface.allocations + alloc_stats.Alloc_iface.global_allocations)
+    * allocator_metadata_per_object
+  in
+  let detector_meta = t.hooks.Hooks.metadata_bytes () in
+  (data, page_tables, alloc_meta, detector_meta)
+
+type report = {
+  detector_name : string;
+  cycles : int;
+  io_cycles : int;
+  wall_cycles : int;
+  steps : int;
+  reads : int;
+  writes : int;
+  computes : int;
+  cs_entries : int;
+  contended_entries : int;
+  unique_sections : int;
+  max_concurrent_sections : int;
+  faults : int;
+  rss_bytes : int;
+  data_rss_bytes : int;
+  page_table_bytes : int;
+  detector_metadata_bytes : int;
+  dtlb_accesses : int;
+  dtlb_misses : int;
+  dtlb_miss_rate : float;
+  alloc_stats : Alloc_iface.stats;
+  hw_stats : Mpk_hw.stats;
+  per_thread_cycles : int array;
+  schedule_trace : int array;
+}
+
+let report_of t =
+  let hw_stats = Mpk_hw.stats t.hw in
+  let data, page_tables, alloc_meta, detector_meta = rss_components t in
+  let per_thread = Array.make t.thread_count 0 in
+  List.iter (fun th -> per_thread.(th.tid) <- th.cycles) t.threads;
+  let wall = Array.fold_left max 0 per_thread in
+  { detector_name = t.hooks.Hooks.name;
+    cycles = Sim_clock.now t.clock;
+    io_cycles = t.io_cycles;
+    wall_cycles = wall;
+    steps = t.steps;
+    reads = t.reads;
+    writes = t.writes;
+    computes = t.computes;
+    cs_entries = Lock_table.total_acquires t.locks;
+    contended_entries = Lock_table.contended_acquires t.locks;
+    unique_sections = Hashtbl.length t.sites_seen;
+    max_concurrent_sections = t.max_in_section;
+    faults = hw_stats.Mpk_hw.faults;
+    rss_bytes = data + page_tables + alloc_meta + detector_meta;
+    data_rss_bytes = data;
+    page_table_bytes = page_tables;
+    detector_metadata_bytes = detector_meta;
+    dtlb_accesses = hw_stats.Mpk_hw.dtlb_accesses;
+    dtlb_misses = hw_stats.Mpk_hw.dtlb_misses;
+    dtlb_miss_rate =
+      (if hw_stats.Mpk_hw.dtlb_accesses = 0 then 0.
+       else float_of_int hw_stats.Mpk_hw.dtlb_misses /. float_of_int hw_stats.Mpk_hw.dtlb_accesses);
+    alloc_stats = t.alloc.Alloc_iface.stats ();
+    hw_stats;
+    per_thread_cycles = per_thread;
+    schedule_trace = Schedule.recorded t.sched }
+
+let run t =
+  t.started <- true;
+  let runnable = ref [] in
+  let collect () =
+    runnable := List.filter (fun th -> th.status = Runnable) t.threads;
+    !runnable
+  in
+  let rec loop () =
+    match collect () with
+    | [] ->
+      if List.exists (fun th -> th.status <> Finished) t.threads then
+        raise (Stuck "deadlock: threads blocked with no runnable thread")
+      else ()
+    | candidates ->
+      t.steps <- t.steps + 1;
+      if t.steps > t.max_steps then
+        raise (Stuck (Printf.sprintf "max_steps (%d) exceeded" t.max_steps));
+      let tid = Schedule.pick t.sched ~runnable:(List.map (fun th -> th.tid) candidates) in
+      step_thread t (thread_by_tid t tid);
+      loop ()
+  in
+  loop ();
+  t.hooks.Hooks.on_finish ();
+  report_of t
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "@[<v>[%s] cycles=%d (io=%d, wall=%d) steps=%d r/w=%d/%d cs=%d(contended %d) sites=%d \
+     maxconc=%d faults=%d rss=%dB dtlb=%.5f@]"
+    r.detector_name r.cycles r.io_cycles r.wall_cycles r.steps r.reads r.writes r.cs_entries
+    r.contended_entries r.unique_sections r.max_concurrent_sections r.faults r.rss_bytes
+    r.dtlb_miss_rate

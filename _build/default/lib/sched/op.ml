@@ -1,0 +1,36 @@
+type addr = Kard_mpk.Page.addr
+
+type block = {
+  base : addr;
+  count : int;
+  stride : int;
+  span : int;
+}
+
+type t =
+  | Read of addr
+  | Write of addr
+  | Read_block of block
+  | Write_block of block
+  | Lock of { lock : int; site : int }
+  | Unlock of { lock : int }
+  | Alloc of { size : int; site : int; on_result : Kard_alloc.Obj_meta.t -> unit }
+  | Free of Kard_alloc.Obj_meta.t
+  | Compute of int
+  | Io of int
+  | Yield
+
+let pp fmt = function
+  | Read addr -> Format.fprintf fmt "read %a" Kard_mpk.Page.pp_addr addr
+  | Write addr -> Format.fprintf fmt "write %a" Kard_mpk.Page.pp_addr addr
+  | Read_block b ->
+    Format.fprintf fmt "read-block %a x%d" Kard_mpk.Page.pp_addr b.base b.count
+  | Write_block b ->
+    Format.fprintf fmt "write-block %a x%d" Kard_mpk.Page.pp_addr b.base b.count
+  | Lock { lock; site } -> Format.fprintf fmt "lock l%d@%d" lock site
+  | Unlock { lock } -> Format.fprintf fmt "unlock l%d" lock
+  | Alloc { size; site; _ } -> Format.fprintf fmt "alloc %dB@%d" size site
+  | Free meta -> Format.fprintf fmt "free %a" Kard_alloc.Obj_meta.pp meta
+  | Compute n -> Format.fprintf fmt "compute %d" n
+  | Io n -> Format.fprintf fmt "io %d" n
+  | Yield -> Format.pp_print_string fmt "yield"

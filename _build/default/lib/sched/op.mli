@@ -1,0 +1,43 @@
+(** The instruction set of simulated threads.
+
+    A workload program is a lazy stream of these operations.  [Read]
+    and [Write] flow through the MPK access check; [Lock], [Unlock],
+    [Alloc] and [Free] are the interposition points corresponding to
+    the wrapper functions Kard's LLVM pass installs. *)
+
+type addr = Kard_mpk.Page.addr
+
+type block = {
+  base : addr;
+  count : int;   (** Number of accesses performed. *)
+  stride : int;  (** Byte step between consecutive accesses. *)
+  span : int;    (** Accesses wrap within [\[base, base+span)]. *)
+}
+(** A loop of [count] accesses sweeping a buffer: the address of
+    access [i] is [base + (i * stride) mod span].  Lets workloads
+    express the millions of data accesses behind one critical-section
+    iteration without one [Op.t] per access; the machine charges
+    cycle, TLB and detector costs for all [count] accesses but
+    performs the MPK check once per page touched (the page is the
+    protection granule, so fault behaviour is identical). *)
+
+type t =
+  | Read of addr
+  | Write of addr
+  | Read_block of block
+  | Write_block of block
+  | Lock of { lock : int; site : int }
+      (** [site] is the synchronization call-site id, which names the
+          critical section (paper section 5.3). *)
+  | Unlock of { lock : int }
+  | Alloc of { size : int; site : int; on_result : Kard_alloc.Obj_meta.t -> unit }
+      (** The continuation receives the allocated object so the
+          program can compute addresses from its base. *)
+  | Free of Kard_alloc.Obj_meta.t
+  | Compute of int  (** Pure CPU work of the given cycle count. *)
+  | Io of int       (** Blocking I/O of the given cycle count; the same
+                        under every detector, so it amortizes overhead
+                        exactly as real network/disk time does. *)
+  | Yield           (** Scheduling hint; costs nothing. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,105 @@
+type t = unit -> Op.t option
+
+let empty () = None
+
+let of_list ops =
+  let remaining = ref ops in
+  fun () ->
+    match !remaining with
+    | [] -> None
+    | op :: rest ->
+      remaining := rest;
+      Some op
+
+let append a b =
+  let first_done = ref false in
+  fun () ->
+    if !first_done then b ()
+    else
+      match a () with
+      | Some _ as op -> op
+      | None ->
+        first_done := true;
+        b ()
+
+let dynamic next =
+  let current = ref None in
+  let exhausted = ref false in
+  let rec pull () =
+    if !exhausted then None
+    else
+      match !current with
+      | Some prog -> begin
+        match prog () with
+        | Some _ as op -> op
+        | None ->
+          current := None;
+          pull ()
+      end
+      | None -> begin
+        match next () with
+        | Some prog ->
+          current := Some prog;
+          pull ()
+        | None ->
+          exhausted := true;
+          None
+      end
+  in
+  pull
+
+let delay build =
+  let built = ref false in
+  dynamic (fun () ->
+      if !built then None
+      else begin
+        built := true;
+        Some (build ())
+      end)
+
+let concat programs =
+  let remaining = ref programs in
+  dynamic (fun () ->
+      match !remaining with
+      | [] -> None
+      | prog :: rest ->
+        remaining := rest;
+        Some prog)
+
+let repeat n body =
+  let i = ref 0 in
+  dynamic (fun () ->
+      if !i >= n then None
+      else begin
+        let prog = body !i in
+        incr i;
+        Some prog
+      end)
+
+let unfold step init =
+  let state = ref init in
+  fun () ->
+    match step !state with
+    | Some (op, next) ->
+      state := next;
+      Some op
+    | None -> None
+
+let with_setup setup prog =
+  let done_ = ref false in
+  fun () ->
+    if not !done_ then begin
+      done_ := true;
+      setup ()
+    end;
+    prog ()
+
+let to_list ?(limit = 10_000_000) t =
+  let rec loop acc n =
+    if n > limit then failwith "Program.to_list: limit exceeded"
+    else
+      match t () with
+      | Some op -> loop (op :: acc) (n + 1)
+      | None -> List.rev acc
+  in
+  loop [] 0

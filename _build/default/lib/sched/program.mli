@@ -1,0 +1,34 @@
+(** Thread programs as lazy operation generators.
+
+    A program is pulled one operation at a time by the scheduler;
+    [None] means the thread finished.  Generators may carry mutable
+    state, so an [Alloc] continuation executed now can influence the
+    addresses of operations generated later. *)
+
+type t = unit -> Op.t option
+
+val empty : t
+val of_list : Op.t list -> t
+
+val append : t -> t -> t
+val concat : t list -> t
+
+val repeat : int -> (int -> t) -> t
+(** [repeat n body] runs [body 0], [body 1], ... [body (n-1)] in
+    sequence; each body is built lazily, when its turn comes. *)
+
+val unfold : ('s -> (Op.t * 's) option) -> 's -> t
+
+val dynamic : (unit -> t option) -> t
+(** [dynamic next] keeps asking [next] for program segments until it
+    returns [None]; used for data-dependent control flow. *)
+
+val delay : (unit -> t) -> t
+(** Build the program only when first pulled — after earlier ops in
+    the same stream (e.g. allocations) have executed. *)
+
+val with_setup : (unit -> unit) -> t -> t
+(** Run a side effect when the program is first pulled. *)
+
+val to_list : ?limit:int -> t -> Op.t list
+(** Drain a program (for tests). @raise Failure past [limit] ops. *)

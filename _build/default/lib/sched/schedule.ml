@@ -1,0 +1,50 @@
+type t =
+  | Random of int
+  | Round_robin
+  | Replay of int array
+
+type state = {
+  policy : t;
+  rng : Random.State.t;
+  mutable picks : int list; (* reverse order *)
+  mutable cursor : int;
+  mutable rr_last : int;
+}
+
+let start policy =
+  { policy;
+    rng = Random.State.make [| (match policy with Random seed -> seed | Round_robin | Replay _ -> 0) |];
+    picks = [];
+    cursor = 0;
+    rr_last = -1 }
+
+let round_robin state runnable =
+  (* The first runnable thread id strictly greater than the last pick,
+     wrapping around. *)
+  let sorted = List.sort_uniq Int.compare runnable in
+  match List.find_opt (fun tid -> tid > state.rr_last) sorted with
+  | Some tid -> tid
+  | None -> List.hd sorted
+
+let pick state ~runnable =
+  assert (runnable <> []);
+  let choice =
+    match state.policy with
+    | Random _ -> List.nth runnable (Random.State.int state.rng (List.length runnable))
+    | Round_robin -> round_robin state runnable
+    | Replay tape ->
+      if state.cursor < Array.length tape && List.mem tape.(state.cursor) runnable then
+        tape.(state.cursor)
+      else round_robin state runnable
+  in
+  state.cursor <- state.cursor + 1;
+  state.rr_last <- choice;
+  state.picks <- choice :: state.picks;
+  choice
+
+let recorded state = Array.of_list (List.rev state.picks)
+
+let pp fmt = function
+  | Random seed -> Format.fprintf fmt "random(seed=%d)" seed
+  | Round_robin -> Format.pp_print_string fmt "round-robin"
+  | Replay tape -> Format.fprintf fmt "replay(%d picks)" (Array.length tape)

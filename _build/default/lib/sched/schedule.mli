@@ -1,0 +1,26 @@
+(** Scheduling policies for the simulated machine.
+
+    A policy picks which runnable thread executes the next operation.
+    [Random] reproduces a run exactly under a fixed seed; [Replay]
+    re-executes a previously recorded pick sequence — the classic
+    race-debugging loop: sweep seeds until a schedule manifests the
+    bug, then replay that schedule while investigating. *)
+
+type t =
+  | Random of int        (** Uniform over runnable threads, seeded. *)
+  | Round_robin          (** Deterministic rotation. *)
+  | Replay of int array  (** Recorded thread ids; falls back to
+                             round-robin when the recorded pick is no
+                             longer runnable or the tape runs out. *)
+
+type state
+
+val start : t -> state
+
+val pick : state -> runnable:int list -> int
+(** Choose one of [runnable] (non-empty) and record the choice. *)
+
+val recorded : state -> int array
+(** Every pick made so far, in order — feed to {!Replay}. *)
+
+val pp : Format.formatter -> t -> unit

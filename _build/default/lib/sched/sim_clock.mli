@@ -1,0 +1,12 @@
+(** The virtual cycle clock of a simulated run.
+
+    One global counter advanced by every executed operation; overhead
+    percentages in the evaluation are ratios of these counters across
+    runs, so the clock is the simulator's stopwatch. *)
+
+type t
+
+val create : unit -> t
+val now : t -> int
+val advance : t -> int -> unit
+val reset : t -> unit

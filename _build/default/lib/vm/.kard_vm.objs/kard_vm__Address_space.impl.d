@@ -1,0 +1,1 @@
+lib/vm/address_space.ml: Bytes Char Hashtbl Int64 Kard_mpk Memfd Option Phys_mem Printf

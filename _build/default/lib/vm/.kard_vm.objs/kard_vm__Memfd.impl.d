@@ -1,0 +1,1 @@
+lib/vm/memfd.ml: Array Kard_mpk Phys_mem Printf

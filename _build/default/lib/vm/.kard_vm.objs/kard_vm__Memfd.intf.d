@@ -1,0 +1,1 @@
+lib/vm/memfd.mli: Phys_mem

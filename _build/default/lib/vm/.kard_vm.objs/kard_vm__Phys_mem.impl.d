@@ -1,0 +1,1 @@
+lib/vm/phys_mem.ml: Bytes Hashtbl Kard_mpk Printf

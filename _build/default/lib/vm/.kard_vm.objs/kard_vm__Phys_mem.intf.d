@@ -1,0 +1,1 @@
+lib/vm/phys_mem.mli:

@@ -1,0 +1,44 @@
+module Page = Kard_mpk.Page
+
+type t = {
+  phys : Phys_mem.t;
+  name : string;
+  mutable pages : Phys_mem.frame array;
+  mutable used : int; (* pages in use; [pages] may have spare capacity *)
+}
+
+let create phys ~name = { phys; name; pages = [||]; used = 0 }
+let name t = t.name
+let size t = t.used * Page.size
+let page_count t = t.used
+
+let ensure_capacity t wanted =
+  let cap = Array.length t.pages in
+  if wanted > cap then begin
+    let new_cap = max wanted (max 8 (cap * 2)) in
+    let fresh = Array.make new_cap (Phys_mem.frame_of_int (-1)) in
+    Array.blit t.pages 0 fresh 0 cap;
+    t.pages <- fresh
+  end
+
+let ftruncate t bytes =
+  if bytes < 0 then invalid_arg "Memfd.ftruncate: negative size";
+  let wanted = (bytes + Page.size - 1) / Page.size in
+  if wanted > t.used then begin
+    ensure_capacity t wanted;
+    for i = t.used to wanted - 1 do
+      t.pages.(i) <- Phys_mem.alloc_frame t.phys
+    done;
+    t.used <- wanted
+  end
+  else if wanted < t.used then begin
+    for i = wanted to t.used - 1 do
+      Phys_mem.free_frame t.phys t.pages.(i)
+    done;
+    t.used <- wanted
+  end
+
+let frame_of_page t i =
+  if i < 0 || i >= t.used then
+    invalid_arg (Printf.sprintf "Memfd.frame_of_page: page %d beyond file (%d pages)" i t.used);
+  t.pages.(i)

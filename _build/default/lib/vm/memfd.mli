@@ -1,0 +1,24 @@
+(** An in-memory file, as created by [memfd_create(2)].
+
+    The unique-page allocator backs all small-object consolidation on
+    one of these: virtual pages from different allocations are mapped
+    [MAP_SHARED] onto the same file page, and the file is grown with
+    [ftruncate] as the program's footprint grows (section 5.3). *)
+
+type t
+
+val create : Phys_mem.t -> name:string -> t
+val name : t -> string
+
+val size : t -> int
+(** Current file size in bytes (always page-aligned here). *)
+
+val ftruncate : t -> int -> unit
+(** Grow or shrink; growing allocates zeroed frames, shrinking frees
+    them.  @raise Invalid_argument on negative size. *)
+
+val frame_of_page : t -> int -> Phys_mem.frame
+(** [frame_of_page t i] is the physical frame backing file page [i].
+    @raise Invalid_argument when [i] is beyond the file's size. *)
+
+val page_count : t -> int

@@ -1,0 +1,1 @@
+lib/workloads/apps.ml: Array Builder Kard_alloc Kard_sched Printf Spec

@@ -1,0 +1,1 @@
+lib/workloads/builder.ml: Array Float Kard_alloc Kard_sched

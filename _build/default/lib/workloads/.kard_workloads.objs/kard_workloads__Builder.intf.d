@@ -1,0 +1,1 @@
+lib/workloads/builder.mli: Kard_alloc Kard_sched

@@ -1,0 +1,1 @@
+lib/workloads/lockfree.ml: Spec Synth

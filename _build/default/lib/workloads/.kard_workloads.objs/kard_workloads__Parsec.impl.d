@@ -1,0 +1,1 @@
+lib/workloads/parsec.ml: Spec Synth

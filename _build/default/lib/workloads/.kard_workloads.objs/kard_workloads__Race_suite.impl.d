@@ -1,0 +1,1 @@
+lib/workloads/race_suite.ml: Builder Format Kard_alloc Kard_core Kard_sched List String

@@ -1,0 +1,1 @@
+lib/workloads/race_suite.mli: Format Kard_core Kard_sched

@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Apps List Lockfree Parsec Spec Splash String

@@ -1,0 +1,1 @@
+lib/workloads/synth.ml: Array Builder Kard_alloc Kard_sched List

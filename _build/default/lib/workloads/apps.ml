@@ -1,0 +1,418 @@
+module Op = Kard_sched.Op
+module Program = Kard_sched.Program
+module Machine = Kard_sched.Machine
+
+let kib = 1024
+let mib = 1024 * 1024
+
+(* {1 NGINX} *)
+
+(* A worker serves requests: accept under the accept mutex, allocate
+   request-scoped objects, copy the file through a private buffer,
+   update per-request state inside a critical section, respond, free.
+   One initialization-time heap object is written inside a section by
+   the main thread while a worker reads it lock-free (Table 6). *)
+let nginx_build ~file_kb ~threads ~scale ~seed:_ machine =
+  let requests_full = 100_004 in
+  let f = Builder.scale_factor ~scale ~entries:(2 * requests_full) ~min_entries:400 in
+  let requests = Builder.scaled f requests_full in
+  let globals =
+    Array.init 461 (fun i ->
+        (Machine.add_global machine ~site:(9000 + i) ~size:64).Kard_alloc.Obj_meta.base)
+  in
+  ignore globals;
+  let init_obj = ref 0 in
+  let init_done = ref false in
+  let sites = 26 in
+  let io_per_kb = 550 in
+  let accesses = file_kb * 128 in
+  let buffers = Array.make threads 0 in
+  let per_thread tid = (requests / threads) + (if tid < requests mod threads then 1 else 0) in
+  let request tid k =
+    let idx = (k * threads) + tid in
+    let site = 10 + (idx mod sites) in
+    let lock = 100 + (site mod 8) in
+    let conn = ref [] in
+    let pre =
+      [ Op.Io (io_per_kb * file_kb / 4); (* accept + read request *)
+        Op.Alloc { size = 32; site = 7001; on_result = (fun m -> conn := m :: !conn) };
+        Op.Alloc { size = 64; site = 7002; on_result = (fun m -> conn := m :: !conn) };
+        Op.Alloc { size = 4096; site = 7003; on_result = (fun m -> conn := m :: !conn) };
+        Op.Alloc { size = 32; site = 7004; on_result = (fun m -> conn := m :: !conn) };
+        Op.Alloc { size = 32; site = 7005; on_result = (fun m -> conn := m :: !conn) };
+        Builder.block ~base:buffers.(tid) ~count:accesses ~span:(max (file_kb * kib) 4096) `Read;
+        Op.Compute 20_000;
+        Op.Io (io_per_kb * file_kb * 3 / 4) (* send response *) ]
+    in
+    (* Two critical sections per request: connection accounting and a
+       lock-protected write to one fresh request object. *)
+    let cs =
+      Program.delay (fun () ->
+          let fresh =
+            match !conn with
+            | m :: _ -> m.Kard_alloc.Obj_meta.base
+            | [] -> buffers.(tid)
+          in
+          Program.of_list
+            (Builder.critical_section ~lock:100 ~site:9 [ Op.Read buffers.(tid) ]
+            @ Builder.critical_section ~lock ~site [ Op.Write fresh ]))
+    in
+    let frees () =
+      match !conn with
+      | [] -> None
+      | m :: rest ->
+        conn := rest;
+        Some (Op.Free m)
+    in
+    Program.concat [ Program.of_list pre; cs; frees ]
+  in
+  let worker tid =
+    Program.concat
+      [ Program.of_list
+          [ Op.Alloc
+              { size = max (file_kb * kib) 4096;
+                site = 8000 + tid;
+                on_result = (fun m -> buffers.(tid) <- m.Kard_alloc.Obj_meta.base) } ];
+        Builder.wait_until (fun () -> !init_done);
+        (* The initialization race: the first worker polls the config
+           object without holding any lock while the main thread is
+           still writing it inside its section. *)
+        (if tid = 1 then
+           Program.repeat 8 (fun _ -> Program.delay (fun () -> Program.of_list [ Op.Read !init_obj ]))
+         else Program.empty);
+        Program.repeat (per_thread tid) (fun k -> request tid k) ]
+  in
+  (* The initialization section is delayed so [init_obj] is resolved
+     only after the Alloc has executed; [init_done] is raised from
+     inside the section (via an allocation, standing in for the
+     startup notification) so the worker's lock-free reads overlap the
+     locked writes. *)
+  let main =
+    Program.concat
+      [ Program.of_list
+          [ Op.Alloc
+              { size = 128;
+                site = 7000;
+                on_result = (fun m -> init_obj := m.Kard_alloc.Obj_meta.base) } ];
+        Program.delay (fun () ->
+            Program.of_list
+              [ Op.Lock { lock = 100; site = 8 };
+                Op.Write !init_obj;
+                Op.Alloc { size = 8; site = 7006; on_result = (fun _ -> init_done := true) };
+                Op.Compute 8_000;
+                Op.Write !init_obj;
+                Op.Compute 8_000;
+                Op.Write !init_obj;
+                Op.Unlock { lock = 100 } ]);
+        worker 0 ]
+  in
+  let (_ : int) = Machine.spawn machine main in
+  for tid = 1 to threads - 1 do
+    let (_ : int) = Machine.spawn machine (worker tid) in
+    ()
+  done
+
+let nginx_paper =
+  { Spec.p_heap = 500_007; p_global = 461; p_ro = 0; p_rw = 100_002; p_total_cs = 26;
+    p_active_cs = 3; p_entries = 200_008; p_baseline_s = 15.144; p_alloc_pct = 13.3;
+    p_kard_pct = 15.1; p_tsan_pct = 258.9; p_rss_kb = 5_812; p_rss_kard_pct = 202.1;
+    p_dtlb_base = 0.00145; p_dtlb_alloc_pct = 51.9; p_dtlb_kard_pct = 65.2 }
+
+let nginx_with_file ~file_kb =
+  { Spec.name = (if file_kb = 512 then "nginx" else Printf.sprintf "nginx-%dkB" file_kb);
+    category = Spec.Real_world;
+    description =
+      Printf.sprintf "web server; 100k requests for a %d kB file through 100 connections" file_kb;
+    paper = nginx_paper;
+    default_threads = 4;
+    build = (fun ~threads ~scale ~seed machine -> nginx_build ~file_kb ~threads ~scale ~seed machine) }
+
+let nginx = nginx_with_file ~file_kb:512
+
+(* {1 memcached} *)
+
+(* Striped item locks, many call sites, plus the three Table 6 races:
+   two stats heap objects (locked writes / lock-free main reads) and
+   the time global (lock-free main write / locked worker reads). *)
+let memcached_build ~threads ~scale ~seed:_ machine =
+  let entries_full = 161_992 in
+  (* memcached's Kard cost is dominated by one-time (site, item)
+     identification faults; a higher floor lets them amortize as they
+     do over the full 162k-request run. *)
+  let f = Builder.scale_factor ~scale ~entries:entries_full ~min_entries:12_000 in
+  let entries = Builder.scaled f entries_full in
+  let sites = 121 and stripes = 8 in
+  (* At least one item per lock stripe, or striping collapses. *)
+  let item_count = max stripes (Builder.scaled f 470) in
+  let globals =
+    Array.init 107 (fun i ->
+        (Machine.add_global machine ~resident:(i = 0) ~site:(9000 + i) ~size:64).Kard_alloc.Obj_meta.base)
+  in
+  let time_global = globals.(0) in
+  let items = Array.make (max 1 item_count) 0 in
+  let stats = Array.make 2 0 in
+  let allocated = ref 0 in
+  let ready () = !allocated >= item_count + 2 in
+  let mix idx salt = ((idx * 2654435761) lxor (salt * 40503)) land max_int in
+  let buffers = Array.make threads 0 in
+  let per_thread tid = (entries / threads) + (if tid < entries mod threads then 1 else 0) in
+  let iteration tid k =
+    let idx = (k * threads) + tid in
+    let stripe = mix idx 17 mod stripes in
+    (* Call sites are per (operation, stripe) pair — 15 operations x 8
+       stripes = 120 item sites plus the stats site, the paper's 121.
+       A section therefore only ever touches its own stripe's items. *)
+    let op_kind = mix idx 19 mod (sites / stripes) in
+    let site = 10 + (op_kind * stripes) + stripe in
+    (* Items within one stripe class only: the same item is always
+       protected by the same lock (consistent striped locking). *)
+    let per_stripe = max 1 (item_count / stripes) in
+    let pick = stripe + (stripes * (mix idx 23 mod per_stripe)) in
+    (* Stay inside the stripe class even when the last class is short. *)
+    let item = items.(if pick < item_count then pick else stripe mod item_count) in
+    let churn = ref [] in
+    (* Heap churn is modest in memcached: ~7k allocations over 162k
+       requests (Table 3). *)
+    let churn_ops =
+      if mix idx 37 mod 25 = 0 then
+        [ Op.Alloc { size = 96; site = 7100; on_result = (fun m -> churn := m :: !churn) } ]
+      else []
+    in
+    let ops =
+      (Op.Io 18_000 :: churn_ops)
+      @ [ Builder.block ~base:buffers.(tid) ~count:850 ~span:4096 `Read; Op.Compute 1_600 ]
+    in
+    (* Hash lookup and LRU maintenance happen under the item lock, so
+       most of the request's CPU time is inside the section.  A newly
+       allocated item (when this request inserted one) is initialized
+       inside the section too — the steady trickle of fresh shared
+       objects that drives key recycling and sharing (Table 5). *)
+    let cs =
+      Program.delay (fun () ->
+          let insert =
+            match !churn with
+            | m :: _ -> [ Op.Write m.Kard_alloc.Obj_meta.base ]
+            | [] -> []
+          in
+          Program.of_list
+            (Builder.critical_section ~lock:(100 + stripe) ~site
+               (insert @ [ Op.Read time_global; Op.Read item; Op.Compute 4_000; Op.Write item ])))
+    in
+    let post =
+      (if mix idx 31 mod 16 = 0 then
+         Builder.critical_section ~lock:90 ~site:250 [ Op.Write stats.(0); Op.Write stats.(1) ]
+       else [])
+      @
+      (* The main thread's lock-free activities. *)
+      if tid = 0 && k mod 32 = 0 then [ Op.Write time_global; Op.Read stats.(0); Op.Read stats.(1) ]
+      else []
+    in
+    let frees () =
+      match !churn with
+      | [] -> None
+      | m :: rest ->
+        churn := rest;
+        Some (Op.Free m)
+    in
+    Program.concat [ Program.of_list ops; cs; Program.of_list post; frees ]
+  in
+  let worker tid =
+    Program.concat
+      [ Program.of_list
+          [ Op.Alloc
+              { size = 4096;
+                site = 8000 + tid;
+                on_result = (fun m -> buffers.(tid) <- m.Kard_alloc.Obj_meta.base) } ];
+        Builder.wait_until ready;
+        Program.repeat (per_thread tid) (fun k -> iteration tid k) ]
+  in
+  let main =
+    let allocs =
+      Program.concat
+        [ Builder.alloc_into_array ~n:item_count ~size:96 ~site:7099 ~bases:items
+            ~count:allocated;
+          Builder.alloc_many ~n:2 ~size:64 ~site:7098 ~into:(fun i m ->
+              stats.(i) <- m.Kard_alloc.Obj_meta.base;
+              incr allocated) ]
+    in
+    Program.append allocs (worker 0)
+  in
+  let (_ : int) = Machine.spawn machine main in
+  for tid = 1 to threads - 1 do
+    let (_ : int) = Machine.spawn machine (worker tid) in
+    ()
+  done
+
+let memcached =
+  { Spec.name = "memcached";
+    category = Spec.Real_world;
+    description = "key-value store; striped item locks, 121 call sites, stats/time races";
+    paper =
+      { Spec.p_heap = 6_985; p_global = 107; p_ro = 24; p_rw = 62; p_total_cs = 121;
+        p_active_cs = 13; p_entries = 161_992; p_baseline_s = 2.009; p_alloc_pct = 0.0;
+        p_kard_pct = 0.1; p_tsan_pct = 45.7; p_rss_kb = 5_892; p_rss_kard_pct = 31.8;
+        p_dtlb_base = 0.0011; p_dtlb_alloc_pct = 9.6; p_dtlb_kard_pct = 18.2 };
+    default_threads = 4;
+    build = memcached_build }
+
+(* {1 pigz} *)
+
+(* A decompression pipeline: a reader thread fills job buffers, worker
+   threads process them under a job-queue lock.  Two workers write
+   different 32 B-separated offsets of one shared buffer under
+   different locks inside minimal critical sections — Kard's false
+   positive (Table 6), invisible to granule-level detectors. *)
+let pigz_build ~threads ~scale ~seed:_ machine =
+  let entries_full = 45_782 in
+  let f = Builder.scale_factor ~scale ~entries:entries_full ~min_entries:1_200 in
+  let entries = Builder.scaled f entries_full in
+  let sites = 10 and locks = 4 in
+  let static_n = max locks (Builder.scaled f 700) in
+  let globals =
+    Array.init 53 (fun i ->
+        (Machine.add_global machine ~site:(9000 + i) ~size:64).Kard_alloc.Obj_meta.base)
+  in
+  ignore globals;
+  let jobs = Array.make (max 1 static_n) 0 in
+  let fp_buffer = ref 0 in
+  let allocated = ref 0 in
+  let ready () = !allocated >= static_n + 1 in
+  let mix idx salt = ((idx * 2654435761) lxor (salt * 40503)) land max_int in
+  let buffers = Array.make threads 0 in
+  let per_thread tid = (entries / threads) + (if tid < entries mod threads then 1 else 0) in
+  let iteration tid k =
+    let idx = (k * threads) + tid in
+    let site = 10 + (idx mod sites) in
+    let lock = 100 + (site mod locks) in
+    (* Jobs are partitioned by lock stripe so each job object is
+       always accessed under the same lock. *)
+    let stripe = site mod locks in
+    let per_stripe = max 1 (static_n / locks) in
+    let pick = stripe + (locks * (mix idx 7 mod per_stripe)) in
+    let job = jobs.(if pick < static_n then pick else stripe mod static_n) in
+    let ops =
+      [ Op.Io 2_000;
+        Builder.block ~base:buffers.(tid) ~count:1_913 ~span:(mib + (mib / 4)) `Write;
+        Op.Compute 8_700 ]
+      @ Builder.critical_section ~lock ~site [ Op.Read job; Op.Write job ]
+      @
+      (* The different-offset pattern: workers 0 and 1 hit the same
+         buffer at offsets 0 and 64 under different locks.  The
+         sections contain a single access each, so protection
+         interleaving never sees the second side — but the window is
+         wide enough (one flush) for the conflict to be caught. *)
+      if tid < 2 && k mod 4 = 3 then
+        Builder.critical_section ~lock:(300 + tid) ~site:(70 + tid)
+          [ Op.Write (!fp_buffer + (64 * tid)); Op.Compute 30_000 ]
+      else []
+    in
+    Program.of_list ops
+  in
+  let worker tid =
+    Program.concat
+      [ Program.of_list
+          [ Op.Alloc
+              { size = mib + (mib / 4);
+                site = 8000 + tid;
+                on_result = (fun m -> buffers.(tid) <- m.Kard_alloc.Obj_meta.base) } ];
+        Builder.wait_until ready;
+        Program.repeat (per_thread tid) (fun k -> iteration tid k) ]
+  in
+  let main =
+    Program.concat
+      [ Builder.alloc_into_array ~n:static_n ~size:64 ~site:7200 ~bases:jobs ~count:allocated;
+        Program.of_list
+          [ Op.Alloc
+              { size = 128;
+                site = 7201;
+                on_result =
+                  (fun m ->
+                    fp_buffer := m.Kard_alloc.Obj_meta.base;
+                    incr allocated) } ];
+        worker 0 ]
+  in
+  let (_ : int) = Machine.spawn machine main in
+  for tid = 1 to threads - 1 do
+    let (_ : int) = Machine.spawn machine (worker tid) in
+    ()
+  done
+
+let pigz =
+  { Spec.name = "pigz";
+    category = Spec.Real_world;
+    description = "parallel decompression; job-queue locks, one different-offset false positive";
+    paper =
+      { Spec.p_heap = 861; p_global = 53; p_ro = 7; p_rw = 10; p_total_cs = 10; p_active_cs = 5;
+        p_entries = 45_782; p_baseline_s = 0.254; p_alloc_pct = 2.9; p_kard_pct = 5.1;
+        p_tsan_pct = 229.9; p_rss_kb = 5_368; p_rss_kard_pct = 52.5; p_dtlb_base = 0.00028;
+        p_dtlb_alloc_pct = 31.4; p_dtlb_kard_pct = 71.2 };
+    default_threads = 4;
+    build = pigz_build }
+
+(* {1 Aget} *)
+
+(* Multi-threaded download accelerator.  Workers fetch chunks and add
+   to the global byte counter inside their critical section; the
+   progress display reads the counter with no lock — the previously
+   reported data race. *)
+let aget_build ~threads ~scale ~seed:_ machine =
+  let entries_full = 56_196 in
+  let f = Builder.scale_factor ~scale ~entries:entries_full ~min_entries:1_000 in
+  let entries = Builder.scaled f entries_full in
+  let globals =
+    Array.init 10 (fun i ->
+        (Machine.add_global machine ~site:(9000 + i) ~size:64).Kard_alloc.Obj_meta.base)
+  in
+  ignore globals;
+  let bwritten = ref 0 in
+  let ready () = !bwritten <> 0 in
+  let buffers = Array.make threads 0 in
+  let per_thread tid = (entries / threads) + (if tid < entries mod threads then 1 else 0) in
+  let iteration tid k =
+    let ops =
+      [ Op.Io 20_000;
+        Builder.block ~base:buffers.(tid) ~count:11_700 ~span:(600 * kib) `Write;
+        Op.Compute 9_400 ]
+      @ Builder.critical_section ~lock:100 ~site:10 [ Op.Read !bwritten; Op.Write !bwritten ]
+      @ (* The progress reporter (a 1 Hz alarm in the real Aget) reads
+           the counter without the lock. *)
+      if tid = 0 && k mod 64 = 5 then [ Op.Read !bwritten ] else []
+    in
+    Program.of_list ops
+  in
+  let worker tid =
+    Program.concat
+      [ Program.of_list
+          [ Op.Alloc
+              { size = 600 * kib;
+                site = 8000 + tid;
+                on_result = (fun m -> buffers.(tid) <- m.Kard_alloc.Obj_meta.base) } ];
+        Builder.wait_until ready;
+        Program.repeat (per_thread tid) (fun k -> iteration tid k) ]
+  in
+  let main =
+    Program.append
+      (Program.of_list
+         [ Op.Alloc
+             { size = 8; site = 7300; on_result = (fun m -> bwritten := m.Kard_alloc.Obj_meta.base) } ])
+      (worker 0)
+  in
+  let (_ : int) = Machine.spawn machine main in
+  for tid = 1 to threads - 1 do
+    let (_ : int) = Machine.spawn machine (worker tid) in
+    ()
+  done
+
+let aget =
+  { Spec.name = "aget";
+    category = Spec.Real_world;
+    description = "download accelerator; lock-free progress reads of a locked byte counter";
+    paper =
+      { Spec.p_heap = 24; p_global = 10; p_ro = 0; p_rw = 1; p_total_cs = 2; p_active_cs = 1;
+        p_entries = 56_196; p_baseline_s = 0.944; p_alloc_pct = 0.6; p_kard_pct = 1.4;
+        p_tsan_pct = 464.3; p_rss_kb = 2_468; p_rss_kard_pct = 95.3; p_dtlb_base = 0.00294;
+        p_dtlb_alloc_pct = 3.7; p_dtlb_kard_pct = 12.3 };
+    default_threads = 4;
+    build = aget_build }
+
+let all = [ nginx; memcached; pigz; aget ]

@@ -1,0 +1,28 @@
+(** Models of the four real-world applications (section 7.2), with the
+    real-world data races of Table 6 built in:
+
+    - {b Aget}: workers count downloaded bytes inside critical
+      sections while the progress reporter reads the counter without a
+      lock (1 ILU race, previously reported).
+    - {b memcached}: two statistics heap objects written by workers
+      under the stats lock but read lock-free by the main thread, and
+      a time global updated lock-free by the main thread's callback
+      but read inside worker sections (3 ILU races).
+    - {b NGINX}: one racy heap access in a critical section during
+      initialization (1 ILU race).
+    - {b pigz}: two threads write different offsets of one buffer
+      under different locks in critical sections too small for
+      protection interleaving to gather counter-evidence (Kard's one
+      false positive). *)
+
+val nginx : Spec.t
+(** Default run: 512 kB file. *)
+
+val nginx_with_file : file_kb:int -> Spec.t
+(** The section 7.2 latency sweep: 128, 256, 512, 1024 kB files. *)
+
+val memcached : Spec.t
+val pigz : Spec.t
+val aget : Spec.t
+
+val all : Spec.t list

@@ -1,0 +1,44 @@
+module Op = Kard_sched.Op
+module Program = Kard_sched.Program
+
+let wait_until cond =
+  let finished = ref false in
+  fun () ->
+    if !finished then None
+    else if cond () then begin
+      finished := true;
+      None
+    end
+    else Some Op.Yield
+
+let critical_section ~lock ~site body =
+  (Op.Lock { lock; site } :: body) @ [ Op.Unlock { lock } ]
+
+let alloc_many ~n ~size ~site ~into =
+  Program.repeat n (fun i ->
+      Program.of_list [ Op.Alloc { size; site; on_result = (fun meta -> into i meta) } ])
+
+let alloc_into_array ~n ~size ~site ~bases ~count =
+  assert (Array.length bases >= n);
+  alloc_many ~n ~size ~site ~into:(fun i meta ->
+      bases.(i) <- meta.Kard_alloc.Obj_meta.base;
+      incr count)
+
+let block ~base ~count ?(stride = 8) ~span access =
+  let b = { Op.base; count; stride; span } in
+  match access with
+  | `Read -> Op.Read_block b
+  | `Write -> Op.Write_block b
+
+let scaled f n = if n <= 0 then 0 else max 1 (int_of_float (Float.round (float_of_int n *. f)))
+
+let scale_factor ~scale ~entries ~min_entries =
+  if entries <= 0 then scale
+  else
+    let floor_factor = float_of_int (min min_entries entries) /. float_of_int entries in
+    Float.max scale floor_factor
+
+let round_robin arr i =
+  let n = Array.length arr in
+  assert (n > 0);
+  arr.(i mod n)

@@ -1,0 +1,32 @@
+(** Program-building helpers shared by all workload models. *)
+
+module Op := Kard_sched.Op
+module Program := Kard_sched.Program
+
+val wait_until : (unit -> bool) -> Program.t
+(** Spin (yielding, at no cycle cost) until the condition holds; used
+    by workers to wait for the main thread's allocation phase. *)
+
+val critical_section : lock:int -> site:int -> Op.t list -> Op.t list
+(** Wrap the body in [Lock]/[Unlock]. *)
+
+val alloc_many :
+  n:int -> size:int -> site:int -> into:(int -> Kard_alloc.Obj_meta.t -> unit) -> Program.t
+(** Allocate [n] objects, handing each (with its index) to [into]. *)
+
+val alloc_into_array :
+  n:int -> size:int -> site:int -> bases:int array -> count:int ref -> Program.t
+(** Allocate [n] objects, recording base addresses and bumping
+    [count]; [bases] must have length at least [n]. *)
+
+val block : base:int -> count:int -> ?stride:int -> span:int -> [ `Read | `Write ] -> Op.t
+
+val scaled : float -> int -> int
+(** [scaled f n] is [n*f] rounded, at least 1 (when [n] > 0). *)
+
+val scale_factor : scale:float -> entries:int -> min_entries:int -> float
+(** The effective scale: never shrinks a workload below [min_entries]
+    iterations, so scaled statistics stay meaningful. *)
+
+val round_robin : 'a array -> int -> 'a
+(** [round_robin arr i] is [arr.(i mod length)]. *)

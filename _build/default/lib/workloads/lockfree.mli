@@ -1,0 +1,12 @@
+(** Models of lock-free PARSEC benchmarks.
+
+    The paper's evaluation omits benchmarks that use no locks "because
+    they have no overhead under Kard" (section 7.2).  These models
+    exist to demonstrate that claim: no critical sections means no
+    key-enforced protection, no faults and no instrumentation — only
+    the allocator substitution remains. *)
+
+val blackscholes : Spec.t
+val swaptions : Spec.t
+val canneal : Spec.t
+val all : Spec.t list

@@ -1,0 +1,14 @@
+(** Models of the five PARSEC 3.0 benchmarks evaluated in Table 3.
+
+    Each model's structural parameters (sharable objects, shared
+    objects, critical sections, entries) come from the paper's row;
+    per-iteration access/compute mixes are derived from the row's
+    baseline time and TSan slowdown (see DESIGN.md). *)
+
+val streamcluster : Spec.t
+val x264 : Spec.t
+val vips : Spec.t
+val bodytrack : Spec.t
+val fluidanimate : Spec.t
+
+val all : Spec.t list

@@ -1,0 +1,369 @@
+module Op = Kard_sched.Op
+module Program = Kard_sched.Program
+module Machine = Kard_sched.Machine
+
+type expectation =
+  | Exactly of int
+  | At_least of int
+  | None_expected
+
+type t = {
+  name : string;
+  description : string;
+  threads : int;
+  config : Kard_core.Config.t;
+  build : Kard_sched.Machine.t -> unit;
+  expect_kard_ilu : expectation;
+  expect_tsan : expectation;
+  expect_lockset : expectation;
+}
+
+let check expectation count =
+  match expectation with
+  | Exactly n -> count = n
+  | At_least n -> count >= n
+  | None_expected -> count = 0
+
+let pp_expectation fmt = function
+  | Exactly n -> Format.fprintf fmt "exactly %d" n
+  | At_least n -> Format.fprintf fmt ">=%d" n
+  | None_expected -> Format.pp_print_string fmt "none"
+
+(* Two threads over one shared 128 B heap object: thread 0 allocates
+   it and runs [a k]; thread 1 waits for the allocation and runs
+   [b k].  Bodies receive the object base lazily, per round. *)
+let scaffold ?(rounds = 12) ~a ~b machine =
+  let base = ref 0 in
+  let ready () = !base <> 0 in
+  (* [a] must see the base set by the Alloc, so each round is delayed. *)
+  let t0 =
+    Program.append
+      (Program.of_list
+         [ Op.Alloc
+             { size = 128; site = 7400; on_result = (fun m -> base := m.Kard_alloc.Obj_meta.base) } ])
+      (Program.repeat rounds (fun k -> Program.delay (fun () -> Program.of_list (a ~base:!base ~k))))
+  in
+  let t1 =
+    Program.append
+      (Builder.wait_until ready)
+      (Program.repeat rounds (fun k -> Program.delay (fun () -> Program.of_list (b ~base:!base ~k))))
+  in
+  let (_ : int) = Machine.spawn machine t0 in
+  let (_ : int) = Machine.spawn machine t1 in
+  ()
+
+let lock_a = 201
+let lock_b = 202
+let site_a = 81
+let site_b = 82
+
+(* A critical section long enough that the two threads' sections
+   overlap under the random scheduler. *)
+let long_cs ~lock ~site body =
+  Builder.critical_section ~lock ~site ((Op.Compute 30_000 :: body) @ [ Op.Compute 30_000 ])
+
+let default_config = Kard_core.Config.default
+
+let ilu_lock_lock =
+  { name = "ilu-lock-lock";
+    description = "Table 1 row 1: both threads write the object under different locks";
+    threads = 2;
+    config = default_config;
+    build =
+      scaffold
+        ~a:(fun ~base ~k:_ -> long_cs ~lock:lock_a ~site:site_a [ Op.Write base ])
+        ~b:(fun ~base ~k:_ -> long_cs ~lock:lock_b ~site:site_b [ Op.Write base ]);
+    expect_kard_ilu = At_least 1;
+    expect_tsan = At_least 1;
+    expect_lockset = At_least 1 }
+
+let ilu_lock_nolock =
+  { name = "ilu-lock-nolock";
+    description = "Table 1 row 2: locked writes vs lock-free writes";
+    threads = 2;
+    config = default_config;
+    build =
+      scaffold
+        ~a:(fun ~base ~k:_ -> long_cs ~lock:lock_a ~site:site_a [ Op.Write base ])
+        ~b:(fun ~base ~k:_ -> [ Op.Compute 10_000; Op.Write base ]);
+    expect_kard_ilu = At_least 1;
+    expect_tsan = At_least 1;
+    expect_lockset = At_least 1 }
+
+let ilu_nolock_lock =
+  { name = "ilu-nolock-lock";
+    description = "Table 1 row 3: lock-free writes vs locked writes";
+    threads = 2;
+    config = default_config;
+    build =
+      scaffold
+        ~a:(fun ~base ~k:_ -> [ Op.Compute 10_000; Op.Write base ])
+        ~b:(fun ~base ~k:_ -> long_cs ~lock:lock_b ~site:site_b [ Op.Write base ]);
+    expect_kard_ilu = At_least 1;
+    expect_tsan = At_least 1;
+    expect_lockset = At_least 1 }
+
+let nolock_nolock =
+  { name = "nolock-nolock";
+    description = "Table 1 row 4: lock-free vs lock-free — outside ILU's scope by design";
+    threads = 2;
+    config = default_config;
+    build =
+      scaffold
+        ~a:(fun ~base ~k:_ -> [ Op.Write base; Op.Compute 5_000 ])
+        ~b:(fun ~base ~k:_ -> [ Op.Write base; Op.Compute 5_000 ]);
+    expect_kard_ilu = Exactly 0;
+    expect_tsan = At_least 1;
+    expect_lockset = At_least 1 }
+
+let same_lock =
+  { name = "same-lock";
+    description = "consistent locking: both threads use the same lock — no race anywhere";
+    threads = 2;
+    config = default_config;
+    build =
+      scaffold
+        ~a:(fun ~base ~k:_ -> long_cs ~lock:lock_a ~site:site_a [ Op.Read base; Op.Write base ])
+        ~b:(fun ~base ~k:_ -> long_cs ~lock:lock_a ~site:site_b [ Op.Read base; Op.Write base ]);
+    expect_kard_ilu = Exactly 0;
+    expect_tsan = Exactly 0;
+    expect_lockset = Exactly 0 }
+
+let shared_read =
+  { name = "shared-read";
+    description = "Figure 1b: both threads only read under different locks — shared read is fine";
+    threads = 2;
+    config = default_config;
+    build =
+      scaffold
+        ~a:(fun ~base ~k:_ -> long_cs ~lock:lock_a ~site:site_a [ Op.Read base ])
+        ~b:(fun ~base ~k:_ -> long_cs ~lock:lock_b ~site:site_b [ Op.Read base ]);
+    expect_kard_ilu = Exactly 0;
+    expect_tsan = Exactly 0;
+    expect_lockset = Exactly 0 }
+
+let write_vs_read =
+  { name = "exclusive-write";
+    description = "Figure 1a: a locked writer vs a differently-locked reader";
+    threads = 2;
+    config = default_config;
+    build =
+      scaffold
+        ~a:(fun ~base ~k:_ -> long_cs ~lock:lock_a ~site:site_a [ Op.Write base ])
+        ~b:(fun ~base ~k:_ -> long_cs ~lock:lock_b ~site:site_b [ Op.Read base ]);
+    expect_kard_ilu = At_least 1;
+    expect_tsan = At_least 1;
+    expect_lockset = At_least 1 }
+
+let different_offset_large_cs =
+  { name = "different-offset-large-cs";
+    description =
+      "Table 4 / Figure 4: disjoint offsets under different locks; large sections let \
+       protection interleaving gather both sides and prune the record";
+    threads = 2;
+    config = default_config;
+    build =
+      scaffold
+        ~a:(fun ~base ~k:_ ->
+          long_cs ~lock:lock_a ~site:site_a
+            [ Op.Write base; Op.Compute 40_000; Op.Write base; Op.Compute 40_000; Op.Write base ])
+        ~b:(fun ~base ~k:_ ->
+          long_cs ~lock:lock_b ~site:site_b
+            [ Op.Write (base + 64);
+              Op.Compute 40_000;
+              Op.Write (base + 64);
+              Op.Compute 40_000;
+              Op.Write (base + 64) ]);
+    expect_kard_ilu = Exactly 0;
+    expect_tsan = Exactly 0;
+    (* Granule-level lockset cannot relate the two offsets either. *)
+    expect_lockset = Exactly 0 }
+
+let different_offset_small_cs =
+  { name = "different-offset-small-cs";
+    description =
+      "the pigz false positive: disjoint offsets but sections too small to interleave — \
+       the record survives";
+    threads = 2;
+    config = default_config;
+    build =
+      scaffold
+        ~a:(fun ~base ~k:_ ->
+          Builder.critical_section ~lock:lock_a ~site:site_a [ Op.Write base ])
+        ~b:(fun ~base ~k:_ ->
+          Builder.critical_section ~lock:lock_b ~site:site_b [ Op.Write (base + 64) ]);
+    expect_kard_ilu = At_least 1;
+    expect_tsan = Exactly 0;
+    expect_lockset = Exactly 0 }
+
+(* Tiny critical sections that rarely overlap: a frequent writer under
+   lock a races a rare writer under lock b.  The rare writer's fault
+   usually lands shortly after (not during) one of the frequent
+   writer's sections, so detection depends on the post-release window
+   — which delay injection widens. *)
+let small_cs_race =
+  { name = "small-cs-race";
+    description = "true race between tiny, rarely-overlapping sections (delay injection target)";
+    threads = 2;
+    config = default_config;
+    build =
+      scaffold ~rounds:8
+        ~a:(fun ~base ~k:_ ->
+          List.init 10 (fun _ -> Op.Compute 3_000)
+          @ Builder.critical_section ~lock:lock_a ~site:site_a [ Op.Write base ])
+        ~b:(fun ~base ~k ->
+          if k = 7 then
+            Op.Compute 3_000
+            :: Builder.critical_section ~lock:lock_b ~site:site_b [ Op.Write base ]
+          else [ Op.Compute 3_000 ]);
+    expect_kard_ilu = At_least 0;
+    expect_tsan = At_least 1;
+    expect_lockset = At_least 1 }
+
+(* With a single data key, a new object identified while the key is
+   held must share it.  Once both threads hold the key, the sharing
+   thread's write to the {e other} section's object raises no fault —
+   the documented false negative.  The order is pinned: thread 1 only
+   starts once thread 0 is inside its section (signaled by an
+   allocation performed inside the section, standing in for a
+   condition variable). *)
+let key_sharing_false_negative =
+  { name = "key-sharing-false-negative";
+    description = "Table 4: key sharing hides a cross-section conflict (1 data key)";
+    threads = 2;
+    config = { default_config with Kard_core.Config.data_keys = 1 };
+    build =
+      (fun machine ->
+        let base_a = ref 0 and base_b = ref 0 in
+        let t0_in_section = ref false in
+        let t1_done = ref false in
+        (* Thread 0 stays in its section until thread 1 finished, so
+           the two sections deterministically overlap. *)
+        let t0 =
+          Program.concat
+            [ Program.of_list
+                [ Op.Alloc
+                    { size = 64; site = 7401; on_result = (fun m -> base_a := m.Kard_alloc.Obj_meta.base) };
+                  Op.Alloc
+                    { size = 64; site = 7402; on_result = (fun m -> base_b := m.Kard_alloc.Obj_meta.base) };
+                  Op.Lock { lock = lock_a; site = site_a } ];
+              Program.delay (fun () ->
+                  Program.of_list
+                    [ Op.Write !base_a; (* k1 is now held by thread 0 *)
+                      Op.Alloc { size = 8; site = 7405; on_result = (fun _ -> t0_in_section := true) } ]);
+              Builder.wait_until (fun () -> !t1_done);
+              Program.delay (fun () ->
+                  Program.of_list [ Op.Write !base_a; Op.Unlock { lock = lock_a } ]) ]
+        in
+        let t1 =
+          Program.concat
+            [ Builder.wait_until (fun () -> !t0_in_section);
+              Program.delay (fun () ->
+                  Program.of_list
+                    [ Op.Lock { lock = lock_b; site = site_b };
+                      Op.Write !base_b; (* identified while k1 is held: shared *)
+                      Op.Write !base_a; (* the hidden conflict: no fault *)
+                      Op.Alloc { size = 8; site = 7406; on_result = (fun _ -> t1_done := true) };
+                      Op.Unlock { lock = lock_b } ]) ]
+        in
+        let (_ : int) = Machine.spawn machine t0 in
+        let (_ : int) = Machine.spawn machine t1 in
+        ());
+    expect_kard_ilu = Exactly 0;
+    expect_tsan = At_least 1;
+    expect_lockset = At_least 1 }
+
+(* The accesses use inconsistent locks but can never be concurrent:
+   thread 1 starts only after thread 0 finished (join modeled by a
+   final allocation plus a lock handoff for the happens-before edge).
+   Lockset still warns — the schedule-insensitive false positive ILU
+   avoids (section 3.1). *)
+let sequential_ilu =
+  { name = "sequential-ilu";
+    description = "fork-join: inconsistent locks but never concurrent — only lockset warns";
+    threads = 2;
+    config = default_config;
+    build =
+      (fun machine ->
+        let base = ref 0 in
+        let done_flag = ref false in
+        let lock_join = 203 in
+        let t0 =
+          Program.concat
+            [ Program.of_list
+                [ Op.Alloc
+                    { size = 64; site = 7403; on_result = (fun m -> base := m.Kard_alloc.Obj_meta.base) } ];
+              Program.repeat 6 (fun _ ->
+                  Program.delay (fun () ->
+                      Program.of_list
+                        (Builder.critical_section ~lock:lock_a ~site:site_a [ Op.Write !base ])));
+              (* Release the join lock, then signal completion (the
+                 allocation stands in for pthread_join's return). *)
+              Program.of_list
+                (Builder.critical_section ~lock:lock_join ~site:89 [ Op.Compute 10 ]);
+              Program.of_list
+                [ Op.Alloc { size = 8; site = 7404; on_result = (fun _ -> done_flag := true) } ] ]
+        in
+        let t1 =
+          Program.concat
+            [ Builder.wait_until (fun () -> !done_flag);
+              Program.of_list [ Op.Io 60_000 ] (* outlast the fault-delay window *);
+              Program.of_list (Builder.critical_section ~lock:lock_join ~site:88 [ Op.Compute 10 ]);
+              Program.repeat 6 (fun _ ->
+                  Program.delay (fun () ->
+                      Program.of_list
+                        (Builder.critical_section ~lock:lock_b ~site:site_b [ Op.Write !base ]))) ]
+        in
+        let (_ : int) = Machine.spawn machine t0 in
+        let (_ : int) = Machine.spawn machine t1 in
+        ());
+    expect_kard_ilu = Exactly 0;
+    expect_tsan = Exactly 0;
+    expect_lockset = At_least 1 }
+
+let nested_sections =
+  { name = "nested-sections";
+    description = "nested locks, consistent order; exercises the key stack, no races";
+    threads = 2;
+    config = default_config;
+    build =
+      scaffold
+        ~a:(fun ~base ~k:_ ->
+          [ Op.Lock { lock = lock_a; site = site_a };
+            Op.Write base;
+            Op.Lock { lock = lock_b; site = site_b };
+            Op.Write (base + 8);
+            Op.Compute 5_000;
+            Op.Unlock { lock = lock_b };
+            Op.Unlock { lock = lock_a } ])
+        ~b:(fun ~base ~k:_ ->
+          [ Op.Lock { lock = lock_a; site = site_a };
+            Op.Write base;
+            Op.Lock { lock = lock_b; site = site_b };
+            Op.Write (base + 8);
+            Op.Compute 5_000;
+            Op.Unlock { lock = lock_b };
+            Op.Unlock { lock = lock_a } ]);
+    expect_kard_ilu = Exactly 0;
+    expect_tsan = Exactly 0;
+    expect_lockset = Exactly 0 }
+
+let all =
+  [ ilu_lock_lock;
+    ilu_lock_nolock;
+    ilu_nolock_lock;
+    nolock_nolock;
+    same_lock;
+    shared_read;
+    write_vs_read;
+    different_offset_large_cs;
+    different_offset_small_cs;
+    small_cs_race;
+    key_sharing_false_negative;
+    sequential_ilu;
+    nested_sections ]
+
+let find name =
+  match List.find_opt (fun s -> String.equal s.name name) all with
+  | Some s -> s
+  | None -> raise Not_found

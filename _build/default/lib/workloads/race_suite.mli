@@ -1,0 +1,47 @@
+(** Controlled race scenarios: Table 1 (ILU scope), Figure 1
+    (exclusive write / shared read), Table 4 (false-positive and
+    false-negative cases) and a lockset-comparison case.
+
+    Each scenario is a tiny two- or three-thread machine program with
+    a known ground truth, used by the effectiveness experiments and
+    the test suite. *)
+
+type expectation =
+  | Exactly of int
+  | At_least of int
+  | None_expected
+
+type t = {
+  name : string;
+  description : string;
+  threads : int;
+  config : Kard_core.Config.t;  (** Kard configuration for the run. *)
+  build : Kard_sched.Machine.t -> unit;
+  expect_kard_ilu : expectation;  (** Surviving ILU records. *)
+  expect_tsan : expectation;
+  expect_lockset : expectation;
+}
+
+val ilu_lock_lock : t
+val ilu_lock_nolock : t
+val ilu_nolock_lock : t
+val nolock_nolock : t
+val same_lock : t
+val shared_read : t
+val write_vs_read : t
+val different_offset_large_cs : t
+val different_offset_small_cs : t
+
+(** A true race between tiny, rarely-overlapping critical sections:
+    detection is schedule-sensitive, and the section-5.5 delay
+    injection mitigation measurably raises the per-run detection rate
+    (see the explorer experiment and tests). *)
+val small_cs_race : t
+val key_sharing_false_negative : t
+val sequential_ilu : t
+val nested_sections : t
+
+val all : t list
+val find : string -> t
+val check : expectation -> int -> bool
+val pp_expectation : Format.formatter -> expectation -> unit

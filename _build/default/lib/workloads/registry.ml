@@ -1,0 +1,12 @@
+let benchmarks = Parsec.all @ Splash.all
+let real_world = Apps.all
+let all = benchmarks @ real_world
+let lock_free = Lockfree.all
+let extended = all @ lock_free
+
+let find name =
+  match List.find_opt (fun spec -> String.equal spec.Spec.name name) extended with
+  | Some spec -> spec
+  | None -> raise Not_found
+
+let names = List.map (fun spec -> spec.Spec.name) extended

@@ -1,0 +1,21 @@
+(** The catalog of all workload models. *)
+
+val benchmarks : Spec.t list
+(** The 15 PARSEC + SPLASH-2x models, Table 3 order. *)
+
+val real_world : Spec.t list
+(** NGINX, memcached, pigz, Aget. *)
+
+val all : Spec.t list
+(** The 19 evaluated applications (Table 3 order). *)
+
+val lock_free : Spec.t list
+(** The lock-free benchmarks the paper omitted (no overhead claim). *)
+
+val extended : Spec.t list
+(** [all] plus [lock_free]. *)
+
+val find : string -> Spec.t
+(** Searches [extended]. @raise Not_found for unknown names. *)
+
+val names : string list

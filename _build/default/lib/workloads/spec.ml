@@ -1,0 +1,40 @@
+type category =
+  | Parsec
+  | Splash2x
+  | Real_world
+
+type paper_row = {
+  p_heap : int;
+  p_global : int;
+  p_ro : int;
+  p_rw : int;
+  p_total_cs : int;
+  p_active_cs : int;
+  p_entries : int;
+  p_baseline_s : float;
+  p_alloc_pct : float;
+  p_kard_pct : float;
+  p_tsan_pct : float;
+  p_rss_kb : int;
+  p_rss_kard_pct : float;
+  p_dtlb_base : float;
+  p_dtlb_alloc_pct : float;
+  p_dtlb_kard_pct : float;
+}
+
+type t = {
+  name : string;
+  category : category;
+  description : string;
+  paper : paper_row;
+  default_threads : int;
+  build : threads:int -> scale:float -> seed:int -> Kard_sched.Machine.t -> unit;
+}
+
+let category_name = function
+  | Parsec -> "PARSEC"
+  | Splash2x -> "SPLASH-2x"
+  | Real_world -> "real-world"
+
+let pp fmt t =
+  Format.fprintf fmt "%s (%s): %s" t.name (category_name t.category) t.description

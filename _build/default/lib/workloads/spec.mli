@@ -1,0 +1,47 @@
+(** Workload descriptions.
+
+    Each workload models one evaluated application: its sharable
+    objects, critical sections and access mix reproduce the execution
+    statistics columns of Table 3, so the performance overheads that
+    depend on them come out with the paper's shape.  The paper's own
+    numbers ride along for side-by-side reporting. *)
+
+type category =
+  | Parsec
+  | Splash2x
+  | Real_world
+
+(** One row of Table 3, as published. *)
+type paper_row = {
+  p_heap : int;
+  p_global : int;
+  p_ro : int;                (** Shared objects, Read-only domain. *)
+  p_rw : int;                (** Shared objects, Read-write domain. *)
+  p_total_cs : int;
+  p_active_cs : int;
+  p_entries : int;
+  p_baseline_s : float;
+  p_alloc_pct : float;
+  p_kard_pct : float;
+  p_tsan_pct : float;
+  p_rss_kb : int;
+  p_rss_kard_pct : float;
+  p_dtlb_base : float;
+  p_dtlb_alloc_pct : float;
+  p_dtlb_kard_pct : float;
+}
+
+type t = {
+  name : string;
+  category : category;
+  description : string;
+  paper : paper_row;
+  default_threads : int;
+  build : threads:int -> scale:float -> seed:int -> Kard_sched.Machine.t -> unit;
+      (** Register globals and spawn thread programs on a fresh
+          machine.  [scale] in (0, 1] shrinks iteration and object
+          counts proportionally, preserving per-entry structure. *)
+}
+
+val category_name : category -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,14 @@
+(** Models of the ten SPLASH-2x benchmarks evaluated in Table 3. *)
+
+val ocean_cp : Spec.t
+val ocean_ncp : Spec.t
+val raytrace : Spec.t
+val water_nsquared : Spec.t
+val water_spatial : Spec.t
+val radix : Spec.t
+val lu_ncb : Spec.t
+val lu_cb : Spec.t
+val barnes : Spec.t
+val fft : Spec.t
+
+val all : Spec.t list

@@ -1,0 +1,225 @@
+module Op = Kard_sched.Op
+module Program = Kard_sched.Program
+module Machine = Kard_sched.Machine
+
+type object_mode =
+  | Partitioned
+  | Striped
+
+type profile = {
+  heap_objects : int;
+  heap_size : int;
+  globals : int;
+  global_size : int;
+  churn_per_entry : float;
+  churn_size : int;
+  sites : int;
+  locks : int;
+  entries : int;
+  shared_rw : int;
+  shared_ro : int;
+  rw_writes_per_entry : int;
+  ro_reads_per_entry : int;
+  block_accesses : int;
+  block_span : int;
+  compute : int;
+  cs_compute : int;
+  io : int;
+  sweep_objects : int;
+  mode : object_mode;
+  min_entries : int;
+}
+
+let default =
+  { heap_objects = 32;
+    heap_size = 64;
+    globals = 8;
+    global_size = 64;
+    churn_per_entry = 0.;
+    churn_size = 64;
+    sites = 4;
+    locks = 4;
+    entries = 400;
+    shared_rw = 4;
+    shared_ro = 4;
+    rw_writes_per_entry = 1;
+    ro_reads_per_entry = 1;
+    block_accesses = 200;
+    block_span = 4096;
+    compute = 200;
+    cs_compute = 0;
+    io = 0;
+    sweep_objects = 0;
+    mode = Partitioned;
+    min_entries = 160 }
+
+let factor p ~scale = Builder.scale_factor ~scale ~entries:p.entries ~min_entries:p.min_entries
+
+let effective_entries p ~scale = Builder.scaled (factor p ~scale) p.entries
+
+(* Deterministic per-iteration mixing, so runs are reproducible under
+   a fixed machine seed without sharing RNG state across threads. *)
+let mix idx salt = ((idx * 2654435761) lxor (salt * 40503)) land max_int
+
+let build p ~threads ~scale ~seed:_ machine =
+  assert (threads > 0);
+  let f = factor p ~scale in
+  let entries = Builder.scaled f p.entries in
+  (* Small object populations define the workload's sharing structure
+     (e.g. barnes' 13 contended cells) and must survive scaling; only
+     mass populations shrink. *)
+  let scaled_count n = if n <= 64 then n else Builder.scaled f n in
+  let heap_n = scaled_count p.heap_objects in
+  let rw_wanted = scaled_count p.shared_rw in
+  let ro_wanted = scaled_count p.shared_ro in
+  (* Private buffers scale with the workload so memory ratios are
+     preserved, but never below the dTLB reach (the miss behaviour of
+     a large sweep must survive scaling). *)
+  let span = if p.block_span = 0 then 0 else max (64 * 4096) (Builder.scaled f p.block_span) in
+  (* Globals are registered up front; their addresses are known now.
+     Only the globals that can enter the shared pool are ever touched,
+     so only those are resident. *)
+  let touched_globals = max 0 (rw_wanted + ro_wanted - heap_n) in
+  let global_bases =
+    Array.init p.globals (fun i ->
+        (Machine.add_global machine ~resident:(i < touched_globals) ~site:(9000 + i)
+           ~size:p.global_size)
+          .Kard_alloc.Obj_meta.base)
+  in
+  (* Heap bases are filled by the main thread's allocation phase. *)
+  let heap_bases = Array.make (max 1 heap_n) 0 in
+  let allocated = ref 0 in
+  let pool_size = heap_n + p.globals in
+  let rw_n = min rw_wanted pool_size in
+  let ro_n = min ro_wanted (pool_size - rw_n) in
+  (* Shared object [j]: heap objects first, then globals. *)
+  let shared_base j = if j < heap_n then heap_bases.(j) else global_bases.(j - heap_n) in
+  let rw_base j = shared_base (j mod max 1 rw_n) in
+  let ro_base j = shared_base (rw_n + (j mod max 1 ro_n)) in
+  let obj_size j = if j < heap_n then p.heap_size else p.global_size in
+  let ready () = !allocated >= heap_n in
+  let entries_of_thread tid =
+    (entries / threads) + (if tid < entries mod threads then 1 else 0)
+  in
+  (* Each worker owns a private buffer; its base is resolved lazily
+     after the worker's own allocation. *)
+  let private_buffers = Array.make threads 0 in
+  let private_buffer_base tid = private_buffers.(tid) in
+  (* One worker iteration.  [idx] is a globally unique iteration id. *)
+  let iteration tid idx =
+    let ops = ref [] in
+    let add op = ops := op :: !ops in
+    (* Allocation churn: request-scoped objects (alloc, touch, free). *)
+    let churn_count =
+      let whole = int_of_float p.churn_per_entry in
+      let frac = p.churn_per_entry -. float_of_int whole in
+      whole + (if frac > 0. && mix idx 3 mod 1000 < int_of_float (frac *. 1000.) then 1 else 0)
+    in
+    let churned = ref [] in
+    for c = 0 to churn_count - 1 do
+      add
+        (Op.Alloc
+           { size = p.churn_size;
+             site = 7000 + (mix idx c mod 8);
+             on_result = (fun meta -> churned := meta :: !churned) })
+    done;
+    (* Private streaming work (the bulk of the baseline's cycles). *)
+    if p.block_accesses > 0 then begin
+      let access = if mix idx 5 mod 4 = 0 then `Write else `Read in
+      add (Builder.block ~base:(private_buffer_base tid) ~count:p.block_accesses ~span access)
+    end;
+    (* Sweep distinct non-shared heap objects individually: unique-page
+       layout turns this into dTLB pressure.  Shared objects are
+       excluded — touching them lock-free would be a race. *)
+    let shared_heap = min heap_n (rw_n + ro_n) in
+    let sweepable = heap_n - shared_heap in
+    if p.sweep_objects > 0 && sweepable > 0 then
+      for j = 0 to min p.sweep_objects sweepable - 1 do
+        add (Op.Read heap_bases.(shared_heap + ((mix idx 7 + (j * 13)) mod sweepable)))
+      done;
+    if p.compute > 0 then add (Op.Compute p.compute);
+    if p.io > 0 then add (Op.Io p.io);
+    (* The critical section.  Writable objects are partitioned into
+       ownership classes so that a given object is only ever written
+       under one lock: class [c] owns {j | j mod classes = c}, and a
+       class whose slice is empty simply writes nothing this entry. *)
+    let pick_in_class ~classes ~cls ~salt n =
+      if cls >= n then None
+      else
+        let size = ((n - 1 - cls) / classes) + 1 in
+        Some (cls + (classes * (mix idx salt mod size)))
+    in
+    let site, lock, rw_pick, ro_pick =
+      match p.mode with
+      | Partitioned ->
+        let site = idx mod max 1 p.sites in
+        let lock = site mod max 1 p.locks in
+        (* Objects are owned per lock, so sites sharing a lock share a
+           slice consistently. *)
+        let pick_rw w = pick_in_class ~classes:(max 1 p.locks) ~cls:lock ~salt:(11 + w) rw_n in
+        let pick_ro r = pick_in_class ~classes:(max 1 p.locks) ~cls:lock ~salt:(13 + r) ro_n in
+        (site, lock, pick_rw, pick_ro)
+      | Striped ->
+        let stripe = mix idx 17 mod max 1 p.locks in
+        let site = mix idx 19 mod max 1 p.sites in
+        let pick_rw w = pick_in_class ~classes:(max 1 p.locks) ~cls:stripe ~salt:(23 + w) rw_n in
+        (* Read-only objects are safe under any lock. *)
+        let pick_ro r = if ro_n = 0 then None else Some (mix (idx + r) 29 mod ro_n) in
+        (site, stripe, pick_rw, pick_ro)
+    in
+    let body = ref [] in
+    for w = 0 to p.rw_writes_per_entry - 1 do
+      match rw_pick w with
+      | Some j when rw_n > 0 ->
+        let j = j mod rw_n in
+        let offset = 8 * (mix idx w mod max 1 (obj_size j / 8)) in
+        body := Op.Write (rw_base j + offset) :: Op.Read (rw_base j + offset) :: !body
+      | Some _ | None -> ()
+    done;
+    for r = 0 to p.ro_reads_per_entry - 1 do
+      match ro_pick r with
+      | Some j when ro_n > 0 -> body := Op.Read (ro_base (j mod ro_n)) :: !body
+      | Some _ | None -> ()
+    done;
+    let body = if p.cs_compute > 0 then Op.Compute p.cs_compute :: !body else !body in
+    if body <> [] || p.sites > 0 then
+      List.iter add (Builder.critical_section ~lock:(100 + lock) ~site:(10 + site) body);
+    (* Free the churned objects (request lifetime ends).  The list is
+       only populated when the Alloc ops execute, so the frees are
+       emitted dynamically after the main op list drains. *)
+    let frees () =
+      match !churned with
+      | [] -> None
+      | meta :: rest ->
+        churned := rest;
+        Some (Op.Free meta)
+    in
+    Program.append (Program.of_list (List.rev !ops)) frees
+  in
+  let worker tid =
+    let prologue =
+      if p.block_accesses > 0 then
+        Program.of_list
+          [ Op.Alloc
+              { size = max span 8;
+                site = 8000 + tid;
+                on_result =
+                  (fun meta -> private_buffers.(tid) <- meta.Kard_alloc.Obj_meta.base) } ]
+      else Program.empty
+    in
+    let n = entries_of_thread tid in
+    let work = Program.repeat n (fun k -> iteration tid ((k * threads) + tid)) in
+    Program.concat [ prologue; Builder.wait_until ready; work ]
+  in
+  let main_thread =
+    let alloc_phase =
+      Builder.alloc_into_array ~n:heap_n ~size:p.heap_size ~site:7999 ~bases:heap_bases
+        ~count:allocated
+    in
+    Program.append alloc_phase (worker 0)
+  in
+  let (_ : int) = Machine.spawn machine main_thread in
+  for tid = 1 to threads - 1 do
+    let (_ : int) = Machine.spawn machine (worker tid) in
+    ()
+  done

@@ -1,0 +1,1 @@
+test/test_algorithm.ml: Alcotest Hashtbl Kard_core List Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_alloc.ml: Alcotest Gen Kard_alloc Kard_mpk Kard_vm List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Gen Kard_alloc Kard_baselines Kard_mpk Kard_sched Kard_vm Kard_workloads List Option QCheck QCheck_alcotest

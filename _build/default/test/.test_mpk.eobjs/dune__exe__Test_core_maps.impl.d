@@ -1,0 +1,1 @@
+test/test_core_maps.ml: Alcotest Format Kard_core Kard_mpk List QCheck QCheck_alcotest

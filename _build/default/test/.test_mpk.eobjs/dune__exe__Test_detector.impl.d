@@ -1,0 +1,1 @@
+test/test_detector.ml: Alcotest Format Kard_alloc Kard_core Kard_harness Kard_sched Kard_workloads List Option Printf

@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Array Kard_alloc Kard_core Kard_sched Kard_workloads List Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_filtration.ml: Alcotest Hashtbl Int Kard_core List Option Printf QCheck QCheck_alcotest Set String

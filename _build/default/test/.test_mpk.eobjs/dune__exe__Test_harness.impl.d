@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Kard_core Kard_harness Kard_sched Kard_workloads List String

@@ -1,0 +1,1 @@
+test/test_mpk.ml: Alcotest Fun Kard_mpk List QCheck QCheck_alcotest Result

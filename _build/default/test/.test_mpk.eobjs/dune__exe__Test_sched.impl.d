@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Kard_alloc Kard_sched Kard_workloads List

@@ -1,0 +1,1 @@
+test/test_validator.ml: Alcotest Kard_alloc Kard_core Kard_mpk Kard_sched Kard_workloads List Option

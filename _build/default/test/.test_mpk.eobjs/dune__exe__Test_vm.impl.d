@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Bytes Int64 Kard_mpk Kard_vm

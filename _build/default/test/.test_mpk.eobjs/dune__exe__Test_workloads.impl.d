@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Kard_core Kard_harness Kard_sched Kard_workloads List Option QCheck QCheck_alcotest String

@@ -1,0 +1,224 @@
+(* Tests for the allocators: consolidated unique page allocation
+   (paper section 5.3, figure 2), the metadata table, and the native
+   bump allocator used by Baseline/TSan runs. *)
+
+module Page = Kard_mpk.Page
+module Obj_meta = Kard_alloc.Obj_meta
+module Meta_table = Kard_alloc.Meta_table
+module Alloc_iface = Kard_alloc.Alloc_iface
+module Upa = Kard_alloc.Unique_page_alloc
+module Native = Kard_alloc.Native_alloc
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let make_upa ?granule ?recycle () =
+  let phys = Kard_vm.Phys_mem.create () in
+  let aspace = Kard_vm.Address_space.create phys in
+  let meta = Meta_table.create () in
+  let upa =
+    Upa.create ?granule ?recycle_virtual_pages:recycle aspace ~meta
+      ~cost:Kard_mpk.Cost_model.default ()
+  in
+  (phys, aspace, meta, upa, Upa.iface upa)
+
+(* {1 Figure 2: consolidation} *)
+
+let test_figure2_consolidation () =
+  let phys, aspace, _, upa, iface = make_upa () in
+  (* 128 objects of 32 B fit exactly into one physical page. *)
+  for i = 0 to 127 do
+    let (_ : Obj_meta.t * int) = iface.Alloc_iface.alloc ~site:i 32 in
+    ()
+  done;
+  check_int "128 virtual pages" 128 (Kard_vm.Address_space.mapped_pages aspace);
+  (* The file grows in batches; the objects' data needs only 1 page. *)
+  check "few physical frames" true (Kard_vm.Phys_mem.resident_frames phys <= 16);
+  check "file covers the data" true (Upa.file_bytes upa >= 128 * Upa.granule upa)
+
+let test_unique_virtual_pages () =
+  let _, _, _, _, iface = make_upa () in
+  let m1, _ = iface.Alloc_iface.alloc ~site:1 32 in
+  let m2, _ = iface.Alloc_iface.alloc ~site:1 32 in
+  check "different virtual pages" true
+    (Page.vpage_of_addr m1.Obj_meta.base <> Page.vpage_of_addr m2.Obj_meta.base);
+  (* Page-internal offsets shift so allocations never overlap in the
+     shared physical page. *)
+  check "page-internal bases differ" true
+    (Page.offset_in_page m1.Obj_meta.base <> Page.offset_in_page m2.Obj_meta.base)
+
+let test_aliased_objects_share_physical_page () =
+  let _, aspace, _, _, iface = make_upa () in
+  let m1, _ = iface.Alloc_iface.alloc ~site:1 32 in
+  let m2, _ = iface.Alloc_iface.alloc ~site:1 32 in
+  (* Writing through object 1's page at object 2's offset must land in
+     object 2: both virtual pages alias the same physical page. *)
+  let off2 = Page.offset_in_page m2.Obj_meta.base in
+  let m1_page_base = Page.base_of_vpage (Page.vpage_of_addr m1.Obj_meta.base) in
+  Kard_vm.Address_space.write_u8 aspace (m1_page_base + off2) 0x5a;
+  check_int "aliased write visible through object 2" 0x5a
+    (Kard_vm.Address_space.read_u8 aspace m2.Obj_meta.base)
+
+(* {1 Granule rounding (the water_nsquared pathology)} *)
+
+let test_granule_rounding () =
+  let _, _, _, upa, iface = make_upa () in
+  let m, _ = iface.Alloc_iface.alloc ~site:1 24 in
+  check_int "24 B reserves 32 B" 32 m.Obj_meta.reserved;
+  check_int "8 B wasted" 8 (Upa.wasted_bytes upa);
+  let m2, _ = iface.Alloc_iface.alloc ~site:1 33 in
+  check_int "33 B reserves 64 B" 64 m2.Obj_meta.reserved
+
+let test_granule_validation () =
+  check "granule must divide page" true
+    (try
+       ignore (make_upa ~granule:48 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_large_allocation_page_aligned () =
+  let _, _, _, _, iface = make_upa () in
+  let (_ : Obj_meta.t * int) = iface.Alloc_iface.alloc ~site:1 100 in
+  let m, _ = iface.Alloc_iface.alloc ~site:1 (2 * Page.size) in
+  check_int "page aligned" 0 (Page.offset_in_page m.Obj_meta.base);
+  check_int "spans two pages" 2 m.Obj_meta.pages
+
+(* {1 Metadata table} *)
+
+let test_meta_lookup () =
+  let _, _, meta, _, iface = make_upa () in
+  let m, _ = iface.Alloc_iface.alloc ~site:9 100 in
+  (match Meta_table.find_addr meta (m.Obj_meta.base + 50) with
+  | Some found -> check "lookup mid-object" true (Obj_meta.equal found m)
+  | None -> Alcotest.fail "expected to find object");
+  check "address beyond size misses" true
+    (Meta_table.find_addr meta (m.Obj_meta.base + 100) = None);
+  (* Page-granular lookup still resolves the padding (the fault path
+     uses it, since the page belongs to the object). *)
+  (match Meta_table.find_vpage meta (Page.vpage_of_addr m.Obj_meta.base) with
+  | Some found -> check "vpage lookup" true (Obj_meta.equal found m)
+  | None -> Alcotest.fail "expected vpage hit");
+  check_int "live count" 1 (Meta_table.live_count meta);
+  let (_ : int) = iface.Alloc_iface.free m in
+  check "gone after free" true (Meta_table.find_addr meta m.Obj_meta.base = None);
+  check_int "live count zero" 0 (Meta_table.live_count meta)
+
+let test_meta_site_and_kind () =
+  let _, _, _, _, iface = make_upa () in
+  let m, _ = iface.Alloc_iface.alloc ~site:42 16 in
+  check_int "site recorded" 42 (Obj_meta.site m);
+  check "heap kind" true (Obj_meta.is_heap m);
+  let g, _ = iface.Alloc_iface.alloc_global ~site:7 ~resident:true 64 in
+  check "global kind" false (Obj_meta.is_heap g)
+
+(* {1 Globals} *)
+
+let test_global_unique_pages () =
+  let _, aspace, _, _, iface = make_upa () in
+  let g1, _ = iface.Alloc_iface.alloc_global ~site:1 ~resident:true 8 in
+  let g2, _ = iface.Alloc_iface.alloc_global ~site:2 ~resident:true 8 in
+  check "globals on distinct pages" true
+    (Page.vpage_of_addr g1.Obj_meta.base <> Page.vpage_of_addr g2.Obj_meta.base);
+  check_int "resident globals mapped" 2 (Kard_vm.Address_space.mapped_pages aspace)
+
+let test_global_non_resident () =
+  let phys, aspace, _, _, iface = make_upa () in
+  let (_ : Obj_meta.t * int) = iface.Alloc_iface.alloc_global ~site:1 ~resident:false 64 in
+  check_int "no frames for untouched global" 0 (Kard_vm.Phys_mem.resident_frames phys);
+  check_int "not mapped" 0 (Kard_vm.Address_space.mapped_pages aspace);
+  ignore phys
+
+(* {1 Recycling (the PUSh-style extension, off by default)} *)
+
+let test_no_recycling_by_default () =
+  let _, _, _, _, iface = make_upa () in
+  let m, _ = iface.Alloc_iface.alloc ~site:1 32 in
+  let (_ : int) = iface.Alloc_iface.free m in
+  let m2, _ = iface.Alloc_iface.alloc ~site:1 32 in
+  check "fresh virtual pages" true (m2.Obj_meta.base <> m.Obj_meta.base);
+  check_int "no recycled allocs" 0 (iface.Alloc_iface.stats ()).Alloc_iface.recycled
+
+let test_recycling_reuses_mapping () =
+  let _, _, _, _, iface = make_upa ~recycle:true () in
+  let m, _ = iface.Alloc_iface.alloc ~site:1 32 in
+  let (_ : int) = iface.Alloc_iface.free m in
+  let m2, cost = iface.Alloc_iface.alloc ~site:1 32 in
+  check "same base reused" true (m2.Obj_meta.base = m.Obj_meta.base);
+  check_int "one recycled" 1 (iface.Alloc_iface.stats ()).Alloc_iface.recycled;
+  check "cheap fast path" true (cost < Kard_mpk.Cost_model.default.Kard_mpk.Cost_model.mmap)
+
+(* {1 Native allocator} *)
+
+let make_native () =
+  let phys = Kard_vm.Phys_mem.create () in
+  let aspace = Kard_vm.Address_space.create phys in
+  let meta = Meta_table.create () in
+  let native = Native.create aspace ~meta ~cost:Kard_mpk.Cost_model.default () in
+  (phys, meta, Native.iface native)
+
+let test_native_packs_objects () =
+  let _, _, iface = make_native () in
+  let m1, _ = iface.Alloc_iface.alloc ~site:1 16 in
+  let m2, _ = iface.Alloc_iface.alloc ~site:1 16 in
+  check "same page" true
+    (Page.vpage_of_addr m1.Obj_meta.base = Page.vpage_of_addr m2.Obj_meta.base)
+
+let test_native_freelist_reuse () =
+  let _, _, iface = make_native () in
+  let m, _ = iface.Alloc_iface.alloc ~site:1 64 in
+  let (_ : int) = iface.Alloc_iface.free m in
+  let m2, _ = iface.Alloc_iface.alloc ~site:1 64 in
+  check "address reused" true (m2.Obj_meta.base = m.Obj_meta.base)
+
+let test_native_alignment () =
+  let _, _, iface = make_native () in
+  let m, _ = iface.Alloc_iface.alloc ~site:1 3 in
+  check_int "16-byte alignment" 0 (m.Obj_meta.base land 15);
+  check_int "reserved rounded" 16 m.Obj_meta.reserved
+
+let test_native_large_mmap_path () =
+  let _, _, iface = make_native () in
+  let m, _ = iface.Alloc_iface.alloc ~site:1 (1024 * 1024) in
+  check_int "page aligned" 0 (Page.offset_in_page m.Obj_meta.base);
+  check_int "256 pages" 256 m.Obj_meta.pages
+
+let upa_no_overlap_prop =
+  QCheck.Test.make ~name:"unique-page allocations never overlap" ~count:50
+    QCheck.(list_of_size (Gen.int_range 2 30) (int_range 1 300))
+    (fun sizes ->
+      let _, _, _, _, iface = make_upa () in
+      let metas = List.map (fun size -> fst (iface.Alloc_iface.alloc ~site:0 size)) sizes in
+      (* Pairwise disjoint virtual ranges. *)
+      let ranges = List.map (fun m -> (m.Obj_meta.base, m.Obj_meta.base + m.Obj_meta.size)) metas in
+      let rec disjoint = function
+        | [] -> true
+        | (lo, hi) :: rest ->
+          List.for_all (fun (lo', hi') -> hi <= lo' || hi' <= lo) rest && disjoint rest
+      in
+      disjoint ranges)
+
+let () =
+  Alcotest.run "kard_alloc"
+    [ ( "consolidation",
+        [ Alcotest.test_case "figure 2" `Quick test_figure2_consolidation;
+          Alcotest.test_case "unique virtual pages" `Quick test_unique_virtual_pages;
+          Alcotest.test_case "physical sharing" `Quick test_aliased_objects_share_physical_page;
+          QCheck_alcotest.to_alcotest upa_no_overlap_prop ] );
+      ( "granule",
+        [ Alcotest.test_case "rounding" `Quick test_granule_rounding;
+          Alcotest.test_case "validation" `Quick test_granule_validation;
+          Alcotest.test_case "large allocations" `Quick test_large_allocation_page_aligned ] );
+      ( "metadata",
+        [ Alcotest.test_case "lookup" `Quick test_meta_lookup;
+          Alcotest.test_case "site and kind" `Quick test_meta_site_and_kind ] );
+      ( "globals",
+        [ Alcotest.test_case "unique pages" `Quick test_global_unique_pages;
+          Alcotest.test_case "non-resident" `Quick test_global_non_resident ] );
+      ( "recycling",
+        [ Alcotest.test_case "off by default" `Quick test_no_recycling_by_default;
+          Alcotest.test_case "reuses mappings" `Quick test_recycling_reuses_mapping ] );
+      ( "native",
+        [ Alcotest.test_case "packs objects" `Quick test_native_packs_objects;
+          Alcotest.test_case "freelist reuse" `Quick test_native_freelist_reuse;
+          Alcotest.test_case "alignment" `Quick test_native_alignment;
+          Alcotest.test_case "large mmap path" `Quick test_native_large_mmap_path ] ) ]

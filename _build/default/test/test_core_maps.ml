@@ -1,0 +1,371 @@
+(* Tests for the runtime's bookkeeping: protection domains, the
+   section-object map, the key-section map, and effective key
+   assignment (paper sections 5.2-5.4). *)
+
+module Pkey = Kard_mpk.Pkey
+module Perm = Kard_mpk.Perm
+module Domain_state = Kard_core.Domain_state
+module Somap = Kard_core.Section_object_map
+module Ksmap = Kard_core.Key_section_map
+module Key_assign = Kard_core.Key_assign
+module Config = Kard_core.Config
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* {1 Domain_state} *)
+
+let test_domain_default_and_migration () =
+  let d = Domain_state.create () in
+  check "unknown objects are not-accessed" true
+    (Domain_state.domain_of d ~obj_id:9 = Domain_state.Not_accessed);
+  Domain_state.set d ~obj_id:9 Domain_state.Read_only;
+  check "read-only" true (Domain_state.domain_of d ~obj_id:9 = Domain_state.Read_only);
+  check_int "one migration" 1 (Domain_state.migrations d);
+  Domain_state.set d ~obj_id:9 Domain_state.Read_only;
+  check_int "idempotent set is free" 1 (Domain_state.migrations d)
+
+let test_domain_key_index () =
+  let d = Domain_state.create () in
+  let k1 = Pkey.of_int 1 in
+  Domain_state.set d ~obj_id:1 (Domain_state.Read_write k1);
+  Domain_state.set d ~obj_id:2 (Domain_state.Read_write k1);
+  check_int "two objects on k1" 2 (List.length (Domain_state.objects_with_key d k1));
+  Domain_state.set d ~obj_id:1 Domain_state.Read_only;
+  check_int "one left after demotion" 1 (List.length (Domain_state.objects_with_key d k1));
+  Domain_state.forget d ~obj_id:2;
+  check_int "none after forget" 0 (List.length (Domain_state.objects_with_key d k1))
+
+let test_domain_counts () =
+  let d = Domain_state.create () in
+  Domain_state.set d ~obj_id:1 Domain_state.Read_only;
+  Domain_state.set d ~obj_id:2 (Domain_state.Read_write (Pkey.of_int 3));
+  (* Setting a fresh object to Not-accessed is a no-op: that is
+     already its implicit domain. *)
+  Domain_state.set d ~obj_id:3 Domain_state.Not_accessed;
+  check_int "ro count" 1 (Domain_state.count_in d `Read_only);
+  check_int "rw count" 1 (Domain_state.count_in d `Read_write);
+  check_int "na count" 0 (Domain_state.count_in d `Not_accessed);
+  check_int "tracked" 2 (Domain_state.tracked d);
+  (* A demotion from a real domain is tracked explicitly. *)
+  Domain_state.set d ~obj_id:1 Domain_state.Not_accessed;
+  check_int "demoted counts as na" 1 (Domain_state.count_in d `Not_accessed)
+
+(* {1 Section_object_map} *)
+
+let test_somap_record_lookup () =
+  let m = Somap.create () in
+  Somap.record m ~section:10 ~obj_id:1 Somap.Needs_read;
+  Somap.record m ~section:10 ~obj_id:2 Somap.Needs_write;
+  check_int "two objects" 2 (List.length (Somap.objects_of m ~section:10));
+  check "need of 1" true (Somap.need_of m ~section:10 ~obj_id:1 = Some Somap.Needs_read);
+  check "unknown section empty" true (Somap.objects_of m ~section:99 = [])
+
+let test_somap_write_sticky () =
+  let m = Somap.create () in
+  Somap.record m ~section:10 ~obj_id:1 Somap.Needs_write;
+  Somap.record m ~section:10 ~obj_id:1 Somap.Needs_read;
+  check "write survives later read" true
+    (Somap.need_of m ~section:10 ~obj_id:1 = Some Somap.Needs_write);
+  Somap.record m ~section:10 ~obj_id:2 Somap.Needs_read;
+  Somap.record m ~section:10 ~obj_id:2 Somap.Needs_write;
+  check "read upgrades to write" true
+    (Somap.need_of m ~section:10 ~obj_id:2 = Some Somap.Needs_write)
+
+let test_somap_reverse_index () =
+  let m = Somap.create () in
+  Somap.record m ~section:10 ~obj_id:1 Somap.Needs_read;
+  Somap.record m ~section:20 ~obj_id:1 Somap.Needs_read;
+  Somap.record m ~section:30 ~obj_id:1 Somap.Needs_write;
+  check_int "three touching" 3 (List.length (Somap.sections_touching m ~obj_id:1));
+  check_int "two reading" 2 (List.length (Somap.sections_reading m ~obj_id:1));
+  Somap.forget_object m ~obj_id:1;
+  check_int "forgotten" 0 (List.length (Somap.sections_touching m ~obj_id:1));
+  check "removed from sections" true (Somap.need_of m ~section:10 ~obj_id:1 = None)
+
+(* {1 Key_section_map} *)
+
+let holder ?(perm = Perm.Read_write) ?(section = 10) ?(lock = 1) tid =
+  { Ksmap.tid; perm; section; lock }
+
+let test_ksmap_exclusive_write () =
+  let m = Ksmap.create () in
+  let k = Pkey.of_int 1 in
+  Ksmap.acquire m k (holder 0);
+  check "second rw denied" false (Ksmap.can_acquire m k ~tid:1 Perm.Read_write);
+  check "ro denied under rw" false (Ksmap.can_acquire m k ~tid:1 Perm.Read_only);
+  check "holder may re-acquire" true (Ksmap.can_acquire m k ~tid:0 Perm.Read_write);
+  check "write holder found" true
+    (match Ksmap.write_holder m k with
+    | Some h -> h.Ksmap.tid = 0
+    | None -> false)
+
+let test_ksmap_shared_read () =
+  let m = Ksmap.create () in
+  let k = Pkey.of_int 2 in
+  Ksmap.acquire m k (holder ~perm:Perm.Read_only 0);
+  check "second reader allowed" true (Ksmap.can_acquire m k ~tid:1 Perm.Read_only);
+  Ksmap.acquire m k (holder ~perm:Perm.Read_only ~section:20 1);
+  check_int "two holders" 2 (List.length (Ksmap.holders m k));
+  check "writer denied under readers" false (Ksmap.can_acquire m k ~tid:2 Perm.Read_write);
+  check "no write holder" true (Ksmap.write_holder m k = None)
+
+let test_ksmap_release_and_timestamp () =
+  let m = Ksmap.create () in
+  let k = Pkey.of_int 3 in
+  Ksmap.acquire m k (holder 0);
+  Ksmap.release m k ~tid:0 ~time:1000;
+  check "released" true (Ksmap.holders m k = []);
+  (match Ksmap.last_release m k with
+  | Some (1000, h) -> check_int "releaser identity kept" 0 h.Ksmap.tid
+  | _ -> Alcotest.fail "expected release record");
+  check "recent within window" true (Ksmap.recently_released m k ~now:1500 ~window:1000);
+  check "stale outside window" false (Ksmap.recently_released m k ~now:99_999 ~window:1000)
+
+let test_ksmap_upgrade () =
+  let m = Ksmap.create () in
+  let k = Pkey.of_int 4 in
+  Ksmap.acquire m k (holder ~perm:Perm.Read_only 0);
+  Ksmap.acquire m k (holder ~perm:Perm.Read_write 0);
+  (match Ksmap.write_holder m k with
+  | Some h -> check_int "upgraded in place" 0 h.Ksmap.tid
+  | None -> Alcotest.fail "expected upgrade");
+  check_int "still one holding" 1 (List.length (Ksmap.holders m k))
+
+let test_ksmap_force_acquire () =
+  let m = Ksmap.create () in
+  let k = Pkey.of_int 5 in
+  Ksmap.acquire m k (holder 0);
+  check "normal acquire raises" true
+    (try
+       Ksmap.acquire m k (holder 1);
+       false
+     with Invalid_argument _ -> true);
+  Ksmap.force_acquire m k (holder ~section:20 1);
+  check_int "shared holding" 2 (List.length (Ksmap.holders m k))
+
+let test_ksmap_sections () =
+  let m = Ksmap.create () in
+  Ksmap.acquire m (Pkey.of_int 1) (holder ~section:10 0);
+  Ksmap.acquire m (Pkey.of_int 2) (holder ~section:20 1);
+  check "section 10 active" true (Ksmap.is_section_active m ~section:10);
+  check_int "two active" 2 (List.length (Ksmap.active_sections m));
+  Ksmap.release m (Pkey.of_int 1) ~tid:0 ~time:0;
+  check "section 10 inactive" false (Ksmap.is_section_active m ~section:10)
+
+(* {1 Key_assign: the three rules of section 5.4} *)
+
+let assign_env () =
+  let config = Config.default in
+  (Key_assign.create config, Ksmap.create (), Domain_state.create (), Somap.create ())
+
+let test_assign_reuse_rule () =
+  let ka, ksmap, domains, somap = assign_env () in
+  Ksmap.acquire ksmap (Pkey.of_int 5) (holder 0);
+  (match Key_assign.choose ka ~ksmap ~domains ~somap ~tid:0 ~section:10 with
+  | Key_assign.Reuse k -> check_int "reuses held key" 5 (Pkey.to_int k)
+  | _ -> Alcotest.fail "expected Reuse")
+
+let test_assign_fresh_rule () =
+  let ka, ksmap, domains, somap = assign_env () in
+  (match Key_assign.choose ka ~ksmap ~domains ~somap ~tid:0 ~section:10 with
+  | Key_assign.Fresh _ -> ()
+  | _ -> Alcotest.fail "expected Fresh when keys are unassigned")
+
+let test_assign_recycle_rule () =
+  let ka, ksmap, domains, somap = assign_env () in
+  (* All 13 keys protect objects, none held: recycling picks the key
+     with the fewest objects to demote. *)
+  List.iteri
+    (fun i key ->
+      Domain_state.set domains ~obj_id:(100 + i) (Domain_state.Read_write key);
+      if i <> 4 then Domain_state.set domains ~obj_id:(200 + i) (Domain_state.Read_write key))
+    (Key_assign.available_keys ka);
+  (match Key_assign.choose ka ~ksmap ~domains ~somap ~tid:0 ~section:10 with
+  | Key_assign.Recycle (k, objs) ->
+    check_int "cheapest key" 5 (Pkey.to_int k);
+    check_int "its objects listed" 1 (List.length objs)
+  | _ -> Alcotest.fail "expected Recycle")
+
+let test_assign_share_rule () =
+  let config = { Config.default with Config.data_keys = 2 } in
+  let ka = Key_assign.create config in
+  let ksmap = Ksmap.create () in
+  let domains = Domain_state.create () in
+  let somap = Somap.create () in
+  (* Both keys held, both protecting objects: sharing is forced. *)
+  List.iteri
+    (fun i key ->
+      Domain_state.set domains ~obj_id:i (Domain_state.Read_write key);
+      Ksmap.acquire ksmap key (holder ~section:(20 + i) i))
+    (Key_assign.available_keys ka);
+  Somap.record somap ~section:20 ~obj_id:0 Somap.Needs_write;
+  Somap.record somap ~section:21 ~obj_id:1 Somap.Needs_write;
+  Somap.record somap ~section:10 ~obj_id:50 Somap.Needs_write;
+  (match Key_assign.choose ka ~ksmap ~domains ~somap ~tid:5 ~section:10 with
+  | Key_assign.Share _ -> ()
+  | d -> Alcotest.failf "expected Share, got %s" (Format.asprintf "%a" Key_assign.pp_decision d))
+
+let test_assign_key_budget () =
+  check "zero keys rejected" true
+    (try
+       ignore (Key_assign.create { Config.default with Config.data_keys = 0 });
+       false
+     with Invalid_argument _ -> true);
+  check "14 keys rejected" true
+    (try
+       ignore (Key_assign.create { Config.default with Config.data_keys = 14 });
+       false
+     with Invalid_argument _ -> true);
+  let ka = Key_assign.create { Config.default with Config.data_keys = 3 } in
+  check_int "budget respected" 3 (List.length (Key_assign.available_keys ka))
+
+let test_assign_stats () =
+  let ka, ksmap, domains, somap = assign_env () in
+  let d = Key_assign.choose ka ~ksmap ~domains ~somap ~tid:0 ~section:10 in
+  Key_assign.note ka d;
+  check_int "fresh counted" 1 (Key_assign.stats ka).Key_assign.fresh_events
+
+(* {1 Soft_keys: the section 8 software fallback} *)
+
+module Soft_keys = Kard_core.Soft_keys
+
+let test_soft_pool_membership () =
+  let s = Soft_keys.create () in
+  check "empty" false (Soft_keys.mem s ~obj_id:1);
+  Soft_keys.add_object s ~obj_id:1;
+  check "pooled" true (Soft_keys.mem s ~obj_id:1);
+  check_int "count" 1 (Soft_keys.pooled s)
+
+let test_soft_exclusive_write () =
+  let s = Soft_keys.create () in
+  Soft_keys.add_object s ~obj_id:1;
+  check "writer claims" true
+    (Soft_keys.access s ~obj_id:1 ~tid:0 ~section:(Some 10) ~lock:(Some 1) ~access:`Write
+    = Soft_keys.Soft_ok);
+  (match Soft_keys.access s ~obj_id:1 ~tid:1 ~section:(Some 20) ~lock:(Some 2) ~access:`Write with
+  | Soft_keys.Soft_conflict [ h ] -> check_int "holder id" 0 h.Ksmap.tid
+  | _ -> Alcotest.fail "expected conflict");
+  check "holder re-access fine" true
+    (Soft_keys.access s ~obj_id:1 ~tid:0 ~section:(Some 10) ~lock:(Some 1) ~access:`Read
+    = Soft_keys.Soft_ok)
+
+let test_soft_shared_read () =
+  let s = Soft_keys.create () in
+  Soft_keys.add_object s ~obj_id:1;
+  check "reader 1" true
+    (Soft_keys.access s ~obj_id:1 ~tid:0 ~section:(Some 10) ~lock:(Some 1) ~access:`Read
+    = Soft_keys.Soft_ok);
+  check "reader 2 shares" true
+    (Soft_keys.access s ~obj_id:1 ~tid:1 ~section:(Some 20) ~lock:(Some 2) ~access:`Read
+    = Soft_keys.Soft_ok);
+  check "writer conflicts with readers" true
+    (match Soft_keys.access s ~obj_id:1 ~tid:2 ~section:(Some 30) ~lock:(Some 3) ~access:`Write with
+    | Soft_keys.Soft_conflict _ -> true
+    | Soft_keys.Soft_ok -> false)
+
+let test_soft_release () =
+  let s = Soft_keys.create () in
+  Soft_keys.add_object s ~obj_id:1;
+  ignore (Soft_keys.access s ~obj_id:1 ~tid:0 ~section:(Some 10) ~lock:(Some 1) ~access:`Write);
+  Soft_keys.release_thread s ~tid:0 ~time:100;
+  check "free after release" true
+    (Soft_keys.access s ~obj_id:1 ~tid:1 ~section:(Some 20) ~lock:(Some 2) ~access:`Write
+    = Soft_keys.Soft_ok)
+
+let test_soft_outside_section () =
+  let s = Soft_keys.create () in
+  Soft_keys.add_object s ~obj_id:1;
+  (* Outside-section accesses check conflicts but never claim. *)
+  check "outside ok when free" true
+    (Soft_keys.access s ~obj_id:1 ~tid:0 ~section:None ~lock:None ~access:`Write = Soft_keys.Soft_ok);
+  check "still free" true
+    (Soft_keys.access s ~obj_id:1 ~tid:1 ~section:(Some 20) ~lock:(Some 2) ~access:`Write
+    = Soft_keys.Soft_ok)
+
+(* {1 Key assignment properties} *)
+
+let assign_state_gen =
+  QCheck.Gen.(
+    let* keys = int_range 1 13 in
+    (* Per data key: held by a thread (Some tid) or not, plus how many
+       objects it protects. *)
+    let* key_states = list_size (return keys) (pair (opt (int_range 0 3)) (int_range 0 3)) in
+    return (keys, key_states))
+
+let assign_decision_prop =
+  QCheck.Test.make ~name:"key assignment decisions respect the rules" ~count:400
+    (QCheck.make ~print:(fun _ -> "<state>") assign_state_gen)
+    (fun (keys, key_states) ->
+      let config = { Config.default with Config.data_keys = keys } in
+      let ka = Key_assign.create config in
+      let ksmap = Ksmap.create () in
+      let domains = Domain_state.create () in
+      let somap = Somap.create () in
+      let next_obj = ref 100 in
+      List.iteri
+        (fun i (held_by, objects) ->
+          let key = List.nth (Key_assign.available_keys ka) i in
+          for _ = 1 to objects do
+            Domain_state.set domains ~obj_id:!next_obj (Domain_state.Read_write key);
+            incr next_obj
+          done;
+          match held_by with
+          | Some tid -> Ksmap.acquire ksmap key (holder ~section:(20 + tid) ~lock:tid tid)
+          | None -> ())
+        key_states;
+      let faulter = 9 (* holds nothing *) in
+      let decision = Key_assign.choose ka ~ksmap ~domains ~somap ~tid:faulter ~section:10 in
+      let unassigned_exists =
+        List.exists
+          (fun key ->
+            Ksmap.holders ksmap key = [] && Domain_state.objects_with_key domains key = [])
+          (Key_assign.available_keys ka)
+      in
+      let unheld_exists =
+        List.exists (fun key -> Ksmap.holders ksmap key = []) (Key_assign.available_keys ka)
+      in
+      match decision with
+      | Key_assign.Reuse _ -> false (* the faulter holds nothing *)
+      | Key_assign.Fresh key ->
+        unassigned_exists
+        && Ksmap.holders ksmap key = []
+        && Domain_state.objects_with_key domains key = []
+      | Key_assign.Recycle (key, objs) ->
+        (not unassigned_exists)
+        && Ksmap.holders ksmap key = []
+        && List.sort compare objs
+           = List.sort compare (Domain_state.objects_with_key domains key)
+      | Key_assign.Share _ -> not unheld_exists)
+
+let () =
+  Alcotest.run "kard_core_maps"
+    [ ( "domains",
+        [ Alcotest.test_case "default and migration" `Quick test_domain_default_and_migration;
+          Alcotest.test_case "key index" `Quick test_domain_key_index;
+          Alcotest.test_case "counts" `Quick test_domain_counts ] );
+      ( "section_object_map",
+        [ Alcotest.test_case "record/lookup" `Quick test_somap_record_lookup;
+          Alcotest.test_case "write sticky" `Quick test_somap_write_sticky;
+          Alcotest.test_case "reverse index" `Quick test_somap_reverse_index ] );
+      ( "key_section_map",
+        [ Alcotest.test_case "exclusive write" `Quick test_ksmap_exclusive_write;
+          Alcotest.test_case "shared read" `Quick test_ksmap_shared_read;
+          Alcotest.test_case "release and timestamp" `Quick test_ksmap_release_and_timestamp;
+          Alcotest.test_case "upgrade" `Quick test_ksmap_upgrade;
+          Alcotest.test_case "force acquire (sharing)" `Quick test_ksmap_force_acquire;
+          Alcotest.test_case "active sections" `Quick test_ksmap_sections ] );
+      ( "key_assign",
+        [ Alcotest.test_case "rule 1: reuse" `Quick test_assign_reuse_rule;
+          Alcotest.test_case "rule 2: fresh" `Quick test_assign_fresh_rule;
+          Alcotest.test_case "rule 3a: recycle" `Quick test_assign_recycle_rule;
+          Alcotest.test_case "rule 3b: share" `Quick test_assign_share_rule;
+          Alcotest.test_case "key budget" `Quick test_assign_key_budget;
+          Alcotest.test_case "stats" `Quick test_assign_stats ] );
+      ("key_assign properties", [ QCheck_alcotest.to_alcotest assign_decision_prop ]);
+      ( "soft_keys",
+        [ Alcotest.test_case "pool membership" `Quick test_soft_pool_membership;
+          Alcotest.test_case "exclusive write" `Quick test_soft_exclusive_write;
+          Alcotest.test_case "shared read" `Quick test_soft_shared_read;
+          Alcotest.test_case "release" `Quick test_soft_release;
+          Alcotest.test_case "outside section" `Quick test_soft_outside_section ] ) ]

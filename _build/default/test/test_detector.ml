@@ -1,0 +1,282 @@
+(* End-to-end tests of the Kard runtime over the simulated machine:
+   the controlled race scenarios with their ground truth, plus
+   configuration ablations. *)
+
+module Machine = Kard_sched.Machine
+module Program = Kard_sched.Program
+module Op = Kard_sched.Op
+module Detector = Kard_core.Detector
+module Config = Kard_core.Config
+module Race_suite = Kard_workloads.Race_suite
+module Runner = Kard_harness.Runner
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* {1 Every scenario meets its expectation under all three detectors} *)
+
+let scenario_case (s : Race_suite.t) =
+  Alcotest.test_case s.Race_suite.name `Quick (fun () ->
+      let kard = Runner.run_scenario ~detector:(Runner.Kard s.Race_suite.config) s in
+      let tsan = Runner.run_scenario ~detector:Runner.Tsan s in
+      let lockset = Runner.run_scenario ~detector:Runner.Lockset s in
+      let fmt_exp e = Format.asprintf "%a" Race_suite.pp_expectation e in
+      let kard_n = List.length kard.Runner.kard_ilu_races in
+      if not (Race_suite.check s.Race_suite.expect_kard_ilu kard_n) then
+        Alcotest.failf "kard: got %d, expected %s" kard_n (fmt_exp s.Race_suite.expect_kard_ilu);
+      let tsan_n = List.length tsan.Runner.tsan_races in
+      if not (Race_suite.check s.Race_suite.expect_tsan tsan_n) then
+        Alcotest.failf "tsan: got %d, expected %s" tsan_n (fmt_exp s.Race_suite.expect_tsan);
+      let lockset_n = List.length lockset.Runner.lockset_warnings in
+      if not (Race_suite.check s.Race_suite.expect_lockset lockset_n) then
+        Alcotest.failf "lockset: got %d, expected %s" lockset_n (fmt_exp s.Race_suite.expect_lockset))
+
+(* Scenarios must hold across scheduler seeds, not just the default. *)
+let seed_robustness_case seed =
+  Alcotest.test_case (Printf.sprintf "ilu-lock-lock seed %d" seed) `Quick (fun () ->
+      let s = Race_suite.ilu_lock_lock in
+      let kard = Runner.run_scenario ~seed ~detector:(Runner.Kard s.Race_suite.config) s in
+      check "race found" true (List.length kard.Runner.kard_ilu_races >= 1))
+
+let seed_robustness_negative seed =
+  Alcotest.test_case (Printf.sprintf "same-lock seed %d" seed) `Quick (fun () ->
+      let s = Race_suite.same_lock in
+      let kard = Runner.run_scenario ~seed ~detector:(Runner.Kard s.Race_suite.config) s in
+      check_int "no false positive" 0 (List.length kard.Runner.kard_ilu_races))
+
+(* {1 Ablations} *)
+
+let run_scenario_with_config s config =
+  let cell = ref None in
+  let machine =
+    Machine.create ~seed:42
+      ~allocator:(Machine.Unique_page { granule = 32; recycle_virtual_pages = false })
+      ~make_detector:(Detector.make ~config ~cell)
+      ()
+  in
+  s.Race_suite.build machine;
+  let (_ : Machine.report) = Machine.run machine in
+  Option.get !cell
+
+let test_ablation_no_interleaving () =
+  (* Without protection interleaving, the different-offset record is
+     never pruned — the false positive stays. *)
+  let config =
+    { Race_suite.different_offset_large_cs.Race_suite.config with
+      Config.protection_interleaving = false }
+  in
+  let d = run_scenario_with_config Race_suite.different_offset_large_cs config in
+  check "false positive without interleaving" true (List.length (Detector.ilu_races d) >= 1);
+  let default = run_scenario_with_config Race_suite.different_offset_large_cs Config.default in
+  check_int "pruned with interleaving" 0 (List.length (Detector.ilu_races default))
+
+let test_ablation_no_dedupe () =
+  let config = { Config.default with Config.redundancy_pruning = false } in
+  let with_dedupe = run_scenario_with_config Race_suite.ilu_lock_lock Config.default in
+  let without = run_scenario_with_config Race_suite.ilu_lock_lock config in
+  check "dedupe reduces records" true
+    (List.length (Detector.races without) >= List.length (Detector.races with_dedupe));
+  check "duplicates appear without dedupe" true
+    ((Detector.stats without).Detector.records_logged
+    >= (Detector.stats with_dedupe).Detector.records_logged)
+
+let test_ablation_reactive_only () =
+  (* Disabling proactive acquisition must not lose the race; it only
+     costs more faults. *)
+  let config = { Config.default with Config.proactive_acquisition = false } in
+  let d = run_scenario_with_config Race_suite.ilu_lock_lock config in
+  check "race still found" true (List.length (Detector.ilu_races d) >= 1);
+  let stats = Detector.stats d in
+  check_int "nothing proactive" 0 stats.Detector.proactive_acquisitions
+
+let test_software_fallback_eliminates_fn () =
+  (* Section 8: with the software fallback, the 1-key sharing scenario
+     no longer misses the conflict — at a fault-per-access cost. *)
+  let config =
+    { Config.default with Config.data_keys = 1; software_fallback = true }
+  in
+  let d = run_scenario_with_config Race_suite.key_sharing_false_negative config in
+  let stats = Detector.stats d in
+  check "object pooled instead of shared" true (stats.Detector.soft_fallbacks >= 1);
+  check_int "no sharing events" 0 stats.Detector.sharing_events;
+  check "soft faults charged" true (stats.Detector.soft_faults >= 1);
+  check "conflict detected" true (List.length (Detector.ilu_races d) >= 1)
+
+let test_software_fallback_no_false_alarms () =
+  (* Consistent locking stays clean under the fallback too. *)
+  let config = { Config.default with Config.data_keys = 1; software_fallback = true } in
+  let d = run_scenario_with_config Race_suite.same_lock config in
+  check_int "no records" 0 (List.length (Detector.ilu_races d))
+
+let test_delay_injection_raises_detection () =
+  (* Section 5.5: "mitigated with delay injection" — the rarely
+     overlapping sections' race is found far more often when exits
+     linger. *)
+  let rate config =
+    (Kard_harness.Explorer.explore_scenario ~seeds:(List.init 10 (fun i -> i + 1)) ~config
+       Race_suite.small_cs_race)
+      .Kard_harness.Explorer.detection_rate
+  in
+  let without = rate Config.default in
+  let with_delay = rate { Config.default with Config.exit_delay_cycles = 100_000 } in
+  check "delay raises the detection rate" true (with_delay > without);
+  check "delay makes detection near-certain" true (with_delay >= 0.9)
+
+let test_delay_injection_no_false_alarms () =
+  let config = { Config.default with Config.exit_delay_cycles = 100_000 } in
+  let d = run_scenario_with_config Race_suite.same_lock config in
+  check_int "consistent locking stays clean" 0 (List.length (Detector.ilu_races d))
+
+let test_binary_mode_still_detects () =
+  (* Section 8's binary deployment: sections named by lock only.
+     Detection of ILU races is unchanged (the conflicting sides hold
+     different locks by definition); consistent locking stays clean. *)
+  let config = { Config.default with Config.section_identity = Config.By_lock } in
+  let racy = run_scenario_with_config Race_suite.ilu_lock_lock config in
+  check "race still found" true (List.length (Detector.ilu_races racy) >= 1);
+  let clean = run_scenario_with_config Race_suite.same_lock config in
+  check_int "no false positives" 0 (List.length (Detector.ilu_races clean))
+
+let test_key_sharing_only_under_pressure () =
+  (* With the full 13 keys the sharing scenario's conflict is caught. *)
+  let d = run_scenario_with_config Race_suite.key_sharing_false_negative Config.default in
+  check "13 keys avoid the false negative" true (List.length (Detector.ilu_races d) >= 1);
+  let one_key = { Config.default with Config.data_keys = 1 } in
+  let d1 = run_scenario_with_config Race_suite.key_sharing_false_negative one_key in
+  check_int "1 key shares and misses" 0 (List.length (Detector.ilu_races d1));
+  check "sharing event recorded" true ((Detector.stats d1).Detector.sharing_events >= 1)
+
+(* {1 Runtime mechanics through a micro program} *)
+
+let micro_machine config =
+  let cell = ref None in
+  let machine =
+    Machine.create ~seed:1
+      ~allocator:(Machine.Unique_page { granule = 32; recycle_virtual_pages = false })
+      ~make_detector:(Detector.make ~config ~cell)
+      ()
+  in
+  (machine, cell)
+
+let test_identification_and_domains () =
+  let machine, cell = micro_machine Config.default in
+  let base = ref 0 in
+  let prog =
+    Program.concat
+      [ Program.of_list
+          [ Op.Alloc { size = 32; site = 1; on_result = (fun m -> base := m.Kard_alloc.Obj_meta.base) } ];
+        Program.delay (fun () ->
+            Program.of_list
+              (Kard_workloads.Builder.critical_section ~lock:1 ~site:5
+                 [ Op.Read !base; Op.Write !base ])) ]
+  in
+  let (_ : int) = Machine.spawn machine prog in
+  let (_ : Machine.report) = Machine.run machine in
+  let d = Option.get !cell in
+  let stats = Detector.stats d in
+  (* Read identifies into Read-only, the write then migrates to
+     Read-write: two identification faults. *)
+  check_int "read identification" 1 stats.Detector.identifications_read;
+  check_int "write identification" 1 stats.Detector.identifications_write;
+  check_int "unique ro seen" 1 (Detector.unique_ro_objects d);
+  check_int "unique rw seen" 1 (Detector.unique_rw_objects d);
+  check_int "no races" 0 (List.length (Detector.races d))
+
+let test_outside_cs_access_is_free () =
+  let machine, cell = micro_machine Config.default in
+  let base = ref 0 in
+  let prog =
+    Program.concat
+      [ Program.of_list
+          [ Op.Alloc { size = 32; site = 1; on_result = (fun m -> base := m.Kard_alloc.Obj_meta.base) } ];
+        Program.delay (fun () -> Program.of_list [ Op.Write !base; Op.Read !base ]) ]
+  in
+  let (_ : int) = Machine.spawn machine prog in
+  let report = Machine.run machine in
+  let d = Option.get !cell in
+  (* Outside critical sections the thread holds k_na read-write: no
+     faults, no identification — Kard's lightweight claim. *)
+  check_int "no faults" 0 report.Machine.faults;
+  check_int "nothing identified" 0 (Detector.stats d).Detector.identifications_write
+
+let test_proactive_second_entry () =
+  let machine, cell = micro_machine Config.default in
+  let base = ref 0 in
+  let cs () =
+    Program.delay (fun () ->
+        Program.of_list
+          (Kard_workloads.Builder.critical_section ~lock:1 ~site:5 [ Op.Write !base ]))
+  in
+  let prog =
+    Program.concat
+      [ Program.of_list
+          [ Op.Alloc { size = 32; site = 1; on_result = (fun m -> base := m.Kard_alloc.Obj_meta.base) } ];
+        cs ();
+        cs () ]
+  in
+  let (_ : int) = Machine.spawn machine prog in
+  let (_ : Machine.report) = Machine.run machine in
+  let d = Option.get !cell in
+  let stats = Detector.stats d in
+  (* The second entry acquires the key proactively: only one fault. *)
+  check_int "one identification" 1 stats.Detector.identifications_write;
+  check "proactive acquisition happened" true (stats.Detector.proactive_acquisitions >= 1)
+
+let test_free_in_section_cleans_up () =
+  let machine, cell = micro_machine Config.default in
+  let meta = ref None in
+  let prog =
+    Program.concat
+      [ Program.of_list [ Op.Lock { lock = 1; site = 5 } ];
+        Program.of_list [ Op.Alloc { size = 32; site = 1; on_result = (fun m -> meta := Some m) } ];
+        Program.delay (fun () ->
+            let m = Option.get !meta in
+            Program.of_list [ Op.Write m.Kard_alloc.Obj_meta.base; Op.Free m ]);
+        Program.of_list [ Op.Unlock { lock = 1 } ] ]
+  in
+  let (_ : int) = Machine.spawn machine prog in
+  let (_ : Machine.report) = Machine.run machine in
+  let d = Option.get !cell in
+  check_int "no dangling domains" 0 (Kard_core.Domain_state.tracked (Detector.domains d));
+  check_int "no races" 0 (List.length (Detector.races d))
+
+let test_lifo_unlock_enforced () =
+  let machine, _ = micro_machine Config.default in
+  let (_ : int) =
+    Machine.spawn machine
+      (Program.of_list
+         [ Op.Lock { lock = 1; site = 1 };
+           Op.Lock { lock = 2; site = 2 };
+           Op.Unlock { lock = 1 } (* wrong order *) ])
+  in
+  check "non-LIFO unlock rejected" true
+    (try
+       ignore (Machine.run machine);
+       false
+     with Machine.Stuck _ | Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "kard_detector"
+    [ ("scenarios", List.map scenario_case Race_suite.all);
+      ( "seed robustness",
+        List.map seed_robustness_case [ 1; 7; 13 ] @ List.map seed_robustness_negative [ 1; 7; 13 ] );
+      ( "ablations",
+        [ Alcotest.test_case "no interleaving" `Quick test_ablation_no_interleaving;
+          Alcotest.test_case "no dedupe" `Quick test_ablation_no_dedupe;
+          Alcotest.test_case "reactive only" `Quick test_ablation_reactive_only;
+          Alcotest.test_case "key sharing pressure" `Quick test_key_sharing_only_under_pressure;
+          Alcotest.test_case "software fallback kills FN" `Quick
+            test_software_fallback_eliminates_fn;
+          Alcotest.test_case "software fallback stays clean" `Quick
+            test_software_fallback_no_false_alarms;
+          Alcotest.test_case "delay injection raises detection" `Slow
+            test_delay_injection_raises_detection;
+          Alcotest.test_case "delay injection stays clean" `Quick
+            test_delay_injection_no_false_alarms;
+          Alcotest.test_case "binary (by-lock) mode" `Quick test_binary_mode_still_detects ] );
+      ( "mechanics",
+        [ Alcotest.test_case "identification and domains" `Quick test_identification_and_domains;
+          Alcotest.test_case "outside-CS access free" `Quick test_outside_cs_access_is_free;
+          Alcotest.test_case "proactive second entry" `Quick test_proactive_second_entry;
+          Alcotest.test_case "free in section" `Quick test_free_in_section_cleans_up;
+          Alcotest.test_case "LIFO unlock" `Quick test_lifo_unlock_enforced ] ) ]

@@ -1,0 +1,227 @@
+(* Tests for race detection and filtration (section 5.5): records,
+   redundancy pruning, and protection interleaving. *)
+
+module Race_record = Kard_core.Race_record
+module Pruning = Kard_core.Pruning
+module Interleave = Kard_core.Interleave
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let side ?(section = Some 10) ?(access = `Write) thread =
+  { Race_record.thread; section; access; ip = 0 }
+
+let record ?(obj_id = 1) ?(offset = 0) ?(faulting = side 1) ?(holding = [ side ~section:(Some 20) 2 ])
+    () =
+  { Race_record.obj_id; obj_base = 0x10000; offset; faulting; holding; time = 0 }
+
+(* {1 Race_record} *)
+
+let test_record_ilu_scope () =
+  check "both locked is ILU" true (Race_record.is_ilu (record ()));
+  check "faulter locked only" true
+    (Race_record.is_ilu (record ~holding:[ side ~section:None 2 ] ()));
+  check "holder locked only" true (Race_record.is_ilu (record ~faulting:(side ~section:None 1) ()));
+  check "neither locked is not ILU" false
+    (Race_record.is_ilu (record ~faulting:(side ~section:None 1) ~holding:[ side ~section:None 2 ] ()))
+
+let test_record_dedupe_key () =
+  let a = record () in
+  let b = record ~offset:64 () in
+  check "offset does not split records" true
+    (Race_record.dedupe_key a = Race_record.dedupe_key b);
+  let c = record ~faulting:(side ~access:`Read 1) () in
+  check "access type splits records" false (Race_record.dedupe_key a = Race_record.dedupe_key c)
+
+(* {1 Pruning} *)
+
+let test_pruning_dedupe () =
+  let p = Pruning.create ~dedupe:true () in
+  check "first is fresh" true (Pruning.add p (record ()) = `Fresh);
+  check "repeat is redundant" true (Pruning.add p (record ~offset:8 ()) = `Redundant);
+  check "different object is fresh" true (Pruning.add p (record ~obj_id:2 ()) = `Fresh);
+  check_int "two live" 2 (List.length (Pruning.records p));
+  check_int "one redundant" 1 (Pruning.redundant p)
+
+let test_pruning_dedupe_off () =
+  let p = Pruning.create ~dedupe:false () in
+  ignore (Pruning.add p (record ()));
+  check "duplicates kept when disabled" true (Pruning.add p (record ()) = `Fresh);
+  check_int "both live" 2 (List.length (Pruning.records p))
+
+let test_pruning_remove_spurious () =
+  let p = Pruning.create ~dedupe:true () in
+  let r = record () in
+  ignore (Pruning.add p r);
+  check_int "removed" 1 (Pruning.remove p [ r ]);
+  check_int "log empty" 0 (List.length (Pruning.records p));
+  (* The pair stays known: interleaving proved it spurious, so it must
+     not resurrect every round. *)
+  check "re-add suppressed" true (Pruning.add p (record ()) = `Redundant)
+
+let test_pruning_ilu_filter () =
+  let p = Pruning.create ~dedupe:true () in
+  ignore (Pruning.add p (record ()));
+  ignore
+    (Pruning.add p
+       (record ~obj_id:5 ~faulting:(side ~section:None 1) ~holding:[ side ~section:None 2 ] ()));
+  check_int "all records" 2 (List.length (Pruning.records p));
+  check_int "ilu records" 1 (List.length (Pruning.ilu_records p))
+
+(* {1 Interleave} *)
+
+let test_interleave_disjoint_spurious () =
+  let il = Interleave.create () in
+  let r = record ~offset:0 () in
+  Interleave.start il ~obj_id:1 ~record:r;
+  check "active" true (Interleave.active il ~obj_id:1);
+  (* The faulter's offset 0 was seeded by start; the holder now
+     faults at a different offset. *)
+  (match Interleave.observe il ~obj_id:1 ~tid:2 ~offset:64 with
+  | Interleave.Spurious records -> check "spurious with record" true (List.memq r records)
+  | _ -> Alcotest.fail "expected spurious verdict")
+
+let test_interleave_overlap_confirmed () =
+  let il = Interleave.create () in
+  Interleave.start il ~obj_id:1 ~record:(record ~offset:16 ());
+  (match Interleave.observe il ~obj_id:1 ~tid:2 ~offset:16 with
+  | Interleave.Confirmed -> ()
+  | _ -> Alcotest.fail "expected confirmed verdict")
+
+let test_interleave_same_thread_pending () =
+  let il = Interleave.create () in
+  Interleave.start il ~obj_id:1 ~record:(record ~offset:0 ());
+  (* More evidence from the same thread decides nothing. *)
+  check "pending" true (Interleave.observe il ~obj_id:1 ~tid:1 ~offset:8 = Interleave.Pending)
+
+let test_interleave_accumulated_overlap () =
+  let il = Interleave.create () in
+  Interleave.start il ~obj_id:1 ~record:(record ~offset:0 ());
+  ignore (Interleave.observe il ~obj_id:1 ~tid:1 ~offset:8);
+  (* The holder eventually touches one of the faulter's bytes. *)
+  (match Interleave.observe il ~obj_id:1 ~tid:2 ~offset:8 with
+  | Interleave.Confirmed -> ()
+  | _ -> Alcotest.fail "expected confirmed after accumulation")
+
+let test_interleave_finish_thread () =
+  let il = Interleave.create () in
+  Interleave.start il ~obj_id:1 ~record:(record ());
+  Interleave.start il ~obj_id:2 ~record:(record ~obj_id:2 ());
+  let affected = Interleave.finish_thread il ~tid:1 in
+  check_int "both terminated" 2 (List.length affected);
+  check "inactive" false (Interleave.active il ~obj_id:1);
+  check "observe after finish is pending" true
+    (Interleave.observe il ~obj_id:1 ~tid:2 ~offset:0 = Interleave.Pending)
+
+let test_interleave_counters () =
+  let il = Interleave.create () in
+  Interleave.start il ~obj_id:1 ~record:(record ());
+  Interleave.note_pruned il 2;
+  Interleave.note_confirmed il;
+  check_int "started" 1 (Interleave.started_count il);
+  check_int "pruned" 2 (Interleave.pruned_count il);
+  check_int "confirmed" 1 (Interleave.confirmed_count il)
+
+(* {1 Properties} *)
+
+module Int_set = Set.Make (Int)
+
+let observations_gen =
+  QCheck.Gen.(list_size (int_range 2 12) (pair (int_range 0 2) (int_range 0 4)))
+
+(* The interleaving verdict must be: Confirmed iff two different
+   threads observed a common offset, Spurious iff at least two threads
+   reported and all pairwise byte sets are disjoint. *)
+let interleave_verdict_prop =
+  QCheck.Test.make ~name:"interleave verdict matches set semantics" ~count:500
+    (QCheck.make
+       ~print:(fun obs ->
+         String.concat ";" (List.map (fun (t, o) -> Printf.sprintf "t%d@%d" t o) obs))
+       observations_gen)
+    (fun observations ->
+      match observations with
+      | [] -> true
+      | (t0, o0) :: rest ->
+        let il = Interleave.create () in
+        let r = record ~faulting:(side t0) ~offset:o0 () in
+        Interleave.start il ~obj_id:1 ~record:r;
+        let final =
+          List.fold_left
+            (fun _ (tid, offset) -> Interleave.observe il ~obj_id:1 ~tid ~offset)
+            Interleave.Pending rest
+        in
+        (* Reference semantics over the full observation set. *)
+        let by_thread = Hashtbl.create 4 in
+        List.iter
+          (fun (tid, offset) ->
+            let set =
+              Option.value ~default:Int_set.empty (Hashtbl.find_opt by_thread tid)
+            in
+            Hashtbl.replace by_thread tid (Int_set.add offset set))
+          observations;
+        let sets = Hashtbl.fold (fun _ set acc -> set :: acc) by_thread [] in
+        let rec overlap = function
+          | [] -> false
+          | set :: rest ->
+            List.exists (fun other -> not (Int_set.disjoint set other)) rest || overlap rest
+        in
+        let expected_confirm = overlap sets in
+        (match final with
+        | Interleave.Confirmed -> expected_confirm
+        | Interleave.Spurious _ -> (not expected_confirm) && List.length sets >= 2
+        | Interleave.Pending ->
+          (* Pending only while a single thread has reported, or the
+             verdict was already reached earlier (observe after the
+             last decisive event still recomputes, so Pending here
+             means one-sided). *)
+          List.length sets < 2 || not expected_confirm))
+
+(* Surviving records correspond 1:1 to distinct dedupe keys. *)
+let record_gen =
+  QCheck.Gen.(
+    let* obj_id = int_range 0 3 in
+    let* faulter = int_range 0 2 in
+    let* holder = int_range 0 2 in
+    let* f_sec = opt (int_range 10 12) in
+    let* h_sec = opt (int_range 10 12) in
+    let* write = bool in
+    return
+      (record ~obj_id
+         ~faulting:{ Race_record.thread = faulter; section = f_sec;
+                     access = (if write then `Write else `Read); ip = 0 }
+         ~holding:[ { Race_record.thread = holder; section = h_sec; access = `Write; ip = -1 } ]
+         ()))
+
+let pruning_dedupe_prop =
+  QCheck.Test.make ~name:"live records = distinct dedupe keys" ~count:300
+    (QCheck.make ~print:(fun _ -> "<records>") QCheck.Gen.(list_size (int_range 0 40) record_gen))
+    (fun records ->
+      let p = Pruning.create ~dedupe:true () in
+      List.iter (fun r -> ignore (Pruning.add p r)) records;
+      let distinct =
+        List.length
+          (List.sort_uniq compare (List.map Race_record.dedupe_key records))
+      in
+      List.length (Pruning.records p) = distinct
+      && Pruning.logged p + Pruning.redundant p = List.length records)
+
+let () =
+  Alcotest.run "kard_filtration"
+    [ ( "race_record",
+        [ Alcotest.test_case "ilu scope" `Quick test_record_ilu_scope;
+          Alcotest.test_case "dedupe key" `Quick test_record_dedupe_key ] );
+      ( "pruning",
+        [ Alcotest.test_case "dedupe" `Quick test_pruning_dedupe;
+          Alcotest.test_case "dedupe off" `Quick test_pruning_dedupe_off;
+          Alcotest.test_case "remove spurious" `Quick test_pruning_remove_spurious;
+          Alcotest.test_case "ilu filter" `Quick test_pruning_ilu_filter ] );
+      ( "interleave",
+        [ Alcotest.test_case "disjoint is spurious" `Quick test_interleave_disjoint_spurious;
+          Alcotest.test_case "overlap confirms" `Quick test_interleave_overlap_confirmed;
+          Alcotest.test_case "same thread pending" `Quick test_interleave_same_thread_pending;
+          Alcotest.test_case "accumulated overlap" `Quick test_interleave_accumulated_overlap;
+          Alcotest.test_case "finish thread" `Quick test_interleave_finish_thread;
+          Alcotest.test_case "counters" `Quick test_interleave_counters ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest interleave_verdict_prop;
+          QCheck_alcotest.to_alcotest pruning_dedupe_prop ] ) ]

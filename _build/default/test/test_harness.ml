@@ -1,0 +1,280 @@
+(* Tests for the experiment harness: statistics, table rendering, the
+   runner, and experiment shapes. *)
+
+module Stats = Kard_harness.Stats
+module Text_table = Kard_harness.Text_table
+module Runner = Kard_harness.Runner
+module Experiments = Kard_harness.Experiments
+module Registry = Kard_workloads.Registry
+module Machine = Kard_sched.Machine
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-6))
+
+(* {1 Stats} *)
+
+let test_geomean_ratio () =
+  check_float "geomean of 2 and 8" 4.0 (Stats.geomean_ratio [ 2.; 8. ]);
+  check_float "singleton" 3.0 (Stats.geomean_ratio [ 3. ]);
+  check "empty rejected" true
+    (try
+       ignore (Stats.geomean_ratio []);
+       false
+     with Invalid_argument _ -> true);
+  check "non-positive rejected" true
+    (try
+       ignore (Stats.geomean_ratio [ 1.; 0. ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_geomean_overhead () =
+  (* Matches the paper's convention: percentages become ratios. *)
+  check "identity" true (abs_float (Stats.geomean_overhead_pct [ 0.; 0. ]) < 1e-9);
+  let g = Stats.geomean_overhead_pct [ 100.; 0. ] in
+  check "sqrt(2) - 1" true (abs_float (g -. 41.42135) < 0.001);
+  (* Negative overheads are legal (ocean_cp, lu_cb rows). *)
+  let g2 = Stats.geomean_overhead_pct [ -50.; 100. ] in
+  check "mixed signs" true (abs_float g2 < 1e-9)
+
+let test_pct_and_mean () =
+  check_float "pct" 50.0 (Stats.pct 150. 100.);
+  check_float "pct zero base" 0.0 (Stats.pct 5. 0.);
+  check_float "mean" 2.0 (Stats.mean [ 1.; 2.; 3. ]);
+  check_float "mean empty" 0.0 (Stats.mean [])
+
+(* {1 Text_table} *)
+
+let test_table_render () =
+  let s = Text_table.render ~header:[ "a"; "bb" ] [ [ "xxx"; "1" ]; [ "y"; "22" ] ] in
+  let lines = String.split_on_char '\n' s in
+  check_int "header+rule+2 rows+trailer" 5 (List.length lines);
+  check "rows aligned" true
+    (String.length (List.nth lines 2) = String.length (List.nth lines 3))
+
+let test_table_formats () =
+  check "pct" true (String.equal "+7.0%" (Text_table.fmt_pct 7.0));
+  check "negative pct" true (String.equal "-5.9%" (Text_table.fmt_pct (-5.9)));
+  check "times" true (String.equal "7.9x" (Text_table.fmt_times 7.9));
+  check "thousands" true (String.equal "4,402,000" (Text_table.fmt_int 4_402_000));
+  check "small int" true (String.equal "37" (Text_table.fmt_int 37));
+  check "kb" true (String.equal "4" (Text_table.fmt_kb 4096));
+  check "rate" true (String.equal "0.00013" (Text_table.fmt_rate 0.00013))
+
+(* {1 Runner} *)
+
+let test_runner_detector_names () =
+  check "baseline" true (Runner.detector_name Runner.Baseline = "baseline");
+  check "kard" true (Runner.detector_name (Runner.Kard Kard_core.Config.default) = "kard");
+  check "tsan" true (Runner.detector_name Runner.Tsan = "tsan")
+
+let test_runner_overhead_math () =
+  let spec = Registry.find "aget" in
+  let base = Runner.run ~scale:0.002 ~detector:Runner.Baseline spec in
+  let kard = Runner.run ~scale:0.002 ~detector:(Runner.Kard Kard_core.Config.default) spec in
+  let pct = Runner.overhead_pct ~baseline:base kard in
+  check "kard costs something" true (pct > 0.);
+  check "self overhead is zero" true (abs_float (Runner.overhead_pct ~baseline:base base) < 1e-9)
+
+let test_runner_detector_payloads () =
+  let spec = Registry.find "aget" in
+  let base = Runner.run ~scale:0.002 ~detector:Runner.Baseline spec in
+  check "baseline has no kard stats" true (base.Runner.kard_stats = None);
+  check "baseline reports no races" true (base.Runner.kard_races = []);
+  let tsan = Runner.run ~scale:0.002 ~detector:Runner.Tsan spec in
+  check "tsan run has no kard stats" true (tsan.Runner.kard_stats = None)
+
+(* {1 Experiments} *)
+
+let test_table3_shape () =
+  let specs = [ Registry.find "aget"; Registry.find "streamcluster" ] in
+  let rows = Experiments.table3 ~scale:0.002 ~specs () in
+  check_int "two rows" 2 (List.length rows);
+  List.iter
+    (fun row ->
+      (* TSan is far slower than Kard on every workload. *)
+      check "tsan slower than kard" true (Experiments.t3_tsan_pct row > Experiments.t3_kard_pct row);
+      check "kard not slower than 10x" true (Experiments.t3_kard_pct row < 1000.))
+    rows
+
+let test_scenarios_all_pass () =
+  let rows = Experiments.scenarios () in
+  List.iter
+    (fun row ->
+      let name = row.Experiments.scenario.Kard_workloads.Race_suite.name in
+      check (name ^ " kard") true row.Experiments.kard_ok;
+      check (name ^ " tsan") true row.Experiments.tsan_ok;
+      check (name ^ " lockset") true row.Experiments.lockset_ok)
+    rows
+
+let test_figure2_numbers () =
+  let s = Experiments.figure2 () in
+  check_int "128 objects" 128 s.Experiments.objects;
+  check_int "128 virtual pages" 128 s.Experiments.virtual_pages;
+  check "physically consolidated" true (s.Experiments.physical_pages <= 16)
+
+let test_nginx_sweep_monotone () =
+  let rows = Experiments.nginx_sweep ~sizes:[ 128; 1024 ] ~scale:0.002 () in
+  match rows with
+  | [ small; large ] ->
+    check "smaller files suffer more" true
+      (small.Experiments.kard_pct > large.Experiments.kard_pct)
+  | _ -> Alcotest.fail "expected two rows"
+
+let test_chart_bars () =
+  let s = Kard_harness.Chart.bars ~width:10 [ ("a", 10.); ("bb", 5.) ] in
+  let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' s) in
+  check_int "two lines" 2 (List.length lines);
+  check "largest bar fills width" true
+    (String.length (List.nth (String.split_on_char '|' (List.hd lines)) 1) = 10);
+  (* Zero and negative values keep the chart well-formed. *)
+  let s2 = Kard_harness.Chart.bars ~width:10 [ ("x", 0.); ("y", -3.) ] in
+  check "handles non-positive" true (String.length s2 > 0)
+
+let test_chart_grouped () =
+  let s =
+    Kard_harness.Chart.grouped ~width:8 ~series:[ "t=8"; "t=16" ]
+      [ ("alpha", [ 1.; 2. ]); ("beta", [ 4.; 8. ]) ]
+  in
+  check "contains labels" true
+    (List.for_all
+       (fun needle ->
+         let rec find i =
+           i + String.length needle <= String.length s
+           && (String.sub s i (String.length needle) = needle || find (i + 1))
+         in
+         find 0)
+       [ "alpha"; "beta"; "t=8"; "t=16" ])
+
+let test_explorer_scenarios () =
+  let s =
+    Kard_harness.Explorer.explore_scenario ~seeds:[ 1; 2; 3; 4; 5 ]
+      Kard_workloads.Race_suite.ilu_lock_lock
+  in
+  check_int "five runs" 5 s.Kard_harness.Explorer.runs;
+  check "always detected" true (s.Kard_harness.Explorer.detection_rate = 1.0);
+  let clean =
+    Kard_harness.Explorer.explore_scenario ~seeds:[ 1; 2; 3 ] Kard_workloads.Race_suite.same_lock
+  in
+  check "never false positives" true (clean.Kard_harness.Explorer.detection_rate = 0.0)
+
+let test_explorer_spec () =
+  let s = Kard_harness.Explorer.explore_spec ~seeds:[ 1; 2 ] (Registry.find "aget") in
+  check_int "two runs" 2 s.Kard_harness.Explorer.runs;
+  check "aget race robust" true (s.Kard_harness.Explorer.detecting_runs >= 1)
+
+let test_memory_breakdown () =
+  let rows =
+    Experiments.memory ~scale:0.002
+      ~specs:[ Registry.find "water_spatial"; Registry.find "aget" ] ()
+  in
+  check_int "two rows" 2 (List.length rows);
+  List.iter
+    (fun row ->
+      check "components do not exceed the total" true
+        (row.Experiments.kard_data + row.Experiments.kard_page_tables
+         + row.Experiments.kard_metadata
+        <= row.Experiments.kard_rss + 4096))
+    rows;
+  (* water_spatial's unique-paged molecules dominate aget's footprint. *)
+  (match rows with
+  | [ water; aget ] ->
+    let pct r =
+      Stats.pct (float_of_int r.Experiments.kard_rss) (float_of_int r.Experiments.base_rss)
+    in
+    check "water_spatial blows up, aget does not" true (pct water > pct aget)
+  | _ -> Alcotest.fail "expected two rows")
+
+let test_table6_shape () =
+  let rows = Experiments.table6 ~scale:0.01 () in
+  check_int "four applications" 4 (List.length rows);
+  List.iter
+    (fun row ->
+      check
+        (row.Experiments.app ^ " matches paper")
+        true
+        (row.Experiments.kard_races = row.Experiments.paper_kard))
+    rows
+
+(* {1 Json_report} *)
+
+module Json = Kard_harness.Json_report
+
+let contains haystack needle =
+  let n = String.length needle in
+  let rec find i =
+    i + n <= String.length haystack && (String.sub haystack i n = needle || find (i + 1))
+  in
+  find 0
+
+let test_json_escape () =
+  check "quotes" true (String.equal "a\\\"b" (Json.escape "a\"b"));
+  check "backslash" true (String.equal "a\\\\b" (Json.escape "a\\b"));
+  check "newline" true (String.equal "a\\nb" (Json.escape "a\nb"));
+  check "control" true (String.equal "\\u0001" (Json.escape "\x01"))
+
+let test_json_race () =
+  let race =
+    { Kard_core.Race_record.obj_id = 7;
+      obj_base = 0x1000;
+      offset = 16;
+      faulting = { Kard_core.Race_record.thread = 1; section = None; access = `Read; ip = 3 };
+      holding = [ { Kard_core.Race_record.thread = 2; section = Some 9; access = `Write; ip = -1 } ];
+      time = 42 }
+  in
+  let json = Json.of_race race in
+  check "object id" true (contains json "\"object\":7");
+  check "null section" true (contains json "\"section\":null");
+  check "ilu true" true (contains json "\"ilu\":true");
+  check "holder section" true (contains json "\"section\":9")
+
+let test_json_result () =
+  let r = Runner.run ~scale:0.002 ~detector:(Runner.Kard Kard_core.Config.default)
+      (Registry.find "aget")
+  in
+  let json = Json.of_result r in
+  check "workload" true (contains json "\"workload\":\"aget\"");
+  check "kard stats present" true (contains json "\"kard\":{");
+  check "races array" true (contains json "\"races\":[");
+  let base = Runner.run ~scale:0.002 ~detector:Runner.Baseline (Registry.find "aget") in
+  check "baseline has no kard object" false (contains (Json.of_result base) "\"kard\":{")
+
+let test_json_pretty () =
+  let pretty = Json.pretty "{\"a\":1,\"b\":[2,3]}" in
+  check "newlines added" true (contains pretty "\n");
+  check "content preserved" true (contains pretty "\"a\": 1");
+  (* Braces inside strings must not be re-indented. *)
+  let tricky = Json.pretty "{\"s\":\"a{b}c\"}" in
+  check "string braces untouched" true (contains tricky "a{b}c")
+
+let () =
+  Alcotest.run "kard_harness"
+    [ ( "stats",
+        [ Alcotest.test_case "geomean ratio" `Quick test_geomean_ratio;
+          Alcotest.test_case "geomean overhead" `Quick test_geomean_overhead;
+          Alcotest.test_case "pct and mean" `Quick test_pct_and_mean ] );
+      ( "text_table",
+        [ Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "formats" `Quick test_table_formats ] );
+      ( "runner",
+        [ Alcotest.test_case "detector names" `Quick test_runner_detector_names;
+          Alcotest.test_case "overhead math" `Slow test_runner_overhead_math;
+          Alcotest.test_case "detector payloads" `Slow test_runner_detector_payloads ] );
+      ( "experiments",
+        [ Alcotest.test_case "table3 shape" `Slow test_table3_shape;
+          Alcotest.test_case "scenarios pass" `Slow test_scenarios_all_pass;
+          Alcotest.test_case "figure2" `Quick test_figure2_numbers;
+          Alcotest.test_case "nginx sweep monotone" `Slow test_nginx_sweep_monotone;
+          Alcotest.test_case "memory breakdown" `Slow test_memory_breakdown;
+          Alcotest.test_case "table6 matches paper" `Slow test_table6_shape ] );
+      ( "explorer",
+        [ Alcotest.test_case "scenario sweep" `Slow test_explorer_scenarios;
+          Alcotest.test_case "spec sweep" `Slow test_explorer_spec ] );
+      ( "chart",
+        [ Alcotest.test_case "bars" `Quick test_chart_bars;
+          Alcotest.test_case "grouped" `Quick test_chart_grouped ] );
+      ( "json",
+        [ Alcotest.test_case "escape" `Quick test_json_escape;
+          Alcotest.test_case "race record" `Quick test_json_race;
+          Alcotest.test_case "result" `Slow test_json_result;
+          Alcotest.test_case "pretty" `Quick test_json_pretty ] ) ]

@@ -1,0 +1,285 @@
+(* Unit and property tests for the MPK hardware model. *)
+
+module Perm = Kard_mpk.Perm
+module Pkey = Kard_mpk.Pkey
+module Pkru = Kard_mpk.Pkru
+module Page = Kard_mpk.Page
+module Page_table = Kard_mpk.Page_table
+module Tlb = Kard_mpk.Tlb
+module Fault = Kard_mpk.Fault
+module Cost_model = Kard_mpk.Cost_model
+module Mpk_hw = Kard_mpk.Mpk_hw
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* {1 Perm} *)
+
+let test_perm_allows () =
+  check "no-access denies read" false (Perm.allows Perm.No_access `Read);
+  check "no-access denies write" false (Perm.allows Perm.No_access `Write);
+  check "read-only allows read" true (Perm.allows Perm.Read_only `Read);
+  check "read-only denies write" false (Perm.allows Perm.Read_only `Write);
+  check "read-write allows read" true (Perm.allows Perm.Read_write `Read);
+  check "read-write allows write" true (Perm.allows Perm.Read_write `Write)
+
+let test_perm_lattice () =
+  check "join widens" true (Perm.equal (Perm.join Perm.Read_only Perm.Read_write) Perm.Read_write);
+  check "meet narrows" true (Perm.equal (Perm.meet Perm.Read_only Perm.Read_write) Perm.Read_only);
+  check "join with bottom" true (Perm.equal (Perm.join Perm.No_access Perm.Read_only) Perm.Read_only)
+
+let test_perm_bits_roundtrip () =
+  List.iter
+    (fun p -> check "bits roundtrip" true (Perm.equal p (Perm.of_bits (Perm.to_bits p))))
+    [ Perm.No_access; Perm.Read_only; Perm.Read_write ];
+  (* The (ad=1, wd=1) encoding also denies access, like hardware. *)
+  check "ad+wd denies" true (Perm.equal (Perm.of_bits 0b11) Perm.No_access)
+
+(* {1 Pkey} *)
+
+let test_pkey_reserved () =
+  check_int "k0 is default" 0 (Pkey.to_int Pkey.k_def);
+  check_int "k14 is read-only domain" 14 (Pkey.to_int Pkey.k_ro);
+  check_int "k15 is not-accessed domain" 15 (Pkey.to_int Pkey.k_na);
+  check_int "13 data keys" 13 (List.length Pkey.data_keys);
+  check "data keys exclude reserved" true
+    (List.for_all
+       (fun k -> not (List.exists (Pkey.equal k) [ Pkey.k_def; Pkey.k_ro; Pkey.k_na ]))
+       Pkey.data_keys)
+
+let test_pkey_bounds () =
+  Alcotest.check_raises "negative rejected" (Invalid_argument "Pkey.of_int: -1 outside [0, 15]")
+    (fun () -> ignore (Pkey.of_int (-1)));
+  Alcotest.check_raises "16 rejected" (Invalid_argument "Pkey.of_int: 16 outside [0, 15]")
+    (fun () -> ignore (Pkey.of_int 16))
+
+(* {1 Pkru} *)
+
+let test_pkru_all_access () =
+  check_int "all-access register is zero" 0 (Pkru.to_int Pkru.all_access);
+  List.iter
+    (fun i ->
+      check "every key read-write" true
+        (Perm.equal (Pkru.get Pkru.all_access (Pkey.of_int i)) Perm.Read_write))
+    (List.init Pkey.count Fun.id)
+
+let test_pkru_deny_all_keeps_k0 () =
+  check "k0 stays read-write" true (Perm.equal (Pkru.get Pkru.deny_all Pkey.k_def) Perm.Read_write);
+  List.iter
+    (fun i ->
+      if i <> 0 then
+        check "other keys denied" true
+          (Perm.equal (Pkru.get Pkru.deny_all (Pkey.of_int i)) Perm.No_access))
+    (List.init Pkey.count Fun.id)
+
+let test_pkru_set_get () =
+  let r = Pkru.set Pkru.deny_all (Pkey.of_int 5) Perm.Read_only in
+  check "set key 5 read-only" true (Perm.equal (Pkru.get r (Pkey.of_int 5)) Perm.Read_only);
+  check "key 6 untouched" true (Perm.equal (Pkru.get r (Pkey.of_int 6)) Perm.No_access);
+  let r2 = Pkru.set r (Pkey.of_int 5) Perm.Read_write in
+  check "upgrade to read-write" true (Perm.equal (Pkru.get r2 (Pkey.of_int 5)) Perm.Read_write)
+
+let test_pkru_held_keys () =
+  let r = Pkru.of_assignments [ (Pkey.k_ro, Perm.Read_only); (Pkey.k_na, Perm.Read_write) ] in
+  let held = Pkru.held_keys r in
+  check_int "three held keys (incl. k0)" 3 (List.length held);
+  check "k_na held rw" true
+    (List.exists (fun (k, p) -> Pkey.equal k Pkey.k_na && Perm.equal p Perm.Read_write) held)
+
+let pkru_roundtrip_prop =
+  QCheck.Test.make ~name:"pkru set/get roundtrip" ~count:500
+    QCheck.(pair (int_bound 15) (int_bound 2))
+    (fun (key, perm_idx) ->
+      let perm = List.nth [ Perm.No_access; Perm.Read_only; Perm.Read_write ] perm_idx in
+      let r = Pkru.set Pkru.all_access (Pkey.of_int key) perm in
+      Perm.equal (Pkru.get r (Pkey.of_int key)) perm)
+
+let pkru_independence_prop =
+  QCheck.Test.make ~name:"pkru keys are independent" ~count:500
+    QCheck.(triple (int_bound 15) (int_bound 15) (int_bound 2))
+    (fun (k1, k2, perm_idx) ->
+      QCheck.assume (k1 <> k2);
+      let perm = List.nth [ Perm.No_access; Perm.Read_only; Perm.Read_write ] perm_idx in
+      let before = Pkru.get Pkru.deny_all (Pkey.of_int k2) in
+      let r = Pkru.set Pkru.deny_all (Pkey.of_int k1) perm in
+      Perm.equal (Pkru.get r (Pkey.of_int k2)) before)
+
+(* {1 Page} *)
+
+let test_page_geometry () =
+  check_int "page size" 4096 Page.size;
+  check_int "vpage of 0x2345" 2 (Page.vpage_of_addr 0x2345);
+  check_int "offset of 0x2345" 0x345 (Page.offset_in_page 0x2345);
+  check_int "base of vpage 2" 0x2000 (Page.base_of_vpage 2)
+
+let test_pages_spanned () =
+  check_int "zero-length spans one" 1 (Page.pages_spanned 0x1000 0);
+  check_int "within page" 1 (Page.pages_spanned 0x1000 4096);
+  check_int "crosses boundary" 2 (Page.pages_spanned 0x1fff 2);
+  check_int "three pages" 3 (Page.pages_spanned 0x1800 8192)
+
+(* {1 Page_table} *)
+
+let test_page_table () =
+  let pt = Page_table.create () in
+  check "default key" true (Pkey.equal (Page_table.pkey_of_addr pt 0x5000) Pkey.k_def);
+  let pages = Page_table.set_pkey_range pt ~base:0x5000 ~len:8192 Pkey.k_na in
+  check_int "two pages tagged" 2 pages;
+  check "tagged page" true (Pkey.equal (Page_table.pkey_of_addr pt 0x5fff) Pkey.k_na);
+  check "next page tagged" true (Pkey.equal (Page_table.pkey_of_addr pt 0x6000) Pkey.k_na);
+  check "beyond range default" true (Pkey.equal (Page_table.pkey_of_addr pt 0x7000) Pkey.k_def);
+  Page_table.clear_range pt ~base:0x5000 ~len:8192;
+  check "cleared back to default" true (Pkey.equal (Page_table.pkey_of_addr pt 0x5000) Pkey.k_def);
+  check_int "no entries left" 0 (Page_table.entry_count pt)
+
+(* {1 Tlb} *)
+
+let test_tlb_hit_miss () =
+  let tlb = Tlb.create ~entries:8 ~ways:2 () in
+  check "first touch misses" true (Tlb.access tlb 1 = `Miss);
+  check "second touch hits" true (Tlb.access tlb 1 = `Hit);
+  check_int "accesses counted" 2 (Tlb.accesses tlb);
+  check_int "one miss" 1 (Tlb.misses tlb)
+
+let test_tlb_eviction () =
+  let tlb = Tlb.create ~entries:4 ~ways:1 () in
+  (* Direct-mapped with 4 sets: pages 0 and 4 collide. *)
+  ignore (Tlb.access tlb 0);
+  ignore (Tlb.access tlb 4);
+  check "0 was evicted" true (Tlb.access tlb 0 = `Miss)
+
+let test_tlb_flush_and_bulk () =
+  let tlb = Tlb.create () in
+  ignore (Tlb.access tlb 7);
+  Tlb.flush tlb;
+  check "flush invalidates" true (Tlb.access tlb 7 = `Miss);
+  Tlb.note_hits tlb 100;
+  Tlb.note_misses tlb 50;
+  check_int "bulk accesses" 152 (Tlb.accesses tlb);
+  check_int "bulk misses" 52 (Tlb.misses tlb);
+  Tlb.reset_stats tlb;
+  check_int "reset" 0 (Tlb.accesses tlb)
+
+let test_tlb_lru () =
+  let tlb = Tlb.create ~entries:2 ~ways:2 () in
+  (* One set, two ways: 0 and 2 fill it; touching 0 makes 2 the LRU. *)
+  ignore (Tlb.access tlb 0);
+  ignore (Tlb.access tlb 2);
+  ignore (Tlb.access tlb 0);
+  ignore (Tlb.access tlb 4);
+  check "LRU (2) evicted, 0 stays" true (Tlb.access tlb 0 = `Hit);
+  check "2 gone" true (Tlb.access tlb 2 = `Miss)
+
+(* {1 Mpk_hw} *)
+
+let make_hw () =
+  let hw = Mpk_hw.create () in
+  Mpk_hw.register_thread hw 0;
+  Mpk_hw.register_thread hw 1;
+  hw
+
+let test_hw_access_default () =
+  let hw = make_hw () in
+  (match Mpk_hw.check_access hw ~tid:0 ~addr:0x4000 ~access:`Write ~ip:0 ~time:0 with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "default key should allow access");
+  check_int "no faults" 0 (Mpk_hw.stats hw).Mpk_hw.faults
+
+let test_hw_fault_on_denied () =
+  let hw = make_hw () in
+  let (_ : int) = Mpk_hw.pkey_mprotect hw ~base:0x4000 ~len:4096 Pkey.k_na in
+  let (_ : int) = Mpk_hw.wrpkru hw ~tid:0 Pkru.deny_all in
+  (match Mpk_hw.check_access hw ~tid:0 ~addr:0x4123 ~access:`Read ~ip:7 ~time:99 with
+  | Ok _ -> Alcotest.fail "expected a fault"
+  | Error f ->
+    check "fault key" true (Pkey.equal f.Fault.pkey Pkey.k_na);
+    check_int "fault addr" 0x4123 f.Fault.addr;
+    check_int "fault thread" 0 f.Fault.thread;
+    check_int "fault ip" 7 f.Fault.ip;
+    check_int "fault time" 99 f.Fault.time);
+  check_int "fault counted" 1 (Mpk_hw.stats hw).Mpk_hw.faults
+
+let test_hw_per_thread_pkru () =
+  let hw = make_hw () in
+  let (_ : int) = Mpk_hw.pkey_mprotect hw ~base:0x4000 ~len:4096 (Pkey.of_int 3) in
+  let granted = Pkru.set Pkru.deny_all (Pkey.of_int 3) Perm.Read_write in
+  let (_ : int) = Mpk_hw.wrpkru hw ~tid:0 granted in
+  let (_ : int) = Mpk_hw.wrpkru hw ~tid:1 Pkru.deny_all in
+  check "thread 0 can write" true
+    (Result.is_ok (Mpk_hw.check_access hw ~tid:0 ~addr:0x4000 ~access:`Write ~ip:0 ~time:0));
+  check "thread 1 faults" true
+    (Result.is_error (Mpk_hw.check_access hw ~tid:1 ~addr:0x4000 ~access:`Write ~ip:0 ~time:0))
+
+let test_hw_read_only_permission () =
+  let hw = make_hw () in
+  let key = Pkey.of_int 2 in
+  let (_ : int) = Mpk_hw.pkey_mprotect hw ~base:0x8000 ~len:4096 key in
+  let ro = Pkru.set Pkru.deny_all key Perm.Read_only in
+  let (_ : int) = Mpk_hw.wrpkru hw ~tid:0 ro in
+  check "read allowed" true
+    (Result.is_ok (Mpk_hw.check_access hw ~tid:0 ~addr:0x8000 ~access:`Read ~ip:0 ~time:0));
+  check "write faults" true
+    (Result.is_error (Mpk_hw.check_access hw ~tid:0 ~addr:0x8000 ~access:`Write ~ip:0 ~time:0))
+
+let test_hw_costs () =
+  let hw = make_hw () in
+  let c = Mpk_hw.cost hw in
+  check_int "wrpkru cost" c.Cost_model.wrpkru (Mpk_hw.wrpkru hw ~tid:0 Pkru.all_access);
+  let _, rd = Mpk_hw.rdpkru hw ~tid:0 in
+  check_int "rdpkru cost" c.Cost_model.rdpkru rd;
+  let mprotect = Mpk_hw.pkey_mprotect hw ~base:0 ~len:(3 * 4096) Pkey.k_ro in
+  check_int "mprotect cost scales with pages"
+    (c.Cost_model.pkey_mprotect_base + (3 * c.Cost_model.pkey_mprotect_page))
+    mprotect
+
+let test_hw_context_update () =
+  let hw = make_hw () in
+  (* Reactive assignment: rewriting the saved context is visible but
+     does not count as a WRPKRU execution. *)
+  let before = (Mpk_hw.stats hw).Mpk_hw.wrpkru_calls in
+  Mpk_hw.set_pkru_in_context hw ~tid:1 Pkru.deny_all;
+  check_int "no wrpkru counted" before (Mpk_hw.stats hw).Mpk_hw.wrpkru_calls;
+  check "context visible" true (Pkru.equal (Mpk_hw.pkru_of hw ~tid:1) Pkru.deny_all)
+
+let test_cost_model_sanity () =
+  let c = Cost_model.default in
+  check "wrpkru slower than rdpkru" true (c.Cost_model.wrpkru > c.Cost_model.rdpkru);
+  check "fault costs dominate" true (c.Cost_model.fault_roundtrip > c.Cost_model.pkey_mprotect_base);
+  check "fault delay equals roundtrip" true
+    (Cost_model.fault_delay_threshold c = c.Cost_model.fault_roundtrip);
+  let seconds = Cost_model.cycles_to_seconds c 2_100_000_000 in
+  check "2.1G cycles is one second" true (abs_float (seconds -. 1.0) < 1e-9)
+
+let () =
+  Alcotest.run "kard_mpk"
+    [ ( "perm",
+        [ Alcotest.test_case "allows" `Quick test_perm_allows;
+          Alcotest.test_case "lattice" `Quick test_perm_lattice;
+          Alcotest.test_case "bits roundtrip" `Quick test_perm_bits_roundtrip ] );
+      ( "pkey",
+        [ Alcotest.test_case "reserved keys" `Quick test_pkey_reserved;
+          Alcotest.test_case "bounds" `Quick test_pkey_bounds ] );
+      ( "pkru",
+        [ Alcotest.test_case "all access" `Quick test_pkru_all_access;
+          Alcotest.test_case "deny all keeps k0" `Quick test_pkru_deny_all_keeps_k0;
+          Alcotest.test_case "set/get" `Quick test_pkru_set_get;
+          Alcotest.test_case "held keys" `Quick test_pkru_held_keys;
+          QCheck_alcotest.to_alcotest pkru_roundtrip_prop;
+          QCheck_alcotest.to_alcotest pkru_independence_prop ] );
+      ( "page",
+        [ Alcotest.test_case "geometry" `Quick test_page_geometry;
+          Alcotest.test_case "pages spanned" `Quick test_pages_spanned ] );
+      ("page_table", [ Alcotest.test_case "tag and clear" `Quick test_page_table ]);
+      ( "tlb",
+        [ Alcotest.test_case "hit/miss" `Quick test_tlb_hit_miss;
+          Alcotest.test_case "eviction" `Quick test_tlb_eviction;
+          Alcotest.test_case "flush and bulk" `Quick test_tlb_flush_and_bulk;
+          Alcotest.test_case "lru" `Quick test_tlb_lru ] );
+      ( "mpk_hw",
+        [ Alcotest.test_case "default access" `Quick test_hw_access_default;
+          Alcotest.test_case "fault on denied" `Quick test_hw_fault_on_denied;
+          Alcotest.test_case "per-thread pkru" `Quick test_hw_per_thread_pkru;
+          Alcotest.test_case "read-only permission" `Quick test_hw_read_only_permission;
+          Alcotest.test_case "costs" `Quick test_hw_costs;
+          Alcotest.test_case "context update" `Quick test_hw_context_update;
+          Alcotest.test_case "cost model sanity" `Quick test_cost_model_sanity ] ) ]

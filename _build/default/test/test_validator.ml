@@ -1,0 +1,90 @@
+(* Run the whole catalog under the self-checking validator: every
+   scenario and workload must complete without violating Kard's PKRU
+   discipline, key exclusivity, or domain-tag consistency. *)
+
+module Machine = Kard_sched.Machine
+module Validator = Kard_core.Validator
+module Race_suite = Kard_workloads.Race_suite
+module Registry = Kard_workloads.Registry
+module Spec = Kard_workloads.Spec
+
+let check = Alcotest.(check bool)
+
+let run_validated ?config build =
+  let cell = ref None in
+  let vcell = ref None in
+  let machine =
+    Machine.create ~seed:42
+      ~allocator:(Machine.Unique_page { granule = 32; recycle_virtual_pages = false })
+      ~make_detector:(Validator.make ?config ~cell ~vcell)
+      ()
+  in
+  build machine;
+  let (_ : Machine.report) = Machine.run machine in
+  Option.get !vcell
+
+let scenario_case (s : Race_suite.t) =
+  Alcotest.test_case s.Race_suite.name `Quick (fun () ->
+      let v = run_validated ~config:s.Race_suite.config s.Race_suite.build in
+      check "checks ran" true (Validator.checks_performed v > 0))
+
+let workload_case (spec : Spec.t) =
+  Alcotest.test_case spec.Spec.name `Slow (fun () ->
+      let v =
+        run_validated (fun machine ->
+            spec.Spec.build ~threads:spec.Spec.default_threads ~scale:0.002 ~seed:42 machine)
+      in
+      check "checks ran" true (Validator.checks_performed v > 0))
+
+(* The validator must actually catch a broken runtime: corrupt the
+   page table (which the detector never restores) so an object in the
+   Read-write domain is no longer tagged with its key — the sampled
+   domain-tag check at section exit must trip. *)
+let test_validator_catches_violation () =
+  let cell = ref None in
+  let vcell = ref None in
+  let env_ref = ref None in
+  let machine =
+    Machine.create ~seed:1
+      ~allocator:(Machine.Unique_page { granule = 32; recycle_virtual_pages = false })
+      ~make_detector:(fun env ->
+        env_ref := Some env;
+        Validator.make ~cell ~vcell env)
+      ()
+  in
+  let base = ref 0 in
+  let corrupt () =
+    (* Retag the identified object's page behind the runtime's back. *)
+    let env = Option.get !env_ref in
+    let (_ : int) =
+      Kard_mpk.Mpk_hw.pkey_mprotect env.Kard_sched.Hooks.hw ~base:!base ~len:8
+        Kard_mpk.Pkey.k_def
+    in
+    ()
+  in
+  let prog =
+    Kard_sched.Program.concat
+      [ Kard_sched.Program.of_list
+          [ Kard_sched.Op.Alloc
+              { size = 32; site = 1; on_result = (fun m -> base := m.Kard_alloc.Obj_meta.base) };
+            Kard_sched.Op.Lock { lock = 1; site = 1 } ];
+        Kard_sched.Program.delay (fun () ->
+            Kard_sched.Program.of_list [ Kard_sched.Op.Write !base ]);
+        Kard_sched.Program.of_list
+          [ Kard_sched.Op.Alloc { size = 8; site = 2; on_result = (fun _ -> corrupt ()) };
+            Kard_sched.Op.Unlock { lock = 1 } ] ]
+  in
+  let (_ : int) = Machine.spawn machine prog in
+  check "violation detected" true
+    (try
+       ignore (Machine.run machine);
+       false
+     with Validator.Violation _ -> true)
+
+let () =
+  Alcotest.run "kard_validator"
+    [ ("scenarios", List.map scenario_case Race_suite.all);
+      ("workloads", List.map workload_case Registry.extended);
+      ( "meta",
+        [ Alcotest.test_case "catches a corrupted runtime" `Quick
+            test_validator_catches_violation ] ) ]
