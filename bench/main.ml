@@ -9,7 +9,7 @@
 
    Experiment ids: micro, bechamel, figure2, table1 (= table4 =
    scenarios), table3, table5, table6, figure5, nginx-sweep, memory,
-   nolock, explore, ablation. *)
+   obs, nolock, explore, ablation. *)
 
 module Experiments = Kard_harness.Experiments
 module Runner = Kard_harness.Runner
@@ -128,6 +128,26 @@ let ablation () =
        ~header:[ "memcached, kard variant"; "overhead"; "records"; "recycle"; "share" ]
        cells)
 
+(* {1 Observability: latency distributions behind the Table 3 means} *)
+
+let obs () =
+  Printf.printf
+    "metrics registries of traced Kard runs — the distributions (p50/p95/p99)\n\
+     behind the mean overheads the tables report:\n\n";
+  List.iter
+    (fun name ->
+      let spec = Registry.find name in
+      let tr = Kard_obs.Trace.create () in
+      let r = Runner.run ~trace:tr ~scale:!scale ~detector:(Runner.Kard Config.default) spec in
+      Printf.printf "-- %s (%s cycles, %d faults) --\n" name
+        (Kard_harness.Text_table.fmt_int r.Runner.report.Kard_sched.Machine.cycles)
+        r.Runner.report.Kard_sched.Machine.faults;
+      Kard_harness.Obs_report.print_trace_summary tr;
+      print_newline ();
+      Kard_harness.Obs_report.print_metrics (Kard_obs.Trace.metrics tr);
+      print_newline ())
+    [ "memcached"; "aget" ]
+
 (* {1 Lock-free benchmarks: the section 7.2 omission claim} *)
 
 let nolock () =
@@ -197,6 +217,7 @@ let experiments =
     ("figure5", fun () -> Experiments.print_figure5 (Experiments.figure5 ~scale:!scale ()));
     ("nginx-sweep", fun () -> Experiments.print_nginx_sweep (Experiments.nginx_sweep ~scale:!scale ()));
     ("memory", fun () -> Experiments.print_memory (Experiments.memory ~scale:!scale ()));
+    ("obs", obs);
     ("nolock", nolock);
     ("explore", explore);
     ("ablation", ablation) ]

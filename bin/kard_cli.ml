@@ -4,6 +4,7 @@
      list                      catalog of workloads and race scenarios
      run <workload>            run one workload under one detector
      scenario <name>           run one controlled race scenario
+     trace <workload>          run with tracing; export a Chrome/Perfetto trace
      repro <experiment>        regenerate a paper table/figure
 *)
 
@@ -81,6 +82,14 @@ let print_result (result : Runner.result) =
   Printf.printf "faults:    %d   rss: %s KiB   dTLB miss rate: %.5f\n" r.Machine.faults
     (Kard_harness.Text_table.fmt_kb r.Machine.rss_bytes)
     r.Machine.dtlb_miss_rate;
+  let hw = r.Machine.hw_stats in
+  Printf.printf "hw:        wrpkru %s, rdpkru %s, pkey_mprotect %s (%s pages), dTLB %s/%s\n"
+    (Kard_harness.Text_table.fmt_int hw.Kard_mpk.Mpk_hw.wrpkru_calls)
+    (Kard_harness.Text_table.fmt_int hw.Kard_mpk.Mpk_hw.rdpkru_calls)
+    (Kard_harness.Text_table.fmt_int hw.Kard_mpk.Mpk_hw.pkey_mprotect_calls)
+    (Kard_harness.Text_table.fmt_int hw.Kard_mpk.Mpk_hw.pages_retagged)
+    (Kard_harness.Text_table.fmt_int hw.Kard_mpk.Mpk_hw.dtlb_misses)
+    (Kard_harness.Text_table.fmt_int hw.Kard_mpk.Mpk_hw.dtlb_accesses);
   (match result.Runner.kard_stats with
   | Some s ->
     Printf.printf
@@ -138,6 +147,55 @@ let scenario_cmd =
   in
   Cmd.v (Cmd.info "scenario" ~doc:"Run one controlled race scenario")
     Term.(const action $ name_arg $ detector_arg $ seed_arg)
+
+(* trace: run a workload with the observability sink on and export a
+   Perfetto-loadable Chrome trace plus the metrics registry. *)
+
+let trace_cmd =
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc:"Workload name.")
+  in
+  let out_arg =
+    Arg.(value & opt string "trace.json"
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Chrome trace output path.")
+  in
+  let steps_arg =
+    Arg.(value & flag
+         & info [ "steps" ]
+             ~doc:"Also record every read/write/compute step (fills the ring fast).")
+  in
+  let capacity_arg =
+    Arg.(value & opt int 65536
+         & info [ "capacity" ] ~docv:"N"
+             ~doc:"Event ring capacity; oldest events are dropped beyond it.")
+  in
+  let action name detector threads scale seed out steps capacity =
+    if capacity <= 0 then Printf.eprintf "trace: --capacity must be positive (got %d)\n" capacity
+    else
+    match Registry.find name with
+    | exception Not_found -> Printf.eprintf "unknown workload %S; try `kard list`\n" name
+    | spec ->
+      let tr = Kard_obs.Trace.create ~capacity ~steps () in
+      let result = Runner.run ~trace:tr ?threads ~scale ~seed ~detector spec in
+      let oc = open_out out in
+      output_string oc (Kard_obs.Chrome_trace.to_json ~t:tr);
+      close_out oc;
+      let r = result.Runner.report in
+      Printf.printf "workload:  %s under %s (threads=%d scale=%g seed=%d)\n" result.Runner.spec_name
+        result.Runner.detector_name result.Runner.threads result.Runner.scale result.Runner.seed;
+      Printf.printf "cycles:    %s   faults: %d   dTLB miss rate: %.5f\n"
+        (Kard_harness.Text_table.fmt_int r.Machine.cycles)
+        r.Machine.faults r.Machine.dtlb_miss_rate;
+      Printf.printf "trace:     %s (load in ui.perfetto.dev or about:tracing)\n\n" out;
+      Kard_harness.Obs_report.print_trace_summary tr;
+      print_newline ();
+      Kard_harness.Obs_report.print_metrics (Kard_obs.Trace.metrics tr)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run a workload with event tracing on; write a Perfetto-loadable Chrome trace")
+    Term.(const action $ name_arg $ detector_arg $ threads_arg $ scale_arg $ seed_arg $ out_arg
+          $ steps_arg $ capacity_arg)
 
 (* hunt: sweep seeds until a schedule manifests a race, then replay
    that exact interleaving to confirm — the race-debugging loop. *)
@@ -234,4 +292,4 @@ let repro_cmd =
 
 let () =
   let info = Cmd.info "kard" ~doc:"Kard: MPK-based data race detection (ASPLOS'21), simulated" in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; scenario_cmd; hunt_cmd; repro_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; scenario_cmd; trace_cmd; hunt_cmd; repro_cmd ]))

@@ -13,6 +13,7 @@ type t = {
   aspace : Address_space.t;
   meta : Meta_table.t;
   cost : Cost_model.t;
+  trace : Kard_obs.Trace.sink;
   granule : int;
   recycle_virtual_pages : bool;
   memfd : Memfd.t;
@@ -23,12 +24,13 @@ type t = {
   mutable live_wasted : int;
 }
 
-let create ?(granule = 32) ?(recycle_virtual_pages = false) aspace ~meta ~cost () =
+let create ?(granule = 32) ?(recycle_virtual_pages = false) ?trace aspace ~meta ~cost () =
   if granule <= 0 || Page.size mod granule <> 0 then
     invalid_arg "Unique_page_alloc.create: granule must divide the page size";
   { aspace;
     meta;
     cost;
+    trace;
     granule;
     recycle_virtual_pages;
     memfd = Memfd.create (Address_space.phys aspace) ~name:"kard-heap";
@@ -50,6 +52,20 @@ let fresh_id t =
 let round_up_granule t size = (size + t.granule - 1) / t.granule * t.granule
 
 let bump_stats t f = t.stats <- f t.stats
+
+(* Allocator work has no owning simulated thread; its events land on
+   the synthetic "runtime" track (tid -1). *)
+let emit_alloc t (meta : Obj_meta.t) alloc =
+  match t.trace with
+  | None -> ()
+  | Some tr ->
+    Kard_obs.Trace.emit tr ~tid:(-1)
+      (Kard_obs.Event.Alloc { obj_id = meta.Obj_meta.id; size = meta.Obj_meta.size; alloc });
+    Kard_obs.Trace.incr t.trace
+      (match alloc with
+      | Kard_obs.Event.Fresh -> "alloc.fresh"
+      | Kard_obs.Event.Recycled -> "alloc.recycled"
+      | Kard_obs.Event.Global -> "alloc.global")
 
 (* Grow the memfd so that [cursor + reserved) is covered; returns the
    cycle cost (zero when no growth was needed). *)
@@ -99,6 +115,7 @@ let alloc t ~site size =
         pages = m.r_pages }
     in
     Meta_table.register t.meta meta;
+    emit_alloc t meta Kard_obs.Event.Recycled;
     (meta, t.cost.Cost_model.malloc)
   | None ->
     (* Large allocations start on a fresh file page so they stay
@@ -118,6 +135,7 @@ let alloc t ~site size =
       { Obj_meta.id = fresh_id t; base; size; reserved; kind = Obj_meta.Heap site; pages }
     in
     Meta_table.register t.meta meta;
+    emit_alloc t meta Kard_obs.Event.Fresh;
     (meta, t.cost.Cost_model.mmap + grow_cost)
 
 let alloc_global t ~site ~resident size =
@@ -145,10 +163,16 @@ let alloc_global t ~site ~resident size =
       pages }
   in
   Meta_table.register t.meta meta;
+  emit_alloc t meta Kard_obs.Event.Global;
   (meta, t.cost.Cost_model.atomic_op)
 
 let free t (meta : Obj_meta.t) =
   Meta_table.unregister t.meta meta;
+  (match t.trace with
+  | None -> ()
+  | Some tr ->
+    Kard_obs.Trace.emit tr ~tid:(-1) (Kard_obs.Event.Free { obj_id = meta.Obj_meta.id });
+    Kard_obs.Trace.incr t.trace "alloc.free");
   bump_stats t (fun s -> { s with frees = s.frees + 1 });
   t.live_wasted <- t.live_wasted - (meta.reserved - meta.size);
   if t.recycle_virtual_pages && Obj_meta.is_heap meta then begin

@@ -21,13 +21,16 @@ type t
 val create :
   ?granule:int ->
   ?recycle_virtual_pages:bool ->
+  ?trace:Kard_obs.Trace.t ->
   Kard_vm.Address_space.t ->
   meta:Meta_table.t ->
   cost:Kard_mpk.Cost_model.t ->
   unit ->
   t
 (** [granule] defaults to 32 bytes, the paper's fixed consolidation
-    size. @raise Invalid_argument unless it divides the page size. *)
+    size. @raise Invalid_argument unless it divides the page size.
+    [trace] receives fresh/recycled/global allocation and free events
+    on the runtime track. *)
 
 val iface : t -> Alloc_iface.t
 

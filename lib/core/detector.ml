@@ -13,6 +13,9 @@ type frame = {
   lock : int;
   site : int;
   saved_pkru : Pkru.t;
+  wrpkru_at_entry : int;
+      (** WRPKRU total at section entry, so exit can report the
+          per-entry WRPKRU cost to the metrics registry. *)
   mutable acquired : Pkey.t list;
 }
 
@@ -114,6 +117,19 @@ let create ?(config = Config.default) env =
 let cost t = t.env.Hooks.cost
 let hw t = t.env.Hooks.hw
 let now t = t.env.Hooks.now ()
+let trace t = t.env.Hooks.trace
+
+(* Data keys currently held by some section; sampled into the trace on
+   every key-state change (the libmpk-style occupancy view). *)
+let sample_occupancy t =
+  match trace t with
+  | None -> ()
+  | Some tr ->
+    let unheld = List.length (Key_section_map.unheld_keys t.ksmap ~among:Pkey.data_keys) in
+    let live = Pkey.data_key_count - unheld in
+    Kard_obs.Trace.emit tr ~tid:(-1) (Kard_obs.Event.Pkey_occupancy { live });
+    Kard_obs.Trace.observe (trace t) "kard.live_pkeys" live
+
 
 let thread_state t tid =
   match Hashtbl.find_opt t.threads tid with
@@ -166,10 +182,20 @@ let protect_pages t (meta : Obj_meta.t) pkey =
 
 let demote_to_kna t (meta : Obj_meta.t) =
   t.demotions <- t.demotions + 1;
+  (match trace t with
+  | None -> ()
+  | Some tr ->
+    Kard_obs.Trace.emit tr ~tid:(-1)
+      (Kard_obs.Event.Key_demote { obj_id = meta.Obj_meta.id; to_ro = false }));
   Domain_state.set t.domains ~obj_id:meta.Obj_meta.id Domain_state.Not_accessed;
   protect_pages t meta Pkey.k_na
 
 let demote_to_ro t (meta : Obj_meta.t) =
+  (match trace t with
+  | None -> ()
+  | Some tr ->
+    Kard_obs.Trace.emit tr ~tid:(-1)
+      (Kard_obs.Event.Key_demote { obj_id = meta.Obj_meta.id; to_ro = true }));
   Domain_state.set t.domains ~obj_id:meta.Obj_meta.id Domain_state.Read_only;
   protect_pages t meta Pkey.k_ro
 
@@ -198,21 +224,35 @@ let assign_write_key t ~tid ~frame (meta : Obj_meta.t) =
   | Key_assign.Share _ when t.config.Config.software_fallback -> ()
   | d -> Key_assign.note t.assign d);
   let c = cost t in
-  let finish_with key extra =
+  let finish_with key assign extra =
+    (match trace t with
+    | None -> ()
+    | Some tr ->
+      (match Domain_state.domain_of t.domains ~obj_id:meta.Obj_meta.id with
+      | Domain_state.Read_write old when not (Pkey.equal old key) ->
+        Kard_obs.Trace.emit tr ~tid
+          (Kard_obs.Event.Key_migrate
+             { obj_id = meta.Obj_meta.id;
+               from_key = Pkey.to_int old;
+               to_key = Pkey.to_int key })
+      | Domain_state.Read_write _ | Domain_state.Read_only | Domain_state.Not_accessed -> ());
+      Kard_obs.Trace.emit tr ~tid
+        (Kard_obs.Event.Key_assign { key = Pkey.to_int key; obj_id = meta.Obj_meta.id; assign }));
     Domain_state.set t.domains ~obj_id:meta.Obj_meta.id (Domain_state.Read_write key);
     Hashtbl.replace t.rw_seen meta.Obj_meta.id ();
     let mprotect = protect_pages t meta key in
+    sample_occupancy t;
     extra + mprotect + c.Cost_model.map_op
   in
   match decision with
-  | Key_assign.Reuse key -> (key, finish_with key 0)
+  | Key_assign.Reuse key -> (key, finish_with key Kard_obs.Event.Assign_reuse 0)
   | Key_assign.Fresh key ->
     Key_section_map.acquire t.ksmap key
       { Key_section_map.tid; perm = Perm.Read_write; section = site; lock = frame.lock };
     frame_note_acquired frame key;
     grant_in_context t ~tid key Perm.Read_write;
     t.reactive_acq <- t.reactive_acq + 1;
-    (key, finish_with key c.Cost_model.atomic_op)
+    (key, finish_with key Kard_obs.Event.Assign_fresh c.Cost_model.atomic_op)
   | Key_assign.Recycle (key, obj_ids) ->
     let demote_cost =
       List.fold_left
@@ -229,7 +269,7 @@ let assign_write_key t ~tid ~frame (meta : Obj_meta.t) =
     frame_note_acquired frame key;
     grant_in_context t ~tid key Perm.Read_write;
     t.reactive_acq <- t.reactive_acq + 1;
-    (key, finish_with key (demote_cost + c.Cost_model.atomic_op))
+    (key, finish_with key Kard_obs.Event.Assign_recycle (demote_cost + c.Cost_model.atomic_op))
   | Key_assign.Share key ->
     if t.config.Config.software_fallback then begin
       (* Section 8: never share — pool the object under a software
@@ -237,7 +277,7 @@ let assign_write_key t ~tid ~frame (meta : Obj_meta.t) =
          hardware tag, so every access traps into the handler. *)
       t.soft_fallbacks <- t.soft_fallbacks + 1;
       Soft_keys.add_object t.soft ~obj_id:meta.Obj_meta.id;
-      (soft_pool_key, finish_with soft_pool_key c.Cost_model.atomic_op)
+      (soft_pool_key, finish_with soft_pool_key Kard_obs.Event.Assign_share c.Cost_model.atomic_op)
     end
     else begin
       Key_section_map.force_acquire t.ksmap key
@@ -245,7 +285,7 @@ let assign_write_key t ~tid ~frame (meta : Obj_meta.t) =
       frame_note_acquired frame key;
       grant_in_context t ~tid key Perm.Read_write;
       t.reactive_acq <- t.reactive_acq + 1;
-      (key, finish_with key c.Cost_model.atomic_op)
+      (key, finish_with key Kard_obs.Event.Assign_share c.Cost_model.atomic_op)
     end
 
 (* {2 Race records} *)
@@ -292,6 +332,13 @@ let log_race t (fault : Fault.t) (meta : Obj_meta.t) holding =
         (Interleave.observe t.interleave ~obj_id:meta.Obj_meta.id ~tid:fault.Fault.thread
            ~offset:record.Race_record.offset)
   | `Fresh ->
+    (match trace t with
+    | None -> ()
+    | Some tr ->
+      Kard_obs.Trace.emit tr ~tid:fault.Fault.thread
+        (Kard_obs.Event.Race
+           { obj_id = meta.Obj_meta.id; offset = record.Race_record.offset });
+      Kard_obs.Trace.incr (trace t) "kard.races");
     if t.config.Config.protection_interleaving then begin
       if Interleave.active t.interleave ~obj_id:meta.Obj_meta.id then begin
         Interleave.attach_record t.interleave ~obj_id:meta.Obj_meta.id ~record;
@@ -444,6 +491,7 @@ let handle_data_fault t (fault : Fault.t) (meta : Obj_meta.t) key =
           | `Read -> Section_object_map.Needs_read
         in
         Section_object_map.record t.somap ~section:frame.site ~obj_id:meta.Obj_meta.id need;
+        sample_occupancy t;
         { Hooks.fault_cycles = 3 * c.Cost_model.map_op; action = Hooks.Retry }
       end
       else begin
@@ -538,7 +586,13 @@ let on_lock t ~tid ~lock ~site =
   let c = cost t in
   let ts = thread_state t tid in
   let pkru0 = Mpk_hw.pkru_of (hw t) ~tid in
-  let frame = { lock; site; saved_pkru = pkru0; acquired = [] } in
+  let frame =
+    { lock;
+      site;
+      saved_pkru = pkru0;
+      wrpkru_at_entry = Mpk_hw.wrpkru_count (hw t);
+      acquired = [] }
+  in
   ts.frames <- frame :: ts.frames;
   active_enter t ~site ~tid;
   (* Internal synchronization scales with concurrently executing
@@ -595,6 +649,7 @@ let on_lock t ~tid ~lock ~site =
         | Domain_state.Not_accessed | Domain_state.Read_only -> ())
       (Section_object_map.objects_of t.somap ~section:site);
   cycles := !cycles + Mpk_hw.wrpkru (hw t) ~tid !pkru;
+  sample_occupancy t;
   !cycles
 
 let on_unlock t ~tid ~lock =
@@ -632,6 +687,12 @@ let on_unlock t ~tid ~lock =
     if t.config.Config.software_fallback then
       Soft_keys.release_thread t.soft ~tid ~time;
     cycles := !cycles + Mpk_hw.wrpkru (hw t) ~tid frame.saved_pkru;
+    (match trace t with
+    | None -> ()
+    | Some _ ->
+      Kard_obs.Trace.observe (trace t) "kard.cs_wrpkru"
+        (Mpk_hw.wrpkru_count (hw t) - frame.wrpkru_at_entry);
+      sample_occupancy t);
     active_exit t ~site:frame.site ~tid;
     !cycles
 

@@ -38,7 +38,7 @@ let print_geomean label rows pct_of paper_of =
 let print_table3 rows =
   let header =
     [ "benchmark"; "heap"; "glob"; "RO"; "RW"; "CS"; "act"; "entries"; "base(Mc)"; "alloc%";
-      "(paper)"; "kard%"; "(paper)"; "tsan"; "(paper)"; "rss%"; "(paper)"; "dTLBk" ]
+      "(paper)"; "kard%"; "(paper)"; "tsan"; "(paper)"; "rss%"; "(paper)"; "dTLBk"; "faults" ]
   in
   let cells row =
     let p = row.spec.Spec.paper in
@@ -61,7 +61,8 @@ let print_table3 rows =
       Text_table.fmt_times (1. +. (p.Spec.p_tsan_pct /. 100.));
       Text_table.fmt_pct (t3_rss_pct row);
       Text_table.fmt_pct p.Spec.p_rss_kard_pct;
-      Text_table.fmt_rate (Runner.dtlb_rate row.kard) ]
+      Text_table.fmt_rate (Runner.dtlb_rate row.kard);
+      Text_table.fmt_int row.kard.Runner.report.Machine.faults ]
   in
   print_string (Text_table.render ~header (List.map cells rows));
   let benches, apps =

@@ -62,6 +62,37 @@ let of_kard_stats (s : Kard_core.Detector.stats) =
       field "soft_fallbacks" (int_ s.Kard_core.Detector.soft_fallbacks);
       field "soft_faults" (int_ s.Kard_core.Detector.soft_faults) ]
 
+let of_summary (s : Kard_obs.Metrics.summary) =
+  obj
+    [ field "count" (int_ s.Kard_obs.Metrics.count);
+      field "total" (int_ s.Kard_obs.Metrics.total);
+      field "min" (int_ s.Kard_obs.Metrics.min);
+      field "max" (int_ s.Kard_obs.Metrics.max);
+      field "mean" (float_ s.Kard_obs.Metrics.mean);
+      field "p50" (float_ s.Kard_obs.Metrics.p50);
+      field "p95" (float_ s.Kard_obs.Metrics.p95);
+      field "p99" (float_ s.Kard_obs.Metrics.p99) ]
+
+let of_metrics (m : Kard_obs.Metrics.t) =
+  obj
+    [ field "counters"
+        (obj (List.map (fun (name, v) -> field name (int_ v)) (Kard_obs.Metrics.counters m)));
+      field "histograms"
+        (obj
+           (List.map
+              (fun (name, s) -> field name (of_summary s))
+              (Kard_obs.Metrics.histograms m))) ]
+
+let of_trace (tr : Kard_obs.Trace.t) =
+  obj
+    [ field "events" (int_ (Kard_obs.Trace.event_count tr));
+      field "dropped" (int_ (Kard_obs.Trace.dropped tr));
+      field "categories"
+        (obj
+           (List.map
+              (fun (cat, n) -> field cat (int_ n))
+              (Kard_obs.Trace.category_counts tr))) ]
+
 let of_result (r : Runner.result) =
   let report = r.Runner.report in
   obj
@@ -80,9 +111,13 @@ let of_result (r : Runner.result) =
        field "races" (arr (List.map of_race r.Runner.kard_races));
        field "tsan_races" (int_ (List.length r.Runner.tsan_races));
        field "lockset_warnings" (int_ (List.length r.Runner.lockset_warnings)) ]
+    @ (match r.Runner.kard_stats with
+      | Some stats -> [ field "kard" (of_kard_stats stats) ]
+      | None -> [])
     @
-    match r.Runner.kard_stats with
-    | Some stats -> [ field "kard" (of_kard_stats stats) ]
+    match r.Runner.trace with
+    | Some tr ->
+      [ field "trace" (of_trace tr); field "metrics" (of_metrics (Kard_obs.Trace.metrics tr)) ]
     | None -> [])
 
 let pretty json =

@@ -10,9 +10,14 @@ val escape : string -> string
 
 val of_race : Kard_core.Race_record.t -> string
 
+val of_metrics : Kard_obs.Metrics.t -> string
+(** Counters plus histogram summaries (count, total, min, max, mean
+    and the p50/p95/p99 percentiles), keyed by metric name. *)
+
 val of_result : Runner.result -> string
 (** The full run: workload, detector, cycle/RSS/dTLB counters, races,
-    and (for Kard runs) the detector statistics. *)
+    (for Kard runs) the detector statistics, and (for traced runs) the
+    trace summary and metrics registry. *)
 
 val pretty : string -> string
 (** Re-indent a JSON string (objects and arrays, 2 spaces). *)

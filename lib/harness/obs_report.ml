@@ -1,0 +1,49 @@
+module Metrics = Kard_obs.Metrics
+module Trace = Kard_obs.Trace
+
+let fmt_f v = Printf.sprintf "%.1f" v
+
+let counters_table (m : Metrics.t) =
+  match Metrics.counters m with
+  | [] -> "(no counters)"
+  | counters ->
+    Text_table.render ~header:[ "counter"; "value" ]
+      (List.map (fun (name, v) -> [ name; Text_table.fmt_int v ]) counters)
+
+let histograms_table (m : Metrics.t) =
+  match Metrics.histograms m with
+  | [] -> "(no histograms)"
+  | histograms ->
+    Text_table.render
+      ~header:[ "histogram"; "count"; "mean"; "p50"; "p95"; "p99"; "min"; "max" ]
+      (List.map
+         (fun (name, (s : Metrics.summary)) ->
+           [ name;
+             Text_table.fmt_int s.Metrics.count;
+             fmt_f s.Metrics.mean;
+             fmt_f s.Metrics.p50;
+             fmt_f s.Metrics.p95;
+             fmt_f s.Metrics.p99;
+             Text_table.fmt_int s.Metrics.min;
+             Text_table.fmt_int s.Metrics.max ])
+         histograms)
+
+let print_metrics m =
+  print_endline (counters_table m);
+  print_newline ();
+  print_endline (histograms_table m)
+
+let trace_summary_table (tr : Trace.t) =
+  let rows =
+    List.map
+      (fun (cat, n) -> [ cat; Text_table.fmt_int n ])
+      (Trace.category_counts tr)
+  in
+  let rows =
+    rows
+    @ [ [ "(retained)"; Text_table.fmt_int (Trace.event_count tr) ];
+        [ "(dropped)"; Text_table.fmt_int (Trace.dropped tr) ] ]
+  in
+  Text_table.render ~header:[ "category"; "events" ] rows
+
+let print_trace_summary tr = print_endline (trace_summary_table tr)

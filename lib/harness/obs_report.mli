@@ -1,0 +1,17 @@
+(** Human-readable rendering of a run's observability data: the
+    metrics registry as counter/histogram tables and the event trace
+    as a per-category summary.  Shared by [kard_cli trace] and the
+    benchmark driver. *)
+
+val counters_table : Kard_obs.Metrics.t -> string
+val histograms_table : Kard_obs.Metrics.t -> string
+(** Count, mean, p50/p95/p99, min and max per histogram. *)
+
+val print_metrics : Kard_obs.Metrics.t -> unit
+(** Both tables to stdout. *)
+
+val trace_summary_table : Kard_obs.Trace.t -> string
+(** Retained events per {!Kard_obs.Event.category}, plus totals for
+    retained and dropped events. *)
+
+val print_trace_summary : Kard_obs.Trace.t -> unit

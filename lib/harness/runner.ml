@@ -24,6 +24,7 @@ type result = {
   tsan_races : Kard_baselines.Tsan.race list;
   tsan_ilu_races : Kard_baselines.Tsan.race list;
   lockset_warnings : Kard_baselines.Lockset.warning list;
+  trace : Kard_obs.Trace.t option;
 }
 
 let detector_name = function
@@ -35,7 +36,7 @@ let detector_name = function
 
 let kard_allocator = Machine.Unique_page { granule = 32; recycle_virtual_pages = false }
 
-let run_build ~threads ~scale ~seed ~detector build name =
+let run_build ?trace ~threads ~scale ~seed ~detector build name =
   let kard_cell = ref None in
   let tsan_cell = ref None in
   let lockset_cell = ref None in
@@ -47,7 +48,7 @@ let run_build ~threads ~scale ~seed ~detector build name =
     | Tsan -> (Machine.Native, Kard_baselines.Tsan.make ~max_threads:(threads + 1) ~cell:tsan_cell)
     | Lockset -> (Machine.Native, Kard_baselines.Lockset.make ~cell:lockset_cell)
   in
-  let machine = Machine.create ~seed ~allocator ~make_detector () in
+  let machine = Machine.create ~seed ?trace ~allocator ~make_detector () in
   build machine;
   let report = Machine.run machine in
   let kard_stats = Option.map Detector.stats !kard_cell in
@@ -65,22 +66,23 @@ let run_build ~threads ~scale ~seed ~detector build name =
     tsan_races = (match !tsan_cell with Some t -> Kard_baselines.Tsan.races t | None -> []);
     tsan_ilu_races = (match !tsan_cell with Some t -> Kard_baselines.Tsan.ilu_races t | None -> []);
     lockset_warnings =
-      (match !lockset_cell with Some l -> Kard_baselines.Lockset.warnings l | None -> []) }
+      (match !lockset_cell with Some l -> Kard_baselines.Lockset.warnings l | None -> []);
+    trace }
 
-let run ?threads ?(scale = 0.01) ?(seed = 42) ~detector (spec : Spec_alias.t) =
+let run ?trace ?threads ?(scale = 0.01) ?(seed = 42) ~detector (spec : Spec_alias.t) =
   let threads = Option.value ~default:spec.Kard_workloads.Spec.default_threads threads in
-  run_build ~threads ~scale ~seed ~detector
+  run_build ?trace ~threads ~scale ~seed ~detector
     (fun machine -> spec.Kard_workloads.Spec.build ~threads ~scale ~seed machine)
     spec.Kard_workloads.Spec.name
 
-let run_scenario ?(seed = 42) ?override_config ~detector (scenario : Kard_workloads.Race_suite.t) =
+let run_scenario ?trace ?(seed = 42) ?override_config ~detector (scenario : Kard_workloads.Race_suite.t) =
   let detector =
     match detector, override_config with
     | Kard _, Some config -> Kard config
     | Kard _, None -> Kard scenario.Kard_workloads.Race_suite.config
     | ((Baseline | Alloc | Tsan | Lockset) as d), _ -> d
   in
-  run_build ~threads:scenario.Kard_workloads.Race_suite.threads ~scale:1.0 ~seed ~detector
+  run_build ?trace ~threads:scenario.Kard_workloads.Race_suite.threads ~scale:1.0 ~seed ~detector
     scenario.Kard_workloads.Race_suite.build scenario.Kard_workloads.Race_suite.name
 
 let overhead_pct ~baseline result =

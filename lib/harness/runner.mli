@@ -22,15 +22,22 @@ type result = {
   tsan_races : Kard_baselines.Tsan.race list;
   tsan_ilu_races : Kard_baselines.Tsan.race list;
   lockset_warnings : Kard_baselines.Lockset.warning list;
+  trace : Kard_obs.Trace.t option;
+      (** The sink the run emitted into, when one was passed. *)
 }
 
 val detector_name : detector -> string
 
 val run :
+  ?trace:Kard_obs.Trace.t ->
   ?threads:int -> ?scale:float -> ?seed:int -> detector:detector -> Spec_alias.t -> result
-(** Defaults: the spec's default thread count, scale 0.01, seed 42. *)
+(** Defaults: the spec's default thread count, scale 0.01, seed 42.
+    [trace] turns on observability for the run (see
+    {!Kard_sched.Machine.create}); the filled sink comes back in
+    [result.trace]. *)
 
 val run_scenario :
+  ?trace:Kard_obs.Trace.t ->
   ?seed:int -> ?override_config:Kard_core.Config.t -> detector:detector ->
   Kard_workloads.Race_suite.t -> result
 (** Run a controlled race scenario (always at its own thread count and

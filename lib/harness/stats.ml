@@ -11,7 +11,30 @@ let geomean_overhead_pct pcts =
   (geomean_ratio ratios -. 1.) *. 100.
 
 let mean values =
-  if values = [] then 0.
-  else List.fold_left ( +. ) 0. values /. float_of_int (List.length values)
+  if values = [] then invalid_arg "Stats.mean: empty";
+  List.fold_left ( +. ) 0. values /. float_of_int (List.length values)
+
+let stddev values =
+  if values = [] then invalid_arg "Stats.stddev: empty";
+  let m = mean values in
+  let sq = List.fold_left (fun acc v -> acc +. ((v -. m) *. (v -. m))) 0. values in
+  sqrt (sq /. float_of_int (List.length values))
+
+let percentile values q =
+  if values = [] then invalid_arg "Stats.percentile: empty";
+  if q < 0. || q > 100. then invalid_arg "Stats.percentile: q outside [0, 100]";
+  let sorted = List.sort compare values in
+  let arr = Array.of_list sorted in
+  let n = Array.length arr in
+  if n = 1 then arr.(0)
+  else begin
+    (* Linear interpolation between closest ranks (the common "type 7"
+       estimator numpy defaults to). *)
+    let rank = q /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = rank -. float_of_int lo in
+    arr.(lo) +. (frac *. (arr.(hi) -. arr.(lo)))
+  end
 
 let pct value baseline = if baseline = 0. then 0. else (value -. baseline) /. baseline *. 100.

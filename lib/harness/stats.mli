@@ -10,6 +10,17 @@ val geomean_overhead_pct : float list -> float
     geometrically, and converted back. *)
 
 val mean : float list -> float
+(** Arithmetic mean. @raise Invalid_argument on an empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation.
+    @raise Invalid_argument on an empty list. *)
+
+val percentile : float list -> float -> float
+(** [percentile values q] for [q] in \[0, 100\], linearly interpolating
+    between closest ranks (numpy's default estimator).
+    @raise Invalid_argument on an empty list or [q] out of range. *)
+
 val pct : float -> float -> float
 (** [pct value baseline] is the percent overhead of [value] over
     [baseline]; 0 when the baseline is 0. *)

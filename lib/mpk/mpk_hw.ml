@@ -12,6 +12,7 @@ type stats = {
 
 type t = {
   cost : Cost_model.t;
+  trace : Kard_obs.Trace.sink;
   page_table : Page_table.t;
   cores : (int, core) Hashtbl.t;
   mutable wrpkru_calls : int;
@@ -21,8 +22,9 @@ type t = {
   mutable faults : int;
 }
 
-let create ?(cost = Cost_model.default) () =
+let create ?(cost = Cost_model.default) ?trace () =
   { cost;
+    trace;
     page_table = Page_table.create ();
     cores = Hashtbl.create 64;
     wrpkru_calls = 0;
@@ -32,7 +34,9 @@ let create ?(cost = Cost_model.default) () =
     faults = 0 }
 
 let cost t = t.cost
+let trace t = t.trace
 let page_table t = t.page_table
+let wrpkru_count t = t.wrpkru_calls
 
 let register_thread t tid =
   Hashtbl.replace t.cores tid { pkru = Pkru.all_access; tlb = Tlb.create () }
@@ -46,11 +50,21 @@ let wrpkru t ~tid pkru =
   let core = core_of t tid in
   core.pkru <- pkru;
   t.wrpkru_calls <- t.wrpkru_calls + 1;
+  (match t.trace with
+  | None -> ()
+  | Some tr ->
+    Kard_obs.Trace.emit tr ~tid Kard_obs.Event.Wrpkru;
+    Kard_obs.Trace.incr t.trace "hw.wrpkru");
   t.cost.Cost_model.wrpkru
 
 let rdpkru t ~tid =
   let core = core_of t tid in
   t.rdpkru_calls <- t.rdpkru_calls + 1;
+  (match t.trace with
+  | None -> ()
+  | Some tr ->
+    Kard_obs.Trace.emit tr ~tid Kard_obs.Event.Rdpkru;
+    Kard_obs.Trace.incr t.trace "hw.rdpkru");
   (core.pkru, t.cost.Cost_model.rdpkru)
 
 let pkru_of t ~tid = (core_of t tid).pkru
@@ -60,6 +74,13 @@ let pkey_mprotect t ~base ~len pkey =
   let pages = Page_table.set_pkey_range t.page_table ~base ~len pkey in
   t.pkey_mprotect_calls <- t.pkey_mprotect_calls + 1;
   t.pages_retagged <- t.pages_retagged + pages;
+  (match t.trace with
+  | None -> ()
+  | Some tr ->
+    Kard_obs.Trace.emit tr ~tid:(-1)
+      (Kard_obs.Event.Pkey_mprotect { base; pages; pkey = Pkey.to_int pkey });
+    Kard_obs.Trace.incr t.trace "hw.pkey_mprotect";
+    Kard_obs.Trace.observe t.trace "hw.pages_retagged" pages);
   t.cost.Cost_model.pkey_mprotect_base + (pages * t.cost.Cost_model.pkey_mprotect_page)
 
 let check_access t ~tid ~addr ~access ~ip ~time =
@@ -75,11 +96,20 @@ let check_access t ~tid ~addr ~access ~ip ~time =
   end
   else begin
     t.faults <- t.faults + 1;
+    (match t.trace with
+    | None -> ()
+    | Some tr ->
+      Kard_obs.Trace.emit tr ~tid
+        (Kard_obs.Event.Fault_raised { addr; pkey = Pkey.to_int pkey; access });
+      Kard_obs.Trace.incr t.trace "hw.faults");
     Error (Fault.make ~addr ~pkey ~access ~thread:tid ~ip ~time)
   end
 
 let note_tlb_hits t ~tid n = Tlb.note_hits (core_of t tid).tlb n
-let note_tlb_misses t ~tid n = Tlb.note_misses (core_of t tid).tlb n
+
+let note_tlb_misses t ~tid n =
+  if n > 0 then Kard_obs.Trace.observe t.trace "hw.dtlb_miss_burst" n;
+  Tlb.note_misses (core_of t tid).tlb n
 
 let stats t =
   let dtlb_accesses = ref 0 and dtlb_misses = ref 0 in

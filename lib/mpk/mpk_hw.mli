@@ -19,8 +19,14 @@ type stats = {
   dtlb_misses : int;
 }
 
-val create : ?cost:Cost_model.t -> unit -> t
+val create : ?cost:Cost_model.t -> ?trace:Kard_obs.Trace.t -> unit -> t
+(** [trace] (default none) receives a cycle-stamped event for every
+    WRPKRU/RDPKRU, [pkey_mprotect] and #GP, plus hardware counters and
+    dTLB-miss-burst observations in its metrics registry.  Tracing
+    never changes cycle accounting. *)
+
 val cost : t -> Cost_model.t
+val trace : t -> Kard_obs.Trace.sink
 val page_table : t -> Page_table.t
 
 (** {1 Thread registration} *)
@@ -64,5 +70,9 @@ val note_tlb_hits : t -> tid:int -> int -> unit
 val note_tlb_misses : t -> tid:int -> int -> unit
 
 val stats : t -> stats
+val wrpkru_count : t -> int
+(** Running WRPKRU total, without building a {!stats} record — cheap
+    enough to snapshot at every section entry. *)
+
 val dtlb_miss_rate : t -> float
 val reset_stats : t -> unit

@@ -1,0 +1,75 @@
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let str s = "\"" ^ escape s ^ "\""
+let field name value = str name ^ ":" ^ value
+let obj fields = "{" ^ String.concat "," fields ^ "}"
+
+let args_json kind =
+  obj
+    (List.map
+       (fun (k, v) ->
+         field k (match v with Event.Int i -> string_of_int i | Event.Str s -> str s))
+       (Event.args kind))
+
+let common ~ph ~cat ~name ~tid ~ts extra =
+  obj
+    ([ field "ph" (str ph);
+       field "cat" (str cat);
+       field "name" (str name);
+       field "pid" "0";
+       field "tid" (string_of_int tid);
+       field "ts" (string_of_int ts) ]
+    @ extra)
+
+let of_event (e : Event.t) =
+  let cat = Event.category e.Event.kind in
+  let name = Event.name e.Event.kind in
+  let tid = e.Event.tid and ts = e.Event.ts in
+  match e.Event.kind with
+  | Event.Lock_acquire { lock; _ } ->
+    common ~ph:"b" ~cat ~name:(Printf.sprintf "critical-section lock=%d" lock) ~tid ~ts
+      [ field "id" (string_of_int lock); field "args" (args_json e.Event.kind) ]
+  | Event.Lock_release { lock } ->
+    common ~ph:"e" ~cat ~name:(Printf.sprintf "critical-section lock=%d" lock) ~tid ~ts
+      [ field "id" (string_of_int lock) ]
+  | Event.Pkey_occupancy { live } ->
+    common ~ph:"C" ~cat ~name:"live-pkeys" ~tid ~ts
+      [ field "args" (obj [ field "live" (string_of_int live) ]) ]
+  | kind ->
+    common ~ph:"i" ~cat ~name ~tid ~ts [ field "s" (str "t"); field "args" (args_json kind) ]
+
+let thread_meta tid =
+  let label = if tid < 0 then "runtime" else Printf.sprintf "thread %d" tid in
+  obj
+    [ field "ph" (str "M");
+      field "name" (str "thread_name");
+      field "pid" "0";
+      field "tid" (string_of_int tid);
+      field "args" (obj [ field "name" (str label) ]) ]
+
+let to_json ~t =
+  let events = Trace.events t in
+  let tids =
+    List.sort_uniq compare (List.map (fun (e : Event.t) -> e.Event.tid) events)
+  in
+  let entries = List.map thread_meta tids @ List.map of_event events in
+  obj
+    [ field "traceEvents" ("[" ^ String.concat "," entries ^ "]");
+      field "displayTimeUnit" (str "ms");
+      field "otherData"
+        (obj
+           [ field "clock" (str "virtual-cycles (1 ts unit = 1 cycle)");
+             field "dropped_events" (string_of_int (Trace.dropped t)) ]) ]

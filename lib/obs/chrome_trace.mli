@@ -1,0 +1,22 @@
+(** Export a {!Trace.t} as Chrome trace-event JSON.
+
+    The output is the JSON-object form of the Trace Event Format
+    (a ["traceEvents"] array), loadable in Perfetto
+    ({{:https://ui.perfetto.dev}ui.perfetto.dev}) and in Chrome's
+    [about:tracing].  Layout:
+
+    - one track per simulated thread ([pid] 0, [tid] = thread id;
+      runtime/allocator events that have no thread land on tid -1,
+      named "runtime");
+    - critical sections are async spans ([ph] ["b"]/["e"]) with the
+      lock id as span id, so nested and contended sections render as
+      overlapping slices;
+    - every other event is an instant ([ph] ["i"]) carrying its
+      structured args;
+    - live-pkey occupancy is a counter track ([ph] ["C"]).
+
+    Timestamps are virtual cycles reported in the [ts] microsecond
+    field verbatim: one displayed microsecond is one simulated
+    cycle. *)
+
+val to_json : t:Trace.t -> string

@@ -1,0 +1,64 @@
+(** A registry of named counters and fixed-bucket histograms.
+
+    Counters track event totals (WRPKRU writes, [pkey_mprotect] calls,
+    allocation mix); histograms track cycle distributions (fault round
+    trips, WRPKRU per critical-section entry, dTLB miss bursts,
+    live-pkey occupancy) with percentile summaries estimated from the
+    buckets.  Registration is find-or-create by name, so instrumented
+    layers need no shared setup. *)
+
+type t
+type counter
+type histogram
+
+val create : unit -> t
+
+(** {1 Counters} *)
+
+val counter : t -> string -> counter
+(** Find or create. Creating the same name twice returns the same
+    counter. *)
+
+val incr : ?by:int -> counter -> unit
+val counter_value : counter -> int
+
+(** {1 Histograms} *)
+
+val default_buckets : int array
+(** Powers of two from 1 to 2^30: one relative-error band per
+    doubling, enough reach for cycle latencies. *)
+
+val histogram : t -> ?buckets:int array -> string -> histogram
+(** Find or create; [buckets] are ascending upper bounds and only
+    apply on creation.
+    @raise Invalid_argument when [buckets] is empty or not strictly
+    ascending. *)
+
+val observe : histogram -> int -> unit
+(** Record one sample (clamped to [0] from below). *)
+
+type summary = {
+  count : int;
+  total : int;
+  min : int;       (** Exact (0 when empty). *)
+  max : int;       (** Exact (0 when empty). *)
+  mean : float;    (** Exact (0 when empty). *)
+  p50 : float;     (** Estimated by linear interpolation in-bucket. *)
+  p95 : float;
+  p99 : float;
+}
+
+val summary : histogram -> summary
+val percentile : histogram -> float -> float
+(** [percentile h q] for [q] in [0, 1]; 0 when empty. *)
+
+(** {1 Inspection} *)
+
+val counters : t -> (string * int) list
+(** Sorted by name. *)
+
+val histograms : t -> (string * summary) list
+(** Sorted by name. *)
+
+val is_empty : t -> bool
+val pp : Format.formatter -> t -> unit

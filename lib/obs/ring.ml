@@ -1,0 +1,36 @@
+type 'a t = {
+  cap : int;
+  buf : 'a option array;
+  mutable pushed : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  { cap = capacity; buf = Array.make capacity None; pushed = 0 }
+
+let capacity t = t.cap
+let push t x =
+  t.buf.(t.pushed mod t.cap) <- Some x;
+  t.pushed <- t.pushed + 1
+
+let length t = min t.pushed t.cap
+let pushed t = t.pushed
+let dropped t = max 0 (t.pushed - t.cap)
+
+let iter f t =
+  let n = length t in
+  let start = if t.pushed <= t.cap then 0 else t.pushed mod t.cap in
+  for i = 0 to n - 1 do
+    match t.buf.((start + i) mod t.cap) with
+    | Some x -> f x
+    | None -> assert false
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun x -> acc := x :: !acc) t;
+  List.rev !acc
+
+let clear t =
+  Array.fill t.buf 0 t.cap None;
+  t.pushed <- 0

@@ -1,0 +1,33 @@
+(** A bounded ring buffer.
+
+    The event trace must be always-on capable: a fixed-capacity buffer
+    that overwrites the oldest entries instead of growing, so a long
+    run's trace memory is bounded and the *tail* of the execution — the
+    part that usually explains a failure — is what survives. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument when [capacity <= 0]. *)
+
+val capacity : 'a t -> int
+
+val push : 'a t -> 'a -> unit
+(** O(1); overwrites the oldest element when full. *)
+
+val length : 'a t -> int
+(** Elements currently retained ([<= capacity]). *)
+
+val pushed : 'a t -> int
+(** Total elements ever pushed. *)
+
+val dropped : 'a t -> int
+(** Elements overwritten so far ([pushed - length]). *)
+
+val to_list : 'a t -> 'a list
+(** Retained elements, oldest first. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Oldest first. *)
+
+val clear : 'a t -> unit

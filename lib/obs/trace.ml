@@ -1,0 +1,45 @@
+type t = {
+  ring : Event.t Ring.t;
+  metrics_ : Metrics.t;
+  mutable clock : unit -> int;
+  steps_ : bool;
+}
+
+type sink = t option
+
+let create ?(capacity = 65536) ?(steps = false) () =
+  { ring = Ring.create ~capacity;
+    metrics_ = Metrics.create ();
+    clock = (fun () -> 0);
+    steps_ = steps }
+
+let none : sink = None
+
+let set_clock t f = t.clock <- f
+let now t = t.clock ()
+let emit t ~tid kind = Ring.push t.ring { Event.ts = t.clock (); tid; kind }
+let steps t = t.steps_
+let events t = Ring.to_list t.ring
+let event_count t = Ring.length t.ring
+let dropped t = Ring.dropped t.ring
+let metrics t = t.metrics_
+
+let category_counts t =
+  let tbl = Hashtbl.create 8 in
+  Ring.iter
+    (fun (e : Event.t) ->
+      let cat = Event.category e.Event.kind in
+      Hashtbl.replace tbl cat (1 + Option.value ~default:0 (Hashtbl.find_opt tbl cat)))
+    t.ring;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let incr sink name =
+  match sink with
+  | None -> ()
+  | Some t -> Metrics.incr (Metrics.counter t.metrics_ name)
+
+let observe sink name v =
+  match sink with
+  | None -> ()
+  | Some t -> Metrics.observe (Metrics.histogram t.metrics_ name) v

@@ -1,0 +1,54 @@
+(** The run-wide observability sink: a bounded cycle-stamped event
+    ring plus a metrics registry, behind a zero-cost no-op default.
+
+    The sink is the ['t option] type [sink]: instrumented layers hold
+    a [sink] and guard every emission on it, so a run created without
+    tracing allocates no ring buffer and performs no work beyond the
+    [None] test.  Emission never charges simulated cycles — a traced
+    run and an untraced run of the same seed produce identical
+    {!Kard_sched.Machine.report}s. *)
+
+type t
+
+type sink = t option
+(** [None] is the no-op sink. *)
+
+val create : ?capacity:int -> ?steps:bool -> unit -> t
+(** [capacity] bounds the event ring (default 65536 events; the oldest
+    events are overwritten when it fills).  [steps] additionally
+    records every read/write/compute operation (default false — step
+    events dominate the buffer on real workloads). *)
+
+val none : sink
+
+val set_clock : t -> (unit -> int) -> unit
+(** Install the virtual cycle clock used to stamp events.  The machine
+    does this in [Machine.create]; before a clock is installed events
+    are stamped 0. *)
+
+val now : t -> int
+
+val emit : t -> tid:int -> Event.kind -> unit
+(** Stamp and record one event.  Hot paths should match on the [sink]
+    before constructing the event payload. *)
+
+val steps : t -> bool
+(** Whether per-operation step events were requested. *)
+
+val events : t -> Event.t list
+(** Retained events, oldest first. *)
+
+val event_count : t -> int
+val dropped : t -> int
+val metrics : t -> Metrics.t
+
+val category_counts : t -> (string * int) list
+(** Retained events grouped by {!Event.category}, sorted by name. *)
+
+(** {1 Sink conveniences}
+
+    One-line guards for cool paths.  [incr]/[observe] touch only the
+    metrics registry; they are no-ops on [None]. *)
+
+val incr : sink -> string -> unit
+val observe : sink -> string -> int -> unit

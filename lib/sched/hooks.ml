@@ -3,6 +3,7 @@ type env = {
   meta : Kard_alloc.Meta_table.t;
   cost : Kard_mpk.Cost_model.t;
   now : unit -> int;
+  trace : Kard_obs.Trace.sink;
 }
 
 type fault_action =

@@ -10,6 +10,9 @@ type env = {
   meta : Kard_alloc.Meta_table.t;
   cost : Kard_mpk.Cost_model.t;
   now : unit -> int;  (** Read the virtual clock. *)
+  trace : Kard_obs.Trace.sink;
+      (** The run's observability sink ([None] when tracing is off);
+          detectors emit key/race events and metrics into it. *)
 }
 (** What the machine exposes to a detector at construction time. *)
 

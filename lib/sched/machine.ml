@@ -28,6 +28,7 @@ type thread = {
 type t = {
   sched : Schedule.state;
   cost : Cost_model.t;
+  trace : Kard_obs.Trace.sink;
   max_steps : int;
   phys : Phys_mem.t;
   aspace : Address_space.t;
@@ -53,25 +54,29 @@ type t = {
 
 exception Stuck of string
 
-let create ?(seed = 42) ?schedule ?(cost = Cost_model.default) ?(max_steps = 80_000_000)
-    ~allocator ~make_detector () =
+let create ?(seed = 42) ?schedule ?(cost = Cost_model.default) ?trace
+    ?(max_steps = 80_000_000) ~allocator ~make_detector () =
   let schedule = Option.value ~default:(Schedule.Random seed) schedule in
   let phys = Phys_mem.create () in
   let aspace = Address_space.create phys in
-  let hw = Mpk_hw.create ~cost () in
-  let meta = Meta_table.create () in
   let clock = Sim_clock.create () in
+  (* Stamp every event of this run with the virtual cycle clock. *)
+  Option.iter (fun tr -> Kard_obs.Trace.set_clock tr (fun () -> Sim_clock.now clock)) trace;
+  let hw = Mpk_hw.create ~cost ?trace () in
+  let meta = Meta_table.create () in
   let alloc =
     match allocator with
     | Unique_page { granule; recycle_virtual_pages } ->
       Kard_alloc.Unique_page_alloc.iface
-        (Kard_alloc.Unique_page_alloc.create ~granule ~recycle_virtual_pages aspace ~meta ~cost ())
+        (Kard_alloc.Unique_page_alloc.create ~granule ~recycle_virtual_pages ?trace aspace ~meta
+           ~cost ())
     | Native -> Kard_alloc.Native_alloc.iface (Kard_alloc.Native_alloc.create aspace ~meta ~cost ())
   in
-  let env = { Hooks.hw; meta; cost; now = (fun () -> Sim_clock.now clock) } in
+  let env = { Hooks.hw; meta; cost; now = (fun () -> Sim_clock.now clock); trace } in
   let hooks = make_detector env in
   { sched = Schedule.start schedule;
     cost;
+    trace;
     max_steps;
     phys;
     aspace;
@@ -94,10 +99,17 @@ let create ?(seed = 42) ?schedule ?(cost = Cost_model.default) ?(max_steps = 80_
     sites_seen = Hashtbl.create 64;
     started = false }
 
-let env t = { Hooks.hw = t.hw; meta = t.meta; cost = t.cost; now = (fun () -> Sim_clock.now t.clock) }
+let env t =
+  { Hooks.hw = t.hw;
+    meta = t.meta;
+    cost = t.cost;
+    now = (fun () -> Sim_clock.now t.clock);
+    trace = t.trace }
+
 let aspace t = t.aspace
 let alloc_iface t = t.alloc
 let now t = Sim_clock.now t.clock
+let trace t = t.trace
 
 let add_global ?(resident = false) t ~site ~size =
   if t.started then invalid_arg "Machine.add_global: machine already running";
@@ -179,6 +191,14 @@ let perform_access t thread addr access =
         charge t thread t.cost.Cost_model.fault_roundtrip;
         let outcome = t.hooks.Hooks.on_fault fault in
         charge t thread outcome.Hooks.fault_cycles;
+        (match t.trace with
+        | None -> ()
+        | Some tr ->
+          let latency = t.cost.Cost_model.fault_roundtrip + outcome.Hooks.fault_cycles in
+          Kard_obs.Trace.emit tr ~tid:thread.tid
+            (Kard_obs.Event.Fault_resolved
+               { addr; pkey = Kard_mpk.Pkey.to_int fault.Fault.pkey; latency });
+          Kard_obs.Trace.observe t.trace "fault.roundtrip_cycles" latency);
         (match outcome.Hooks.action with
         | Hooks.Retry -> attempt (n + 1) false
         | Hooks.Emulate -> attempt n true)
@@ -229,10 +249,19 @@ let thread_by_tid t tid =
   | Some th -> th
   | None -> raise (Stuck (Printf.sprintf "unknown thread %d" tid))
 
+(* Per-operation step events are opt-in: they dominate the ring buffer
+   on real workloads, so [Trace.create ~steps:true] must ask for them. *)
+let emit_step t thread op addr =
+  match t.trace with
+  | Some tr when Kard_obs.Trace.steps tr ->
+    Kard_obs.Trace.emit tr ~tid:thread.tid (Kard_obs.Event.Step { op; addr })
+  | Some _ | None -> ()
+
 let exec_op t thread op =
   match op with
   | Op.Compute cycles ->
     t.computes <- t.computes + 1;
+    emit_step t thread `Compute 0;
     charge t thread cycles
   | Op.Io cycles ->
     t.io_cycles <- t.io_cycles + cycles;
@@ -240,10 +269,12 @@ let exec_op t thread op =
   | Op.Yield -> ()
   | Op.Read addr ->
     t.reads <- t.reads + 1;
+    emit_step t thread `Read addr;
     charge t thread (t.hooks.Hooks.on_read ~tid:thread.tid ~addr);
     perform_access t thread addr `Read
   | Op.Write addr ->
     t.writes <- t.writes + 1;
+    emit_step t thread `Write addr;
     charge t thread (t.hooks.Hooks.on_write ~tid:thread.tid ~addr);
     perform_access t thread addr `Write
   | Op.Read_block b ->
@@ -259,6 +290,11 @@ let exec_op t thread op =
     match Lock_table.acquire t.locks ~lock ~tid:thread.tid with
     | Lock_table.Acquired ->
       charge t thread t.cost.Cost_model.lock_uncontended;
+      (match t.trace with
+      | None -> ()
+      | Some tr ->
+        Kard_obs.Trace.emit tr ~tid:thread.tid
+          (Kard_obs.Event.Lock_acquire { lock; site; contended = false }));
       enter_section t thread;
       charge t thread (t.hooks.Hooks.on_lock ~tid:thread.tid ~lock ~site)
     | Lock_table.Must_wait -> thread.status <- Blocked { lock; site }
@@ -266,6 +302,10 @@ let exec_op t thread op =
   | Op.Unlock { lock } ->
     charge t thread (t.hooks.Hooks.on_unlock ~tid:thread.tid ~lock);
     charge t thread t.cost.Cost_model.unlock;
+    (match t.trace with
+    | None -> ()
+    | Some tr ->
+      Kard_obs.Trace.emit tr ~tid:thread.tid (Kard_obs.Event.Lock_release { lock }));
     exit_section t thread;
     (match Lock_table.release t.locks ~lock ~tid:thread.tid with
     | None -> ()
@@ -283,6 +323,11 @@ let exec_op t thread op =
       in
       waiter.status <- Runnable;
       charge t waiter t.cost.Cost_model.lock_contended;
+      (match t.trace with
+      | None -> ()
+      | Some tr ->
+        Kard_obs.Trace.emit tr ~tid:waiter_tid
+          (Kard_obs.Event.Lock_acquire { lock; site; contended = true }));
       enter_section t waiter;
       charge t waiter (t.hooks.Hooks.on_lock ~tid:waiter_tid ~lock ~site))
   | Op.Alloc { size; site; on_result } ->
@@ -414,7 +459,10 @@ let run t =
 let pp_report fmt r =
   Format.fprintf fmt
     "@[<v>[%s] cycles=%d (io=%d, wall=%d) steps=%d r/w=%d/%d cs=%d(contended %d) sites=%d \
-     maxconc=%d faults=%d rss=%dB dtlb=%.5f@]"
+     maxconc=%d faults=%d rss=%dB@,\
+     [%s] dtlb=%d/%d (miss rate %.5f) wrpkru=%d rdpkru=%d pkey_mprotect=%d (%d pages)@]"
     r.detector_name r.cycles r.io_cycles r.wall_cycles r.steps r.reads r.writes r.cs_entries
     r.contended_entries r.unique_sections r.max_concurrent_sections r.faults r.rss_bytes
-    r.dtlb_miss_rate
+    r.detector_name r.hw_stats.Mpk_hw.dtlb_misses r.hw_stats.Mpk_hw.dtlb_accesses
+    r.dtlb_miss_rate r.hw_stats.Mpk_hw.wrpkru_calls r.hw_stats.Mpk_hw.rdpkru_calls
+    r.hw_stats.Mpk_hw.pkey_mprotect_calls r.hw_stats.Mpk_hw.pages_retagged

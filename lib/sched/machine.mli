@@ -20,13 +20,21 @@ val create :
   ?seed:int ->
   ?schedule:Schedule.t ->
   ?cost:Kard_mpk.Cost_model.t ->
+  ?trace:Kard_obs.Trace.t ->
   ?max_steps:int ->
   allocator:allocator_kind ->
   make_detector:(Hooks.env -> Hooks.t) ->
   unit ->
   t
 (** [schedule] overrides [seed] (which is shorthand for
-    [Schedule.Random seed]). *)
+    [Schedule.Random seed]).
+
+    [trace] (default: none) turns on observability: the sink is
+    clocked to this machine's virtual cycle counter, handed to the MPK
+    model and the unique-page allocator, exposed to the detector via
+    {!Hooks.env}, and fed lock/fault/step events by the machine
+    itself.  Tracing never charges simulated cycles, so a traced run
+    reports exactly the cycles of an untraced run. *)
 
 (** {1 Setup} *)
 
@@ -45,6 +53,7 @@ val env : t -> Hooks.env
 val aspace : t -> Kard_vm.Address_space.t
 val alloc_iface : t -> Kard_alloc.Alloc_iface.t
 val now : t -> int
+val trace : t -> Kard_obs.Trace.sink
 
 (** {1 Execution} *)
 

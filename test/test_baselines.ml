@@ -137,7 +137,8 @@ let test_lockset_state_machine () =
     { Kard_sched.Hooks.hw = Kard_mpk.Mpk_hw.create ();
       meta;
       cost = Kard_mpk.Cost_model.default;
-      now = (fun () -> 0) }
+      now = (fun () -> 0);
+      trace = None }
   in
   ignore aspace;
   let l = Lockset.create env in

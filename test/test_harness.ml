@@ -37,11 +37,37 @@ let test_geomean_overhead () =
   let g2 = Stats.geomean_overhead_pct [ -50.; 100. ] in
   check "mixed signs" true (abs_float g2 < 1e-9)
 
+let rejects_empty f =
+  try
+    ignore (f [] : float);
+    false
+  with Invalid_argument _ -> true
+
 let test_pct_and_mean () =
   check_float "pct" 50.0 (Stats.pct 150. 100.);
   check_float "pct zero base" 0.0 (Stats.pct 5. 0.);
   check_float "mean" 2.0 (Stats.mean [ 1.; 2.; 3. ]);
-  check_float "mean empty" 0.0 (Stats.mean [])
+  check "mean empty rejected" true (rejects_empty Stats.mean)
+
+let test_stddev () =
+  check_float "constant" 0.0 (Stats.stddev [ 5.; 5.; 5. ]);
+  (* Population stddev of [2;4;4;4;5;5;7;9] is exactly 2. *)
+  check_float "textbook set" 2.0 (Stats.stddev [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ]);
+  check "empty rejected" true (rejects_empty Stats.stddev)
+
+let test_percentile () =
+  let values = [ 4.; 1.; 3.; 2. ] in
+  check_float "p0 is min" 1.0 (Stats.percentile values 0.);
+  check_float "p100 is max" 4.0 (Stats.percentile values 100.);
+  check_float "median interpolates" 2.5 (Stats.percentile values 50.);
+  check_float "p25 on sorted ranks" 1.75 (Stats.percentile values 25.);
+  check_float "singleton" 7.0 (Stats.percentile [ 7. ] 99.);
+  check "empty rejected" true (rejects_empty (fun vs -> Stats.percentile vs 50.));
+  check "q out of range rejected" true
+    (try
+       ignore (Stats.percentile values 101. : float);
+       false
+     with Invalid_argument _ -> true)
 
 (* {1 Text_table} *)
 
@@ -239,20 +265,60 @@ let test_json_result () =
   let base = Runner.run ~scale:0.002 ~detector:Runner.Baseline (Registry.find "aget") in
   check "baseline has no kard object" false (contains (Json.of_result base) "\"kard\":{")
 
+let test_json_metrics () =
+  let m = Kard_obs.Metrics.create () in
+  Kard_obs.Metrics.incr (Kard_obs.Metrics.counter m "hits");
+  let h = Kard_obs.Metrics.histogram m "lat" in
+  List.iter (Kard_obs.Metrics.observe h) [ 1; 2; 3; 4 ];
+  let json = Json.of_metrics m in
+  check "counter emitted" true (contains json "\"hits\":1");
+  check "histogram named" true (contains json "\"lat\":{");
+  List.iter
+    (fun field -> check (field ^ " present") true (contains json ("\"" ^ field ^ "\":")))
+    [ "count"; "total"; "min"; "max"; "mean"; "p50"; "p95"; "p99" ];
+  check "count value" true (contains json "\"count\":4")
+
+let test_json_traced_result () =
+  let tr = Kard_obs.Trace.create () in
+  let r =
+    Runner.run ~trace:tr ~scale:0.002 ~detector:(Runner.Kard Kard_core.Config.default)
+      (Registry.find "aget")
+  in
+  let json = Json.of_result r in
+  check "trace summary" true (contains json "\"trace\":{");
+  check "category counts" true (contains json "\"categories\":{");
+  check "metrics registry" true (contains json "\"metrics\":{");
+  let untraced =
+    Runner.run ~scale:0.002 ~detector:(Runner.Kard Kard_core.Config.default)
+      (Registry.find "aget")
+  in
+  check "untraced run embeds neither" false (contains (Json.of_result untraced) "\"metrics\":{")
+
 let test_json_pretty () =
   let pretty = Json.pretty "{\"a\":1,\"b\":[2,3]}" in
   check "newlines added" true (contains pretty "\n");
   check "content preserved" true (contains pretty "\"a\": 1");
   (* Braces inside strings must not be re-indented. *)
   let tricky = Json.pretty "{\"s\":\"a{b}c\"}" in
-  check "string braces untouched" true (contains tricky "a{b}c")
+  check "string braces untouched" true (contains tricky "a{b}c");
+  (* Pretty-printing only moves whitespace: stripping it back yields
+     the compact input, even with escapes inside strings. *)
+  let strip s =
+    String.to_seq s
+    |> Seq.filter (fun c -> c <> '\n' && c <> ' ')
+    |> String.of_seq
+  in
+  let compact = "{\"s\":\"a\\\"{\\\\\",\"n\":[1,{\"m\":2}]}" in
+  check "round-trips modulo whitespace" true (String.equal compact (strip (Json.pretty compact)))
 
 let () =
   Alcotest.run "kard_harness"
     [ ( "stats",
         [ Alcotest.test_case "geomean ratio" `Quick test_geomean_ratio;
           Alcotest.test_case "geomean overhead" `Quick test_geomean_overhead;
-          Alcotest.test_case "pct and mean" `Quick test_pct_and_mean ] );
+          Alcotest.test_case "pct and mean" `Quick test_pct_and_mean;
+          Alcotest.test_case "stddev" `Quick test_stddev;
+          Alcotest.test_case "percentile" `Quick test_percentile ] );
       ( "text_table",
         [ Alcotest.test_case "render" `Quick test_table_render;
           Alcotest.test_case "formats" `Quick test_table_formats ] );
@@ -277,4 +343,6 @@ let () =
         [ Alcotest.test_case "escape" `Quick test_json_escape;
           Alcotest.test_case "race record" `Quick test_json_race;
           Alcotest.test_case "result" `Slow test_json_result;
+          Alcotest.test_case "metrics" `Quick test_json_metrics;
+          Alcotest.test_case "traced result" `Slow test_json_traced_result;
           Alcotest.test_case "pretty" `Quick test_json_pretty ] ) ]

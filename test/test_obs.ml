@@ -1,0 +1,214 @@
+(* Tests for the observability layer: the event ring, the metrics
+   registry, traced machine runs, the Chrome trace export, and the
+   zero-cost claim of the no-op sink. *)
+
+module Ring = Kard_obs.Ring
+module Event = Kard_obs.Event
+module Metrics = Kard_obs.Metrics
+module Trace = Kard_obs.Trace
+module Chrome_trace = Kard_obs.Chrome_trace
+module Runner = Kard_harness.Runner
+module Registry = Kard_workloads.Registry
+module Machine = Kard_sched.Machine
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* {1 Ring} *)
+
+let test_ring_basic () =
+  let r = Ring.create ~capacity:4 in
+  check_int "empty" 0 (Ring.length r);
+  List.iter (Ring.push r) [ 1; 2; 3 ];
+  check "order below capacity" true (Ring.to_list r = [ 1; 2; 3 ]);
+  check_int "pushed" 3 (Ring.pushed r);
+  check_int "nothing dropped" 0 (Ring.dropped r)
+
+let test_ring_wraps () =
+  let r = Ring.create ~capacity:4 in
+  List.iter (Ring.push r) [ 1; 2; 3; 4; 5; 6 ];
+  check "keeps newest, oldest first" true (Ring.to_list r = [ 3; 4; 5; 6 ]);
+  check_int "capacity bounds length" 4 (Ring.length r);
+  check_int "pushed counts all" 6 (Ring.pushed r);
+  check_int "dropped the overflow" 2 (Ring.dropped r);
+  Ring.clear r;
+  check_int "clear empties" 0 (Ring.length r)
+
+let test_ring_rejects_bad_capacity () =
+  check "zero capacity rejected" true
+    (try
+       ignore (Ring.create ~capacity:0 : int Ring.t);
+       false
+     with Invalid_argument _ -> true)
+
+(* {1 Metrics} *)
+
+let test_metrics_counters () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "x" in
+  Metrics.incr c;
+  Metrics.incr ~by:4 c;
+  check_int "accumulates" 5 (Metrics.counter_value c);
+  (* Find-or-create: the same name is the same counter. *)
+  Metrics.incr (Metrics.counter m "x");
+  check_int "shared by name" 6 (Metrics.counter_value c);
+  check "listed sorted" true (Metrics.counters m = [ ("x", 6) ])
+
+let test_metrics_histogram () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "lat" in
+  for v = 1 to 100 do
+    Metrics.observe h v
+  done;
+  let s = Metrics.summary h in
+  check_int "count" 100 s.Metrics.count;
+  check_int "min exact" 1 s.Metrics.min;
+  check_int "max exact" 100 s.Metrics.max;
+  check "mean exact" true (abs_float (s.Metrics.mean -. 50.5) < 1e-9);
+  check "percentiles ordered" true (s.Metrics.p50 <= s.Metrics.p95 && s.Metrics.p95 <= s.Metrics.p99);
+  check "p50 in range" true (s.Metrics.p50 >= 1. && s.Metrics.p50 <= 100.);
+  (* Bucket interpolation stays within a doubling of the true rank. *)
+  check "p50 near median" true (s.Metrics.p50 >= 25. && s.Metrics.p50 <= 100.)
+
+let test_metrics_constant_histogram () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "const" in
+  for _ = 1 to 50 do
+    Metrics.observe h 7
+  done;
+  let s = Metrics.summary h in
+  (* Percentiles are clamped to the exact observed range. *)
+  check "p50 exact on constants" true (abs_float (s.Metrics.p50 -. 7.) < 1e-9);
+  check "p99 exact on constants" true (abs_float (s.Metrics.p99 -. 7.) < 1e-9)
+
+(* {1 Traced machine runs} *)
+
+let traced_run () =
+  let tr = Trace.create () in
+  let r =
+    Runner.run ~trace:tr ~scale:0.002 ~seed:42 ~detector:(Runner.Kard Kard_core.Config.default)
+      (Registry.find "memcached")
+  in
+  (tr, r)
+
+let test_trace_categories () =
+  let tr, _ = traced_run () in
+  let cats = List.map fst (Trace.category_counts tr) in
+  List.iter
+    (fun cat -> check (cat ^ " events present") true (List.mem cat cats))
+    [ "lock"; "fault"; "pkey"; "alloc" ]
+
+let test_trace_monotone_per_thread () =
+  let tr, _ = traced_run () in
+  let last = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Event.t) ->
+      (match Hashtbl.find_opt last e.Event.tid with
+      | Some prev -> check "timestamps monotone per thread" true (e.Event.ts >= prev)
+      | None -> ());
+      Hashtbl.replace last e.Event.tid e.Event.ts)
+    (Trace.events tr);
+  check "saw several threads" true (Hashtbl.length last >= 2)
+
+let test_trace_metrics_populated () =
+  let tr, r = traced_run () in
+  let m = Trace.metrics tr in
+  check "registry populated" false (Metrics.is_empty m);
+  let counters = Metrics.counters m in
+  let value name = Option.value ~default:0 (List.assoc_opt name counters) in
+  check_int "fault counter matches report" r.Runner.report.Machine.faults (value "hw.faults");
+  check "fault roundtrips histogrammed" true
+    (List.mem_assoc "fault.roundtrip_cycles" (Metrics.histograms m))
+
+(* {1 Chrome trace export} *)
+
+(* Structural JSON validity: balanced braces/brackets outside strings,
+   terminated strings, no raw control characters. *)
+let json_well_formed s =
+  let depth = ref 0 in
+  let in_str = ref false in
+  let esc = ref false in
+  let ok = ref true in
+  String.iter
+    (fun c ->
+      if !in_str then
+        if !esc then esc := false
+        else if c = '\\' then esc := true
+        else if c = '"' then in_str := false
+        else if Char.code c < 0x20 then ok := false
+      else
+        match c with
+        | '"' -> in_str := true
+        | '{' | '[' -> incr depth
+        | '}' | ']' ->
+          decr depth;
+          if !depth < 0 then ok := false
+        | _ -> ())
+    s;
+  !ok && !depth = 0 && not !in_str
+
+let contains haystack needle =
+  let n = String.length needle in
+  let rec find i =
+    i + n <= String.length haystack && (String.sub haystack i n = needle || find (i + 1))
+  in
+  find 0
+
+let test_chrome_export () =
+  let tr, _ = traced_run () in
+  let json = Chrome_trace.to_json ~t:tr in
+  check "well formed" true (json_well_formed json);
+  check "trace events array" true (contains json "\"traceEvents\":[");
+  check "thread metadata" true (contains json "\"thread_name\"");
+  check "runtime track" true (contains json "\"runtime\"");
+  check "async span begin" true (contains json "\"ph\":\"b\"");
+  check "async span end" true (contains json "\"ph\":\"e\"");
+  check "instants" true (contains json "\"ph\":\"i\"");
+  check "counter track" true (contains json "\"ph\":\"C\"");
+  List.iter
+    (fun cat -> check ("category " ^ cat) true (contains json ("\"cat\":\"" ^ cat ^ "\"")))
+    [ "lock"; "fault"; "pkey"; "alloc" ]
+
+let test_chrome_export_empty () =
+  let tr = Trace.create () in
+  check "empty trace still valid" true (json_well_formed (Chrome_trace.to_json ~t:tr))
+
+(* {1 The zero-cost no-op sink} *)
+
+let test_tracing_costs_no_cycles () =
+  let spec = Registry.find "aget" in
+  let detector = Runner.Kard Kard_core.Config.default in
+  let plain = Runner.run ~scale:0.002 ~seed:7 ~detector spec in
+  let traced = Runner.run ~trace:(Trace.create ()) ~scale:0.002 ~seed:7 ~detector spec in
+  let p = plain.Runner.report and t = traced.Runner.report in
+  check_int "identical cycles" p.Machine.cycles t.Machine.cycles;
+  check_int "identical wall cycles" p.Machine.wall_cycles t.Machine.wall_cycles;
+  check_int "identical faults" p.Machine.faults t.Machine.faults;
+  check_int "identical steps" p.Machine.steps t.Machine.steps;
+  check_int "identical rss" p.Machine.rss_bytes t.Machine.rss_bytes
+
+let test_step_events_off_by_default () =
+  let tr, _ = traced_run () in
+  check "no step events unless asked" false
+    (List.mem_assoc "step" (Trace.category_counts tr))
+
+let () =
+  Alcotest.run "kard_obs"
+    [ ( "ring",
+        [ Alcotest.test_case "basic" `Quick test_ring_basic;
+          Alcotest.test_case "wraps" `Quick test_ring_wraps;
+          Alcotest.test_case "bad capacity" `Quick test_ring_rejects_bad_capacity ] );
+      ( "metrics",
+        [ Alcotest.test_case "counters" `Quick test_metrics_counters;
+          Alcotest.test_case "histogram" `Quick test_metrics_histogram;
+          Alcotest.test_case "constant histogram" `Quick test_metrics_constant_histogram ] );
+      ( "trace",
+        [ Alcotest.test_case "categories" `Slow test_trace_categories;
+          Alcotest.test_case "monotone per thread" `Slow test_trace_monotone_per_thread;
+          Alcotest.test_case "metrics populated" `Slow test_trace_metrics_populated;
+          Alcotest.test_case "steps off by default" `Slow test_step_events_off_by_default ] );
+      ( "chrome",
+        [ Alcotest.test_case "export" `Slow test_chrome_export;
+          Alcotest.test_case "empty export" `Quick test_chrome_export_empty ] );
+      ( "zero-cost",
+        [ Alcotest.test_case "no cycles charged" `Slow test_tracing_costs_no_cycles ] ) ]
