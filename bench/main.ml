@@ -9,7 +9,11 @@
 
    Experiment ids: micro, bechamel, figure2, table1 (= table4 =
    scenarios), table3, table5, table6, figure5, nginx-sweep, memory,
-   obs, nolock, explore, ablation. *)
+   throughput, obs, nolock, explore, ablation.
+
+   [throughput] additionally writes its rows as JSON to --bench-out
+   (default BENCH_pr2.json): the tracked simulator ops/sec benchmark
+   behind the scheduler/TLB fast-path work. *)
 
 module Experiments = Kard_harness.Experiments
 module Runner = Kard_harness.Runner
@@ -18,6 +22,7 @@ module Config = Kard_core.Config
 
 let scale = ref 0.01
 let only = ref []
+let bench_out = ref "BENCH_pr2.json"
 
 (* {1 Bechamel micro-benchmarks: the simulator's real hot paths} *)
 
@@ -199,6 +204,20 @@ let explore () =
         (Kard_harness.Explorer.explore_scenario ~config scenario))
     [ ("(no delay)", 0); ("(delay 50k)", 50_000); ("(delay 200k)", 200_000) ]
 
+(* {1 Tracked throughput benchmark (BENCH_pr2.json)} *)
+
+let throughput () =
+  let rows = Experiments.throughput ~scale:!scale () in
+  Experiments.print_throughput rows;
+  let json =
+    Kard_harness.Json_report.of_throughput ~workload:"memcached" ~scale:!scale ~seed:42 rows
+  in
+  let oc = open_out !bench_out in
+  output_string oc (Kard_harness.Json_report.pretty json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" !bench_out
+
 (* {1 Driver} *)
 
 let experiments =
@@ -217,6 +236,7 @@ let experiments =
     ("figure5", fun () -> Experiments.print_figure5 (Experiments.figure5 ~scale:!scale ()));
     ("nginx-sweep", fun () -> Experiments.print_nginx_sweep (Experiments.nginx_sweep ~scale:!scale ()));
     ("memory", fun () -> Experiments.print_memory (Experiments.memory ~scale:!scale ()));
+    ("throughput", throughput);
     ("obs", obs);
     ("nolock", nolock);
     ("explore", explore);
@@ -230,6 +250,9 @@ let () =
       parse rest
     | "--scale" :: s :: rest ->
       scale := float_of_string s;
+      parse rest
+    | "--bench-out" :: path :: rest ->
+      bench_out := path;
       parse rest
     | "--list" :: _ ->
       List.iter (fun (name, _) -> print_endline name) experiments;

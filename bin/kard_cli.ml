@@ -5,6 +5,7 @@
      run <workload>            run one workload under one detector
      scenario <name>           run one controlled race scenario
      trace <workload>          run with tracing; export a Chrome/Perfetto trace
+     bench                     simulator throughput sweep (writes BENCH_pr2.json)
      repro <experiment>        regenerate a paper table/figure
 *)
 
@@ -246,6 +247,32 @@ let hunt_cmd =
     (Cmd.info "hunt" ~doc:"Sweep schedules for a race, then replay the found interleaving")
     Term.(const action $ name_arg $ tries_arg)
 
+(* bench: the tracked simulator-throughput benchmark (BENCH_pr2.json). *)
+
+let bench_cmd =
+  let out_arg =
+    Arg.(value & opt string "BENCH_pr2.json"
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"JSON output path.")
+  in
+  let threads_arg =
+    Arg.(value & opt (list int) [ 1; 2; 4; 8; 16; 32; 64 ]
+         & info [ "threads" ] ~docv:"N,N,..." ~doc:"Thread counts to sweep.")
+  in
+  let action scale seed threads_list out =
+    let rows = Experiments.throughput ~threads_list ~scale ~seed () in
+    Experiments.print_throughput rows;
+    let json = Kard_harness.Json_report.of_throughput ~workload:"memcached" ~scale ~seed rows in
+    let oc = open_out out in
+    output_string oc (Kard_harness.Json_report.pretty json);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote %s\n" out
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:"Measure simulator throughput (steps per wall-clock second) across thread counts")
+    Term.(const action $ scale_arg $ seed_arg $ threads_arg $ out_arg)
+
 (* repro *)
 
 let repro_one ~scale = function
@@ -292,4 +319,7 @@ let repro_cmd =
 
 let () =
   let info = Cmd.info "kard" ~doc:"Kard: MPK-based data race detection (ASPLOS'21), simulated" in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; scenario_cmd; trace_cmd; hunt_cmd; repro_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; run_cmd; scenario_cmd; trace_cmd; hunt_cmd; bench_cmd; repro_cmd ]))

@@ -374,6 +374,54 @@ let print_memory rows =
   Printf.printf "RSS overhead geomean: %s (paper: +68.0%% benchmarks, +85.6%% real-world)\n"
     (Text_table.fmt_pct (Stats.geomean_overhead_pct pcts))
 
+(* {1 Simulator throughput} *)
+
+type tp_row = {
+  tp_threads : int;
+  tp_detector : string;
+  tp_steps : int;
+  tp_sim_cycles : int;
+  tp_host_seconds : float;
+  tp_ops_per_sec : float;
+}
+
+let tp_detectors = [ Runner.Baseline; Runner.Kard Kard_core.Config.default ]
+
+let throughput ?(spec = Registry.find "memcached")
+    ?(threads_list = [ 1; 2; 4; 8; 16; 32; 64 ]) ?(scale = 0.05) ?(seed = 42) () =
+  (* Warm up allocators/caches once so the first timed cell is not
+     charged for image start-up. *)
+  ignore (Runner.run ~threads:2 ~scale:(scale /. 4.) ~seed ~detector:Runner.Baseline spec);
+  List.concat_map
+    (fun threads ->
+      List.map
+        (fun detector ->
+          let t0 = Unix.gettimeofday () in
+          let r = Runner.run ~threads ~scale ~seed ~detector spec in
+          let elapsed = Unix.gettimeofday () -. t0 in
+          let steps = r.Runner.report.Machine.steps in
+          { tp_threads = threads;
+            tp_detector = r.Runner.detector_name;
+            tp_steps = steps;
+            tp_sim_cycles = r.Runner.report.Machine.cycles;
+            tp_host_seconds = elapsed;
+            tp_ops_per_sec =
+              (if elapsed > 0. then float_of_int steps /. elapsed else 0.) })
+        tp_detectors)
+    threads_list
+
+let print_throughput rows =
+  let header = [ "threads"; "detector"; "steps"; "sim cycles"; "host s"; "ops/s" ] in
+  let cells row =
+    [ string_of_int row.tp_threads;
+      row.tp_detector;
+      Text_table.fmt_int row.tp_steps;
+      Text_table.fmt_int row.tp_sim_cycles;
+      Printf.sprintf "%.3f" row.tp_host_seconds;
+      Text_table.fmt_int (int_of_float row.tp_ops_per_sec) ]
+  in
+  print_string (Text_table.render ~header (List.map cells rows))
+
 (* {1 MPK micro} *)
 
 let print_micro () =

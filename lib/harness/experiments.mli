@@ -120,6 +120,33 @@ type mem_row = {
 val memory : ?threads:int -> ?scale:float -> ?specs:Spec_alias.t list -> unit -> mem_row list
 val print_memory : mem_row list -> unit
 
+(** {1 Simulator throughput (tracked in BENCH_pr2.json)} *)
+
+type tp_row = {
+  tp_threads : int;
+  tp_detector : string;
+  tp_steps : int;          (** Simulated operations executed. *)
+  tp_sim_cycles : int;     (** Simulated cycles (schedule-determined). *)
+  tp_host_seconds : float; (** Wall-clock time of the host process. *)
+  tp_ops_per_sec : float;  (** [tp_steps / tp_host_seconds]. *)
+}
+
+val throughput :
+  ?spec:Spec_alias.t ->
+  ?threads_list:int list ->
+  ?scale:float ->
+  ?seed:int ->
+  unit ->
+  tp_row list
+(** Host throughput of the simulator itself: steps per wall-clock
+    second for a Baseline and a Kard run of [spec] (default memcached,
+    scale 0.05, threads 1–64).  This is the hot-loop regression
+    tracker — simulated cycle outputs are schedule-determined and must
+    not move, but ops/s measures the scheduler + MPK fast paths.  One
+    warm-up run precedes the sweep. *)
+
+val print_throughput : tp_row list -> unit
+
 (** {1 MPK microbenchmarks (section 2.2)} *)
 
 val print_micro : unit -> unit

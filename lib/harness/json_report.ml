@@ -120,6 +120,23 @@ let of_result (r : Runner.result) =
       [ field "trace" (of_trace tr); field "metrics" (of_metrics (Kard_obs.Trace.metrics tr)) ]
     | None -> [])
 
+let of_throughput ~workload ~scale ~seed rows =
+  let of_row (row : Experiments.tp_row) =
+    obj
+      [ field "threads" (int_ row.Experiments.tp_threads);
+        field "detector" (str row.Experiments.tp_detector);
+        field "steps" (int_ row.Experiments.tp_steps);
+        field "sim_cycles" (int_ row.Experiments.tp_sim_cycles);
+        field "host_seconds" (float_ row.Experiments.tp_host_seconds);
+        field "ops_per_sec" (float_ row.Experiments.tp_ops_per_sec) ]
+  in
+  obj
+    [ field "benchmark" (str "throughput");
+      field "workload" (str workload);
+      field "scale" (float_ scale);
+      field "seed" (int_ seed);
+      field "rows" (arr (List.map of_row rows)) ]
+
 let pretty json =
   let buf = Buffer.create (String.length json * 2) in
   let indent = ref 0 in

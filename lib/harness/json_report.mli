@@ -19,5 +19,10 @@ val of_result : Runner.result -> string
     (for Kard runs) the detector statistics, and (for traced runs) the
     trace summary and metrics registry. *)
 
+val of_throughput :
+  workload:string -> scale:float -> seed:int -> Experiments.tp_row list -> string
+(** The tracked throughput benchmark (see BENCH_pr2.json): one object
+    per (threads, detector) cell of {!Experiments.throughput}. *)
+
 val pretty : string -> string
 (** Re-indent a JSON string (objects and arrays, 2 spaces). *)

@@ -85,10 +85,20 @@ let pkey_mprotect t ~base ~len pkey =
 
 let check_access t ~tid ~addr ~access ~ip ~time =
   let core = core_of t tid in
-  let pkey = Page_table.pkey_of_addr t.page_table addr in
+  let vpage = Page.vpage_of_addr addr in
+  (* One lookup resolves translation and protection key together: on
+     the common TLB-hit path the page table is never touched, exactly
+     as the PKU check reads the pkey out of the cached PTE.  The walk
+     happens (and is counted) even when the access then faults — the
+     MMU translates first and only then applies the key check, so
+     fault-heavy runs see their true dTLB traffic. *)
+  let pkey, hit_or_miss =
+    Tlb.access_translate core.tlb vpage ~gen:(Page_table.generation t.page_table)
+      ~load:(fun () -> Page_table.pkey_of_vpage t.page_table vpage)
+  in
   if Pkru.grants core.pkru pkey access then begin
     let tlb_penalty =
-      match Tlb.access core.tlb (Page.vpage_of_addr addr) with
+      match hit_or_miss with
       | `Hit -> 0
       | `Miss -> t.cost.Cost_model.dtlb_miss
     in

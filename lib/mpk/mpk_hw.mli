@@ -62,7 +62,15 @@ val check_access :
   t -> tid:int -> addr:Page.addr -> access:Fault.access -> ip:int -> time:int ->
   (int, Fault.t) result
 (** [Ok cycles] on success; [Error fault] raises no exception so the
-    scheduler can route the fault to the registered handler. *)
+    scheduler can route the fault to the registered handler.
+
+    The check costs a single dTLB lookup on the hit path: TLB entries
+    cache the translated protection key alongside the translation
+    (invalidated by page-table generation whenever [pkey_mprotect] or
+    any other page-table write lands), so the per-process page table
+    is only walked on a miss or after a protection change.  The
+    translation — and its dTLB accounting — happens even for accesses
+    that fault, since the MMU applies the key check after the walk. *)
 
 val note_tlb_hits : t -> tid:int -> int -> unit
 (** Account [n] extra dTLB hits for streamed block accesses. *)

@@ -1,10 +1,14 @@
-type t = (Page.vpage, Pkey.t) Hashtbl.t
+type t = {
+  entries : (Page.vpage, Pkey.t) Hashtbl.t;
+  mutable generation : int;
+}
 
-let create () = Hashtbl.create 4096
+let create () = { entries = Hashtbl.create 4096; generation = 0 }
 
 let set_pkey t vpage pkey =
-  if Pkey.equal pkey Pkey.k_def then Hashtbl.remove t vpage
-  else Hashtbl.replace t vpage pkey
+  t.generation <- t.generation + 1;
+  if Pkey.equal pkey Pkey.k_def then Hashtbl.remove t.entries vpage
+  else Hashtbl.replace t.entries vpage pkey
 
 let iter_range ~base ~len f =
   let first = Page.vpage_of_addr base in
@@ -17,14 +21,19 @@ let iter_range ~base ~len f =
 let set_pkey_range t ~base ~len pkey = iter_range ~base ~len (fun vp -> set_pkey t vp pkey)
 
 let pkey_of_vpage t vpage =
-  match Hashtbl.find_opt t vpage with
+  match Hashtbl.find_opt t.entries vpage with
   | Some pkey -> pkey
   | None -> Pkey.k_def
 
 let pkey_of_addr t addr = pkey_of_vpage t (Page.vpage_of_addr addr)
 
 let clear_range t ~base ~len =
-  let (_ : int) = iter_range ~base ~len (fun vp -> Hashtbl.remove t vp) in
+  let (_ : int) =
+    iter_range ~base ~len (fun vp ->
+        t.generation <- t.generation + 1;
+        Hashtbl.remove t.entries vp)
+  in
   ()
 
-let entry_count t = Hashtbl.length t
+let generation t = t.generation
+let entry_count t = Hashtbl.length t.entries

@@ -20,5 +20,14 @@ val pkey_of_addr : t -> Page.addr -> Pkey.t
 val clear_range : t -> base:Page.addr -> len:int -> unit
 (** Drop entries back to the default key, as [munmap] would. *)
 
+val generation : t -> int
+(** Mutation counter: bumped by every {!set_pkey},
+    {!set_pkey_range} and {!clear_range} page update.  TLBs caching
+    translated pkeys compare their fill-time generation against this
+    to decide whether the cached key is still authoritative — so a
+    page-table write (from [pkey_mprotect], [munmap], or anything
+    else) implicitly invalidates every cached pkey, and a stale entry
+    can never grant an access the current table would deny. *)
+
 val entry_count : t -> int
 (** Number of pages carrying a non-default key. *)

@@ -5,6 +5,7 @@ type lock_state = {
 
 type t = {
   locks : (int, lock_state) Hashtbl.t;
+  held : (int, int list ref) Hashtbl.t; (* tid -> locks owned, most recent first *)
   mutable contended : int;
   mutable total : int;
 }
@@ -13,7 +14,7 @@ type acquire_result =
   | Acquired
   | Must_wait
 
-let create () = { locks = Hashtbl.create 64; contended = 0; total = 0 }
+let create () = { locks = Hashtbl.create 64; held = Hashtbl.create 64; contended = 0; total = 0 }
 
 let state_of t lock =
   match Hashtbl.find_opt t.locks lock with
@@ -23,12 +24,27 @@ let state_of t lock =
     Hashtbl.replace t.locks lock s;
     s
 
+(* The per-tid held index mirrors [owner] exactly; nesting depths are
+   tiny, so the list operations are O(locks held by one thread), not
+   O(all locks) — this is what lets the machine charge lock waiters
+   without scanning every thread (and every lock) per charge. *)
+let note_owned t ~lock ~tid =
+  match Hashtbl.find_opt t.held tid with
+  | Some cell -> cell := lock :: !cell
+  | None -> Hashtbl.replace t.held tid (ref [ lock ])
+
+let note_released t ~lock ~tid =
+  match Hashtbl.find_opt t.held tid with
+  | Some cell -> cell := List.filter (fun l -> l <> lock) !cell
+  | None -> ()
+
 let acquire t ~lock ~tid =
   let s = state_of t lock in
   t.total <- t.total + 1;
   match s.owner with
   | None ->
     s.owner <- Some tid;
+    note_owned t ~lock ~tid;
     Acquired
   | Some owner when owner = tid ->
     invalid_arg (Printf.sprintf "Lock_table.acquire: thread %d re-locks lock %d" tid lock)
@@ -46,6 +62,7 @@ let release t ~lock ~tid =
       (Printf.sprintf "Lock_table.release: thread %d releases lock %d owned by %d" tid lock owner)
   | None ->
     invalid_arg (Printf.sprintf "Lock_table.release: thread %d releases free lock %d" tid lock));
+  note_released t ~lock ~tid;
   if Queue.is_empty s.waiters then begin
     s.owner <- None;
     None
@@ -53,6 +70,7 @@ let release t ~lock ~tid =
   else begin
     let next = Queue.pop s.waiters in
     s.owner <- Some next;
+    note_owned t ~lock ~tid:next;
     Some next
   end
 
@@ -62,7 +80,24 @@ let owner t ~lock =
   | None -> None
 
 let held_by t ~tid =
-  Hashtbl.fold (fun lock s acc -> if s.owner = Some tid then lock :: acc else acc) t.locks []
+  match Hashtbl.find_opt t.held tid with
+  | Some cell -> !cell
+  | None -> []
+
+let iter_held t ~tid f =
+  match Hashtbl.find_opt t.held tid with
+  | Some cell -> List.iter f !cell
+  | None -> ()
+
+let iter_waiters t ~lock f =
+  match Hashtbl.find_opt t.locks lock with
+  | Some s -> Queue.iter f s.waiters
+  | None -> ()
+
+let waiter_count t ~lock =
+  match Hashtbl.find_opt t.locks lock with
+  | Some s -> Queue.length s.waiters
+  | None -> 0
 
 let contended_acquires t = t.contended
 let total_acquires t = t.total

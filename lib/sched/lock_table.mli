@@ -1,7 +1,14 @@
 (** Mutex state for the simulated machine.
 
     Non-reentrant POSIX-style mutexes with FIFO wakeup.  Lock ids are
-    plain ints chosen by the workload. *)
+    plain ints chosen by the workload.
+
+    Alongside the per-lock owner and waiter queue, the table maintains
+    a per-thread index of held locks, so "which locks does thread [t]
+    own" and "who waits on lock [l]" are both answerable in time
+    proportional to the answer — never by scanning every lock or every
+    thread.  The machine's waiter-stall accounting is built on these
+    two queries. *)
 
 type t
 
@@ -16,12 +23,25 @@ val acquire : t -> lock:int -> tid:int -> acquire_result
     simulated program deadlocked on itself). *)
 
 val release : t -> lock:int -> tid:int -> int option
-(** Returns the woken waiter, to whom ownership transfers directly.
+(** Returns the woken waiter, to whom ownership transfers directly
+    (the held-lock index moves the lock to the waiter as well).
     @raise Invalid_argument if [tid] does not own [lock]. *)
 
 val owner : t -> lock:int -> int option
+
 val held_by : t -> tid:int -> int list
-(** All locks the thread currently owns. *)
+(** All locks the thread currently owns, most recently acquired first.
+    O(locks held by [tid]), maintained incrementally by
+    [acquire]/[release] rather than folded over the whole table. *)
+
+val iter_held : t -> tid:int -> (int -> unit) -> unit
+(** Apply a function to every lock [tid] owns (allocation-free
+    [held_by]). *)
+
+val iter_waiters : t -> lock:int -> (int -> unit) -> unit
+(** Apply a function to every thread queued on [lock], FIFO order. *)
+
+val waiter_count : t -> lock:int -> int
 
 val contended_acquires : t -> int
 val total_acquires : t -> int

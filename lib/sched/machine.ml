@@ -38,8 +38,10 @@ type t = {
   locks : Lock_table.t;
   alloc : Alloc_iface.t;
   hooks : Hooks.t;
-  mutable threads : thread list; (* reverse spawn order *)
+  mutable threads : thread array; (* index = tid; live prefix [0, thread_count) *)
   mutable thread_count : int;
+  runnable : Runnable_set.t; (* tids with status Runnable, maintained on transitions *)
+  mutable finished_count : int;
   mutable steps : int;
   mutable reads : int;
   mutable writes : int;
@@ -86,8 +88,10 @@ let create ?(seed = 42) ?schedule ?(cost = Cost_model.default) ?trace
     locks = Lock_table.create ();
     alloc;
     hooks;
-    threads = [];
+    threads = [||];
     thread_count = 0;
+    runnable = Runnable_set.create ();
+    finished_count = 0;
     steps = 0;
     reads = 0;
     writes = 0;
@@ -130,8 +134,30 @@ let spawn t program =
   let thread =
     { tid; program; status = Runnable; cycles = 0; lock_depth = 0; op_index = 0 }
   in
-  t.threads <- thread :: t.threads;
+  if tid >= Array.length t.threads then begin
+    let bigger = Array.make (max 4 (2 * Array.length t.threads)) thread in
+    Array.blit t.threads 0 bigger 0 (Array.length t.threads);
+    t.threads <- bigger
+  end;
+  t.threads.(tid) <- thread;
+  Runnable_set.add t.runnable tid;
   tid
+
+(* Status transitions, which are the only places the runnable set is
+   touched — the step loop itself never rebuilds it. *)
+
+let block t thread ~lock ~site =
+  thread.status <- Blocked { lock; site };
+  Runnable_set.remove t.runnable thread.tid
+
+let wake t thread =
+  thread.status <- Runnable;
+  Runnable_set.add t.runnable thread.tid
+
+let finish t thread =
+  thread.status <- Finished;
+  t.finished_count <- t.finished_count + 1;
+  Runnable_set.remove t.runnable thread.tid
 
 (* Cycles spent while holding locks also stall every thread blocked on
    those locks: critical sections dilate the critical path.  This is
@@ -142,14 +168,16 @@ let spawn t program =
    stay fair. *)
 let charge_waiters t holder cycles =
   if holder.lock_depth > 0 then
-    List.iter
-      (fun th ->
-        match th.status with
-        | Blocked { lock; _ } when Lock_table.owner t.locks ~lock = Some holder.tid ->
-          th.cycles <- th.cycles + cycles;
-          Sim_clock.advance t.clock cycles
-        | Blocked _ | Runnable | Finished -> ())
-      t.threads
+    (* Walk only the locks the holder owns and the threads actually
+       queued on them (both indexed by Lock_table), instead of testing
+       every thread against every blocked lock's owner.  A thread sits
+       in a waiter queue iff its status is [Blocked] on that lock, so
+       the charged set is identical to the old full scan. *)
+    Lock_table.iter_held t.locks ~tid:holder.tid (fun lock ->
+        Lock_table.iter_waiters t.locks ~lock (fun wtid ->
+            let th = t.threads.(wtid) in
+            th.cycles <- th.cycles + cycles;
+            Sim_clock.advance t.clock cycles))
 
 let charge t thread cycles =
   assert (cycles >= 0);
@@ -245,9 +273,9 @@ let perform_block t thread (b : Op.block) access =
   charge t thread cycles
 
 let thread_by_tid t tid =
-  match List.find_opt (fun th -> th.tid = tid) t.threads with
-  | Some th -> th
-  | None -> raise (Stuck (Printf.sprintf "unknown thread %d" tid))
+  if tid < 0 || tid >= t.thread_count then
+    raise (Stuck (Printf.sprintf "unknown thread %d" tid))
+  else t.threads.(tid)
 
 (* Per-operation step events are opt-in: they dominate the ring buffer
    on real workloads, so [Trace.create ~steps:true] must ask for them. *)
@@ -297,7 +325,7 @@ let exec_op t thread op =
           (Kard_obs.Event.Lock_acquire { lock; site; contended = false }));
       enter_section t thread;
       charge t thread (t.hooks.Hooks.on_lock ~tid:thread.tid ~lock ~site)
-    | Lock_table.Must_wait -> thread.status <- Blocked { lock; site }
+    | Lock_table.Must_wait -> block t thread ~lock ~site
   end
   | Op.Unlock { lock } ->
     charge t thread (t.hooks.Hooks.on_unlock ~tid:thread.tid ~lock);
@@ -321,7 +349,7 @@ let exec_op t thread op =
         | Runnable | Finished ->
           raise (Stuck (Printf.sprintf "woken thread %d was not blocked" waiter_tid))
       in
-      waiter.status <- Runnable;
+      wake t waiter;
       charge t waiter t.cost.Cost_model.lock_contended;
       (match t.trace with
       | None -> ()
@@ -342,7 +370,7 @@ let exec_op t thread op =
 let step_thread t thread =
   match thread.program () with
   | None ->
-    thread.status <- Finished;
+    finish t thread;
     if thread.lock_depth > 0 then
       raise (Stuck (Printf.sprintf "thread %d finished while holding a lock" thread.tid));
     charge t thread (t.hooks.Hooks.on_thread_exit ~tid:thread.tid)
@@ -401,8 +429,7 @@ type report = {
 let report_of t =
   let hw_stats = Mpk_hw.stats t.hw in
   let data, page_tables, alloc_meta, detector_meta = rss_components t in
-  let per_thread = Array.make t.thread_count 0 in
-  List.iter (fun th -> per_thread.(th.tid) <- th.cycles) t.threads;
+  let per_thread = Array.init t.thread_count (fun tid -> t.threads.(tid).cycles) in
   let wall = Array.fold_left max 0 per_thread in
   { detector_name = t.hooks.Hooks.name;
     cycles = Sim_clock.now t.clock;
@@ -433,24 +460,22 @@ let report_of t =
 
 let run t =
   t.started <- true;
-  let runnable = ref [] in
-  let collect () =
-    runnable := List.filter (fun th -> th.status = Runnable) t.threads;
-    !runnable
-  in
+  (* The hot loop: per step, one O(log threads) pick from the
+     incrementally maintained runnable set and one array index —
+     nothing here scans the thread population. *)
   let rec loop () =
-    match collect () with
-    | [] ->
-      if List.exists (fun th -> th.status <> Finished) t.threads then
+    if Runnable_set.cardinal t.runnable = 0 then begin
+      if t.finished_count < t.thread_count then
         raise (Stuck "deadlock: threads blocked with no runnable thread")
-      else ()
-    | candidates ->
+    end
+    else begin
       t.steps <- t.steps + 1;
       if t.steps > t.max_steps then
         raise (Stuck (Printf.sprintf "max_steps (%d) exceeded" t.max_steps));
-      let tid = Schedule.pick t.sched ~runnable:(List.map (fun th -> th.tid) candidates) in
+      let tid = Schedule.pick t.sched ~runnable:t.runnable in
       step_thread t (thread_by_tid t tid);
       loop ()
+    end
   in
   loop ();
   t.hooks.Hooks.on_finish ();

@@ -1,0 +1,108 @@
+(* A Fenwick tree over a presence bitmap.  Tree index [i+1] covers
+   element [i]; [tree.(j)] holds the member count of the standard
+   Fenwick range ending at [j]. *)
+
+type t = {
+  mutable present : bool array;
+  mutable tree : int array; (* length n + 1, 1-based *)
+  mutable n : int;
+  mutable top : int; (* largest power of two <= n, the select descent start *)
+  mutable size : int;
+}
+
+let top_of n =
+  let top = ref 1 in
+  while !top * 2 <= n do
+    top := !top * 2
+  done;
+  !top
+
+let create ?(capacity = 16) () =
+  let n = max 1 capacity in
+  { present = Array.make n false; tree = Array.make (n + 1) 0; n; top = top_of n; size = 0 }
+
+let update t i delta =
+  let i = ref (i + 1) in
+  while !i <= t.n do
+    t.tree.(!i) <- t.tree.(!i) + delta;
+    i := !i + (!i land - !i)
+  done
+
+(* Members with id <= i; tolerates i < 0 (returns 0). *)
+let rank t i =
+  let s = ref 0 in
+  let i = ref (min i (t.n - 1) + 1) in
+  while !i > 0 do
+    s := !s + t.tree.(!i);
+    i := !i - (!i land - !i)
+  done;
+  !s
+
+let grow t needed =
+  let n = ref (t.n * 2) in
+  while needed >= !n do
+    n := !n * 2
+  done;
+  let present = Array.make !n false in
+  Array.blit t.present 0 present 0 t.n;
+  t.present <- present;
+  t.tree <- Array.make (!n + 1) 0;
+  t.n <- !n;
+  t.top <- top_of !n;
+  for i = 0 to !n - 1 do
+    if present.(i) then update t i 1
+  done
+
+let mem t i = i >= 0 && i < t.n && t.present.(i)
+let cardinal t = t.size
+
+let add t i =
+  if i < 0 then invalid_arg "Runnable_set.add: negative id";
+  if i >= t.n then grow t i;
+  if not t.present.(i) then begin
+    t.present.(i) <- true;
+    t.size <- t.size + 1;
+    update t i 1
+  end
+
+let remove t i =
+  if mem t i then begin
+    t.present.(i) <- false;
+    t.size <- t.size - 1;
+    update t i (-1)
+  end
+
+let kth_smallest t k =
+  if k < 0 || k >= t.size then
+    invalid_arg (Printf.sprintf "Runnable_set.kth_smallest: %d outside [0, %d)" k t.size);
+  (* Descend to the largest tree prefix holding fewer than k+1 members;
+     the next element is the answer. *)
+  let pos = ref 0 and rem = ref (k + 1) and mask = ref t.top in
+  while !mask > 0 do
+    let next = !pos + !mask in
+    if next <= t.n && t.tree.(next) < !rem then begin
+      rem := !rem - t.tree.(next);
+      pos := next
+    end;
+    mask := !mask lsr 1
+  done;
+  !pos
+
+let kth_largest t k =
+  if k < 0 || k >= t.size then
+    invalid_arg (Printf.sprintf "Runnable_set.kth_largest: %d outside [0, %d)" k t.size);
+  kth_smallest t (t.size - 1 - k)
+
+let first_above t v =
+  let below = rank t v in
+  if below >= t.size then None else Some (kth_smallest t below)
+
+let min_elt t = first_above t (-1)
+let max_elt t = if t.size = 0 then None else Some (kth_smallest t (t.size - 1))
+
+let to_list t =
+  let acc = ref [] in
+  for i = t.n - 1 downto 0 do
+    if t.present.(i) then acc := i :: !acc
+  done;
+  !acc

@@ -4,7 +4,12 @@
     [Random] reproduces a run exactly under a fixed seed; [Replay]
     re-executes a previously recorded pick sequence — the classic
     race-debugging loop: sweep seeds until a schedule manifests the
-    bug, then replay that schedule while investigating. *)
+    bug, then replay that schedule while investigating.
+
+    Picking reads the machine's {!Runnable_set} directly (no per-step
+    list materialization) and appends to a growable pick buffer, so a
+    pick costs O(log threads) selection plus O(1) recording — the
+    machine's step loop no longer pays O(threads) per operation. *)
 
 type t =
   | Random of int        (** Uniform over runnable threads, seeded. *)
@@ -17,8 +22,10 @@ type state
 
 val start : t -> state
 
-val pick : state -> runnable:int list -> int
-(** Choose one of [runnable] (non-empty) and record the choice. *)
+val pick : state -> runnable:Runnable_set.t -> int
+(** Choose a member of [runnable] (non-empty) and record the choice.
+    The random policy indexes the set in descending-tid order, which
+    preserves the pick sequence of every historical seed. *)
 
 val recorded : state -> int array
 (** Every pick made so far, in order — feed to {!Replay}. *)

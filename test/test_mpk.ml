@@ -170,6 +170,36 @@ let test_tlb_lru () =
   check "LRU (2) evicted, 0 stays" true (Tlb.access tlb 0 = `Hit);
   check "2 gone" true (Tlb.access tlb 2 = `Miss)
 
+(* The pkey-carrying fast path: [access_translate] must resolve key and
+   translation in one lookup, re-walking the page table only on a miss
+   or when the table's generation moved since the fill. *)
+let test_tlb_pkey_caching () =
+  let pt = Page_table.create () in
+  Page_table.set_pkey pt 9 (Pkey.of_int 3);
+  let tlb = Tlb.create ~entries:8 ~ways:2 () in
+  let walks = ref 0 in
+  let load () = incr walks; Page_table.pkey_of_vpage pt 9 in
+  let probe () = Tlb.access_translate tlb 9 ~gen:(Page_table.generation pt) ~load in
+  let k1, hm1 = probe () in
+  check "first touch misses" true (hm1 = `Miss);
+  check "miss walks the table" true (!walks = 1);
+  check "key resolved" true (Pkey.equal k1 (Pkey.of_int 3));
+  let k2, hm2 = probe () in
+  check "second touch hits" true (hm2 = `Hit);
+  check_int "hit performs no walk" 1 !walks;
+  check "cached key served" true (Pkey.equal k2 (Pkey.of_int 3));
+  (* A page-table write anywhere moves the generation: the next hit
+     must re-read the key, but the translation is still cached. *)
+  Page_table.set_pkey pt 9 (Pkey.of_int 7);
+  let k3, hm3 = probe () in
+  check "stale gen still a translation hit" true (hm3 = `Hit);
+  check_int "stale gen re-walks" 2 !walks;
+  check "fresh key observed" true (Pkey.equal k3 (Pkey.of_int 7));
+  let _, hm4 = probe () in
+  check "refilled gen hits without walk" true (hm4 = `Hit && !walks = 2);
+  check_int "four accesses, one miss" 1 (Tlb.misses tlb);
+  check_int "accesses counted" 4 (Tlb.accesses tlb)
+
 (* {1 Mpk_hw} *)
 
 let make_hw () =
@@ -241,6 +271,63 @@ let test_hw_context_update () =
   check_int "no wrpkru counted" before (Mpk_hw.stats hw).Mpk_hw.wrpkru_calls;
   check "context visible" true (Pkru.equal (Mpk_hw.pkru_of hw ~tid:1) Pkru.deny_all)
 
+(* A retag through [pkey_mprotect] must be visible on the very next
+   access even though the page's translation is already cached: the
+   stale cached pkey may never mask a #GP. *)
+let test_hw_retag_faults_despite_tlb_hit () =
+  let hw = make_hw () in
+  let k3 = Pkey.of_int 3 and k5 = Pkey.of_int 5 in
+  let (_ : int) = Mpk_hw.pkey_mprotect hw ~base:0x4000 ~len:4096 k3 in
+  let (_ : int) = Mpk_hw.wrpkru hw ~tid:0 (Pkru.set Pkru.deny_all k3 Perm.Read_write) in
+  check "access allowed, TLB warmed" true
+    (Result.is_ok (Mpk_hw.check_access hw ~tid:0 ~addr:0x4000 ~access:`Write ~ip:0 ~time:0));
+  let (_ : int) = Mpk_hw.pkey_mprotect hw ~base:0x4000 ~len:4096 k5 in
+  (match Mpk_hw.check_access hw ~tid:0 ~addr:0x4000 ~access:`Write ~ip:1 ~time:1 with
+  | Ok _ -> Alcotest.fail "stale cached pkey masked the #GP"
+  | Error f -> check "fault sees the new key" true (Pkey.equal f.Fault.pkey k5));
+  let s = Mpk_hw.stats hw in
+  (* Both accesses translate; the second still hits (translation was
+     cached — only the key was refreshed). *)
+  check_int "two dTLB accesses" 2 s.Mpk_hw.dtlb_accesses;
+  check_int "one dTLB miss" 1 s.Mpk_hw.dtlb_misses
+
+(* Same property for a bare [Page_table.set_pkey] that bypasses the
+   pkey_mprotect wrapper: any page-table write moves the generation. *)
+let test_hw_direct_page_table_write_not_masked () =
+  let hw = make_hw () in
+  let k3 = Pkey.of_int 3 in
+  let (_ : int) = Mpk_hw.pkey_mprotect hw ~base:0x9000 ~len:4096 k3 in
+  let (_ : int) = Mpk_hw.wrpkru hw ~tid:0 (Pkru.set Pkru.deny_all k3 Perm.Read_write) in
+  check "warm the TLB" true
+    (Result.is_ok (Mpk_hw.check_access hw ~tid:0 ~addr:0x9000 ~access:`Read ~ip:0 ~time:0));
+  Page_table.set_pkey (Mpk_hw.page_table hw) (Page.vpage_of_addr 0x9000) Pkey.k_na;
+  check "direct retag faults immediately" true
+    (Result.is_error (Mpk_hw.check_access hw ~tid:0 ~addr:0x9000 ~access:`Read ~ip:1 ~time:1))
+
+(* The fault path performs (and counts) the translation: denied
+   accesses generate real dTLB traffic, and the post-fault retry finds
+   a warmed TLB. *)
+let test_hw_fault_path_dtlb_accounting () =
+  let hw = make_hw () in
+  let (_ : int) = Mpk_hw.pkey_mprotect hw ~base:0x4000 ~len:4096 Pkey.k_na in
+  let (_ : int) = Mpk_hw.wrpkru hw ~tid:0 Pkru.deny_all in
+  check "denied" true
+    (Result.is_error (Mpk_hw.check_access hw ~tid:0 ~addr:0x4000 ~access:`Read ~ip:0 ~time:0));
+  let s1 = Mpk_hw.stats hw in
+  check_int "faulting access translates" 1 s1.Mpk_hw.dtlb_accesses;
+  check_int "cold fault misses" 1 s1.Mpk_hw.dtlb_misses;
+  check "denied again" true
+    (Result.is_error (Mpk_hw.check_access hw ~tid:0 ~addr:0x4000 ~access:`Read ~ip:1 ~time:1));
+  let s2 = Mpk_hw.stats hw in
+  check_int "retry translates too" 2 s2.Mpk_hw.dtlb_accesses;
+  check_int "retry hits the warmed TLB" 1 s2.Mpk_hw.dtlb_misses;
+  (* Granting access afterwards charges no extra miss: the fault left
+     the translation cached. *)
+  let (_ : int) = Mpk_hw.wrpkru hw ~tid:0 (Pkru.set Pkru.deny_all Pkey.k_na Perm.Read_only) in
+  check "granted read succeeds" true
+    (Result.is_ok (Mpk_hw.check_access hw ~tid:0 ~addr:0x4000 ~access:`Read ~ip:2 ~time:2));
+  check_int "still one miss total" 1 (Mpk_hw.stats hw).Mpk_hw.dtlb_misses
+
 let test_cost_model_sanity () =
   let c = Cost_model.default in
   check "wrpkru slower than rdpkru" true (c.Cost_model.wrpkru > c.Cost_model.rdpkru);
@@ -274,7 +361,8 @@ let () =
         [ Alcotest.test_case "hit/miss" `Quick test_tlb_hit_miss;
           Alcotest.test_case "eviction" `Quick test_tlb_eviction;
           Alcotest.test_case "flush and bulk" `Quick test_tlb_flush_and_bulk;
-          Alcotest.test_case "lru" `Quick test_tlb_lru ] );
+          Alcotest.test_case "lru" `Quick test_tlb_lru;
+          Alcotest.test_case "pkey caching + generation" `Quick test_tlb_pkey_caching ] );
       ( "mpk_hw",
         [ Alcotest.test_case "default access" `Quick test_hw_access_default;
           Alcotest.test_case "fault on denied" `Quick test_hw_fault_on_denied;
@@ -282,4 +370,10 @@ let () =
           Alcotest.test_case "read-only permission" `Quick test_hw_read_only_permission;
           Alcotest.test_case "costs" `Quick test_hw_costs;
           Alcotest.test_case "context update" `Quick test_hw_context_update;
+          Alcotest.test_case "retag faults despite TLB hit" `Quick
+            test_hw_retag_faults_despite_tlb_hit;
+          Alcotest.test_case "direct page-table write not masked" `Quick
+            test_hw_direct_page_table_write_not_masked;
+          Alcotest.test_case "fault-path dTLB accounting" `Quick
+            test_hw_fault_path_dtlb_accounting;
           Alcotest.test_case "cost model sanity" `Quick test_cost_model_sanity ] ) ]

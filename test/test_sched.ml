@@ -74,6 +74,78 @@ let test_program_with_setup () =
   ignore (p ());
   check "setup ran" true !ran
 
+(* {1 Runnable_set} *)
+
+module Runnable_set = Kard_sched.Runnable_set
+
+let test_runnable_set_basic () =
+  let s = Runnable_set.create ~capacity:4 () in
+  check_int "empty" 0 (Runnable_set.cardinal s);
+  check "min of empty" true (Runnable_set.min_elt s = None);
+  List.iter (Runnable_set.add s) [ 3; 0; 2 ];
+  check_int "three members" 3 (Runnable_set.cardinal s);
+  Runnable_set.add s 2;
+  check_int "add is idempotent" 3 (Runnable_set.cardinal s);
+  check "mem" true (Runnable_set.mem s 2);
+  check "not mem" false (Runnable_set.mem s 1);
+  check "ascending" true (Runnable_set.to_list s = [ 0; 2; 3 ]);
+  Runnable_set.remove s 2;
+  Runnable_set.remove s 2;
+  check "removed" true (Runnable_set.to_list s = [ 0; 3 ])
+
+let test_runnable_set_order_statistics () =
+  let s = Runnable_set.create ~capacity:8 () in
+  List.iter (Runnable_set.add s) [ 5; 1; 7; 3 ];
+  check_int "0th largest" 7 (Runnable_set.kth_largest s 0);
+  check_int "1st largest" 5 (Runnable_set.kth_largest s 1);
+  check_int "3rd largest" 1 (Runnable_set.kth_largest s 3);
+  check_int "0th smallest" 1 (Runnable_set.kth_smallest s 0);
+  check "first above 3" true (Runnable_set.first_above s 3 = Some 5);
+  check "first above -1 is min" true (Runnable_set.first_above s (-1) = Some 1);
+  check "first above max" true (Runnable_set.first_above s 7 = None);
+  check "min/max" true (Runnable_set.min_elt s = Some 1 && Runnable_set.max_elt s = Some 7);
+  check "kth out of range" true
+    (try
+       ignore (Runnable_set.kth_largest s 4);
+       false
+     with Invalid_argument _ -> true)
+
+let test_runnable_set_grows () =
+  let s = Runnable_set.create ~capacity:2 () in
+  Runnable_set.add s 1;
+  Runnable_set.add s 77;
+  Runnable_set.add s 40;
+  check "grown members" true (Runnable_set.to_list s = [ 1; 40; 77 ]);
+  check_int "largest after growth" 77 (Runnable_set.kth_largest s 0);
+  check "membership preserved" true (Runnable_set.mem s 1)
+
+let test_runnable_set_exhaustive_vs_list () =
+  (* Cross-check every query against a sorted-list oracle over a
+     random add/remove trace. *)
+  let rng = Random.State.make [| 7 |] in
+  let s = Runnable_set.create ~capacity:4 () in
+  let reference = ref [] in
+  for _ = 1 to 2000 do
+    let id = Random.State.int rng 50 in
+    if Random.State.bool rng then begin
+      Runnable_set.add s id;
+      if not (List.mem id !reference) then
+        reference := List.sort Int.compare (id :: !reference)
+    end
+    else begin
+      Runnable_set.remove s id;
+      reference := List.filter (fun x -> x <> id) !reference
+    end;
+    let n = List.length !reference in
+    if Runnable_set.cardinal s <> n then Alcotest.fail "cardinal diverged";
+    if Runnable_set.to_list s <> !reference then Alcotest.fail "contents diverged";
+    if n > 0 then begin
+      let k = Random.State.int rng n in
+      if Runnable_set.kth_largest s k <> List.nth (List.rev !reference) k then
+        Alcotest.fail "kth_largest diverged"
+    end
+  done
+
 (* {1 Lock_table} *)
 
 let test_lock_acquire_release () =
@@ -122,6 +194,38 @@ let test_lock_stats () =
   check_int "total" 3 (Lock_table.total_acquires lt);
   check_int "contended" 1 (Lock_table.contended_acquires lt);
   check "held_by" true (Lock_table.held_by lt ~tid:2 = [ 2 ])
+
+let test_lock_held_index () =
+  let lt = Lock_table.create () in
+  ignore (Lock_table.acquire lt ~lock:1 ~tid:0);
+  ignore (Lock_table.acquire lt ~lock:2 ~tid:0);
+  ignore (Lock_table.acquire lt ~lock:3 ~tid:1);
+  check "nested holds, recent first" true (Lock_table.held_by lt ~tid:0 = [ 2; 1 ]);
+  check "other thread isolated" true (Lock_table.held_by lt ~tid:1 = [ 3 ]);
+  let seen = ref [] in
+  Lock_table.iter_held lt ~tid:0 (fun l -> seen := l :: !seen);
+  check "iter_held matches held_by" true (List.rev !seen = Lock_table.held_by lt ~tid:0);
+  ignore (Lock_table.release lt ~lock:2 ~tid:0);
+  check "release shrinks the index" true (Lock_table.held_by lt ~tid:0 = [ 1 ]);
+  (* Contended handoff must move the lock between held sets. *)
+  ignore (Lock_table.acquire lt ~lock:1 ~tid:1);
+  check "waiter not yet an owner" true (Lock_table.held_by lt ~tid:1 = [ 3 ]);
+  (match Lock_table.release lt ~lock:1 ~tid:0 with
+  | Some 1 -> ()
+  | _ -> Alcotest.fail "ownership should transfer");
+  check "releaser's index empty" true (Lock_table.held_by lt ~tid:0 = []);
+  check "transferred lock in waiter's index" true (Lock_table.held_by lt ~tid:1 = [ 1; 3 ])
+
+let test_lock_waiter_iteration () =
+  let lt = Lock_table.create () in
+  ignore (Lock_table.acquire lt ~lock:9 ~tid:0);
+  ignore (Lock_table.acquire lt ~lock:9 ~tid:2);
+  ignore (Lock_table.acquire lt ~lock:9 ~tid:1);
+  check_int "two waiters" 2 (Lock_table.waiter_count lt ~lock:9);
+  let seen = ref [] in
+  Lock_table.iter_waiters lt ~lock:9 (fun tid -> seen := tid :: !seen);
+  check "FIFO order" true (List.rev !seen = [ 2; 1 ]);
+  check_int "unknown lock has no waiters" 0 (Lock_table.waiter_count lt ~lock:404)
 
 (* {1 Machine} *)
 
@@ -289,13 +393,72 @@ let test_schedule_replay_short_tape () =
   let r = two_thread_machine ~schedule:(Kard_sched.Schedule.Replay [| 1; 1 |]) () in
   check "run completes" true (r.Machine.cycles > 0)
 
+let runnable_of_list tids =
+  let set = Kard_sched.Runnable_set.create () in
+  List.iter (Kard_sched.Runnable_set.add set) tids;
+  set
+
 let test_schedule_pick_unit () =
   let st = Kard_sched.Schedule.start (Kard_sched.Schedule.Replay [| 2; 0 |]) in
-  check_int "replays 2" 2 (Kard_sched.Schedule.pick st ~runnable:[ 0; 1; 2 ]);
-  check_int "replays 0" 0 (Kard_sched.Schedule.pick st ~runnable:[ 0; 1; 2 ]);
+  let runnable = runnable_of_list [ 0; 1; 2 ] in
+  check_int "replays 2" 2 (Kard_sched.Schedule.pick st ~runnable);
+  check_int "replays 0" 0 (Kard_sched.Schedule.pick st ~runnable);
   (* Tape exhausted: round-robin continues after the last pick. *)
-  check_int "falls back after tape" 1 (Kard_sched.Schedule.pick st ~runnable:[ 0; 1; 2 ]);
+  check_int "falls back after tape" 1 (Kard_sched.Schedule.pick st ~runnable);
   check "recorded everything" true (Kard_sched.Schedule.recorded st = [| 2; 0; 1 |])
+
+(* Replay determinism over a genuinely contended, faulting workload:
+   the safety net for the scheduler/TLB refactors.  A full Kard run is
+   recorded under [Random] and re-executed under [Replay]; every field
+   of the report — total and per-thread cycles, faults, hardware
+   counters, RSS, schedule trace — must be bit-identical. *)
+let contended_kard_report ?schedule ~seed () =
+  let cell = ref None in
+  let m =
+    Machine.create ?schedule ~seed
+      ~allocator:(Machine.Unique_page { granule = 32; recycle_virtual_pages = false })
+      ~make_detector:(Kard_core.Detector.make ~config:Kard_core.Config.default ~cell)
+      ()
+  in
+  let profile =
+    { Kard_workloads.Synth.default with
+      Kard_workloads.Synth.locks = 2;
+      sites = 6;
+      entries = 600;
+      min_entries = 600;
+      shared_rw = 8;
+      shared_ro = 4;
+      rw_writes_per_entry = 3;
+      ro_reads_per_entry = 2;
+      cs_compute = 500;
+      churn_per_entry = 0.5;
+      mode = Kard_workloads.Synth.Striped }
+  in
+  Kard_workloads.Synth.build profile ~threads:8 ~scale:1.0 ~seed:5 m;
+  Machine.run m
+
+let test_replay_full_report_identical () =
+  let original = contended_kard_report ~seed:11 () in
+  (* The workload must actually exercise the refactored paths. *)
+  check "workload contends" true (original.Machine.contended_entries > 0);
+  check "workload faults" true (original.Machine.faults > 0);
+  check "multi-threaded" true (Array.length original.Machine.per_thread_cycles = 8);
+  let replayed =
+    contended_kard_report
+      ~schedule:(Kard_sched.Schedule.Replay original.Machine.schedule_trace)
+      ~seed:11 ()
+  in
+  check "full report is bit-identical" true (original = replayed);
+  (* Same workload, different seed: must diverge (the test would be
+     vacuous if the report ignored the schedule). *)
+  let other = contended_kard_report ~seed:12 () in
+  check "different schedule differs" true
+    (other.Machine.schedule_trace <> original.Machine.schedule_trace)
+
+let test_random_seed_determinism_full_report () =
+  let a = contended_kard_report ~seed:3 () in
+  let b = contended_kard_report ~seed:3 () in
+  check "same seed, same full report" true (a = b)
 
 let test_sim_clock () =
   let c = Sim_clock.create () in
@@ -314,11 +477,18 @@ let () =
           Alcotest.test_case "unfold" `Quick test_program_unfold;
           Alcotest.test_case "delay" `Quick test_program_delay;
           Alcotest.test_case "with_setup" `Quick test_program_with_setup ] );
+      ( "runnable_set",
+        [ Alcotest.test_case "basic" `Quick test_runnable_set_basic;
+          Alcotest.test_case "order statistics" `Quick test_runnable_set_order_statistics;
+          Alcotest.test_case "grows" `Quick test_runnable_set_grows;
+          Alcotest.test_case "oracle cross-check" `Quick test_runnable_set_exhaustive_vs_list ] );
       ( "lock_table",
         [ Alcotest.test_case "acquire/release" `Quick test_lock_acquire_release;
           Alcotest.test_case "fifo wakeup" `Quick test_lock_fifo;
           Alcotest.test_case "errors" `Quick test_lock_errors;
-          Alcotest.test_case "stats" `Quick test_lock_stats ] );
+          Alcotest.test_case "stats" `Quick test_lock_stats;
+          Alcotest.test_case "held-lock index" `Quick test_lock_held_index;
+          Alcotest.test_case "waiter iteration" `Quick test_lock_waiter_iteration ] );
       ( "machine",
         [ Alcotest.test_case "compute/io" `Quick test_machine_compute_io;
           Alcotest.test_case "alloc and access" `Quick test_machine_alloc_and_access;
@@ -334,4 +504,8 @@ let () =
         [ Alcotest.test_case "replay is exact" `Quick test_schedule_replay_exact;
           Alcotest.test_case "round robin" `Quick test_schedule_round_robin;
           Alcotest.test_case "short tape fallback" `Quick test_schedule_replay_short_tape;
-          Alcotest.test_case "pick unit" `Quick test_schedule_pick_unit ] ) ]
+          Alcotest.test_case "pick unit" `Quick test_schedule_pick_unit;
+          Alcotest.test_case "replay full report (contended, faulting)" `Quick
+            test_replay_full_report_identical;
+          Alcotest.test_case "seeded full-report determinism" `Quick
+            test_random_seed_determinism_full_report ] ) ]
