@@ -5,15 +5,24 @@
      dune exec bench/main.exe                 # everything
      dune exec bench/main.exe -- --only table3
      dune exec bench/main.exe -- --scale 0.05 # closer to full size
+     dune exec bench/main.exe -- --jobs 4     # Domain-parallel tables
      dune exec bench/main.exe -- --list
 
    Experiment ids: micro, bechamel, figure2, table1 (= table4 =
    scenarios), table3, table5, table6, figure5, nginx-sweep, memory,
-   throughput, obs, nolock, explore, ablation.
+   throughput, parallel, obs, nolock, explore, ablation.
 
    [throughput] additionally writes its rows as JSON to --bench-out
    (default BENCH_pr2.json): the tracked simulator ops/sec benchmark
-   behind the scheduler/TLB fast-path work. *)
+   behind the scheduler/TLB fast-path work.  [parallel] writes
+   --parallel-out (default BENCH_pr3.json): serial vs Domain-parallel
+   wall-clock of the Table 3 job list, with an end-to-end identity
+   check of the two result lists.
+
+   Table experiments run on the Domain pool; --jobs (or $KARD_JOBS)
+   sets the worker count, defaulting to the host core count.
+   [throughput] stays serial regardless — its cells are wall-clock
+   timed and must not compete for host cores. *)
 
 module Experiments = Kard_harness.Experiments
 module Runner = Kard_harness.Runner
@@ -23,6 +32,10 @@ module Config = Kard_core.Config
 let scale = ref 0.01
 let only = ref []
 let bench_out = ref "BENCH_pr2.json"
+let parallel_out = ref "BENCH_pr3.json"
+
+(* [None] lets Pool fall back to $KARD_JOBS / the host core count. *)
+let jobs : int option ref = ref None
 
 (* {1 Bechamel micro-benchmarks: the simulator's real hot paths} *)
 
@@ -98,41 +111,6 @@ let run_bechamel () =
     results;
   print_newline ()
 
-(* {1 Ablation: the design choices DESIGN.md calls out} *)
-
-let ablation () =
-  let spec = Registry.find "memcached" in
-  let base = Runner.run ~scale:!scale ~detector:Runner.Baseline spec in
-  let rows =
-    [ ("default (13 keys, all filters)", Config.default);
-      ("no proactive acquisition", { Config.default with Config.proactive_acquisition = false });
-      ("no protection interleaving", { Config.default with Config.protection_interleaving = false });
-      ("no redundancy pruning", { Config.default with Config.redundancy_pruning = false });
-      ("no metadata pruning", { Config.default with Config.metadata_pruning = false });
-      ("4 data keys", { Config.default with Config.data_keys = 4 });
-      ("1 data key", { Config.default with Config.data_keys = 1 });
-      ( "1 data key + software fallback",
-        { Config.default with Config.data_keys = 1; software_fallback = true } );
-      ( "binary mode (sections = locks)",
-        { Config.default with Config.section_identity = Config.By_lock } ) ]
-  in
-  let cells =
-    List.map
-      (fun (label, config) ->
-        let r = Runner.run ~scale:!scale ~detector:(Runner.Kard config) spec in
-        let stats = Option.get r.Runner.kard_stats in
-        [ label;
-          Kard_harness.Text_table.fmt_pct (Runner.overhead_pct ~baseline:base r);
-          string_of_int (List.length r.Runner.kard_races);
-          string_of_int stats.Kard_core.Detector.recycling_events;
-          string_of_int stats.Kard_core.Detector.sharing_events ])
-      rows
-  in
-  print_string
-    (Kard_harness.Text_table.render
-       ~header:[ "memcached, kard variant"; "overhead"; "records"; "recycle"; "share" ]
-       cells)
-
 (* {1 Observability: latency distributions behind the Table 3 means} *)
 
 let obs () =
@@ -185,13 +163,13 @@ let explore () =
     (fun name ->
       let scenario = Kard_workloads.Race_suite.find name in
       Kard_harness.Explorer.print_summary ~name
-        (Kard_harness.Explorer.explore_scenario scenario))
+        (Kard_harness.Explorer.explore_scenario ?jobs:!jobs scenario))
     [ "ilu-lock-lock"; "ilu-lock-nolock"; "exclusive-write"; "different-offset-small-cs";
       "small-cs-race" ];
   List.iter
     (fun name ->
       Kard_harness.Explorer.print_summary ~name
-        (Kard_harness.Explorer.explore_spec (Registry.find name)))
+        (Kard_harness.Explorer.explore_spec ?jobs:!jobs (Registry.find name)))
     [ "aget"; "nginx" ];
   (* Section 5.5's mitigation: delay injection raises the detection
      rate of rarely-overlapping sections. *)
@@ -201,7 +179,7 @@ let explore () =
       let config = { Config.default with Config.exit_delay_cycles = delay } in
       Kard_harness.Explorer.print_summary
         ~name:(Printf.sprintf "small-cs-race %s" label)
-        (Kard_harness.Explorer.explore_scenario ~config scenario))
+        (Kard_harness.Explorer.explore_scenario ?jobs:!jobs ~config scenario))
     [ ("(no delay)", 0); ("(delay 50k)", 50_000); ("(delay 200k)", 200_000) ]
 
 (* {1 Tracked throughput benchmark (BENCH_pr2.json)} *)
@@ -218,29 +196,48 @@ let throughput () =
   close_out oc;
   Printf.printf "wrote %s\n" !bench_out
 
+(* {1 Tracked parallel-executor benchmark (BENCH_pr3.json)} *)
+
+let parallel () =
+  let b = Experiments.parallel_bench ?jobs:!jobs ~scale:!scale () in
+  Experiments.print_parallel_bench b;
+  let json = Kard_harness.Json_report.of_parallel_bench ~scale:!scale b in
+  let oc = open_out !parallel_out in
+  output_string oc (Kard_harness.Json_report.pretty json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" !parallel_out
+
 (* {1 Driver} *)
 
 let experiments =
   [ ("micro", fun () -> Experiments.print_micro ());
     ("bechamel", run_bechamel);
     ("figure2", fun () -> Experiments.print_figure2 (Experiments.figure2 ()));
-    ("table1", fun () -> Experiments.print_scenarios (Experiments.scenarios ()));
-    ("table3", fun () -> Experiments.print_table3 (Experiments.table3 ~scale:!scale ()));
+    ("table1", fun () -> Experiments.print_scenarios (Experiments.scenarios ?jobs:!jobs ()));
+    ( "table3",
+      fun () -> Experiments.print_table3 (Experiments.table3 ?jobs:!jobs ~scale:!scale ()) );
     ( "table5",
       fun () ->
         print_endline "full key budget (13 data keys):";
-        Experiments.print_table5 (Experiments.table5 ~scale:!scale ());
+        Experiments.print_table5 (Experiments.table5 ?jobs:!jobs ~scale:!scale ());
         print_endline "\npressure-scaled key budget (4 data keys; see EXPERIMENTS.md):";
-        Experiments.print_table5 (Experiments.table5 ~data_keys:4 ~scale:!scale ()) );
-    ("table6", fun () -> Experiments.print_table6 (Experiments.table6 ~scale:!scale ()));
-    ("figure5", fun () -> Experiments.print_figure5 (Experiments.figure5 ~scale:!scale ()));
-    ("nginx-sweep", fun () -> Experiments.print_nginx_sweep (Experiments.nginx_sweep ~scale:!scale ()));
-    ("memory", fun () -> Experiments.print_memory (Experiments.memory ~scale:!scale ()));
+        Experiments.print_table5 (Experiments.table5 ?jobs:!jobs ~data_keys:4 ~scale:!scale ()) );
+    ( "table6",
+      fun () -> Experiments.print_table6 (Experiments.table6 ?jobs:!jobs ~scale:!scale ()) );
+    ( "figure5",
+      fun () -> Experiments.print_figure5 (Experiments.figure5 ?jobs:!jobs ~scale:!scale ()) );
+    ( "nginx-sweep",
+      fun () ->
+        Experiments.print_nginx_sweep (Experiments.nginx_sweep ?jobs:!jobs ~scale:!scale ()) );
+    ("memory", fun () -> Experiments.print_memory (Experiments.memory ?jobs:!jobs ~scale:!scale ()));
     ("throughput", throughput);
+    ("parallel", parallel);
     ("obs", obs);
     ("nolock", nolock);
     ("explore", explore);
-    ("ablation", ablation) ]
+    ( "ablation",
+      fun () -> Experiments.print_ablation (Experiments.ablation ?jobs:!jobs ~scale:!scale ()) ) ]
 
 let () =
   let rec parse = function
@@ -253,6 +250,12 @@ let () =
       parse rest
     | "--bench-out" :: path :: rest ->
       bench_out := path;
+      parse rest
+    | "--parallel-out" :: path :: rest ->
+      parallel_out := path;
+      parse rest
+    | "--jobs" :: n :: rest ->
+      jobs := Some (int_of_string n);
       parse rest
     | "--list" :: _ ->
       List.iter (fun (name, _) -> print_endline name) experiments;

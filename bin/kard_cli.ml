@@ -15,6 +15,9 @@ module Registry = Kard_workloads.Registry
 module Race_suite = Kard_workloads.Race_suite
 module Runner = Kard_harness.Runner
 module Experiments = Kard_harness.Experiments
+module Defaults = Kard_harness.Defaults
+module Job = Kard_harness.Job
+module Pool = Kard_harness.Pool
 
 open Cmdliner
 
@@ -39,9 +42,19 @@ let threads_arg =
   Arg.(value & opt (some int) None & info [ "t"; "threads" ] ~docv:"N" ~doc:"Thread count.")
 
 let scale_arg =
-  Arg.(value & opt float 0.01 & info [ "scale" ] ~docv:"F" ~doc:"Workload scale factor (0,1].")
+  Arg.(value & opt float Defaults.scale
+       & info [ "scale" ] ~docv:"F" ~doc:"Workload scale factor (0,1].")
 
-let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Scheduler seed.")
+let seed_arg =
+  Arg.(value & opt int Defaults.seed & info [ "seed" ] ~docv:"SEED" ~doc:"Scheduler seed.")
+
+let jobs_arg =
+  Arg.(value & opt (some int) None
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:
+             "Worker domains for independent runs (default: $(b,\\$KARD_JOBS) or the host core \
+              count).  Results are merged in submission order, so any value produces identical \
+              output.")
 
 (* list *)
 
@@ -124,18 +137,36 @@ let run_cmd =
   let name_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc:"Workload name.")
   in
-  let action name detector threads scale seed json =
+  let seeds_arg =
+    Arg.(value & opt (some (list int)) None
+         & info [ "seeds" ] ~docv:"S,S,..."
+             ~doc:"Run one job per seed (reported in seed-list order) instead of --seed alone.")
+  in
+  let action name detector threads scale seed seeds jobs json =
     match Registry.find name with
     | spec ->
-      let result = Runner.run ?threads ~scale ~seed ~detector spec in
+      let seeds = Option.value ~default:[ seed ] seeds in
+      let results =
+        Pool.run_jobs ?jobs
+          (List.map (fun seed -> Job.spec ?threads ~scale ~seed detector spec) seeds)
+      in
       if json then
-        print_endline
-          (Kard_harness.Json_report.pretty (Kard_harness.Json_report.of_result result))
-      else print_result result
+        List.iter
+          (fun result ->
+            print_endline
+              (Kard_harness.Json_report.pretty (Kard_harness.Json_report.of_result result)))
+          results
+      else
+        List.iteri
+          (fun i result ->
+            if i > 0 then print_newline ();
+            print_result result)
+          results
     | exception Not_found -> Printf.eprintf "unknown workload %S; try `kard list`\n" name
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one workload under one detector")
-    Term.(const action $ name_arg $ detector_arg $ threads_arg $ scale_arg $ seed_arg $ json_arg)
+    Term.(const action $ name_arg $ detector_arg $ threads_arg $ scale_arg $ seed_arg $ seeds_arg
+          $ jobs_arg $ json_arg)
 
 let scenario_cmd =
   let name_arg =
@@ -208,18 +239,30 @@ let hunt_cmd =
   let tries_arg =
     Arg.(value & opt int 50 & info [ "tries" ] ~docv:"N" ~doc:"Seeds to sweep (default 50).")
   in
-  let action name tries =
+  let action name tries jobs =
     match Race_suite.find name with
     | exception Not_found -> Printf.eprintf "unknown scenario %S; try `kard list`\n" name
     | scenario ->
       let detector = Runner.Kard scenario.Race_suite.config in
-      let rec sweep seed =
-        if seed > tries then None
-        else
-          let r = Runner.run_scenario ~seed ~detector scenario in
-          if r.Runner.kard_ilu_races <> [] then Some (seed, r) else sweep (seed + 1)
+      (* Sweep one pool-width batch of seeds at a time, scanning each
+         batch in seed order: the reported hit is always the smallest
+         racing seed, exactly as the old serial loop found it. *)
+      let width = Pool.resolve_jobs jobs in
+      let rec sweep = function
+        | [] -> None
+        | batch :: rest ->
+          let results =
+            Pool.run_jobs ?jobs
+              (List.map (fun seed -> Job.scenario ~seed detector scenario) batch)
+          in
+          let hit =
+            List.find_opt
+              (fun (_, r) -> r.Runner.kard_ilu_races <> [])
+              (List.combine batch results)
+          in
+          (match hit with Some _ -> hit | None -> sweep rest)
       in
-      (match sweep 1 with
+      (match sweep (Pool.chunks width (List.init tries (fun i -> i + 1))) with
       | None -> Printf.printf "no race manifested in %d schedules\n" tries
       | Some (seed, found) ->
         Printf.printf "race manifested at seed %d (%d/%d schedules swept):\n" seed seed tries;
@@ -245,7 +288,7 @@ let hunt_cmd =
   in
   Cmd.v
     (Cmd.info "hunt" ~doc:"Sweep schedules for a race, then replay the found interleaving")
-    Term.(const action $ name_arg $ tries_arg)
+    Term.(const action $ name_arg $ tries_arg $ jobs_arg)
 
 (* bench: the tracked simulator-throughput benchmark (BENCH_pr2.json). *)
 
@@ -275,20 +318,21 @@ let bench_cmd =
 
 (* repro *)
 
-let repro_one ~scale = function
+let repro_one ?jobs ~scale = function
   | "table1" | "figure1" | "table4" | "figure4" | "scenarios" ->
-    Experiments.print_scenarios (Experiments.scenarios ())
-  | "table3" -> Experiments.print_table3 (Experiments.table3 ~scale ())
+    Experiments.print_scenarios (Experiments.scenarios ?jobs ())
+  | "table3" -> Experiments.print_table3 (Experiments.table3 ?jobs ~scale ())
   | "table5" ->
     print_endline "full key budget (13 data keys):";
-    Experiments.print_table5 (Experiments.table5 ~scale ());
+    Experiments.print_table5 (Experiments.table5 ?jobs ~scale ());
     print_endline "\npressure-scaled key budget (4 data keys; see EXPERIMENTS.md):";
-    Experiments.print_table5 (Experiments.table5 ~data_keys:4 ~scale ())
-  | "table6" -> Experiments.print_table6 (Experiments.table6 ~scale ())
+    Experiments.print_table5 (Experiments.table5 ?jobs ~data_keys:4 ~scale ())
+  | "table6" -> Experiments.print_table6 (Experiments.table6 ?jobs ~scale ())
   | "figure2" -> Experiments.print_figure2 (Experiments.figure2 ())
-  | "figure5" -> Experiments.print_figure5 (Experiments.figure5 ~scale ())
-  | "nginx-sweep" -> Experiments.print_nginx_sweep (Experiments.nginx_sweep ~scale ())
-  | "memory" -> Experiments.print_memory (Experiments.memory ~scale ())
+  | "figure5" -> Experiments.print_figure5 (Experiments.figure5 ?jobs ~scale ())
+  | "nginx-sweep" -> Experiments.print_nginx_sweep (Experiments.nginx_sweep ?jobs ~scale ())
+  | "memory" -> Experiments.print_memory (Experiments.memory ?jobs ~scale ())
+  | "ablation" -> Experiments.print_ablation (Experiments.ablation ?jobs ~scale ())
   | "micro" -> Experiments.print_micro ()
   | exp -> Printf.eprintf "unknown experiment %S\n" exp
 
@@ -298,24 +342,24 @@ let repro_cmd =
          & info [] ~docv:"EXPERIMENT"
              ~doc:
                "One of: table1, table3, table4, table5, table6, figure2, figure5, nginx-sweep, \
-                memory, micro, all.")
+                memory, ablation, micro, all.")
   in
-  let action exp scale =
+  let action exp scale jobs =
     let experiments =
       if exp = "all" then
         [ "micro"; "figure2"; "scenarios"; "table3"; "table5"; "table6"; "figure5"; "nginx-sweep";
-          "memory" ]
+          "memory"; "ablation" ]
       else [ exp ]
     in
     List.iter
       (fun e ->
         Printf.printf "== %s ==\n" e;
-        repro_one ~scale e;
+        repro_one ?jobs ~scale e;
         print_newline ())
       experiments
   in
   Cmd.v (Cmd.info "repro" ~doc:"Regenerate a table or figure from the paper")
-    Term.(const action $ exp_arg $ scale_arg)
+    Term.(const action $ exp_arg $ scale_arg $ jobs_arg)
 
 let () =
   let info = Cmd.info "kard" ~doc:"Kard: MPK-based data race detection (ASPLOS'21), simulated" in

@@ -1,0 +1,16 @@
+let scale = 0.01
+let seed = 42
+let table_threads = 4
+let explorer_scale = 0.005
+let explorer_seeds = List.init 20 (fun i -> i + 1)
+let throughput_scale = 0.05
+
+let jobs_env = "KARD_JOBS"
+
+let jobs () =
+  match Sys.getenv_opt jobs_env with
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()

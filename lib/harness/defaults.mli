@@ -1,0 +1,36 @@
+(** The single home of the run defaults that every layer above the
+    runner shares.
+
+    Before this module existed, scale 0.01 / seed 42 / seeds 1..20
+    were re-stated independently by [Runner], [Explorer], the bench
+    driver and the CLI, and could silently drift apart.  Plan-builders
+    ({!Experiments}, {!Explorer}), the executables and the docs all
+    read the values from here. *)
+
+val scale : float
+(** Default workload scale factor: [0.01] (1/100 of the paper's
+    iteration and mass-object counts; see DESIGN.md on scaling). *)
+
+val seed : int
+(** Default scheduler seed: [42]. *)
+
+val table_threads : int
+(** Default thread count for Table 3-style experiments: [4]. *)
+
+val explorer_scale : float
+(** Default scale for full-workload seed sweeps: [0.005]. *)
+
+val explorer_seeds : int list
+(** The canonical schedule-exploration sweep: seeds [1..20]. *)
+
+val throughput_scale : float
+(** Default scale of the tracked throughput benchmark: [0.05]. *)
+
+val jobs_env : string
+(** Name of the environment variable overriding the worker count:
+    ["KARD_JOBS"]. *)
+
+val jobs : unit -> int
+(** Worker-domain count for plan execution: [$KARD_JOBS] when set to a
+    positive integer, otherwise [Domain.recommended_domain_count ()].
+    A malformed or non-positive override is ignored. *)

@@ -3,6 +3,12 @@ module Spec = Kard_workloads.Spec
 module Race_suite = Kard_workloads.Race_suite
 module Registry = Kard_workloads.Registry
 
+(* Experiments are plan-builders: each returns a {!Pool.plan} whose
+   jobs are pure data and whose merge reassembles rows in submission
+   order, so [Pool.execute ~jobs:1] and [~jobs:N] produce identical
+   tables (see DESIGN.md §7).  The [?jobs] executors below are the
+   stable entry points. *)
+
 (* {1 Table 3} *)
 
 type t3_row = {
@@ -13,16 +19,27 @@ type t3_row = {
   tsan : Runner.result;
 }
 
-let table3 ?(threads = 4) ?(scale = 0.01) ?(specs = Registry.all) () =
-  List.map
-    (fun spec ->
-      let run detector = Runner.run ~threads ~scale ~detector spec in
-      { spec;
-        base = run Runner.Baseline;
-        alloc = run Runner.Alloc;
-        kard = run (Runner.Kard Kard_core.Config.default);
-        tsan = run Runner.Tsan })
-    specs
+let t3_detectors =
+  [ Runner.Baseline; Runner.Alloc; Runner.Kard Kard_core.Config.default; Runner.Tsan ]
+
+let table3_plan ?(threads = Defaults.table_threads) ?(scale = Defaults.scale)
+    ?(specs = Registry.all) () =
+  let jobs =
+    List.concat_map
+      (fun spec -> List.map (fun d -> Job.spec ~threads ~scale d spec) t3_detectors)
+      specs
+  in
+  Pool.plan jobs ~merge:(fun results ->
+      List.map2
+        (fun spec group ->
+          match group with
+          | [ base; alloc; kard; tsan ] -> { spec; base; alloc; kard; tsan }
+          | _ -> assert false)
+        specs
+        (Pool.chunks (List.length t3_detectors) results))
+
+let table3 ?jobs ?threads ?scale ?specs () =
+  Pool.execute ?jobs (table3_plan ?threads ?scale ?specs ())
 
 let t3_kard_pct row = Runner.overhead_pct ~baseline:row.base row.kard
 let t3_alloc_pct row = Runner.overhead_pct ~baseline:row.base row.alloc
@@ -83,26 +100,37 @@ type scenario_row = {
   lockset_ok : bool;
 }
 
-let scenarios ?(names = List.map (fun s -> s.Race_suite.name) Race_suite.all) ?(seed = 42) () =
-  List.map
-    (fun name ->
-      let scenario = Race_suite.find name in
-      let kard =
-        Runner.run_scenario ~seed ~detector:(Runner.Kard scenario.Race_suite.config) scenario
-      in
-      let tsan = Runner.run_scenario ~seed ~detector:Runner.Tsan scenario in
-      let lockset = Runner.run_scenario ~seed ~detector:Runner.Lockset scenario in
-      let kard_ilu = List.length kard.Runner.kard_ilu_races in
-      let tsan_n = List.length tsan.Runner.tsan_races in
-      let lockset_n = List.length lockset.Runner.lockset_warnings in
-      { scenario;
-        kard_ilu;
-        tsan = tsan_n;
-        lockset = lockset_n;
-        kard_ok = Race_suite.check scenario.Race_suite.expect_kard_ilu kard_ilu;
-        tsan_ok = Race_suite.check scenario.Race_suite.expect_tsan tsan_n;
-        lockset_ok = Race_suite.check scenario.Race_suite.expect_lockset lockset_n })
-    names
+let scenarios_plan ?(names = List.map (fun s -> s.Race_suite.name) Race_suite.all)
+    ?(seed = Defaults.seed) () =
+  let scenarios = List.map Race_suite.find names in
+  let jobs =
+    List.concat_map
+      (fun scenario ->
+        [ Job.scenario ~seed (Runner.Kard scenario.Race_suite.config) scenario;
+          Job.scenario ~seed Runner.Tsan scenario;
+          Job.scenario ~seed Runner.Lockset scenario ])
+      scenarios
+  in
+  Pool.plan jobs ~merge:(fun results ->
+      List.map2
+        (fun scenario group ->
+          match group with
+          | [ kard; tsan; lockset ] ->
+            let kard_ilu = List.length kard.Runner.kard_ilu_races in
+            let tsan_n = List.length tsan.Runner.tsan_races in
+            let lockset_n = List.length lockset.Runner.lockset_warnings in
+            { scenario;
+              kard_ilu;
+              tsan = tsan_n;
+              lockset = lockset_n;
+              kard_ok = Race_suite.check scenario.Race_suite.expect_kard_ilu kard_ilu;
+              tsan_ok = Race_suite.check scenario.Race_suite.expect_tsan tsan_n;
+              lockset_ok = Race_suite.check scenario.Race_suite.expect_lockset lockset_n }
+          | _ -> assert false)
+        scenarios
+        (Pool.chunks 3 results))
+
+let scenarios ?jobs ?names ?seed () = Pool.execute ?jobs (scenarios_plan ?names ?seed ())
 
 let print_scenarios rows =
   let header = [ "scenario"; "kard"; "expect"; "tsan"; "expect"; "lockset"; "expect"; "ok" ] in
@@ -130,21 +158,27 @@ type t5_row = {
   sharing : int;
 }
 
-let table5 ?(data_keys = Kard_mpk.Pkey.data_key_count) ?(threads_list = [ 4; 8; 16; 32 ])
-    ?(scale = 0.01) () =
+let table5_plan ?(data_keys = Kard_mpk.Pkey.data_key_count) ?(threads_list = [ 4; 8; 16; 32 ])
+    ?(scale = Defaults.scale) () =
   let spec = Registry.find "memcached" in
   let config = { Kard_core.Config.default with Kard_core.Config.data_keys } in
-  List.map
-    (fun threads ->
-      let result = Runner.run ~threads ~scale ~detector:(Runner.Kard config) spec in
-      let stats = Option.get result.Runner.kard_stats in
-      { t5_threads = threads;
-        total_cs = result.Runner.report.Machine.cs_entries;
-        unique_cs = result.Runner.report.Machine.unique_sections;
-        max_concurrent = result.Runner.report.Machine.max_concurrent_sections;
-        recycling = stats.Kard_core.Detector.recycling_events;
-        sharing = stats.Kard_core.Detector.sharing_events })
-    threads_list
+  let jobs =
+    List.map (fun threads -> Job.spec ~threads ~scale (Runner.Kard config) spec) threads_list
+  in
+  Pool.plan jobs ~merge:(fun results ->
+      List.map2
+        (fun threads result ->
+          let stats = Option.get result.Runner.kard_stats in
+          { t5_threads = threads;
+            total_cs = result.Runner.report.Machine.cs_entries;
+            unique_cs = result.Runner.report.Machine.unique_sections;
+            max_concurrent = result.Runner.report.Machine.max_concurrent_sections;
+            recycling = stats.Kard_core.Detector.recycling_events;
+            sharing = stats.Kard_core.Detector.sharing_events })
+        threads_list results)
+
+let table5 ?jobs ?data_keys ?threads_list ?scale () =
+  Pool.execute ?jobs (table5_plan ?data_keys ?threads_list ?scale ())
 
 let print_table5 rows =
   let header = [ "memcached"; "t=4"; "t=8"; "t=16"; "t=32" ] in
@@ -184,25 +218,37 @@ let distinct_by f items =
   List.iter (fun item -> Hashtbl.replace seen (f item) ()) items;
   Hashtbl.length seen
 
-let table6 ?(scale = 0.01) () =
+let table6_plan ?(scale = Defaults.scale) () =
   let paper = [ ("aget", 1, 1, 0); ("memcached", 3, 3, 0); ("nginx", 1, 1, 0); ("pigz", 1, 0, 0) ] in
-  List.map
-    (fun (name, pk, pti, ptn) ->
-      let spec = Registry.find name in
-      let kard = Runner.run ~scale ~detector:(Runner.Kard Kard_core.Config.default) spec in
-      let tsan = Runner.run ~scale ~detector:Runner.Tsan spec in
-      let granule (r : Kard_baselines.Tsan.race) = r.Kard_baselines.Tsan.addr lsr 3 in
-      let tsan_ilu = distinct_by granule tsan.Runner.tsan_ilu_races in
-      { app = name;
-        kard_races =
-          distinct_by (fun (r : Kard_core.Race_record.t) -> r.Kard_core.Race_record.obj_id)
-            kard.Runner.kard_races;
-        tsan_ilu;
-        tsan_non_ilu = distinct_by granule tsan.Runner.tsan_races - tsan_ilu;
-        paper_kard = pk;
-        paper_tsan_ilu = pti;
-        paper_tsan_non_ilu = ptn })
-    paper
+  let jobs =
+    List.concat_map
+      (fun (name, _, _, _) ->
+        let spec = Registry.find name in
+        [ Job.spec ~scale (Runner.Kard Kard_core.Config.default) spec;
+          Job.spec ~scale Runner.Tsan spec ])
+      paper
+  in
+  Pool.plan jobs ~merge:(fun results ->
+      List.map2
+        (fun (name, pk, pti, ptn) group ->
+          match group with
+          | [ kard; tsan ] ->
+            let granule (r : Kard_baselines.Tsan.race) = r.Kard_baselines.Tsan.addr lsr 3 in
+            let tsan_ilu = distinct_by granule tsan.Runner.tsan_ilu_races in
+            { app = name;
+              kard_races =
+                distinct_by (fun (r : Kard_core.Race_record.t) -> r.Kard_core.Race_record.obj_id)
+                  kard.Runner.kard_races;
+              tsan_ilu;
+              tsan_non_ilu = distinct_by granule tsan.Runner.tsan_races - tsan_ilu;
+              paper_kard = pk;
+              paper_tsan_ilu = pti;
+              paper_tsan_non_ilu = ptn }
+          | _ -> assert false)
+        paper
+        (Pool.chunks 2 results))
+
+let table6 ?jobs ?scale () = Pool.execute ?jobs (table6_plan ?scale ())
 
 let print_table6 rows =
   let header =
@@ -226,21 +272,35 @@ type f5_row = {
   by_threads : (int * float) list;
 }
 
-let figure5 ?(threads_list = [ 8; 16; 32 ]) ?(scale = 0.01) ?(specs = Registry.benchmarks) () =
-  List.map
-    (fun spec ->
-      let by_threads =
-        List.map
+let figure5_plan ?(threads_list = [ 8; 16; 32 ]) ?(scale = Defaults.scale)
+    ?(specs = Registry.benchmarks) () =
+  let jobs =
+    List.concat_map
+      (fun spec ->
+        List.concat_map
           (fun threads ->
-            let base = Runner.run ~threads ~scale ~detector:Runner.Baseline spec in
-            let kard =
-              Runner.run ~threads ~scale ~detector:(Runner.Kard Kard_core.Config.default) spec
-            in
-            (threads, Runner.overhead_pct ~baseline:base kard))
-          threads_list
-      in
-      { f5_name = spec.Spec.name; by_threads })
-    specs
+            [ Job.spec ~threads ~scale Runner.Baseline spec;
+              Job.spec ~threads ~scale (Runner.Kard Kard_core.Config.default) spec ])
+          threads_list)
+      specs
+  in
+  Pool.plan jobs ~merge:(fun results ->
+      let per_spec = Pool.chunks (2 * List.length threads_list) results in
+      List.map2
+        (fun spec group ->
+          let by_threads =
+            List.map2
+              (fun threads pair ->
+                match pair with
+                | [ base; kard ] -> (threads, Runner.overhead_pct ~baseline:base kard)
+                | _ -> assert false)
+              threads_list (Pool.chunks 2 group)
+          in
+          { f5_name = spec.Spec.name; by_threads })
+        specs per_spec)
+
+let figure5 ?jobs ?threads_list ?scale ?specs () =
+  Pool.execute ?jobs (figure5_plan ?threads_list ?scale ?specs ())
 
 let print_figure5 rows =
   match rows with
@@ -268,14 +328,25 @@ let print_figure5 rows =
 
 type nginx_row = { file_kb : int; kard_pct : float }
 
-let nginx_sweep ?(sizes = [ 128; 256; 512; 1024 ]) ?(scale = 0.01) () =
-  List.map
-    (fun file_kb ->
-      let spec = Kard_workloads.Apps.nginx_with_file ~file_kb in
-      let base = Runner.run ~scale ~detector:Runner.Baseline spec in
-      let kard = Runner.run ~scale ~detector:(Runner.Kard Kard_core.Config.default) spec in
-      { file_kb; kard_pct = Runner.overhead_pct ~baseline:base kard })
-    sizes
+let nginx_sweep_plan ?(sizes = [ 128; 256; 512; 1024 ]) ?(scale = Defaults.scale) () =
+  let jobs =
+    List.concat_map
+      (fun file_kb ->
+        let spec = Kard_workloads.Apps.nginx_with_file ~file_kb in
+        [ Job.spec ~scale Runner.Baseline spec;
+          Job.spec ~scale (Runner.Kard Kard_core.Config.default) spec ])
+      sizes
+  in
+  Pool.plan jobs ~merge:(fun results ->
+      List.map2
+        (fun file_kb pair ->
+          match pair with
+          | [ base; kard ] -> { file_kb; kard_pct = Runner.overhead_pct ~baseline:base kard }
+          | _ -> assert false)
+        sizes
+        (Pool.chunks 2 results))
+
+let nginx_sweep ?jobs ?sizes ?scale () = Pool.execute ?jobs (nginx_sweep_plan ?sizes ?scale ())
 
 let print_nginx_sweep rows =
   let header = [ "file size"; "kard overhead" ] in
@@ -332,23 +403,37 @@ type mem_row = {
   wasted : int;
 }
 
-let memory ?(threads = 4) ?(scale = 0.01) ?(specs = Registry.all) () =
-  List.map
-    (fun spec ->
-      let base = Runner.run ~threads ~scale ~detector:Runner.Baseline spec in
-      let kard = Runner.run ~threads ~scale ~detector:(Runner.Kard Kard_core.Config.default) spec in
-      let kr = kard.Runner.report in
-      let alloc_stats = kr.Machine.alloc_stats in
-      { mem_name = spec.Spec.name;
-        base_rss = base.Runner.report.Machine.rss_bytes;
-        kard_rss = kr.Machine.rss_bytes;
-        kard_data = kr.Machine.data_rss_bytes;
-        kard_page_tables = kr.Machine.page_table_bytes;
-        kard_metadata = kr.Machine.detector_metadata_bytes;
-        wasted =
-          alloc_stats.Kard_alloc.Alloc_iface.bytes_reserved
-          - alloc_stats.Kard_alloc.Alloc_iface.bytes_requested })
-    specs
+let memory_plan ?(threads = Defaults.table_threads) ?(scale = Defaults.scale)
+    ?(specs = Registry.all) () =
+  let jobs =
+    List.concat_map
+      (fun spec ->
+        [ Job.spec ~threads ~scale Runner.Baseline spec;
+          Job.spec ~threads ~scale (Runner.Kard Kard_core.Config.default) spec ])
+      specs
+  in
+  Pool.plan jobs ~merge:(fun results ->
+      List.map2
+        (fun spec pair ->
+          match pair with
+          | [ base; kard ] ->
+            let kr = kard.Runner.report in
+            let alloc_stats = kr.Machine.alloc_stats in
+            { mem_name = spec.Spec.name;
+              base_rss = base.Runner.report.Machine.rss_bytes;
+              kard_rss = kr.Machine.rss_bytes;
+              kard_data = kr.Machine.data_rss_bytes;
+              kard_page_tables = kr.Machine.page_table_bytes;
+              kard_metadata = kr.Machine.detector_metadata_bytes;
+              wasted =
+                alloc_stats.Kard_alloc.Alloc_iface.bytes_reserved
+                - alloc_stats.Kard_alloc.Alloc_iface.bytes_requested }
+          | _ -> assert false)
+        specs
+        (Pool.chunks 2 results))
+
+let memory ?jobs ?threads ?scale ?specs () =
+  Pool.execute ?jobs (memory_plan ?threads ?scale ?specs ())
 
 let print_memory rows =
   let header =
@@ -366,13 +451,75 @@ let print_memory rows =
       Text_table.fmt_kb row.wasted ]
   in
   print_string (Text_table.render ~header (List.map cells rows));
-  let pcts =
-    List.map
-      (fun row -> Stats.pct (float_of_int row.kard_rss) (float_of_int row.base_rss))
-      rows
+  (* An empty row list must degrade to a note, not an
+     [Invalid_argument] escaping mid-table (Stats.geomean rejects []). *)
+  if rows = [] then print_string "(no rows)\n"
+  else
+    let pcts =
+      List.map
+        (fun row -> Stats.pct (float_of_int row.kard_rss) (float_of_int row.base_rss))
+        rows
+    in
+    Printf.printf "RSS overhead geomean: %s (paper: +68.0%% benchmarks, +85.6%% real-world)\n"
+      (Text_table.fmt_pct (Stats.geomean_overhead_pct pcts))
+
+(* {1 Ablation: the design choices DESIGN.md calls out} *)
+
+type ablation_row = {
+  ab_label : string;
+  ab_pct : float;
+  ab_records : int;
+  ab_recycling : int;
+  ab_sharing : int;
+}
+
+let ablation_variants =
+  let module Config = Kard_core.Config in
+  [ ("default (13 keys, all filters)", Config.default);
+    ("no proactive acquisition", { Config.default with Config.proactive_acquisition = false });
+    ("no protection interleaving", { Config.default with Config.protection_interleaving = false });
+    ("no redundancy pruning", { Config.default with Config.redundancy_pruning = false });
+    ("no metadata pruning", { Config.default with Config.metadata_pruning = false });
+    ("4 data keys", { Config.default with Config.data_keys = 4 });
+    ("1 data key", { Config.default with Config.data_keys = 1 });
+    ( "1 data key + software fallback",
+      { Config.default with Config.data_keys = 1; software_fallback = true } );
+    ( "binary mode (sections = locks)",
+      { Config.default with Config.section_identity = Config.By_lock } ) ]
+
+let ablation_plan ?(scale = Defaults.scale) () =
+  let spec = Registry.find "memcached" in
+  let jobs =
+    Job.spec ~scale Runner.Baseline spec
+    :: List.map (fun (_, config) -> Job.spec ~scale (Runner.Kard config) spec) ablation_variants
   in
-  Printf.printf "RSS overhead geomean: %s (paper: +68.0%% benchmarks, +85.6%% real-world)\n"
-    (Text_table.fmt_pct (Stats.geomean_overhead_pct pcts))
+  Pool.plan jobs ~merge:(function
+    | base :: variants ->
+      List.map2
+        (fun (label, _) r ->
+          let stats = Option.get r.Runner.kard_stats in
+          { ab_label = label;
+            ab_pct = Runner.overhead_pct ~baseline:base r;
+            ab_records = List.length r.Runner.kard_races;
+            ab_recycling = stats.Kard_core.Detector.recycling_events;
+            ab_sharing = stats.Kard_core.Detector.sharing_events })
+        ablation_variants variants
+    | [] -> assert false)
+
+let ablation ?jobs ?scale () = Pool.execute ?jobs (ablation_plan ?scale ())
+
+let print_ablation rows =
+  print_string
+    (Text_table.render
+       ~header:[ "memcached, kard variant"; "overhead"; "records"; "recycle"; "share" ]
+       (List.map
+          (fun row ->
+            [ row.ab_label;
+              Text_table.fmt_pct row.ab_pct;
+              string_of_int row.ab_records;
+              string_of_int row.ab_recycling;
+              string_of_int row.ab_sharing ])
+          rows))
 
 (* {1 Simulator throughput} *)
 
@@ -388,7 +535,11 @@ type tp_row = {
 let tp_detectors = [ Runner.Baseline; Runner.Kard Kard_core.Config.default ]
 
 let throughput ?(spec = Registry.find "memcached")
-    ?(threads_list = [ 1; 2; 4; 8; 16; 32; 64 ]) ?(scale = 0.05) ?(seed = 42) () =
+    ?(threads_list = [ 1; 2; 4; 8; 16; 32; 64 ]) ?(scale = Defaults.throughput_scale)
+    ?(seed = Defaults.seed) () =
+  (* Deliberately serial: each cell is wall-clock timed, and concurrent
+     cells would steal host cycles from each other.  Parallel wall-clock
+     wins are measured by the [parallel] bench instead. *)
   (* Warm up allocators/caches once so the first timed cell is not
      charged for image start-up. *)
   ignore (Runner.run ~threads:2 ~scale:(scale /. 4.) ~seed ~detector:Runner.Baseline spec);
@@ -421,6 +572,54 @@ let print_throughput rows =
       Text_table.fmt_int (int_of_float row.tp_ops_per_sec) ]
   in
   print_string (Text_table.render ~header (List.map cells rows))
+
+(* {1 Parallel executor benchmark (BENCH_pr3.json)} *)
+
+type parallel_bench = {
+  pb_jobs : int;
+  pb_host_cores : int;
+  pb_job_count : int;
+  pb_serial_seconds : float;
+  pb_parallel_seconds : float;
+  pb_speedup : float;
+  pb_sim_cycles : int;
+  pb_identical : bool;
+}
+
+let parallel_bench ?jobs ?(scale = Defaults.scale) () =
+  let jobs = Pool.resolve_jobs jobs in
+  let js = (table3_plan ~scale ()).Pool.jobs in
+  (* Warm-up, so neither timed pass is charged for image start-up. *)
+  ignore (Job.run (List.hd js));
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let serial, serial_s = time (fun () -> Pool.run_jobs ~jobs:1 js) in
+  let par, par_s = time (fun () -> Pool.run_jobs ~jobs js) in
+  let sim_cycles =
+    List.fold_left (fun acc r -> acc + r.Runner.report.Machine.cycles) 0 serial
+  in
+  (* Untraced results are closure-free, so structural equality is the
+     full determinism check: every counter, race record and baseline
+     warning must match between the serial and parallel pass. *)
+  { pb_jobs = jobs;
+    pb_host_cores = Domain.recommended_domain_count ();
+    pb_job_count = List.length js;
+    pb_serial_seconds = serial_s;
+    pb_parallel_seconds = par_s;
+    pb_speedup = (if par_s > 0. then serial_s /. par_s else 0.);
+    pb_sim_cycles = sim_cycles;
+    pb_identical = (serial = par) }
+
+let print_parallel_bench b =
+  Printf.printf
+    "%d jobs on %d workers (%d host cores): serial %.3f s, parallel %.3f s -> %.2fx; results \
+     identical: %s; total simulated cycles %s\n"
+    b.pb_job_count b.pb_jobs b.pb_host_cores b.pb_serial_seconds b.pb_parallel_seconds b.pb_speedup
+    (if b.pb_identical then "yes" else "NO")
+    (Text_table.fmt_int b.pb_sim_cycles)
 
 (* {1 MPK micro} *)
 

@@ -1,7 +1,15 @@
 (** Drivers that regenerate every table and figure of the paper's
-    evaluation (section 7).  Each experiment returns structured data
-    (so the test suite can assert on shapes) and has a printer that
-    renders a paper-style table. *)
+    evaluation (section 7).
+
+    Every experiment is a {e plan-builder}: [<name>_plan] describes the
+    runs as a {!Pool.plan} — a list of pure-data {!Job.t}s plus a merge
+    that reassembles rows in submission order — and the [<name> ?jobs]
+    executor runs it on the Domain pool.  Because each job is a pure
+    function of its inputs and rows are merged in submission order,
+    [~jobs:1] and [~jobs:N] produce identical tables (DESIGN.md §7);
+    the test suite asserts this.  Each experiment returns structured
+    data (so tests can assert on shapes) and has a printer that renders
+    a paper-style table. *)
 
 (** {1 Table 3: performance, memory and dTLB overheads} *)
 
@@ -13,8 +21,11 @@ type t3_row = {
   tsan : Runner.result;
 }
 
+val table3_plan :
+  ?threads:int -> ?scale:float -> ?specs:Spec_alias.t list -> unit -> t3_row list Pool.plan
+
 val table3 :
-  ?threads:int -> ?scale:float -> ?specs:Spec_alias.t list -> unit -> t3_row list
+  ?jobs:int -> ?threads:int -> ?scale:float -> ?specs:Spec_alias.t list -> unit -> t3_row list
 
 val print_table3 : t3_row list -> unit
 
@@ -35,7 +46,8 @@ type scenario_row = {
   lockset_ok : bool;
 }
 
-val scenarios : ?names:string list -> ?seed:int -> unit -> scenario_row list
+val scenarios_plan : ?names:string list -> ?seed:int -> unit -> scenario_row list Pool.plan
+val scenarios : ?jobs:int -> ?names:string list -> ?seed:int -> unit -> scenario_row list
 val print_scenarios : scenario_row list -> unit
 
 (** {1 Table 5: memcached key recycling and sharing vs threads} *)
@@ -49,7 +61,11 @@ type t5_row = {
   sharing : int;
 }
 
-val table5 : ?data_keys:int -> ?threads_list:int list -> ?scale:float -> unit -> t5_row list
+val table5_plan :
+  ?data_keys:int -> ?threads_list:int list -> ?scale:float -> unit -> t5_row list Pool.plan
+
+val table5 :
+  ?jobs:int -> ?data_keys:int -> ?threads_list:int list -> ?scale:float -> unit -> t5_row list
 (** [data_keys] defaults to the full 13.  A scaled run holds a
     proportionally smaller live key working set than the full 162k
     request run, so the key-pressure dynamics of the paper's Table 5
@@ -70,7 +86,8 @@ type t6_row = {
   paper_tsan_non_ilu : int;
 }
 
-val table6 : ?scale:float -> unit -> t6_row list
+val table6_plan : ?scale:float -> unit -> t6_row list Pool.plan
+val table6 : ?jobs:int -> ?scale:float -> unit -> t6_row list
 val print_table6 : t6_row list -> unit
 
 (** {1 Figure 5: scalability} *)
@@ -80,8 +97,13 @@ type f5_row = {
   by_threads : (int * float) list; (** thread count, Kard overhead %. *)
 }
 
+val figure5_plan :
+  ?threads_list:int list -> ?scale:float -> ?specs:Spec_alias.t list -> unit ->
+  f5_row list Pool.plan
+
 val figure5 :
-  ?threads_list:int list -> ?scale:float -> ?specs:Spec_alias.t list -> unit -> f5_row list
+  ?jobs:int -> ?threads_list:int list -> ?scale:float -> ?specs:Spec_alias.t list -> unit ->
+  f5_row list
 
 val print_figure5 : f5_row list -> unit
 
@@ -89,7 +111,8 @@ val print_figure5 : f5_row list -> unit
 
 type nginx_row = { file_kb : int; kard_pct : float }
 
-val nginx_sweep : ?sizes:int list -> ?scale:float -> unit -> nginx_row list
+val nginx_sweep_plan : ?sizes:int list -> ?scale:float -> unit -> nginx_row list Pool.plan
+val nginx_sweep : ?jobs:int -> ?sizes:int list -> ?scale:float -> unit -> nginx_row list
 val print_nginx_sweep : nginx_row list -> unit
 
 (** {1 Figure 2: consolidated unique page allocation} *)
@@ -117,8 +140,34 @@ type mem_row = {
   wasted : int;           (** Granule-rounding waste (32 B slots). *)
 }
 
-val memory : ?threads:int -> ?scale:float -> ?specs:Spec_alias.t list -> unit -> mem_row list
+val memory_plan :
+  ?threads:int -> ?scale:float -> ?specs:Spec_alias.t list -> unit -> mem_row list Pool.plan
+
+val memory :
+  ?jobs:int -> ?threads:int -> ?scale:float -> ?specs:Spec_alias.t list -> unit -> mem_row list
+
 val print_memory : mem_row list -> unit
+
+(** {1 Ablation: the design choices DESIGN.md calls out} *)
+
+type ablation_row = {
+  ab_label : string;       (** Config variant (e.g. "no proactive acquisition"). *)
+  ab_pct : float;          (** Overhead vs the shared baseline run. *)
+  ab_records : int;        (** Surviving race records. *)
+  ab_recycling : int;
+  ab_sharing : int;
+}
+
+val ablation_variants : (string * Kard_core.Config.t) list
+(** The labelled configuration variants the ablation sweeps, default
+    first. *)
+
+val ablation_plan : ?scale:float -> unit -> ablation_row list Pool.plan
+val ablation : ?jobs:int -> ?scale:float -> unit -> ablation_row list
+(** memcached under every {!ablation_variants} configuration, one row
+    per variant, all against a single shared baseline run. *)
+
+val print_ablation : ablation_row list -> unit
 
 (** {1 Simulator throughput (tracked in BENCH_pr2.json)} *)
 
@@ -140,12 +189,36 @@ val throughput :
   tp_row list
 (** Host throughput of the simulator itself: steps per wall-clock
     second for a Baseline and a Kard run of [spec] (default memcached,
-    scale 0.05, threads 1–64).  This is the hot-loop regression
-    tracker — simulated cycle outputs are schedule-determined and must
-    not move, but ops/s measures the scheduler + MPK fast paths.  One
-    warm-up run precedes the sweep. *)
+    {!Defaults.throughput_scale}, threads 1–64).  This is the hot-loop
+    regression tracker — simulated cycle outputs are
+    schedule-determined and must not move, but ops/s measures the
+    scheduler + MPK fast paths.  One warm-up run precedes the sweep.
+    Deliberately {e not} a plan: each cell is wall-clock timed, so
+    cells must not compete for host cores. *)
 
 val print_throughput : tp_row list -> unit
+
+(** {1 Parallel executor benchmark (tracked in BENCH_pr3.json)} *)
+
+type parallel_bench = {
+  pb_jobs : int;              (** Worker count of the parallel pass. *)
+  pb_host_cores : int;        (** [Domain.recommended_domain_count ()]. *)
+  pb_job_count : int;
+  pb_serial_seconds : float;  (** Wall-clock of the [~jobs:1] pass. *)
+  pb_parallel_seconds : float;
+  pb_speedup : float;         (** serial / parallel. *)
+  pb_sim_cycles : int;        (** Summed simulated cycles (must not move). *)
+  pb_identical : bool;        (** Structural equality of both result lists. *)
+}
+
+val parallel_bench : ?jobs:int -> ?scale:float -> unit -> parallel_bench
+(** Execute the Table 3 job list twice — serially and on [jobs]
+    workers — and compare wall-clock and outputs.  [pb_identical] is
+    the pool's determinism contract measured end-to-end; [pb_speedup]
+    only materialises on multi-core hosts ([pb_host_cores] makes the
+    recorded number self-describing). *)
+
+val print_parallel_bench : parallel_bench -> unit
 
 (** {1 MPK microbenchmarks (section 2.2)} *)
 

@@ -13,7 +13,7 @@ type summary = {
   outcomes : outcome list;
 }
 
-let default_seeds = List.init 20 (fun i -> i + 1)
+let default_seeds = Defaults.explorer_seeds
 
 let summarize outcomes =
   let runs = List.length outcomes in
@@ -27,29 +27,38 @@ let summarize outcomes =
     max_races = List.fold_left max 0 races;
     outcomes }
 
-let explore_scenario ?(seeds = default_seeds) ?config (scenario : Kard_workloads.Race_suite.t) =
-  let config = Option.value ~default:scenario.Kard_workloads.Race_suite.config config in
-  summarize
-    (List.map
-       (fun seed ->
-         let r =
-           Runner.run_scenario ~seed ~override_config:config ~detector:(Runner.Kard config)
-             scenario
-         in
-         { seed;
-           kard_ilu = List.length r.Runner.kard_ilu_races;
-           records = List.length r.Runner.kard_races })
-       seeds)
+(* Merging in submission order keeps [outcomes] in seed order, so a
+   summary is independent of how many domains executed the sweep. *)
+let sweep_plan jobs_of_seeds seeds =
+  Pool.plan (jobs_of_seeds seeds) ~merge:(fun results ->
+      summarize
+        (List.map2
+           (fun seed r ->
+             { seed;
+               kard_ilu = List.length r.Runner.kard_ilu_races;
+               records = List.length r.Runner.kard_races })
+           seeds results))
 
-let explore_spec ?(seeds = default_seeds) ?(scale = 0.005) ?threads (spec : Spec_alias.t) =
-  summarize
-    (List.map
-       (fun seed ->
-         let r = Runner.run ?threads ~scale ~seed ~detector:(Runner.Kard Kard_core.Config.default) spec in
-         { seed;
-           kard_ilu = List.length r.Runner.kard_ilu_races;
-           records = List.length r.Runner.kard_races })
-       seeds)
+let explore_scenario_plan ?(seeds = default_seeds) ?config
+    (scenario : Kard_workloads.Race_suite.t) =
+  let config = Option.value ~default:scenario.Kard_workloads.Race_suite.config config in
+  sweep_plan
+    (List.map (fun seed ->
+         Job.scenario ~seed ~override_config:config (Runner.Kard config) scenario))
+    seeds
+
+let explore_scenario ?jobs ?seeds ?config scenario =
+  Pool.execute ?jobs (explore_scenario_plan ?seeds ?config scenario)
+
+let explore_spec_plan ?(seeds = default_seeds) ?(scale = Defaults.explorer_scale) ?threads
+    (spec : Spec_alias.t) =
+  sweep_plan
+    (List.map (fun seed ->
+         Job.spec ?threads ~scale ~seed (Runner.Kard Kard_core.Config.default) spec))
+    seeds
+
+let explore_spec ?jobs ?seeds ?scale ?threads spec =
+  Pool.execute ?jobs (explore_spec_plan ?seeds ?scale ?threads spec)
 
 let print_summary ~name s =
   Printf.printf "%-28s detection rate %3.0f%% (%d/%d runs), races per run %d..%d\n" name

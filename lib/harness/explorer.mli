@@ -4,7 +4,11 @@
     manifests only when the threads interleave the right way, and the
     paper's mitigation is "multiple runs".  The explorer sweeps
     scheduler seeds and reports how often each detector observes the
-    race — an estimate of per-run detection probability. *)
+    race — an estimate of per-run detection probability.
+
+    Sweeps are plan-builders over {!Pool}: each seed is one job, and
+    outcomes are merged back in seed order, so a summary is identical
+    at [~jobs:1] and [~jobs:N]. *)
 
 type outcome = {
   seed : int;
@@ -18,15 +22,25 @@ type summary = {
   detection_rate : float;
   min_races : int;
   max_races : int;
-  outcomes : outcome list;
+  outcomes : outcome list;    (** In seed order. *)
 }
 
+val explore_scenario_plan :
+  ?seeds:int list -> ?config:Kard_core.Config.t -> Kard_workloads.Race_suite.t ->
+  summary Pool.plan
+
 val explore_scenario :
-  ?seeds:int list -> ?config:Kard_core.Config.t -> Kard_workloads.Race_suite.t -> summary
-(** Default: seeds 1..20 and the scenario's own configuration. *)
+  ?jobs:int -> ?seeds:int list -> ?config:Kard_core.Config.t -> Kard_workloads.Race_suite.t ->
+  summary
+(** Default: {!Defaults.explorer_seeds} (1..20) and the scenario's own
+    configuration. *)
+
+val explore_spec_plan :
+  ?seeds:int list -> ?scale:float -> ?threads:int -> Spec_alias.t -> summary Pool.plan
 
 val explore_spec :
-  ?seeds:int list -> ?scale:float -> ?threads:int -> Spec_alias.t -> summary
-(** Sweep a full workload model (e.g. aget) across schedules. *)
+  ?jobs:int -> ?seeds:int list -> ?scale:float -> ?threads:int -> Spec_alias.t -> summary
+(** Sweep a full workload model (e.g. aget) across schedules, at
+    {!Defaults.explorer_scale} by default. *)
 
 val print_summary : name:string -> summary -> unit

@@ -137,6 +137,19 @@ let of_throughput ~workload ~scale ~seed rows =
       field "seed" (int_ seed);
       field "rows" (arr (List.map of_row rows)) ]
 
+let of_parallel_bench ~scale (b : Experiments.parallel_bench) =
+  obj
+    [ field "benchmark" (str "parallel");
+      field "scale" (float_ scale);
+      field "jobs" (int_ b.Experiments.pb_jobs);
+      field "host_cores" (int_ b.Experiments.pb_host_cores);
+      field "job_count" (int_ b.Experiments.pb_job_count);
+      field "serial_seconds" (float_ b.Experiments.pb_serial_seconds);
+      field "parallel_seconds" (float_ b.Experiments.pb_parallel_seconds);
+      field "speedup" (float_ b.Experiments.pb_speedup);
+      field "sim_cycles" (int_ b.Experiments.pb_sim_cycles);
+      field "identical" (bool_ b.Experiments.pb_identical) ]
+
 let pretty json =
   let buf = Buffer.create (String.length json * 2) in
   let indent = ref 0 in

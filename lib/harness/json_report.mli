@@ -24,5 +24,12 @@ val of_throughput :
 (** The tracked throughput benchmark (see BENCH_pr2.json): one object
     per (threads, detector) cell of {!Experiments.throughput}. *)
 
+val of_parallel_bench : scale:float -> Experiments.parallel_bench -> string
+(** The tracked parallel-executor benchmark (see BENCH_pr3.json):
+    serial vs parallel wall-clock of one job list, the speedup, the
+    summed simulated cycles (schedule-determined — must not move with
+    [jobs]) and whether both passes produced structurally identical
+    results. *)
+
 val pretty : string -> string
 (** Re-indent a JSON string (objects and arrays, 2 spaces). *)

@@ -69,13 +69,15 @@ let run_build ?trace ~threads ~scale ~seed ~detector build name =
       (match !lockset_cell with Some l -> Kard_baselines.Lockset.warnings l | None -> []);
     trace }
 
-let run ?trace ?threads ?(scale = 0.01) ?(seed = 42) ~detector (spec : Spec_alias.t) =
+let run ?trace ?threads ?(scale = Defaults.scale) ?(seed = Defaults.seed) ~detector
+    (spec : Spec_alias.t) =
   let threads = Option.value ~default:spec.Kard_workloads.Spec.default_threads threads in
   run_build ?trace ~threads ~scale ~seed ~detector
     (fun machine -> spec.Kard_workloads.Spec.build ~threads ~scale ~seed machine)
     spec.Kard_workloads.Spec.name
 
-let run_scenario ?trace ?(seed = 42) ?override_config ~detector (scenario : Kard_workloads.Race_suite.t) =
+let run_scenario ?trace ?(seed = Defaults.seed) ?override_config ~detector
+    (scenario : Kard_workloads.Race_suite.t) =
   let detector =
     match detector, override_config with
     | Kard _, Some config -> Kard config

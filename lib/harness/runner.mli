@@ -31,7 +31,8 @@ val detector_name : detector -> string
 val run :
   ?trace:Kard_obs.Trace.t ->
   ?threads:int -> ?scale:float -> ?seed:int -> detector:detector -> Spec_alias.t -> result
-(** Defaults: the spec's default thread count, scale 0.01, seed 42.
+(** Defaults: the spec's default thread count, {!Defaults.scale},
+    {!Defaults.seed}.
     [trace] turns on observability for the run (see
     {!Kard_sched.Machine.create}); the filled sink comes back in
     [result.trace]. *)
