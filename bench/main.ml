@@ -13,8 +13,16 @@
    throughput, parallel, obs, nolock, explore, ablation.
 
    [throughput] additionally writes its rows as JSON to --bench-out
-   (default BENCH_pr2.json): the tracked simulator ops/sec benchmark
-   behind the scheduler/TLB fast-path work.  [parallel] writes
+   (default BENCH_pr4.json): the tracked simulator ops/sec benchmark
+   behind the scheduler/TLB fast paths and the allocation-free
+   compiled loop.  The checked-in file is produced with
+
+     dune exec --profile release bench/main.exe -- \
+       --only throughput --scale 0.05 --build-label release
+
+   (release is ~20% faster than dev with bit-identical simulation
+   results; --build-label records which profile the rows came from).
+   [parallel] writes
    --parallel-out (default BENCH_pr3.json): serial vs Domain-parallel
    wall-clock of the Table 3 job list, with an end-to-end identity
    check of the two result lists.
@@ -31,8 +39,9 @@ module Config = Kard_core.Config
 
 let scale = ref 0.01
 let only = ref []
-let bench_out = ref "BENCH_pr2.json"
+let bench_out = ref "BENCH_pr4.json"
 let parallel_out = ref "BENCH_pr3.json"
+let build_label = ref "dev"
 
 (* [None] lets Pool fall back to $KARD_JOBS / the host core count. *)
 let jobs : int option ref = ref None
@@ -182,13 +191,72 @@ let explore () =
         (Kard_harness.Explorer.explore_scenario ?jobs:!jobs ~config scenario))
     [ ("(no delay)", 0); ("(delay 50k)", 50_000); ("(delay 200k)", 200_000) ]
 
-(* {1 Tracked throughput benchmark (BENCH_pr2.json)} *)
+(* {1 Tracked throughput benchmark (BENCH_pr4.json)} *)
+
+(* The reference measurement for the compiled-loop PR: the same
+   harness (GC counters included) on the same host, at the last
+   commit before the compiled interpreter and array-indexed detector
+   state landed.  Embedded as constants so regenerating the file
+   keeps the before/after comparison self-contained; the rows were
+   taken on the dev profile (the release numbers in the main section
+   are ~20% faster for build reasons alone — compare
+   minor_words_per_step and steps/sim_cycles across sections, and
+   wall-clock only within one). *)
+let pre_pr_commit = "5c85b9a"
+let pre_pr_build = "dev"
+
+let pre_pr_rows =
+  Experiments.
+    [ { tp_threads = 1; tp_detector = "baseline"; tp_steps = 113595; tp_sim_cycles = 289376447;
+        tp_host_seconds = 0.0235062; tp_ops_per_sec = 4832560.0; tp_minor_words = 5174950.0;
+        tp_promoted_words = 6223.0; tp_minor_words_per_step = 45.5561 };
+      { tp_threads = 1; tp_detector = "kard"; tp_steps = 113595; tp_sim_cycles = 373179631;
+        tp_host_seconds = 0.036963; tp_ops_per_sec = 3073210.0; tp_minor_words = 7566910.0;
+        tp_promoted_words = 23274.0; tp_minor_words_per_step = 66.613 };
+      { tp_threads = 2; tp_detector = "baseline"; tp_steps = 113064; tp_sim_cycles = 289376136;
+        tp_host_seconds = 0.0267441; tp_ops_per_sec = 4227620.0; tp_minor_words = 5089600.0;
+        tp_promoted_words = 8827.0; tp_minor_words_per_step = 45.0152 };
+      { tp_threads = 2; tp_detector = "kard"; tp_steps = 113064; tp_sim_cycles = 345380331;
+        tp_host_seconds = 0.0380261; tp_ops_per_sec = 2973330.0; tp_minor_words = 7566240.0;
+        tp_promoted_words = 29316.0; tp_minor_words_per_step = 66.92 };
+      { tp_threads = 4; tp_detector = "baseline"; tp_steps = 112840; tp_sim_cycles = 289376434;
+        tp_host_seconds = 0.025737; tp_ops_per_sec = 4384340.0; tp_minor_words = 5110440.0;
+        tp_promoted_words = 13065.0; tp_minor_words_per_step = 45.2892 };
+      { tp_threads = 4; tp_detector = "kard"; tp_steps = 112840; tp_sim_cycles = 331027744;
+        tp_host_seconds = 0.0404019; tp_ops_per_sec = 2792940.0; tp_minor_words = 7410110.0;
+        tp_promoted_words = 35468.0; tp_minor_words_per_step = 65.6692 };
+      { tp_threads = 8; tp_detector = "baseline"; tp_steps = 112822; tp_sim_cycles = 289377453;
+        tp_host_seconds = 0.0278182; tp_ops_per_sec = 4055690.0; tp_minor_words = 5089250.0;
+        tp_promoted_words = 21785.0; tp_minor_words_per_step = 45.1087 };
+      { tp_threads = 8; tp_detector = "kard"; tp_steps = 112822; tp_sim_cycles = 324521712;
+        tp_host_seconds = 0.0426519; tp_ops_per_sec = 2645180.0; tp_minor_words = 7172760.0;
+        tp_promoted_words = 47805.0; tp_minor_words_per_step = 63.5759 };
+      { tp_threads = 16; tp_detector = "baseline"; tp_steps = 112935; tp_sim_cycles = 310683857;
+        tp_host_seconds = 0.0313699; tp_ops_per_sec = 3600100.0; tp_minor_words = 5289080.0;
+        tp_promoted_words = 41844.0; tp_minor_words_per_step = 46.833 };
+      { tp_threads = 16; tp_detector = "kard"; tp_steps = 112935; tp_sim_cycles = 347724375;
+        tp_host_seconds = 0.0475202; tp_ops_per_sec = 2376570.0; tp_minor_words = 7341980.0;
+        tp_promoted_words = 79160.0; tp_minor_words_per_step = 65.0107 };
+      { tp_threads = 32; tp_detector = "baseline"; tp_steps = 113567; tp_sim_cycles = 396181631;
+        tp_host_seconds = 0.0349629; tp_ops_per_sec = 3248220.0; tp_minor_words = 5119030.0;
+        tp_promoted_words = 96828.0; tp_minor_words_per_step = 45.075 };
+      { tp_threads = 32; tp_detector = "kard"; tp_steps = 113567; tp_sim_cycles = 470199551;
+        tp_host_seconds = 0.053087; tp_ops_per_sec = 2139260.0; tp_minor_words = 7343570.0;
+        tp_promoted_words = 160051.0; tp_minor_words_per_step = 64.6629 };
+      { tp_threads = 64; tp_detector = "baseline"; tp_steps = 114584; tp_sim_cycles = 588743173;
+        tp_host_seconds = 0.0404811; tp_ops_per_sec = 2830560.0; tp_minor_words = 5250340.0;
+        tp_promoted_words = 200132.0; tp_minor_words_per_step = 45.8209 };
+      { tp_threads = 64; tp_detector = "kard"; tp_steps = 114584; tp_sim_cycles = 753003442;
+        tp_host_seconds = 0.0626559; tp_ops_per_sec = 1828780.0; tp_minor_words = 7516430.0;
+        tp_promoted_words = 296597.0; tp_minor_words_per_step = 65.5975 } ]
 
 let throughput () =
   let rows = Experiments.throughput ~scale:!scale () in
   Experiments.print_throughput rows;
   let json =
-    Kard_harness.Json_report.of_throughput ~workload:"memcached" ~scale:!scale ~seed:42 rows
+    Kard_harness.Json_report.of_throughput
+      ~pre:(pre_pr_commit, pre_pr_build, pre_pr_rows)
+      ~build:!build_label ~workload:"memcached" ~scale:!scale ~seed:42 rows
   in
   let oc = open_out !bench_out in
   output_string oc (Kard_harness.Json_report.pretty json);
@@ -253,6 +321,9 @@ let () =
       parse rest
     | "--parallel-out" :: path :: rest ->
       parallel_out := path;
+      parse rest
+    | "--build-label" :: label :: rest ->
+      build_label := label;
       parse rest
     | "--jobs" :: n :: rest ->
       jobs := Some (int_of_string n);

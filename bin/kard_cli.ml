@@ -5,7 +5,7 @@
      run <workload>            run one workload under one detector
      scenario <name>           run one controlled race scenario
      trace <workload>          run with tracing; export a Chrome/Perfetto trace
-     bench                     simulator throughput sweep (writes BENCH_pr2.json)
+     bench                     simulator throughput sweep (writes BENCH_pr4.json)
      repro <experiment>        regenerate a paper table/figure
 *)
 
@@ -290,11 +290,11 @@ let hunt_cmd =
     (Cmd.info "hunt" ~doc:"Sweep schedules for a race, then replay the found interleaving")
     Term.(const action $ name_arg $ tries_arg $ jobs_arg)
 
-(* bench: the tracked simulator-throughput benchmark (BENCH_pr2.json). *)
+(* bench: the tracked simulator-throughput benchmark (BENCH_pr4.json). *)
 
 let bench_cmd =
   let out_arg =
-    Arg.(value & opt string "BENCH_pr2.json"
+    Arg.(value & opt string "BENCH_pr4.json"
          & info [ "o"; "output" ] ~docv:"FILE" ~doc:"JSON output path.")
   in
   let threads_arg =
@@ -304,7 +304,10 @@ let bench_cmd =
   let action scale seed threads_list out =
     let rows = Experiments.throughput ~threads_list ~scale ~seed () in
     Experiments.print_throughput rows;
-    let json = Kard_harness.Json_report.of_throughput ~workload:"memcached" ~scale ~seed rows in
+    let json =
+      Kard_harness.Json_report.of_throughput ~build:"dev" ~workload:"memcached" ~scale ~seed
+        rows
+    in
     let oc = open_out out in
     output_string oc (Kard_harness.Json_report.pretty json);
     output_char oc '\n';

@@ -8,18 +8,27 @@ module Mpk_hw = Kard_mpk.Mpk_hw
 module Obj_meta = Kard_alloc.Obj_meta
 module Meta_table = Kard_alloc.Meta_table
 module Hooks = Kard_sched.Hooks
+module Dense = Kard_sched.Dense
 
+(* Frames are pooled per thread: section nesting is shallow and
+   entry/exit runs on every lock operation, so the stack is an array
+   of mutable records reused across sections and the acquired-key set
+   is a small int stack — no allocation per section. *)
 type frame = {
-  lock : int;
-  site : int;
-  saved_pkru : Pkru.t;
-  wrpkru_at_entry : int;
+  mutable lock : int;
+  mutable site : int;
+  mutable saved_pkru : Pkru.t;
+  mutable wrpkru_at_entry : int;
       (** WRPKRU total at section entry, so exit can report the
           per-entry WRPKRU cost to the metrics registry. *)
-  mutable acquired : Pkey.t list;
+  mutable acquired : int array; (* pkeys, as ints *)
+  mutable nacquired : int;
 }
 
-type thread_state = { mutable frames : frame list }
+type thread_state = {
+  mutable frames : frame array; (* slots [0..depth-1] are live *)
+  mutable depth : int;
+}
 
 type stats = {
   na_faults : int;
@@ -56,10 +65,16 @@ type t = {
   interleave : Interleave.t;
   pruning : Pruning.t;
   soft : Soft_keys.t;
-  threads : (int, thread_state) Hashtbl.t;
-  active : (int, int list) Hashtbl.t; (* site -> executing threads *)
-  ro_seen : (int, unit) Hashtbl.t;
-  rw_seen : (int, unit) Hashtbl.t;
+  (* Per-thread and per-site state is indexed by the (small, dense)
+     id, and the seen-object sets are bitsets: these are touched on
+     every section entry/exit and must not hash or allocate. *)
+  mutable threads : thread_state option array; (* index = tid *)
+  (* site -> executing threads, as an int stack: slot [site] of
+     [active] holds [active_n.(site)] live tids. *)
+  mutable active : int array array;
+  mutable active_n : int array;
+  ro_seen : Dense.Bitset.t;
+  rw_seen : Dense.Bitset.t;
   mutable active_count : int;
   mutable max_active : int;
   mutable na_faults : int;
@@ -74,6 +89,10 @@ type t = {
   mutable ts_rescues : int;
   mutable soft_fallbacks : int;
   mutable soft_faults : int;
+  (* Result slot for [proactive_walk]: the walk accumulates the
+     section-entry PKRU here instead of returning a (pkru, cycles)
+     tuple, keeping the per-section-entry path allocation-free. *)
+  mutable walk_pkru : Pkru.t;
 }
 
 (* The software pool reserves the last data key as its always-denied
@@ -95,10 +114,11 @@ let create ?(config = Config.default) env =
     interleave = Interleave.create ();
     pruning = Pruning.create ~dedupe:config.Config.redundancy_pruning ();
     soft = Soft_keys.create ();
-    threads = Hashtbl.create 64;
-    active = Hashtbl.create 64;
-    ro_seen = Hashtbl.create 256;
-    rw_seen = Hashtbl.create 256;
+    threads = Array.make 16 None;
+    active = Array.make 64 [||];
+    active_n = Array.make 64 0;
+    ro_seen = Dense.Bitset.create ~capacity:256 ();
+    rw_seen = Dense.Bitset.create ~capacity:256 ();
     active_count = 0;
     max_active = 0;
     na_faults = 0;
@@ -112,7 +132,8 @@ let create ?(config = Config.default) env =
     demotions = 0;
     ts_rescues = 0;
     soft_fallbacks = 0;
-    soft_faults = 0 }
+    soft_faults = 0;
+    walk_pkru = Pkru.all_access }
 
 let cost t = t.env.Hooks.cost
 let hw t = t.env.Hooks.hw
@@ -132,46 +153,109 @@ let sample_occupancy t =
 
 
 let thread_state t tid =
-  match Hashtbl.find_opt t.threads tid with
+  if tid < 0 then invalid_arg "Detector: negative thread id";
+  if tid >= Array.length t.threads then begin
+    let bigger = Array.make (Dense.grow_pow2 (Array.length t.threads) tid) None in
+    Array.blit t.threads 0 bigger 0 (Array.length t.threads);
+    t.threads <- bigger
+  end;
+  match t.threads.(tid) with
   | Some ts -> ts
   | None ->
-    let ts = { frames = [] } in
-    Hashtbl.replace t.threads tid ts;
+    let ts = { frames = [||]; depth = 0 } in
+    t.threads.(tid) <- Some ts;
     ts
 
+(* Reuse the frame slot at [depth] (growing the stack with fresh
+   records when the nesting exceeds anything seen before). *)
+let push_frame ts ~lock ~site ~saved_pkru ~wrpkru_at_entry =
+  if ts.depth = Array.length ts.frames then begin
+    let cap = max 4 (2 * ts.depth) in
+    let bigger =
+      Array.init cap (fun i ->
+          if i < ts.depth then ts.frames.(i)
+          else
+            { lock; site; saved_pkru; wrpkru_at_entry; acquired = Array.make 4 0; nacquired = 0 })
+    in
+    ts.frames <- bigger
+  end;
+  let frame = ts.frames.(ts.depth) in
+  ts.depth <- ts.depth + 1;
+  frame.lock <- lock;
+  frame.site <- site;
+  frame.saved_pkru <- saved_pkru;
+  frame.wrpkru_at_entry <- wrpkru_at_entry;
+  frame.nacquired <- 0;
+  frame
+
+let holds_lock ts lock =
+  let rec scan i = i < ts.depth && (ts.frames.(i).lock = lock || scan (i + 1)) in
+  scan 0
+
 let current_frame t tid =
-  match (thread_state t tid).frames with
-  | [] -> None
-  | frame :: _ -> Some frame
+  let ts = thread_state t tid in
+  if ts.depth = 0 then None else Some ts.frames.(ts.depth - 1)
 
 let current_site t tid = Option.map (fun f -> f.site) (current_frame t tid)
 
 (* {2 Active-section tracking (used for Read-only domain conflicts)} *)
 
+let ensure_site t site =
+  if site < 0 then invalid_arg "Detector: negative section id";
+  if site >= Array.length t.active then begin
+    let cap = Dense.grow_pow2 (Array.length t.active) site in
+    let active = Array.make cap [||] in
+    Array.blit t.active 0 active 0 (Array.length t.active);
+    t.active <- active;
+    let active_n = Array.make cap 0 in
+    Array.blit t.active_n 0 active_n 0 (Array.length t.active_n);
+    t.active_n <- active_n
+  end
+
 let active_enter t ~site ~tid =
-  let tids = Option.value ~default:[] (Hashtbl.find_opt t.active site) in
-  Hashtbl.replace t.active site (tid :: tids);
+  ensure_site t site;
+  let n = t.active_n.(site) in
+  if n = Array.length t.active.(site) then begin
+    let bigger = Array.make (max 4 (2 * n)) 0 in
+    Array.blit t.active.(site) 0 bigger 0 n;
+    t.active.(site) <- bigger
+  end;
+  t.active.(site).(n) <- tid;
+  t.active_n.(site) <- n + 1;
   t.active_count <- t.active_count + 1;
   if t.active_count > t.max_active then t.max_active <- t.active_count
 
 let active_exit t ~site ~tid =
-  let tids = Option.value ~default:[] (Hashtbl.find_opt t.active site) in
-  let rec drop_one = function
-    | [] -> []
-    | x :: rest -> if x = tid then rest else x :: drop_one rest
-  in
-  (match drop_one tids with
-  | [] -> Hashtbl.remove t.active site
-  | rest -> Hashtbl.replace t.active site rest);
+  ensure_site t site;
+  (* Drop the most recent entry of [tid], as the cons-list
+     predecessor's head-first scan did. *)
+  let stk = t.active.(site) in
+  let n = t.active_n.(site) in
+  let rec find i = if i < 0 then -1 else if stk.(i) = tid then i else find (i - 1) in
+  let i = find (n - 1) in
+  if i >= 0 then begin
+    for j = i to n - 2 do
+      stk.(j) <- stk.(j + 1)
+    done;
+    t.active_n.(site) <- n - 1
+  end;
   t.active_count <- t.active_count - 1
+
+(* Most recent entry first, as the cons-list predecessor returned. *)
+let active_tids t ~site =
+  if site >= 0 && site < Array.length t.active then begin
+    let stk = t.active.(site) in
+    let rec go i acc = if i >= t.active_n.(site) then acc else go (i + 1) (stk.(i) :: acc) in
+    go 0 []
+  end
+  else []
 
 let active_readers t ~obj_id ~excluding_tid =
   List.concat_map
     (fun site ->
-      let tids = Option.value ~default:[] (Hashtbl.find_opt t.active site) in
       List.filter_map
         (fun tid -> if tid <> excluding_tid then Some (tid, site) else None)
-        tids)
+        (active_tids t ~site))
     (Section_object_map.sections_reading t.somap ~obj_id)
 
 (* {2 Protection changes} *)
@@ -206,7 +290,17 @@ let grant_in_context t ~tid key perm =
   Mpk_hw.set_pkru_in_context (hw t) ~tid (Pkru.set pkru key perm)
 
 let frame_note_acquired frame key =
-  if not (List.mem key frame.acquired) then frame.acquired <- key :: frame.acquired
+  let k = Pkey.to_int key in
+  let rec mem i = i < frame.nacquired && (frame.acquired.(i) = k || mem (i + 1)) in
+  if not (mem 0) then begin
+    if frame.nacquired = Array.length frame.acquired then begin
+      let bigger = Array.make (2 * frame.nacquired) 0 in
+      Array.blit frame.acquired 0 bigger 0 frame.nacquired;
+      frame.acquired <- bigger
+    end;
+    frame.acquired.(frame.nacquired) <- k;
+    frame.nacquired <- frame.nacquired + 1
+  end
 
 (* {2 Key assignment for a write-identified object} *)
 
@@ -239,7 +333,7 @@ let assign_write_key t ~tid ~frame (meta : Obj_meta.t) =
       Kard_obs.Trace.emit tr ~tid
         (Kard_obs.Event.Key_assign { key = Pkey.to_int key; obj_id = meta.Obj_meta.id; assign }));
     Domain_state.set t.domains ~obj_id:meta.Obj_meta.id (Domain_state.Read_write key);
-    Hashtbl.replace t.rw_seen meta.Obj_meta.id ();
+    Dense.Bitset.add t.rw_seen meta.Obj_meta.id;
     let mprotect = protect_pages t meta key in
     sample_occupancy t;
     extra + mprotect + c.Cost_model.map_op
@@ -376,7 +470,7 @@ let handle_na_fault t (fault : Fault.t) (meta : Obj_meta.t) =
     match fault.Fault.access with
     | `Read ->
       t.ident_read <- t.ident_read + 1;
-      Hashtbl.replace t.ro_seen meta.Obj_meta.id ();
+      Dense.Bitset.add t.ro_seen meta.Obj_meta.id;
       Section_object_map.record t.somap ~section:frame.site ~obj_id:meta.Obj_meta.id
         Section_object_map.Needs_read;
       let mprotect = demote_to_ro t meta in
@@ -454,13 +548,13 @@ let handle_data_fault t (fault : Fault.t) (meta : Obj_meta.t) key =
          section must touch this object (key multiplexing otherwise),
          and it must have run under a lock the faulter does not hold —
          back-to-back sections of one lock are ordered, not racing. *)
-      let faulter_locks = List.map (fun f -> f.lock) (thread_state t tid).frames in
+      let faulter = thread_state t tid in
       match Key_section_map.last_release_by_other t.ksmap key ~tid with
       | Some (time, h)
         when h.Key_section_map.tid <> tid
              && now t - time <= Cost_model.fault_delay_threshold c
              && (fault.Fault.access = `Write || Perm.equal h.Key_section_map.perm Perm.Read_write)
-             && (not (List.mem h.Key_section_map.lock faulter_locks))
+             && (not (holds_lock faulter h.Key_section_map.lock))
              && ((not t.config.Config.metadata_pruning) || section_touches_obj h)
         ->
         ([ h ], true)
@@ -546,9 +640,9 @@ let handle_soft_fault t (fault : Fault.t) (meta : Obj_meta.t) =
   (match verdict with
   | Soft_keys.Soft_ok -> ()
   | Soft_keys.Soft_conflict holders ->
-    let faulter_locks = List.map (fun f -> f.lock) (thread_state t tid).frames in
+    let faulter = thread_state t tid in
     let holders =
-      List.filter (fun h -> not (List.mem h.Key_section_map.lock faulter_locks)) holders
+      List.filter (fun h -> not (holds_lock faulter h.Key_section_map.lock)) holders
     in
     if holders <> [] then log_race t fault meta (List.map side_of_holder holders));
   { Hooks.fault_cycles = 2 * c.Cost_model.map_op; action = Hooks.Emulate }
@@ -575,6 +669,61 @@ let on_fault t (fault : Fault.t) =
 
 (* {2 Section entry and exit (section 5.4)} *)
 
+(* The proactive acquisition walk over the section's object list
+   (section 5.4), as a top-level tail recursion threading the PKRU
+   and cycle count: entered on every section entry, it allocates only
+   its final result pair. *)
+let rec proactive_walk t c ~tid ~frame entries pkru cycles =
+  match entries with
+  | [] ->
+    t.walk_pkru <- pkru;
+    cycles
+  | (obj_id, need) :: rest -> (
+    (* Walking the section's object list is a cache-resident map
+       traversal; the per-key work below carries the real cost. *)
+    let cycles = cycles + 8 in
+    let code = Domain_state.rw_key_code t.domains ~obj_id in
+    if code < 0 then (* Not-accessed or Read-only: nothing to acquire *)
+      proactive_walk t c ~tid ~frame rest pkru cycles
+    else
+      let key = Pkey.of_int code in
+      let wanted =
+        match need with
+        | Section_object_map.Needs_write -> Perm.Read_write
+        | Section_object_map.Needs_read -> Perm.Read_only
+      in
+      let already = Pkru.get pkru key in
+      if Perm.allows already `Read && Perm.compare already wanted >= 0 then
+        proactive_walk t c ~tid ~frame rest pkru cycles
+      else begin
+        (* During a delay-injection cooldown the key's release is
+           stamped in the future: it still counts as held, so the
+           entry must fault reactively and the handler can test for a
+           conflict. *)
+        let cooling =
+          t.config.Config.exit_delay_cycles > 0
+          &&
+          match Key_section_map.last_release t.ksmap key with
+          | Some (stamp, _) -> now t < stamp
+          | None -> false
+        in
+        if cooling then proactive_walk t c ~tid ~frame rest pkru cycles
+        else if Key_section_map.can_acquire t.ksmap key ~tid wanted then
+          proactive_acquire t c ~tid ~frame rest pkru cycles key wanted
+        else if
+          Perm.equal wanted Perm.Read_write
+          && Key_section_map.can_acquire t.ksmap key ~tid Perm.Read_only
+        then proactive_acquire t c ~tid ~frame rest pkru cycles key Perm.Read_only
+        else proactive_walk t c ~tid ~frame rest pkru cycles
+      end)
+
+and proactive_acquire t c ~tid ~frame rest pkru cycles key perm =
+  Key_section_map.acquire t.ksmap key
+    { Key_section_map.tid; perm; section = frame.site; lock = frame.lock };
+  frame_note_acquired frame key;
+  t.proactive_acq <- t.proactive_acq + 1;
+  proactive_walk t c ~tid ~frame rest (Pkru.set pkru key perm) (cycles + c.Cost_model.atomic_op)
+
 let on_lock t ~tid ~lock ~site =
   (* On unmodified binaries only the lock names the section
      (section 8); sections sharing a lock merge. *)
@@ -587,82 +736,40 @@ let on_lock t ~tid ~lock ~site =
   let ts = thread_state t tid in
   let pkru0 = Mpk_hw.pkru_of (hw t) ~tid in
   let frame =
-    { lock;
-      site;
-      saved_pkru = pkru0;
-      wrpkru_at_entry = Mpk_hw.wrpkru_count (hw t);
-      acquired = [] }
+    push_frame ts ~lock ~site ~saved_pkru:pkru0 ~wrpkru_at_entry:(Mpk_hw.wrpkru_count (hw t))
   in
-  ts.frames <- frame :: ts.frames;
   active_enter t ~site ~tid;
   (* Internal synchronization scales with concurrently executing
      sections: the runtime's maps are shared state. *)
   let sync_cost = c.Cost_model.atomic_op * (1 + t.active_count) in
-  let cycles = ref (sync_cost + c.Cost_model.map_op) in
   (* Retract k_na for the duration of the section (section 5.3). *)
-  let pkru = ref (Pkru.set pkru0 Pkey.k_na Perm.No_access) in
-  if t.config.Config.proactive_acquisition then
-    List.iter
-      (fun (obj_id, need) ->
-        (* Walking the section's object list is a cache-resident map
-           traversal; the per-key work below carries the real cost. *)
-        cycles := !cycles + 8;
-        match Domain_state.domain_of t.domains ~obj_id with
-        | Domain_state.Read_write key ->
-          let wanted =
-            match need with
-            | Section_object_map.Needs_write -> Perm.Read_write
-            | Section_object_map.Needs_read -> Perm.Read_only
-          in
-          let already = Pkru.get !pkru key in
-          if not (Perm.allows already `Read && Perm.compare already wanted >= 0) then begin
-            (* During a delay-injection cooldown the key's release is
-               stamped in the future: it still counts as held, so the
-               entry must fault reactively and the handler can test
-               for a conflict. *)
-            let cooling =
-              t.config.Config.exit_delay_cycles > 0
-              &&
-              match Key_section_map.last_release t.ksmap key with
-              | Some (stamp, _) -> now t < stamp
-              | None -> false
-            in
-            let granted =
-              if cooling then None
-              else if Key_section_map.can_acquire t.ksmap key ~tid wanted then Some wanted
-              else if
-                Perm.equal wanted Perm.Read_write
-                && Key_section_map.can_acquire t.ksmap key ~tid Perm.Read_only
-              then Some Perm.Read_only
-              else None
-            in
-            match granted with
-            | Some perm ->
-              Key_section_map.acquire t.ksmap key
-              { Key_section_map.tid; perm; section = site; lock = frame.lock };
-              frame_note_acquired frame key;
-              pkru := Pkru.set !pkru key perm;
-              t.proactive_acq <- t.proactive_acq + 1;
-              cycles := !cycles + c.Cost_model.atomic_op
-            | None -> ()
-          end
-        | Domain_state.Not_accessed | Domain_state.Read_only -> ())
-      (Section_object_map.objects_of t.somap ~section:site);
-  cycles := !cycles + Mpk_hw.wrpkru (hw t) ~tid !pkru;
+  let cycles =
+    if t.config.Config.proactive_acquisition then
+      proactive_walk t c ~tid ~frame
+        (Section_object_map.objects_of t.somap ~section:site)
+        (Pkru.set pkru0 Pkey.k_na Perm.No_access)
+        (sync_cost + c.Cost_model.map_op)
+    else begin
+      t.walk_pkru <- Pkru.set pkru0 Pkey.k_na Perm.No_access;
+      sync_cost + c.Cost_model.map_op
+    end
+  in
+  let cycles = cycles + Mpk_hw.wrpkru (hw t) ~tid t.walk_pkru in
   sample_occupancy t;
-  !cycles
+  cycles
 
 let on_unlock t ~tid ~lock =
   let c = cost t in
   let ts = thread_state t tid in
-  match ts.frames with
-  | [] -> invalid_arg (Printf.sprintf "Kard: thread %d unlocks with no open section" tid)
-  | frame :: rest ->
+  if ts.depth = 0 then
+    invalid_arg (Printf.sprintf "Kard: thread %d unlocks with no open section" tid)
+  else begin
+    let frame = ts.frames.(ts.depth - 1) in
     if frame.lock <> lock then
       invalid_arg
         (Printf.sprintf "Kard: thread %d releases lock %d but innermost section holds %d" tid lock
            frame.lock);
-    ts.frames <- rest;
+    ts.depth <- ts.depth - 1;
     let cycles = ref (c.Cost_model.rdtscp + c.Cost_model.atomic_op) in
     (* Delay injection (section 5.5): the thread sleeps at section
        exit, so its keys remain effectively held for the configured
@@ -671,19 +778,24 @@ let on_unlock t ~tid ~lock =
        keeping the fault-window check positive while other threads
        run.  Sleeping is not CPU time, so nothing is charged. *)
     let time = now t + t.config.Config.exit_delay_cycles in
-    List.iter
-      (fun key ->
-        Key_section_map.release t.ksmap key ~tid ~time;
-        cycles := !cycles + c.Cost_model.atomic_op)
-      frame.acquired;
+    (* Most recent acquisition first, as the cons-list predecessor
+       released them. *)
+    for i = frame.nacquired - 1 downto 0 do
+      Key_section_map.release t.ksmap (Pkey.of_int frame.acquired.(i)) ~tid ~time;
+      cycles := !cycles + c.Cost_model.atomic_op
+    done;
     (* Terminate interleavings this thread participated in: the object
-       stays unprotected (Not-accessed) until re-identified. *)
-    List.iter
-      (fun obj_id ->
-        match Meta_table.find_id t.env.Hooks.meta obj_id with
-        | Some meta -> cycles := !cycles + demote_to_kna t meta
-        | None -> Domain_state.forget t.domains ~obj_id)
-      (Interleave.finish_thread t.interleave ~tid);
+       stays unprotected (Not-accessed) until re-identified.  The
+       match keeps the common no-interleaving exit closure-free. *)
+    (match Interleave.finish_thread t.interleave ~tid with
+    | [] -> ()
+    | affected ->
+      List.iter
+        (fun obj_id ->
+          match Meta_table.find_id t.env.Hooks.meta obj_id with
+          | Some meta -> cycles := !cycles + demote_to_kna t meta
+          | None -> Domain_state.forget t.domains ~obj_id)
+        affected);
     if t.config.Config.software_fallback then
       Soft_keys.release_thread t.soft ~tid ~time;
     cycles := !cycles + Mpk_hw.wrpkru (hw t) ~tid frame.saved_pkru;
@@ -695,6 +807,7 @@ let on_unlock t ~tid ~lock =
       sample_occupancy t);
     active_exit t ~site:frame.site ~tid;
     !cycles
+  end
 
 (* {2 Allocation hooks} *)
 
@@ -775,8 +888,8 @@ let stats t : stats =
     soft_fallbacks = t.soft_fallbacks;
     soft_faults = t.soft_faults }
 
-let unique_ro_objects t = Hashtbl.length t.ro_seen
-let unique_rw_objects t = Hashtbl.length t.rw_seen
+let unique_ro_objects t = Dense.Bitset.count t.ro_seen
+let unique_rw_objects t = Dense.Bitset.count t.rw_seen
 let domains t = t.domains
 let section_object_map t = t.somap
 let key_section_map t = t.ksmap

@@ -1,22 +1,60 @@
 module Pkey = Kard_mpk.Pkey
+module Dense = Kard_sched.Dense
 
 type domain =
   | Not_accessed
   | Read_only
   | Read_write of Pkey.t
 
+(* Object ids are handed out sequentially by the allocators, so domain
+   state lives in an obj_id-indexed int array rather than a hash table:
+   the proactive-acquisition walk queries it once per mapped object on
+   every section entry, and an array read neither hashes nor allocates
+   the [Read_write] box.
+
+   Encoding: [k >= 0] is Read-write under data key [k]; the negative
+   codes distinguish "never recorded" from an explicit Not-accessed so
+   [tracked]/[count_in] keep their hash-table meanings. *)
+let code_absent = -1
+let code_not_accessed = -2
+let code_read_only = -3
+
 type t = {
-  domains : (int, domain) Hashtbl.t;
+  mutable codes : int array; (* index = obj_id *)
+  mutable tracked : int; (* codes <> code_absent *)
   by_key : (int, (int, unit) Hashtbl.t) Hashtbl.t; (* data key -> obj set *)
   mutable migrations : int;
 }
 
-let create () = { domains = Hashtbl.create 256; by_key = Hashtbl.create 16; migrations = 0 }
+let create () =
+  { codes = Array.make 256 code_absent;
+    tracked = 0;
+    by_key = Hashtbl.create 16;
+    migrations = 0 }
 
-let domain_of t ~obj_id =
-  match Hashtbl.find_opt t.domains obj_id with
-  | Some d -> d
-  | None -> Not_accessed
+let code_of t ~obj_id =
+  if obj_id >= 0 && obj_id < Array.length t.codes then t.codes.(obj_id) else code_absent
+
+let rw_key_code = code_of
+
+let decode code =
+  if code >= 0 then Read_write (Pkey.of_int code)
+  else if code = code_read_only then Read_only
+  else Not_accessed
+
+let encode = function
+  | Not_accessed -> code_not_accessed
+  | Read_only -> code_read_only
+  | Read_write key -> Pkey.to_int key
+
+let domain_of t ~obj_id = decode (code_of t ~obj_id)
+
+let ensure t obj_id =
+  if obj_id >= Array.length t.codes then begin
+    let bigger = Array.make (Dense.grow_pow2 (Array.length t.codes) obj_id) code_absent in
+    Array.blit t.codes 0 bigger 0 (Array.length t.codes);
+    t.codes <- bigger
+  end
 
 let key_bucket t key =
   let k = Pkey.to_int key in
@@ -27,16 +65,16 @@ let key_bucket t key =
     Hashtbl.replace t.by_key k bucket;
     bucket
 
-let detach t ~obj_id =
-  match Hashtbl.find_opt t.domains obj_id with
-  | Some (Read_write key) -> Hashtbl.remove (key_bucket t key) obj_id
-  | Some (Not_accessed | Read_only) | None -> ()
-
 let set t ~obj_id domain =
-  let before = domain_of t ~obj_id in
-  if before <> domain then begin
-    detach t ~obj_id;
-    Hashtbl.replace t.domains obj_id domain;
+  if obj_id < 0 then invalid_arg "Domain_state.set: negative obj_id";
+  let before_code = code_of t ~obj_id in
+  (* Compare decoded domains: recording Not-accessed on a never-seen
+     object stays a no-op, exactly as the implicit default did. *)
+  if decode before_code <> domain then begin
+    ensure t obj_id;
+    if before_code >= 0 then Hashtbl.remove (key_bucket t (Pkey.of_int before_code)) obj_id;
+    if before_code = code_absent then t.tracked <- t.tracked + 1;
+    t.codes.(obj_id) <- encode domain;
     (match domain with
     | Read_write key -> Hashtbl.replace (key_bucket t key) obj_id ()
     | Not_accessed | Read_only -> ());
@@ -44,8 +82,12 @@ let set t ~obj_id domain =
   end
 
 let forget t ~obj_id =
-  detach t ~obj_id;
-  Hashtbl.remove t.domains obj_id
+  let code = code_of t ~obj_id in
+  if code <> code_absent then begin
+    if code >= 0 then Hashtbl.remove (key_bucket t (Pkey.of_int code)) obj_id;
+    t.codes.(obj_id) <- code_absent;
+    t.tracked <- t.tracked - 1
+  end
 
 let objects_with_key t key =
   match Hashtbl.find_opt t.by_key (Pkey.to_int key) with
@@ -53,16 +95,23 @@ let objects_with_key t key =
   | None -> []
 
 let count_in t which =
-  Hashtbl.fold
-    (fun _ domain acc ->
-      match which, domain with
-      | `Not_accessed, Not_accessed | `Read_only, Read_only | `Read_write, Read_write _ ->
-        acc + 1
-      | (`Not_accessed | `Read_only | `Read_write), _ -> acc)
-    t.domains 0
+  let wanted_code =
+    match which with
+    | `Not_accessed -> code_not_accessed
+    | `Read_only -> code_read_only
+    | `Read_write -> 0 (* sentinel; matched by the >= 0 test below *)
+  in
+  let n = ref 0 in
+  Array.iter
+    (fun code ->
+      match which with
+      | `Read_write -> if code >= 0 then incr n
+      | `Not_accessed | `Read_only -> if code = wanted_code then incr n)
+    t.codes;
+  !n
 
 let migrations t = t.migrations
-let tracked t = Hashtbl.length t.domains
+let tracked t = t.tracked
 
 let pp_domain fmt = function
   | Not_accessed -> Format.pp_print_string fmt "not-accessed"

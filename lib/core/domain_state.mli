@@ -17,6 +17,12 @@ val create : unit -> t
 val domain_of : t -> obj_id:int -> domain
 (** Objects never seen are Not-accessed. *)
 
+val rw_key_code : t -> obj_id:int -> int
+(** [Pkey.to_int key] when the object is Read-write under [key],
+    negative otherwise.  The allocation-free form of {!domain_of} for
+    the per-object test on the section-entry hot path, where only the
+    Read-write case carries information. *)
+
 val set : t -> obj_id:int -> domain -> unit
 val forget : t -> obj_id:int -> unit
 

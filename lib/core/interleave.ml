@@ -69,13 +69,18 @@ let participants t ~obj_id =
 let finish t ~obj_id = Hashtbl.remove t.entries obj_id
 
 let finish_thread t ~tid =
-  let affected =
-    Hashtbl.fold
-      (fun obj_id entry acc -> if List.mem_assoc tid entry.offsets then obj_id :: acc else acc)
-      t.entries []
-  in
-  List.iter (fun obj_id -> finish t ~obj_id) affected;
-  affected
+  (* Runs on every section exit; with no interleaving in progress
+     (the steady state) return without building the fold closure. *)
+  if Hashtbl.length t.entries = 0 then []
+  else begin
+    let affected =
+      Hashtbl.fold
+        (fun obj_id entry acc -> if List.mem_assoc tid entry.offsets then obj_id :: acc else acc)
+        t.entries []
+    in
+    List.iter (fun obj_id -> finish t ~obj_id) affected;
+    affected
+  end
 
 let started_count t = t.started
 let pruned_count t = t.pruned

@@ -1,5 +1,6 @@
 module Pkey = Kard_mpk.Pkey
 module Perm = Kard_mpk.Perm
+module Dense = Kard_sched.Dense
 
 type holder = {
   tid : int;
@@ -8,57 +9,175 @@ type holder = {
   lock : int;
 }
 
+(* Keys are the 16 architectural pkeys and threads/sections are small
+   dense ids, so every map here is flat storage: acquire and release
+   run on every section entry/exit and must neither hash nor
+   allocate.  Holders of one key live in parallel arrays ([slots]);
+   the [holder] records of the public API are materialized on demand
+   by the cold callers (race logging, key assignment).
+
+   Slot order encodes the history the cons-list predecessor exposed:
+   slot [n-1] is the most recent holding (list head), a new holding
+   appends, and an upgrade moves the holding to the top.  Release
+   stamps go to per-key (and per-key-per-releaser) flat arrays, time
+   [-1] meaning "never". *)
+type slots = {
+  mutable tids : int array;
+  mutable perms : Perm.t array;
+  mutable sections : int array;
+  mutable locks : int array;
+  mutable n : int;
+}
+
+type release_row = {
+  mutable r_time : int array; (* index = releaser tid; -1 = none *)
+  mutable r_perm : Perm.t array;
+  mutable r_section : int array;
+  mutable r_lock : int array;
+}
+
 type t = {
-  holding : (int, holder list) Hashtbl.t;            (* key -> holders *)
-  last_release : (int, int * holder) Hashtbl.t;      (* key -> time, who *)
-  last_release_by : (int * int, int * holder) Hashtbl.t; (* key, tid -> time, who *)
-  section_refs : (int, int) Hashtbl.t;               (* section -> live holdings *)
+  slots : slots array; (* index = key *)
+  lr_time : int array; (* key -> last release time, -1 = none *)
+  lr_tid : int array;
+  lr_perm : Perm.t array;
+  lr_section : int array;
+  lr_lock : int array;
+  by_releaser : release_row array; (* index = key *)
+  mutable section_refs : int array; (* section -> live holdings *)
+  mutable max_section : int; (* highest section index ever referenced *)
 }
 
 let create () =
-  { holding = Hashtbl.create 16;
-    last_release = Hashtbl.create 16;
-    last_release_by = Hashtbl.create 32;
-    section_refs = Hashtbl.create 64 }
+  { slots =
+      Array.init Pkey.count (fun _ ->
+          { tids = [||]; perms = [||]; sections = [||]; locks = [||]; n = 0 });
+    lr_time = Array.make Pkey.count (-1);
+    lr_tid = Array.make Pkey.count 0;
+    lr_perm = Array.make Pkey.count Perm.No_access;
+    lr_section = Array.make Pkey.count 0;
+    lr_lock = Array.make Pkey.count 0;
+    by_releaser =
+      Array.init Pkey.count (fun _ ->
+          { r_time = [||]; r_perm = [||]; r_section = [||]; r_lock = [||] });
+    section_refs = Array.make 64 0;
+    max_section = -1 }
 
-let holders t key = Option.value ~default:[] (Hashtbl.find_opt t.holding (Pkey.to_int key))
+let slot_holder s i =
+  { tid = s.tids.(i); perm = s.perms.(i); section = s.sections.(i); lock = s.locks.(i) }
 
-let other_holders t key ~tid = List.filter (fun h -> h.tid <> tid) (holders t key)
+(* Newest holding first, as the cons-list predecessor returned. *)
+let holders t key =
+  let s = t.slots.(Pkey.to_int key) in
+  let rec go i acc = if i >= s.n then acc else go (i + 1) (slot_holder s i :: acc) in
+  go 0 []
+
+let other_holders t key ~tid =
+  let s = t.slots.(Pkey.to_int key) in
+  let rec go i acc =
+    if i >= s.n then acc
+    else go (i + 1) (if s.tids.(i) <> tid then slot_holder s i :: acc else acc)
+  in
+  go 0 []
 
 let write_holder t key =
-  List.find_opt (fun h -> Perm.equal h.perm Perm.Read_write) (holders t key)
+  let s = t.slots.(Pkey.to_int key) in
+  let rec scan i =
+    if i < 0 then None
+    else if Perm.equal s.perms.(i) Perm.Read_write then Some (slot_holder s i)
+    else scan (i - 1)
+  in
+  scan (s.n - 1)
+
+let slot_of s ~tid =
+  let rec scan i = if i >= s.n then -1 else if s.tids.(i) = tid then i else scan (i + 1) in
+  scan 0
 
 let held_by t ~tid =
-  Hashtbl.fold
-    (fun k hs acc ->
-      match List.find_opt (fun h -> h.tid = tid) hs with
-      | Some h -> (Pkey.of_int k, h.perm) :: acc
-      | None -> acc)
-    t.holding []
+  (* Ascending key order (canonical): the head of the result is the
+     lowest-numbered key the thread holds. *)
+  let rec scan k acc =
+    if k < 0 then acc
+    else
+      let s = t.slots.(k) in
+      let i = slot_of s ~tid in
+      let acc = if i >= 0 then (Pkey.of_int k, s.perms.(i)) :: acc else acc in
+      scan (k - 1) acc
+  in
+  scan (Pkey.count - 1) []
 
 let can_acquire t key ~tid perm =
-  let others = other_holders t key ~tid in
+  let s = t.slots.(Pkey.to_int key) in
   match perm with
-  | Perm.Read_write -> others = []
-  | Perm.Read_only -> not (List.exists (fun h -> Perm.equal h.perm Perm.Read_write) others)
+  | Perm.Read_write ->
+    let rec only_self i = i >= s.n || (s.tids.(i) = tid && only_self (i + 1)) in
+    only_self 0
+  | Perm.Read_only ->
+    let rec no_other_writer i =
+      i >= s.n
+      || ((s.tids.(i) = tid || not (Perm.equal s.perms.(i) Perm.Read_write))
+         && no_other_writer (i + 1))
+    in
+    no_other_writer 0
   | Perm.No_access -> false
 
 let section_ref t section delta =
-  let count = Option.value ~default:0 (Hashtbl.find_opt t.section_refs section) + delta in
-  if count <= 0 then Hashtbl.remove t.section_refs section
-  else Hashtbl.replace t.section_refs section count
+  if section < 0 then invalid_arg "Key_section_map: negative section id";
+  if section >= Array.length t.section_refs then begin
+    let bigger = Array.make (Dense.grow_pow2 (Array.length t.section_refs) section) 0 in
+    Array.blit t.section_refs 0 bigger 0 (Array.length t.section_refs);
+    t.section_refs <- bigger
+  end;
+  if section > t.max_section then t.max_section <- section;
+  t.section_refs.(section) <- max 0 (t.section_refs.(section) + delta)
+
+let grow_slots s =
+  let cap = max 4 (2 * s.n) in
+  let bigger_int arr =
+    let r = Array.make cap 0 in
+    Array.blit arr 0 r 0 s.n;
+    r
+  in
+  let perms = Array.make cap Perm.No_access in
+  Array.blit s.perms 0 perms 0 s.n;
+  s.tids <- bigger_int s.tids;
+  s.perms <- perms;
+  s.sections <- bigger_int s.sections;
+  s.locks <- bigger_int s.locks
+
+(* Remove slot [i], keeping the order of the others. *)
+let remove_slot s i =
+  for j = i to s.n - 2 do
+    s.tids.(j) <- s.tids.(j + 1);
+    s.perms.(j) <- s.perms.(j + 1);
+    s.sections.(j) <- s.sections.(j + 1);
+    s.locks.(j) <- s.locks.(j + 1)
+  done;
+  s.n <- s.n - 1
+
+let push_slot s ~tid perm ~section ~lock =
+  if s.n = Array.length s.tids then grow_slots s;
+  let i = s.n in
+  s.tids.(i) <- tid;
+  s.perms.(i) <- perm;
+  s.sections.(i) <- section;
+  s.locks.(i) <- lock;
+  s.n <- i + 1
 
 let add_holding t key holder =
-  let k = Pkey.to_int key in
-  let existing = holders t key in
-  match List.find_opt (fun h -> h.tid = holder.tid) existing with
-  | Some old ->
-    (* Upgrade (or idempotent re-acquire): replace the holding. *)
-    let rest = List.filter (fun h -> h.tid <> holder.tid) existing in
-    Hashtbl.replace t.holding k ({ holder with perm = Perm.join old.perm holder.perm } :: rest)
-  | None ->
-    Hashtbl.replace t.holding k (holder :: existing);
+  let s = t.slots.(Pkey.to_int key) in
+  let i = slot_of s ~tid:holder.tid in
+  if i >= 0 then begin
+    (* Upgrade (or idempotent re-acquire): the holding moves to the
+       top with the joined permission and the new section/lock. *)
+    let joined = Perm.join s.perms.(i) holder.perm in
+    remove_slot s i;
+    push_slot s ~tid:holder.tid joined ~section:holder.section ~lock:holder.lock
+  end
+  else begin
+    push_slot s ~tid:holder.tid holder.perm ~section:holder.section ~lock:holder.lock;
     section_ref t holder.section 1
+  end
 
 let acquire t key holder =
   if not (can_acquire t key ~tid:holder.tid holder.perm) then
@@ -69,37 +188,85 @@ let acquire t key holder =
 
 let force_acquire t key holder = add_holding t key holder
 
+let note_release_by t k ~tid ~time ~perm ~section ~lock =
+  let row = t.by_releaser.(k) in
+  if tid >= Array.length row.r_time then begin
+    let cap = Dense.grow_pow2 (Array.length row.r_time) tid in
+    let grown_int init arr =
+      let r = Array.make cap init in
+      Array.blit arr 0 r 0 (Array.length arr);
+      r
+    in
+    let perms = Array.make cap Perm.No_access in
+    Array.blit row.r_perm 0 perms 0 (Array.length row.r_perm);
+    row.r_time <- grown_int (-1) row.r_time;
+    row.r_perm <- perms;
+    row.r_section <- grown_int 0 row.r_section;
+    row.r_lock <- grown_int 0 row.r_lock
+  end;
+  row.r_time.(tid) <- time;
+  row.r_perm.(tid) <- perm;
+  row.r_section.(tid) <- section;
+  row.r_lock.(tid) <- lock
+
 let release t key ~tid ~time =
   let k = Pkey.to_int key in
-  let existing = holders t key in
-  match List.find_opt (fun h -> h.tid = tid) existing with
-  | None -> ()
-  | Some holder ->
-    let rest = List.filter (fun h -> h.tid <> tid) existing in
-    if rest = [] then Hashtbl.remove t.holding k else Hashtbl.replace t.holding k rest;
-    Hashtbl.replace t.last_release k (time, holder);
-    Hashtbl.replace t.last_release_by (k, tid) (time, holder);
-    section_ref t holder.section (-1)
+  let s = t.slots.(k) in
+  let i = slot_of s ~tid in
+  if i >= 0 then begin
+    let perm = s.perms.(i) and section = s.sections.(i) and lock = s.locks.(i) in
+    remove_slot s i;
+    t.lr_time.(k) <- time;
+    t.lr_tid.(k) <- tid;
+    t.lr_perm.(k) <- perm;
+    t.lr_section.(k) <- section;
+    t.lr_lock.(k) <- lock;
+    note_release_by t k ~tid ~time ~perm ~section ~lock;
+    section_ref t section (-1)
+  end
 
-let last_release t key = Hashtbl.find_opt t.last_release (Pkey.to_int key)
+let last_release t key =
+  let k = Pkey.to_int key in
+  if t.lr_time.(k) < 0 then None
+  else
+    Some
+      ( t.lr_time.(k),
+        { tid = t.lr_tid.(k);
+          perm = t.lr_perm.(k);
+          section = t.lr_section.(k);
+          lock = t.lr_lock.(k) } )
 
 let last_release_by_other t key ~tid =
-  Hashtbl.fold
-    (fun (k, releaser) (time, holder) best ->
-      if k <> Pkey.to_int key || releaser = tid then best
-      else
-        match best with
-        | Some (best_time, _) when best_time >= time -> best
-        | Some _ | None -> Some (time, holder))
-    t.last_release_by None
+  (* Most recent release of [key] by any other thread; on equal stamps
+     the lowest releasing tid wins (canonical). *)
+  let row = t.by_releaser.(Pkey.to_int key) in
+  let best = ref (-1) in
+  let best_time = ref min_int in
+  for releaser = 0 to Array.length row.r_time - 1 do
+    if releaser <> tid && row.r_time.(releaser) >= 0 && row.r_time.(releaser) > !best_time then begin
+      best := releaser;
+      best_time := row.r_time.(releaser)
+    end
+  done;
+  if !best < 0 then None
+  else
+    let r = !best in
+    Some
+      ( row.r_time.(r),
+        { tid = r; perm = row.r_perm.(r); section = row.r_section.(r); lock = row.r_lock.(r) } )
 
 let recently_released t key ~now ~window =
-  match last_release t key with
-  | Some (time, _) -> now - time <= window
-  | None -> false
+  let time = t.lr_time.(Pkey.to_int key) in
+  time >= 0 && now - time <= window
 
-let unheld_keys t ~among = List.filter (fun key -> holders t key = []) among
+let unheld_keys t ~among = List.filter (fun key -> t.slots.(Pkey.to_int key).n = 0) among
 
-let active_sections t = Hashtbl.fold (fun section _ acc -> section :: acc) t.section_refs []
+let active_sections t =
+  let acc = ref [] in
+  for section = t.max_section downto 0 do
+    if t.section_refs.(section) > 0 then acc := section :: !acc
+  done;
+  !acc
 
-let is_section_active t ~section = Hashtbl.mem t.section_refs section
+let is_section_active t ~section =
+  section >= 0 && section < Array.length t.section_refs && t.section_refs.(section) > 0

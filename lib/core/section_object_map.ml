@@ -5,9 +5,35 @@ type need =
 type t = {
   by_section : (int, (int, need) Hashtbl.t) Hashtbl.t;
   by_object : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+  (* [objects_of] is called on every section entry (the proactive
+     acquisition walk) but the map only changes on identification
+     faults, so the folded entry list is memoized per section and
+     invalidated on [record]/[forget_object].  Section ids are small
+     dense ints, so the memo is an id-indexed array ([None] = stale)
+     and the hit path is one bounds-checked load.  The cached list is
+     exactly the fold of the bucket at fill time, so hits and misses
+     are indistinguishable to callers. *)
+  mutable cache : (int * need) list option array; (* index = section *)
 }
 
-let create () = { by_section = Hashtbl.create 64; by_object = Hashtbl.create 256 }
+let create () =
+  { by_section = Hashtbl.create 64;
+    by_object = Hashtbl.create 256;
+    cache = Array.make 64 None }
+
+let invalidate t section =
+  if section >= 0 && section < Array.length t.cache then t.cache.(section) <- None
+
+let ensure_cache t section =
+  if section >= Array.length t.cache then begin
+    let n = ref (Array.length t.cache) in
+    while section >= !n do
+      n := 2 * !n
+    done;
+    let bigger = Array.make !n None in
+    Array.blit t.cache 0 bigger 0 (Array.length t.cache);
+    t.cache <- bigger
+  end
 
 let bucket table key ~size =
   match Hashtbl.find_opt table key with
@@ -22,12 +48,25 @@ let record t ~section ~obj_id need =
   (match Hashtbl.find_opt objs obj_id, need with
   | Some Needs_write, Needs_read -> () (* write need is sticky *)
   | (Some (Needs_read | Needs_write) | None), _ -> Hashtbl.replace objs obj_id need);
+  invalidate t section;
   Hashtbl.replace (bucket t.by_object obj_id ~size:8) section ()
 
-let objects_of t ~section =
+let fold_section t section =
   match Hashtbl.find_opt t.by_section section with
   | Some objs -> Hashtbl.fold (fun obj_id need acc -> (obj_id, need) :: acc) objs []
   | None -> []
+
+let objects_of t ~section =
+  if section < 0 then fold_section t section
+  else begin
+    ensure_cache t section;
+    match t.cache.(section) with
+    | Some entries -> entries
+    | None ->
+      let entries = fold_section t section in
+      t.cache.(section) <- Some entries;
+      entries
+  end
 
 let need_of t ~section ~obj_id =
   match Hashtbl.find_opt t.by_section section with
@@ -49,6 +88,7 @@ let forget_object t ~obj_id =
   | Some sections ->
     Hashtbl.iter
       (fun section () ->
+        invalidate t section;
         match Hashtbl.find_opt t.by_section section with
         | Some objs -> Hashtbl.remove objs obj_id
         | None -> ())

@@ -530,6 +530,9 @@ type tp_row = {
   tp_sim_cycles : int;
   tp_host_seconds : float;
   tp_ops_per_sec : float;
+  tp_minor_words : float;
+  tp_promoted_words : float;
+  tp_minor_words_per_step : float;
 }
 
 let tp_detectors = [ Runner.Baseline; Runner.Kard Kard_core.Config.default ]
@@ -547,29 +550,39 @@ let throughput ?(spec = Registry.find "memcached")
     (fun threads ->
       List.map
         (fun detector ->
+          let g0 = Gc.quick_stat () in
           let t0 = Unix.gettimeofday () in
           let r = Runner.run ~threads ~scale ~seed ~detector spec in
           let elapsed = Unix.gettimeofday () -. t0 in
+          let g1 = Gc.quick_stat () in
           let steps = r.Runner.report.Machine.steps in
+          let minor_words = g1.Gc.minor_words -. g0.Gc.minor_words in
           { tp_threads = threads;
             tp_detector = r.Runner.detector_name;
             tp_steps = steps;
             tp_sim_cycles = r.Runner.report.Machine.cycles;
             tp_host_seconds = elapsed;
             tp_ops_per_sec =
-              (if elapsed > 0. then float_of_int steps /. elapsed else 0.) })
+              (if elapsed > 0. then float_of_int steps /. elapsed else 0.);
+            tp_minor_words = minor_words;
+            tp_promoted_words = g1.Gc.promoted_words -. g0.Gc.promoted_words;
+            tp_minor_words_per_step =
+              (if steps > 0 then minor_words /. float_of_int steps else 0.) })
         tp_detectors)
     threads_list
 
 let print_throughput rows =
-  let header = [ "threads"; "detector"; "steps"; "sim cycles"; "host s"; "ops/s" ] in
+  let header =
+    [ "threads"; "detector"; "steps"; "sim cycles"; "host s"; "ops/s"; "minor w/step" ]
+  in
   let cells row =
     [ string_of_int row.tp_threads;
       row.tp_detector;
       Text_table.fmt_int row.tp_steps;
       Text_table.fmt_int row.tp_sim_cycles;
       Printf.sprintf "%.3f" row.tp_host_seconds;
-      Text_table.fmt_int (int_of_float row.tp_ops_per_sec) ]
+      Text_table.fmt_int (int_of_float row.tp_ops_per_sec);
+      Printf.sprintf "%.2f" row.tp_minor_words_per_step ]
   in
   print_string (Text_table.render ~header (List.map cells rows))
 
@@ -584,6 +597,9 @@ type parallel_bench = {
   pb_speedup : float;
   pb_sim_cycles : int;
   pb_identical : bool;
+  pb_minor_words : float;
+  pb_promoted_words : float;
+  pb_minor_words_per_step : float;
 }
 
 let parallel_bench ?jobs ?(scale = Defaults.scale) () =
@@ -596,11 +612,18 @@ let parallel_bench ?jobs ?(scale = Defaults.scale) () =
     let r = f () in
     (r, Unix.gettimeofday () -. t0)
   in
+  (* GC counters are taken around the serial pass only: quick_stat is
+     per-domain, so the parallel pass would under-count worker
+     allocation. *)
+  let g0 = Gc.quick_stat () in
   let serial, serial_s = time (fun () -> Pool.run_jobs ~jobs:1 js) in
+  let g1 = Gc.quick_stat () in
   let par, par_s = time (fun () -> Pool.run_jobs ~jobs js) in
   let sim_cycles =
     List.fold_left (fun acc r -> acc + r.Runner.report.Machine.cycles) 0 serial
   in
+  let steps = List.fold_left (fun acc r -> acc + r.Runner.report.Machine.steps) 0 serial in
+  let minor_words = g1.Gc.minor_words -. g0.Gc.minor_words in
   (* Untraced results are closure-free, so structural equality is the
      full determinism check: every counter, race record and baseline
      warning must match between the serial and parallel pass. *)
@@ -611,15 +634,19 @@ let parallel_bench ?jobs ?(scale = Defaults.scale) () =
     pb_parallel_seconds = par_s;
     pb_speedup = (if par_s > 0. then serial_s /. par_s else 0.);
     pb_sim_cycles = sim_cycles;
-    pb_identical = (serial = par) }
+    pb_identical = (serial = par);
+    pb_minor_words = minor_words;
+    pb_promoted_words = g1.Gc.promoted_words -. g0.Gc.promoted_words;
+    pb_minor_words_per_step =
+      (if steps > 0 then minor_words /. float_of_int steps else 0.) }
 
 let print_parallel_bench b =
   Printf.printf
     "%d jobs on %d workers (%d host cores): serial %.3f s, parallel %.3f s -> %.2fx; results \
-     identical: %s; total simulated cycles %s\n"
+     identical: %s; total simulated cycles %s; serial minor words/step %.2f\n"
     b.pb_job_count b.pb_jobs b.pb_host_cores b.pb_serial_seconds b.pb_parallel_seconds b.pb_speedup
     (if b.pb_identical then "yes" else "NO")
-    (Text_table.fmt_int b.pb_sim_cycles)
+    (Text_table.fmt_int b.pb_sim_cycles) b.pb_minor_words_per_step
 
 (* {1 MPK micro} *)
 

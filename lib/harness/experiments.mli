@@ -169,7 +169,7 @@ val ablation : ?jobs:int -> ?scale:float -> unit -> ablation_row list
 
 val print_ablation : ablation_row list -> unit
 
-(** {1 Simulator throughput (tracked in BENCH_pr2.json)} *)
+(** {1 Simulator throughput (tracked in BENCH_pr4.json)} *)
 
 type tp_row = {
   tp_threads : int;
@@ -178,6 +178,11 @@ type tp_row = {
   tp_sim_cycles : int;     (** Simulated cycles (schedule-determined). *)
   tp_host_seconds : float; (** Wall-clock time of the host process. *)
   tp_ops_per_sec : float;  (** [tp_steps / tp_host_seconds]. *)
+  tp_minor_words : float;    (** [Gc.quick_stat] minor_words delta of the run. *)
+  tp_promoted_words : float; (** promoted_words delta of the run. *)
+  tp_minor_words_per_step : float;
+      (** [tp_minor_words / tp_steps]: the allocation-rate tracker
+          behind the per-step allocation contract (DESIGN.md §8). *)
 }
 
 val throughput :
@@ -209,6 +214,11 @@ type parallel_bench = {
   pb_speedup : float;         (** serial / parallel. *)
   pb_sim_cycles : int;        (** Summed simulated cycles (must not move). *)
   pb_identical : bool;        (** Structural equality of both result lists. *)
+  pb_minor_words : float;     (** minor_words delta of the serial pass. *)
+  pb_promoted_words : float;  (** promoted_words delta of the serial pass. *)
+  pb_minor_words_per_step : float;
+      (** Serial-pass minor words per simulated step (per-domain GC
+          counters make the parallel pass unmeasurable from here). *)
 }
 
 val parallel_bench : ?jobs:int -> ?scale:float -> unit -> parallel_bench

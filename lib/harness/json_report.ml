@@ -120,22 +120,43 @@ let of_result (r : Runner.result) =
       [ field "trace" (of_trace tr); field "metrics" (of_metrics (Kard_obs.Trace.metrics tr)) ]
     | None -> [])
 
-let of_throughput ~workload ~scale ~seed rows =
-  let of_row (row : Experiments.tp_row) =
-    obj
-      [ field "threads" (int_ row.Experiments.tp_threads);
-        field "detector" (str row.Experiments.tp_detector);
-        field "steps" (int_ row.Experiments.tp_steps);
-        field "sim_cycles" (int_ row.Experiments.tp_sim_cycles);
-        field "host_seconds" (float_ row.Experiments.tp_host_seconds);
-        field "ops_per_sec" (float_ row.Experiments.tp_ops_per_sec) ]
-  in
+let of_tp_row (row : Experiments.tp_row) =
   obj
-    [ field "benchmark" (str "throughput");
-      field "workload" (str workload);
-      field "scale" (float_ scale);
-      field "seed" (int_ seed);
-      field "rows" (arr (List.map of_row rows)) ]
+    [ field "threads" (int_ row.Experiments.tp_threads);
+      field "detector" (str row.Experiments.tp_detector);
+      field "steps" (int_ row.Experiments.tp_steps);
+      field "sim_cycles" (int_ row.Experiments.tp_sim_cycles);
+      field "host_seconds" (float_ row.Experiments.tp_host_seconds);
+      field "ops_per_sec" (float_ row.Experiments.tp_ops_per_sec);
+      field "minor_words" (float_ row.Experiments.tp_minor_words);
+      field "promoted_words" (float_ row.Experiments.tp_promoted_words);
+      field "minor_words_per_step" (float_ row.Experiments.tp_minor_words_per_step) ]
+
+let of_throughput ?pre ~build ~workload ~scale ~seed rows =
+  obj
+    ([ field "benchmark" (str "throughput");
+       field "workload" (str workload);
+       field "scale" (float_ scale);
+       field "seed" (int_ seed);
+       field "build" (str build);
+       field "rows" (arr (List.map of_tp_row rows)) ]
+    @
+    match pre with
+    | None -> []
+    | Some (commit, pre_build, pre_rows) ->
+      (* The pre-PR reference measurement: same harness, same host,
+         taken at [commit] immediately before the optimisation being
+         tracked, so speedup and allocation-rate claims are
+         self-contained in the file.  Each section carries its own
+         build label because the two measurements need not share a
+         dune profile (wall-clock comparisons across sections must
+         account for that; steps/sim_cycles are build-independent). *)
+      [ field "pre_pr"
+          (obj
+             [ field "commit" (str commit);
+               field "build" (str pre_build);
+               field "rows" (arr (List.map of_tp_row pre_rows)) ])
+      ])
 
 let of_parallel_bench ~scale (b : Experiments.parallel_bench) =
   obj
@@ -148,7 +169,10 @@ let of_parallel_bench ~scale (b : Experiments.parallel_bench) =
       field "parallel_seconds" (float_ b.Experiments.pb_parallel_seconds);
       field "speedup" (float_ b.Experiments.pb_speedup);
       field "sim_cycles" (int_ b.Experiments.pb_sim_cycles);
-      field "identical" (bool_ b.Experiments.pb_identical) ]
+      field "identical" (bool_ b.Experiments.pb_identical);
+      field "minor_words" (float_ b.Experiments.pb_minor_words);
+      field "promoted_words" (float_ b.Experiments.pb_promoted_words);
+      field "minor_words_per_step" (float_ b.Experiments.pb_minor_words_per_step) ]
 
 let pretty json =
   let buf = Buffer.create (String.length json * 2) in

@@ -20,9 +20,20 @@ val of_result : Runner.result -> string
     trace summary and metrics registry. *)
 
 val of_throughput :
-  workload:string -> scale:float -> seed:int -> Experiments.tp_row list -> string
-(** The tracked throughput benchmark (see BENCH_pr2.json): one object
-    per (threads, detector) cell of {!Experiments.throughput}. *)
+  ?pre:string * string * Experiments.tp_row list ->
+  build:string ->
+  workload:string ->
+  scale:float ->
+  seed:int ->
+  Experiments.tp_row list ->
+  string
+(** The tracked throughput benchmark (see BENCH_pr4.json): one object
+    per (threads, detector) cell of {!Experiments.throughput}, each
+    row carrying the GC counters behind the per-step allocation
+    contract.  [build] labels the dune profile the rows were measured
+    under ("dev" or "release").  [?pre] embeds a
+    [(commit, build, rows)] pre-optimisation reference measurement as
+    a ["pre_pr"] section. *)
 
 val of_parallel_bench : scale:float -> Experiments.parallel_bench -> string
 (** The tracked parallel-executor benchmark (see BENCH_pr3.json):

@@ -30,15 +30,19 @@ val detector_name : detector -> string
 
 val run :
   ?trace:Kard_obs.Trace.t ->
+  ?interp:Kard_sched.Machine.interp ->
   ?threads:int -> ?scale:float -> ?seed:int -> detector:detector -> Spec_alias.t -> result
 (** Defaults: the spec's default thread count, {!Defaults.scale},
     {!Defaults.seed}.
     [trace] turns on observability for the run (see
     {!Kard_sched.Machine.create}); the filled sink comes back in
-    [result.trace]. *)
+    [result.trace].  [interp] selects the machine's interpreter
+    ([`Compiled] by default); [`Thunks] runs the oracle interpreter,
+    which must produce an identical result. *)
 
 val run_scenario :
   ?trace:Kard_obs.Trace.t ->
+  ?interp:Kard_sched.Machine.interp ->
   ?seed:int -> ?override_config:Kard_core.Config.t -> detector:detector ->
   Kard_workloads.Race_suite.t -> result
 (** Run a controlled race scenario (always at its own thread count and

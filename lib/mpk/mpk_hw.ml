@@ -10,11 +10,15 @@ type stats = {
   dtlb_misses : int;
 }
 
+(* Thread ids are small dense ints assigned by the machine, so cores
+   live in a tid-indexed array (grown by doubling); [try_access] runs
+   once per simulated data access and must not hash or allocate. *)
 type t = {
   cost : Cost_model.t;
   trace : Kard_obs.Trace.sink;
   page_table : Page_table.t;
-  cores : (int, core) Hashtbl.t;
+  mutable cores : core option array; (* index = tid *)
+  mutable last_fault : Fault.t; (* details of the latest [try_access] fault *)
   mutable wrpkru_calls : int;
   mutable rdpkru_calls : int;
   mutable pkey_mprotect_calls : int;
@@ -22,11 +26,15 @@ type t = {
   mutable faults : int;
 }
 
+let no_fault =
+  Fault.make ~addr:0 ~pkey:Pkey.k_def ~access:`Read ~thread:(-1) ~ip:0 ~time:0
+
 let create ?(cost = Cost_model.default) ?trace () =
   { cost;
     trace;
     page_table = Page_table.create ();
-    cores = Hashtbl.create 64;
+    cores = Array.make 64 None;
+    last_fault = no_fault;
     wrpkru_calls = 0;
     rdpkru_calls = 0;
     pkey_mprotect_calls = 0;
@@ -39,12 +47,25 @@ let page_table t = t.page_table
 let wrpkru_count t = t.wrpkru_calls
 
 let register_thread t tid =
-  Hashtbl.replace t.cores tid { pkru = Pkru.all_access; tlb = Tlb.create () }
+  if tid < 0 then invalid_arg (Printf.sprintf "Mpk_hw: negative thread id %d" tid);
+  if tid >= Array.length t.cores then begin
+    let cap = ref (Array.length t.cores) in
+    while tid >= !cap do
+      cap := 2 * !cap
+    done;
+    let bigger = Array.make !cap None in
+    Array.blit t.cores 0 bigger 0 (Array.length t.cores);
+    t.cores <- bigger
+  end;
+  t.cores.(tid) <- Some { pkru = Pkru.all_access; tlb = Tlb.create () }
 
 let core_of t tid =
-  match Hashtbl.find_opt t.cores tid with
-  | Some core -> core
-  | None -> invalid_arg (Printf.sprintf "Mpk_hw: thread %d not registered" tid)
+  if tid < 0 || tid >= Array.length t.cores then
+    invalid_arg (Printf.sprintf "Mpk_hw: thread %d not registered" tid)
+  else
+    match t.cores.(tid) with
+    | Some core -> core
+    | None -> invalid_arg (Printf.sprintf "Mpk_hw: thread %d not registered" tid)
 
 let wrpkru t ~tid pkru =
   let core = core_of t tid in
@@ -83,7 +104,7 @@ let pkey_mprotect t ~base ~len pkey =
     Kard_obs.Trace.observe t.trace "hw.pages_retagged" pages);
   t.cost.Cost_model.pkey_mprotect_base + (pages * t.cost.Cost_model.pkey_mprotect_page)
 
-let check_access t ~tid ~addr ~access ~ip ~time =
+let try_access t ~tid ~addr ~access ~ip ~time =
   let core = core_of t tid in
   let vpage = Page.vpage_of_addr addr in
   (* One lookup resolves translation and protection key together: on
@@ -92,18 +113,14 @@ let check_access t ~tid ~addr ~access ~ip ~time =
      happens (and is counted) even when the access then faults — the
      MMU translates first and only then applies the key check, so
      fault-heavy runs see their true dTLB traffic. *)
-  let pkey, hit_or_miss =
-    Tlb.access_translate core.tlb vpage ~gen:(Page_table.generation t.page_table)
-      ~load:(fun () -> Page_table.pkey_of_vpage t.page_table vpage)
+  let pkey =
+    Tlb.translate core.tlb vpage ~gen:(Page_table.generation t.page_table)
+      ~pt:t.page_table
   in
-  if Pkru.grants core.pkru pkey access then begin
-    let tlb_penalty =
-      match hit_or_miss with
-      | `Hit -> 0
-      | `Miss -> t.cost.Cost_model.dtlb_miss
-    in
-    Ok (t.cost.Cost_model.mem_access + tlb_penalty)
-  end
+  if Pkru.grants core.pkru pkey access then
+    if Tlb.last_missed core.tlb then
+      t.cost.Cost_model.mem_access + t.cost.Cost_model.dtlb_miss
+    else t.cost.Cost_model.mem_access
   else begin
     t.faults <- t.faults + 1;
     (match t.trace with
@@ -112,8 +129,15 @@ let check_access t ~tid ~addr ~access ~ip ~time =
       Kard_obs.Trace.emit tr ~tid
         (Kard_obs.Event.Fault_raised { addr; pkey = Pkey.to_int pkey; access });
       Kard_obs.Trace.incr t.trace "hw.faults");
-    Error (Fault.make ~addr ~pkey ~access ~thread:tid ~ip ~time)
+    t.last_fault <- Fault.make ~addr ~pkey ~access ~thread:tid ~ip ~time;
+    -1
   end
+
+let last_fault t = t.last_fault
+
+let check_access t ~tid ~addr ~access ~ip ~time =
+  let cycles = try_access t ~tid ~addr ~access ~ip ~time in
+  if cycles >= 0 then Ok cycles else Error t.last_fault
 
 let note_tlb_hits t ~tid n = Tlb.note_hits (core_of t tid).tlb n
 
@@ -123,10 +147,12 @@ let note_tlb_misses t ~tid n =
 
 let stats t =
   let dtlb_accesses = ref 0 and dtlb_misses = ref 0 in
-  Hashtbl.iter
-    (fun _ core ->
-      dtlb_accesses := !dtlb_accesses + Tlb.accesses core.tlb;
-      dtlb_misses := !dtlb_misses + Tlb.misses core.tlb)
+  Array.iter
+    (function
+      | None -> ()
+      | Some core ->
+        dtlb_accesses := !dtlb_accesses + Tlb.accesses core.tlb;
+        dtlb_misses := !dtlb_misses + Tlb.misses core.tlb)
     t.cores;
   { wrpkru_calls = t.wrpkru_calls;
     rdpkru_calls = t.rdpkru_calls;
@@ -136,10 +162,15 @@ let stats t =
     dtlb_accesses = !dtlb_accesses;
     dtlb_misses = !dtlb_misses }
 
+(* The one guarded miss-rate division, shared by {!dtlb_miss_rate} and
+   the machine's per-run report so an empty run can never divide by
+   zero in either place. *)
+let miss_rate ~misses ~accesses =
+  if accesses = 0 then 0. else float_of_int misses /. float_of_int accesses
+
 let dtlb_miss_rate t =
   let s = stats t in
-  if s.dtlb_accesses = 0 then 0.
-  else float_of_int s.dtlb_misses /. float_of_int s.dtlb_accesses
+  miss_rate ~misses:s.dtlb_misses ~accesses:s.dtlb_accesses
 
 let reset_stats t =
   t.wrpkru_calls <- 0;
@@ -147,4 +178,4 @@ let reset_stats t =
   t.pkey_mprotect_calls <- 0;
   t.pages_retagged <- 0;
   t.faults <- 0;
-  Hashtbl.iter (fun _ core -> Tlb.reset_stats core.tlb) t.cores
+  Array.iter (function None -> () | Some core -> Tlb.reset_stats core.tlb) t.cores

@@ -58,6 +58,17 @@ val pkey_mprotect : t -> base:Page.addr -> len:int -> Pkey.t -> int
 
 (** {1 Access checking} *)
 
+val try_access :
+  t -> tid:int -> addr:Page.addr -> access:Fault.access -> ip:int -> time:int ->
+  int
+(** The machine's per-access hot call.  [>= 0]: access granted, the
+    cycles consumed.  [-1]: the access faulted and {!last_fault} holds
+    the details.  Same semantics as {!check_access} without a [result]
+    allocation per access. *)
+
+val last_fault : t -> Fault.t
+(** The fault behind the latest [-1] from {!try_access}. *)
+
 val check_access :
   t -> tid:int -> addr:Page.addr -> access:Fault.access -> ip:int -> time:int ->
   (int, Fault.t) result
@@ -81,6 +92,11 @@ val stats : t -> stats
 val wrpkru_count : t -> int
 (** Running WRPKRU total, without building a {!stats} record — cheap
     enough to snapshot at every section entry. *)
+
+val miss_rate : misses:int -> accesses:int -> float
+(** [misses / accesses], 0 when [accesses] is 0 — the single guarded
+    division behind {!dtlb_miss_rate} and the machine report's
+    per-run rate. *)
 
 val dtlb_miss_rate : t -> float
 val reset_stats : t -> unit

@@ -12,6 +12,7 @@ type t = {
   mutable tick : int;
   mutable accesses : int;
   mutable misses : int;
+  mutable last_miss : bool; (* whether the latest [translate] missed *)
 }
 
 (* A generation no live page table ever reports, so plain [access]
@@ -27,7 +28,8 @@ let create ?(entries = 64) ?(ways = 4) () =
     set_count;
     tick = 0;
     accesses = 0;
-    misses = 0 }
+    misses = 0;
+    last_miss = false }
 
 let find_entry set vpage =
   let ways = Array.length set in
@@ -49,6 +51,48 @@ let victim_of set =
     else if e.valid = v.valid && e.stamp < v.stamp then victim := e
   done;
   !victim
+
+(* The hot-path variant of [access_translate]: same accounting, same
+   replacement, but no closure, no tuple and no option — page-table
+   walks go through [pt] directly and the hit/miss verdict is left in
+   [last_missed].  Per the allocation contract, every simulated data
+   access runs through here. *)
+let translate t vpage ~gen ~pt =
+  t.tick <- t.tick + 1;
+  t.accesses <- t.accesses + 1;
+  let set = t.sets.(vpage mod t.set_count) in
+  let ways = Array.length set in
+  let found = ref (-1) in
+  let i = ref 0 in
+  while !found < 0 && !i < ways do
+    let e = set.(!i) in
+    if e.valid && e.vpage = vpage then found := !i else incr i
+  done;
+  if !found >= 0 then begin
+    let entry = set.(!found) in
+    entry.stamp <- t.tick;
+    t.last_miss <- false;
+    (* Hit/miss accounting is translation presence only (see
+       [access_translate]): a stale pkey re-walks but still hits. *)
+    if entry.pkey_gen <> gen then begin
+      entry.pkey <- Page_table.pkey_of_vpage pt vpage;
+      entry.pkey_gen <- gen
+    end;
+    entry.pkey
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    t.last_miss <- true;
+    let v = victim_of set in
+    v.vpage <- vpage;
+    v.valid <- true;
+    v.stamp <- t.tick;
+    v.pkey <- Page_table.pkey_of_vpage pt vpage;
+    v.pkey_gen <- gen;
+    v.pkey
+  end
+
+let last_missed t = t.last_miss
 
 let access_translate t vpage ~gen ~load =
   t.tick <- t.tick + 1;

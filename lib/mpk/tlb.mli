@@ -24,6 +24,16 @@ val access_translate :
     the key is re-read), so dTLB statistics are independent of pkey
     churn. *)
 
+val translate : t -> Page.vpage -> gen:int -> pt:Page_table.t -> Pkey.t
+(** {!access_translate} specialised for the machine's per-access hot
+    path: the page-table walk goes through [pt] directly (no [load]
+    closure) and the hit/miss verdict is left in {!last_missed} (no
+    tuple, no polymorphic variant).  Accounting and replacement are
+    identical to {!access_translate}. *)
+
+val last_missed : t -> bool
+(** Whether the most recent {!translate} missed. *)
+
 val access : t -> Page.vpage -> [ `Hit | `Miss ]
 (** Touch a page: records the access and updates recency.  Fills no
     usable pkey cache (a subsequent {!access_translate} re-walks). *)

@@ -1,0 +1,47 @@
+(** Flat int-indexed structures for the allocation-free hot loop.
+
+    Growable-by-doubling arrays replacing the [Hashtbl]s that used to
+    sit on the machine's and detector's per-step paths: membership
+    tests, counts and FIFO queue operations all run without
+    allocating (the per-step allocation contract in DESIGN.md). *)
+
+val grow_pow2 : int -> int -> int
+(** [grow_pow2 have needed] is the smallest power-of-two-ish capacity
+    [> needed], at least doubling [have]; shared sizing policy for the
+    arrays in this module and the tables built on them. *)
+
+(** A growable bitset with an O(1) cardinality, for "seen" sets keyed
+    by small dense ids (call sites, object ids). *)
+module Bitset : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val mem : t -> int -> bool
+
+  val add : t -> int -> unit
+  (** Idempotent. @raise Invalid_argument on a negative index. *)
+
+  val count : t -> int
+  (** Number of distinct members, maintained incrementally. *)
+end
+
+(** A FIFO ring buffer over ints: [Queue]'s push/pop without the
+    per-node allocation, plus O(1) [nth] from the front — the
+    machine's waiter-charging walk needs indexed access so it can
+    iterate without a closure. *)
+module Int_ring : sig
+  type t
+
+  val create : unit -> t
+  val length : t -> int
+  val push : t -> int -> unit
+
+  val pop : t -> int
+  (** @raise Invalid_argument when empty. *)
+
+  val nth : t -> int -> int
+  (** [nth t 0] is the front (next to pop).
+      @raise Invalid_argument out of range. *)
+
+  val iter : (int -> unit) -> t -> unit
+end

@@ -1,11 +1,19 @@
+(* Lock ids are small dense ints chosen by workloads, so lock state
+   lives in an id-indexed array (grown by doubling) and waiter queues
+   are int rings — every operation here sits on the machine's
+   lock/unlock path and none of it may hash or allocate per call. *)
+
 type lock_state = {
-  mutable owner : int option;
-  waiters : int Queue.t;
+  mutable owner : int; (* -1 = free *)
+  waiters : Dense.Int_ring.t;
 }
 
 type t = {
-  locks : (int, lock_state) Hashtbl.t;
-  held : (int, int list ref) Hashtbl.t; (* tid -> locks owned, most recent first *)
+  mutable locks : lock_state option array; (* index = lock id *)
+  (* Per-tid stack of owned locks, most recent last: slot [tid] of
+     [held] holds [held_n.(tid)] live entries. *)
+  mutable held : int array array;
+  mutable held_n : int array;
   mutable contended : int;
   mutable total : int;
 }
@@ -14,90 +22,142 @@ type acquire_result =
   | Acquired
   | Must_wait
 
-let create () = { locks = Hashtbl.create 64; held = Hashtbl.create 64; contended = 0; total = 0 }
+let create () =
+  { locks = Array.make 64 None;
+    held = Array.make 16 [||];
+    held_n = Array.make 16 0;
+    contended = 0;
+    total = 0 }
 
 let state_of t lock =
-  match Hashtbl.find_opt t.locks lock with
+  if lock < 0 then invalid_arg (Printf.sprintf "Lock_table: negative lock id %d" lock);
+  if lock >= Array.length t.locks then begin
+    let bigger = Array.make (Dense.grow_pow2 (Array.length t.locks) lock) None in
+    Array.blit t.locks 0 bigger 0 (Array.length t.locks);
+    t.locks <- bigger
+  end;
+  match t.locks.(lock) with
   | Some s -> s
   | None ->
-    let s = { owner = None; waiters = Queue.create () } in
-    Hashtbl.replace t.locks lock s;
+    let s = { owner = -1; waiters = Dense.Int_ring.create () } in
+    t.locks.(lock) <- Some s;
     s
 
+let ensure_tid t tid =
+  if tid >= Array.length t.held then begin
+    let cap = Dense.grow_pow2 (Array.length t.held) tid in
+    let held = Array.make cap [||] in
+    Array.blit t.held 0 held 0 (Array.length t.held);
+    t.held <- held;
+    let held_n = Array.make cap 0 in
+    Array.blit t.held_n 0 held_n 0 (Array.length t.held_n);
+    t.held_n <- held_n
+  end
+
 (* The per-tid held index mirrors [owner] exactly; nesting depths are
-   tiny, so the list operations are O(locks held by one thread), not
+   tiny, so the stack operations are O(locks held by one thread), not
    O(all locks) — this is what lets the machine charge lock waiters
    without scanning every thread (and every lock) per charge. *)
 let note_owned t ~lock ~tid =
-  match Hashtbl.find_opt t.held tid with
-  | Some cell -> cell := lock :: !cell
-  | None -> Hashtbl.replace t.held tid (ref [ lock ])
+  ensure_tid t tid;
+  let n = t.held_n.(tid) in
+  if n = Array.length t.held.(tid) then begin
+    let bigger = Array.make (max 4 (2 * n)) 0 in
+    Array.blit t.held.(tid) 0 bigger 0 n;
+    t.held.(tid) <- bigger
+  end;
+  t.held.(tid).(n) <- lock;
+  t.held_n.(tid) <- n + 1
 
 let note_released t ~lock ~tid =
-  match Hashtbl.find_opt t.held tid with
-  | Some cell -> cell := List.filter (fun l -> l <> lock) !cell
-  | None -> ()
+  if tid < Array.length t.held then begin
+    let stk = t.held.(tid) in
+    let n = t.held_n.(tid) in
+    let rec find i = if i >= n then -1 else if stk.(i) = lock then i else find (i + 1) in
+    let i = find 0 in
+    if i >= 0 then begin
+      for j = i to n - 2 do
+        stk.(j) <- stk.(j + 1)
+      done;
+      t.held_n.(tid) <- n - 1
+    end
+  end
 
 let acquire t ~lock ~tid =
   let s = state_of t lock in
   t.total <- t.total + 1;
-  match s.owner with
-  | None ->
-    s.owner <- Some tid;
+  if s.owner = -1 then begin
+    s.owner <- tid;
     note_owned t ~lock ~tid;
     Acquired
-  | Some owner when owner = tid ->
+  end
+  else if s.owner = tid then
     invalid_arg (Printf.sprintf "Lock_table.acquire: thread %d re-locks lock %d" tid lock)
-  | Some _ ->
+  else begin
     t.contended <- t.contended + 1;
-    Queue.push tid s.waiters;
+    Dense.Int_ring.push s.waiters tid;
     Must_wait
+  end
 
 let release t ~lock ~tid =
   let s = state_of t lock in
-  (match s.owner with
-  | Some owner when owner = tid -> ()
-  | Some owner ->
+  if s.owner = tid then ()
+  else if s.owner >= 0 then
     invalid_arg
-      (Printf.sprintf "Lock_table.release: thread %d releases lock %d owned by %d" tid lock owner)
-  | None ->
-    invalid_arg (Printf.sprintf "Lock_table.release: thread %d releases free lock %d" tid lock));
+      (Printf.sprintf "Lock_table.release: thread %d releases lock %d owned by %d" tid lock s.owner)
+  else invalid_arg (Printf.sprintf "Lock_table.release: thread %d releases free lock %d" tid lock);
   note_released t ~lock ~tid;
-  if Queue.is_empty s.waiters then begin
-    s.owner <- None;
+  if Dense.Int_ring.length s.waiters = 0 then begin
+    s.owner <- -1;
     None
   end
   else begin
-    let next = Queue.pop s.waiters in
-    s.owner <- Some next;
+    let next = Dense.Int_ring.pop s.waiters in
+    s.owner <- next;
     note_owned t ~lock ~tid:next;
     Some next
   end
 
 let owner t ~lock =
-  match Hashtbl.find_opt t.locks lock with
-  | Some s -> s.owner
-  | None -> None
+  if lock < 0 || lock >= Array.length t.locks then None
+  else
+    match t.locks.(lock) with
+    | Some s when s.owner >= 0 -> Some s.owner
+    | Some _ | None -> None
 
+let held_count t ~tid = if tid < Array.length t.held then t.held_n.(tid) else 0
+
+let held_nth t ~tid i =
+  if i < 0 || i >= held_count t ~tid then invalid_arg "Lock_table.held_nth"
+  else t.held.(tid).(i)
+
+(* Most recently acquired first, as the cons-list predecessor. *)
 let held_by t ~tid =
-  match Hashtbl.find_opt t.held tid with
-  | Some cell -> !cell
-  | None -> []
+  let rec go i acc = if i >= held_count t ~tid then acc else go (i + 1) (t.held.(tid).(i) :: acc) in
+  go 0 []
 
 let iter_held t ~tid f =
-  match Hashtbl.find_opt t.held tid with
-  | Some cell -> List.iter f !cell
-  | None -> ()
+  for i = held_count t ~tid - 1 downto 0 do
+    f t.held.(tid).(i)
+  done
 
 let iter_waiters t ~lock f =
-  match Hashtbl.find_opt t.locks lock with
-  | Some s -> Queue.iter f s.waiters
-  | None -> ()
+  if lock >= 0 && lock < Array.length t.locks then
+    match t.locks.(lock) with
+    | Some s -> Dense.Int_ring.iter f s.waiters
+    | None -> ()
 
 let waiter_count t ~lock =
-  match Hashtbl.find_opt t.locks lock with
-  | Some s -> Queue.length s.waiters
-  | None -> 0
+  if lock < 0 || lock >= Array.length t.locks then 0
+  else
+    match t.locks.(lock) with
+    | Some s -> Dense.Int_ring.length s.waiters
+    | None -> 0
+
+let waiter_nth t ~lock i =
+  match t.locks.(lock) with
+  | Some s -> Dense.Int_ring.nth s.waiters i
+  | None -> invalid_arg "Lock_table.waiter_nth: unknown lock"
 
 let contended_acquires t = t.contended
 let total_acquires t = t.total

@@ -1,7 +1,10 @@
 (** Mutex state for the simulated machine.
 
     Non-reentrant POSIX-style mutexes with FIFO wakeup.  Lock ids are
-    plain ints chosen by the workload.
+    plain (small, dense) non-negative ints chosen by the workload;
+    lock state is held in id-indexed arrays and waiter queues in ring
+    buffers, so the lock/unlock path neither hashes nor allocates
+    (beyond the held-list cons per acquire).
 
     Alongside the per-lock owner and waiter queue, the table maintains
     a per-thread index of held locks, so "which locks does thread [t]
@@ -38,10 +41,24 @@ val iter_held : t -> tid:int -> (int -> unit) -> unit
 (** Apply a function to every lock [tid] owns (allocation-free
     [held_by]). *)
 
+val held_count : t -> tid:int -> int
+
+val held_nth : t -> tid:int -> int -> int
+(** [held_nth t ~tid i] is the [i]th owned lock, oldest first.
+    Indexed access for allocation-free walks on the machine's
+    per-charge path.
+    @raise Invalid_argument when [i] is out of range. *)
+
 val iter_waiters : t -> lock:int -> (int -> unit) -> unit
 (** Apply a function to every thread queued on [lock], FIFO order. *)
 
 val waiter_count : t -> lock:int -> int
+
+val waiter_nth : t -> lock:int -> int -> int
+(** [waiter_nth t ~lock i] is the [i]th queued thread, FIFO order
+    (index 0 is woken next); with {!waiter_count} this gives the
+    machine a closure-free waiter walk.
+    @raise Invalid_argument out of range. *)
 
 val contended_acquires : t -> int
 val total_acquires : t -> int

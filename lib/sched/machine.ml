@@ -11,15 +11,21 @@ type allocator_kind =
   | Unique_page of { granule : int; recycle_virtual_pages : bool }
   | Native
 
+type interp =
+  [ `Compiled (** int-tag dispatch over compiled segments (default) *)
+  | `Thunks (** option-boxed [Op.t] pulls — the oracle interpreter *) ]
+
 type thread_status =
   | Runnable
-  | Blocked of { lock : int; site : int }
+  | Blocked (* on [blocked_lock] at section site [blocked_site] *)
   | Finished
 
 type thread = {
   tid : int;
-  program : Program.t;
+  cursor : Program.cursor;
   mutable status : thread_status;
+  mutable blocked_lock : int; (* valid while status = Blocked *)
+  mutable blocked_site : int;
   mutable cycles : int;
   mutable lock_depth : int;
   mutable op_index : int;
@@ -29,6 +35,7 @@ type t = {
   sched : Schedule.state;
   cost : Cost_model.t;
   trace : Kard_obs.Trace.sink;
+  interp : interp;
   max_steps : int;
   phys : Phys_mem.t;
   aspace : Address_space.t;
@@ -50,14 +57,14 @@ type t = {
   mutable startup_cycles : int;
   mutable in_section : int; (* threads currently holding >= 1 lock *)
   mutable max_in_section : int;
-  sites_seen : (int, unit) Hashtbl.t;
+  sites_seen : Dense.Bitset.t;
   mutable started : bool;
 }
 
 exception Stuck of string
 
 let create ?(seed = 42) ?schedule ?(cost = Cost_model.default) ?trace
-    ?(max_steps = 80_000_000) ~allocator ~make_detector () =
+    ?(max_steps = 80_000_000) ?(interp = `Compiled) ~allocator ~make_detector () =
   let schedule = Option.value ~default:(Schedule.Random seed) schedule in
   let phys = Phys_mem.create () in
   let aspace = Address_space.create phys in
@@ -79,6 +86,7 @@ let create ?(seed = 42) ?schedule ?(cost = Cost_model.default) ?trace
   { sched = Schedule.start schedule;
     cost;
     trace;
+    interp;
     max_steps;
     phys;
     aspace;
@@ -100,7 +108,7 @@ let create ?(seed = 42) ?schedule ?(cost = Cost_model.default) ?trace
     startup_cycles = 0;
     in_section = 0;
     max_in_section = 0;
-    sites_seen = Hashtbl.create 64;
+    sites_seen = Dense.Bitset.create ();
     started = false }
 
 let env t =
@@ -131,8 +139,26 @@ let spawn t program =
   let hook_cycles = t.hooks.Hooks.on_spawn ~tid in
   t.startup_cycles <- t.startup_cycles + hook_cycles;
   Sim_clock.advance t.clock hook_cycles;
+  (* The oracle interpreter funnels the whole program through the
+     option-boxed thunk view, so every step takes the exact pull path
+     the pre-compilation machine took.  Segment leaves and generator
+     structure are invisible through a thunk, hence "observationally
+     identical" is testable: same ops in the same order, one per
+     step. *)
+  let program =
+    match t.interp with
+    | `Compiled -> program
+    | `Thunks -> Program.of_thunk (Program.to_thunk program)
+  in
   let thread =
-    { tid; program; status = Runnable; cycles = 0; lock_depth = 0; op_index = 0 }
+    { tid;
+      cursor = Program.cursor program;
+      status = Runnable;
+      blocked_lock = -1;
+      blocked_site = -1;
+      cycles = 0;
+      lock_depth = 0;
+      op_index = 0 }
   in
   if tid >= Array.length t.threads then begin
     let bigger = Array.make (max 4 (2 * Array.length t.threads)) thread in
@@ -147,7 +173,9 @@ let spawn t program =
    touched — the step loop itself never rebuilds it. *)
 
 let block t thread ~lock ~site =
-  thread.status <- Blocked { lock; site };
+  thread.status <- Blocked;
+  thread.blocked_lock <- lock;
+  thread.blocked_site <- site;
   Runnable_set.remove t.runnable thread.tid
 
 let wake t thread =
@@ -166,18 +194,26 @@ let finish t thread =
    and hence waiter counts — grow (the paper's Figure 5 dynamic).
    Baseline in-section compute dilates identically, so comparisons
    stay fair. *)
+let charge_held_lock t lock cycles =
+  (* Walk only the locks the holder owns and the threads actually
+     queued on them (both indexed by Lock_table), instead of testing
+     every thread against every blocked lock's owner.  A thread sits
+     in a waiter queue iff its status is [Blocked] on that lock, so
+     the charged set is identical to a full scan.  Indexed access
+     ([waiter_nth]/[held_nth]) rather than iterators or lists keeps
+     the per-charge walk allocation-free. *)
+  let n = Lock_table.waiter_count t.locks ~lock in
+  for i = 0 to n - 1 do
+    let th = t.threads.(Lock_table.waiter_nth t.locks ~lock i) in
+    th.cycles <- th.cycles + cycles;
+    Sim_clock.advance t.clock cycles
+  done
+
 let charge_waiters t holder cycles =
   if holder.lock_depth > 0 then
-    (* Walk only the locks the holder owns and the threads actually
-       queued on them (both indexed by Lock_table), instead of testing
-       every thread against every blocked lock's owner.  A thread sits
-       in a waiter queue iff its status is [Blocked] on that lock, so
-       the charged set is identical to the old full scan. *)
-    Lock_table.iter_held t.locks ~tid:holder.tid (fun lock ->
-        Lock_table.iter_waiters t.locks ~lock (fun wtid ->
-            let th = t.threads.(wtid) in
-            th.cycles <- th.cycles + cycles;
-            Sim_clock.advance t.clock cycles))
+    for i = 0 to Lock_table.held_count t.locks ~tid:holder.tid - 1 do
+      charge_held_lock t (Lock_table.held_nth t.locks ~tid:holder.tid i) cycles
+    done
 
 let charge t thread cycles =
   assert (cycles >= 0);
@@ -200,38 +236,43 @@ let exit_section t thread =
 let max_fault_retries = 8
 
 (* Perform one data access for [thread], routing faults to the
-   detector and retrying as the handler directs. *)
-let perform_access t thread addr access =
-  let rec attempt n emulate =
-    if emulate then charge t thread t.cost.Cost_model.mem_access
-    else
-      match
-        Mpk_hw.check_access t.hw ~tid:thread.tid ~addr ~access ~ip:thread.op_index
-          ~time:(Sim_clock.now t.clock)
-      with
-      | Ok cycles -> charge t thread cycles
-      | Error fault ->
-        if n >= max_fault_retries then
-          raise
-            (Stuck
-               (Format.asprintf "thread %d: access keeps faulting after %d handler rounds: %a"
-                  thread.tid n Fault.pp fault));
-        charge t thread t.cost.Cost_model.fault_roundtrip;
-        let outcome = t.hooks.Hooks.on_fault fault in
-        charge t thread outcome.Hooks.fault_cycles;
-        (match t.trace with
-        | None -> ()
-        | Some tr ->
-          let latency = t.cost.Cost_model.fault_roundtrip + outcome.Hooks.fault_cycles in
-          Kard_obs.Trace.emit tr ~tid:thread.tid
-            (Kard_obs.Event.Fault_resolved
-               { addr; pkey = Kard_mpk.Pkey.to_int fault.Fault.pkey; latency });
-          Kard_obs.Trace.observe t.trace "fault.roundtrip_cycles" latency);
-        (match outcome.Hooks.action with
-        | Hooks.Retry -> attempt (n + 1) false
-        | Hooks.Emulate -> attempt n true)
-  in
-  attempt 0 false
+   detector and retrying as the handler directs.  A top-level
+   recursive function (not a nested [attempt] closure): the granted
+   path — try, charge, return — is run per simulated access and
+   allocates nothing. *)
+let rec access_attempt t thread addr access n emulate =
+  if emulate then charge t thread t.cost.Cost_model.mem_access
+  else begin
+    let cycles =
+      Mpk_hw.try_access t.hw ~tid:thread.tid ~addr ~access ~ip:thread.op_index
+        ~time:(Sim_clock.now t.clock)
+    in
+    if cycles >= 0 then charge t thread cycles
+    else begin
+      let fault = Mpk_hw.last_fault t.hw in
+      if n >= max_fault_retries then
+        raise
+          (Stuck
+             (Format.asprintf "thread %d: access keeps faulting after %d handler rounds: %a"
+                thread.tid n Fault.pp fault));
+      charge t thread t.cost.Cost_model.fault_roundtrip;
+      let outcome = t.hooks.Hooks.on_fault fault in
+      charge t thread outcome.Hooks.fault_cycles;
+      (match t.trace with
+      | None -> ()
+      | Some tr ->
+        let latency = t.cost.Cost_model.fault_roundtrip + outcome.Hooks.fault_cycles in
+        Kard_obs.Trace.emit tr ~tid:thread.tid
+          (Kard_obs.Event.Fault_resolved
+             { addr; pkey = Kard_mpk.Pkey.to_int fault.Fault.pkey; latency });
+        Kard_obs.Trace.observe t.trace "fault.roundtrip_cycles" latency);
+      match outcome.Hooks.action with
+      | Hooks.Retry -> access_attempt t thread addr access (n + 1) false
+      | Hooks.Emulate -> access_attempt t thread addr access n true
+    end
+  end
+
+let perform_access t thread addr access = access_attempt t thread addr access 0 false
 
 (* dTLB reach assumed by the analytic block model; matches the
    default Tlb.create geometry. *)
@@ -285,26 +326,85 @@ let emit_step t thread op addr =
     Kard_obs.Trace.emit tr ~tid:thread.tid (Kard_obs.Event.Step { op; addr })
   | Some _ | None -> ()
 
+(* Per-operation handlers, shared verbatim by the compiled int-tag
+   dispatch and the [Op.t] interpreter [exec_op]: the two consumption
+   paths differ only in how the operation and its operands reach the
+   handler. *)
+
+let do_compute t thread cycles =
+  t.computes <- t.computes + 1;
+  emit_step t thread `Compute 0;
+  charge t thread cycles
+
+let do_io t thread cycles =
+  t.io_cycles <- t.io_cycles + cycles;
+  charge t thread cycles
+
+let do_read t thread addr =
+  t.reads <- t.reads + 1;
+  emit_step t thread `Read addr;
+  charge t thread (t.hooks.Hooks.on_read ~tid:thread.tid ~addr);
+  perform_access t thread addr `Read
+
+let do_write t thread addr =
+  t.writes <- t.writes + 1;
+  emit_step t thread `Write addr;
+  charge t thread (t.hooks.Hooks.on_write ~tid:thread.tid ~addr);
+  perform_access t thread addr `Write
+
+let do_lock t thread ~lock ~site =
+  Dense.Bitset.add t.sites_seen site;
+  match Lock_table.acquire t.locks ~lock ~tid:thread.tid with
+  | Lock_table.Acquired ->
+    charge t thread t.cost.Cost_model.lock_uncontended;
+    (match t.trace with
+    | None -> ()
+    | Some tr ->
+      Kard_obs.Trace.emit tr ~tid:thread.tid
+        (Kard_obs.Event.Lock_acquire { lock; site; contended = false }));
+    enter_section t thread;
+    charge t thread (t.hooks.Hooks.on_lock ~tid:thread.tid ~lock ~site)
+  | Lock_table.Must_wait -> block t thread ~lock ~site
+
+let do_unlock t thread ~lock =
+  charge t thread (t.hooks.Hooks.on_unlock ~tid:thread.tid ~lock);
+  charge t thread t.cost.Cost_model.unlock;
+  (match t.trace with
+  | None -> ()
+  | Some tr ->
+    Kard_obs.Trace.emit tr ~tid:thread.tid (Kard_obs.Event.Lock_release { lock }));
+  exit_section t thread;
+  match Lock_table.release t.locks ~lock ~tid:thread.tid with
+  | None -> ()
+  | Some waiter_tid ->
+    (* Ownership transfers directly; the waiter pays the contended
+       acquisition and its section-entry hook fires now. *)
+    let waiter = thread_by_tid t waiter_tid in
+    let site =
+      match waiter.status with
+      | Blocked ->
+        assert (waiter.blocked_lock = lock);
+        waiter.blocked_site
+      | Runnable | Finished ->
+        raise (Stuck (Printf.sprintf "woken thread %d was not blocked" waiter_tid))
+    in
+    wake t waiter;
+    charge t waiter t.cost.Cost_model.lock_contended;
+    (match t.trace with
+    | None -> ()
+    | Some tr ->
+      Kard_obs.Trace.emit tr ~tid:waiter_tid
+        (Kard_obs.Event.Lock_acquire { lock; site; contended = true }));
+    enter_section t waiter;
+    charge t waiter (t.hooks.Hooks.on_lock ~tid:waiter_tid ~lock ~site)
+
 let exec_op t thread op =
   match op with
-  | Op.Compute cycles ->
-    t.computes <- t.computes + 1;
-    emit_step t thread `Compute 0;
-    charge t thread cycles
-  | Op.Io cycles ->
-    t.io_cycles <- t.io_cycles + cycles;
-    charge t thread cycles
+  | Op.Compute cycles -> do_compute t thread cycles
+  | Op.Io cycles -> do_io t thread cycles
   | Op.Yield -> ()
-  | Op.Read addr ->
-    t.reads <- t.reads + 1;
-    emit_step t thread `Read addr;
-    charge t thread (t.hooks.Hooks.on_read ~tid:thread.tid ~addr);
-    perform_access t thread addr `Read
-  | Op.Write addr ->
-    t.writes <- t.writes + 1;
-    emit_step t thread `Write addr;
-    charge t thread (t.hooks.Hooks.on_write ~tid:thread.tid ~addr);
-    perform_access t thread addr `Write
+  | Op.Read addr -> do_read t thread addr
+  | Op.Write addr -> do_write t thread addr
   | Op.Read_block b ->
     t.reads <- t.reads + b.Op.count;
     charge t thread (t.hooks.Hooks.on_read_block ~tid:thread.tid ~block:b);
@@ -313,51 +413,8 @@ let exec_op t thread op =
     t.writes <- t.writes + b.Op.count;
     charge t thread (t.hooks.Hooks.on_write_block ~tid:thread.tid ~block:b);
     perform_block t thread b `Write
-  | Op.Lock { lock; site } -> begin
-    Hashtbl.replace t.sites_seen site ();
-    match Lock_table.acquire t.locks ~lock ~tid:thread.tid with
-    | Lock_table.Acquired ->
-      charge t thread t.cost.Cost_model.lock_uncontended;
-      (match t.trace with
-      | None -> ()
-      | Some tr ->
-        Kard_obs.Trace.emit tr ~tid:thread.tid
-          (Kard_obs.Event.Lock_acquire { lock; site; contended = false }));
-      enter_section t thread;
-      charge t thread (t.hooks.Hooks.on_lock ~tid:thread.tid ~lock ~site)
-    | Lock_table.Must_wait -> block t thread ~lock ~site
-  end
-  | Op.Unlock { lock } ->
-    charge t thread (t.hooks.Hooks.on_unlock ~tid:thread.tid ~lock);
-    charge t thread t.cost.Cost_model.unlock;
-    (match t.trace with
-    | None -> ()
-    | Some tr ->
-      Kard_obs.Trace.emit tr ~tid:thread.tid (Kard_obs.Event.Lock_release { lock }));
-    exit_section t thread;
-    (match Lock_table.release t.locks ~lock ~tid:thread.tid with
-    | None -> ()
-    | Some waiter_tid ->
-      (* Ownership transfers directly; the waiter pays the contended
-         acquisition and its section-entry hook fires now. *)
-      let waiter = thread_by_tid t waiter_tid in
-      let site =
-        match waiter.status with
-        | Blocked { lock = blocked_lock; site } ->
-          assert (blocked_lock = lock);
-          site
-        | Runnable | Finished ->
-          raise (Stuck (Printf.sprintf "woken thread %d was not blocked" waiter_tid))
-      in
-      wake t waiter;
-      charge t waiter t.cost.Cost_model.lock_contended;
-      (match t.trace with
-      | None -> ()
-      | Some tr ->
-        Kard_obs.Trace.emit tr ~tid:waiter_tid
-          (Kard_obs.Event.Lock_acquire { lock; site; contended = true }));
-      enter_section t waiter;
-      charge t waiter (t.hooks.Hooks.on_lock ~tid:waiter_tid ~lock ~site))
+  | Op.Lock { lock; site } -> do_lock t thread ~lock ~site
+  | Op.Unlock { lock } -> do_unlock t thread ~lock
   | Op.Alloc { size; site; on_result } ->
     let meta, cycles = t.alloc.Alloc_iface.alloc ~site size in
     charge t thread cycles;
@@ -367,16 +424,32 @@ let exec_op t thread op =
     charge t thread (t.hooks.Hooks.on_free ~tid:thread.tid meta);
     charge t thread (t.alloc.Alloc_iface.free meta)
 
+(* The per-step dispatch: fetch one int tag from the thread's cursor
+   and branch on it, hottest tags first.  Plain operations never
+   materialise an [Op.t]; only [tag_boxed] payloads (allocations,
+   frees, blocks — and every op of the `Thunks oracle interpreter)
+   take the [exec_op] detour. *)
 let step_thread t thread =
-  match thread.program () with
-  | None ->
+  let cur = thread.cursor in
+  let tag = Program.fetch cur in
+  if tag = Program.tag_halt then begin
     finish t thread;
     if thread.lock_depth > 0 then
       raise (Stuck (Printf.sprintf "thread %d finished while holding a lock" thread.tid));
     charge t thread (t.hooks.Hooks.on_thread_exit ~tid:thread.tid)
-  | Some op ->
+  end
+  else begin
     thread.op_index <- thread.op_index + 1;
-    exec_op t thread op
+    if tag = Program.tag_read then do_read t thread (Program.arg_a cur)
+    else if tag = Program.tag_write then do_write t thread (Program.arg_a cur)
+    else if tag = Program.tag_compute then do_compute t thread (Program.arg_a cur)
+    else if tag = Program.tag_lock then
+      do_lock t thread ~lock:(Program.arg_a cur) ~site:(Program.arg_b cur)
+    else if tag = Program.tag_unlock then do_unlock t thread ~lock:(Program.arg_a cur)
+    else if tag = Program.tag_io then do_io t thread (Program.arg_a cur)
+    else if tag = Program.tag_yield then ()
+    else exec_op t thread (Program.boxed_op cur)
+  end
 
 (* Modeled RSS: data frames + last-level page tables + allocator
    metadata + detector metadata (paper section 7.5). *)
@@ -441,7 +514,7 @@ let report_of t =
     computes = t.computes;
     cs_entries = Lock_table.total_acquires t.locks;
     contended_entries = Lock_table.contended_acquires t.locks;
-    unique_sections = Hashtbl.length t.sites_seen;
+    unique_sections = Dense.Bitset.count t.sites_seen;
     max_concurrent_sections = t.max_in_section;
     faults = hw_stats.Mpk_hw.faults;
     rss_bytes = data + page_tables + alloc_meta + detector_meta;
@@ -451,8 +524,8 @@ let report_of t =
     dtlb_accesses = hw_stats.Mpk_hw.dtlb_accesses;
     dtlb_misses = hw_stats.Mpk_hw.dtlb_misses;
     dtlb_miss_rate =
-      (if hw_stats.Mpk_hw.dtlb_accesses = 0 then 0.
-       else float_of_int hw_stats.Mpk_hw.dtlb_misses /. float_of_int hw_stats.Mpk_hw.dtlb_accesses);
+      Mpk_hw.miss_rate ~misses:hw_stats.Mpk_hw.dtlb_misses
+        ~accesses:hw_stats.Mpk_hw.dtlb_accesses;
     alloc_stats = t.alloc.Alloc_iface.stats ();
     hw_stats;
     per_thread_cycles = per_thread;
@@ -461,8 +534,9 @@ let report_of t =
 let run t =
   t.started <- true;
   (* The hot loop: per step, one O(log threads) pick from the
-     incrementally maintained runnable set and one array index —
-     nothing here scans the thread population. *)
+     incrementally maintained runnable set, one array index, one
+     cursor fetch — nothing here scans the thread population or
+     allocates. *)
   let rec loop () =
     if Runnable_set.cardinal t.runnable = 0 then begin
       if t.finished_count < t.thread_count then

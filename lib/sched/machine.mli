@@ -16,12 +16,23 @@ type allocator_kind =
       (** Kard's allocator (section 5.3). *)
   | Native  (** Compact bump allocator (Baseline / TSan). *)
 
+type interp =
+  [ `Compiled
+    (** Int-tag dispatch straight off compiled segments — the
+        allocation-free production path (default). *)
+  | `Thunks
+    (** Pull every operation as an option-boxed [Op.t] through
+        {!Program.to_thunk} — the pre-compilation consumption path,
+        kept as the oracle: a run under [`Thunks] must produce a
+        bit-identical report to the same run under [`Compiled]. *) ]
+
 val create :
   ?seed:int ->
   ?schedule:Schedule.t ->
   ?cost:Kard_mpk.Cost_model.t ->
   ?trace:Kard_obs.Trace.t ->
   ?max_steps:int ->
+  ?interp:interp ->
   allocator:allocator_kind ->
   make_detector:(Hooks.env -> Hooks.t) ->
   unit ->

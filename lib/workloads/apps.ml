@@ -64,7 +64,7 @@ let nginx_build ~file_kb ~threads ~scale ~seed:_ machine =
         conn := rest;
         Some (Op.Free m)
     in
-    Program.concat [ Program.of_list pre; cs; frees ]
+    Program.concat [ Program.of_list pre; cs; Program.of_thunk frees ]
   in
   let worker tid =
     Program.concat
@@ -156,7 +156,13 @@ let memcached_build ~threads ~scale ~seed:_ machine =
   let mix idx salt = ((idx * 2654435761) lxor (salt * 40503)) land max_int in
   let buffers = Array.make threads 0 in
   let per_thread tid = (entries / threads) + (if tid < entries mod threads then 1 else 0) in
-  let iteration tid k =
+  (* [arena] and [block_cache] are per worker: each iteration is
+     compiled into the worker's reusable arena segment and consumed
+     before the next iteration rebuilds it, so steady-state request
+     generation allocates nothing.  Only churn iterations (a fresh
+     item is inserted, ~4%) fall back to a dynamic tail — the insert
+     address is unknown until the Alloc executes. *)
+  let iteration arena block_cache tid k =
     let idx = (k * threads) + tid in
     let stripe = mix idx 17 mod stripes in
     (* Call sites are per (operation, stripe) pair — 15 operations x 8
@@ -170,53 +176,92 @@ let memcached_build ~threads ~scale ~seed:_ machine =
     let pick = stripe + (stripes * (mix idx 23 mod per_stripe)) in
     (* Stay inside the stripe class even when the last class is short. *)
     let item = items.(if pick < item_count then pick else stripe mod item_count) in
-    let churn = ref [] in
+    (* The private-buffer sweep is identical every iteration; build
+       its block descriptor once per worker (the base is only known
+       after the worker's prologue Alloc has run). *)
+    let block =
+      match !block_cache with
+      | Some op -> op
+      | None ->
+        let op = Builder.block ~base:buffers.(tid) ~count:850 ~span:4096 `Read in
+        block_cache := Some op;
+        op
+    in
+    let b = arena in
+    Program.Builder.reset b;
+    Program.Builder.io b 18_000;
     (* Heap churn is modest in memcached: ~7k allocations over 162k
        requests (Table 3). *)
-    let churn_ops =
-      if mix idx 37 mod 25 = 0 then
-        [ Op.Alloc { size = 96; site = 7100; on_result = (fun m -> churn := m :: !churn) } ]
-      else []
-    in
-    let ops =
-      (Op.Io 18_000 :: churn_ops)
-      @ [ Builder.block ~base:buffers.(tid) ~count:850 ~span:4096 `Read; Op.Compute 1_600 ]
-    in
-    (* Hash lookup and LRU maintenance happen under the item lock, so
-       most of the request's CPU time is inside the section.  A newly
-       allocated item (when this request inserted one) is initialized
-       inside the section too — the steady trickle of fresh shared
-       objects that drives key recycling and sharing (Table 5). *)
-    let cs =
-      Program.delay (fun () ->
-          let insert =
-            match !churn with
-            | m :: _ -> [ Op.Write m.Kard_alloc.Obj_meta.base ]
-            | [] -> []
-          in
-          Program.of_list
-            (Builder.critical_section ~lock:(100 + stripe) ~site
-               (insert @ [ Op.Read time_global; Op.Read item; Op.Compute 4_000; Op.Write item ])))
-    in
-    let post =
-      (if mix idx 31 mod 16 = 0 then
-         Builder.critical_section ~lock:90 ~site:250 [ Op.Write stats.(0); Op.Write stats.(1) ]
-       else [])
-      @
+    if mix idx 37 mod 25 = 0 then begin
+      (* Churn iteration: alloc an item, initialize it inside the
+         section, free it at request end.  The critical section and
+         the frees depend on the Alloc's result, so they stay
+         dynamic. *)
+      let churn = ref [] in
+      Program.Builder.op b
+        (Op.Alloc { size = 96; site = 7100; on_result = (fun m -> churn := m :: !churn) });
+      Program.Builder.op b block;
+      Program.Builder.compute b 1_600;
+      let cs =
+        Program.delay (fun () ->
+            let insert =
+              match !churn with
+              | m :: _ -> [ Op.Write m.Kard_alloc.Obj_meta.base ]
+              | [] -> []
+            in
+            Program.of_list
+              (Builder.critical_section ~lock:(100 + stripe) ~site
+                 (insert @ [ Op.Read time_global; Op.Read item; Op.Compute 4_000; Op.Write item ])))
+      in
+      let post =
+        (if mix idx 31 mod 16 = 0 then
+           Builder.critical_section ~lock:90 ~site:250 [ Op.Write stats.(0); Op.Write stats.(1) ]
+         else [])
+        @
+        if tid = 0 && k mod 32 = 0 then
+          [ Op.Write time_global; Op.Read stats.(0); Op.Read stats.(1) ]
+        else []
+      in
+      let frees () =
+        match !churn with
+        | [] -> None
+        | m :: rest ->
+          churn := rest;
+          Some (Op.Free m)
+      in
+      Program.concat
+        [ Program.Builder.current b; cs; Program.of_list post; Program.of_thunk frees ]
+    end
+    else begin
+      Program.Builder.op b block;
+      Program.Builder.compute b 1_600;
+      (* Hash lookup and LRU maintenance happen under the item lock,
+         so most of the request's CPU time is inside the section
+         (Table 5). *)
+      Program.Builder.lock b ~lock:(100 + stripe) ~site;
+      Program.Builder.read b time_global;
+      Program.Builder.read b item;
+      Program.Builder.compute b 4_000;
+      Program.Builder.write b item;
+      Program.Builder.unlock b ~lock:(100 + stripe);
+      if mix idx 31 mod 16 = 0 then begin
+        Program.Builder.lock b ~lock:90 ~site:250;
+        Program.Builder.write b stats.(0);
+        Program.Builder.write b stats.(1);
+        Program.Builder.unlock b ~lock:90
+      end;
       (* The main thread's lock-free activities. *)
-      if tid = 0 && k mod 32 = 0 then [ Op.Write time_global; Op.Read stats.(0); Op.Read stats.(1) ]
-      else []
-    in
-    let frees () =
-      match !churn with
-      | [] -> None
-      | m :: rest ->
-        churn := rest;
-        Some (Op.Free m)
-    in
-    Program.concat [ Program.of_list ops; cs; Program.of_list post; frees ]
+      if tid = 0 && k mod 32 = 0 then begin
+        Program.Builder.write b time_global;
+        Program.Builder.read b stats.(0);
+        Program.Builder.read b stats.(1)
+      end;
+      Program.Builder.current b
+    end
   in
   let worker tid =
+    let arena = Program.Builder.create ~hint:16 () in
+    let block_cache = ref None in
     Program.concat
       [ Program.of_list
           [ Op.Alloc
@@ -224,7 +269,7 @@ let memcached_build ~threads ~scale ~seed:_ machine =
                 site = 8000 + tid;
                 on_result = (fun m -> buffers.(tid) <- m.Kard_alloc.Obj_meta.base) } ];
         Builder.wait_until ready;
-        Program.repeat (per_thread tid) (fun k -> iteration tid k) ]
+        Program.repeat (per_thread tid) (fun k -> iteration arena block_cache tid k) ]
   in
   let main =
     let allocs =

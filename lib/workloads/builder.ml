@@ -1,15 +1,7 @@
 module Op = Kard_sched.Op
 module Program = Kard_sched.Program
 
-let wait_until cond =
-  let finished = ref false in
-  fun () ->
-    if !finished then None
-    else if cond () then begin
-      finished := true;
-      None
-    end
-    else Some Op.Yield
+let wait_until = Program.wait_until
 
 let critical_section ~lock ~site body =
   (Op.Lock { lock; site } :: body) @ [ Op.Unlock { lock } ]

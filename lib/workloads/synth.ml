@@ -107,8 +107,11 @@ let build p ~threads ~scale ~seed:_ machine =
   let private_buffer_base tid = private_buffers.(tid) in
   (* One worker iteration.  [idx] is a globally unique iteration id. *)
   let iteration tid idx =
-    let ops = ref [] in
-    let add op = ops := op :: !ops in
+    (* Ops are compiled straight into a flat segment: the segment is
+       built once when this iteration's turn comes and then executed
+       allocation-free, one tag per step. *)
+    let b = Program.Builder.create () in
+    let add op = Program.Builder.op b op in
     (* Allocation churn: request-scoped objects (alloc, touch, free). *)
     let churn_count =
       let whole = int_of_float p.churn_per_entry in
@@ -135,10 +138,10 @@ let build p ~threads ~scale ~seed:_ machine =
     let sweepable = heap_n - shared_heap in
     if p.sweep_objects > 0 && sweepable > 0 then
       for j = 0 to min p.sweep_objects sweepable - 1 do
-        add (Op.Read heap_bases.(shared_heap + ((mix idx 7 + (j * 13)) mod sweepable)))
+        Program.Builder.read b heap_bases.(shared_heap + ((mix idx 7 + (j * 13)) mod sweepable))
       done;
-    if p.compute > 0 then add (Op.Compute p.compute);
-    if p.io > 0 then add (Op.Io p.io);
+    if p.compute > 0 then Program.Builder.compute b p.compute;
+    if p.io > 0 then Program.Builder.io b p.io;
     (* The critical section.  Writable objects are partitioned into
        ownership classes so that a given object is only ever written
        under one lock: class [c] owns {j | j mod classes = c}, and a
@@ -194,7 +197,7 @@ let build p ~threads ~scale ~seed:_ machine =
         churned := rest;
         Some (Op.Free meta)
     in
-    Program.append (Program.of_list (List.rev !ops)) frees
+    Program.append (Program.Builder.seal b) (Program.of_thunk frees)
   in
   let worker tid =
     let prologue =

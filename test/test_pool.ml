@@ -53,6 +53,41 @@ let test_chunks () =
        false
      with Invalid_argument _ -> true)
 
+(* [~jobs:1] (and a singleton input at any [jobs]) is the inline fast
+   path: every item runs on the caller's domain, no [Domain.spawn].
+   Cheap sweeps and tests rely on this staying truly serial. *)
+let test_jobs1_runs_inline () =
+  let caller = Domain.self () in
+  let seen = ref [] in
+  let f i =
+    seen := Domain.self () :: !seen;
+    i
+  in
+  check_ints "jobs=1 maps" [ 0; 1; 2; 3 ] (Pool.map ~jobs:1 f [ 0; 1; 2; 3 ]);
+  check "all on caller's domain" true (List.for_all (fun d -> d = caller) !seen);
+  seen := [];
+  check_ints "singleton at jobs=8" [ 5 ] (Pool.map ~jobs:8 f [ 5 ]);
+  check "singleton on caller's domain" true (!seen = [ caller ])
+
+(* Inline error semantics: the serial path stops at the first failing
+   item — items after it are never evaluated — and the raised
+   [Job_failed] carries that item's index and label. *)
+let test_jobs1_error_semantics () =
+  let executed = ref [] in
+  let f i =
+    executed := i :: !executed;
+    if i = 3 then failwith "boom";
+    i
+  in
+  (match Pool.map ~jobs:1 ~label:(fun i _ -> Printf.sprintf "item-%d" i) f (List.init 8 Fun.id) with
+  | (_ : int list) -> Alcotest.fail "expected Job_failed"
+  | exception Pool.Job_failed { index; label; message } ->
+    check_int "failing index" 3 index;
+    check "custom label" true (label = "item-3");
+    check "message carries the exception" true
+      (String.length message > 0 && String.sub message 0 (String.length "Failure") = "Failure"));
+  check_ints "items after the failure never ran" [ 0; 1; 2; 3 ] (List.rev !executed)
+
 (* A crash surfaces as [Job_failed] carrying the *smallest* failing
    submission index, at every worker count — the error a user sees
    must not depend on scheduling. *)
@@ -191,6 +226,8 @@ let () =
           Alcotest.test_case "map empty/singleton" `Quick test_map_empty_and_singleton;
           Alcotest.test_case "resolve_jobs" `Quick test_resolve_jobs;
           Alcotest.test_case "chunks" `Quick test_chunks;
+          Alcotest.test_case "jobs=1 runs inline" `Quick test_jobs1_runs_inline;
+          Alcotest.test_case "jobs=1 error semantics" `Quick test_jobs1_error_semantics;
           Alcotest.test_case "crash reports smallest index" `Quick test_crash_smallest_index ] );
       ( "isolation",
         [ Alcotest.test_case "concurrent identical jobs" `Slow test_concurrent_identical_jobs ] );
