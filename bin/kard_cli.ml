@@ -7,6 +7,7 @@
      trace <workload>          run with tracing; export a Chrome/Perfetto trace
      bench                     simulator throughput sweep (writes BENCH_pr4.json)
      repro <experiment>        regenerate a paper table/figure
+     fuzz                      differential fuzzing campaign over random programs
 *)
 
 module Machine = Kard_sched.Machine
@@ -319,6 +320,37 @@ let bench_cmd =
        ~doc:"Measure simulator throughput (steps per wall-clock second) across thread counts")
     Term.(const action $ scale_arg $ seed_arg $ threads_arg $ out_arg)
 
+(* fuzz: the differential campaign.  Exit code 1 on any unexpected
+   divergence so CI can gate on it. *)
+
+let fuzz_cmd =
+  let count_arg =
+    Arg.(value & opt int 1000
+         & info [ "n"; "count" ] ~docv:"N"
+             ~doc:"Cumulative number of programs (a resumed corpus runs only the remainder).")
+  in
+  let corpus_arg =
+    Arg.(value & opt (some string) None
+         & info [ "corpus" ] ~docv:"DIR"
+             ~doc:
+               "Corpus directory: campaign state (resumable), per-class exemplar repros, and \
+                minimized repros for unexpected divergences.")
+  in
+  let action count seed corpus jobs =
+    let r = Kard_fuzz.Campaign.run ?jobs ?corpus ~count ~seed () in
+    Format.printf "%a@." Kard_fuzz.Campaign.report r;
+    Printf.printf "(%d programs this invocation%s)\n" r.Kard_fuzz.Campaign.programs
+      (match corpus with None -> "" | Some dir -> Printf.sprintf ", corpus %s" dir);
+    if r.Kard_fuzz.Campaign.unexpected_indices <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: random programs under the Kard runtime, replayed through pure \
+          Algorithm 1, happens-before and Eraser-lockset oracles; every divergence must match \
+          the documented taxonomy")
+    Term.(const action $ count_arg $ seed_arg $ corpus_arg $ jobs_arg)
+
 (* repro *)
 
 let repro_one ?jobs ~scale = function
@@ -369,4 +401,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; scenario_cmd; trace_cmd; hunt_cmd; bench_cmd; repro_cmd ]))
+          [ list_cmd; run_cmd; scenario_cmd; trace_cmd; hunt_cmd; bench_cmd; repro_cmd;
+            fuzz_cmd ]))

@@ -89,6 +89,19 @@ type t = {
   mutable ts_rescues : int;
   mutable soft_fallbacks : int;
   mutable soft_faults : int;
+  (* Per-object provenance for the differential classifier
+     (Divergence): which documented precision-losing mechanisms fired
+     on which objects this run.  All appended on fault/assignment cold
+     paths only. *)
+  prov_rescued : Dense.Bitset.t;
+  prov_grouped : Dense.Bitset.t;
+  prov_key_shared : Dense.Bitset.t;
+  prov_recycled : Dense.Bitset.t;
+  prov_pruned : Dense.Bitset.t;
+  prov_softened : Dense.Bitset.t;
+  prov_demoted : Dense.Bitset.t;
+  prov_ro_blamed : Dense.Bitset.t;
+  prov_proactive_blame : Dense.Bitset.t;
   (* Result slot for [proactive_walk]: the walk accumulates the
      section-entry PKRU here instead of returning a (pkru, cycles)
      tuple, keeping the per-section-entry path allocation-free. *)
@@ -133,6 +146,15 @@ let create ?(config = Config.default) env =
     ts_rescues = 0;
     soft_fallbacks = 0;
     soft_faults = 0;
+    prov_rescued = Dense.Bitset.create ~capacity:256 ();
+    prov_grouped = Dense.Bitset.create ~capacity:256 ();
+    prov_key_shared = Dense.Bitset.create ~capacity:256 ();
+    prov_recycled = Dense.Bitset.create ~capacity:256 ();
+    prov_pruned = Dense.Bitset.create ~capacity:256 ();
+    prov_softened = Dense.Bitset.create ~capacity:256 ();
+    prov_demoted = Dense.Bitset.create ~capacity:256 ();
+    prov_ro_blamed = Dense.Bitset.create ~capacity:256 ();
+    prov_proactive_blame = Dense.Bitset.create ~capacity:256 ();
     walk_pkru = Pkru.all_access }
 
 let cost t = t.env.Hooks.cost
@@ -266,6 +288,7 @@ let protect_pages t (meta : Obj_meta.t) pkey =
 
 let demote_to_kna t (meta : Obj_meta.t) =
   t.demotions <- t.demotions + 1;
+  Dense.Bitset.add t.prov_demoted meta.Obj_meta.id;
   (match trace t with
   | None -> ()
   | Some tr ->
@@ -332,6 +355,21 @@ let assign_write_key t ~tid ~frame (meta : Obj_meta.t) =
       | Domain_state.Read_write _ | Domain_state.Read_only | Domain_state.Not_accessed -> ());
       Kard_obs.Trace.emit tr ~tid
         (Kard_obs.Event.Key_assign { key = Pkey.to_int key; obj_id = meta.Obj_meta.id; assign }));
+    (* Grouping provenance: landing under a key that other live
+       objects already carry multiplexes them — faults and non-faults
+       against this key stop distinguishing the group members. *)
+    (match Domain_state.objects_with_key t.domains key with
+    | [] -> ()
+    | group ->
+      let grouped_other = ref false in
+      List.iter
+        (fun obj_id ->
+          if obj_id <> meta.Obj_meta.id then begin
+            grouped_other := true;
+            Dense.Bitset.add t.prov_grouped obj_id
+          end)
+        group;
+      if !grouped_other then Dense.Bitset.add t.prov_grouped meta.Obj_meta.id);
     Domain_state.set t.domains ~obj_id:meta.Obj_meta.id (Domain_state.Read_write key);
     Dense.Bitset.add t.rw_seen meta.Obj_meta.id;
     let mprotect = protect_pages t meta key in
@@ -342,7 +380,11 @@ let assign_write_key t ~tid ~frame (meta : Obj_meta.t) =
   | Key_assign.Reuse key -> (key, finish_with key Kard_obs.Event.Assign_reuse 0)
   | Key_assign.Fresh key ->
     Key_section_map.acquire t.ksmap key
-      { Key_section_map.tid; perm = Perm.Read_write; section = site; lock = frame.lock };
+      { Key_section_map.tid;
+        perm = Perm.Read_write;
+        section = site;
+        lock = frame.lock;
+        proactive = false };
     frame_note_acquired frame key;
     grant_in_context t ~tid key Perm.Read_write;
     t.reactive_acq <- t.reactive_acq + 1;
@@ -351,6 +393,7 @@ let assign_write_key t ~tid ~frame (meta : Obj_meta.t) =
     let demote_cost =
       List.fold_left
         (fun acc obj_id ->
+          Dense.Bitset.add t.prov_recycled obj_id;
           match Meta_table.find_id t.env.Hooks.meta obj_id with
           | Some other -> acc + demote_to_ro t other
           | None ->
@@ -359,7 +402,11 @@ let assign_write_key t ~tid ~frame (meta : Obj_meta.t) =
         0 obj_ids
     in
     Key_section_map.acquire t.ksmap key
-      { Key_section_map.tid; perm = Perm.Read_write; section = site; lock = frame.lock };
+      { Key_section_map.tid;
+        perm = Perm.Read_write;
+        section = site;
+        lock = frame.lock;
+        proactive = false };
     frame_note_acquired frame key;
     grant_in_context t ~tid key Perm.Read_write;
     t.reactive_acq <- t.reactive_acq + 1;
@@ -370,12 +417,24 @@ let assign_write_key t ~tid ~frame (meta : Obj_meta.t) =
          key instead.  Its pages get the reserved always-denied
          hardware tag, so every access traps into the handler. *)
       t.soft_fallbacks <- t.soft_fallbacks + 1;
+      Dense.Bitset.add t.prov_softened meta.Obj_meta.id;
       Soft_keys.add_object t.soft ~obj_id:meta.Obj_meta.id;
       (soft_pool_key, finish_with soft_pool_key Kard_obs.Event.Assign_share c.Cost_model.atomic_op)
     end
     else begin
+      (* Sharing provenance: the key stays multi-held, so accesses by
+         any co-holder to any object under it stop faulting — mark the
+         incoming object and everything already grouped under the key. *)
+      Dense.Bitset.add t.prov_key_shared meta.Obj_meta.id;
+      List.iter
+        (fun obj_id -> Dense.Bitset.add t.prov_key_shared obj_id)
+        (Domain_state.objects_with_key t.domains key);
       Key_section_map.force_acquire t.ksmap key
-        { Key_section_map.tid; perm = Perm.Read_write; section = site; lock = frame.lock };
+        { Key_section_map.tid;
+        perm = Perm.Read_write;
+        section = site;
+        lock = frame.lock;
+        proactive = false };
       frame_note_acquired frame key;
       grant_in_context t ~tid key Perm.Read_write;
       t.reactive_acq <- t.reactive_acq + 1;
@@ -407,6 +466,9 @@ let record_of_fault t (fault : Fault.t) (meta : Obj_meta.t) holding =
 let handle_verdict t ~obj_id = function
   | Interleave.Pending -> ()
   | Interleave.Spurious records ->
+    List.iter
+      (fun (r : Race_record.t) -> Dense.Bitset.add t.prov_pruned r.Race_record.obj_id)
+      records;
     let removed = Pruning.remove t.pruning records in
     Interleave.note_pruned t.interleave removed;
     Interleave.finish t.interleave ~obj_id
@@ -499,7 +561,8 @@ let handle_ro_fault t (fault : Fault.t) (meta : Obj_meta.t) =
           { Race_record.thread = reader_tid; section = Some site; access = `Read; ip = -1 })
         readers
     in
-    log_race t fault meta holding
+    log_race t fault meta holding;
+    Dense.Bitset.add t.prov_ro_blamed meta.Obj_meta.id
   end
   else observe_interleaving t fault meta;
   match current_frame t tid with
@@ -561,8 +624,20 @@ let handle_data_fault t (fault : Fault.t) (meta : Obj_meta.t) key =
       | Some _ | None -> (conflicts, false)
     else (conflicts, false)
   in
-  if rescued then t.ts_rescues <- t.ts_rescues + 1;
-  if conflicts <> [] then log_race t fault meta (List.map side_of_holder conflicts)
+  if rescued then begin
+    t.ts_rescues <- t.ts_rescues + 1;
+    Dense.Bitset.add t.prov_rescued meta.Obj_meta.id
+  end;
+  if conflicts <> [] then begin
+    (* Blame-time provenance: when the record blames a hold formed by
+       the proactive entry walk, Algorithm 1 may never have granted
+       that hold (it takes only the uncontested subset of KR/KW at
+       entry and forgets holds dropped by a nested exit), so the
+       report can be runtime-only. *)
+    if List.exists (fun (h : Key_section_map.holder) -> h.Key_section_map.proactive) conflicts
+    then Dense.Bitset.add t.prov_proactive_blame meta.Obj_meta.id;
+    log_race t fault meta (List.map side_of_holder conflicts)
+  end
   else observe_interleaving t fault meta;
   match current_frame t tid with
   | Some frame ->
@@ -575,7 +650,8 @@ let handle_data_fault t (fault : Fault.t) (meta : Obj_meta.t) key =
       in
       if Key_section_map.can_acquire t.ksmap key ~tid perm then begin
         Key_section_map.acquire t.ksmap key
-          { Key_section_map.tid; perm; section = frame.site; lock = frame.lock };
+          { Key_section_map.tid; perm; section = frame.site; lock = frame.lock;
+            proactive = false };
         frame_note_acquired frame key;
         grant_in_context t ~tid key perm;
         t.reactive_acq <- t.reactive_acq + 1;
@@ -713,13 +789,17 @@ let rec proactive_walk t c ~tid ~frame entries pkru cycles =
         else if
           Perm.equal wanted Perm.Read_write
           && Key_section_map.can_acquire t.ksmap key ~tid Perm.Read_only
-        then proactive_acquire t c ~tid ~frame rest pkru cycles key Perm.Read_only
+        then
+          (* Write-need downgraded to a read hold (the idealized
+             algorithm skips contested keys outright); a later fault
+             blaming it is caught by the blame-time provenance. *)
+          proactive_acquire t c ~tid ~frame rest pkru cycles key Perm.Read_only
         else proactive_walk t c ~tid ~frame rest pkru cycles
       end)
 
 and proactive_acquire t c ~tid ~frame rest pkru cycles key perm =
   Key_section_map.acquire t.ksmap key
-    { Key_section_map.tid; perm; section = frame.site; lock = frame.lock };
+    { Key_section_map.tid; perm; section = frame.site; lock = frame.lock; proactive = true };
   frame_note_acquired frame key;
   t.proactive_acq <- t.proactive_acq + 1;
   proactive_walk t c ~tid ~frame rest (Pkru.set pkru key perm) (cycles + c.Cost_model.atomic_op)
@@ -890,6 +970,31 @@ let stats t : stats =
 
 let unique_ro_objects t = Dense.Bitset.count t.ro_seen
 let unique_rw_objects t = Dense.Bitset.count t.rw_seen
+
+type provenance = {
+  rescued : bool;
+  grouped : bool;
+  key_shared : bool;
+  recycled : bool;
+  pruned : bool;
+  softened : bool;
+  demoted : bool;
+  ro_identified : bool;
+  ro_blamed : bool;
+  proactive_blamed : bool;
+}
+
+let provenance t ~obj_id =
+  { rescued = Dense.Bitset.mem t.prov_rescued obj_id;
+    grouped = Dense.Bitset.mem t.prov_grouped obj_id;
+    key_shared = Dense.Bitset.mem t.prov_key_shared obj_id;
+    recycled = Dense.Bitset.mem t.prov_recycled obj_id;
+    pruned = Dense.Bitset.mem t.prov_pruned obj_id;
+    softened = Dense.Bitset.mem t.prov_softened obj_id;
+    demoted = Dense.Bitset.mem t.prov_demoted obj_id;
+    ro_identified = Dense.Bitset.mem t.ro_seen obj_id;
+    ro_blamed = Dense.Bitset.mem t.prov_ro_blamed obj_id;
+    proactive_blamed = Dense.Bitset.mem t.prov_proactive_blame obj_id }
 let domains t = t.domains
 let section_object_map t = t.somap
 let key_section_map t = t.ksmap

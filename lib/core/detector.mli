@@ -56,6 +56,33 @@ val unique_ro_objects : t -> int
 val unique_rw_objects : t -> int
 (** Distinct objects ever identified into the Read-write domain. *)
 
+(** Per-object provenance: which documented precision-losing
+    mechanisms fired on this object during the run.  The differential
+    classifier ([lib/fuzz]) uses these bits as the {e evidence} a
+    {!Divergence} class demands before explaining a disagreement with
+    the reference oracles. *)
+type provenance = {
+  rescued : bool;     (** Blamed via the release-timestamp window. *)
+  grouped : bool;     (** Shared a physical key with another object. *)
+  key_shared : bool;  (** Under a key force-shared across sections (rule 3b). *)
+  recycled : bool;    (** Demoted to Read-only by a key recycling. *)
+  pruned : bool;      (** Had a record removed as interleave-spurious. *)
+  softened : bool;    (** Moved to the software key pool. *)
+  demoted : bool;     (** Bounced to Not-accessed (keyless access or
+                          interleaving wind-down). *)
+  ro_identified : bool;  (** Ever identified into the Read-only domain
+                             (later readers are invisible there). *)
+  ro_blamed : bool;  (** Has a race record from the Read-only write-fault
+                         path (fault-time section-object-map blame). *)
+  proactive_blamed : bool;  (** Has a race record blaming a hold formed
+                                by the proactive section-entry walk —
+                                a hold Algorithm 1 may never grant
+                                (contested keys are skipped at entry;
+                                nested exits can drop an outer hold). *)
+}
+
+val provenance : t -> obj_id:int -> provenance
+
 val make :
   ?config:Config.t -> cell:t option ref -> Kard_sched.Hooks.env -> Kard_sched.Hooks.t
 (** Convenience for {!Kard_sched.Machine.create}: builds the detector,

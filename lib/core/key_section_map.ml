@@ -7,6 +7,7 @@ type holder = {
   perm : Perm.t;
   section : int;
   lock : int;
+  proactive : bool;
 }
 
 (* Keys are the 16 architectural pkeys and threads/sections are small
@@ -26,6 +27,7 @@ type slots = {
   mutable perms : Perm.t array;
   mutable sections : int array;
   mutable locks : int array;
+  mutable proactives : bool array;
   mutable n : int;
 }
 
@@ -34,6 +36,7 @@ type release_row = {
   mutable r_perm : Perm.t array;
   mutable r_section : int array;
   mutable r_lock : int array;
+  mutable r_proactive : bool array;
 }
 
 type t = {
@@ -43,6 +46,7 @@ type t = {
   lr_perm : Perm.t array;
   lr_section : int array;
   lr_lock : int array;
+  lr_proactive : bool array;
   by_releaser : release_row array; (* index = key *)
   mutable section_refs : int array; (* section -> live holdings *)
   mutable max_section : int; (* highest section index ever referenced *)
@@ -51,20 +55,25 @@ type t = {
 let create () =
   { slots =
       Array.init Pkey.count (fun _ ->
-          { tids = [||]; perms = [||]; sections = [||]; locks = [||]; n = 0 });
+          { tids = [||]; perms = [||]; sections = [||]; locks = [||]; proactives = [||]; n = 0 });
     lr_time = Array.make Pkey.count (-1);
     lr_tid = Array.make Pkey.count 0;
     lr_perm = Array.make Pkey.count Perm.No_access;
     lr_section = Array.make Pkey.count 0;
     lr_lock = Array.make Pkey.count 0;
+    lr_proactive = Array.make Pkey.count false;
     by_releaser =
       Array.init Pkey.count (fun _ ->
-          { r_time = [||]; r_perm = [||]; r_section = [||]; r_lock = [||] });
+          { r_time = [||]; r_perm = [||]; r_section = [||]; r_lock = [||]; r_proactive = [||] });
     section_refs = Array.make 64 0;
     max_section = -1 }
 
 let slot_holder s i =
-  { tid = s.tids.(i); perm = s.perms.(i); section = s.sections.(i); lock = s.locks.(i) }
+  { tid = s.tids.(i);
+    perm = s.perms.(i);
+    section = s.sections.(i);
+    lock = s.locks.(i);
+    proactive = s.proactives.(i) }
 
 (* Newest holding first, as the cons-list predecessor returned. *)
 let holders t key =
@@ -140,10 +149,13 @@ let grow_slots s =
   in
   let perms = Array.make cap Perm.No_access in
   Array.blit s.perms 0 perms 0 s.n;
+  let proactives = Array.make cap false in
+  Array.blit s.proactives 0 proactives 0 s.n;
   s.tids <- bigger_int s.tids;
   s.perms <- perms;
   s.sections <- bigger_int s.sections;
-  s.locks <- bigger_int s.locks
+  s.locks <- bigger_int s.locks;
+  s.proactives <- proactives
 
 (* Remove slot [i], keeping the order of the others. *)
 let remove_slot s i =
@@ -151,17 +163,19 @@ let remove_slot s i =
     s.tids.(j) <- s.tids.(j + 1);
     s.perms.(j) <- s.perms.(j + 1);
     s.sections.(j) <- s.sections.(j + 1);
-    s.locks.(j) <- s.locks.(j + 1)
+    s.locks.(j) <- s.locks.(j + 1);
+    s.proactives.(j) <- s.proactives.(j + 1)
   done;
   s.n <- s.n - 1
 
-let push_slot s ~tid perm ~section ~lock =
+let push_slot s ~tid perm ~section ~lock ~proactive =
   if s.n = Array.length s.tids then grow_slots s;
   let i = s.n in
   s.tids.(i) <- tid;
   s.perms.(i) <- perm;
   s.sections.(i) <- section;
   s.locks.(i) <- lock;
+  s.proactives.(i) <- proactive;
   s.n <- i + 1
 
 let add_holding t key holder =
@@ -169,13 +183,19 @@ let add_holding t key holder =
   let i = slot_of s ~tid:holder.tid in
   if i >= 0 then begin
     (* Upgrade (or idempotent re-acquire): the holding moves to the
-       top with the joined permission and the new section/lock. *)
+       top with the joined permission and the new section/lock.  A
+       holding counts as proactive only while every acquisition of it
+       was — one access-driven (re)acquire means the thread really
+       touched data under the key, which the idealized algorithm also
+       grants. *)
     let joined = Perm.join s.perms.(i) holder.perm in
+    let proactive = s.proactives.(i) && holder.proactive in
     remove_slot s i;
-    push_slot s ~tid:holder.tid joined ~section:holder.section ~lock:holder.lock
+    push_slot s ~tid:holder.tid joined ~section:holder.section ~lock:holder.lock ~proactive
   end
   else begin
-    push_slot s ~tid:holder.tid holder.perm ~section:holder.section ~lock:holder.lock;
+    push_slot s ~tid:holder.tid holder.perm ~section:holder.section ~lock:holder.lock
+      ~proactive:holder.proactive;
     section_ref t holder.section 1
   end
 
@@ -188,7 +208,7 @@ let acquire t key holder =
 
 let force_acquire t key holder = add_holding t key holder
 
-let note_release_by t k ~tid ~time ~perm ~section ~lock =
+let note_release_by t k ~tid ~time ~perm ~section ~lock ~proactive =
   let row = t.by_releaser.(k) in
   if tid >= Array.length row.r_time then begin
     let cap = Dense.grow_pow2 (Array.length row.r_time) tid in
@@ -199,15 +219,19 @@ let note_release_by t k ~tid ~time ~perm ~section ~lock =
     in
     let perms = Array.make cap Perm.No_access in
     Array.blit row.r_perm 0 perms 0 (Array.length row.r_perm);
+    let proactives = Array.make cap false in
+    Array.blit row.r_proactive 0 proactives 0 (Array.length row.r_proactive);
     row.r_time <- grown_int (-1) row.r_time;
     row.r_perm <- perms;
     row.r_section <- grown_int 0 row.r_section;
-    row.r_lock <- grown_int 0 row.r_lock
+    row.r_lock <- grown_int 0 row.r_lock;
+    row.r_proactive <- proactives
   end;
   row.r_time.(tid) <- time;
   row.r_perm.(tid) <- perm;
   row.r_section.(tid) <- section;
-  row.r_lock.(tid) <- lock
+  row.r_lock.(tid) <- lock;
+  row.r_proactive.(tid) <- proactive
 
 let release t key ~tid ~time =
   let k = Pkey.to_int key in
@@ -215,13 +239,15 @@ let release t key ~tid ~time =
   let i = slot_of s ~tid in
   if i >= 0 then begin
     let perm = s.perms.(i) and section = s.sections.(i) and lock = s.locks.(i) in
+    let proactive = s.proactives.(i) in
     remove_slot s i;
     t.lr_time.(k) <- time;
     t.lr_tid.(k) <- tid;
     t.lr_perm.(k) <- perm;
     t.lr_section.(k) <- section;
     t.lr_lock.(k) <- lock;
-    note_release_by t k ~tid ~time ~perm ~section ~lock;
+    t.lr_proactive.(k) <- proactive;
+    note_release_by t k ~tid ~time ~perm ~section ~lock ~proactive;
     section_ref t section (-1)
   end
 
@@ -234,7 +260,8 @@ let last_release t key =
         { tid = t.lr_tid.(k);
           perm = t.lr_perm.(k);
           section = t.lr_section.(k);
-          lock = t.lr_lock.(k) } )
+          lock = t.lr_lock.(k);
+          proactive = t.lr_proactive.(k) } )
 
 let last_release_by_other t key ~tid =
   (* Most recent release of [key] by any other thread; on equal stamps
@@ -253,7 +280,11 @@ let last_release_by_other t key ~tid =
     let r = !best in
     Some
       ( row.r_time.(r),
-        { tid = r; perm = row.r_perm.(r); section = row.r_section.(r); lock = row.r_lock.(r) } )
+        { tid = r;
+          perm = row.r_perm.(r);
+          section = row.r_section.(r);
+          lock = row.r_lock.(r);
+          proactive = row.r_proactive.(r) } )
 
 let recently_released t key ~now ~window =
   let time = t.lr_time.(Pkey.to_int key) in

@@ -12,6 +12,12 @@ type holder = {
   lock : int;              (** The lock guarding that section: conflicts
                                between sections of the same lock are
                                ordered, hence never ILU races. *)
+  proactive : bool;        (** Acquired by the section-entry walk (from
+                               the section-object map) rather than by an
+                               access of this activation — the runtime
+                               grants these unconditionally where
+                               Algorithm 1 line 4 takes only the
+                               uncontested subset. *)
 }
 
 type t

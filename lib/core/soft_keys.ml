@@ -48,7 +48,7 @@ let access t ~obj_id ~tid ~section ~lock ~access =
       let merged =
         match mine with
         | Some h -> { h with Key_section_map.perm = Perm.join h.Key_section_map.perm perm }
-        | None -> { Key_section_map.tid; perm; section; lock }
+        | None -> { Key_section_map.tid; perm; section; lock; proactive = false }
       in
       Hashtbl.replace t.holders obj_id (merged :: others)
     | _ -> ());

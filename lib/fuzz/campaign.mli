@@ -1,0 +1,56 @@
+(** Deterministic, resumable, parallel fuzz campaigns.
+
+    A campaign of [count] programs derives every input from the
+    campaign seed alone: program [i] is generated from
+    [Random.State.make [| seed; i |]], the machine seed is drawn from
+    the same state, and the detector configuration cycles through
+    {!configs} by index.  Jobs are independent, executed on the
+    {!Kard_harness.Pool} and merged in submission order — a campaign
+    at [--jobs 1] and at [--jobs 8] produces byte-identical reports
+    and corpus contents.
+
+    With a corpus directory the campaign persists (no timestamps, no
+    hostnames — files depend only on [seed] and [count]):
+
+    - [state.txt] — the machine-readable cumulative record (seed,
+      programs done, per-class counts); a rerun with the same seed
+      resumes after the programs already done, extending the same
+      corpus.
+    - [summary.txt] — the human-readable mirror.
+    - [exemplar-<class>.ml] — for each divergence class, the first
+      program (lowest index) that exhibited it, as a runnable
+      {!Prog.to_ocaml} value.
+    - [unexpected-<index>.ml] — every program with an unexpected
+      divergence, minimized by {!Shrink.minimize} (preserving
+      unexpectedness), plus the original as
+      [unexpected-<index>-full.ml]. *)
+
+val configs : (string * Kard_core.Config.t) list
+(** The detector configurations a campaign cycles through, with short
+    stable names: the default; a 4-key detector (forcing grouping,
+    recycling and sharing); a 4-key detector with the software
+    fallback; and lock-identity sections. *)
+
+type result = {
+  programs : int;       (** Programs run in this invocation. *)
+  total : int;          (** Cumulative programs in the corpus (resume). *)
+  divergent : int;      (** Cumulative programs with at least one divergence. *)
+  class_counts : (Kard_core.Divergence.cls * int) list;
+      (** Cumulative per-class divergent-object counts, taxonomy order. *)
+  unexpected_indices : int list;  (** Cumulative, sorted. *)
+}
+
+val run :
+  ?jobs:int ->
+  ?corpus:string ->
+  count:int ->
+  seed:int ->
+  unit ->
+  result
+(** Run programs [done..count-1] (where [done] is what the corpus
+    already records, 0 without a corpus or on a fresh one).  [count]
+    is the cumulative target.  @raise Failure if the corpus directory
+    belongs to a different campaign seed. *)
+
+val report : Format.formatter -> result -> unit
+(** The summary block (also what [summary.txt] contains). *)

@@ -1,0 +1,94 @@
+module D = Kard_core.Divergence
+module Detector = Kard_core.Detector
+
+type obj_verdict = {
+  obj : int;
+  kard : bool;
+  alg1 : bool;
+  hb : bool;
+  lockset : bool;
+  classes : D.cls list;
+}
+
+let classify ~provenance ~kard ~alg1 ~hb ~lockset =
+  let hb_tbl = Hashtbl.create 8 in
+  List.iter (fun (h : Oracles.hb_obj) -> Hashtbl.replace hb_tbl h.Oracles.obj h) hb;
+  let ls_tbl = Hashtbl.create 8 in
+  List.iter (fun (l : Oracles.lockset_obj) -> Hashtbl.replace ls_tbl l.Oracles.obj l) lockset;
+  let universe = Hashtbl.create 16 in
+  let see obj = Hashtbl.replace universe obj () in
+  List.iter see kard;
+  List.iter see alg1;
+  List.iter (fun (h : Oracles.hb_obj) -> see h.Oracles.obj) hb;
+  List.iter (fun (l : Oracles.lockset_obj) -> if l.Oracles.warned then see l.Oracles.obj) lockset;
+  let objects = List.sort compare (Hashtbl.fold (fun o () acc -> o :: acc) universe []) in
+  let verdict obj =
+    let k = List.mem obj kard in
+    let a = List.mem obj alg1 in
+    let h = Hashtbl.find_opt hb_tbl obj in
+    let l = Hashtbl.find_opt ls_tbl obj in
+    let warned = match l with Some l -> l.Oracles.warned | None -> false in
+    let p = provenance ~obj_id:obj in
+    let classes = ref [] in
+    let add c = classes := c :: !classes in
+    (* Axis 1: the central contract — the runtime vs Algorithm 1. *)
+    if k && not a then begin
+      if p.Detector.rescued then add D.Timestamp_window
+      else if p.Detector.ro_blamed then add D.Ro_fault_blame
+      else if p.Detector.proactive_blamed then add D.Proactive_hold_blame
+      else if p.Detector.grouped then add D.Grouping_over_report
+      else add D.Unexpected
+    end;
+    if a && not k then begin
+      if p.Detector.key_shared then add D.Key_sharing_miss
+      else if p.Detector.recycled then add D.Recycling_miss
+      else if p.Detector.pruned then add D.Interleave_prune
+      else if p.Detector.grouped then add D.Grouping_under_report
+      else if p.Detector.demoted then add D.Demotion_miss
+      else if p.Detector.ro_identified then add D.Ro_shadow_miss
+      else add D.Unexpected
+    end;
+    (* Axis 2: key-based detection (Algorithm 1 as the semantic
+       reference) vs happens-before over the same linearization. *)
+    (match h with
+    | Some hr when not a ->
+      if hr.Oracles.unlocked_pair then add D.Hb_extra_unlocked else add D.Hb_extra_ilu
+    | Some _ -> ()
+    | None -> if a then add D.Ilu_not_hb);
+    (* Axis 3: Eraser vs everyone.  The miss direction demands an
+       access-witnessed race (HB flags an unordered conflicting pair):
+       kard/alg1 potential races can come from proactive section keys
+       with no access by the holder's current activation, which a
+       pure access-pair analysis cannot see. *)
+    if warned && not (k || a || Option.is_some h) then add D.Lockset_over_report;
+    if Option.is_some h && not warned then begin
+      match l with
+      | Some { Oracles.strict_warned = true; _ } ->
+        (* The no-exemption shadow replay does warn: the race hid
+           behind the Virgin/Exclusive initialization heuristic. *)
+        add D.Lockset_init_miss
+      | Some { Oracles.state = Oracles.Shared_modified; candidate_nonempty = true; _ } ->
+        (* Consistently locked even counting first-owner accesses: no
+           documented Eraser miss applies, an oracle lied. *)
+        add D.Unexpected
+      | Some _ | None -> add D.Lockset_shared_read_miss
+    end;
+    { obj;
+      kard = k;
+      alg1 = a;
+      hb = Option.is_some h;
+      lockset = warned;
+      classes = List.sort_uniq D.compare !classes }
+  in
+  List.map verdict objects
+
+let pp_verdict fmt v =
+  let flag b = if b then "+" else "-" in
+  Format.fprintf fmt "obj %d [kard%s alg1%s hb%s lockset%s]" v.obj (flag v.kard) (flag v.alg1)
+    (flag v.hb) (flag v.lockset);
+  match v.classes with
+  | [] -> Format.fprintf fmt " agreed"
+  | cs ->
+    Format.fprintf fmt " %a"
+      (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt ",") D.pp)
+      cs

@@ -1,0 +1,30 @@
+(** The oracle-equivalence contract, executed.
+
+    Given one run's verdicts from all four detectors plus the Kard
+    runtime's per-object provenance, produce a per-object divergence
+    classification.  Every disagreement must be claimed by a
+    {!Kard_core.Divergence} class whose evidence is present;
+    anything left over is {!Kard_core.Divergence.Unexpected} — a
+    real bug in the runtime, an oracle, or this classifier. *)
+
+type obj_verdict = {
+  obj : int;
+  kard : bool;
+  alg1 : bool;
+  hb : bool;
+  lockset : bool;  (** Eraser {e warned} (not merely refined). *)
+  classes : Kard_core.Divergence.cls list;
+      (** Sorted, deduplicated; [[]] when all four agree. *)
+}
+
+val classify :
+  provenance:(obj_id:int -> Kard_core.Detector.provenance) ->
+  kard:int list ->
+  alg1:int list ->
+  hb:Oracles.hb_obj list ->
+  lockset:Oracles.lockset_obj list ->
+  obj_verdict list
+(** One verdict per object flagged by at least one detector, sorted
+    by object id. *)
+
+val pp_verdict : Format.formatter -> obj_verdict -> unit

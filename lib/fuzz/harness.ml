@@ -1,0 +1,68 @@
+module Machine = Kard_sched.Machine
+module Hooks = Kard_sched.Hooks
+module Detector = Kard_core.Detector
+module Config = Kard_core.Config
+module D = Kard_core.Divergence
+module Race_record = Kard_core.Race_record
+
+type outcome = {
+  verdicts : Classify.obj_verdict list;
+  divergent : Classify.obj_verdict list;
+  classes : D.cls list;
+  unexpected : bool;
+  stuck : string option;
+}
+
+let run ?(kard_filter = fun (_ : Race_record.t) -> true)
+    ?(provenance_filter = fun (p : Detector.provenance) -> p) ?(config = Config.default) ~seed
+    prog =
+  let cell = ref None in
+  let log = Trace_log.create () in
+  let make_detector env =
+    Trace_log.wrap log ~meta:env.Hooks.meta (Detector.make ~config ~cell env)
+  in
+  let machine =
+    Machine.create ~seed
+      ~allocator:(Machine.Unique_page { granule = 32; recycle_virtual_pages = false })
+      ~make_detector ()
+  in
+  let (_ : Prog.run_ctx) =
+    Prog.spawn_all prog ~machine ~on_event:(fun ev -> Trace_log.emit log ev)
+  in
+  match Machine.run machine with
+  | exception Machine.Stuck msg ->
+    { verdicts = []; divergent = []; classes = [ D.Unexpected ]; unexpected = true;
+      stuck = Some msg }
+  | (_ : Machine.report) ->
+    let detector = Option.get !cell in
+    let events = Trace_log.events log in
+    let kard =
+      Detector.races detector
+      |> List.filter kard_filter
+      |> List.map (fun (r : Race_record.t) -> r.Race_record.obj_id)
+      |> List.sort_uniq compare
+    in
+    let alg1 = Oracles.alg1 ~section_identity:config.Config.section_identity events in
+    let hb = Oracles.hb ~threads:(prog.Prog.workers + 1) events in
+    let lockset = Oracles.lockset events in
+    let verdicts =
+      Classify.classify
+        ~provenance:(fun ~obj_id -> provenance_filter (Detector.provenance detector ~obj_id))
+        ~kard ~alg1 ~hb ~lockset
+    in
+    let divergent = List.filter (fun v -> v.Classify.classes <> []) verdicts in
+    let classes =
+      List.sort_uniq D.compare (List.concat_map (fun v -> v.Classify.classes) divergent)
+    in
+    let unexpected = List.exists (fun c -> not (D.expected c)) classes in
+    { verdicts; divergent; classes; unexpected; stuck = None }
+
+let pp_outcome fmt o =
+  match o.stuck with
+  | Some msg -> Format.fprintf fmt "stuck: %s" msg
+  | None ->
+    if o.divergent = [] then Format.fprintf fmt "agreement on %d objects" (List.length o.verdicts)
+    else
+      Format.fprintf fmt "@[<v 0>%a@]"
+        (Format.pp_print_list ~pp_sep:Format.pp_print_cut Classify.pp_verdict)
+        o.divergent

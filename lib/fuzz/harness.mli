@@ -1,0 +1,38 @@
+(** Run one fuzz program under every detector and classify.
+
+    The program executes once on the simulated machine under the Kard
+    runtime, with a {!Trace_log} wrapper recording the linearized
+    event sequence; the three pure oracles then replay that exact
+    sequence, and {!Classify} names every disagreement. *)
+
+type outcome = {
+  verdicts : Classify.obj_verdict list;
+      (** Every object some detector flagged, sorted by id. *)
+  divergent : Classify.obj_verdict list;
+      (** The subset with a non-empty class list. *)
+  classes : Kard_core.Divergence.cls list;
+      (** Union over [divergent], sorted. *)
+  unexpected : bool;
+  stuck : string option;
+      (** The machine raised [Stuck] — impossible for a {!Prog.check}ed
+          program, so it counts as unexpected. *)
+}
+
+val run :
+  ?kard_filter:(Kard_core.Race_record.t -> bool) ->
+  ?provenance_filter:(Kard_core.Detector.provenance -> Kard_core.Detector.provenance) ->
+  ?config:Kard_core.Config.t ->
+  seed:int ->
+  Prog.t ->
+  outcome
+(** [kard_filter] drops Kard race records before comparison, and
+    [provenance_filter] rewrites the per-object provenance the
+    classifier sees — together the injected-bug levers for the
+    shrinker tests: a detector that loses both its records and its
+    evidence log turns every surviving divergence into
+    {!Kard_core.Divergence.Unexpected} (defaults: keep
+    everything).  [config] is the detector configuration (default
+    {!Kard_core.Config.default}); [seed] drives the machine
+    schedule. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

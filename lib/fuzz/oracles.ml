@@ -1,0 +1,231 @@
+module A = Kard_core.Algorithm
+module Config = Kard_core.Config
+module Vc = Kard_baselines.Vector_clock
+
+(* {1 Algorithm 1} *)
+
+let alg1 ~section_identity events =
+  let section ~site ~lock =
+    match section_identity with
+    | Config.By_call_site -> site
+    | Config.By_lock -> lock
+  in
+  let t = A.create () in
+  let racy = Hashtbl.create 8 in
+  List.iter
+    (fun ev ->
+      let races =
+        match (ev : Trace_log.ev) with
+        | Trace_log.Lock { tid; lock; site } ->
+          A.step t (A.Enter { thread = tid; section = section ~site ~lock })
+        | Trace_log.Unlock { tid; _ } -> A.step t (A.Exit { thread = tid })
+        | Trace_log.Read { tid; obj } -> A.step t (A.Read { thread = tid; obj })
+        | Trace_log.Write { tid; obj } -> A.step t (A.Write { thread = tid; obj })
+        | Trace_log.Alloc _ | Trace_log.Free _ | Trace_log.Pass _ | Trace_log.Arrive _
+        | Trace_log.Release _ ->
+          []
+      in
+      List.iter (fun (r : A.race) -> Hashtbl.replace racy r.A.obj ()) races)
+    events;
+  List.sort compare (Hashtbl.fold (fun obj () acc -> obj :: acc) racy [])
+
+(* {1 Happens-before} *)
+
+type hb_obj = {
+  obj : int;
+  unlocked_pair : bool;
+}
+
+type hb_state = {
+  wvc : int array;         (* epoch of each thread's last write *)
+  rvc : int array;         (* epoch of each thread's last read *)
+  wlocked : bool array;
+  rlocked : bool array;
+  mutable racy : bool;
+  mutable unlocked : bool;
+}
+
+let hb ~threads events =
+  let c = Array.init threads (fun _ -> Vc.create ~threads) in
+  (* Epochs must be distinguishable from the zero of a fresh clock. *)
+  Array.iteri (fun t vc -> Vc.tick vc t) c;
+  let depth = Array.make threads 0 in
+  let lock_vc = Hashtbl.create 8 in
+  let arrivals = Hashtbl.create 4 in
+  let releases = Hashtbl.create 4 in
+  let objs = Hashtbl.create 32 in
+  let obj_state obj =
+    match Hashtbl.find_opt objs obj with
+    | Some st -> st
+    | None ->
+      let st =
+        { wvc = Array.make threads 0;
+          rvc = Array.make threads 0;
+          wlocked = Array.make threads false;
+          rlocked = Array.make threads false;
+          racy = false;
+          unlocked = false }
+      in
+      Hashtbl.replace objs obj st;
+      st
+  in
+  let race st ~tid ~other_locked =
+    st.racy <- true;
+    if depth.(tid) = 0 || not other_locked then st.unlocked <- true
+  in
+  let on_read ~tid ~obj =
+    let st = obj_state obj in
+    for u = 0 to threads - 1 do
+      if u <> tid && st.wvc.(u) > Vc.get c.(tid) u then
+        race st ~tid ~other_locked:st.wlocked.(u)
+    done;
+    st.rvc.(tid) <- Vc.get c.(tid) tid;
+    st.rlocked.(tid) <- depth.(tid) > 0
+  in
+  let on_write ~tid ~obj =
+    let st = obj_state obj in
+    for u = 0 to threads - 1 do
+      if u <> tid then begin
+        if st.wvc.(u) > Vc.get c.(tid) u then race st ~tid ~other_locked:st.wlocked.(u);
+        if st.rvc.(u) > Vc.get c.(tid) u then race st ~tid ~other_locked:st.rlocked.(u)
+      end
+    done;
+    st.wvc.(tid) <- Vc.get c.(tid) tid;
+    st.wlocked.(tid) <- depth.(tid) > 0
+  in
+  List.iter
+    (fun ev ->
+      match (ev : Trace_log.ev) with
+      | Trace_log.Lock { tid; lock; _ } ->
+        (match Hashtbl.find_opt lock_vc lock with
+        | Some l -> Vc.join ~into:c.(tid) l
+        | None -> ());
+        depth.(tid) <- depth.(tid) + 1
+      | Trace_log.Unlock { tid; lock } ->
+        Hashtbl.replace lock_vc lock (Vc.copy c.(tid));
+        Vc.tick c.(tid) tid;
+        depth.(tid) <- depth.(tid) - 1
+      | Trace_log.Read { tid; obj } -> on_read ~tid ~obj
+      | Trace_log.Write { tid; obj } -> on_write ~tid ~obj
+      | Trace_log.Arrive { tid; phase } ->
+        (match Hashtbl.find_opt arrivals phase with
+        | Some acc -> Vc.join ~into:acc c.(tid)
+        | None -> Hashtbl.replace arrivals phase (Vc.copy c.(tid)));
+        Vc.tick c.(tid) tid
+      | Trace_log.Release { phase } ->
+        (match Hashtbl.find_opt arrivals (phase - 1) with
+        | Some acc -> Vc.join ~into:c.(0) acc
+        | None -> ());
+        Hashtbl.replace releases phase (Vc.copy c.(0));
+        Vc.tick c.(0) 0
+      | Trace_log.Pass { tid; phase } ->
+        (match Hashtbl.find_opt releases phase with
+        | Some r -> Vc.join ~into:c.(tid) r
+        | None -> ())
+      | Trace_log.Alloc _ | Trace_log.Free _ -> ())
+    events;
+  Hashtbl.fold
+    (fun obj st acc -> if st.racy then { obj; unlocked_pair = st.unlocked } :: acc else acc)
+    objs []
+  |> List.sort (fun a b -> compare a.obj b.obj)
+
+(* {1 Eraser lockset} *)
+
+type eraser_state = Virgin | Exclusive of int | Shared | Shared_modified
+
+type lockset_obj = {
+  obj : int;
+  warned : bool;
+  state : eraser_state;
+  candidate_nonempty : bool;
+  strict_warned : bool;
+}
+
+module Int_set = Set.Make (Int)
+
+type ls_state = {
+  mutable st : eraser_state;
+  mutable candidate : Int_set.t option;  (* None = all locks (not yet refined) *)
+  mutable warned_ : bool;
+  (* Shadow replay without the Virgin/Exclusive exemption: refined
+     from the very first access, warning on the classic write-shared
+     + empty-lockset condition.  Divergence between the two replays
+     is the evidence for the initialization-heuristic miss. *)
+  mutable strict_cand : Int_set.t option;
+  mutable accessors : Int_set.t;
+  mutable any_write : bool;
+  mutable strict_warned_ : bool;
+}
+
+let lockset events =
+  let held : (int, Int_set.t) Hashtbl.t = Hashtbl.create 8 in
+  let held_of tid = Option.value ~default:Int_set.empty (Hashtbl.find_opt held tid) in
+  let objs : (int, ls_state) Hashtbl.t = Hashtbl.create 32 in
+  let obj_state obj =
+    match Hashtbl.find_opt objs obj with
+    | Some st -> st
+    | None ->
+      let st =
+        { st = Virgin; candidate = None; warned_ = false;
+          strict_cand = None; accessors = Int_set.empty; any_write = false;
+          strict_warned_ = false }
+      in
+      Hashtbl.replace objs obj st;
+      st
+  in
+  let refine st ~tid =
+    let now = held_of tid in
+    let c = match st.candidate with None -> now | Some c -> Int_set.inter c now in
+    st.candidate <- Some c;
+    c
+  in
+  let strict_access st ~tid ~write =
+    let now = held_of tid in
+    let c = match st.strict_cand with None -> now | Some c -> Int_set.inter c now in
+    st.strict_cand <- Some c;
+    st.accessors <- Int_set.add tid st.accessors;
+    st.any_write <- st.any_write || write;
+    if Int_set.cardinal st.accessors >= 2 && st.any_write && Int_set.is_empty c then
+      st.strict_warned_ <- true
+  in
+  let access ~tid ~obj ~write =
+    let st = obj_state obj in
+    strict_access st ~tid ~write;
+    match st.st with
+    | Virgin -> st.st <- Exclusive tid
+    | Exclusive t0 when t0 = tid -> ()
+    | Exclusive _ ->
+      st.st <- (if write then Shared_modified else Shared);
+      let c = refine st ~tid in
+      if write && Int_set.is_empty c then st.warned_ <- true
+    | Shared ->
+      if write then st.st <- Shared_modified;
+      let c = refine st ~tid in
+      if st.st = Shared_modified && Int_set.is_empty c then st.warned_ <- true
+    | Shared_modified ->
+      let c = refine st ~tid in
+      if Int_set.is_empty c then st.warned_ <- true
+  in
+  List.iter
+    (fun ev ->
+      match (ev : Trace_log.ev) with
+      | Trace_log.Lock { tid; lock; _ } -> Hashtbl.replace held tid (Int_set.add lock (held_of tid))
+      | Trace_log.Unlock { tid; lock } ->
+        Hashtbl.replace held tid (Int_set.remove lock (held_of tid))
+      | Trace_log.Read { tid; obj } -> access ~tid ~obj ~write:false
+      | Trace_log.Write { tid; obj } -> access ~tid ~obj ~write:true
+      | Trace_log.Alloc _ | Trace_log.Free _ | Trace_log.Pass _ | Trace_log.Arrive _
+      | Trace_log.Release _ ->
+        ())
+    events;
+  Hashtbl.fold
+    (fun obj st acc ->
+      { obj;
+        warned = st.warned_;
+        state = st.st;
+        candidate_nonempty =
+          (match st.candidate with None -> true | Some c -> not (Int_set.is_empty c));
+        strict_warned = st.strict_warned_ }
+      :: acc)
+    objs []
+  |> List.sort (fun a b -> compare a.obj b.obj)

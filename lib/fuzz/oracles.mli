@@ -1,0 +1,57 @@
+(** Pure reference oracles replaying one recorded trace.
+
+    Each oracle consumes the {!Trace_log.ev} sequence of a single
+    run — the machine's own linearization — so all four race
+    detectors (the Kard runtime that produced the trace, and the
+    three replays here) judge exactly the same schedule.  Every
+    oracle reports at {e object} granularity (allocator ids), the
+    common coin the classifier compares in. *)
+
+(** {1 Algorithm 1} *)
+
+val alg1 :
+  section_identity:Kard_core.Config.section_identity -> Trace_log.ev list -> int list
+(** Objects the idealized per-object-key algorithm flags, sorted.
+    Sections are named the way the detector under test names them
+    ([By_call_site]: the lock site; [By_lock]: the lock id), so the
+    replay and the runtime agree on section identity. *)
+
+(** {1 Happens-before} *)
+
+type hb_obj = {
+  obj : int;
+  unlocked_pair : bool;
+      (** Some racing pair had at least one side outside any critical
+          section — distinguishes the two documented HB-only classes. *)
+}
+
+val hb : threads:int -> Trace_log.ev list -> hb_obj list
+(** Objects with at least one pair of conflicting accesses unordered
+    by happens-before, sorted by object.  Synchronization edges:
+    lock release-to-acquire, and the fuzz program's phase barrier
+    ([Arrive]/[Release]/[Pass] events).  Epoch-per-thread vector
+    clocks ({!Kard_baselines.Vector_clock}); clocks tick at release
+    points. *)
+
+(** {1 Eraser lockset} *)
+
+type eraser_state = Virgin | Exclusive of int | Shared | Shared_modified
+
+type lockset_obj = {
+  obj : int;
+  warned : bool;          (** Candidate set emptied in Shared-modified. *)
+  state : eraser_state;   (** Final state. *)
+  candidate_nonempty : bool;
+  strict_warned : bool;
+      (** A shadow replay {e without} the Virgin/Exclusive
+          exemption — refined from the first access, warning once the
+          object is write-shared with an empty set — did warn.
+          [strict_warned && not warned] is the evidence that Eraser's
+          initialization heuristic hid the race. *)
+}
+
+val lockset : Trace_log.ev list -> lockset_obj list
+(** Eraser's verdict per accessed object, sorted by object.  The
+    final state and candidate set are exposed so the classifier can
+    demand evidence for the documented misses (warnings only fire in
+    Shared-modified). *)

@@ -1,0 +1,191 @@
+module P = Prog
+
+(* {1 Size measure}
+
+   Every rewrite below strictly decreases this sum, which is what
+   makes the greedy loop terminate: structure is weighted far above
+   operands so a candidate can never trade a dropped op for larger
+   indices elsewhere. *)
+
+let rec op_weight = function
+  | P.Read { slot; off } | P.Write { slot; off } | P.Rmw { slot; off } ->
+    16 + slot + off
+  | P.Compute n -> 8 + abs n
+  | P.Yield -> 4
+  | P.Locked { lock; site; body } -> 16 + lock + site + ops_weight body
+  | P.Repeat { times; body } -> 12 + times + ops_weight body
+
+and ops_weight ops = List.fold_left (fun acc op -> acc + op_weight op) 0 ops
+
+let size (p : P.t) =
+  let phase_weight (ph : P.phase) =
+    (1000 * List.length ph.P.refresh)
+    + Array.fold_left (fun acc ops -> acc + ops_weight ops) 0 ph.P.work
+  in
+  (100_000 * (p.P.workers + List.length p.P.phases))
+  + (10 * (p.P.slots + p.P.locks))
+  + List.fold_left (fun acc ph -> acc + phase_weight ph) 0 p.P.phases
+
+(* {1 List / array surgery} *)
+
+let remove_nth i l = List.filteri (fun j _ -> j <> i) l
+
+let replace_nth i x l = List.mapi (fun j y -> if j = i then x else y) l
+
+let splice_nth i body l =
+  List.concat (List.mapi (fun j y -> if j = i then body else [ y ]) l)
+
+let array_remove i a =
+  Array.init
+    (Array.length a - 1)
+    (fun j -> if j < i then a.(j) else a.(j + 1))
+
+(* {1 Op rewrites} *)
+
+let rec op_rewrites op =
+  match op with
+  | P.Read { slot; off } ->
+    (if off <> 0 then [ P.Read { slot; off = 0 } ] else [])
+    @ (if slot > 0 then [ P.Read { slot = slot - 1; off } ] else [])
+  | P.Write { slot; off } ->
+    (if off <> 0 then [ P.Write { slot; off = 0 } ] else [])
+    @ (if slot > 0 then [ P.Write { slot = slot - 1; off } ] else [])
+  | P.Rmw { slot; off } ->
+    (if off <> 0 then [ P.Rmw { slot; off = 0 } ] else [])
+    @ (if slot > 0 then [ P.Rmw { slot = slot - 1; off } ] else [])
+  | P.Compute n -> if n <> 1 then [ P.Compute 1 ] else []
+  | P.Yield -> []
+  | P.Locked { lock; site; body } ->
+    (if site <> 0 then [ P.Locked { lock; site = 0; body } ] else [])
+    @ (if lock > 0 then [ P.Locked { lock = lock - 1; site; body } ] else [])
+    @ List.map (fun b -> P.Locked { lock; site; body = b }) (ops_rewrites body)
+  | P.Repeat { times; body } ->
+    (if times > 1 then [ P.Repeat { times = 1; body }; P.Repeat { times = times / 2; body } ]
+     else [])
+    @ List.map (fun b -> P.Repeat { times; body = b }) (ops_rewrites body)
+
+(* Candidate lists for one op list: removals first (largest wins),
+   then body splices, then in-place rewrites. *)
+and ops_rewrites ops =
+  let removals = List.mapi (fun i _ -> remove_nth i ops) ops in
+  let splices =
+    List.concat
+      (List.mapi
+         (fun i op ->
+           match op with
+           | P.Locked { body; _ } | P.Repeat { body; _ } -> [ splice_nth i body ops ]
+           | _ -> [])
+         ops)
+  in
+  let in_place =
+    List.concat
+      (List.mapi (fun i op -> List.map (fun op' -> replace_nth i op' ops) (op_rewrites op)) ops)
+  in
+  removals @ splices @ in_place
+
+(* {1 Program-level candidates, coarse to fine} *)
+
+let set_work (p : P.t) pi w ops =
+  { p with
+    P.phases =
+      List.mapi
+        (fun j (ph : P.phase) ->
+          if j <> pi then ph
+          else begin
+            let work = Array.copy ph.P.work in
+            work.(w) <- ops;
+            { ph with P.work = work }
+          end)
+        p.P.phases }
+
+let candidates (p : P.t) =
+  let drop_workers =
+    if p.P.workers <= 1 then []
+    else
+      List.init p.P.workers (fun w ->
+          { p with
+            P.workers = p.P.workers - 1;
+            P.phases =
+              List.map
+                (fun (ph : P.phase) -> { ph with P.work = array_remove w ph.P.work })
+                p.P.phases })
+  in
+  let n_phases = List.length p.P.phases in
+  let drop_phases =
+    if n_phases <= 1 then []
+    else
+      List.init n_phases (fun i ->
+          let phases = remove_nth i p.P.phases in
+          let phases =
+            (* The new first phase inherits phase 0's no-refresh rule. *)
+            match phases with
+            | first :: rest when i = 0 -> { first with P.refresh = [] } :: rest
+            | _ -> phases
+          in
+          { p with P.phases = phases })
+  in
+  let clear_work =
+    List.concat
+      (List.mapi
+         (fun pi (ph : P.phase) ->
+           List.concat
+             (List.init (Array.length ph.P.work) (fun w ->
+                  if List.length ph.P.work.(w) >= 2 then [ set_work p pi w [] ] else [])))
+         p.P.phases)
+  in
+  let drop_refresh =
+    List.concat
+      (List.mapi
+         (fun pi (ph : P.phase) ->
+           List.mapi
+             (fun ri _ ->
+               let phases =
+                 List.mapi
+                   (fun j (ph : P.phase) ->
+                     if j = pi then { ph with P.refresh = remove_nth ri ph.P.refresh } else ph)
+                   p.P.phases
+               in
+               { p with P.phases = phases })
+             ph.P.refresh)
+         p.P.phases)
+  in
+  let shrink_universe =
+    (if p.P.slots > 1 then [ { p with P.slots = p.P.slots - 1 } ] else [])
+    @ if p.P.locks > 1 then [ { p with P.locks = p.P.locks - 1 } ] else []
+  in
+  let op_level =
+    List.concat
+      (List.mapi
+         (fun pi (ph : P.phase) ->
+           List.concat
+             (List.init (Array.length ph.P.work) (fun w ->
+                  List.map (set_work p pi w) (ops_rewrites ph.P.work.(w)))))
+         p.P.phases)
+  in
+  drop_workers @ drop_phases @ clear_work @ drop_refresh @ shrink_universe @ op_level
+
+let minimize ?(max_evals = 4000) ~oracle prog =
+  let evals = ref 0 in
+  let cur = ref prog in
+  let rec fixpoint () =
+    let cur_size = size !cur in
+    let better =
+      List.find_opt
+        (fun cand ->
+          size cand < cur_size
+          && Prog.check cand = Ok ()
+          && !evals < max_evals
+          && begin
+               incr evals;
+               oracle cand
+             end)
+        (candidates !cur)
+    in
+    match better with
+    | Some cand ->
+      cur := cand;
+      if !evals < max_evals then fixpoint ()
+    | None -> ()
+  in
+  fixpoint ();
+  (!cur, !evals)

@@ -1,0 +1,26 @@
+(** Delta-debugging minimizer for divergent fuzz programs.
+
+    Greedy fixpoint over a candidate queue ordered coarse-to-fine —
+    drop whole workers, drop whole phases, clear a worker's phase
+    work, drop refresh entries, shrink the slot/lock universe, then
+    structural op rewrites (remove an op, splice a [Locked]/[Repeat]
+    body into its parent, cut [Repeat] counts) and operand shrinks
+    (offsets to 0, slot/lock/site indices down, [Compute] to 1).
+
+    Every accepted candidate must pass {!Prog.check}, still satisfy
+    the caller's [oracle], and be strictly smaller under a fixed size
+    measure — so the process terminates at a local minimum no single
+    rewrite can leave. *)
+
+val size : Prog.t -> int
+(** The well-founded measure: weighted sum of structure (workers and
+    phases dominate) plus op and operand weight.  Exposed for tests
+    and for campaign reporting. *)
+
+val minimize :
+  ?max_evals:int -> oracle:(Prog.t -> bool) -> Prog.t -> Prog.t * int
+(** [minimize ~oracle prog] is the shrunk program and the number of
+    oracle evaluations spent.  [prog] itself is assumed to satisfy
+    [oracle]; the result always does.  [max_evals] (default [4000])
+    bounds the work: the shrink stops early at the best program found
+    so far. *)

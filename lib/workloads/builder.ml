@@ -3,6 +3,11 @@ module Program = Kard_sched.Program
 
 let wait_until = Program.wait_until
 
+let effect_ f =
+  Program.delay (fun () ->
+      f ();
+      Program.empty)
+
 let critical_section ~lock ~site body =
   (Op.Lock { lock; site } :: body) @ [ Op.Unlock { lock } ]
 

@@ -7,6 +7,11 @@ val wait_until : (unit -> bool) -> Program.t
 (** Spin (yielding, at no cycle cost) until the condition holds; used
     by workers to wait for the main thread's allocation phase. *)
 
+val effect_ : (unit -> unit) -> Program.t
+(** A zero-op program that runs a side effect when the stream reaches
+    it (a [delay] producing nothing); used for barrier bookkeeping in
+    coordinated multi-phase programs. *)
+
 val critical_section : lock:int -> site:int -> Op.t list -> Op.t list
 (** Wrap the body in [Lock]/[Unlock]. *)
 

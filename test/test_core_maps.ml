@@ -85,8 +85,8 @@ let test_somap_reverse_index () =
 
 (* {1 Key_section_map} *)
 
-let holder ?(perm = Perm.Read_write) ?(section = 10) ?(lock = 1) tid =
-  { Ksmap.tid; perm; section; lock }
+let holder ?(perm = Perm.Read_write) ?(section = 10) ?(lock = 1) ?(proactive = false) tid =
+  { Ksmap.tid; perm; section; lock; proactive }
 
 let test_ksmap_exclusive_write () =
   let m = Ksmap.create () in

@@ -1,0 +1,97 @@
+(* QCheck round-trip properties for the bit-level encodings the
+   detector leans on: Perm's two PKRU bits, the full PKRU register,
+   and Key_sets token identity/membership. *)
+
+module Perm = Kard_mpk.Perm
+module Pkey = Kard_mpk.Pkey
+module Pkru = Kard_mpk.Pkru
+module Key_sets = Kard_core.Key_sets
+
+let perms = [ Perm.No_access; Perm.Read_only; Perm.Read_write ]
+let perm_gen = QCheck.oneofl perms
+let pkey_gen = QCheck.map Pkey.of_int (QCheck.int_bound 15)
+
+(* {1 Perm bits} *)
+
+let perm_bits_roundtrip =
+  QCheck.Test.make ~name:"perm to_bits/of_bits roundtrip" ~count:100 perm_gen (fun p ->
+      Perm.equal p (Perm.of_bits (Perm.to_bits p)))
+
+let perm_of_bits_total =
+  QCheck.Test.make ~name:"perm of_bits total on 2 bits, allows agrees" ~count:100
+    (QCheck.int_bound 3) (fun bits ->
+      let p = Perm.of_bits bits in
+      let ad = bits land 1 = 1 and wd = bits land 2 = 2 in
+      Perm.allows p `Read = not ad && Perm.allows p `Write = not (ad || wd))
+
+(* {1 Pkru register} *)
+
+let pkru_int_roundtrip =
+  QCheck.Test.make ~name:"pkru of_int/to_int roundtrip" ~count:500
+    (QCheck.map (fun bits -> bits land 0xFFFFFFFF) QCheck.int) (fun v ->
+      Pkru.to_int (Pkru.of_int v) = v)
+
+let pkru_assignments_roundtrip =
+  QCheck.Test.make ~name:"pkru of_assignments then get" ~count:500
+    (QCheck.small_list (QCheck.pair pkey_gen perm_gen)) (fun assignments ->
+      let pkru = Pkru.of_assignments assignments in
+      (* The last assignment to each key wins; unassigned keys stay
+         denied (except the always-RW k0). *)
+      List.for_all
+        (fun k ->
+          let expect =
+            match List.filter (fun (k', _) -> Pkey.to_int k' = Pkey.to_int k) assignments with
+            | [] -> if Pkey.to_int k = 0 then Perm.Read_write else Perm.No_access
+            | l -> snd (List.nth l (List.length l - 1))
+          in
+          Perm.equal (Pkru.get pkru k) expect)
+        (List.init 16 Pkey.of_int))
+
+let pkru_grants_matches_get =
+  QCheck.Test.make ~name:"pkru grants agrees with get+allows" ~count:500
+    (QCheck.pair (QCheck.small_list (QCheck.pair pkey_gen perm_gen)) pkey_gen)
+    (fun (assignments, k) ->
+      let pkru = Pkru.of_assignments assignments in
+      Pkru.grants pkru k `Read = Perm.allows (Pkru.get pkru k) `Read
+      && Pkru.grants pkru k `Write = Perm.allows (Pkru.get pkru k) `Write)
+
+(* {1 Key_sets tokens} *)
+
+let key_gen =
+  QCheck.map
+    (fun (w, obj) -> if w then Key_sets.Wk obj else Key_sets.Rk obj)
+    QCheck.(pair bool (int_bound 1000))
+
+let key_identity =
+  QCheck.Test.make ~name:"key token obj/is_read/is_write identity" ~count:500 key_gen (fun k ->
+      match k with
+      | Key_sets.Rk o -> Key_sets.obj k = o && Key_sets.is_read k && not (Key_sets.is_write k)
+      | Key_sets.Wk o -> Key_sets.obj k = o && Key_sets.is_write k && not (Key_sets.is_read k))
+
+let key_set_membership =
+  QCheck.Test.make ~name:"key set membership matches equal" ~count:500
+    QCheck.(pair (small_list key_gen) key_gen) (fun (keys, probe) ->
+      let set = Key_sets.Set.of_list keys in
+      Key_sets.Set.mem probe set = List.exists (Key_sets.equal probe) keys)
+
+let key_rw_distinct =
+  QCheck.Test.make ~name:"Rk and Wk of one object are distinct members" ~count:200
+    (QCheck.int_bound 1000) (fun o ->
+      let set = Key_sets.Set.singleton (Key_sets.Rk o) in
+      Key_sets.Set.mem (Key_sets.Rk o) set
+      && (not (Key_sets.Set.mem (Key_sets.Wk o) set))
+      && Key_sets.compare (Key_sets.Rk o) (Key_sets.Wk o) <> 0)
+
+let () =
+  Alcotest.run "kard_encodings"
+    [ ( "perm",
+        [ QCheck_alcotest.to_alcotest perm_bits_roundtrip;
+          QCheck_alcotest.to_alcotest perm_of_bits_total ] );
+      ( "pkru",
+        [ QCheck_alcotest.to_alcotest pkru_int_roundtrip;
+          QCheck_alcotest.to_alcotest pkru_assignments_roundtrip;
+          QCheck_alcotest.to_alcotest pkru_grants_matches_get ] );
+      ( "key_sets",
+        [ QCheck_alcotest.to_alcotest key_identity;
+          QCheck_alcotest.to_alcotest key_set_membership;
+          QCheck_alcotest.to_alcotest key_rw_distinct ] ) ]
