@@ -10,7 +10,7 @@
 
    Experiment ids: micro, bechamel, figure2, table1 (= table4 =
    scenarios), table3, table5, table6, figure5, nginx-sweep, memory,
-   throughput, parallel, obs, nolock, explore, ablation.
+   throughput, parallel, serve, obs, nolock, explore, ablation.
 
    [throughput] additionally writes its rows as JSON to --bench-out
    (default BENCH_pr4.json): the tracked simulator ops/sec benchmark
@@ -25,7 +25,11 @@
    [parallel] writes
    --parallel-out (default BENCH_pr3.json): serial vs Domain-parallel
    wall-clock of the Table 3 job list, with an end-to-end identity
-   check of the two result lists.
+   check of the two result lists.  [serve] writes --serve-out
+   (default BENCH_pr6.json): the open-loop serving sweep — latency
+   percentiles per (detector, offered rate) and goodput under the
+   p99 SLO; its rows are simulation outputs, byte-identical at any
+   --jobs value.
 
    Table experiments run on the Domain pool; --jobs (or $KARD_JOBS)
    sets the worker count, defaulting to the host core count.
@@ -39,8 +43,9 @@ module Config = Kard_core.Config
 
 let scale = ref 0.01
 let only = ref []
-let bench_out = ref "BENCH_pr4.json"
-let parallel_out = ref "BENCH_pr3.json"
+let bench_out = ref Kard_harness.Defaults.throughput_out
+let parallel_out = ref Kard_harness.Defaults.parallel_out
+let serve_out = ref Kard_harness.Defaults.serve_out
 let build_label = ref "dev"
 
 (* [None] lets Pool fall back to $KARD_JOBS / the host core count. *)
@@ -276,6 +281,27 @@ let parallel () =
   close_out oc;
   Printf.printf "wrote %s\n" !parallel_out
 
+(* {1 Tracked serve sweep (BENCH_pr6.json)} *)
+
+let serve () =
+  (* The serve sweep has its own default scale: percentile tails need
+     more requests per point than the table experiments need entries,
+     and the sweep is cheap.  --scale only overrides it when the user
+     moved it off the global default. *)
+  let scale =
+    if !scale = 0.01 then Kard_harness.Defaults.serve_scale else !scale
+  in
+  let threads = Kard_harness.Defaults.table_threads in
+  let seed = Kard_harness.Defaults.seed in
+  let sweep = Experiments.serve ?jobs:!jobs ~threads ~scale ~seed () in
+  Experiments.print_serve sweep;
+  let json = Kard_harness.Json_report.of_serve_sweep ~threads ~scale ~seed sweep in
+  let oc = open_out !serve_out in
+  output_string oc (Kard_harness.Json_report.pretty json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" !serve_out
+
 (* {1 Driver} *)
 
 let experiments =
@@ -301,6 +327,7 @@ let experiments =
     ("memory", fun () -> Experiments.print_memory (Experiments.memory ?jobs:!jobs ~scale:!scale ()));
     ("throughput", throughput);
     ("parallel", parallel);
+    ("serve", serve);
     ("obs", obs);
     ("nolock", nolock);
     ("explore", explore);
@@ -321,6 +348,9 @@ let () =
       parse rest
     | "--parallel-out" :: path :: rest ->
       parallel_out := path;
+      parse rest
+    | "--serve-out" :: path :: rest ->
+      serve_out := path;
       parse rest
     | "--build-label" :: label :: rest ->
       build_label := label;

@@ -5,7 +5,8 @@
      run <workload>            run one workload under one detector
      scenario <name>           run one controlled race scenario
      trace <workload>          run with tracing; export a Chrome/Perfetto trace
-     bench                     simulator throughput sweep (writes BENCH_pr4.json)
+     bench                     simulator throughput sweep (writes Defaults.throughput_out)
+     serve-sweep               open-loop serving latency/goodput sweep (writes Defaults.serve_out)
      repro <experiment>        regenerate a paper table/figure
      fuzz                      differential fuzzing campaign over random programs
 *)
@@ -68,6 +69,11 @@ let list_cmd =
           (Spec.category_name spec.Spec.category)
           spec.Spec.description)
       Registry.all;
+    Printf.printf "\nServing workloads (open-loop; see `kard serve-sweep`):\n";
+    List.iter
+      (fun spec ->
+        Printf.printf "  %-28s %s\n" spec.Spec.name spec.Spec.description)
+      Registry.serving;
     Printf.printf "\nRace scenarios (Tables 1/4, Figures 1/4):\n";
     List.iter
       (fun s -> Printf.printf "  %-28s %s\n" s.Race_suite.name s.Race_suite.description)
@@ -295,8 +301,8 @@ let hunt_cmd =
 
 let bench_cmd =
   let out_arg =
-    Arg.(value & opt string "BENCH_pr4.json"
-         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"JSON output path.")
+    Arg.(value & opt string Defaults.throughput_out
+         & info [ "o"; "out"; "output" ] ~docv:"FILE" ~doc:"JSON output path.")
   in
   let threads_arg =
     Arg.(value & opt (list int) [ 1; 2; 4; 8; 16; 32; 64 ]
@@ -319,6 +325,80 @@ let bench_cmd =
     (Cmd.info "bench"
        ~doc:"Measure simulator throughput (steps per wall-clock second) across thread counts")
     Term.(const action $ scale_arg $ seed_arg $ threads_arg $ out_arg)
+
+(* serve-sweep: the open-loop production-serving benchmark
+   (BENCH_pr6.json).  Sweeps offered load over detectors and reports
+   latency percentiles plus goodput under the p99 SLO. *)
+
+let serve_sweep_cmd =
+  let module Openloop = Kard_workloads.Openloop in
+  let server_conv =
+    let parse = function
+      | "nginx" -> Ok Openloop.Nginx
+      | "memcached" -> Ok Openloop.Memcached
+      | s -> Error (`Msg (Printf.sprintf "unknown server %S (nginx or memcached)" s))
+    in
+    Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt (Openloop.server_name s))
+  in
+  let server_arg =
+    Arg.(value & opt server_conv Openloop.Nginx
+         & info [ "server" ] ~docv:"SERVER" ~doc:"Simulated server: nginx or memcached.")
+  in
+  let arrivals_conv =
+    let parse = function
+      | "poisson" -> Ok Openloop.Poisson
+      | "bursty" -> Ok Openloop.default_bursty
+      | s -> Error (`Msg (Printf.sprintf "unknown arrival model %S (poisson or bursty)" s))
+    in
+    Arg.conv (parse, fun fmt m -> Format.pp_print_string fmt (Openloop.arrival_name m))
+  in
+  let arrivals_arg =
+    Arg.(value & opt arrivals_conv Openloop.Poisson
+         & info [ "arrivals" ] ~docv:"MODEL"
+             ~doc:
+               "Arrival process: poisson (memoryless) or bursty (Markov-modulated, 8x rate \
+                bursts).")
+  in
+  let rates_arg =
+    Arg.(value & opt (list float) Experiments.default_serve_rates
+         & info [ "rates" ] ~docv:"R,R,..."
+             ~doc:"Offered loads to sweep, in requests per million simulated cycles.")
+  in
+  let slo_arg =
+    Arg.(value & opt int Defaults.serve_slo
+         & info [ "slo" ] ~docv:"CYCLES" ~doc:"Latency SLO: p99 budget in simulated cycles.")
+  in
+  let serve_scale_arg =
+    Arg.(value & opt float Defaults.serve_scale
+         & info [ "scale" ] ~docv:"F" ~doc:"Workload scale factor (0,1].")
+  in
+  let out_arg =
+    Arg.(value & opt string Defaults.serve_out
+         & info [ "o"; "out"; "output" ] ~docv:"FILE" ~doc:"JSON output path.")
+  in
+  let threads_opt_arg =
+    Arg.(value & opt int Defaults.table_threads
+         & info [ "t"; "threads" ] ~docv:"N" ~doc:"Worker thread count of the simulated server.")
+  in
+  let action server model rates slo threads scale seed jobs out =
+    let sweep =
+      Experiments.serve ?jobs ~server ~model ~rates ~threads ~scale ~seed ~slo ()
+    in
+    Experiments.print_serve sweep;
+    let json = Kard_harness.Json_report.of_serve_sweep ~threads ~scale ~seed sweep in
+    let oc = open_out out in
+    output_string oc (Kard_harness.Json_report.pretty json);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote %s\n" out
+  in
+  Cmd.v
+    (Cmd.info "serve-sweep"
+       ~doc:
+         "Open-loop serving benchmark: sweep offered load over detectors, report latency \
+          percentiles and goodput under the p99 SLO")
+    Term.(const action $ server_arg $ arrivals_arg $ rates_arg $ slo_arg $ threads_opt_arg
+          $ serve_scale_arg $ seed_arg $ jobs_arg $ out_arg)
 
 (* fuzz: the differential campaign.  Exit code 1 on any unexpected
    divergence so CI can gate on it. *)
@@ -401,5 +481,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; scenario_cmd; trace_cmd; hunt_cmd; bench_cmd; repro_cmd;
-            fuzz_cmd ]))
+          [ list_cmd; run_cmd; scenario_cmd; trace_cmd; hunt_cmd; bench_cmd; serve_sweep_cmd;
+            repro_cmd; fuzz_cmd ]))

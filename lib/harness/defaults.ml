@@ -4,6 +4,12 @@ let table_threads = 4
 let explorer_scale = 0.005
 let explorer_seeds = List.init 20 (fun i -> i + 1)
 let throughput_scale = 0.05
+let serve_scale = 0.05
+let serve_slo = 200_000
+
+let throughput_out = "BENCH_pr4.json"
+let parallel_out = "BENCH_pr3.json"
+let serve_out = "BENCH_pr6.json"
 
 let jobs_env = "KARD_JOBS"
 

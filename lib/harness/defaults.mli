@@ -26,6 +26,24 @@ val explorer_seeds : int list
 val throughput_scale : float
 (** Default scale of the tracked throughput benchmark: [0.05]. *)
 
+val serve_scale : float
+(** Default scale of the serve sweep: [0.05] (1000 requests per
+    sweep point at the full-size request count of 20000). *)
+
+val serve_slo : int
+(** Default latency SLO for goodput: p99 <= [200_000] simulated
+    cycles, roughly 3x the unloaded median nginx service latency. *)
+
+val throughput_out : string
+(** Tracked output of [kard bench -e throughput]: ["BENCH_pr4.json"]. *)
+
+val parallel_out : string
+(** Tracked output of [kard bench -e parallel]: ["BENCH_pr3.json"]. *)
+
+val serve_out : string
+(** Tracked output of [kard bench -e serve] and [kard serve-sweep]:
+    ["BENCH_pr6.json"]. *)
+
 val jobs_env : string
 (** Name of the environment variable overriding the worker count:
     ["KARD_JOBS"]. *)

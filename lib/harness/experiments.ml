@@ -648,6 +648,150 @@ let print_parallel_bench b =
     (if b.pb_identical then "yes" else "NO")
     (Text_table.fmt_int b.pb_sim_cycles) b.pb_minor_words_per_step
 
+(* {1 Open-loop serve sweep (BENCH_pr6.json)} *)
+
+module Openloop = Kard_workloads.Openloop
+module Snapshot = Kard_obs.Snapshot
+module Window = Kard_obs.Window
+
+type serve_row = {
+  sv_detector : string;
+  sv_rate : float;
+  sv_requests : int;
+  sv_cycles : int;
+  sv_achieved : float;
+  sv_latency : Window.row;
+  sv_snapshot : Snapshot.t;
+}
+
+type serve_sweep = {
+  ss_server : string;
+  ss_model : string;
+  ss_slo : int;
+  ss_threads : int;
+  ss_rows : serve_row list;
+  ss_goodput : (string * float) list;
+}
+
+let serve_detectors =
+  [ ("none", Runner.Baseline);
+    ("kard", Runner.Kard Kard_core.Config.default);
+    ("tsan", Runner.Tsan) ]
+
+let default_serve_rates = [ 6.0; 10.0; 14.0; 18.0; 24.0; 32.0 ]
+
+let empty_window_row =
+  { Window.w_start = 0; count = 0; max = 0; mean = 0.; p50 = 0; p95 = 0; p99 = 0; p999 = 0 }
+
+(* Goodput under the SLO: per detector, the highest offered rate whose
+   p99 latency stays within [slo] (0 when every sweep point misses).
+   The open loop makes this meaningful — a saturated detector cannot
+   hide behind a slowed-down load generator. *)
+let serve_goodput ~slo rows =
+  (* Detector names in first-appearance order. *)
+  let names =
+    List.fold_left
+      (fun acc r -> if List.mem r.sv_detector acc then acc else acc @ [ r.sv_detector ])
+      [] rows
+  in
+  List.map
+    (fun name ->
+      let ok =
+        List.filter
+          (fun r ->
+            String.equal r.sv_detector name
+            && r.sv_requests > 0
+            && r.sv_latency.Window.p99 <= slo)
+          rows
+      in
+      (name, List.fold_left (fun acc r -> Float.max acc r.sv_rate) 0. ok))
+    names
+
+let serve_plan ?(server = Openloop.Nginx) ?(model = Openloop.Poisson)
+    ?(detectors = serve_detectors) ?(rates = default_serve_rates)
+    ?(threads = Defaults.table_threads) ?(scale = Defaults.serve_scale)
+    ?(seed = Defaults.seed) ?(slo = Defaults.serve_slo) () =
+  let specs = List.map (fun rate -> (rate, Openloop.spec ~model ~rate server)) rates in
+  let jobs =
+    List.concat_map
+      (fun (_, detector) ->
+        List.map
+          (fun (_, spec) ->
+            Job.spec ~threads ~scale ~seed ~trace:(Job.trace_request ()) detector spec)
+          specs)
+      detectors
+  in
+  Pool.plan jobs ~merge:(fun results ->
+      let rows =
+        List.concat
+          (List.map2
+             (fun (dname, _) group ->
+               List.map2
+                 (fun (rate, _) result ->
+                   let snapshot =
+                     match result.Runner.trace with
+                     | Some tr -> Snapshot.of_metrics (Kard_obs.Trace.metrics tr)
+                     | None -> Snapshot.empty
+                   in
+                   let latency =
+                     match Snapshot.find_window snapshot Openloop.metric_latency with
+                     | Some w -> w.Snapshot.w_overall
+                     | None -> empty_window_row
+                   in
+                   let requests = Snapshot.find_counter snapshot Openloop.counter_requests in
+                   let cycles = result.Runner.report.Machine.cycles in
+                   { sv_detector = dname;
+                     sv_rate = rate;
+                     sv_requests = requests;
+                     sv_cycles = cycles;
+                     sv_achieved =
+                       (if cycles > 0 then
+                          float_of_int requests /. (float_of_int cycles /. 1_000_000.)
+                        else 0.);
+                     sv_latency = latency;
+                     sv_snapshot = snapshot })
+                 specs group)
+             detectors
+             (Pool.chunks (List.length specs) results))
+      in
+      { ss_server = Openloop.server_name server;
+        ss_model = Openloop.arrival_name model;
+        ss_slo = slo;
+        ss_threads = threads;
+        ss_rows = rows;
+        ss_goodput = serve_goodput ~slo rows })
+
+let serve ?jobs ?server ?model ?detectors ?rates ?threads ?scale ?seed ?slo () =
+  Pool.execute ?jobs (serve_plan ?server ?model ?detectors ?rates ?threads ?scale ?seed ?slo ())
+
+let print_serve sweep =
+  Printf.printf "open-loop %s, %s arrivals, %d workers; SLO: p99 <= %s cycles\n" sweep.ss_server
+    sweep.ss_model sweep.ss_threads
+    (Text_table.fmt_int sweep.ss_slo);
+  let header =
+    [ "detector"; "rate"; "requests"; "achieved"; "p50"; "p95"; "p99"; "p99.9"; "max"; "SLO" ]
+  in
+  let cells row =
+    let l = row.sv_latency in
+    [ row.sv_detector;
+      Printf.sprintf "%g" row.sv_rate;
+      Text_table.fmt_int row.sv_requests;
+      Printf.sprintf "%.2f" row.sv_achieved;
+      Text_table.fmt_int l.Window.p50;
+      Text_table.fmt_int l.Window.p95;
+      Text_table.fmt_int l.Window.p99;
+      Text_table.fmt_int l.Window.p999;
+      Text_table.fmt_int l.Window.max;
+      (if row.sv_requests > 0 && l.Window.p99 <= sweep.ss_slo then "ok" else "MISS") ]
+  in
+  print_string (Text_table.render ~header (List.map cells sweep.ss_rows));
+  List.iter
+    (fun (name, rate) ->
+      if rate > 0. then
+        Printf.printf "goodput under SLO (%s): %g req/Mcycle\n" name rate
+      else Printf.printf "goodput under SLO (%s): none (every rate misses)\n" name)
+    sweep.ss_goodput
+
 (* {1 MPK micro} *)
 
 let print_micro () =

@@ -230,6 +230,73 @@ val parallel_bench : ?jobs:int -> ?scale:float -> unit -> parallel_bench
 
 val print_parallel_bench : parallel_bench -> unit
 
+(** {1 Open-loop serve sweep (tracked in BENCH_pr6.json)} *)
+
+type serve_row = {
+  sv_detector : string;     (** Detector label ("none", "kard", "tsan"). *)
+  sv_rate : float;          (** Offered load, requests per Mcycle. *)
+  sv_requests : int;        (** Requests served (all arrivals drain). *)
+  sv_cycles : int;          (** Aggregate simulated cycles of the run. *)
+  sv_achieved : float;      (** Served requests per Mcycle of the run. *)
+  sv_latency : Kard_obs.Window.row;
+      (** Whole-run latency percentiles (arrival to completion). *)
+  sv_snapshot : Kard_obs.Snapshot.t;
+      (** The run's full metrics snapshot, windowed histograms
+          included — pure data, safe to compare across [--jobs]. *)
+}
+
+type serve_sweep = {
+  ss_server : string;
+  ss_model : string;
+  ss_slo : int;             (** p99 latency budget, simulated cycles. *)
+  ss_threads : int;
+  ss_rows : serve_row list; (** Detector-major, offered-rate-minor. *)
+  ss_goodput : (string * float) list;
+      (** Per detector: the highest swept rate whose p99 meets the
+          SLO; [0.] when every rate misses. *)
+}
+
+val serve_detectors : (string * Runner.detector) list
+(** The production question's contestants: no detection ("none"),
+    Kard, and TSan as the instrumentation-based reference. *)
+
+val default_serve_rates : float list
+
+val serve_goodput : slo:int -> serve_row list -> (string * float) list
+
+val serve_plan :
+  ?server:Kard_workloads.Openloop.server ->
+  ?model:Kard_workloads.Openloop.arrival ->
+  ?detectors:(string * Runner.detector) list ->
+  ?rates:float list ->
+  ?threads:int ->
+  ?scale:float ->
+  ?seed:int ->
+  ?slo:int ->
+  unit ->
+  serve_sweep Pool.plan
+(** One traced job per (detector, offered rate); the merge computes
+    latency percentiles from each run's [serve.latency_cycles]
+    windowed histogram and goodput-under-SLO per detector.  Every
+    sweep point replays the identical arrival timetable (a pure
+    function of [(seed, rate)]), so detectors are compared under the
+    same offered load. *)
+
+val serve :
+  ?jobs:int ->
+  ?server:Kard_workloads.Openloop.server ->
+  ?model:Kard_workloads.Openloop.arrival ->
+  ?detectors:(string * Runner.detector) list ->
+  ?rates:float list ->
+  ?threads:int ->
+  ?scale:float ->
+  ?seed:int ->
+  ?slo:int ->
+  unit ->
+  serve_sweep
+
+val print_serve : serve_sweep -> unit
+
 (** {1 MPK microbenchmarks (section 2.2)} *)
 
 val print_micro : unit -> unit

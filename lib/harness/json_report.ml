@@ -71,7 +71,8 @@ let of_summary (s : Kard_obs.Metrics.summary) =
       field "mean" (float_ s.Kard_obs.Metrics.mean);
       field "p50" (float_ s.Kard_obs.Metrics.p50);
       field "p95" (float_ s.Kard_obs.Metrics.p95);
-      field "p99" (float_ s.Kard_obs.Metrics.p99) ]
+      field "p99" (float_ s.Kard_obs.Metrics.p99);
+      field "p999" (float_ s.Kard_obs.Metrics.p999) ]
 
 let of_metrics (m : Kard_obs.Metrics.t) =
   obj
@@ -82,6 +83,39 @@ let of_metrics (m : Kard_obs.Metrics.t) =
            (List.map
               (fun (name, s) -> field name (of_summary s))
               (Kard_obs.Metrics.histograms m))) ]
+
+let of_window_row (r : Kard_obs.Window.row) =
+  obj
+    [ field "start" (int_ r.Kard_obs.Window.w_start);
+      field "count" (int_ r.Kard_obs.Window.count);
+      field "mean" (float_ r.Kard_obs.Window.mean);
+      field "p50" (int_ r.Kard_obs.Window.p50);
+      field "p95" (int_ r.Kard_obs.Window.p95);
+      field "p99" (int_ r.Kard_obs.Window.p99);
+      field "p999" (int_ r.Kard_obs.Window.p999);
+      field "max" (int_ r.Kard_obs.Window.max) ]
+
+let of_window_view (w : Kard_obs.Snapshot.window_view) =
+  obj
+    [ field "width" (int_ w.Kard_obs.Snapshot.w_width);
+      field "overall" (of_window_row w.Kard_obs.Snapshot.w_overall);
+      field "windows" (arr (List.map of_window_row w.Kard_obs.Snapshot.w_rows)) ]
+
+let of_snapshot (s : Kard_obs.Snapshot.t) =
+  obj
+    [ field "counters"
+        (obj (List.map (fun (name, v) -> field name (int_ v)) s.Kard_obs.Snapshot.counters));
+      field "histograms"
+        (obj
+           (List.map
+              (fun (name, summary) -> field name (of_summary summary))
+              s.Kard_obs.Snapshot.histograms));
+      field "windowed"
+        (obj
+           (List.map
+              (fun (w : Kard_obs.Snapshot.window_view) ->
+                field w.Kard_obs.Snapshot.w_name (of_window_view w))
+              s.Kard_obs.Snapshot.windows)) ]
 
 let of_trace (tr : Kard_obs.Trace.t) =
   obj
@@ -173,6 +207,40 @@ let of_parallel_bench ~scale (b : Experiments.parallel_bench) =
       field "minor_words" (float_ b.Experiments.pb_minor_words);
       field "promoted_words" (float_ b.Experiments.pb_promoted_words);
       field "minor_words_per_step" (float_ b.Experiments.pb_minor_words_per_step) ]
+
+let of_serve_row (row : Experiments.serve_row) =
+  let l = row.Experiments.sv_latency in
+  obj
+    [ field "detector" (str row.Experiments.sv_detector);
+      field "offered_rate_per_mcycle" (float_ row.Experiments.sv_rate);
+      field "requests" (int_ row.Experiments.sv_requests);
+      field "cycles" (int_ row.Experiments.sv_cycles);
+      field "achieved_rate_per_mcycle" (float_ row.Experiments.sv_achieved);
+      field "latency_cycles"
+        (obj
+           [ field "p50" (int_ l.Kard_obs.Window.p50);
+             field "p95" (int_ l.Kard_obs.Window.p95);
+             field "p99" (int_ l.Kard_obs.Window.p99);
+             field "p999" (int_ l.Kard_obs.Window.p999);
+             field "max" (int_ l.Kard_obs.Window.max);
+             field "mean" (float_ l.Kard_obs.Window.mean) ]);
+      field "metrics" (of_snapshot row.Experiments.sv_snapshot) ]
+
+let of_serve_sweep ~threads ~scale ~seed (s : Experiments.serve_sweep) =
+  obj
+    [ field "benchmark" (str "serve");
+      field "server" (str s.Experiments.ss_server);
+      field "arrivals" (str s.Experiments.ss_model);
+      field "slo_p99_cycles" (int_ s.Experiments.ss_slo);
+      field "threads" (int_ threads);
+      field "scale" (float_ scale);
+      field "seed" (int_ seed);
+      field "rows" (arr (List.map of_serve_row s.Experiments.ss_rows));
+      field "goodput_under_slo_per_mcycle"
+        (obj
+           (List.map
+              (fun (name, rate) -> field name (float_ rate))
+              s.Experiments.ss_goodput)) ]
 
 let pretty json =
   let buf = Buffer.create (String.length json * 2) in

@@ -12,7 +12,12 @@ val of_race : Kard_core.Race_record.t -> string
 
 val of_metrics : Kard_obs.Metrics.t -> string
 (** Counters plus histogram summaries (count, total, min, max, mean
-    and the p50/p95/p99 percentiles), keyed by metric name. *)
+    and the p50/p95/p99/p99.9 percentiles), keyed by metric name. *)
+
+val of_snapshot : Kard_obs.Snapshot.t -> string
+(** A pure-data metrics snapshot: counters, histogram summaries and
+    windowed histograms (per-window percentile rows plus the overall
+    row), keyed by metric name. *)
 
 val of_result : Runner.result -> string
 (** The full run: workload, detector, cycle/RSS/dTLB counters, races,
@@ -41,6 +46,15 @@ val of_parallel_bench : scale:float -> Experiments.parallel_bench -> string
     summed simulated cycles (schedule-determined — must not move with
     [jobs]) and whether both passes produced structurally identical
     results. *)
+
+val of_serve_sweep :
+  threads:int -> scale:float -> seed:int -> Experiments.serve_sweep -> string
+(** The tracked serve sweep (see BENCH_pr6.json): per (detector,
+    offered rate) the latency percentiles (p50/p95/p99/p99.9/max in
+    simulated cycles), achieved throughput and full metrics snapshot,
+    plus the computed goodput-under-SLO per detector.  Built from
+    pure-data snapshots, so the emitted bytes are identical at any
+    [--jobs] value. *)
 
 val pretty : string -> string
 (** Re-indent a JSON string (objects and arrays, 2 spaces). *)

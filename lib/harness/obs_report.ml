@@ -15,7 +15,7 @@ let histograms_table (m : Metrics.t) =
   | [] -> "(no histograms)"
   | histograms ->
     Text_table.render
-      ~header:[ "histogram"; "count"; "mean"; "p50"; "p95"; "p99"; "min"; "max" ]
+      ~header:[ "histogram"; "count"; "mean"; "p50"; "p95"; "p99"; "p99.9"; "min"; "max" ]
       (List.map
          (fun (name, (s : Metrics.summary)) ->
            [ name;
@@ -24,14 +24,47 @@ let histograms_table (m : Metrics.t) =
              fmt_f s.Metrics.p50;
              fmt_f s.Metrics.p95;
              fmt_f s.Metrics.p99;
+             fmt_f s.Metrics.p999;
              Text_table.fmt_int s.Metrics.min;
              Text_table.fmt_int s.Metrics.max ])
          histograms)
 
+let window_row name (r : Kard_obs.Window.row) =
+  [ name;
+    Text_table.fmt_int r.Kard_obs.Window.count;
+    Text_table.fmt_int r.Kard_obs.Window.p50;
+    Text_table.fmt_int r.Kard_obs.Window.p95;
+    Text_table.fmt_int r.Kard_obs.Window.p99;
+    Text_table.fmt_int r.Kard_obs.Window.p999;
+    Text_table.fmt_int r.Kard_obs.Window.max ]
+
+let windows_table (m : Metrics.t) =
+  match Metrics.windows m with
+  | [] -> None
+  | windows ->
+    Some
+      (Text_table.render
+         ~header:[ "window"; "count"; "p50"; "p95"; "p99"; "p99.9"; "max" ]
+         (List.concat_map
+            (fun (name, w) ->
+              window_row (Printf.sprintf "%s (overall)" name) (Kard_obs.Window.overall w)
+              :: List.map
+                   (fun (r : Kard_obs.Window.row) ->
+                     window_row
+                       (Printf.sprintf "%s @%d" name r.Kard_obs.Window.w_start)
+                       r)
+                   (Kard_obs.Window.rows w))
+            windows))
+
 let print_metrics m =
   print_endline (counters_table m);
   print_newline ();
-  print_endline (histograms_table m)
+  print_endline (histograms_table m);
+  match windows_table m with
+  | None -> ()
+  | Some t ->
+    print_newline ();
+    print_endline t
 
 let trace_summary_table (tr : Trace.t) =
   let rows =

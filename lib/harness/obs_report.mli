@@ -5,10 +5,14 @@
 
 val counters_table : Kard_obs.Metrics.t -> string
 val histograms_table : Kard_obs.Metrics.t -> string
-(** Count, mean, p50/p95/p99, min and max per histogram. *)
+(** Count, mean, p50/p95/p99/p99.9, min and max per histogram. *)
+
+val windows_table : Kard_obs.Metrics.t -> string option
+(** Per-window percentile rows (plus an overall row) for each
+    windowed histogram; [None] when the registry has none. *)
 
 val print_metrics : Kard_obs.Metrics.t -> unit
-(** Both tables to stdout. *)
+(** All tables to stdout (the window table only when present). *)
 
 val trace_summary_table : Kard_obs.Trace.t -> string
 (** Retained events per {!Kard_obs.Event.category}, plus totals for

@@ -38,3 +38,41 @@ let percentile values q =
   end
 
 let pct value baseline = if baseline = 0. then 0. else (value -. baseline) /. baseline *. 100.
+
+type summary = {
+  count : int;
+  min : float;
+  max : float;
+  mean : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  p999 : float;
+}
+
+let summarize values =
+  if values = [] then invalid_arg "Stats.summarize: empty";
+  let sorted = List.sort compare values in
+  let arr = Array.of_list sorted in
+  let n = Array.length arr in
+  (* [percentile] re-sorts; index the sorted array once instead. *)
+  let at q =
+    if n = 1 then arr.(0)
+    else begin
+      let rank = q /. 100. *. float_of_int (n - 1) in
+      let lo = int_of_float (floor rank) in
+      let hi = Stdlib.min (n - 1) (lo + 1) in
+      let frac = rank -. float_of_int lo in
+      arr.(lo) +. (frac *. (arr.(hi) -. arr.(lo)))
+    end
+  in
+  {
+    count = n;
+    min = arr.(0);
+    max = arr.(n - 1);
+    mean = mean values;
+    p50 = at 50.;
+    p95 = at 95.;
+    p99 = at 99.;
+    p999 = at 99.9;
+  }

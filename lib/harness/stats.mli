@@ -24,3 +24,20 @@ val percentile : float list -> float -> float
 val pct : float -> float -> float
 (** [pct value baseline] is the percent overhead of [value] over
     [baseline]; 0 when the baseline is 0. *)
+
+type summary = {
+  count : int;   (** Sample count. *)
+  min : float;
+  max : float;
+  mean : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  p999 : float;  (** The tail the serve SLO machinery watches. *)
+}
+
+val summarize : float list -> summary
+(** One-pass percentile summary of a sample: count, extrema, mean and
+    the p50/p95/p99/p99.9 ranks, all with the same interpolating
+    estimator as {!percentile}.
+    @raise Invalid_argument on an empty list. *)

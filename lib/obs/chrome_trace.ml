@@ -60,12 +60,42 @@ let thread_meta tid =
       field "tid" (string_of_int tid);
       field "args" (obj [ field "name" (str label) ]) ]
 
+(* Request spans render as async slices ([ph] "b"/"e") with the span
+   id as the async id: Perfetto groups them into per-request lanes on
+   a shared "request" track, next to the per-thread machine events.
+   The open event carries the serving lane (worker tid) and the span
+   duration as args. *)
+let of_span (s : Span.span) =
+  let common ~ph extra =
+    obj
+      ([ field "ph" (str ph);
+         field "cat" (str "request");
+         field "name" (str s.Span.name);
+         field "pid" "0";
+         field "tid" (string_of_int s.Span.lane);
+         field "id" (string_of_int s.Span.id) ]
+      @ extra)
+  in
+  [ common ~ph:"b"
+      [ field "ts" (string_of_int s.Span.start);
+        field "args"
+          (obj
+             [ field "lane" (string_of_int s.Span.lane);
+               field "latency_cycles" (string_of_int (Span.duration s)) ]) ];
+    common ~ph:"e" [ field "ts" (string_of_int s.Span.stop) ] ]
+
 let to_json ~t =
   let events = Trace.events t in
+  let spans = Span.closed (Trace.spans t) in
   let tids =
-    List.sort_uniq compare (List.map (fun (e : Event.t) -> e.Event.tid) events)
+    List.sort_uniq compare
+      (List.map (fun (e : Event.t) -> e.Event.tid) events
+      @ List.map (fun (s : Span.span) -> s.Span.lane) spans)
   in
-  let entries = List.map thread_meta tids @ List.map of_event events in
+  let entries =
+    List.map thread_meta tids @ List.map of_event events
+    @ List.concat_map of_span spans
+  in
   obj
     [ field "traceEvents" ("[" ^ String.concat "," entries ^ "]");
       field "displayTimeUnit" (str "ms");

@@ -13,7 +13,11 @@
       overlapping slices;
     - every other event is an instant ([ph] ["i"]) carrying its
       structured args;
-    - live-pkey occupancy is a counter track ([ph] ["C"]).
+    - live-pkey occupancy is a counter track ([ph] ["C"]);
+    - closed request spans ({!Trace.spans}) are async slices
+      ([cat] ["request"], one async id per request), rendering as
+      per-request lanes alongside the machine events; each carries its
+      serving lane and latency in args.
 
     Timestamps are virtual cycles reported in the [ts] microsecond
     field verbatim: one displayed microsecond is one simulated

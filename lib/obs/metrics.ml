@@ -12,9 +12,13 @@ type histogram = {
 type t = {
   counters : (string, counter) Hashtbl.t;
   histograms : (string, histogram) Hashtbl.t;
+  windows : (string, Window.t) Hashtbl.t;
 }
 
-let create () = { counters = Hashtbl.create 16; histograms = Hashtbl.create 16 }
+let create () =
+  { counters = Hashtbl.create 16;
+    histograms = Hashtbl.create 16;
+    windows = Hashtbl.create 4 }
 
 let counter t name =
   match Hashtbl.find_opt t.counters name with
@@ -103,11 +107,13 @@ type summary = {
   p50 : float;
   p95 : float;
   p99 : float;
+  p999 : float;
 }
 
 let summary h =
   if h.h_count = 0 then
-    { count = 0; total = 0; min = 0; max = 0; mean = 0.; p50 = 0.; p95 = 0.; p99 = 0. }
+    { count = 0; total = 0; min = 0; max = 0; mean = 0.; p50 = 0.; p95 = 0.; p99 = 0.;
+      p999 = 0. }
   else
     { count = h.h_count;
       total = h.h_total;
@@ -116,23 +122,45 @@ let summary h =
       mean = float_of_int h.h_total /. float_of_int h.h_count;
       p50 = percentile h 0.50;
       p95 = percentile h 0.95;
-      p99 = percentile h 0.99 }
+      p99 = percentile h 0.99;
+      p999 = percentile h 0.999 }
 
 let sorted_bindings tbl f =
   Hashtbl.fold (fun name v acc -> (name, f v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+let default_window_width = 1 lsl 20
+
+let window t ?(width = default_window_width) name =
+  match Hashtbl.find_opt t.windows name with
+  | Some w -> w
+  | None ->
+    let w = Window.create ~width () in
+    Hashtbl.replace t.windows name w;
+    w
+
 let counters t = sorted_bindings t.counters counter_value
 let histograms t = sorted_bindings t.histograms summary
+let windows t = sorted_bindings t.windows (fun w -> w)
 
-let is_empty t = Hashtbl.length t.counters = 0 && Hashtbl.length t.histograms = 0
+let is_empty t =
+  Hashtbl.length t.counters = 0 && Hashtbl.length t.histograms = 0
+  && Hashtbl.length t.windows = 0
 
 let pp fmt t =
   Format.fprintf fmt "@[<v>";
   List.iter (fun (name, v) -> Format.fprintf fmt "%-28s %d@," name v) (counters t);
   List.iter
     (fun (name, s) ->
-      Format.fprintf fmt "%-28s n=%d mean=%.1f p50=%.0f p95=%.0f p99=%.0f max=%d@," name s.count
-        s.mean s.p50 s.p95 s.p99 s.max)
+      Format.fprintf fmt "%-28s n=%d mean=%.1f p50=%.0f p95=%.0f p99=%.0f p99.9=%.0f max=%d@,"
+        name s.count s.mean s.p50 s.p95 s.p99 s.p999 s.max)
     (histograms t);
+  List.iter
+    (fun (name, w) ->
+      let o = Window.overall w in
+      Format.fprintf fmt "%-28s n=%d windows=%d p50=%d p99=%d p99.9=%d max=%d@," name
+        o.Window.count
+        (List.length (Window.rows w))
+        o.Window.p50 o.Window.p99 o.Window.p999 o.Window.max)
+    (windows t);
   Format.fprintf fmt "@]"

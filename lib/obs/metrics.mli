@@ -38,7 +38,7 @@ val observe : histogram -> int -> unit
 (** Record one sample (clamped to [0] from below). *)
 
 type summary = {
-  count : int;
+  count : int;     (** Sample count (0 when empty). *)
   total : int;
   min : int;       (** Exact (0 when empty). *)
   max : int;       (** Exact (0 when empty). *)
@@ -46,11 +46,24 @@ type summary = {
   p50 : float;     (** Estimated by linear interpolation in-bucket. *)
   p95 : float;
   p99 : float;
+  p999 : float;    (** The tail-SLO percentile, p99.9. *)
 }
 
 val summary : histogram -> summary
 val percentile : histogram -> float -> float
 (** [percentile h q] for [q] in [0, 1]; 0 when empty. *)
+
+(** {1 Windowed histograms}
+
+    Named {!Window.t}s registered alongside the counters and
+    histograms, for distributions whose evolution over simulated time
+    matters (request latency under load). *)
+
+val default_window_width : int
+(** [2^20] simulated cycles per window. *)
+
+val window : t -> ?width:int -> string -> Window.t
+(** Find or create; [width] only applies on creation. *)
 
 (** {1 Inspection} *)
 
@@ -58,6 +71,9 @@ val counters : t -> (string * int) list
 (** Sorted by name. *)
 
 val histograms : t -> (string * summary) list
+(** Sorted by name. *)
+
+val windows : t -> (string * Window.t) list
 (** Sorted by name. *)
 
 val is_empty : t -> bool

@@ -1,0 +1,32 @@
+type window_view = {
+  w_name : string;
+  w_width : int;
+  w_overall : Window.row;
+  w_rows : Window.row list;
+}
+
+type t = {
+  counters : (string * int) list;
+  histograms : (string * Metrics.summary) list;
+  windows : window_view list;
+}
+
+let of_metrics m =
+  { counters = Metrics.counters m;
+    histograms = Metrics.histograms m;
+    windows =
+      List.map
+        (fun (name, w) ->
+          { w_name = name;
+            w_width = Window.width w;
+            w_overall = Window.overall w;
+            w_rows = Window.rows w })
+        (Metrics.windows m) }
+
+let empty = { counters = []; histograms = []; windows = [] }
+
+let find_counter t name =
+  Option.value ~default:0
+    (Option.map snd (List.find_opt (fun (n, _) -> String.equal n name) t.counters))
+
+let find_window t name = List.find_opt (fun w -> String.equal w.w_name name) t.windows

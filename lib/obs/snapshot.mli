@@ -1,0 +1,29 @@
+(** An immutable snapshot of a metrics registry.
+
+    {!Metrics.t} and {!Window.t} are mutable, single-domain objects
+    living inside a run's trace sink; a snapshot is the pure-data view
+    taken when the run finishes, safe to ship across domains, merge in
+    submission order and serialize (the harness's [Json_report]
+    renders one verbatim).  All lists are sorted by name, so two
+    snapshots of equal registries are structurally equal. *)
+
+type window_view = {
+  w_name : string;
+  w_width : int;              (** Cycles per window. *)
+  w_overall : Window.row;     (** Whole-run summary. *)
+  w_rows : Window.row list;   (** Per-window summaries, time order. *)
+}
+
+type t = {
+  counters : (string * int) list;
+  histograms : (string * Metrics.summary) list;
+  windows : window_view list;
+}
+
+val of_metrics : Metrics.t -> t
+val empty : t
+
+val find_counter : t -> string -> int
+(** 0 when absent. *)
+
+val find_window : t -> string -> window_view option

@@ -1,6 +1,7 @@
 type t = {
   ring : Event.t Ring.t;
   metrics_ : Metrics.t;
+  spans_ : Span.t;
   mutable clock : unit -> int;
   steps_ : bool;
 }
@@ -10,6 +11,7 @@ type sink = t option
 let create ?(capacity = 65536) ?(steps = false) () =
   { ring = Ring.create ~capacity;
     metrics_ = Metrics.create ();
+    spans_ = Span.create ();
     clock = (fun () -> 0);
     steps_ = steps }
 
@@ -34,6 +36,8 @@ let category_counts t =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+let spans t = t.spans_
+
 let incr sink name =
   match sink with
   | None -> ()
@@ -43,3 +47,18 @@ let observe sink name v =
   match sink with
   | None -> ()
   | Some t -> Metrics.observe (Metrics.histogram t.metrics_ name) v
+
+let observe_window sink ?width name v =
+  match sink with
+  | None -> ()
+  | Some t -> Window.observe (Metrics.window t.metrics_ ?width name) ~ts:(t.clock ()) v
+
+let span_open sink ~id ~lane ~name ~ts =
+  match sink with
+  | None -> ()
+  | Some t -> Span.open_ t.spans_ ~id ~lane ~name ~ts
+
+let span_close sink ~id =
+  match sink with
+  | None -> ()
+  | Some t -> Span.close t.spans_ ~id ~ts:(t.clock ())

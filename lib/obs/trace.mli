@@ -45,10 +45,26 @@ val metrics : t -> Metrics.t
 val category_counts : t -> (string * int) list
 (** Retained events grouped by {!Event.category}, sorted by name. *)
 
+val spans : t -> Span.t
+(** The request-span store.  Unlike the event ring it is unbounded:
+    spans are per-request, not per-operation, so their cardinality is
+    the served request count. *)
+
 (** {1 Sink conveniences}
 
-    One-line guards for cool paths.  [incr]/[observe] touch only the
-    metrics registry; they are no-ops on [None]. *)
+    One-line guards for cool paths; all are no-ops on [None] and never
+    charge simulated cycles. *)
 
 val incr : sink -> string -> unit
 val observe : sink -> string -> int -> unit
+
+val observe_window : sink -> ?width:int -> string -> int -> unit
+(** Record into the named windowed histogram, stamped with the sink's
+    clock ([width] applies on first use only; see {!Metrics.window}). *)
+
+val span_open : sink -> id:int -> lane:int -> name:string -> ts:int -> unit
+(** [ts] is explicit: an open-loop request's latency clock starts at
+    its arrival, which precedes the dispatching worker's now. *)
+
+val span_close : sink -> id:int -> unit
+(** Close at the sink's current clock. *)

@@ -1,0 +1,144 @@
+(* Log-linear ("HDR-style") bucketing: values below [sub] are exact;
+   above, each power-of-two octave is split into [sub] sub-buckets, so
+   the recorded value is always within 1/sub (~3%) of the true one.
+   Everything is integer arithmetic: summaries are bit-reproducible
+   across hosts, which the serve determinism contract relies on. *)
+
+let sub_bits = 5
+let sub = 1 lsl sub_bits
+
+(* Enough buckets for any non-negative OCaml int: the exact region
+   plus one block of [sub] per remaining octave. *)
+let bucket_count = (2 * sub) + ((62 - sub_bits) * sub)
+
+let msb v =
+  let r = ref 0 in
+  let x = ref v in
+  while !x > 1 do
+    incr r;
+    x := !x lsr 1
+  done;
+  !r
+
+let bucket_index v =
+  if v < 2 * sub then v
+  else
+    let e = msb v in
+    (* [e >= sub_bits + 1]; keep the top [sub_bits + 1] bits. *)
+    let shifted = v lsr (e - sub_bits) in
+    ((e - sub_bits + 1) * sub) + (shifted - sub)
+
+(* Inclusive upper bound of a bucket: the largest value that indexes
+   into it.  Percentiles report this bound, so they never
+   under-estimate a latency. *)
+let bucket_upper i =
+  if i < 2 * sub then i
+  else
+    let block = i / sub and off = i mod sub in
+    let shift = block - 1 in
+    (((sub + off + 1) lsl shift) - 1 : int)
+
+(* One recorder: a bucket array plus exact count/total/min/max. *)
+type recorder = {
+  buckets : int array;
+  mutable r_count : int;
+  mutable r_total : int;
+  mutable r_min : int;
+  mutable r_max : int;
+}
+
+let recorder () =
+  { buckets = Array.make bucket_count 0; r_count = 0; r_total = 0; r_min = max_int; r_max = 0 }
+
+let record r v =
+  let v = max 0 v in
+  let i = bucket_index v in
+  r.buckets.(i) <- r.buckets.(i) + 1;
+  r.r_count <- r.r_count + 1;
+  r.r_total <- r.r_total + v;
+  if v < r.r_min then r.r_min <- v;
+  if v > r.r_max then r.r_max <- v
+
+let recorder_percentile r q =
+  if r.r_count = 0 then 0
+  else begin
+    let rank =
+      let t = int_of_float (Float.round (q *. float_of_int r.r_count)) in
+      min r.r_count (max 1 t)
+    in
+    let i = ref 0 and cum = ref 0 in
+    while !cum < rank && !i < bucket_count do
+      cum := !cum + r.buckets.(!i);
+      incr i
+    done;
+    (* [!i - 1] is the bucket that carried the target rank. *)
+    min r.r_max (max r.r_min (bucket_upper (!i - 1)))
+  end
+
+type row = {
+  w_start : int;
+  count : int;
+  max : int;
+  mean : float;
+  p50 : int;
+  p95 : int;
+  p99 : int;
+  p999 : int;
+}
+
+let row_of ~start r =
+  { w_start = start;
+    count = r.r_count;
+    max = (if r.r_count = 0 then 0 else r.r_max);
+    mean = (if r.r_count = 0 then 0. else float_of_int r.r_total /. float_of_int r.r_count);
+    p50 = recorder_percentile r 0.50;
+    p95 = recorder_percentile r 0.95;
+    p99 = recorder_percentile r 0.99;
+    p999 = recorder_percentile r 0.999 }
+
+type t = {
+  width : int;
+  per_window : (int, recorder) Hashtbl.t;
+  all : recorder;
+}
+
+let create ~width () =
+  if width <= 0 then invalid_arg "Window.create: width must be positive";
+  { width; per_window = Hashtbl.create 16; all = recorder () }
+
+let width t = t.width
+
+let observe t ~ts v =
+  let ts = max 0 ts in
+  let w = ts / t.width in
+  let r =
+    match Hashtbl.find_opt t.per_window w with
+    | Some r -> r
+    | None ->
+      let r = recorder () in
+      Hashtbl.replace t.per_window w r;
+      r
+  in
+  record r v;
+  record t.all v
+
+let count t = t.all.r_count
+
+let rows t =
+  Hashtbl.fold (fun w r acc -> (w, r) :: acc) t.per_window []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map (fun (w, r) -> row_of ~start:(w * t.width) r)
+
+let overall t = row_of ~start:0 t.all
+let percentile t q = recorder_percentile t.all q
+let max_value t = if t.all.r_count = 0 then 0 else t.all.r_max
+
+let pp fmt t =
+  let o = overall t in
+  Format.fprintf fmt "@[<v>windows of %d cycles, %d samples total@," t.width o.count;
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "  [%d, %d) n=%d p50=%d p99=%d p99.9=%d max=%d@," r.w_start
+        (r.w_start + t.width) r.count r.p50 r.p99 r.p999 r.max)
+    (rows t);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,65 @@
+(** Windowed latency histograms over simulated time.
+
+    A whole-run histogram averages the interesting part away: a serve
+    run's warmup ramp, a saturation knee and a steady-state plateau
+    all collapse into one number.  A {!t} keeps one log-linear
+    recorder per fixed simulated-time window {e and} one for the whole
+    run, so both latency-over-time ({!rows}) and run-level percentiles
+    ({!overall}) come from the same samples.
+
+    Buckets are log-linear with 32 sub-buckets per power-of-two octave
+    (values below 64 are exact, larger ones within ~3%), and every
+    summary statistic is computed in integer arithmetic — summaries
+    are deterministic, so byte-identical reports across [--jobs]
+    values come for free. *)
+
+type t
+
+val create : width:int -> unit -> t
+(** [width] is the window length in simulated cycles.
+    @raise Invalid_argument when [width <= 0]. *)
+
+val width : t -> int
+
+val observe : t -> ts:int -> int -> unit
+(** Record one sample (clamped to [0] from below) in the window
+    containing simulated time [ts] and in the whole-run recorder. *)
+
+val count : t -> int
+(** Total samples recorded. *)
+
+(** One window's summary.  Percentile fields are inclusive upper
+    bounds of the bucket carrying the target rank, clamped to the
+    observed range — they never under-report a latency, and are exact
+    integers (no interpolation). *)
+type row = {
+  w_start : int;  (** Window start, in simulated cycles. *)
+  count : int;
+  max : int;
+  mean : float;
+  p50 : int;
+  p95 : int;
+  p99 : int;
+  p999 : int;
+}
+
+val rows : t -> row list
+(** Non-empty windows in ascending time order.  Empty windows are
+    omitted (their absence is visible through the [w_start] gaps). *)
+
+val overall : t -> row
+(** The whole-run summary ([w_start = 0]; zeros when empty). *)
+
+val percentile : t -> float -> int
+(** Whole-run percentile for [q] in [0, 1]; 0 when empty. *)
+
+val max_value : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+(**/**)
+
+(* The bucketing internals, exposed for the unit tests that pin the
+   ~3% relative-error bound. *)
+val bucket_index : int -> int
+val bucket_upper : int -> int

@@ -1,0 +1,283 @@
+module Op = Kard_sched.Op
+module Program = Kard_sched.Program
+module Machine = Kard_sched.Machine
+module Trace = Kard_obs.Trace
+
+let kib = 1024
+
+(* {1 Arrival processes}
+
+   Time is the machine's aggregate cycle clock: it advances whenever
+   any thread is charged cycles (work, lock dilation or idle polling),
+   so one unit of it is one cycle of total serving capacity.  Rates
+   are therefore expressed in requests per million cycles of capacity
+   (r/Mcy), which makes saturation detector-relative: a detector that
+   inflates per-request service cost lowers the rate at which the same
+   arrival process drowns the server — exactly the production question
+   the sweep asks. *)
+
+type arrival =
+  | Poisson
+  | Bursty of { burst : float; p_enter : float; p_exit : float }
+
+let default_bursty = Bursty { burst = 8.0; p_enter = 0.05; p_exit = 0.25 }
+
+let arrival_name = function
+  | Poisson -> "poisson"
+  | Bursty { burst; p_enter; p_exit } ->
+    Printf.sprintf "bursty(x%g,p_enter=%g,p_exit=%g)" burst p_enter p_exit
+
+(* The arrival process is a pure function of (seed, rate): the
+   sub-seed folds the rate in (at 1/1000 r/Mcy resolution) so every
+   detector run at one sweep point replays the identical arrival
+   sequence, and nothing else — not threads, not scale, not the
+   detector — perturbs it. *)
+let arrival_seed ~seed ~rate = (seed * 1_000_003) + int_of_float (Float.round (rate *. 1000.))
+
+let arrivals ~model ~seed ~rate ~count =
+  if rate <= 0. then invalid_arg "Openloop.arrivals: rate must be positive";
+  if count < 0 then invalid_arg "Openloop.arrivals: negative count";
+  let rng = Random.State.make [| arrival_seed ~seed ~rate |] in
+  let per_cycle = rate /. 1_000_000. in
+  let times = Array.make count 0 in
+  let now = ref 0. in
+  let in_burst = ref false in
+  for i = 0 to count - 1 do
+    let lambda =
+      match model with
+      | Poisson -> per_cycle
+      | Bursty { burst; _ } -> if !in_burst then per_cycle *. burst else per_cycle
+    in
+    (* Exponential inter-arrival; [1 - u] keeps the log argument in
+       (0, 1]. *)
+    let u = Random.State.float rng 1.0 in
+    now := !now +. (-.log (1. -. u) /. lambda);
+    times.(i) <- int_of_float !now;
+    (match model with
+    | Poisson -> ()
+    | Bursty { p_enter; p_exit; _ } ->
+      let flip = Random.State.float rng 1.0 in
+      if !in_burst then (if flip < p_exit then in_burst := false)
+      else if flip < p_enter then in_burst := true)
+  done;
+  times
+
+(* {1 Server profiles}
+
+   Simplified request bodies borrowed from the closed-loop nginx and
+   memcached models (same locks, allocation mix and shared objects,
+   an order of magnitude less per-request bulk work) so a sweep point
+   stays cheap enough to run at many rates. *)
+
+type server =
+  | Nginx
+  | Memcached
+
+let server_name = function Nginx -> "nginx" | Memcached -> "memcached"
+
+type params = {
+  server : server;
+  model : arrival;
+  rate : float;          (** Offered load, requests per Mcycle. *)
+  requests : int;        (** Full-size request count (scaled by [scale]). *)
+  keepalive : int;       (** Requests per connection before churn. *)
+  window : int;          (** Windowed-histogram width, cycles. *)
+}
+
+let default_requests = 20_000
+let default_keepalive = 16
+let default_window = 1 lsl 21
+
+(* How long a worker sleeps per poll when no request has arrived yet.
+   Small enough that dispatch delay is noise against service time,
+   large enough that an idle machine doesn't burn one step per cycle. *)
+let idle_poll_cycles = 1_000
+
+let metric_latency = "serve.latency_cycles"
+let metric_queue_delay = "serve.queue_delay_cycles"
+let metric_service = "serve.service_cycles"
+let metric_queue_depth = "serve.queue_depth"
+let counter_requests = "serve.requests"
+let counter_conn_open = "serve.connections_opened"
+let counter_idle_polls = "serve.idle_polls"
+
+(* Number of arrivals at or before [now]: [times] is non-decreasing,
+   so a binary search gives the instantaneous queue depth. *)
+let arrived_before times now =
+  let n = Array.length times in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if times.(mid) <= now then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let build ~p ~threads ~scale ~seed machine =
+  let n = Builder.scaled (Builder.scale_factor ~scale ~entries:p.requests ~min_entries:400) p.requests in
+  let times = arrivals ~model:p.model ~seed ~rate:p.rate ~count:n in
+  let sink = Machine.trace machine in
+  let stripes = 8 in
+  (* [stripes] striped shared objects (each guarded only by its own
+     stripe lock) plus one stats object (guarded only by the stats
+     lock) — consistent lock discipline, so a clean serve run reports
+     no races. *)
+  let globals =
+    Array.init (stripes + 1) (fun i ->
+        (Machine.add_global machine ~resident:(i = 0) ~site:(9100 + i) ~size:64)
+          .Kard_alloc.Obj_meta.base)
+  in
+  let stats = globals.(stripes) in
+  let items = Array.make (max stripes 64) 0 in
+  let item_count = Array.length items in
+  let allocated = ref 0 in
+  (* The serving epoch: the aggregate-clock instant at which startup
+     (item allocation by the main thread) finished.  Arrival offsets
+     in [times] are relative to it, so the startup transient never
+     shows up as queueing delay.  It is set once, by the main thread,
+     at a scheduler-deterministic instant. *)
+  let epoch = ref (-1) in
+  let ready () = !epoch >= 0 in
+  let mix idx salt = ((idx * 2654435761) lxor (salt * 40503)) land max_int in
+  let buffers = Array.make threads 0 in
+  (* The shared dispatch queue: arrivals [0, next) are taken; FIFO
+     order because [times] is non-decreasing. *)
+  let next = ref 0 in
+  (* One connection per worker; [conn_left.(tid)] requests remain
+     before it is torn down and re-established (connection churn). *)
+  let conn_left = Array.make threads 0 in
+  let conn_objs = Array.make threads [] in
+  let service_body tid i =
+    let site = 10 + (mix i 19 mod 24) in
+    let stripe = site mod stripes in
+    match p.server with
+    | Nginx ->
+      [ Op.Io 2_500;
+        Builder.block ~base:buffers.(tid) ~count:1_024 ~span:(64 * kib) `Read;
+        Op.Compute 4_000 ]
+      @ Builder.critical_section ~lock:100 ~site:9 [ Op.Read stats; Op.Write stats ]
+      @ Builder.critical_section ~lock:(101 + stripe) ~site
+          [ Op.Read globals.(stripe); Op.Write globals.(stripe) ]
+      @ [ Op.Io 7_500 ]
+    | Memcached ->
+      let per_stripe = max 1 (item_count / stripes) in
+      let pick = stripe + (stripes * (mix i 23 mod per_stripe)) in
+      let item = items.(if pick < item_count then pick else stripe mod item_count) in
+      [ Op.Io 2_000;
+        Builder.block ~base:buffers.(tid) ~count:512 ~span:4096 `Read;
+        Op.Compute 1_500 ]
+      @ Builder.critical_section ~lock:(101 + stripe) ~site
+          [ Op.Read item; Op.Compute 2_500; Op.Write item ]
+      @ (if mix i 31 mod 16 = 0 then
+           Builder.critical_section ~lock:90 ~site:250 [ Op.Read stats; Op.Write stats ]
+         else [])
+      @ [ Op.Io 4_000 ]
+  in
+  let conn_open tid =
+    Trace.incr sink counter_conn_open;
+    conn_left.(tid) <- p.keepalive;
+    [ Op.Io 3_000 (* accept + handshake *) ]
+    @ List.concat_map
+        (fun (size, site) ->
+          [ Op.Alloc
+              { size; site; on_result = (fun m -> conn_objs.(tid) <- m :: conn_objs.(tid)) } ])
+        [ (32, 7401); (64, 7402); (512, 7403) ]
+  in
+  let conn_close tid =
+    let frees = List.rev_map (fun m -> Op.Free m) conn_objs.(tid) in
+    conn_objs.(tid) <- [];
+    frees
+  in
+  (* Serve request [i] on worker [tid]: account the queue delay, run
+     the (possibly churning) connection prologue, the service body,
+     and close the latency span at completion time. *)
+  let request tid i =
+    let arrival = !epoch + times.(i) in
+    let now = Machine.now machine in
+    let depth = arrived_before times (now - !epoch) - i in
+    Trace.incr sink counter_requests;
+    Trace.observe sink metric_queue_delay (now - arrival);
+    Trace.observe sink metric_queue_depth (max 0 depth);
+    Trace.span_open sink ~id:i ~lane:tid ~name:"request" ~ts:arrival;
+    let churn = conn_left.(tid) <= 0 in
+    let setup = if churn then conn_open tid else [] in
+    conn_left.(tid) <- conn_left.(tid) - 1;
+    let teardown () = if conn_left.(tid) <= 0 then conn_close tid else [] in
+    let service_start = now in
+    let finish =
+      Builder.effect_ (fun () ->
+          let done_at = Machine.now machine in
+          Trace.observe sink metric_service (done_at - service_start);
+          Trace.observe_window sink ~width:p.window metric_latency (done_at - arrival);
+          Trace.span_close sink ~id:i)
+    in
+    Program.concat
+      [ Program.of_list (setup @ service_body tid i);
+        Program.delay (fun () -> Program.of_list (teardown ()));
+        finish ]
+  in
+  (* The open loop: take the next arrived request, or poll.  Idle
+     polling charges [Io] cycles, which is what lets simulated time
+     pass through an idle server (and what an epoll timeout costs). *)
+  let worker tid =
+    Program.concat
+      [ Program.of_list
+          [ Op.Alloc
+              { size = 64 * kib;
+                site = 8100 + tid;
+                on_result = (fun m -> buffers.(tid) <- m.Kard_alloc.Obj_meta.base) } ];
+        Builder.wait_until ready;
+        Program.dynamic (fun () ->
+            let i = !next in
+            if i >= n then
+              (* All requests dispatched; drain this worker's
+                 connection, then halt. *)
+              (match conn_close tid with
+              | [] -> None
+              | frees -> Some (Program.of_list frees))
+            else if !epoch + times.(i) <= Machine.now machine then begin
+              next := i + 1;
+              Some (request tid i)
+            end
+            else begin
+              Trace.incr sink counter_idle_polls;
+              Some (Program.of_list [ Op.Io idle_poll_cycles ])
+            end) ]
+  in
+  let main =
+    Program.concat
+      [ Builder.alloc_into_array ~n:item_count ~size:96 ~site:7400 ~bases:items ~count:allocated;
+        Builder.effect_ (fun () -> epoch := Machine.now machine);
+        worker 0 ]
+  in
+  let (_ : int) = Machine.spawn machine main in
+  for tid = 1 to threads - 1 do
+    let (_ : int) = Machine.spawn machine (worker tid) in
+    ()
+  done
+
+let zero_paper =
+  { Spec.p_heap = 0; p_global = 0; p_ro = 0; p_rw = 0; p_total_cs = 0; p_active_cs = 0;
+    p_entries = 0; p_baseline_s = 0.; p_alloc_pct = 0.; p_kard_pct = 0.; p_tsan_pct = 0.;
+    p_rss_kb = 0; p_rss_kard_pct = 0.; p_dtlb_base = 0.; p_dtlb_alloc_pct = 0.;
+    p_dtlb_kard_pct = 0. }
+
+let spec_name ~server ~model ~rate =
+  Printf.sprintf "serve-%s:%s:r%g" (server_name server) (arrival_name model) rate
+
+let spec ?(model = Poisson) ?(requests = default_requests) ?(keepalive = default_keepalive)
+    ?(window = default_window) ~rate server =
+  let p = { server; model; rate; requests; keepalive; window } in
+  { Spec.name = spec_name ~server ~model ~rate;
+    category = Spec.Real_world;
+    description =
+      Printf.sprintf "open-loop %s serving; %s arrivals at %g req/Mcycle, keepalive %d"
+        (server_name server) (arrival_name model) rate keepalive;
+    paper = zero_paper;
+    default_threads = 4;
+    build = (fun ~threads ~scale ~seed machine -> build ~p ~threads ~scale ~seed machine) }
+
+(* Fixed-rate exemplars, registered so `kard run`/`kard trace` can
+   address an open-loop server by name. *)
+let nginx = spec ~rate:12.0 Nginx
+let memcached = spec ~rate:24.0 Memcached
+let all = [ nginx; memcached ]

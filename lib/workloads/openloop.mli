@@ -1,0 +1,107 @@
+(** Open-loop request serving: seeded arrival processes driving
+    simulated nginx/memcached servers.
+
+    Unlike the closed-loop registry workloads (whose threads issue the
+    next operation as soon as the previous one retires), an open-loop
+    server receives requests at externally scheduled instants.  The
+    arrival timetable is precomputed from [(seed, rate)] alone —
+    service speed, thread count, and the detector under test cannot
+    perturb it — so when the server falls behind, requests queue and
+    accrue latency instead of the load politely slowing down.  This is
+    the load model under which detector overhead shows up where
+    production cares: in the latency tail.
+
+    The time axis is the machine's aggregate cycle clock
+    ({!Kard_sched.Machine.now}), which advances with every charged
+    cycle of any thread; offered load is expressed in requests per
+    million cycles (r/Mcy) of that clock.  Workers with no arrived
+    request poll in [idle_poll_cycles] chunks of [Io], so simulated
+    time always advances and an under-loaded server drains.
+
+    Each served request records into the machine's {!Kard_obs.Trace}
+    sink: a [serve.latency_cycles] windowed histogram (arrival to
+    completion), plain [serve.queue_delay_cycles] /
+    [serve.service_cycles] / [serve.queue_depth] histograms,
+    [serve.requests] / [serve.connections_opened] /
+    [serve.idle_polls] counters, and a per-request {!Kard_obs.Span}
+    ([name = "request"], lane = serving worker, id = request index)
+    for Perfetto lanes. *)
+
+(** {1 Arrival processes} *)
+
+type arrival =
+  | Poisson
+      (** Memoryless arrivals: exponential inter-arrival times at the
+          offered rate. *)
+  | Bursty of { burst : float; p_enter : float; p_exit : float }
+      (** Markov-modulated Poisson: a two-state process whose rate is
+          multiplied by [burst] while in the burst state; after each
+          arrival the state flips on with probability [p_enter] and
+          off with probability [p_exit].  Same long-run offered rate
+          shape as {!Poisson}, far heavier queueing transients. *)
+
+val default_bursty : arrival
+(** [Bursty { burst = 8.0; p_enter = 0.05; p_exit = 0.25 }] — bursts
+    roughly 1/6 of the time, 8x the base rate while on. *)
+
+val arrival_name : arrival -> string
+
+val arrival_seed : seed:int -> rate:float -> int
+(** The sub-seed from which an arrival sequence is generated; a pure
+    function of [(seed, rate)] (rate quantized to 1/1000 r/Mcy). *)
+
+val arrivals : model:arrival -> seed:int -> rate:float -> count:int -> int array
+(** [arrivals ~model ~seed ~rate ~count] is the non-decreasing array
+    of arrival timestamps (aggregate cycles) for [count] requests at
+    [rate] requests per Mcycle.  Deterministic in [(seed, rate)].
+    @raise Invalid_argument if [rate <= 0] or [count < 0]. *)
+
+(** {1 Server profiles} *)
+
+type server =
+  | Nginx  (** Static-file serving: big private buffer sweeps, two
+               short critical sections (shared stats + striped). *)
+  | Memcached
+      (** Key-value gets/sets: striped item locks with in-section
+          compute, occasional global-stats section, alloc churn. *)
+
+val server_name : server -> string
+
+(** {1 Specs} *)
+
+val spec :
+  ?model:arrival ->
+  ?requests:int ->
+  ?keepalive:int ->
+  ?window:int ->
+  rate:float ->
+  server ->
+  Spec.t
+(** An open-loop serving workload at a fixed offered [rate] (r/Mcy).
+    [requests] (default 20000) is the full-size request count, scaled
+    down by the harness [~scale] with a floor of 400; [keepalive]
+    (default 16) is requests per connection before churn (teardown +
+    re-accept + handshake allocations); [window] (default [2^21]) is
+    the latency-histogram window width in cycles.  The spec's [paper]
+    row is all zeros — serving specs have no paper counterpart. *)
+
+val spec_name : server:server -> model:arrival -> rate:float -> string
+
+val nginx : Spec.t
+(** Poisson at 12 r/Mcy — the registry exemplar ["serve-nginx:poisson:r12"]. *)
+
+val memcached : Spec.t
+(** Poisson at 24 r/Mcy — the registry exemplar ["serve-memcached:poisson:r24"]. *)
+
+val all : Spec.t list
+
+(**/**)
+
+val metric_latency : string
+val metric_queue_delay : string
+val metric_service : string
+val metric_queue_depth : string
+val counter_requests : string
+val counter_conn_open : string
+val counter_idle_polls : string
+val idle_poll_cycles : int

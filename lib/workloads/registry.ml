@@ -2,7 +2,8 @@ let benchmarks = Parsec.all @ Splash.all
 let real_world = Apps.all
 let all = benchmarks @ real_world
 let lock_free = Lockfree.all
-let extended = all @ lock_free
+let serving = Openloop.all
+let extended = all @ lock_free @ serving
 
 let find name =
   match List.find_opt (fun spec -> String.equal spec.Spec.name name) extended with

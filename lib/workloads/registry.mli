@@ -12,8 +12,11 @@ val all : Spec.t list
 val lock_free : Spec.t list
 (** The lock-free benchmarks the paper omitted (no overhead claim). *)
 
+val serving : Spec.t list
+(** The open-loop serving exemplars ({!Openloop.all}). *)
+
 val extended : Spec.t list
-(** [all] plus [lock_free]. *)
+(** [all] plus [lock_free] plus [serving]. *)
 
 val find : string -> Spec.t
 (** Searches [extended]. @raise Not_found for unknown names. *)

@@ -69,6 +69,39 @@ let test_percentile () =
        false
      with Invalid_argument _ -> true)
 
+let test_summarize () =
+  (* Known distribution: 1..1000 uniformly.  The type-7 estimator lands
+     p-th percentiles of 1..n on 1 + p/100 * (n - 1) exactly. *)
+  let values = List.init 1000 (fun i -> float_of_int (i + 1)) in
+  let s = Stats.summarize values in
+  check_int "count" 1000 s.Stats.count;
+  check_float "min" 1.0 s.Stats.min;
+  check_float "max" 1000.0 s.Stats.max;
+  check_float "mean" 500.5 s.Stats.mean;
+  check_float "p50" 500.5 s.Stats.p50;
+  check_float "p95" 950.05 s.Stats.p95;
+  check_float "p99" 990.01 s.Stats.p99;
+  check_float "p999" 999.001 s.Stats.p999;
+  (* Agrees with the standalone estimator on an unsorted sample. *)
+  let sample = [ 9.; 1.; 4.; 25.; 16. ] in
+  let s2 = Stats.summarize sample in
+  check_float "p95 matches percentile" (Stats.percentile sample 95.) s2.Stats.p95;
+  check_float "p999 matches percentile" (Stats.percentile sample 99.9) s2.Stats.p999;
+  (* A two-point mass at 0 and 100: every tail rank sits inside the
+     last gap, so p99 < p99.9 < max strictly. *)
+  let bimodal = List.init 100 (fun i -> if i < 99 then 0. else 100.) in
+  let s3 = Stats.summarize bimodal in
+  check_float "bimodal p50" 0.0 s3.Stats.p50;
+  check "bimodal tail ordering" true
+    (s3.Stats.p99 < s3.Stats.p999 && s3.Stats.p999 < s3.Stats.max);
+  let s4 = Stats.summarize [ 7. ] in
+  check_float "singleton collapses" 7.0 s4.Stats.p999;
+  check "empty rejected" true
+    (try
+       ignore (Stats.summarize []);
+       false
+     with Invalid_argument _ -> true)
+
 (* {1 Text_table} *)
 
 let test_table_render () =
@@ -275,7 +308,7 @@ let test_json_metrics () =
   check "histogram named" true (contains json "\"lat\":{");
   List.iter
     (fun field -> check (field ^ " present") true (contains json ("\"" ^ field ^ "\":")))
-    [ "count"; "total"; "min"; "max"; "mean"; "p50"; "p95"; "p99" ];
+    [ "count"; "total"; "min"; "max"; "mean"; "p50"; "p95"; "p99"; "p999" ];
   check "count value" true (contains json "\"count\":4")
 
 let test_json_traced_result () =
@@ -317,6 +350,7 @@ let () =
         [ Alcotest.test_case "geomean ratio" `Quick test_geomean_ratio;
           Alcotest.test_case "geomean overhead" `Quick test_geomean_overhead;
           Alcotest.test_case "pct and mean" `Quick test_pct_and_mean;
+          Alcotest.test_case "summarize" `Quick test_summarize;
           Alcotest.test_case "stddev" `Quick test_stddev;
           Alcotest.test_case "percentile" `Quick test_percentile ] );
       ( "text_table",

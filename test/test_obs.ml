@@ -5,6 +5,9 @@
 module Ring = Kard_obs.Ring
 module Event = Kard_obs.Event
 module Metrics = Kard_obs.Metrics
+module Window = Kard_obs.Window
+module Span = Kard_obs.Span
+module Snapshot = Kard_obs.Snapshot
 module Trace = Kard_obs.Trace
 module Chrome_trace = Kard_obs.Chrome_trace
 module Runner = Kard_harness.Runner
@@ -79,7 +82,125 @@ let test_metrics_constant_histogram () =
   let s = Metrics.summary h in
   (* Percentiles are clamped to the exact observed range. *)
   check "p50 exact on constants" true (abs_float (s.Metrics.p50 -. 7.) < 1e-9);
-  check "p99 exact on constants" true (abs_float (s.Metrics.p99 -. 7.) < 1e-9)
+  check "p99 exact on constants" true (abs_float (s.Metrics.p99 -. 7.) < 1e-9);
+  check "p999 exact on constants" true (abs_float (s.Metrics.p999 -. 7.) < 1e-9)
+
+(* {1 Windowed histograms} *)
+
+let test_window_buckets () =
+  (* Log-linear bucketing: values below 64 (two octaves of 32
+     sub-buckets) are exact; above that the bucket's inclusive upper
+     bound over-reports by at most ~3% (1/32 of an octave). *)
+  for v = 0 to 63 do
+    check_int "small values exact" v (Window.bucket_upper (Window.bucket_index v))
+  done;
+  List.iter
+    (fun v ->
+      let upper = Window.bucket_upper (Window.bucket_index v) in
+      check "upper bound never under-reports" true (upper >= v);
+      check "relative error within ~3%" true
+        (float_of_int (upper - v) <= 0.033 *. float_of_int v))
+    [ 64; 100; 1_000; 54_321; 1_000_000; 123_456_789 ]
+
+let test_window_rows () =
+  let w = Window.create ~width:1_000 () in
+  (* Two samples in window 0, one in window 2; window 1 stays empty. *)
+  Window.observe w ~ts:10 100;
+  Window.observe w ~ts:900 200;
+  Window.observe w ~ts:2_500 50;
+  check_int "count totals all windows" 3 (Window.count w);
+  let rows = Window.rows w in
+  check_int "empty windows omitted" 2 (List.length rows);
+  let r0 = List.nth rows 0 and r2 = List.nth rows 1 in
+  check_int "first window start" 0 r0.Window.w_start;
+  check_int "first window count" 2 r0.Window.count;
+  check_int "third window start" 2_000 r2.Window.w_start;
+  check_int "max is exact" 200 r0.Window.max;
+  let overall = Window.overall w in
+  check_int "overall spans the run" 3 overall.Window.count;
+  check_int "overall max" 200 overall.Window.max;
+  check "percentiles ordered" true
+    (overall.Window.p50 <= overall.Window.p95
+     && overall.Window.p95 <= overall.Window.p99
+     && overall.Window.p99 <= overall.Window.p999
+     && overall.Window.p999 <= overall.Window.max)
+
+let test_window_percentiles_known () =
+  (* 1..1000 uniform: every percentile's bucket upper bound sits within
+     the ~3% bucketing error of the true rank. *)
+  let w = Window.create ~width:1_000_000 () in
+  for v = 1 to 1_000 do
+    Window.observe w ~ts:0 v
+  done;
+  List.iter
+    (fun (q, expect) ->
+      let got = float_of_int (Window.percentile w q) in
+      check
+        (Printf.sprintf "p%g within bucket error" (q *. 100.))
+        true
+        (got >= expect && got <= expect *. 1.033))
+    [ (0.5, 500.); (0.95, 950.); (0.99, 990.); (0.999, 999.) ];
+  check_int "max exact" 1_000 (Window.max_value w)
+
+let test_window_determinism () =
+  let fill () =
+    let w = Window.create ~width:4_096 () in
+    for i = 1 to 500 do
+      Window.observe w ~ts:(i * 37) (i * i mod 9_001)
+    done;
+    w
+  in
+  check "identical fills give identical rows" true (Window.rows (fill ()) = Window.rows (fill ()));
+  check "zero width rejected" true
+    (try
+       ignore (Window.create ~width:0 () : Window.t);
+       false
+     with Invalid_argument _ -> true)
+
+(* {1 Spans} *)
+
+let test_span_lifecycle () =
+  let s = Span.create () in
+  Span.open_ s ~id:1 ~lane:0 ~name:"request" ~ts:100;
+  Span.open_ s ~id:2 ~lane:1 ~name:"request" ~ts:150;
+  check_int "two open" 2 (Span.open_count s);
+  Span.close s ~id:2 ~ts:300;
+  Span.close s ~id:1 ~ts:400;
+  check_int "none left open" 0 (Span.open_count s);
+  (* Close order, not open order. *)
+  check "closed in close order" true
+    (List.map (fun sp -> sp.Span.id) (Span.closed s) = [ 2; 1 ]);
+  let sp = List.hd (Span.closed s) in
+  check_int "duration" 150 (Span.duration sp);
+  Span.close s ~id:99 ~ts:500;
+  check_int "stray close counted, not raised" 1 (Span.dropped_closes s);
+  (* A span may stop before its recorded start never: clamped. *)
+  Span.open_ s ~id:3 ~lane:0 ~name:"request" ~ts:1_000;
+  Span.close s ~id:3 ~ts:900;
+  let sp3 = List.nth (Span.closed s) 2 in
+  check_int "stop clamped to start" 0 (Span.duration sp3)
+
+(* {1 Snapshots} *)
+
+let test_snapshot_of_metrics () =
+  let m = Metrics.create () in
+  Metrics.incr ~by:3 (Metrics.counter m "reqs");
+  Metrics.observe (Metrics.histogram m "lat") 42;
+  let w = Metrics.window m ~width:1_000 "lat_w" in
+  Window.observe w ~ts:100 7;
+  Window.observe w ~ts:1_500 9;
+  let s = Snapshot.of_metrics m in
+  check_int "counter captured" 3 (Snapshot.find_counter s "reqs");
+  check_int "absent counter is zero" 0 (Snapshot.find_counter s "nope");
+  (match Snapshot.find_window s "lat_w" with
+  | None -> check "window captured" true false
+  | Some v ->
+      check_int "width captured" 1_000 v.Snapshot.w_width;
+      check_int "overall count" 2 v.Snapshot.w_overall.Window.count;
+      check_int "two windows" 2 (List.length v.Snapshot.w_rows));
+  check "absent window is None" true (Snapshot.find_window s "nope" = None);
+  (* Pure data: snapshots of equal registries are structurally equal. *)
+  check "snapshot is stable" true (s = Snapshot.of_metrics m)
 
 (* {1 Traced machine runs} *)
 
@@ -202,6 +323,15 @@ let () =
         [ Alcotest.test_case "counters" `Quick test_metrics_counters;
           Alcotest.test_case "histogram" `Quick test_metrics_histogram;
           Alcotest.test_case "constant histogram" `Quick test_metrics_constant_histogram ] );
+      ( "window",
+        [ Alcotest.test_case "bucket error bound" `Quick test_window_buckets;
+          Alcotest.test_case "rows" `Quick test_window_rows;
+          Alcotest.test_case "known percentiles" `Quick test_window_percentiles_known;
+          Alcotest.test_case "determinism" `Quick test_window_determinism ] );
+      ( "span",
+        [ Alcotest.test_case "lifecycle" `Quick test_span_lifecycle ] );
+      ( "snapshot",
+        [ Alcotest.test_case "of_metrics" `Quick test_snapshot_of_metrics ] );
       ( "trace",
         [ Alcotest.test_case "categories" `Slow test_trace_categories;
           Alcotest.test_case "monotone per thread" `Slow test_trace_monotone_per_thread;
