@@ -10,7 +10,7 @@
 
    Experiment ids: micro, bechamel, figure2, table1 (= table4 =
    scenarios), table3, table5, table6, figure5, nginx-sweep, memory,
-   throughput, parallel, serve, obs, nolock, explore, ablation.
+   throughput, parallel, serve, shard, obs, nolock, explore, ablation.
 
    [throughput] additionally writes its rows as JSON to --bench-out
    (default BENCH_pr4.json): the tracked simulator ops/sec benchmark
@@ -29,7 +29,10 @@
    (default BENCH_pr6.json): the open-loop serving sweep — latency
    percentiles per (detector, offered rate) and goodput under the
    p99 SLO; its rows are simulation outputs, byte-identical at any
-   --jobs value.
+   --jobs value.  [shard] writes --shard-out (default BENCH_pr7.json):
+   wall-clock of a single contended 64-thread Kard run at each shard
+   count (--shards n extends the 1/2/4/8 sweep), with a structural
+   identity check of every sharded result against the shards=1 run.
 
    Table experiments run on the Domain pool; --jobs (or $KARD_JOBS)
    sets the worker count, defaulting to the host core count.
@@ -46,10 +49,15 @@ let only = ref []
 let bench_out = ref Kard_harness.Defaults.throughput_out
 let parallel_out = ref Kard_harness.Defaults.parallel_out
 let serve_out = ref Kard_harness.Defaults.serve_out
+let shard_out = ref Kard_harness.Defaults.shard_out
 let build_label = ref "dev"
 
 (* [None] lets Pool fall back to $KARD_JOBS / the host core count. *)
 let jobs : int option ref = ref None
+
+(* [None] lets machines fall back to $KARD_SHARDS / 1.  For the
+   [shard] experiment this instead extends the swept shard counts. *)
+let shards : int option ref = ref None
 
 (* {1 Bechamel micro-benchmarks: the simulator's real hot paths} *)
 
@@ -293,7 +301,7 @@ let serve () =
   in
   let threads = Kard_harness.Defaults.table_threads in
   let seed = Kard_harness.Defaults.seed in
-  let sweep = Experiments.serve ?jobs:!jobs ~threads ~scale ~seed () in
+  let sweep = Experiments.serve ?jobs:!jobs ~threads ~scale ~seed ?shards:!shards () in
   Experiments.print_serve sweep;
   let json = Kard_harness.Json_report.of_serve_sweep ~threads ~scale ~seed sweep in
   let oc = open_out !serve_out in
@@ -301,6 +309,27 @@ let serve () =
   output_char oc '\n';
   close_out oc;
   Printf.printf "wrote %s\n" !serve_out
+
+(* {1 Tracked sharded single-run benchmark (BENCH_pr7.json)} *)
+
+let shard () =
+  (* One contended 64-thread run per shard count, wall-clock timed —
+     full scale regardless of --scale (a scaled-down convoy is too
+     short to time).  --shards n adds n to the default 1/2/4/8 sweep. *)
+  let shard_counts =
+    match !shards with
+    | Some n when not (List.mem n Experiments.default_shard_counts) ->
+      Experiments.default_shard_counts @ [ n ]
+    | Some _ | None -> Experiments.default_shard_counts
+  in
+  let b = Experiments.shard_bench ~shard_counts () in
+  Experiments.print_shard_bench b;
+  let json = Kard_harness.Json_report.of_shard_bench ~build:!build_label b in
+  let oc = open_out !shard_out in
+  output_string oc (Kard_harness.Json_report.pretty json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" !shard_out
 
 (* {1 Driver} *)
 
@@ -328,6 +357,7 @@ let experiments =
     ("throughput", throughput);
     ("parallel", parallel);
     ("serve", serve);
+    ("shard", shard);
     ("obs", obs);
     ("nolock", nolock);
     ("explore", explore);
@@ -351,6 +381,12 @@ let () =
       parse rest
     | "--serve-out" :: path :: rest ->
       serve_out := path;
+      parse rest
+    | "--shard-out" :: path :: rest ->
+      shard_out := path;
+      parse rest
+    | "--shards" :: n :: rest ->
+      shards := Some (int_of_string n);
       parse rest
     | "--build-label" :: label :: rest ->
       build_label := label;

@@ -58,6 +58,16 @@ let jobs_arg =
               count).  Results are merged in submission order, so any value produces identical \
               output.")
 
+let shards_arg =
+  Arg.(value & opt (some int) None
+       & info [ "shards" ] ~docv:"N"
+           ~doc:
+             "Shard count of each simulated machine (default: $(b,\\$KARD_SHARDS) or 1).  Shards \
+              the MPK/TLB hot state by TLB set and, when the detector's access hooks are pure, \
+              runs granted accesses on the lock-free burst fast path, draining per shard at \
+              virtual-clock merge points.  Reports, JSON and traces are byte-identical at any \
+              value (DESIGN.md section 10).")
+
 (* list *)
 
 let list_cmd =
@@ -74,6 +84,11 @@ let list_cmd =
       (fun spec ->
         Printf.printf "  %-28s %s\n" spec.Spec.name spec.Spec.description)
       Registry.serving;
+    Printf.printf "\nContention stress (the shard benchmark's subject):\n";
+    List.iter
+      (fun spec ->
+        Printf.printf "  %-28s %s\n" spec.Spec.name spec.Spec.description)
+      Registry.contention;
     Printf.printf "\nRace scenarios (Tables 1/4, Figures 1/4):\n";
     List.iter
       (fun s -> Printf.printf "  %-28s %s\n" s.Race_suite.name s.Race_suite.description)
@@ -149,13 +164,13 @@ let run_cmd =
          & info [ "seeds" ] ~docv:"S,S,..."
              ~doc:"Run one job per seed (reported in seed-list order) instead of --seed alone.")
   in
-  let action name detector threads scale seed seeds jobs json =
+  let action name detector threads scale seed seeds jobs shards json =
     match Registry.find name with
     | spec ->
       let seeds = Option.value ~default:[ seed ] seeds in
       let results =
         Pool.run_jobs ?jobs
-          (List.map (fun seed -> Job.spec ?threads ~scale ~seed detector spec) seeds)
+          (List.map (fun seed -> Job.spec ?threads ~scale ~seed ?shards detector spec) seeds)
       in
       if json then
         List.iter
@@ -173,19 +188,19 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one workload under one detector")
     Term.(const action $ name_arg $ detector_arg $ threads_arg $ scale_arg $ seed_arg $ seeds_arg
-          $ jobs_arg $ json_arg)
+          $ jobs_arg $ shards_arg $ json_arg)
 
 let scenario_cmd =
   let name_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"SCENARIO" ~doc:"Scenario name.")
   in
-  let action name detector seed =
+  let action name detector seed shards =
     match Race_suite.find name with
-    | scenario -> print_result (Runner.run_scenario ~seed ~detector scenario)
+    | scenario -> print_result (Runner.run_scenario ?shards ~seed ~detector scenario)
     | exception Not_found -> Printf.eprintf "unknown scenario %S; try `kard list`\n" name
   in
   Cmd.v (Cmd.info "scenario" ~doc:"Run one controlled race scenario")
-    Term.(const action $ name_arg $ detector_arg $ seed_arg)
+    Term.(const action $ name_arg $ detector_arg $ seed_arg $ shards_arg)
 
 (* trace: run a workload with the observability sink on and export a
    Perfetto-loadable Chrome trace plus the metrics registry. *)
@@ -208,14 +223,14 @@ let trace_cmd =
          & info [ "capacity" ] ~docv:"N"
              ~doc:"Event ring capacity; oldest events are dropped beyond it.")
   in
-  let action name detector threads scale seed out steps capacity =
+  let action name detector threads scale seed shards out steps capacity =
     if capacity <= 0 then Printf.eprintf "trace: --capacity must be positive (got %d)\n" capacity
     else
     match Registry.find name with
     | exception Not_found -> Printf.eprintf "unknown workload %S; try `kard list`\n" name
     | spec ->
       let tr = Kard_obs.Trace.create ~capacity ~steps () in
-      let result = Runner.run ~trace:tr ?threads ~scale ~seed ~detector spec in
+      let result = Runner.run ~trace:tr ?shards ?threads ~scale ~seed ~detector spec in
       let oc = open_out out in
       output_string oc (Kard_obs.Chrome_trace.to_json ~t:tr);
       close_out oc;
@@ -233,8 +248,8 @@ let trace_cmd =
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Run a workload with event tracing on; write a Perfetto-loadable Chrome trace")
-    Term.(const action $ name_arg $ detector_arg $ threads_arg $ scale_arg $ seed_arg $ out_arg
-          $ steps_arg $ capacity_arg)
+    Term.(const action $ name_arg $ detector_arg $ threads_arg $ scale_arg $ seed_arg $ shards_arg
+          $ out_arg $ steps_arg $ capacity_arg)
 
 (* hunt: sweep seeds until a schedule manifests a race, then replay
    that exact interleaving to confirm — the race-debugging loop. *)
@@ -308,8 +323,8 @@ let bench_cmd =
     Arg.(value & opt (list int) [ 1; 2; 4; 8; 16; 32; 64 ]
          & info [ "threads" ] ~docv:"N,N,..." ~doc:"Thread counts to sweep.")
   in
-  let action scale seed threads_list out =
-    let rows = Experiments.throughput ~threads_list ~scale ~seed () in
+  let action scale seed threads_list shards out =
+    let rows = Experiments.throughput ~threads_list ~scale ~seed ?shards () in
     Experiments.print_throughput rows;
     let json =
       Kard_harness.Json_report.of_throughput ~build:"dev" ~workload:"memcached" ~scale ~seed
@@ -324,7 +339,7 @@ let bench_cmd =
   Cmd.v
     (Cmd.info "bench"
        ~doc:"Measure simulator throughput (steps per wall-clock second) across thread counts")
-    Term.(const action $ scale_arg $ seed_arg $ threads_arg $ out_arg)
+    Term.(const action $ scale_arg $ seed_arg $ threads_arg $ shards_arg $ out_arg)
 
 (* serve-sweep: the open-loop production-serving benchmark
    (BENCH_pr6.json).  Sweeps offered load over detectors and reports
@@ -380,9 +395,9 @@ let serve_sweep_cmd =
     Arg.(value & opt int Defaults.table_threads
          & info [ "t"; "threads" ] ~docv:"N" ~doc:"Worker thread count of the simulated server.")
   in
-  let action server model rates slo threads scale seed jobs out =
+  let action server model rates slo threads scale seed jobs shards out =
     let sweep =
-      Experiments.serve ?jobs ~server ~model ~rates ~threads ~scale ~seed ~slo ()
+      Experiments.serve ?jobs ~server ~model ~rates ~threads ~scale ~seed ~slo ?shards ()
     in
     Experiments.print_serve sweep;
     let json = Kard_harness.Json_report.of_serve_sweep ~threads ~scale ~seed sweep in
@@ -398,7 +413,7 @@ let serve_sweep_cmd =
          "Open-loop serving benchmark: sweep offered load over detectors, report latency \
           percentiles and goodput under the p99 SLO")
     Term.(const action $ server_arg $ arrivals_arg $ rates_arg $ slo_arg $ threads_opt_arg
-          $ serve_scale_arg $ seed_arg $ jobs_arg $ out_arg)
+          $ serve_scale_arg $ seed_arg $ jobs_arg $ shards_arg $ out_arg)
 
 (* fuzz: the differential campaign.  Exit code 1 on any unexpected
    divergence so CI can gate on it. *)
@@ -416,8 +431,8 @@ let fuzz_cmd =
                "Corpus directory: campaign state (resumable), per-class exemplar repros, and \
                 minimized repros for unexpected divergences.")
   in
-  let action count seed corpus jobs =
-    let r = Kard_fuzz.Campaign.run ?jobs ?corpus ~count ~seed () in
+  let action count seed corpus jobs shards =
+    let r = Kard_fuzz.Campaign.run ?jobs ?corpus ?shards ~count ~seed () in
     Format.printf "%a@." Kard_fuzz.Campaign.report r;
     Printf.printf "(%d programs this invocation%s)\n" r.Kard_fuzz.Campaign.programs
       (match corpus with None -> "" | Some dir -> Printf.sprintf ", corpus %s" dir);
@@ -429,7 +444,7 @@ let fuzz_cmd =
          "Differential fuzzing: random programs under the Kard runtime, replayed through pure \
           Algorithm 1, happens-before and Eraser-lockset oracles; every divergence must match \
           the documented taxonomy")
-    Term.(const action $ count_arg $ seed_arg $ corpus_arg $ jobs_arg)
+    Term.(const action $ count_arg $ seed_arg $ corpus_arg $ jobs_arg $ shards_arg)
 
 (* repro *)
 

@@ -924,6 +924,7 @@ let metadata_bytes t =
 
 let hooks t =
   { Hooks.name = "kard";
+    pure_access = true;
     on_spawn = (fun ~tid -> on_spawn t ~tid);
     on_global = (fun meta -> on_alloc t ~tid:(-1) meta);
     on_alloc = (fun ~tid meta -> on_alloc t ~tid meta);

@@ -15,6 +15,7 @@ type cls =
   | Lockset_over_report
   | Lockset_shared_read_miss
   | Lockset_init_miss
+  | Shard_divergence
   | Unexpected
 
 let all =
@@ -35,6 +36,7 @@ let all =
     Lockset_over_report;
     Lockset_shared_read_miss;
     Lockset_init_miss;
+    Shard_divergence;
     Unexpected;
   ]
 
@@ -55,6 +57,7 @@ let name = function
   | Lockset_over_report -> "lockset-over-report"
   | Lockset_shared_read_miss -> "lockset-shared-read-miss"
   | Lockset_init_miss -> "lockset-init-miss"
+  | Shard_divergence -> "shard-divergence"
   | Unexpected -> "unexpected"
 
 let of_name s = List.find_opt (fun c -> String.equal (name c) s) all
@@ -113,9 +116,13 @@ let describe = function
   | Lockset_init_miss ->
       "Lockset miss: the initialization heuristic exempts Virgin/Exclusive \
        accesses from refinement, hiding races against the first owner"
+  | Shard_divergence ->
+      "the sharded machine diverged: a run at shards>1 produced a different \
+       report or race-record list than the same run at shards=1, breaching \
+       the burst engine's determinism contract (DESIGN.md section 10): real bug"
   | Unexpected -> "no documented mechanism explains the disagreement: real bug"
 
-let expected = function Unexpected -> false | _ -> true
+let expected = function Shard_divergence | Unexpected -> false | _ -> true
 
 let index c =
   let rec go i = function

@@ -150,6 +150,14 @@ type cls =
           refinement, so a race against the first owner's unlocked
           accesses is missed.  Evidence: a strict replay that refines
           from the very first access does warn. *)
+  | Shard_divergence
+      (** The sharded machine diverged: running the same program,
+          seed and configuration at shards>1 produced a different
+          machine report or race-record list than at shards=1.  The
+          burst engine's determinism contract (DESIGN.md §10) allows
+          {e no} such difference, so this class is never expected —
+          it gates the sharded execution engine behind the fuzz
+          campaign's oracle equivalence. *)
   | Unexpected
       (** No documented mechanism explains the disagreement: a real
           bug in the runtime, an oracle, or the classifier. *)
@@ -166,7 +174,8 @@ val describe : cls -> string
 (** One-line human description. *)
 
 val expected : cls -> bool
-(** [true] for every class except {!Unexpected}. *)
+(** [true] for every class except {!Shard_divergence} and
+    {!Unexpected}. *)
 
 val compare : cls -> cls -> int
 val equal : cls -> cls -> bool

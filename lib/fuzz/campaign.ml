@@ -2,12 +2,19 @@ module D = Kard_core.Divergence
 module Config = Kard_core.Config
 module Pool = Kard_harness.Pool
 
+(* (name, detector config, machine shard count).  The sharded entries
+   make the burst engine a standing fuzz subject: every program they
+   draw also runs the dual-machine shard gate (Harness.run ?shards),
+   so a determinism breach surfaces as the never-expected
+   shard-divergence class and fails the campaign. *)
 let configs =
   let d = Config.default in
-  [ ("default", d);
-    ("keys4", { d with Config.data_keys = 4 });
-    ("keys4-soft", { d with Config.data_keys = 4; software_fallback = true });
-    ("by-lock", { d with Config.section_identity = Config.By_lock }) ]
+  [ ("default", d, 1);
+    ("keys4", { d with Config.data_keys = 4 }, 1);
+    ("keys4-soft", { d with Config.data_keys = 4; software_fallback = true }, 1);
+    ("by-lock", { d with Config.section_identity = Config.By_lock }, 1);
+    ("default-shards4", d, 4);
+    ("keys4-shards3", { d with Config.data_keys = 4 }, 3) ]
 
 type result = {
   programs : int;
@@ -29,16 +36,20 @@ type job_out = {
   shrunk_src : string option; (* unexpected ones also carry the minimized one *)
 }
 
-let run_one ~seed i =
+let run_one ?shards ~seed i =
   let rand = Random.State.make [| seed; i |] in
   let prog = Prog.generate ~rand in
   let mseed = Random.State.int rand 1_000_000 in
-  let config_name, config = List.nth configs (i mod List.length configs) in
-  let outcome = Harness.run ~config ~seed:mseed prog in
+  let config_name, config, entry_shards = List.nth configs (i mod List.length configs) in
+  let shards = Option.value ~default:entry_shards shards in
+  let outcome = Harness.run ~config ~shards ~seed:mseed prog in
   let obj_classes =
     List.concat_map (fun (v : Classify.obj_verdict) -> v.Classify.classes) outcome.Harness.divergent
+    @ (if List.exists (D.equal D.Shard_divergence) outcome.Harness.classes then
+         [ D.Shard_divergence ]
+       else [])
   in
-  let is_divergent = outcome.Harness.divergent <> [] || outcome.Harness.stuck <> None in
+  let is_divergent = obj_classes <> [] || outcome.Harness.stuck <> None in
   let is_unexpected = outcome.Harness.unexpected in
   let header tag =
     Printf.sprintf
@@ -50,7 +61,7 @@ let run_one ~seed i =
   let shrunk_src =
     if not is_unexpected then None
     else begin
-      let oracle p = (Harness.run ~config ~seed:mseed p).Harness.unexpected in
+      let oracle p = (Harness.run ~config ~shards ~seed:mseed p).Harness.unexpected in
       let small, _evals = Shrink.minimize ~oracle prog in
       Some (header ", minimized" ^ Prog.to_ocaml small)
     end
@@ -149,7 +160,7 @@ let result_of_state st ~programs =
 let report fmt r =
   Format.fprintf fmt "@[<v 0>fuzz campaign: %d programs, %d divergent@," r.total r.divergent;
   Format.fprintf fmt "configs: %s@,"
-    (String.concat ", " (List.map fst configs));
+    (String.concat ", " (List.map (fun (n, _, _) -> n) configs));
   if r.class_counts = [] then Format.fprintf fmt "no divergences@,"
   else
     List.iter
@@ -162,7 +173,7 @@ let report fmt r =
       (String.concat " " (List.map string_of_int idxs)));
   Format.fprintf fmt "@]"
 
-let run ?jobs ?corpus ~count ~seed () =
+let run ?jobs ?corpus ?shards ~count ~seed () =
   Option.iter (fun dir -> if not (Sys.file_exists dir) then Sys.mkdir dir 0o755) corpus;
   let st = match corpus with None -> empty_state seed | Some dir -> load_state dir ~seed in
   let start = st.st_done in
@@ -170,7 +181,7 @@ let run ?jobs ?corpus ~count ~seed () =
   let outs =
     Pool.map ?jobs
       ~label:(fun _ i -> Printf.sprintf "fuzz program %d" i)
-      (run_one ~seed) todo
+      (run_one ?shards ~seed) todo
   in
   (* Merge in submission (= index) order: exemplars are the lowest
      index per class, so corpus contents are jobs-invariant. *)

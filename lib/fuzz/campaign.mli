@@ -25,11 +25,14 @@
       unexpectedness), plus the original as
       [unexpected-<index>-full.ml]. *)
 
-val configs : (string * Kard_core.Config.t) list
-(** The detector configurations a campaign cycles through, with short
-    stable names: the default; a 4-key detector (forcing grouping,
-    recycling and sharing); a 4-key detector with the software
-    fallback; and lock-identity sections. *)
+val configs : (string * Kard_core.Config.t * int) list
+(** The (name, detector configuration, machine shard count) entries a
+    campaign cycles through: the default; a 4-key detector (forcing
+    grouping, recycling and sharing); a 4-key detector with the
+    software fallback; lock-identity sections; and two {e sharded}
+    entries (4 and 3 shards) whose programs also run the dual-machine
+    shard gate ({!Harness.run}), so burst-engine determinism is fuzzed
+    alongside oracle equivalence. *)
 
 type result = {
   programs : int;       (** Programs run in this invocation. *)
@@ -43,14 +46,19 @@ type result = {
 val run :
   ?jobs:int ->
   ?corpus:string ->
+  ?shards:int ->
   count:int ->
   seed:int ->
   unit ->
   result
 (** Run programs [done..count-1] (where [done] is what the corpus
     already records, 0 without a corpus or on a fresh one).  [count]
-    is the cumulative target.  @raise Failure if the corpus directory
-    belongs to a different campaign seed. *)
+    is the cumulative target.  [shards] overrides every config
+    entry's shard count (so [--shards 1] disables the shard gate and
+    [--shards N] applies it to all programs); campaign results then
+    depend on the override, so resumable corpora should keep it
+    fixed.  @raise Failure if the corpus directory belongs to a
+    different campaign seed. *)
 
 val report : Format.formatter -> result -> unit
 (** The summary block (also what [summary.txt] contains). *)

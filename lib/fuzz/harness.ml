@@ -13,19 +13,41 @@ type outcome = {
   stuck : string option;
 }
 
+let allocator = Machine.Unique_page { granule = 32; recycle_virtual_pages = false }
+
+(* The primary (trace-logged) machine never bursts — the log wrapper
+   makes its access hooks impure — so the burst engine is gated by a
+   dual run: the same program, seed and configuration on two
+   {e unwrapped} Kard machines, shards=1 vs shards=N, whose full
+   reports and race-record lists must be structurally identical
+   (DESIGN.md §10).  The unwrapped detector's hooks are pure and the
+   interpreter is compiled, so the shards=N run genuinely exercises
+   the burst fast path. *)
+let shard_gate ~config ~seed ~shards prog =
+  let run_at shards =
+    let cell = ref None in
+    let machine =
+      Machine.create ~seed ~shards ~allocator ~make_detector:(Detector.make ~config ~cell) ()
+    in
+    let (_ : Prog.run_ctx) = Prog.spawn_all prog ~machine ~on_event:(fun _ -> ()) in
+    match Machine.run machine with
+    | exception Machine.Stuck msg -> Error msg
+    | report -> Ok (report, Detector.races (Option.get !cell))
+  in
+  match (run_at 1, run_at shards) with
+  | Ok a, Ok b -> a = b
+  | Error a, Error b -> String.equal a b
+  | Ok _, Error _ | Error _, Ok _ -> false
+
 let run ?(kard_filter = fun (_ : Race_record.t) -> true)
-    ?(provenance_filter = fun (p : Detector.provenance) -> p) ?(config = Config.default) ~seed
-    prog =
+    ?(provenance_filter = fun (p : Detector.provenance) -> p) ?(config = Config.default)
+    ?(shards = 1) ~seed prog =
   let cell = ref None in
   let log = Trace_log.create () in
   let make_detector env =
     Trace_log.wrap log ~meta:env.Hooks.meta (Detector.make ~config ~cell env)
   in
-  let machine =
-    Machine.create ~seed
-      ~allocator:(Machine.Unique_page { granule = 32; recycle_virtual_pages = false })
-      ~make_detector ()
-  in
+  let machine = Machine.create ~seed ~shards ~allocator ~make_detector () in
   let (_ : Prog.run_ctx) =
     Prog.spawn_all prog ~machine ~on_event:(fun ev -> Trace_log.emit log ev)
   in
@@ -51,8 +73,11 @@ let run ?(kard_filter = fun (_ : Race_record.t) -> true)
         ~kard ~alg1 ~hb ~lockset
     in
     let divergent = List.filter (fun v -> v.Classify.classes <> []) verdicts in
+    let shard_ok = shards <= 1 || shard_gate ~config ~seed ~shards prog in
     let classes =
-      List.sort_uniq D.compare (List.concat_map (fun v -> v.Classify.classes) divergent)
+      List.sort_uniq D.compare
+        ((if shard_ok then [] else [ D.Shard_divergence ])
+        @ List.concat_map (fun v -> v.Classify.classes) divergent)
     in
     let unexpected = List.exists (fun c -> not (D.expected c)) classes in
     { verdicts; divergent; classes; unexpected; stuck = None }

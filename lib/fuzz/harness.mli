@@ -11,7 +11,9 @@ type outcome = {
   divergent : Classify.obj_verdict list;
       (** The subset with a non-empty class list. *)
   classes : Kard_core.Divergence.cls list;
-      (** Union over [divergent], sorted. *)
+      (** Union over [divergent], sorted; additionally contains
+          {!Kard_core.Divergence.Shard_divergence} when the sharded
+          dual run (below) diverged. *)
   unexpected : bool;
   stuck : string option;
       (** The machine raised [Stuck] — impossible for a {!Prog.check}ed
@@ -22,6 +24,7 @@ val run :
   ?kard_filter:(Kard_core.Race_record.t -> bool) ->
   ?provenance_filter:(Kard_core.Detector.provenance -> Kard_core.Detector.provenance) ->
   ?config:Kard_core.Config.t ->
+  ?shards:int ->
   seed:int ->
   Prog.t ->
   outcome
@@ -33,6 +36,14 @@ val run :
     {!Kard_core.Divergence.Unexpected} (defaults: keep
     everything).  [config] is the detector configuration (default
     {!Kard_core.Config.default}); [seed] drives the machine
-    schedule. *)
+    schedule.
+
+    [shards] (default 1) shards the primary machine and, when greater
+    than 1, additionally runs the {e shard gate}: the same program on
+    two unwrapped Kard machines — shards=1 and shards=[shards], the
+    latter on the burst engine — whose full reports and race-record
+    lists must be structurally identical.  A mismatch adds the
+    never-expected {!Kard_core.Divergence.Shard_divergence} class, so
+    oracle equivalence gates the sharded execution engine. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

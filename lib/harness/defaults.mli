@@ -44,6 +44,9 @@ val serve_out : string
 (** Tracked output of [kard bench -e serve] and [kard serve-sweep]:
     ["BENCH_pr6.json"]. *)
 
+val shard_out : string
+(** Tracked output of [kard bench -e shard]: ["BENCH_pr7.json"]. *)
+
 val jobs_env : string
 (** Name of the environment variable overriding the worker count:
     ["KARD_JOBS"]. *)
@@ -52,3 +55,13 @@ val jobs : unit -> int
 (** Worker-domain count for plan execution: [$KARD_JOBS] when set to a
     positive integer, otherwise [Domain.recommended_domain_count ()].
     A malformed or non-positive override is ignored. *)
+
+val shards_env : string
+(** Name of the environment variable overriding the machine shard
+    count: ["KARD_SHARDS"]. *)
+
+val shards : unit -> int
+(** Shard count for single-machine execution: [$KARD_SHARDS] when set
+    to a positive integer, otherwise [1].  Results are byte-identical
+    at any value (DESIGN.md §10), so overriding is always safe; >= 2
+    additionally turns on the burst engine where eligible. *)

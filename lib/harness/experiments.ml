@@ -539,7 +539,7 @@ let tp_detectors = [ Runner.Baseline; Runner.Kard Kard_core.Config.default ]
 
 let throughput ?(spec = Registry.find "memcached")
     ?(threads_list = [ 1; 2; 4; 8; 16; 32; 64 ]) ?(scale = Defaults.throughput_scale)
-    ?(seed = Defaults.seed) () =
+    ?(seed = Defaults.seed) ?shards () =
   (* Deliberately serial: each cell is wall-clock timed, and concurrent
      cells would steal host cycles from each other.  Parallel wall-clock
      wins are measured by the [parallel] bench instead. *)
@@ -552,7 +552,7 @@ let throughput ?(spec = Registry.find "memcached")
         (fun detector ->
           let g0 = Gc.quick_stat () in
           let t0 = Unix.gettimeofday () in
-          let r = Runner.run ~threads ~scale ~seed ~detector spec in
+          let r = Runner.run ?shards ~threads ~scale ~seed ~detector spec in
           let elapsed = Unix.gettimeofday () -. t0 in
           let g1 = Gc.quick_stat () in
           let steps = r.Runner.report.Machine.steps in
@@ -612,18 +612,20 @@ let parallel_bench ?jobs ?(scale = Defaults.scale) () =
     let r = f () in
     (r, Unix.gettimeofday () -. t0)
   in
-  (* GC counters are taken around the serial pass only: quick_stat is
-     per-domain, so the parallel pass would under-count worker
-     allocation. *)
-  let g0 = Gc.quick_stat () in
+  (* GC counters come from [run_jobs_gc], which measures each job
+     inside whichever domain executes it — so the parallel pass is
+     counted in full (sampling [Gc.quick_stat] here, in the submitting
+     domain, would miss everything the workers allocate).  The parallel
+     pass's aggregate is the one reported: it is the pass that used to
+     be unmeasurable, and per-job allocation is the same work either
+     way. *)
   let serial, serial_s = time (fun () -> Pool.run_jobs ~jobs:1 js) in
-  let g1 = Gc.quick_stat () in
-  let par, par_s = time (fun () -> Pool.run_jobs ~jobs js) in
+  let (par, par_gc), par_s = time (fun () -> Pool.run_jobs_gc ~jobs js) in
   let sim_cycles =
     List.fold_left (fun acc r -> acc + r.Runner.report.Machine.cycles) 0 serial
   in
   let steps = List.fold_left (fun acc r -> acc + r.Runner.report.Machine.steps) 0 serial in
-  let minor_words = g1.Gc.minor_words -. g0.Gc.minor_words in
+  let minor_words = par_gc.Pool.minor_words in
   (* Untraced results are closure-free, so structural equality is the
      full determinism check: every counter, race record and baseline
      warning must match between the serial and parallel pass. *)
@@ -636,7 +638,7 @@ let parallel_bench ?jobs ?(scale = Defaults.scale) () =
     pb_sim_cycles = sim_cycles;
     pb_identical = (serial = par);
     pb_minor_words = minor_words;
-    pb_promoted_words = g1.Gc.promoted_words -. g0.Gc.promoted_words;
+    pb_promoted_words = par_gc.Pool.promoted_words;
     pb_minor_words_per_step =
       (if steps > 0 then minor_words /. float_of_int steps else 0.) }
 
@@ -710,14 +712,14 @@ let serve_goodput ~slo rows =
 let serve_plan ?(server = Openloop.Nginx) ?(model = Openloop.Poisson)
     ?(detectors = serve_detectors) ?(rates = default_serve_rates)
     ?(threads = Defaults.table_threads) ?(scale = Defaults.serve_scale)
-    ?(seed = Defaults.seed) ?(slo = Defaults.serve_slo) () =
+    ?(seed = Defaults.seed) ?(slo = Defaults.serve_slo) ?shards () =
   let specs = List.map (fun rate -> (rate, Openloop.spec ~model ~rate server)) rates in
   let jobs =
     List.concat_map
       (fun (_, detector) ->
         List.map
           (fun (_, spec) ->
-            Job.spec ~threads ~scale ~seed ~trace:(Job.trace_request ()) detector spec)
+            Job.spec ~threads ~scale ~seed ~trace:(Job.trace_request ()) ?shards detector spec)
           specs)
       detectors
   in
@@ -761,8 +763,9 @@ let serve_plan ?(server = Openloop.Nginx) ?(model = Openloop.Poisson)
         ss_rows = rows;
         ss_goodput = serve_goodput ~slo rows })
 
-let serve ?jobs ?server ?model ?detectors ?rates ?threads ?scale ?seed ?slo () =
-  Pool.execute ?jobs (serve_plan ?server ?model ?detectors ?rates ?threads ?scale ?seed ?slo ())
+let serve ?jobs ?server ?model ?detectors ?rates ?threads ?scale ?seed ?slo ?shards () =
+  Pool.execute ?jobs
+    (serve_plan ?server ?model ?detectors ?rates ?threads ?scale ?seed ?slo ?shards ())
 
 let print_serve sweep =
   Printf.printf "open-loop %s, %s arrivals, %d workers; SLO: p99 <= %s cycles\n" sweep.ss_server
@@ -791,6 +794,89 @@ let print_serve sweep =
         Printf.printf "goodput under SLO (%s): %g req/Mcycle\n" name rate
       else Printf.printf "goodput under SLO (%s): none (every rate misses)\n" name)
     sweep.ss_goodput
+
+(* {1 Sharded single-run benchmark (BENCH_pr7.json)} *)
+
+type shard_row = {
+  sh_shards : int;
+  sh_workers : int;
+  sh_seconds : float;
+  sh_speedup : float;
+  sh_identical : bool;
+}
+
+type shard_bench = {
+  sh_spec : string;
+  sh_threads : int;
+  sh_scale : float;
+  sh_seed : int;
+  sh_host_cores : int;
+  sh_steps : int;
+  sh_sim_cycles : int;
+  sh_rows : shard_row list;
+}
+
+let default_shard_counts = [ 1; 2; 4; 8 ]
+
+(* Mirrors the worker-resolution rule in [Machine.run_burst]; the
+   count is recorded so BENCH numbers are self-describing on any
+   host.  Worker count never affects results (DESIGN.md §10). *)
+let shard_workers_for shards =
+  if shards <= 1 then 0 else max 0 (min (shards - 1) (Domain.recommended_domain_count () - 1))
+
+let shard_bench ?(spec = Kard_workloads.Contended.convoy) ?(shard_counts = default_shard_counts)
+    ?threads ?(scale = 1.0) ?(seed = Defaults.seed) () =
+  let threads = Option.value ~default:spec.Spec.default_threads threads in
+  let detector = Runner.Kard Kard_core.Config.default in
+  let run shards = Runner.run ~shards ~threads ~scale ~seed ~detector spec in
+  (* The shards=1 row is the timing and identity baseline; force it to
+     the front whatever list the caller passed. *)
+  let counts = 1 :: List.filter (fun n -> n > 1) shard_counts in
+  (* Warm-up, so the first timed row is not charged for start-up. *)
+  ignore (run 1);
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let timed = List.map (fun n -> let r, s = time (fun () -> run n) in (n, r, s)) counts in
+  let _, base, base_s = List.hd timed in
+  (* Untraced results are closure-free, so structural equality checks
+     the whole result: report counters, schedule trace, race records,
+     detector stats. *)
+  let rows =
+    List.map
+      (fun (n, r, s) ->
+        { sh_shards = n;
+          sh_workers = shard_workers_for n;
+          sh_seconds = s;
+          sh_speedup = (if s > 0. then base_s /. s else 0.);
+          sh_identical = r = base })
+      timed
+  in
+  { sh_spec = spec.Spec.name;
+    sh_threads = threads;
+    sh_scale = scale;
+    sh_seed = seed;
+    sh_host_cores = Domain.recommended_domain_count ();
+    sh_steps = base.Runner.report.Machine.steps;
+    sh_sim_cycles = base.Runner.report.Machine.cycles;
+    sh_rows = rows }
+
+let print_shard_bench b =
+  Printf.printf "%s, %d threads, scale %g, seed %d (%d host cores): %s steps, %s simulated cycles\n"
+    b.sh_spec b.sh_threads b.sh_scale b.sh_seed b.sh_host_cores
+    (Text_table.fmt_int b.sh_steps)
+    (Text_table.fmt_int b.sh_sim_cycles);
+  let header = [ "shards"; "workers"; "seconds"; "speedup"; "identical" ] in
+  let cells row =
+    [ string_of_int row.sh_shards;
+      string_of_int row.sh_workers;
+      Printf.sprintf "%.3f" row.sh_seconds;
+      Printf.sprintf "%.2fx" row.sh_speedup;
+      (if row.sh_identical then "yes" else "NO") ]
+  in
+  print_string (Text_table.render ~header (List.map cells b.sh_rows))
 
 (* {1 MPK micro} *)
 

@@ -190,6 +190,7 @@ val throughput :
   ?threads_list:int list ->
   ?scale:float ->
   ?seed:int ->
+  ?shards:int ->
   unit ->
   tp_row list
 (** Host throughput of the simulator itself: steps per wall-clock
@@ -273,6 +274,7 @@ val serve_plan :
   ?scale:float ->
   ?seed:int ->
   ?slo:int ->
+  ?shards:int ->
   unit ->
   serve_sweep Pool.plan
 (** One traced job per (detector, offered rate); the merge computes
@@ -292,10 +294,56 @@ val serve :
   ?scale:float ->
   ?seed:int ->
   ?slo:int ->
+  ?shards:int ->
   unit ->
   serve_sweep
 
 val print_serve : serve_sweep -> unit
+
+(** {1 Sharded single-run benchmark (tracked in BENCH_pr7.json)} *)
+
+type shard_row = {
+  sh_shards : int;
+  sh_workers : int;        (** Drain Domains the burst engine will use. *)
+  sh_seconds : float;      (** Wall-clock of the whole run. *)
+  sh_speedup : float;      (** shards=1 seconds / this row's seconds. *)
+  sh_identical : bool;     (** Structural equality with the shards=1 result. *)
+}
+
+type shard_bench = {
+  sh_spec : string;
+  sh_threads : int;
+  sh_scale : float;
+  sh_seed : int;
+  sh_host_cores : int;
+  sh_steps : int;          (** Simulated operations (identical across rows). *)
+  sh_sim_cycles : int;     (** Simulated cycles (must not move with shards). *)
+  sh_rows : shard_row list;  (** First row is always shards=1. *)
+}
+
+val default_shard_counts : int list
+(** [[1; 2; 4; 8]]. *)
+
+val shard_bench :
+  ?spec:Spec_alias.t ->
+  ?shard_counts:int list ->
+  ?threads:int ->
+  ?scale:float ->
+  ?seed:int ->
+  unit ->
+  shard_bench
+(** Time one contended Kard run (default: the 64-thread lock-convoy
+    model [convoy] at full scale) at each shard count, single run per
+    row — this is a {e single-run} speedup, unlike
+    {!parallel_bench}'s many-jobs speedup.  Every sharded row's full
+    result must be structurally identical to the shards=1 row
+    ([sh_identical]); wall-clock gains come from the burst engine's
+    per-merge-point charge aggregation and (on multi-core hosts)
+    parallel shard drains, so the speedup does not require spare
+    cores.  Deliberately not a plan: rows are wall-clock timed and
+    must not compete for the host. *)
+
+val print_shard_bench : shard_bench -> unit
 
 (** {1 MPK microbenchmarks (section 2.2)} *)
 

@@ -31,6 +31,7 @@ val detector_name : detector -> string
 val run :
   ?trace:Kard_obs.Trace.t ->
   ?interp:Kard_sched.Machine.interp ->
+  ?shards:int ->
   ?threads:int -> ?scale:float -> ?seed:int -> detector:detector -> Spec_alias.t -> result
 (** Defaults: the spec's default thread count, {!Defaults.scale},
     {!Defaults.seed}.
@@ -38,11 +39,14 @@ val run :
     {!Kard_sched.Machine.create}); the filled sink comes back in
     [result.trace].  [interp] selects the machine's interpreter
     ([`Compiled] by default); [`Thunks] runs the oracle interpreter,
-    which must produce an identical result. *)
+    which must produce an identical result.  [shards] (default
+    {!Defaults.shards}, i.e. [$KARD_SHARDS] or 1) shards the machine;
+    results are byte-identical at any count. *)
 
 val run_scenario :
   ?trace:Kard_obs.Trace.t ->
   ?interp:Kard_sched.Machine.interp ->
+  ?shards:int ->
   ?seed:int -> ?override_config:Kard_core.Config.t -> detector:detector ->
   Kard_workloads.Race_suite.t -> result
 (** Run a controlled race scenario (always at its own thread count and

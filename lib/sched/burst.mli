@@ -1,0 +1,46 @@
+(** Per-shard burst queues for the sharded simulated machine.
+
+    Between virtual-clock merge points (lock operations, faults, boxed
+    ops, generator boundaries) the machine's protection state — PKRU,
+    page table, lock/waiter structure — is frozen, so a granted data
+    access can be split in two: an exact enqueue-time verdict, and
+    deferred TLB/cycle work drained per shard and committed as one
+    cycle sum per thread at the next merge point.  The drain is
+    lock-free: each shard owns its TLB slices and its row of the sum
+    matrix outright.  Committed state is bit-identical to charging
+    every access in schedule order at any shard and worker count; see
+    DESIGN.md §10 for the full argument. *)
+
+type t
+
+val create :
+  ?workers:int -> shards:int -> threads:int -> hw:Kard_mpk.Mpk_hw.t -> unit -> t
+(** [workers] (default 0, clamped to [shards - 1]) spawns that many
+    drain Domains; 0 means the coordinator drains every shard inline.
+    Worker count never affects results, only wall clock.  [threads]
+    must not exceed 65536 (queue entries pack the tid in 16 bits). *)
+
+val workers : t -> int
+(** Live drain Domains (0 once {!stop} has run). *)
+
+val enqueue : t -> slice:int -> tid:int -> vpage:int -> unit
+(** Queue a granted access for [slice] (= [Mpk_hw.slice_of_vpage]). *)
+
+val add_inline : t -> tid:int -> int -> unit
+(** Bank compute/io cycles for [tid] into the pending sum without
+    queueing any drain work. *)
+
+val pending : t -> int
+(** Queued (undrained) access count — the machine's flush-cap signal. *)
+
+val dirty : t -> bool
+(** Whether any thread has uncommitted cycles (queued or inline). *)
+
+val flush : t -> commit:(int -> int -> unit) -> unit
+(** Drain every shard (in parallel when workers exist), then call
+    [commit tid cycles] once per touched thread in first-touch order
+    and reset all pending state.  No-op when clean. *)
+
+val stop : t -> unit
+(** Join the drain Domains.  Idempotent; {!flush} afterwards drains
+    inline. *)

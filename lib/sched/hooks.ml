@@ -14,6 +14,7 @@ type fault_outcome = { fault_cycles : int; action : fault_action }
 
 type t = {
   name : string;
+  pure_access : bool;
   on_spawn : tid:int -> int;
   on_global : Kard_alloc.Obj_meta.t -> int;
   on_alloc : tid:int -> Kard_alloc.Obj_meta.t -> int;
@@ -32,6 +33,7 @@ type t = {
 
 let null ~name =
   { name;
+    pure_access = true;
     on_spawn = (fun ~tid:_ -> 0);
     on_global = (fun _ -> 0);
     on_alloc = (fun ~tid:_ _ -> 0);

@@ -3,7 +3,8 @@ let real_world = Apps.all
 let all = benchmarks @ real_world
 let lock_free = Lockfree.all
 let serving = Openloop.all
-let extended = all @ lock_free @ serving
+let contention = Contended.all
+let extended = all @ lock_free @ serving @ contention
 
 let find name =
   match List.find_opt (fun spec -> String.equal spec.Spec.name name) extended with

@@ -15,8 +15,11 @@ val lock_free : Spec.t list
 val serving : Spec.t list
 (** The open-loop serving exemplars ({!Openloop.all}). *)
 
+val contention : Spec.t list
+(** The lock-convoy stress model ({!Contended.all}). *)
+
 val extended : Spec.t list
-(** [all] plus [lock_free] plus [serving]. *)
+(** [all] plus [lock_free] plus [serving] plus [contention]. *)
 
 val find : string -> Spec.t
 (** Searches [extended]. @raise Not_found for unknown names. *)

@@ -43,8 +43,12 @@ let test_taxonomy_names_roundtrip () =
       | Some c' -> check (D.name c) true (D.equal c c')
       | None -> Alcotest.failf "class %s does not round-trip" (D.name c))
     D.all;
-  check "unexpected is the only unexpected class" true
-    (List.for_all (fun c -> D.expected c = not (D.equal c D.Unexpected)) D.all)
+  check "only unexplainable classes are unexpected" true
+    (List.for_all
+       (fun c ->
+         D.expected c
+         = not (D.equal c D.Unexpected || D.equal c D.Shard_divergence))
+       D.all)
 
 (* {1 Oracle units} *)
 

@@ -1,0 +1,325 @@
+(* The sharded machine's determinism contract (DESIGN.md §10): reports,
+   JSON and Chrome traces must be byte-identical at any shard count,
+   and the burst engine's deferred accounting must equal charging every
+   access in schedule order.  Unit tests cover the partition and the
+   burst queues directly; the identity tests diff whole runs. *)
+
+module Page = Kard_mpk.Page
+module Pkey = Kard_mpk.Pkey
+module Mpk_hw = Kard_mpk.Mpk_hw
+module Burst = Kard_sched.Burst
+module Machine = Kard_sched.Machine
+module Schedule = Kard_sched.Schedule
+module Race_suite = Kard_workloads.Race_suite
+module Contended = Kard_workloads.Contended
+module Spec = Kard_workloads.Spec
+module Runner = Kard_harness.Runner
+module Json_report = Kard_harness.Json_report
+module Experiments = Kard_harness.Experiments
+module Pool = Kard_harness.Pool
+module Defaults = Kard_harness.Defaults
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* {1 Shard partition} *)
+
+let test_slice_partition () =
+  List.iter
+    (fun shards ->
+      let hw = Mpk_hw.create ~shards () in
+      check_int "shard count recorded" shards (Mpk_hw.shards hw);
+      let seen = Array.make shards false in
+      for vpage = 0 to 4095 do
+        let s = Mpk_hw.slice_of_vpage hw vpage in
+        check "slice in range" true (s >= 0 && s < shards);
+        check_int "routing is deterministic" s (Mpk_hw.slice_of_vpage hw vpage);
+        seen.(s) <- true
+      done;
+      check "every slice owns at least one TLB set" true (Array.for_all Fun.id seen))
+    [ 1; 2; 3; 4; 8 ]
+
+let test_slice_single_shard () =
+  let hw = Mpk_hw.create () in
+  for vpage = 0 to 255 do
+    check_int "one shard routes everything to slice 0" 0 (Mpk_hw.slice_of_vpage hw vpage)
+  done
+
+(* {1 Burst queues} *)
+
+let test_burst_commit_order () =
+  let hw = Mpk_hw.create ~shards:2 () in
+  for tid = 0 to 7 do
+    Mpk_hw.register_thread hw tid
+  done;
+  let b = Burst.create ~shards:2 ~threads:8 ~hw () in
+  check "clean at creation" false (Burst.dirty b);
+  check_int "nothing pending at creation" 0 (Burst.pending b);
+  Burst.add_inline b ~tid:5 10;
+  Burst.add_inline b ~tid:2 7;
+  Burst.add_inline b ~tid:5 3;
+  check "dirty after banking" true (Burst.dirty b);
+  check_int "inline cycles queue no drain work" 0 (Burst.pending b);
+  let order = ref [] in
+  Burst.flush b ~commit:(fun tid cycles -> order := (tid, cycles) :: !order);
+  check "one commit per thread, first-touch order" true
+    (List.rev !order = [ (5, 13); (2, 7) ]);
+  check "clean after flush" false (Burst.dirty b);
+  Burst.flush b ~commit:(fun _ _ -> Alcotest.fail "flush of clean queues must not commit");
+  Burst.stop b
+
+(* The burst split — exact enqueue-time verdict, drain-time TLB work,
+   one cycle sum per thread — must account exactly like running
+   [try_access] per access in schedule order. *)
+let test_burst_drain_matches_sequential () =
+  let shards = 3 in
+  let mk () =
+    let hw = Mpk_hw.create ~shards () in
+    for tid = 0 to 3 do
+      Mpk_hw.register_thread hw tid
+    done;
+    ignore (Mpk_hw.pkey_mprotect hw ~base:0 ~len:(256 * Page.size) (Pkey.of_int 1));
+    hw
+  in
+  let accesses =
+    List.init 400 (fun i -> (i mod 4, Page.base_of_vpage (i * 37 mod 512)))
+  in
+  let seq_hw = mk () in
+  let seq = Array.make 4 0 in
+  List.iter
+    (fun (tid, addr) ->
+      let cycles = Mpk_hw.try_access seq_hw ~tid ~addr ~access:`Read ~ip:0 ~time:0 in
+      check "sequential access granted" true (cycles >= 0);
+      seq.(tid) <- seq.(tid) + cycles)
+    accesses;
+  let burst_hw = mk () in
+  let b = Burst.create ~shards ~threads:4 ~hw:burst_hw () in
+  List.iter
+    (fun (tid, addr) ->
+      let vpage = Page.vpage_of_addr addr in
+      check "enqueue-time verdict granted" true
+        (Mpk_hw.access_granted burst_hw ~tid ~vpage ~access:`Read);
+      Burst.enqueue b ~slice:(Mpk_hw.slice_of_vpage burst_hw vpage) ~tid ~vpage)
+    accesses;
+  check_int "pending counts queued accesses" (List.length accesses) (Burst.pending b);
+  let got = Array.make 4 0 in
+  Burst.flush b ~commit:(fun tid cycles -> got.(tid) <- got.(tid) + cycles);
+  Burst.stop b;
+  Array.iteri (fun tid cycles -> check_int "per-thread cycle sums match" cycles got.(tid)) seq;
+  check "dTLB accounting matches the sequential walk" true
+    (Mpk_hw.stats seq_hw = Mpk_hw.stats burst_hw)
+
+let test_burst_workers_never_affect_results () =
+  let run workers =
+    let hw = Mpk_hw.create ~shards:4 () in
+    for tid = 0 to 3 do
+      Mpk_hw.register_thread hw tid
+    done;
+    let b = Burst.create ~workers ~shards:4 ~threads:4 ~hw () in
+    for i = 0 to 199 do
+      let tid = i mod 4 and vpage = i * 13 mod 256 in
+      check "verdict granted" true (Mpk_hw.access_granted hw ~tid ~vpage ~access:`Write);
+      Burst.enqueue b ~slice:(Mpk_hw.slice_of_vpage hw vpage) ~tid ~vpage
+    done;
+    Burst.add_inline b ~tid:1 5;
+    let live = Burst.workers b in
+    let commits = ref [] in
+    Burst.flush b ~commit:(fun tid cycles -> commits := (tid, cycles) :: !commits);
+    Burst.stop b;
+    (live, List.rev !commits, Mpk_hw.stats hw)
+  in
+  let w0, commits0, stats0 = run 0 in
+  let w2, commits2, stats2 = run 2 in
+  check_int "workers 0 drains on the coordinator" 0 w0;
+  check_int "a forced crew spawns" 2 w2;
+  check "commit sequence independent of workers" true (commits0 = commits2);
+  check "hardware accounting independent of workers" true (stats0 = stats2)
+
+let test_burst_stop_idempotent () =
+  let hw = Mpk_hw.create ~shards:2 () in
+  Mpk_hw.register_thread hw 0;
+  let b = Burst.create ~workers:1 ~shards:2 ~threads:1 ~hw () in
+  check_int "crew of one" 1 (Burst.workers b);
+  Burst.stop b;
+  check_int "stop joins the crew" 0 (Burst.workers b);
+  Burst.stop b;
+  (* A flush after stop drains inline. *)
+  Burst.add_inline b ~tid:0 4;
+  let got = ref 0 in
+  Burst.flush b ~commit:(fun _ cycles -> got := !got + cycles);
+  check_int "post-stop flush drains inline" 4 !got
+
+(* {1 Shards 1-vs-N identity} *)
+
+(* Every controlled race scenario, full result and JSON, at a
+   non-power-of-two shard count (so slices are uneven). *)
+let test_race_suite_identity () =
+  List.iter
+    (fun sc ->
+      let run shards =
+        Runner.run_scenario ~shards ~detector:(Runner.Kard sc.Race_suite.config) sc
+      in
+      let r1 = run 1 and r3 = run 3 in
+      check (sc.Race_suite.name ^ ": result identical at 1 vs 3 shards") true (r1 = r3);
+      check (sc.Race_suite.name ^ ": JSON identical") true
+        (Json_report.of_result r1 = Json_report.of_result r3))
+    Race_suite.all
+
+(* Impure access hooks (TSan, Eraser) disqualify the burst engine; the
+   direct engine with sliced TLBs must still be byte-identical. *)
+let test_ineligible_hooks_identity () =
+  List.iter
+    (fun (name, detector) ->
+      let run shards =
+        Runner.run_scenario ~shards ~detector Race_suite.nolock_nolock
+      in
+      check (name ^ " identical at 1 vs 3 shards") true (run 1 = run 3))
+    [ ("tsan", Runner.Tsan); ("lockset", Runner.Lockset) ]
+
+(* The thunk interpreter is burst-ineligible too — and both engines
+   must agree with each other. *)
+let test_thunks_identity () =
+  let sc = Race_suite.ilu_lock_nolock in
+  let run ~interp shards =
+    Runner.run_scenario ~interp ~shards ~detector:(Runner.Kard sc.Race_suite.config) sc
+  in
+  let t1 = run ~interp:`Thunks 1 in
+  check "thunks identical at 1 vs 3 shards" true (t1 = run ~interp:`Thunks 3);
+  check "thunks agree with sharded compiled" true (t1 = run ~interp:`Compiled 3)
+
+(* {1 Convoy: the shard benchmark's subject} *)
+
+let convoy_threads = 16
+let convoy_scale = 0.02
+
+let run_convoy ?schedule ?(shards = 1) ?shard_workers () =
+  let cell = ref None in
+  let machine =
+    Machine.create ?schedule ~seed:7 ~shards ?shard_workers
+      ~allocator:(Machine.Unique_page { granule = 32; recycle_virtual_pages = false })
+      ~make_detector:(Kard_core.Detector.make ~config:Kard_core.Config.default ~cell)
+      ()
+  in
+  Contended.convoy.Spec.build ~threads:convoy_threads ~scale:convoy_scale ~seed:7 machine;
+  let report = Machine.run machine in
+  (report, Kard_core.Detector.races (Option.get !cell))
+
+let test_convoy_identity () =
+  let base = run_convoy () in
+  List.iter
+    (fun shards ->
+      check
+        (Printf.sprintf "convoy identical at 1 vs %d shards" shards)
+        true
+        (base = run_convoy ~shards ()))
+    [ 2; 4 ]
+
+let test_convoy_forced_workers () =
+  (* Pinning the drain crew (even above the host's core count) must
+     not change a single report field. *)
+  check "forced 3-worker crew identical" true
+    (run_convoy () = run_convoy ~shards:4 ~shard_workers:3 ());
+  check "inline drain (0 workers) identical" true
+    (run_convoy () = run_convoy ~shards:4 ~shard_workers:0 ())
+
+let test_convoy_replay_identity () =
+  (* Contended replay: record the schedule at 1 shard, replay the tape
+     on a 4-shard machine — same picks, same report, same races. *)
+  let report, races = run_convoy () in
+  let tape = report.Machine.schedule_trace in
+  check "convoy recorded a schedule" true (Array.length tape > 0);
+  let report4, races4 = run_convoy ~schedule:(Schedule.Replay tape) ~shards:4 () in
+  check "replayed report identical" true (report = report4);
+  check "replayed races identical" true (races = races4)
+
+(* Chrome traces from a sharded run must serialize to the same bytes.
+   Per-step events stay off, so the burst engine remains eligible. *)
+let test_convoy_trace_identity () =
+  let run shards =
+    let trace = Kard_obs.Trace.create () in
+    let r =
+      Runner.run ~trace ~shards ~threads:convoy_threads ~scale:convoy_scale
+        ~detector:(Runner.Kard Kard_core.Config.default) Contended.convoy
+    in
+    (r, Kard_obs.Chrome_trace.to_json ~t:(Option.get r.Runner.trace))
+  in
+  let r1, json1 = run 1 and r4, json4 = run 4 in
+  check "traced reports identical" true (r1.Runner.report = r4.Runner.report);
+  check "traced races identical" true (r1.Runner.kard_races = r4.Runner.kard_races);
+  check "Chrome trace bytes identical" true (json1 = json4)
+
+(* {1 Serve-sweep point} *)
+
+let test_serve_point_identity () =
+  let sweep shards =
+    Experiments.serve ~jobs:1
+      ~detectors:[ ("kard", Runner.Kard Kard_core.Config.default) ]
+      ~rates:[ 10.0 ] ~threads:4 ~scale:0.01 ~shards ()
+  in
+  let s1 = sweep 1 and s2 = sweep 2 in
+  check "serve sweep JSON identical at 1 vs 2 shards" true
+    (Json_report.of_serve_sweep ~threads:4 ~scale:0.01 ~seed:Defaults.seed s1
+    = Json_report.of_serve_sweep ~threads:4 ~scale:0.01 ~seed:Defaults.seed s2)
+
+(* {1 Satellites: GC aggregation and the shard-count default} *)
+
+let test_map_gc_aggregates () =
+  let xs = List.init 32 Fun.id in
+  (* Small boxed values so the allocation lands in the minor heap of
+     whichever domain runs the item. *)
+  let f x = List.fold_left (fun acc (a, b) -> acc + a + b) 0 (List.init 64 (fun i -> (x, i))) in
+  let plain = Pool.map ~jobs:2 f xs in
+  let via_gc, gc = Pool.map_gc ~jobs:2 f xs in
+  check "map_gc returns the same results" true (plain = via_gc);
+  check "worker-domain allocation is counted" true (gc.Pool.minor_words > 0.);
+  check "promoted words are non-negative" true (gc.Pool.promoted_words >= 0.)
+
+let test_defaults_shards_env () =
+  let with_env value f =
+    Unix.putenv Defaults.shards_env value;
+    Fun.protect ~finally:(fun () -> Unix.putenv Defaults.shards_env "") f
+  in
+  with_env "3" (fun () -> check_int "KARD_SHARDS=3" 3 (Defaults.shards ()));
+  with_env " 4 " (fun () -> check_int "whitespace tolerated" 4 (Defaults.shards ()));
+  with_env "0" (fun () -> check_int "zero falls back to 1" 1 (Defaults.shards ()));
+  with_env "-2" (fun () -> check_int "negative falls back to 1" 1 (Defaults.shards ()));
+  with_env "lots" (fun () -> check_int "junk falls back to 1" 1 (Defaults.shards ()));
+  check_int "unset means 1" 1 (Defaults.shards ())
+
+let () =
+  Alcotest.run "shards"
+    [
+      ( "partition",
+        [
+          Alcotest.test_case "slice routing" `Quick test_slice_partition;
+          Alcotest.test_case "single shard" `Quick test_slice_single_shard;
+        ] );
+      ( "burst",
+        [
+          Alcotest.test_case "commit order" `Quick test_burst_commit_order;
+          Alcotest.test_case "drain matches sequential" `Quick
+            test_burst_drain_matches_sequential;
+          Alcotest.test_case "workers never affect results" `Quick
+            test_burst_workers_never_affect_results;
+          Alcotest.test_case "stop is idempotent" `Quick test_burst_stop_idempotent;
+        ] );
+      ( "identity",
+        [
+          Alcotest.test_case "race suite 1 vs 3" `Quick test_race_suite_identity;
+          Alcotest.test_case "ineligible hooks 1 vs 3" `Quick
+            test_ineligible_hooks_identity;
+          Alcotest.test_case "thunk interpreter 1 vs 3" `Quick test_thunks_identity;
+          Alcotest.test_case "convoy 1 vs N" `Quick test_convoy_identity;
+          Alcotest.test_case "convoy forced workers" `Quick test_convoy_forced_workers;
+          Alcotest.test_case "convoy replay on 4 shards" `Quick
+            test_convoy_replay_identity;
+          Alcotest.test_case "convoy Chrome trace bytes" `Quick
+            test_convoy_trace_identity;
+          Alcotest.test_case "serve point 1 vs 2" `Quick test_serve_point_identity;
+        ] );
+      ( "satellites",
+        [
+          Alcotest.test_case "map_gc aggregation" `Quick test_map_gc_aggregates;
+          Alcotest.test_case "KARD_SHARDS parsing" `Quick test_defaults_shards_env;
+        ] );
+    ]
