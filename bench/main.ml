@@ -10,7 +10,8 @@
 
    Experiment ids: micro, bechamel, figure2, table1 (= table4 =
    scenarios), table3, table5, table6, figure5, nginx-sweep, memory,
-   throughput, parallel, serve, shard, obs, nolock, explore, ablation.
+   throughput, parallel, serve, shard, keys, obs, nolock, explore,
+   ablation.
 
    [throughput] additionally writes its rows as JSON to --bench-out
    (default BENCH_pr4.json): the tracked simulator ops/sec benchmark
@@ -33,6 +34,11 @@
    wall-clock of a single contended 64-thread Kard run at each shard
    count (--shards n extends the 1/2/4/8 sweep), with a structural
    identity check of every sharded result against the shards=1 run.
+   [keys] writes --keys-out (default BENCH_pr8.json): the key-pressure
+   precision sweep — planted vs detected wrong-lock races per
+   (object-count point, detector config), physical-key ablation
+   4/8/13 each with and without the virtual-key pool; rows are
+   simulation outputs, byte-identical at any --jobs/--shards value.
 
    Table experiments run on the Domain pool; --jobs (or $KARD_JOBS)
    sets the worker count, defaulting to the host core count.
@@ -43,6 +49,7 @@ module Experiments = Kard_harness.Experiments
 module Runner = Kard_harness.Runner
 module Registry = Kard_workloads.Registry
 module Config = Kard_core.Config
+module Defaults = Kard_harness.Defaults
 
 let scale = ref 0.01
 let only = ref []
@@ -50,6 +57,7 @@ let bench_out = ref Kard_harness.Defaults.throughput_out
 let parallel_out = ref Kard_harness.Defaults.parallel_out
 let serve_out = ref Kard_harness.Defaults.serve_out
 let shard_out = ref Kard_harness.Defaults.shard_out
+let keys_out = ref Kard_harness.Defaults.keys_out
 let build_label = ref "dev"
 
 (* [None] lets Pool fall back to $KARD_JOBS / the host core count. *)
@@ -143,7 +151,7 @@ let obs () =
     (fun name ->
       let spec = Registry.find name in
       let tr = Kard_obs.Trace.create () in
-      let r = Runner.run ~trace:tr ~scale:!scale ~detector:(Runner.Kard Config.default) spec in
+      let r = Runner.run ~trace:tr ~scale:!scale ~detector:(Runner.Kard (Defaults.kard_config ())) spec in
       Printf.printf "-- %s (%s cycles, %d faults) --\n" name
         (Kard_harness.Text_table.fmt_int r.Runner.report.Kard_sched.Machine.cycles)
         r.Runner.report.Kard_sched.Machine.faults;
@@ -164,7 +172,7 @@ let nolock () =
       (fun spec ->
         let base = Runner.run ~scale:!scale ~detector:Runner.Baseline spec in
         let alloc = Runner.run ~scale:!scale ~detector:Runner.Alloc spec in
-        let kard = Runner.run ~scale:!scale ~detector:(Runner.Kard Config.default) spec in
+        let kard = Runner.run ~scale:!scale ~detector:(Runner.Kard (Defaults.kard_config ())) spec in
         [ spec.Kard_workloads.Spec.name;
           Kard_harness.Text_table.fmt_pct (Runner.overhead_pct ~baseline:base alloc);
           Kard_harness.Text_table.fmt_pct (Runner.overhead_pct ~baseline:base kard);
@@ -331,6 +339,24 @@ let shard () =
   close_out oc;
   Printf.printf "wrote %s\n" !shard_out
 
+(* {1 Tracked key-pressure precision sweep (BENCH_pr8.json)} *)
+
+let keys () =
+  (* The precision claim is about object {e count}, so the sweep runs
+     at full scale by default — 10k and 100k objects per point, far
+     past the 13 physical keys.  --scale only overrides it when the
+     user moved it off the global default. *)
+  let scale = if !scale = 0.01 then 1.0 else !scale in
+  let seed = Kard_harness.Defaults.seed in
+  let b = Experiments.keys ?jobs:!jobs ~scale ~seed ?shards:!shards () in
+  Experiments.print_keys_bench b;
+  let json = Kard_harness.Json_report.of_keys_bench ~build:!build_label b in
+  let oc = open_out !keys_out in
+  output_string oc (Kard_harness.Json_report.pretty json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" !keys_out
+
 (* {1 Driver} *)
 
 let experiments =
@@ -358,6 +384,7 @@ let experiments =
     ("parallel", parallel);
     ("serve", serve);
     ("shard", shard);
+    ("keys", keys);
     ("obs", obs);
     ("nolock", nolock);
     ("explore", explore);
@@ -384,6 +411,9 @@ let () =
       parse rest
     | "--shard-out" :: path :: rest ->
       shard_out := path;
+      parse rest
+    | "--keys-out" :: path :: rest ->
+      keys_out := path;
       parse rest
     | "--shards" :: n :: rest ->
       shards := Some (int_of_string n);

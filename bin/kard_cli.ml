@@ -5,7 +5,8 @@
      run <workload>            run one workload under one detector
      scenario <name>           run one controlled race scenario
      trace <workload>          run with tracing; export a Chrome/Perfetto trace
-     bench                     simulator throughput sweep (writes Defaults.throughput_out)
+     bench                     tracked benchmarks: throughput (Defaults.throughput_out) or
+                               --only keys, the key-pressure precision sweep (Defaults.keys_out)
      serve-sweep               open-loop serving latency/goodput sweep (writes Defaults.serve_out)
      repro <experiment>        regenerate a paper table/figure
      fuzz                      differential fuzzing campaign over random programs
@@ -27,7 +28,7 @@ let detector_conv =
   let parse = function
     | "baseline" -> Ok Runner.Baseline
     | "alloc" -> Ok Runner.Alloc
-    | "kard" -> Ok (Runner.Kard Kard_core.Config.default)
+    | "kard" -> Ok (Runner.Kard (Defaults.kard_config ()))
     | "tsan" -> Ok Runner.Tsan
     | "lockset" -> Ok Runner.Lockset
     | s -> Error (`Msg (Printf.sprintf "unknown detector %S" s))
@@ -36,9 +37,25 @@ let detector_conv =
   Arg.conv (parse, print)
 
 let detector_arg =
-  Arg.(value & opt detector_conv (Runner.Kard Kard_core.Config.default)
+  Arg.(value & opt detector_conv (Runner.Kard (Defaults.kard_config ()))
        & info [ "d"; "detector" ] ~docv:"DETECTOR"
            ~doc:"Detector: baseline, alloc, kard, tsan or lockset.")
+
+let vkeys_arg =
+  Arg.(value & opt (some int) None
+       & info [ "vkeys" ] ~docv:"N"
+           ~doc:
+             "Virtual-key pool size for the kard detector (default: $(b,\\$KARD_VKEYS) or 0).  \
+              0 is identity mode — the detector works directly on the physical data pkeys, \
+              byte-identical to the pre-vkey layer; a positive pool virtualizes key identity \
+              over the hardware registers with clock eviction (DESIGN.md section 11).")
+
+(* --vkeys only parameterizes the kard detector; other detectors have
+   no key space and ignore it. *)
+let with_vkeys vkeys detector =
+  match (vkeys, detector) with
+  | Some n, Runner.Kard c -> Runner.Kard { c with Kard_core.Config.vkeys = n }
+  | _, d -> d
 
 let threads_arg =
   Arg.(value & opt (some int) None & info [ "t"; "threads" ] ~docv:"N" ~doc:"Thread count.")
@@ -89,6 +106,11 @@ let list_cmd =
       (fun spec ->
         Printf.printf "  %-28s %s\n" spec.Spec.name spec.Spec.description)
       Registry.contention;
+    Printf.printf "\nKey-pressure workloads (object-scale precision; see `kard bench --only keys`):\n";
+    List.iter
+      (fun spec ->
+        Printf.printf "  %-28s %s\n" spec.Spec.name spec.Spec.description)
+      Registry.key_pressure;
     Printf.printf "\nRace scenarios (Tables 1/4, Figures 1/4):\n";
     List.iter
       (fun s -> Printf.printf "  %-28s %s\n" s.Race_suite.name s.Race_suite.description)
@@ -164,9 +186,10 @@ let run_cmd =
          & info [ "seeds" ] ~docv:"S,S,..."
              ~doc:"Run one job per seed (reported in seed-list order) instead of --seed alone.")
   in
-  let action name detector threads scale seed seeds jobs shards json =
+  let action name detector vkeys threads scale seed seeds jobs shards json =
     match Registry.find name with
     | spec ->
+      let detector = with_vkeys vkeys detector in
       let seeds = Option.value ~default:[ seed ] seeds in
       let results =
         Pool.run_jobs ?jobs
@@ -187,20 +210,28 @@ let run_cmd =
     | exception Not_found -> Printf.eprintf "unknown workload %S; try `kard list`\n" name
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one workload under one detector")
-    Term.(const action $ name_arg $ detector_arg $ threads_arg $ scale_arg $ seed_arg $ seeds_arg
-          $ jobs_arg $ shards_arg $ json_arg)
+    Term.(const action $ name_arg $ detector_arg $ vkeys_arg $ threads_arg $ scale_arg $ seed_arg
+          $ seeds_arg $ jobs_arg $ shards_arg $ json_arg)
 
 let scenario_cmd =
   let name_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"SCENARIO" ~doc:"Scenario name.")
   in
-  let action name detector seed shards =
+  let action name detector vkeys seed shards =
     match Race_suite.find name with
-    | scenario -> print_result (Runner.run_scenario ?shards ~seed ~detector scenario)
+    | scenario ->
+      (* A scenario normally runs under its own configuration; --vkeys
+         overrides just the pool on top of it. *)
+      let override_config =
+        match vkeys with
+        | Some n -> Some { scenario.Race_suite.config with Kard_core.Config.vkeys = n }
+        | None -> None
+      in
+      print_result (Runner.run_scenario ?shards ~seed ?override_config ~detector scenario)
     | exception Not_found -> Printf.eprintf "unknown scenario %S; try `kard list`\n" name
   in
   Cmd.v (Cmd.info "scenario" ~doc:"Run one controlled race scenario")
-    Term.(const action $ name_arg $ detector_arg $ seed_arg $ shards_arg)
+    Term.(const action $ name_arg $ detector_arg $ vkeys_arg $ seed_arg $ shards_arg)
 
 (* trace: run a workload with the observability sink on and export a
    Perfetto-loadable Chrome trace plus the metrics registry. *)
@@ -223,7 +254,8 @@ let trace_cmd =
          & info [ "capacity" ] ~docv:"N"
              ~doc:"Event ring capacity; oldest events are dropped beyond it.")
   in
-  let action name detector threads scale seed shards out steps capacity =
+  let action name detector vkeys threads scale seed shards out steps capacity =
+    let detector = with_vkeys vkeys detector in
     if capacity <= 0 then Printf.eprintf "trace: --capacity must be positive (got %d)\n" capacity
     else
     match Registry.find name with
@@ -248,8 +280,8 @@ let trace_cmd =
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Run a workload with event tracing on; write a Perfetto-loadable Chrome trace")
-    Term.(const action $ name_arg $ detector_arg $ threads_arg $ scale_arg $ seed_arg $ shards_arg
-          $ out_arg $ steps_arg $ capacity_arg)
+    Term.(const action $ name_arg $ detector_arg $ vkeys_arg $ threads_arg $ scale_arg $ seed_arg
+          $ shards_arg $ out_arg $ steps_arg $ capacity_arg)
 
 (* hunt: sweep seeds until a schedule manifests a race, then replay
    that exact interleaving to confirm — the race-debugging loop. *)
@@ -315,31 +347,76 @@ let hunt_cmd =
 (* bench: the tracked simulator-throughput benchmark (BENCH_pr4.json). *)
 
 let bench_cmd =
+  let only_conv =
+    let parse = function
+      | "throughput" -> Ok `Throughput
+      | "keys" -> Ok `Keys
+      | s -> Error (`Msg (Printf.sprintf "unknown benchmark %S (throughput or keys)" s))
+    in
+    let print fmt o =
+      Format.pp_print_string fmt (match o with `Throughput -> "throughput" | `Keys -> "keys")
+    in
+    Arg.conv (parse, print)
+  in
+  let only_arg =
+    Arg.(value & opt only_conv `Throughput
+         & info [ "only" ] ~docv:"BENCH"
+             ~doc:
+               "Which tracked benchmark to run: $(b,throughput) (simulator ops/sec, \
+                BENCH_pr4.json) or $(b,keys) (the key-pressure precision sweep, \
+                BENCH_pr8.json).")
+  in
   let out_arg =
-    Arg.(value & opt string Defaults.throughput_out
-         & info [ "o"; "out"; "output" ] ~docv:"FILE" ~doc:"JSON output path.")
+    Arg.(value & opt (some string) None
+         & info [ "o"; "out"; "output" ] ~docv:"FILE"
+             ~doc:"JSON output path (default: the benchmark's tracked file).")
   in
   let threads_arg =
     Arg.(value & opt (list int) [ 1; 2; 4; 8; 16; 32; 64 ]
-         & info [ "threads" ] ~docv:"N,N,..." ~doc:"Thread counts to sweep.")
+         & info [ "threads" ] ~docv:"N,N,..." ~doc:"Thread counts to sweep (throughput only).")
   in
-  let action scale seed threads_list shards out =
-    let rows = Experiments.throughput ~threads_list ~scale ~seed ?shards () in
-    Experiments.print_throughput rows;
-    let json =
-      Kard_harness.Json_report.of_throughput ~build:"dev" ~workload:"memcached" ~scale ~seed
-        rows
-    in
-    let oc = open_out out in
-    output_string oc (Kard_harness.Json_report.pretty json);
-    output_char oc '\n';
-    close_out oc;
-    Printf.printf "wrote %s\n" out
+  let scale_opt_arg =
+    Arg.(value & opt (some float) None
+         & info [ "scale" ] ~docv:"F"
+             ~doc:
+               "Workload scale factor (0,1] (default: the global default for throughput, 1.0 \
+                for keys — the precision claim is about object count).")
+  in
+  let action only scale seed threads_list vkeys jobs shards out =
+    match only with
+    | `Throughput ->
+      let scale = Option.value ~default:Defaults.scale scale in
+      let out = Option.value ~default:Defaults.throughput_out out in
+      let rows = Experiments.throughput ~threads_list ~scale ~seed ?shards () in
+      Experiments.print_throughput rows;
+      let json =
+        Kard_harness.Json_report.of_throughput ~build:"dev" ~workload:"memcached" ~scale ~seed
+          rows
+      in
+      let oc = open_out out in
+      output_string oc (Kard_harness.Json_report.pretty json);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote %s\n" out
+    | `Keys ->
+      let scale = Option.value ~default:1.0 scale in
+      let out = Option.value ~default:Defaults.keys_out out in
+      let b = Experiments.keys ?jobs ?pool:vkeys ~scale ~seed ?shards () in
+      Experiments.print_keys_bench b;
+      let json = Kard_harness.Json_report.of_keys_bench ~build:"dev" b in
+      let oc = open_out out in
+      output_string oc (Kard_harness.Json_report.pretty json);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote %s\n" out
   in
   Cmd.v
     (Cmd.info "bench"
-       ~doc:"Measure simulator throughput (steps per wall-clock second) across thread counts")
-    Term.(const action $ scale_arg $ seed_arg $ threads_arg $ shards_arg $ out_arg)
+       ~doc:
+         "Run a tracked benchmark: simulator throughput (default) or the key-pressure \
+          precision sweep (--only keys)")
+    Term.(const action $ only_arg $ scale_opt_arg $ seed_arg $ threads_arg $ vkeys_arg $ jobs_arg
+          $ shards_arg $ out_arg)
 
 (* serve-sweep: the open-loop production-serving benchmark
    (BENCH_pr6.json).  Sweeps offered load over detectors and reports

@@ -11,7 +11,7 @@ let () =
   Format.printf "workload: %a@.@." Kard_workloads.Spec.pp spec;
   let scale = 0.005 in
   let baseline = Runner.run ~scale ~detector:Runner.Baseline spec in
-  let kard = Runner.run ~scale ~detector:(Runner.Kard Kard_core.Config.default) spec in
+  let kard = Runner.run ~scale ~detector:(Runner.Kard (Kard_harness.Defaults.kard_config ())) spec in
   let tsan = Runner.run ~scale ~detector:Runner.Tsan spec in
   let cycles r = r.Runner.report.Machine.cycles in
   Format.printf "baseline: %11d simulated cycles@." (cycles baseline);

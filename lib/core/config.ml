@@ -14,6 +14,7 @@ type t = {
   software_fallback : bool;
   exit_delay_cycles : int;
   section_identity : section_identity;
+  vkeys : int;
 }
 
 let default =
@@ -27,12 +28,13 @@ let default =
     share_disjoint_sections = true;
     software_fallback = false;
     exit_delay_cycles = 0;
-    section_identity = By_call_site }
+    section_identity = By_call_site;
+    vkeys = 0 }
 
 let pp fmt t =
   Format.fprintf fmt
     "@[<h>{keys=%d proactive=%b interleave=%b ts-prune=%b dedupe=%b meta-prune=%b recycle=%b \
-     share-disjoint=%b soft-fallback=%b}@]"
+     share-disjoint=%b soft-fallback=%b vkeys=%d}@]"
     t.data_keys t.proactive_acquisition t.protection_interleaving t.timestamp_pruning
     t.redundancy_pruning t.metadata_pruning t.prefer_recycle t.share_disjoint_sections
-    t.software_fallback
+    t.software_fallback t.vkeys

@@ -51,6 +51,17 @@ type t = {
           0 disables (the default). *)
   section_identity : section_identity;
       (** Default [By_call_site] (the LLVM-pass deployment). *)
+  vkeys : int;
+      (** Virtual-key pool size (libmpk-style, DESIGN.md §11).  [0]
+          (the default) disables virtualization: key identity is the
+          physical data key, byte-identical to the pre-vkey detector.
+          A positive value gives the detector that many virtual keys,
+          cached over the physical data keys by a clock-eviction table;
+          one physical key ([k13]) is repurposed as the always-deny
+          tag of evicted keys, so at most 12 data keys remain resident
+          (11 under [software_fallback], whose pool key moves to
+          [k12]).  Sharing becomes a last resort {e after} eviction,
+          shrinking the Table 4 false-negative window. *)
 }
 
 val default : t

@@ -5,6 +5,7 @@ module Page = Kard_mpk.Page
 module Fault = Kard_mpk.Fault
 module Cost_model = Kard_mpk.Cost_model
 module Mpk_hw = Kard_mpk.Mpk_hw
+module Vkey = Kard_mpk.Vkey
 module Obj_meta = Kard_alloc.Obj_meta
 module Meta_table = Kard_alloc.Meta_table
 module Hooks = Kard_sched.Hooks
@@ -21,7 +22,7 @@ type frame = {
   mutable wrpkru_at_entry : int;
       (** WRPKRU total at section entry, so exit can report the
           per-entry WRPKRU cost to the metrics registry. *)
-  mutable acquired : int array; (* pkeys, as ints *)
+  mutable acquired : int array; (* keys (virtual in vkey mode), as ints *)
   mutable nacquired : int;
 }
 
@@ -53,6 +54,14 @@ type stats = {
   records_pruned_spurious : int;
   soft_fallbacks : int;
   soft_faults : int;
+  vkey_pool : int;
+  vkey_resident : int;
+  vkey_hits : int;
+  vkey_misses : int;
+  vkey_evictions : int;
+  vkey_loads : int;
+  vkey_retag_pages : int;
+  vkey_stalls : int;
 }
 
 type t = {
@@ -65,6 +74,9 @@ type t = {
   interleave : Interleave.t;
   pruning : Pruning.t;
   soft : Soft_keys.t;
+  vkey : Vkey.t;
+  slots : int array; (* physical residency slots, virtual mode only *)
+  soft_key : Pkey.t; (* always-denied tag of software-pooled pages *)
   (* Per-thread and per-site state is indexed by the (small, dense)
      id, and the seen-object sets are bitsets: these are touched on
      every section entry/exit and must not hash or allocate. *)
@@ -102,21 +114,44 @@ type t = {
   prov_demoted : Dense.Bitset.t;
   prov_ro_blamed : Dense.Bitset.t;
   prov_proactive_blame : Dense.Bitset.t;
+  prov_vkey_blamed : Dense.Bitset.t;
   (* Result slot for [proactive_walk]: the walk accumulates the
      section-entry PKRU here instead of returning a (pkru, cycles)
      tuple, keeping the per-section-entry path allocation-free. *)
   mutable walk_pkru : Pkru.t;
 }
 
-(* The software pool reserves the last data key as its always-denied
-   hardware tag, leaving at most 12 for normal assignment. *)
-let soft_pool_key = Pkey.of_int 13
+(* Virtual mode repurposes the last data key as the always-deny tag of
+   evicted virtual keys: no thread is ever granted it, so every access
+   to an evicted key's pages traps into {!handle_vkey_miss}. *)
+let evict_tag = Pkey.of_int Pkey.data_key_count
+
+let data_key_ints = List.map Pkey.to_int Pkey.data_keys
 
 let create ?(config = Config.default) env =
+  let vpool = max 0 config.Config.vkeys in
+  (* The software pool reserves a data key as its always-denied
+     hardware tag.  Identity mode: the last one (k13).  Virtual mode:
+     k13 is the evict tag, so the pool moves down to k12 and the
+     residency slots shrink accordingly. *)
   let assign_config =
     if config.Config.software_fallback then
       { config with Config.data_keys = min config.Config.data_keys (Pkey.data_key_count - 1) }
     else config
+  in
+  let reserved =
+    (if vpool > 0 then 1 else 0) + if config.Config.software_fallback then 1 else 0
+  in
+  let slots =
+    if vpool = 0 then [||]
+    else
+      Array.init
+        (min vpool (min config.Config.data_keys (Pkey.data_key_count - reserved)))
+        (fun i -> i + 1)
+  in
+  let vkey = if vpool = 0 then Vkey.identity else Vkey.create ~pool:vpool ~phys:slots in
+  let soft_key =
+    Pkey.of_int (if vpool > 0 then Pkey.data_key_count - 1 else Pkey.data_key_count)
   in
   { config;
     env;
@@ -127,6 +162,9 @@ let create ?(config = Config.default) env =
     interleave = Interleave.create ();
     pruning = Pruning.create ~dedupe:config.Config.redundancy_pruning ();
     soft = Soft_keys.create ();
+    vkey;
+    slots;
+    soft_key;
     threads = Array.make 16 None;
     active = Array.make 64 [||];
     active_n = Array.make 64 0;
@@ -155,6 +193,7 @@ let create ?(config = Config.default) env =
     prov_demoted = Dense.Bitset.create ~capacity:256 ();
     prov_ro_blamed = Dense.Bitset.create ~capacity:256 ();
     prov_proactive_blame = Dense.Bitset.create ~capacity:256 ();
+    prov_vkey_blamed = Dense.Bitset.create ~capacity:256 ();
     walk_pkru = Pkru.all_access }
 
 let cost t = t.env.Hooks.cost
@@ -162,14 +201,38 @@ let hw t = t.env.Hooks.hw
 let now t = t.env.Hooks.now ()
 let trace t = t.env.Hooks.trace
 
+(* The domain-table id of software-pooled objects: the reserved
+   physical key itself in identity mode, one past the virtual pool
+   otherwise — it must never collide with a virtual key, or a vkey
+   load would retag pooled pages with a grantable slot. *)
+let soft_id t =
+  if Vkey.virtualized t.vkey then Vkey.pool t.vkey + 1 else Pkey.to_int t.soft_key
+
+(* The physical tag an object protected by [key] must carry right now:
+   the key itself in identity mode; in virtual mode the key's residency
+   slot, the evict tag while it is evicted, or the software-pool tag
+   for pooled objects. *)
+let phys_tag t key =
+  if Vkey.virtualized t.vkey then
+    if key > Vkey.pool t.vkey then t.soft_key
+    else
+      let p = Vkey.phys_of t.vkey key in
+      if p < 0 then evict_tag else Pkey.of_int p
+  else Pkey.of_int key
+
 (* Data keys currently held by some section; sampled into the trace on
-   every key-state change (the libmpk-style occupancy view). *)
+   every key-state change (the libmpk-style occupancy view).  Virtual
+   mode reports slot residency instead — the physical-register view. *)
 let sample_occupancy t =
   match trace t with
   | None -> ()
   | Some tr ->
-    let unheld = List.length (Key_section_map.unheld_keys t.ksmap ~among:Pkey.data_keys) in
-    let live = Pkey.data_key_count - unheld in
+    let live =
+      if Vkey.virtualized t.vkey then Vkey.resident_count t.vkey
+      else
+        let unheld = List.length (Key_section_map.unheld_keys t.ksmap ~among:data_key_ints) in
+        Pkey.data_key_count - unheld
+    in
     Kard_obs.Trace.emit tr ~tid:(-1) (Kard_obs.Event.Pkey_occupancy { live });
     Kard_obs.Trace.observe (trace t) "kard.live_pkeys" live
 
@@ -306,22 +369,116 @@ let demote_to_ro t (meta : Obj_meta.t) =
   Domain_state.set t.domains ~obj_id:meta.Obj_meta.id Domain_state.Read_only;
   protect_pages t meta Pkey.k_ro
 
+(* {2 The virtual-key cache (DESIGN.md §11)} *)
+
+(* Batch-retag every page of [objs] to [pkey]: one counted syscall for
+   the whole list, charged at the cheaper per-page vkey rate (libmpk's
+   eviction batches the ranges into a single kernel crossing). *)
+let retag_objects t objs pkey =
+  let ranges =
+    List.filter_map
+      (fun obj_id ->
+        match Meta_table.find_id t.env.Hooks.meta obj_id with
+        | Some (m : Obj_meta.t) ->
+          Some
+            ( Page.base_of_vpage (Page.vpage_of_addr m.Obj_meta.base),
+              m.Obj_meta.pages * Page.size )
+        | None -> None)
+      objs
+  in
+  let pages, cycles = Mpk_hw.retag_batch (hw t) ranges pkey in
+  Vkey.note_retag_pages t.vkey pages;
+  (pages, cycles)
+
+(* Make [key] resident (virtual mode), driving the effects the vkey
+   table itself never performs: the displaced key's objects are
+   batch-retagged to the always-deny tag and the loaded key's objects
+   to its slot.  Pinning is answered from ground truth — a key with
+   live holders, or whose slot some thread's PKRU still grants, must
+   not be displaced or that thread would touch the newly resident
+   key's objects unchecked.  Returns the cycle cost, or [None] when
+   every slot is pinned by a running thread. *)
+let ensure_resident t ~tid key =
+  match
+    Vkey.ensure t.vkey key ~evictable:(fun ~slot ~vkey ->
+        Key_section_map.held_count t.ksmap vkey = 0
+        && not (Mpk_hw.any_grant (hw t) (Pkey.of_int slot)))
+  with
+  | Vkey.Hit _ -> Some 0
+  | Vkey.Full -> None
+  | Vkey.Loaded { slot; evicted } ->
+    let c = cost t in
+    let cycles = ref c.Cost_model.vkey_load in
+    let evicted_pages = ref 0 in
+    if evicted >= 0 then begin
+      let pages, cyc =
+        retag_objects t (Domain_state.objects_with_key t.domains evicted) evict_tag
+      in
+      evicted_pages := pages;
+      cycles := !cycles + cyc
+    end;
+    let pages, cyc =
+      retag_objects t (Domain_state.objects_with_key t.domains key) (Pkey.of_int slot)
+    in
+    cycles := !cycles + cyc;
+    (match trace t with
+    | None -> ()
+    | Some tr ->
+      Kard_obs.Trace.emit tr ~tid
+        (Kard_obs.Event.Vkey_load { vkey = key; slot; evicted; pages = !evicted_pages + pages }));
+    Some !cycles
+
+(* Every slot is pinned: pick the resident key to share, preferring
+   one whose holding sections touch disjoint object sets (the Table 4
+   mitigation), else the first slot in slot order — deterministic
+   either way. *)
+let share_fallback t ~section =
+  let candidates =
+    List.filter_map
+      (fun p ->
+        let v = Vkey.vkey_of_phys t.vkey p in
+        if v >= 0 then Some v else None)
+      (Array.to_list t.slots)
+  in
+  let my_objects = List.map fst (Section_object_map.objects_of t.somap ~section) in
+  let disjoint v =
+    List.for_all
+      (fun (h : Key_section_map.holder) ->
+        let theirs =
+          List.map fst
+            (Section_object_map.objects_of t.somap ~section:h.Key_section_map.section)
+        in
+        not (List.exists (fun o -> List.mem o theirs) my_objects))
+      (Key_section_map.holders t.ksmap v)
+  in
+  let preferred =
+    if t.config.Config.share_disjoint_sections then List.find_opt disjoint candidates
+    else None
+  in
+  match (preferred, candidates) with
+  | Some v, _ -> v
+  | None, v :: _ -> v
+  | None, [] -> assert false (* Full implies every slot resident *)
+
 (* {2 PKRU plumbing} *)
 
+(* Grant the physical key backing [key]; callers guarantee residency
+   (a key is only granted right after being ensured resident or on a
+   fault against its live slot). *)
 let grant_in_context t ~tid key perm =
   let pkru = Mpk_hw.pkru_of (hw t) ~tid in
-  Mpk_hw.set_pkru_in_context (hw t) ~tid (Pkru.set pkru key perm)
+  Mpk_hw.set_pkru_in_context (hw t) ~tid
+    (Pkru.set pkru (Pkey.of_int (Vkey.phys_of t.vkey key)) perm)
 
 let frame_note_acquired frame key =
-  let k = Pkey.to_int key in
-  let rec mem i = i < frame.nacquired && (frame.acquired.(i) = k || mem (i + 1)) in
+  let rec mem i = i < frame.nacquired && (frame.acquired.(i) = key || mem (i + 1)) in
   if not (mem 0) then begin
     if frame.nacquired = Array.length frame.acquired then begin
       let bigger = Array.make (2 * frame.nacquired) 0 in
       Array.blit frame.acquired 0 bigger 0 frame.nacquired;
       frame.acquired <- bigger
     end;
-    frame.acquired.(frame.nacquired) <- k;
+    frame.acquired.(frame.nacquired) <- key;
     frame.nacquired <- frame.nacquired + 1
   end
 
@@ -332,8 +489,21 @@ let frame_note_acquired frame key =
    acquisition, section 5.4). *)
 let assign_write_key t ~tid ~frame (meta : Obj_meta.t) =
   let site = frame.site in
-  let decision =
+  let chosen =
     Key_assign.choose t.assign ~ksmap:t.ksmap ~domains:t.domains ~somap:t.somap ~tid ~section:site
+  in
+  (* Virtual mode: a Fresh or Recycle choice needs a physical slot
+     before its pages can be tagged.  Only when every slot is pinned
+     by a running thread does sharing a resident key become the last
+     resort — eviction strictly before sharing (DESIGN.md §11). *)
+  let decision, load_cycles =
+    match chosen with
+    | (Key_assign.Fresh key | Key_assign.Recycle (key, _)) when Vkey.virtualized t.vkey -> begin
+      match ensure_resident t ~tid key with
+      | Some cycles -> (chosen, cycles)
+      | None -> (Key_assign.Share (share_fallback t ~section:site), 0)
+    end
+    | d -> (d, 0)
   in
   (* A Share redirected to the software pool is not a sharing event:
      no key ends up multi-held. *)
@@ -346,15 +516,13 @@ let assign_write_key t ~tid ~frame (meta : Obj_meta.t) =
     | None -> ()
     | Some tr ->
       (match Domain_state.domain_of t.domains ~obj_id:meta.Obj_meta.id with
-      | Domain_state.Read_write old when not (Pkey.equal old key) ->
+      | Domain_state.Read_write old when old <> key ->
         Kard_obs.Trace.emit tr ~tid
           (Kard_obs.Event.Key_migrate
-             { obj_id = meta.Obj_meta.id;
-               from_key = Pkey.to_int old;
-               to_key = Pkey.to_int key })
+             { obj_id = meta.Obj_meta.id; from_key = old; to_key = key })
       | Domain_state.Read_write _ | Domain_state.Read_only | Domain_state.Not_accessed -> ());
       Kard_obs.Trace.emit tr ~tid
-        (Kard_obs.Event.Key_assign { key = Pkey.to_int key; obj_id = meta.Obj_meta.id; assign }));
+        (Kard_obs.Event.Key_assign { key; obj_id = meta.Obj_meta.id; assign }));
     (* Grouping provenance: landing under a key that other live
        objects already carry multiplexes them — faults and non-faults
        against this key stop distinguishing the group members. *)
@@ -372,12 +540,12 @@ let assign_write_key t ~tid ~frame (meta : Obj_meta.t) =
       if !grouped_other then Dense.Bitset.add t.prov_grouped meta.Obj_meta.id);
     Domain_state.set t.domains ~obj_id:meta.Obj_meta.id (Domain_state.Read_write key);
     Dense.Bitset.add t.rw_seen meta.Obj_meta.id;
-    let mprotect = protect_pages t meta key in
+    let mprotect = protect_pages t meta (phys_tag t key) in
     sample_occupancy t;
     extra + mprotect + c.Cost_model.map_op
   in
   match decision with
-  | Key_assign.Reuse key -> (key, finish_with key Kard_obs.Event.Assign_reuse 0)
+  | Key_assign.Reuse key -> (key, finish_with key Kard_obs.Event.Assign_reuse load_cycles)
   | Key_assign.Fresh key ->
     Key_section_map.acquire t.ksmap key
       { Key_section_map.tid;
@@ -388,7 +556,7 @@ let assign_write_key t ~tid ~frame (meta : Obj_meta.t) =
     frame_note_acquired frame key;
     grant_in_context t ~tid key Perm.Read_write;
     t.reactive_acq <- t.reactive_acq + 1;
-    (key, finish_with key Kard_obs.Event.Assign_fresh c.Cost_model.atomic_op)
+    (key, finish_with key Kard_obs.Event.Assign_fresh (load_cycles + c.Cost_model.atomic_op))
   | Key_assign.Recycle (key, obj_ids) ->
     let demote_cost =
       List.fold_left
@@ -410,7 +578,8 @@ let assign_write_key t ~tid ~frame (meta : Obj_meta.t) =
     frame_note_acquired frame key;
     grant_in_context t ~tid key Perm.Read_write;
     t.reactive_acq <- t.reactive_acq + 1;
-    (key, finish_with key Kard_obs.Event.Assign_recycle (demote_cost + c.Cost_model.atomic_op))
+    (key, finish_with key Kard_obs.Event.Assign_recycle
+            (load_cycles + demote_cost + c.Cost_model.atomic_op))
   | Key_assign.Share key ->
     if t.config.Config.software_fallback then begin
       (* Section 8: never share — pool the object under a software
@@ -419,7 +588,8 @@ let assign_write_key t ~tid ~frame (meta : Obj_meta.t) =
       t.soft_fallbacks <- t.soft_fallbacks + 1;
       Dense.Bitset.add t.prov_softened meta.Obj_meta.id;
       Soft_keys.add_object t.soft ~obj_id:meta.Obj_meta.id;
-      (soft_pool_key, finish_with soft_pool_key Kard_obs.Event.Assign_share c.Cost_model.atomic_op)
+      let sid = soft_id t in
+      (sid, finish_with sid Kard_obs.Event.Assign_share c.Cost_model.atomic_op)
     end
     else begin
       (* Sharing provenance: the key stays multi-held, so accesses by
@@ -591,7 +761,7 @@ let handle_data_fault t (fault : Fault.t) (meta : Obj_meta.t) key =
       | Some _ | None -> []
     end
   in
-  (* Non-racy violation pruning (section 5.5): 13 keys multiplex many
+  (* Non-racy violation pruning (section 5.5): few keys multiplex many
      objects, so a holder whose section never touches the faulted
      object is a key collision, not a conflict. *)
   let section_touches_obj (h : Key_section_map.holder) =
@@ -690,6 +860,50 @@ let handle_data_fault t (fault : Fault.t) (meta : Obj_meta.t) key =
     let mprotect = demote_to_kna t meta in
     { Hooks.fault_cycles = mprotect + (2 * c.Cost_model.map_op); action = Hooks.Retry }
 
+(* A fault on the always-deny tag of evicted virtual keys: the
+   fault-path event that loads a key back in (DESIGN.md §11).  Routing
+   follows the object's domain — the tag can also be stale (the object
+   was demoted after its key was evicted), in which case the page is
+   healed and the access retried. *)
+let handle_vkey_miss t (fault : Fault.t) (meta : Obj_meta.t) =
+  let c = cost t in
+  let tid = fault.Fault.thread in
+  match Domain_state.domain_of t.domains ~obj_id:meta.Obj_meta.id with
+  | Domain_state.Not_accessed -> handle_na_fault t fault meta
+  | Domain_state.Read_only ->
+    let mprotect = protect_pages t meta Pkey.k_ro in
+    { Hooks.fault_cycles = mprotect + c.Cost_model.map_op; action = Hooks.Retry }
+  | Domain_state.Read_write key ->
+    if key > Vkey.pool t.vkey || Vkey.resident t.vkey key then begin
+      (* Stale tag (the key was reloaded or the object pooled while
+         this access was in flight): heal and retry. *)
+      let mprotect = protect_pages t meta (phys_tag t key) in
+      { Hooks.fault_cycles = mprotect + c.Cost_model.map_op; action = Hooks.Retry }
+    end
+    else begin
+      match current_frame t tid with
+      | None ->
+        (* Keyless thread outside any section: demote rather than
+           load, exactly as the identity-mode data-fault path does. *)
+        let mprotect = demote_to_kna t meta in
+        { Hooks.fault_cycles = mprotect + (2 * c.Cost_model.map_op); action = Hooks.Retry }
+      | Some _ -> begin
+        match ensure_resident t ~tid key with
+        | Some load_cycles ->
+          (* Resident again: the ordinary data-fault logic (conflict
+             check, timestamp rescue, reactive acquisition) runs on
+             the virtual key, plus the load bill. *)
+          let r = handle_data_fault t fault meta key in
+          { r with Hooks.fault_cycles = r.Hooks.fault_cycles + load_cycles }
+        | None ->
+          (* Every slot pinned: the access proceeds unprotected — the
+             documented vkey stall window the differential classifier
+             attributes via this provenance bit. *)
+          Dense.Bitset.add t.prov_vkey_blamed meta.Obj_meta.id;
+          { Hooks.fault_cycles = 2 * c.Cost_model.map_op; action = Hooks.Emulate }
+      end
+    end
+
 (* Accesses to software-pooled objects always fault; the key-enforced
    rules run in software with one virtual key per object, so there is
    nothing to share and no false negative — at a fault per access. *)
@@ -725,23 +939,31 @@ let handle_soft_fault t (fault : Fault.t) (meta : Obj_meta.t) =
 
 let on_fault t (fault : Fault.t) =
   let c = cost t in
-  match Meta_table.find_vpage t.env.Hooks.meta fault.Fault.vpage with
-  | None ->
+  let anomaly () =
     t.anomalies <- t.anomalies + 1;
     { Hooks.fault_cycles = c.Cost_model.map_op; action = Hooks.Emulate }
+  in
+  match Meta_table.find_vpage t.env.Hooks.meta fault.Fault.vpage with
+  | None -> anomaly ()
   | Some meta ->
     if Pkey.equal fault.Fault.pkey Pkey.k_na then handle_na_fault t fault meta
     else if Pkey.equal fault.Fault.pkey Pkey.k_ro then handle_ro_fault t fault meta
     else if
       t.config.Config.software_fallback
-      && Pkey.equal fault.Fault.pkey soft_pool_key
+      && Pkey.equal fault.Fault.pkey t.soft_key
       && Soft_keys.mem t.soft ~obj_id:meta.Obj_meta.id
     then handle_soft_fault t fault meta
-    else if Pkey.is_data_key fault.Fault.pkey then handle_data_fault t fault meta fault.Fault.pkey
-    else begin
-      t.anomalies <- t.anomalies + 1;
-      { Hooks.fault_cycles = c.Cost_model.map_op; action = Hooks.Emulate }
+    else if Vkey.virtualized t.vkey then begin
+      if Pkey.equal fault.Fault.pkey evict_tag then handle_vkey_miss t fault meta
+      else
+        (* A live residency slot: the fault concerns whichever virtual
+           key is resident in it right now. *)
+        let v = Vkey.vkey_of_phys t.vkey (Pkey.to_int fault.Fault.pkey) in
+        if v >= 0 then handle_data_fault t fault meta v else anomaly ()
     end
+    else if Pkey.is_data_key fault.Fault.pkey then
+      handle_data_fault t fault meta (Pkey.to_int fault.Fault.pkey)
+    else anomaly ()
 
 (* {2 Section entry and exit (section 5.4)} *)
 
@@ -761,46 +983,63 @@ let rec proactive_walk t c ~tid ~frame entries pkru cycles =
     let code = Domain_state.rw_key_code t.domains ~obj_id in
     if code < 0 then (* Not-accessed or Read-only: nothing to acquire *)
       proactive_walk t c ~tid ~frame rest pkru cycles
-    else
-      let key = Pkey.of_int code in
-      let wanted =
-        match need with
-        | Section_object_map.Needs_write -> Perm.Read_write
-        | Section_object_map.Needs_read -> Perm.Read_only
-      in
-      let already = Pkru.get pkru key in
-      if Perm.allows already `Read && Perm.compare already wanted >= 0 then
+    else if Vkey.virtualized t.vkey && code > Vkey.pool t.vkey then
+      (* Software-pooled: every access faults anyway. *)
+      proactive_walk t c ~tid ~frame rest pkru cycles
+    else begin
+      let phys = Vkey.phys_of t.vkey code in
+      if phys < 0 then begin
+        (* Evicted virtual key: loading at section entry would cascade
+           evictions through the walk, so the entry skips it and the
+           first access faults it in reactively (DESIGN.md §11).  The
+           hold proactive acquisition would have formed does not exist
+           in that window — mark the object so the differential
+           classifier can attribute a missed blame. *)
+        Dense.Bitset.add t.prov_vkey_blamed obj_id;
         proactive_walk t c ~tid ~frame rest pkru cycles
+      end
       else begin
-        (* During a delay-injection cooldown the key's release is
-           stamped in the future: it still counts as held, so the
-           entry must fault reactively and the handler can test for a
-           conflict. *)
-        let cooling =
-          t.config.Config.exit_delay_cycles > 0
-          &&
-          match Key_section_map.last_release t.ksmap key with
-          | Some (stamp, _) -> now t < stamp
-          | None -> false
+        let key = Pkey.of_int phys in
+        let wanted =
+          match need with
+          | Section_object_map.Needs_write -> Perm.Read_write
+          | Section_object_map.Needs_read -> Perm.Read_only
         in
-        if cooling then proactive_walk t c ~tid ~frame rest pkru cycles
-        else if Key_section_map.can_acquire t.ksmap key ~tid wanted then
-          proactive_acquire t c ~tid ~frame rest pkru cycles key wanted
-        else if
-          Perm.equal wanted Perm.Read_write
-          && Key_section_map.can_acquire t.ksmap key ~tid Perm.Read_only
-        then
-          (* Write-need downgraded to a read hold (the idealized
-             algorithm skips contested keys outright); a later fault
-             blaming it is caught by the blame-time provenance. *)
-          proactive_acquire t c ~tid ~frame rest pkru cycles key Perm.Read_only
-        else proactive_walk t c ~tid ~frame rest pkru cycles
-      end)
+        let already = Pkru.get pkru key in
+        if Perm.allows already `Read && Perm.compare already wanted >= 0 then
+          proactive_walk t c ~tid ~frame rest pkru cycles
+        else begin
+          (* During a delay-injection cooldown the key's release is
+             stamped in the future: it still counts as held, so the
+             entry must fault reactively and the handler can test for a
+             conflict. *)
+          let cooling =
+            t.config.Config.exit_delay_cycles > 0
+            &&
+            match Key_section_map.last_release t.ksmap code with
+            | Some (stamp, _) -> now t < stamp
+            | None -> false
+          in
+          if cooling then proactive_walk t c ~tid ~frame rest pkru cycles
+          else if Key_section_map.can_acquire t.ksmap code ~tid wanted then
+            proactive_acquire t c ~tid ~frame rest pkru cycles code key wanted
+          else if
+            Perm.equal wanted Perm.Read_write
+            && Key_section_map.can_acquire t.ksmap code ~tid Perm.Read_only
+          then
+            (* Write-need downgraded to a read hold (the idealized
+               algorithm skips contested keys outright); a later fault
+               blaming it is caught by the blame-time provenance. *)
+            proactive_acquire t c ~tid ~frame rest pkru cycles code key Perm.Read_only
+          else proactive_walk t c ~tid ~frame rest pkru cycles
+        end
+      end
+    end)
 
-and proactive_acquire t c ~tid ~frame rest pkru cycles key perm =
-  Key_section_map.acquire t.ksmap key
+and proactive_acquire t c ~tid ~frame rest pkru cycles code key perm =
+  Key_section_map.acquire t.ksmap code
     { Key_section_map.tid; perm; section = frame.site; lock = frame.lock; proactive = true };
-  frame_note_acquired frame key;
+  frame_note_acquired frame code;
   t.proactive_acq <- t.proactive_acq + 1;
   proactive_walk t c ~tid ~frame rest (Pkru.set pkru key perm) (cycles + c.Cost_model.atomic_op)
 
@@ -861,7 +1100,7 @@ let on_unlock t ~tid ~lock =
     (* Most recent acquisition first, as the cons-list predecessor
        released them. *)
     for i = frame.nacquired - 1 downto 0 do
-      Key_section_map.release t.ksmap (Pkey.of_int frame.acquired.(i)) ~tid ~time;
+      Key_section_map.release t.ksmap frame.acquired.(i) ~tid ~time;
       cycles := !cycles + c.Cost_model.atomic_op
     done;
     (* Terminate interleavings this thread participated in: the object
@@ -915,8 +1154,10 @@ let metadata_bytes t =
   let per_somap_entry = 64 in
   let per_section = 48 in
   let per_record = 256 in
+  let per_vkey = 16 in
   let fixed = 4096 in
   fixed
+  + (per_vkey * Vkey.pool t.vkey)
   + (per_domain_entry * Domain_state.tracked t.domains)
   + (per_somap_entry * Section_object_map.entry_count t.somap)
   + (per_section * Section_object_map.section_count t.somap)
@@ -946,6 +1187,7 @@ let ilu_races t = Pruning.ilu_records t.pruning
 
 let stats t : stats =
   let ks = Key_assign.stats t.assign in
+  let vs = Vkey.stats t.vkey in
   { na_faults = t.na_faults;
     ro_faults = t.ro_faults;
     data_faults = t.data_faults;
@@ -967,7 +1209,15 @@ let stats t : stats =
     records_redundant = Pruning.redundant t.pruning;
     records_pruned_spurious = Pruning.removed_spurious t.pruning;
     soft_fallbacks = t.soft_fallbacks;
-    soft_faults = t.soft_faults }
+    soft_faults = t.soft_faults;
+    vkey_pool = vs.Vkey.st_pool;
+    vkey_resident = Vkey.resident_count t.vkey;
+    vkey_hits = vs.Vkey.st_hits;
+    vkey_misses = vs.Vkey.st_misses;
+    vkey_evictions = vs.Vkey.st_evictions;
+    vkey_loads = vs.Vkey.st_loads;
+    vkey_retag_pages = vs.Vkey.st_retag_pages;
+    vkey_stalls = vs.Vkey.st_stalls }
 
 let unique_ro_objects t = Dense.Bitset.count t.ro_seen
 let unique_rw_objects t = Dense.Bitset.count t.rw_seen
@@ -983,6 +1233,7 @@ type provenance = {
   ro_identified : bool;
   ro_blamed : bool;
   proactive_blamed : bool;
+  vkey_blamed : bool;
 }
 
 let provenance t ~obj_id =
@@ -995,11 +1246,16 @@ let provenance t ~obj_id =
     demoted = Dense.Bitset.mem t.prov_demoted obj_id;
     ro_identified = Dense.Bitset.mem t.ro_seen obj_id;
     ro_blamed = Dense.Bitset.mem t.prov_ro_blamed obj_id;
-    proactive_blamed = Dense.Bitset.mem t.prov_proactive_blame obj_id }
+    proactive_blamed = Dense.Bitset.mem t.prov_proactive_blame obj_id;
+    vkey_blamed = Dense.Bitset.mem t.prov_vkey_blamed obj_id }
 let domains t = t.domains
 let section_object_map t = t.somap
 let key_section_map t = t.ksmap
 let config t = t.config
+let vkey_stats t = Vkey.stats t.vkey
+let assignable_keys t = Key_assign.available_keys t.assign
+let soft_pool_id t = soft_id t
+let expected_page_key t ~key = phys_tag t key
 
 let make ?config ~cell env =
   let t = create ?config env in

@@ -31,6 +31,15 @@ type stats = {
   records_pruned_spurious : int;
   soft_fallbacks : int;   (** Objects moved to the software pool. *)
   soft_faults : int;      (** Per-access faults on pooled objects. *)
+  vkey_pool : int;        (** Virtual-key pool size (0 = identity mode). *)
+  vkey_resident : int;    (** Virtual keys resident at run end. *)
+  vkey_hits : int;        (** {!Kard_mpk.Vkey.ensure} residency hits. *)
+  vkey_misses : int;
+  vkey_evictions : int;
+  vkey_loads : int;
+  vkey_retag_pages : int; (** Pages batch-retagged by loads/evictions. *)
+  vkey_stalls : int;      (** Misses with every slot pinned (emulated
+                              unprotected — the vkey miss window). *)
 }
 
 val create : ?config:Config.t -> Kard_sched.Hooks.env -> t
@@ -79,9 +88,29 @@ type provenance = {
                                 a hold Algorithm 1 may never grant
                                 (contested keys are skipped at entry;
                                 nested exits can drop an outer hold). *)
+  vkey_blamed : bool;  (** Touched by a vkey-cache miss window: an
+                           access emulated unprotected because every
+                           slot was pinned, or a proactive acquisition
+                           skipped because the object's key was
+                           evicted at section entry (DESIGN.md §11). *)
 }
 
 val provenance : t -> obj_id:int -> provenance
+
+val vkey_stats : t -> Kard_mpk.Vkey.stats
+(** Virtual-key cache counters (all zero in identity mode). *)
+
+val assignable_keys : t -> int list
+(** The keys effective assignment may hand out: physical data keys in
+    identity mode, the virtual pool otherwise. *)
+
+val soft_pool_id : t -> int
+(** The domain-table id software-pooled objects sit under. *)
+
+val expected_page_key : t -> key:int -> Kard_mpk.Pkey.t
+(** The physical tag pages protected by [key] must carry right now
+    (the key itself, its residency slot, the evict tag, or the
+    software-pool tag) — the validator's page-table oracle. *)
 
 val make :
   ?config:Config.t -> cell:t option ref -> Kard_sched.Hooks.env -> Kard_sched.Hooks.t

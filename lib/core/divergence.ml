@@ -15,6 +15,7 @@ type cls =
   | Lockset_over_report
   | Lockset_shared_read_miss
   | Lockset_init_miss
+  | Vkey_eviction_blame
   | Shard_divergence
   | Unexpected
 
@@ -36,6 +37,7 @@ let all =
     Lockset_over_report;
     Lockset_shared_read_miss;
     Lockset_init_miss;
+    Vkey_eviction_blame;
     Shard_divergence;
     Unexpected;
   ]
@@ -57,6 +59,7 @@ let name = function
   | Lockset_over_report -> "lockset-over-report"
   | Lockset_shared_read_miss -> "lockset-shared-read-miss"
   | Lockset_init_miss -> "lockset-init-miss"
+  | Vkey_eviction_blame -> "vkey-eviction-blame"
   | Shard_divergence -> "shard-divergence"
   | Unexpected -> "unexpected"
 
@@ -116,6 +119,11 @@ let describe = function
   | Lockset_init_miss ->
       "Lockset miss: the initialization heuristic exempts Virgin/Exclusive \
        accesses from refinement, hiding races against the first owner"
+  | Vkey_eviction_blame ->
+      "Kard diverges inside a vkey-cache miss window: every residency slot \
+       was pinned so an access was emulated unprotected (missed fault), or a \
+       proactive acquisition was skipped because the object's virtual key was \
+       evicted at section entry — Algorithm 1 has no cache and no such window"
   | Shard_divergence ->
       "the sharded machine diverged: a run at shards>1 produced a different \
        report or race-record list than the same run at shards=1, breaching \

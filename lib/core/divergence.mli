@@ -150,6 +150,19 @@ type cls =
           refinement, so a race against the first owner's unlocked
           accesses is missed.  Evidence: a strict replay that refines
           from the very first access does warn. *)
+  | Vkey_eviction_blame
+      (** Kard diverges from Algorithm 1 inside a {e vkey-cache miss
+          window} (DESIGN.md §11).  Two sub-causes: (a) a miss found
+          every physical residency slot pinned by running threads, so
+          the access was emulated unprotected — a fault Algorithm 1
+          (which has no cache) would have seen never fired; (b) the
+          proactive section-entry walk skipped an object whose virtual
+          key was not resident, so a hold the algorithm grants at
+          entry formed late (at first access) or not at all.  Either
+          direction is bounded by the cache's stall/eviction counters
+          and disappears when the pool fits in the physical slots.
+          Evidence: the object carries the [vkey_blamed] provenance
+          bit. *)
   | Shard_divergence
       (** The sharded machine diverged: running the same program,
           seed and configuration at shards>1 produced a different

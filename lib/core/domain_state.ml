@@ -1,10 +1,9 @@
-module Pkey = Kard_mpk.Pkey
 module Dense = Kard_sched.Dense
 
 type domain =
   | Not_accessed
   | Read_only
-  | Read_write of Pkey.t
+  | Read_write of int
 
 (* Object ids are handed out sequentially by the allocators, so domain
    state lives in an obj_id-indexed int array rather than a hash table:
@@ -38,14 +37,14 @@ let code_of t ~obj_id =
 let rw_key_code = code_of
 
 let decode code =
-  if code >= 0 then Read_write (Pkey.of_int code)
+  if code >= 0 then Read_write code
   else if code = code_read_only then Read_only
   else Not_accessed
 
 let encode = function
   | Not_accessed -> code_not_accessed
   | Read_only -> code_read_only
-  | Read_write key -> Pkey.to_int key
+  | Read_write key -> key
 
 let domain_of t ~obj_id = decode (code_of t ~obj_id)
 
@@ -56,8 +55,7 @@ let ensure t obj_id =
     t.codes <- bigger
   end
 
-let key_bucket t key =
-  let k = Pkey.to_int key in
+let key_bucket t k =
   match Hashtbl.find_opt t.by_key k with
   | Some bucket -> bucket
   | None ->
@@ -72,7 +70,7 @@ let set t ~obj_id domain =
      object stays a no-op, exactly as the implicit default did. *)
   if decode before_code <> domain then begin
     ensure t obj_id;
-    if before_code >= 0 then Hashtbl.remove (key_bucket t (Pkey.of_int before_code)) obj_id;
+    if before_code >= 0 then Hashtbl.remove (key_bucket t before_code) obj_id;
     if before_code = code_absent then t.tracked <- t.tracked + 1;
     t.codes.(obj_id) <- encode domain;
     (match domain with
@@ -84,15 +82,20 @@ let set t ~obj_id domain =
 let forget t ~obj_id =
   let code = code_of t ~obj_id in
   if code <> code_absent then begin
-    if code >= 0 then Hashtbl.remove (key_bucket t (Pkey.of_int code)) obj_id;
+    if code >= 0 then Hashtbl.remove (key_bucket t code) obj_id;
     t.codes.(obj_id) <- code_absent;
     t.tracked <- t.tracked - 1
   end
 
 let objects_with_key t key =
-  match Hashtbl.find_opt t.by_key (Pkey.to_int key) with
+  match Hashtbl.find_opt t.by_key key with
   | Some bucket -> Hashtbl.fold (fun obj_id () acc -> obj_id :: acc) bucket []
   | None -> []
+
+let key_load t key =
+  match Hashtbl.find_opt t.by_key key with
+  | Some bucket -> Hashtbl.length bucket
+  | None -> 0
 
 let count_in t which =
   let wanted_code =
@@ -116,4 +119,4 @@ let tracked t = t.tracked
 let pp_domain fmt = function
   | Not_accessed -> Format.pp_print_string fmt "not-accessed"
   | Read_only -> Format.pp_print_string fmt "read-only"
-  | Read_write key -> Format.fprintf fmt "read-write(%a)" Pkey.pp key
+  | Read_write key -> Format.fprintf fmt "read-write(k%d)" key

@@ -1,14 +1,17 @@
 (** Per-object protection domains (section 5.2).
 
     Every sharable object is in exactly one of the three domains:
-    Not-accessed ([k_na]), Read-only ([k_ro]) or Read-write (one of
-    the 13 data keys).  Migrations are what cost [pkey_mprotect]
-    calls at run time. *)
+    Not-accessed ([k_na]), Read-only ([k_ro]) or Read-write (a data
+    key).  The Read-write key is a plain [int]: a physical data pkey
+    in identity mode, or a virtual key under the vkey cache (the
+    physical tag of the object's pages then follows the key's
+    residency).  Migrations are what cost [pkey_mprotect] calls at
+    run time. *)
 
 type domain =
   | Not_accessed
   | Read_only
-  | Read_write of Kard_mpk.Pkey.t
+  | Read_write of int
 
 type t
 
@@ -18,16 +21,20 @@ val domain_of : t -> obj_id:int -> domain
 (** Objects never seen are Not-accessed. *)
 
 val rw_key_code : t -> obj_id:int -> int
-(** [Pkey.to_int key] when the object is Read-write under [key],
-    negative otherwise.  The allocation-free form of {!domain_of} for
-    the per-object test on the section-entry hot path, where only the
+(** The key when the object is Read-write under it, negative
+    otherwise.  The allocation-free form of {!domain_of} for the
+    per-object test on the section-entry hot path, where only the
     Read-write case carries information. *)
 
 val set : t -> obj_id:int -> domain -> unit
 val forget : t -> obj_id:int -> unit
 
-val objects_with_key : t -> Kard_mpk.Pkey.t -> int list
+val objects_with_key : t -> int -> int list
 (** Objects currently in the Read-write domain under this key. *)
+
+val key_load : t -> int -> int
+(** [List.length (objects_with_key t key)] in O(1) — the key
+    assigner's free-key test. *)
 
 val count_in : t -> [ `Not_accessed | `Read_only | `Read_write ] -> int
 (** Objects explicitly recorded in the given domain. *)

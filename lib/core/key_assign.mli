@@ -6,17 +6,24 @@
     an assigned-but-unheld key (demoting its objects to the Read-only
     domain) or, as a last resort, share a held key — preferring keys
     whose holding sections touch disjoint object sets, since sharing
-    is the one source of false negatives (Table 4). *)
+    is the one source of false negatives (Table 4).
+
+    Keys are plain [int]s: physical data pkeys ([1..data_keys]) in
+    identity mode, virtual keys ([1..vkeys]) under the vkey cache
+    (DESIGN.md §11).  Virtual mode replaces the O(keys) fresh/recycle
+    scans with cursors so a pool of thousands stays O(1) amortized per
+    assignment; with so many keys, sharing only triggers once the
+    entire pool is simultaneously held. *)
 
 type decision =
-  | Reuse of Kard_mpk.Pkey.t
+  | Reuse of int
       (** The thread already holds this key; protect the object with it. *)
-  | Fresh of Kard_mpk.Pkey.t
+  | Fresh of int
       (** An unassigned key. *)
-  | Recycle of Kard_mpk.Pkey.t * int list
+  | Recycle of int * int list
       (** An unheld key; the listed objects must be demoted to the
           Read-only domain before reuse. *)
-  | Share of Kard_mpk.Pkey.t
+  | Share of int
       (** A currently held key; may cause false negatives. *)
 
 type stats = {
@@ -30,8 +37,9 @@ type t
 
 val create : Config.t -> t
 
-val available_keys : t -> Kard_mpk.Pkey.t list
-(** The data keys this configuration may hand out. *)
+val available_keys : t -> int list
+(** The keys this configuration may hand out (physical data keys or
+    the virtual pool). *)
 
 val choose :
   t ->
@@ -45,8 +53,9 @@ val choose :
     [tid] inside [section]. *)
 
 val note : t -> decision -> unit
-(** Record the decision in the statistics (callers invoke this after
-    actually applying the decision). *)
+(** Record the decision in the statistics and advance the virtual-mode
+    cursors (callers invoke this after actually applying the
+    decision). *)
 
 val stats : t -> stats
 val pp_decision : Format.formatter -> decision -> unit

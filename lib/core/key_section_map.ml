@@ -1,4 +1,3 @@
-module Pkey = Kard_mpk.Pkey
 module Perm = Kard_mpk.Perm
 module Dense = Kard_sched.Dense
 
@@ -10,18 +9,25 @@ type holder = {
   proactive : bool;
 }
 
-(* Keys are the 16 architectural pkeys and threads/sections are small
-   dense ids, so every map here is flat storage: acquire and release
-   run on every section entry/exit and must neither hash nor
-   allocate.  Holders of one key live in parallel arrays ([slots]);
-   the [holder] records of the public API are materialized on demand
-   by the cold callers (race logging, key assignment).
+(* Keys are small dense ints — the 16 architectural pkeys in identity
+   mode, or virtual keys 1..pool under the vkey cache — and
+   threads/sections are small dense ids, so every map here is flat
+   storage: acquire and release run on every section entry/exit and
+   must neither hash nor allocate.  Per-key storage grows on demand
+   (a vkey pool can be thousands wide but only touched keys pay).
+   Holders of one key live in parallel arrays ([slots]); the [holder]
+   records of the public API are materialized on demand by the cold
+   callers (race logging, key assignment).
 
    Slot order encodes the history the cons-list predecessor exposed:
    slot [n-1] is the most recent holding (list head), a new holding
    appends, and an upgrade moves the holding to the top.  Release
    stamps go to per-key (and per-key-per-releaser) flat arrays, time
-   [-1] meaning "never". *)
+   [-1] meaning "never".
+
+   [held_by] is answered from a per-tid sorted index of held keys —
+   O(keys the thread holds), not O(key capacity), which matters once
+   the key space is a vkey pool. *)
 type slots = {
   mutable tids : int array;
   mutable perms : Perm.t array;
@@ -40,33 +46,68 @@ type release_row = {
 }
 
 type t = {
-  slots : slots array; (* index = key *)
-  lr_time : int array; (* key -> last release time, -1 = none *)
-  lr_tid : int array;
-  lr_perm : Perm.t array;
-  lr_section : int array;
-  lr_lock : int array;
-  lr_proactive : bool array;
-  by_releaser : release_row array; (* index = key *)
+  mutable slots : slots array; (* index = key *)
+  mutable lr_time : int array; (* key -> last release time, -1 = none *)
+  mutable lr_tid : int array;
+  mutable lr_perm : Perm.t array;
+  mutable lr_section : int array;
+  mutable lr_lock : int array;
+  mutable lr_proactive : bool array;
+  mutable by_releaser : release_row array; (* index = key *)
   mutable section_refs : int array; (* section -> live holdings *)
   mutable max_section : int; (* highest section index ever referenced *)
+  mutable tid_keys : int array array; (* tid -> ascending keys held *)
+  mutable tid_nkeys : int array;
 }
 
+let fresh_slots () =
+  { tids = [||]; perms = [||]; sections = [||]; locks = [||]; proactives = [||]; n = 0 }
+
+let fresh_release_row () =
+  { r_time = [||]; r_perm = [||]; r_section = [||]; r_lock = [||]; r_proactive = [||] }
+
 let create () =
-  { slots =
-      Array.init Pkey.count (fun _ ->
-          { tids = [||]; perms = [||]; sections = [||]; locks = [||]; proactives = [||]; n = 0 });
-    lr_time = Array.make Pkey.count (-1);
-    lr_tid = Array.make Pkey.count 0;
-    lr_perm = Array.make Pkey.count Perm.No_access;
-    lr_section = Array.make Pkey.count 0;
-    lr_lock = Array.make Pkey.count 0;
-    lr_proactive = Array.make Pkey.count false;
-    by_releaser =
-      Array.init Pkey.count (fun _ ->
-          { r_time = [||]; r_perm = [||]; r_section = [||]; r_lock = [||]; r_proactive = [||] });
+  let cap = Kard_mpk.Pkey.count in
+  { slots = Array.init cap (fun _ -> fresh_slots ());
+    lr_time = Array.make cap (-1);
+    lr_tid = Array.make cap 0;
+    lr_perm = Array.make cap Perm.No_access;
+    lr_section = Array.make cap 0;
+    lr_lock = Array.make cap 0;
+    lr_proactive = Array.make cap false;
+    by_releaser = Array.init cap (fun _ -> fresh_release_row ());
     section_refs = Array.make 64 0;
-    max_section = -1 }
+    max_section = -1;
+    tid_keys = Array.make 16 [||];
+    tid_nkeys = Array.make 16 0 }
+
+(* Grow every key-indexed array to cover [key]. *)
+let ensure_key t key =
+  if key < 0 then invalid_arg "Key_section_map: negative key";
+  let cap = Array.length t.slots in
+  if key >= cap then begin
+    let cap' = Dense.grow_pow2 cap key in
+    let grown mk init arr =
+      let r = Array.init cap' (fun i -> if i < cap then arr.(i) else mk init) in
+      r
+    in
+    t.slots <- Array.init cap' (fun i -> if i < cap then t.slots.(i) else fresh_slots ());
+    t.lr_time <- grown (fun x -> x) (-1) t.lr_time;
+    t.lr_tid <- grown (fun x -> x) 0 t.lr_tid;
+    t.lr_perm <- grown (fun x -> x) Perm.No_access t.lr_perm;
+    t.lr_section <- grown (fun x -> x) 0 t.lr_section;
+    t.lr_lock <- grown (fun x -> x) 0 t.lr_lock;
+    t.lr_proactive <- grown (fun x -> x) false t.lr_proactive;
+    t.by_releaser <-
+      Array.init cap' (fun i -> if i < cap then t.by_releaser.(i) else fresh_release_row ())
+  end
+
+let slots_of t key =
+  ensure_key t key;
+  t.slots.(key)
+
+(* Read-only access: out-of-range keys have no holders. *)
+let slots_ro t key = if key >= 0 && key < Array.length t.slots then Some t.slots.(key) else None
 
 let slot_holder s i =
   { tid = s.tids.(i);
@@ -77,58 +118,119 @@ let slot_holder s i =
 
 (* Newest holding first, as the cons-list predecessor returned. *)
 let holders t key =
-  let s = t.slots.(Pkey.to_int key) in
-  let rec go i acc = if i >= s.n then acc else go (i + 1) (slot_holder s i :: acc) in
-  go 0 []
+  match slots_ro t key with
+  | None -> []
+  | Some s ->
+    let rec go i acc = if i >= s.n then acc else go (i + 1) (slot_holder s i :: acc) in
+    go 0 []
 
 let other_holders t key ~tid =
-  let s = t.slots.(Pkey.to_int key) in
-  let rec go i acc =
-    if i >= s.n then acc
-    else go (i + 1) (if s.tids.(i) <> tid then slot_holder s i :: acc else acc)
-  in
-  go 0 []
+  match slots_ro t key with
+  | None -> []
+  | Some s ->
+    let rec go i acc =
+      if i >= s.n then acc
+      else go (i + 1) (if s.tids.(i) <> tid then slot_holder s i :: acc else acc)
+    in
+    go 0 []
 
 let write_holder t key =
-  let s = t.slots.(Pkey.to_int key) in
-  let rec scan i =
-    if i < 0 then None
-    else if Perm.equal s.perms.(i) Perm.Read_write then Some (slot_holder s i)
-    else scan (i - 1)
-  in
-  scan (s.n - 1)
+  match slots_ro t key with
+  | None -> None
+  | Some s ->
+    let rec scan i =
+      if i < 0 then None
+      else if Perm.equal s.perms.(i) Perm.Read_write then Some (slot_holder s i)
+      else scan (i - 1)
+    in
+    scan (s.n - 1)
+
+let held_count t key = match slots_ro t key with None -> 0 | Some s -> s.n
 
 let slot_of s ~tid =
   let rec scan i = if i >= s.n then -1 else if s.tids.(i) = tid then i else scan (i + 1) in
   scan 0
 
-let held_by t ~tid =
-  (* Ascending key order (canonical): the head of the result is the
-     lowest-numbered key the thread holds. *)
-  let rec scan k acc =
-    if k < 0 then acc
-    else
-      let s = t.slots.(k) in
-      let i = slot_of s ~tid in
-      let acc = if i >= 0 then (Pkey.of_int k, s.perms.(i)) :: acc else acc in
-      scan (k - 1) acc
+(* {2 The per-tid held-keys index} *)
+
+let ensure_tid t tid =
+  if tid < 0 then invalid_arg "Key_section_map: negative thread id";
+  let cap = Array.length t.tid_nkeys in
+  if tid >= cap then begin
+    let cap' = Dense.grow_pow2 cap tid in
+    let keys = Array.make cap' [||] in
+    Array.blit t.tid_keys 0 keys 0 cap;
+    let nkeys = Array.make cap' 0 in
+    Array.blit t.tid_nkeys 0 nkeys 0 cap;
+    t.tid_keys <- keys;
+    t.tid_nkeys <- nkeys
+  end
+
+let index_add t ~tid key =
+  ensure_tid t tid;
+  let arr = t.tid_keys.(tid) and n = t.tid_nkeys.(tid) in
+  let arr =
+    if n = Array.length arr then begin
+      let bigger = Array.make (max 4 (2 * n)) 0 in
+      Array.blit arr 0 bigger 0 n;
+      t.tid_keys.(tid) <- bigger;
+      bigger
+    end
+    else arr
   in
-  scan (Pkey.count - 1) []
+  (* Insert keeping ascending order. *)
+  let i = ref n in
+  while !i > 0 && arr.(!i - 1) > key do
+    arr.(!i) <- arr.(!i - 1);
+    decr i
+  done;
+  arr.(!i) <- key;
+  t.tid_nkeys.(tid) <- n + 1
+
+let index_remove t ~tid key =
+  if tid < Array.length t.tid_nkeys then begin
+    let arr = t.tid_keys.(tid) and n = t.tid_nkeys.(tid) in
+    let rec find i = if i >= n then -1 else if arr.(i) = key then i else find (i + 1) in
+    let i = find 0 in
+    if i >= 0 then begin
+      Array.blit arr (i + 1) arr i (n - i - 1);
+      t.tid_nkeys.(tid) <- n - 1
+    end
+  end
+
+(* Ascending key order (canonical): the head of the result is the
+   lowest-numbered key the thread holds. *)
+let held_by t ~tid =
+  if tid < 0 || tid >= Array.length t.tid_nkeys then []
+  else begin
+    let arr = t.tid_keys.(tid) and n = t.tid_nkeys.(tid) in
+    let rec go i acc =
+      if i < 0 then acc
+      else
+        let key = arr.(i) in
+        let s = t.slots.(key) in
+        let j = slot_of s ~tid in
+        go (i - 1) (if j >= 0 then (key, s.perms.(j)) :: acc else acc)
+    in
+    go (n - 1) []
+  end
 
 let can_acquire t key ~tid perm =
-  let s = t.slots.(Pkey.to_int key) in
-  match perm with
-  | Perm.Read_write ->
-    let rec only_self i = i >= s.n || (s.tids.(i) = tid && only_self (i + 1)) in
-    only_self 0
-  | Perm.Read_only ->
-    let rec no_other_writer i =
-      i >= s.n
-      || ((s.tids.(i) = tid || not (Perm.equal s.perms.(i) Perm.Read_write))
-         && no_other_writer (i + 1))
-    in
-    no_other_writer 0
-  | Perm.No_access -> false
+  match slots_ro t key with
+  | None -> not (Perm.equal perm Perm.No_access)
+  | Some s -> (
+    match perm with
+    | Perm.Read_write ->
+      let rec only_self i = i >= s.n || (s.tids.(i) = tid && only_self (i + 1)) in
+      only_self 0
+    | Perm.Read_only ->
+      let rec no_other_writer i =
+        i >= s.n
+        || ((s.tids.(i) = tid || not (Perm.equal s.perms.(i) Perm.Read_write))
+           && no_other_writer (i + 1))
+      in
+      no_other_writer 0
+    | Perm.No_access -> false)
 
 let section_ref t section delta =
   if section < 0 then invalid_arg "Key_section_map: negative section id";
@@ -179,7 +281,7 @@ let push_slot s ~tid perm ~section ~lock ~proactive =
   s.n <- i + 1
 
 let add_holding t key holder =
-  let s = t.slots.(Pkey.to_int key) in
+  let s = slots_of t key in
   let i = slot_of s ~tid:holder.tid in
   if i >= 0 then begin
     (* Upgrade (or idempotent re-acquire): the holding moves to the
@@ -196,14 +298,15 @@ let add_holding t key holder =
   else begin
     push_slot s ~tid:holder.tid holder.perm ~section:holder.section ~lock:holder.lock
       ~proactive:holder.proactive;
+    index_add t ~tid:holder.tid key;
     section_ref t holder.section 1
   end
 
 let acquire t key holder =
   if not (can_acquire t key ~tid:holder.tid holder.perm) then
     invalid_arg
-      (Format.asprintf "Key_section_map.acquire: %a not acquirable by t%d as %a" Pkey.pp key
-         holder.tid Perm.pp holder.perm);
+      (Format.asprintf "Key_section_map.acquire: k%d not acquirable by t%d as %a" key holder.tid
+         Perm.pp holder.perm);
   add_holding t key holder
 
 let force_acquire t key holder = add_holding t key holder
@@ -234,63 +337,68 @@ let note_release_by t k ~tid ~time ~perm ~section ~lock ~proactive =
   row.r_proactive.(tid) <- proactive
 
 let release t key ~tid ~time =
-  let k = Pkey.to_int key in
-  let s = t.slots.(k) in
+  let s = slots_of t key in
   let i = slot_of s ~tid in
   if i >= 0 then begin
     let perm = s.perms.(i) and section = s.sections.(i) and lock = s.locks.(i) in
     let proactive = s.proactives.(i) in
     remove_slot s i;
-    t.lr_time.(k) <- time;
-    t.lr_tid.(k) <- tid;
-    t.lr_perm.(k) <- perm;
-    t.lr_section.(k) <- section;
-    t.lr_lock.(k) <- lock;
-    t.lr_proactive.(k) <- proactive;
-    note_release_by t k ~tid ~time ~perm ~section ~lock ~proactive;
+    index_remove t ~tid key;
+    t.lr_time.(key) <- time;
+    t.lr_tid.(key) <- tid;
+    t.lr_perm.(key) <- perm;
+    t.lr_section.(key) <- section;
+    t.lr_lock.(key) <- lock;
+    t.lr_proactive.(key) <- proactive;
+    note_release_by t key ~tid ~time ~perm ~section ~lock ~proactive;
     section_ref t section (-1)
   end
 
 let last_release t key =
-  let k = Pkey.to_int key in
-  if t.lr_time.(k) < 0 then None
+  if key < 0 || key >= Array.length t.lr_time || t.lr_time.(key) < 0 then None
   else
     Some
-      ( t.lr_time.(k),
-        { tid = t.lr_tid.(k);
-          perm = t.lr_perm.(k);
-          section = t.lr_section.(k);
-          lock = t.lr_lock.(k);
-          proactive = t.lr_proactive.(k) } )
+      ( t.lr_time.(key),
+        { tid = t.lr_tid.(key);
+          perm = t.lr_perm.(key);
+          section = t.lr_section.(key);
+          lock = t.lr_lock.(key);
+          proactive = t.lr_proactive.(key) } )
 
 let last_release_by_other t key ~tid =
   (* Most recent release of [key] by any other thread; on equal stamps
      the lowest releasing tid wins (canonical). *)
-  let row = t.by_releaser.(Pkey.to_int key) in
-  let best = ref (-1) in
-  let best_time = ref min_int in
-  for releaser = 0 to Array.length row.r_time - 1 do
-    if releaser <> tid && row.r_time.(releaser) >= 0 && row.r_time.(releaser) > !best_time then begin
-      best := releaser;
-      best_time := row.r_time.(releaser)
-    end
-  done;
-  if !best < 0 then None
-  else
-    let r = !best in
-    Some
-      ( row.r_time.(r),
-        { tid = r;
-          perm = row.r_perm.(r);
-          section = row.r_section.(r);
-          lock = row.r_lock.(r);
-          proactive = row.r_proactive.(r) } )
+  if key < 0 || key >= Array.length t.by_releaser then None
+  else begin
+    let row = t.by_releaser.(key) in
+    let best = ref (-1) in
+    let best_time = ref min_int in
+    for releaser = 0 to Array.length row.r_time - 1 do
+      if releaser <> tid && row.r_time.(releaser) >= 0 && row.r_time.(releaser) > !best_time
+      then begin
+        best := releaser;
+        best_time := row.r_time.(releaser)
+      end
+    done;
+    if !best < 0 then None
+    else
+      let r = !best in
+      Some
+        ( row.r_time.(r),
+          { tid = r;
+            perm = row.r_perm.(r);
+            section = row.r_section.(r);
+            lock = row.r_lock.(r);
+            proactive = row.r_proactive.(r) } )
+  end
 
 let recently_released t key ~now ~window =
-  let time = t.lr_time.(Pkey.to_int key) in
-  time >= 0 && now - time <= window
+  if key < 0 || key >= Array.length t.lr_time then false
+  else
+    let time = t.lr_time.(key) in
+    time >= 0 && now - time <= window
 
-let unheld_keys t ~among = List.filter (fun key -> t.slots.(Pkey.to_int key).n = 0) among
+let unheld_keys t ~among = List.filter (fun key -> held_count t key = 0) among
 
 let active_sections t =
   let acc = ref [] in

@@ -3,7 +3,13 @@
     Tracks which threads (and on behalf of which critical sections)
     currently hold each Read-write domain key, with what permission,
     and when each key was last released — the input to race checks,
-    key assignment and the timestamp-based pruning of section 5.5. *)
+    key assignment and the timestamp-based pruning of section 5.5.
+
+    Keys are plain [int]s: the physical data pkeys in identity mode,
+    or virtual keys [1..pool] under the vkey cache (DESIGN.md §11).
+    Per-key storage grows on demand, so a pool of thousands only pays
+    for the keys actually touched; {!held_by} is answered from a
+    per-thread index in O(keys held). *)
 
 type holder = {
   tid : int;
@@ -24,42 +30,47 @@ type t
 
 val create : unit -> t
 
-val holders : t -> Kard_mpk.Pkey.t -> holder list
+val holders : t -> int -> holder list
 
-val other_holders : t -> Kard_mpk.Pkey.t -> tid:int -> holder list
+val other_holders : t -> int -> tid:int -> holder list
 
-val write_holder : t -> Kard_mpk.Pkey.t -> holder option
+val write_holder : t -> int -> holder option
 (** The holder with read-write permission, if any (at most one). *)
 
-val held_by : t -> tid:int -> (Kard_mpk.Pkey.t * Kard_mpk.Perm.t) list
+val held_count : t -> int -> int
+(** Live holdings of a key, O(1) — the vkey layer's pinning input. *)
 
-val can_acquire : t -> Kard_mpk.Pkey.t -> tid:int -> Kard_mpk.Perm.t -> bool
+val held_by : t -> tid:int -> (int * Kard_mpk.Perm.t) list
+(** Keys the thread holds with their permissions, ascending key
+    order. *)
+
+val can_acquire : t -> int -> tid:int -> Kard_mpk.Perm.t -> bool
 (** Read-write: no other holder at all; read-only: no other
     read-write holder (section 5.4). *)
 
-val acquire : t -> Kard_mpk.Pkey.t -> holder -> unit
+val acquire : t -> int -> holder -> unit
 (** Upgrades in place if the thread already holds the key.
     @raise Invalid_argument when the acquisition is not permitted. *)
 
-val force_acquire : t -> Kard_mpk.Pkey.t -> holder -> unit
+val force_acquire : t -> int -> holder -> unit
 (** Key sharing (section 5.4 rule 3b): adds the holding even when it
     violates exclusivity — the documented false-negative source. *)
 
-val release : t -> Kard_mpk.Pkey.t -> tid:int -> time:int -> unit
+val release : t -> int -> tid:int -> time:int -> unit
 (** Removes the thread's holding and stamps the release time. *)
 
-val last_release : t -> Kard_mpk.Pkey.t -> (int * holder) option
+val last_release : t -> int -> (int * holder) option
 (** Time and identity of the most recent release, for the fault-delay
     window check of section 5.5. *)
 
-val last_release_by_other : t -> Kard_mpk.Pkey.t -> tid:int -> (int * holder) option
+val last_release_by_other : t -> int -> tid:int -> (int * holder) option
 (** The most recent release of the key by a thread other than [tid]
     (each thread's latest release is remembered separately, so a
     faulter's own releases do not mask the conflicting one). *)
 
-val recently_released : t -> Kard_mpk.Pkey.t -> now:int -> window:int -> bool
+val recently_released : t -> int -> now:int -> window:int -> bool
 
-val unheld_keys : t -> among:Kard_mpk.Pkey.t list -> Kard_mpk.Pkey.t list
+val unheld_keys : t -> among:int list -> int list
 
 val active_sections : t -> int list
 (** Sections on whose behalf some key is currently held. *)

@@ -57,11 +57,11 @@ let check_key_exclusivity t =
       in
       check t
         (List.length writers <= 1)
-        "%a has %d read-write holders" Pkey.pp key (List.length writers);
+        "k%d has %d read-write holders" key (List.length writers);
       check t
         (writers = [] || List.length holders = List.length writers)
-        "%a mixes a read-write holder with readers" Pkey.pp key)
-    Pkey.data_keys
+        "k%d mixes a read-write holder with readers" key)
+    (Detector.assignable_keys t.detector)
 
 (* Sampled consistency between the domain table and the page table. *)
 let max_sampled_objects = 64
@@ -69,9 +69,18 @@ let max_sampled_objects = 64
 let check_domain_tags t =
   let domains = Detector.domains t.detector in
   let page_table = Mpk_hw.page_table t.env.Hooks.hw in
+  (* Softened objects live past the assignable space, under the pool's
+     reserved tag; the detector supplies the expected physical tag per
+     key (slot / evict tag under the vkey cache). *)
+  let keys =
+    if (Detector.config t.detector).Config.software_fallback then
+      Detector.assignable_keys t.detector @ [ Detector.soft_pool_id t.detector ]
+    else Detector.assignable_keys t.detector
+  in
   List.iter
     (fun key ->
       let objs = Domain_state.objects_with_key domains key in
+      let expected = Detector.expected_page_key t.detector ~key in
       List.iteri
         (fun i obj_id ->
           if i < max_sampled_objects then
@@ -80,13 +89,13 @@ let check_domain_tags t =
               check t
                 (Pkey.equal
                    (Kard_mpk.Page_table.pkey_of_addr page_table meta.Kard_alloc.Obj_meta.base)
-                   key)
-                "object #%d is in the read-write domain under %a but its page disagrees" obj_id
-                Pkey.pp key
+                   expected)
+                "object #%d is in the read-write domain under k%d but its page disagrees" obj_id
+                key
             | None ->
               fail t "object #%d has a domain entry but no metadata" obj_id)
         objs)
-    Pkey.data_keys
+    keys
 
 let make ?config ~cell ~vcell env =
   let hooks = Detector.make ?config ~cell env in
@@ -98,6 +107,9 @@ let make ?config ~cell ~vcell env =
   let sharing_possible =
     (Detector.config detector).Config.data_keys < Pkey.data_key_count
     || (Detector.config detector).Config.software_fallback
+    (* Virtual mode shares only at full-pool pinning, but that is
+       run-dependent; keep the check off rather than flag it. *)
+    || (Detector.config detector).Config.vkeys > 0
   in
   { hooks with
     Hooks.on_spawn =

@@ -2,19 +2,28 @@ module D = Kard_core.Divergence
 module Config = Kard_core.Config
 module Pool = Kard_harness.Pool
 
-(* (name, detector config, machine shard count).  The sharded entries
-   make the burst engine a standing fuzz subject: every program they
-   draw also runs the dual-machine shard gate (Harness.run ?shards),
-   so a determinism breach surfaces as the never-expected
-   shard-divergence class and fails the campaign. *)
+(* (name, detector config, machine shard count, generator pressure).
+   The sharded entries make the burst engine a standing fuzz subject:
+   every program they draw also runs the dual-machine shard gate
+   (Harness.run ?shards), so a determinism breach surfaces as the
+   never-expected shard-divergence class and fails the campaign.  The
+   vkey rotation entries pair a virtual pool with the high-pressure
+   generator profile (every program past the 13 physical keys, half
+   far past), keeping the cache's load/evict/stall windows — and
+   their one expected evidence class, vkey-eviction-blame — under the
+   three oracles; the sharded one additionally gates vkey eviction
+   against burst-engine determinism. *)
 let configs =
   let d = Config.default in
-  [ ("default", d, 1);
-    ("keys4", { d with Config.data_keys = 4 }, 1);
-    ("keys4-soft", { d with Config.data_keys = 4; software_fallback = true }, 1);
-    ("by-lock", { d with Config.section_identity = Config.By_lock }, 1);
-    ("default-shards4", d, 4);
-    ("keys4-shards3", { d with Config.data_keys = 4 }, 3) ]
+  [ ("default", d, 1, `Default);
+    ("keys4", { d with Config.data_keys = 4 }, 1, `Default);
+    ("keys4-soft", { d with Config.data_keys = 4; software_fallback = true }, 1, `Default);
+    ("by-lock", { d with Config.section_identity = Config.By_lock }, 1, `Default);
+    ("default-shards4", d, 4, `Default);
+    ("keys4-shards3", { d with Config.data_keys = 4 }, 3, `Default);
+    ("vkeys64", { d with Config.vkeys = 64 }, 1, `Vkey_rotation);
+    ("vkeys64-keys4", { d with Config.data_keys = 4; vkeys = 64 }, 1, `Vkey_rotation);
+    ("vkeys64-shards2", { d with Config.vkeys = 64 }, 2, `Vkey_rotation) ]
 
 type result = {
   programs : int;
@@ -38,9 +47,11 @@ type job_out = {
 
 let run_one ?shards ~seed i =
   let rand = Random.State.make [| seed; i |] in
-  let prog = Prog.generate ~rand in
+  let config_name, config, entry_shards, pressure =
+    List.nth configs (i mod List.length configs)
+  in
+  let prog = Prog.generate ~pressure ~rand () in
   let mseed = Random.State.int rand 1_000_000 in
-  let config_name, config, entry_shards = List.nth configs (i mod List.length configs) in
   let shards = Option.value ~default:entry_shards shards in
   let outcome = Harness.run ~config ~shards ~seed:mseed prog in
   let obj_classes =
@@ -160,7 +171,7 @@ let result_of_state st ~programs =
 let report fmt r =
   Format.fprintf fmt "@[<v 0>fuzz campaign: %d programs, %d divergent@," r.total r.divergent;
   Format.fprintf fmt "configs: %s@,"
-    (String.concat ", " (List.map (fun (n, _, _) -> n) configs));
+    (String.concat ", " (List.map (fun (n, _, _, _) -> n) configs));
   if r.class_counts = [] then Format.fprintf fmt "no divergences@,"
   else
     List.iter

@@ -25,14 +25,20 @@
       unexpectedness), plus the original as
       [unexpected-<index>-full.ml]. *)
 
-val configs : (string * Kard_core.Config.t * int) list
-(** The (name, detector configuration, machine shard count) entries a
-    campaign cycles through: the default; a 4-key detector (forcing
-    grouping, recycling and sharing); a 4-key detector with the
-    software fallback; lock-identity sections; and two {e sharded}
-    entries (4 and 3 shards) whose programs also run the dual-machine
-    shard gate ({!Harness.run}), so burst-engine determinism is fuzzed
-    alongside oracle equivalence. *)
+val configs :
+  (string * Kard_core.Config.t * int * [ `Default | `Vkey_rotation ]) list
+(** The (name, detector configuration, machine shard count, generator
+    pressure) entries a campaign cycles through: the default; a 4-key
+    detector (forcing grouping, recycling and sharing); a 4-key
+    detector with the software fallback; lock-identity sections; two
+    {e sharded} entries (4 and 3 shards) whose programs also run the
+    dual-machine shard gate ({!Harness.run}), so burst-engine
+    determinism is fuzzed alongside oracle equivalence; and three
+    {e vkey rotation} entries — a 64-key virtual pool over the full
+    and the 4-key physical budget, plus a sharded one — drawn with
+    the [`Vkey_rotation] generator profile ({!Prog.generate}) so
+    every program outruns the physical keys and the cache's
+    load/evict/stall windows sit under the oracles. *)
 
 type result = {
   programs : int;       (** Programs run in this invocation. *)

@@ -37,6 +37,7 @@ let classify ~provenance ~kard ~alg1 ~hb ~lockset =
       else if p.Detector.ro_blamed then add D.Ro_fault_blame
       else if p.Detector.proactive_blamed then add D.Proactive_hold_blame
       else if p.Detector.grouped then add D.Grouping_over_report
+      else if p.Detector.vkey_blamed then add D.Vkey_eviction_blame
       else add D.Unexpected
     end;
     if a && not k then begin
@@ -46,6 +47,7 @@ let classify ~provenance ~kard ~alg1 ~hb ~lockset =
       else if p.Detector.grouped then add D.Grouping_under_report
       else if p.Detector.demoted then add D.Demotion_miss
       else if p.Detector.ro_identified then add D.Ro_shadow_miss
+      else if p.Detector.vkey_blamed then add D.Vkey_eviction_blame
       else add D.Unexpected
     end;
     (* Axis 2: key-based detection (Algorithm 1 as the semantic

@@ -92,12 +92,20 @@ let check p =
 
 (* {1 Generation} *)
 
-let generate ~rand =
+let generate ?(pressure = `Default) ~rand () =
   let ri n = Random.State.int rand n in
   let workers = 2 + ri 3 in
   (* Bimodal: half the programs stay under the key budget, half blow
-     through it (13 data keys) to force grouping/recycling/sharing. *)
-  let slots = if ri 2 = 0 then 1 + ri 6 else 14 + ri 7 in
+     through it (13 data keys) to force grouping/recycling/sharing.
+     The vkey-rotation profile shifts both modes up — every program
+     exceeds the physical keys and half go far past them (24..64 live
+     objects), so a virtual pool is forced through load/evict/stall
+     rotation instead of settling into residency. *)
+  let slots =
+    match pressure with
+    | `Default -> if ri 2 = 0 then 1 + ri 6 else 14 + ri 7
+    | `Vkey_rotation -> if ri 2 = 0 then 14 + ri 7 else 24 + ri 41
+  in
   let locks = 1 + ri 4 in
   let slot_size = 64 in
   let gen_access () =

@@ -53,11 +53,16 @@ val check : t -> (unit, string) result
     lock nesting, [Repeat] times >= 1, every phase with one op list
     per worker, no refresh in phase 0. *)
 
-val generate : rand:Random.State.t -> t
+val generate : ?pressure:[ `Default | `Vkey_rotation ] -> rand:Random.State.t -> unit -> t
 (** A random valid program.  Slot counts are bimodal: half the
     programs use a handful of objects, half use more than the 13
     physical data keys so key assignment is forced into grouping,
-    recycling, sharing or soft-key spill. *)
+    recycling, sharing or soft-key spill.  [`Vkey_rotation] shifts
+    both modes above the physical budget (14..20 and 24..64 slots):
+    the campaign pairs it with virtual-pool configs so the vkey
+    cache's load/evict/stall paths — not just key assignment — sit
+    under the oracles.  The default profile's stream is unchanged by
+    the parameter (corpus seeds stay stable). *)
 
 val op_count : t -> int
 (** Total structured ops over all workers and phases (leaves plus

@@ -11,6 +11,7 @@ let throughput_out = "BENCH_pr4.json"
 let parallel_out = "BENCH_pr3.json"
 let serve_out = "BENCH_pr6.json"
 let shard_out = "BENCH_pr7.json"
+let keys_out = "BENCH_pr8.json"
 
 let jobs_env = "KARD_JOBS"
 
@@ -35,3 +36,19 @@ let shards () =
     | Some n when n >= 1 -> n
     | Some _ | None -> 1)
   | None -> 1
+
+let vkeys_env = "KARD_VKEYS"
+
+(* 0 = identity mode (the physical 13 keys, byte-identical to the
+   pre-vkey detector), so the default changes nothing; a positive
+   override turns the whole default-config surface virtual at that
+   pool size. *)
+let vkeys () =
+  match Sys.getenv_opt vkeys_env with
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+    | Some n when n >= 0 -> n
+    | Some _ | None -> 0)
+  | None -> 0
+
+let kard_config () = { Kard_core.Config.default with Kard_core.Config.vkeys = vkeys () }

@@ -47,6 +47,10 @@ val serve_out : string
 val shard_out : string
 (** Tracked output of [kard bench -e shard]: ["BENCH_pr7.json"]. *)
 
+val keys_out : string
+(** Tracked output of [kard bench -e keys] (the key-pressure sweep):
+    ["BENCH_pr8.json"]. *)
+
 val jobs_env : string
 (** Name of the environment variable overriding the worker count:
     ["KARD_JOBS"]. *)
@@ -65,3 +69,18 @@ val shards : unit -> int
     to a positive integer, otherwise [1].  Results are byte-identical
     at any value (DESIGN.md §10), so overriding is always safe; >= 2
     additionally turns on the burst engine where eligible. *)
+
+val vkeys_env : string
+(** Name of the environment variable overriding the virtual-key pool
+    size: ["KARD_VKEYS"]. *)
+
+val vkeys : unit -> int
+(** Virtual-key pool for default-config Kard runs: [$KARD_VKEYS] when
+    set to a non-negative integer, otherwise [0] (identity mode —
+    byte-identical to the pre-vkey detector).  A malformed override is
+    ignored. *)
+
+val kard_config : unit -> Kard_core.Config.t
+(** [Config.default] with {!vkeys} applied — what every "default kard"
+    surface (CLI, bench driver, test harness) should construct, so the
+    whole suite can be swept under virtual keys from the environment. *)

@@ -20,7 +20,7 @@ type t3_row = {
 }
 
 let t3_detectors =
-  [ Runner.Baseline; Runner.Alloc; Runner.Kard Kard_core.Config.default; Runner.Tsan ]
+  [ Runner.Baseline; Runner.Alloc; Runner.Kard (Defaults.kard_config ()); Runner.Tsan ]
 
 let table3_plan ?(threads = Defaults.table_threads) ?(scale = Defaults.scale)
     ?(specs = Registry.all) () =
@@ -224,7 +224,7 @@ let table6_plan ?(scale = Defaults.scale) () =
     List.concat_map
       (fun (name, _, _, _) ->
         let spec = Registry.find name in
-        [ Job.spec ~scale (Runner.Kard Kard_core.Config.default) spec;
+        [ Job.spec ~scale (Runner.Kard (Defaults.kard_config ())) spec;
           Job.spec ~scale Runner.Tsan spec ])
       paper
   in
@@ -280,7 +280,7 @@ let figure5_plan ?(threads_list = [ 8; 16; 32 ]) ?(scale = Defaults.scale)
         List.concat_map
           (fun threads ->
             [ Job.spec ~threads ~scale Runner.Baseline spec;
-              Job.spec ~threads ~scale (Runner.Kard Kard_core.Config.default) spec ])
+              Job.spec ~threads ~scale (Runner.Kard (Defaults.kard_config ())) spec ])
           threads_list)
       specs
   in
@@ -334,7 +334,7 @@ let nginx_sweep_plan ?(sizes = [ 128; 256; 512; 1024 ]) ?(scale = Defaults.scale
       (fun file_kb ->
         let spec = Kard_workloads.Apps.nginx_with_file ~file_kb in
         [ Job.spec ~scale Runner.Baseline spec;
-          Job.spec ~scale (Runner.Kard Kard_core.Config.default) spec ])
+          Job.spec ~scale (Runner.Kard (Defaults.kard_config ())) spec ])
       sizes
   in
   Pool.plan jobs ~merge:(fun results ->
@@ -409,7 +409,7 @@ let memory_plan ?(threads = Defaults.table_threads) ?(scale = Defaults.scale)
     List.concat_map
       (fun spec ->
         [ Job.spec ~threads ~scale Runner.Baseline spec;
-          Job.spec ~threads ~scale (Runner.Kard Kard_core.Config.default) spec ])
+          Job.spec ~threads ~scale (Runner.Kard (Defaults.kard_config ())) spec ])
       specs
   in
   Pool.plan jobs ~merge:(fun results ->
@@ -535,7 +535,7 @@ type tp_row = {
   tp_minor_words_per_step : float;
 }
 
-let tp_detectors = [ Runner.Baseline; Runner.Kard Kard_core.Config.default ]
+let tp_detectors = [ Runner.Baseline; Runner.Kard (Defaults.kard_config ()) ]
 
 let throughput ?(spec = Registry.find "memcached")
     ?(threads_list = [ 1; 2; 4; 8; 16; 32; 64 ]) ?(scale = Defaults.throughput_scale)
@@ -677,7 +677,7 @@ type serve_sweep = {
 
 let serve_detectors =
   [ ("none", Runner.Baseline);
-    ("kard", Runner.Kard Kard_core.Config.default);
+    ("kard", Runner.Kard (Defaults.kard_config ()));
     ("tsan", Runner.Tsan) ]
 
 let default_serve_rates = [ 6.0; 10.0; 14.0; 18.0; 24.0; 32.0 ]
@@ -827,7 +827,7 @@ let shard_workers_for shards =
 let shard_bench ?(spec = Kard_workloads.Contended.convoy) ?(shard_counts = default_shard_counts)
     ?threads ?(scale = 1.0) ?(seed = Defaults.seed) () =
   let threads = Option.value ~default:spec.Spec.default_threads threads in
-  let detector = Runner.Kard Kard_core.Config.default in
+  let detector = Runner.Kard (Defaults.kard_config ()) in
   let run shards = Runner.run ~shards ~threads ~scale ~seed ~detector spec in
   (* The shards=1 row is the timing and identity baseline; force it to
      the front whatever list the caller passed. *)
@@ -877,6 +877,170 @@ let print_shard_bench b =
       (if row.sh_identical then "yes" else "NO") ]
   in
   print_string (Text_table.render ~header (List.map cells b.sh_rows))
+
+(* {1 Key-pressure sweep (BENCH_pr8.json)} *)
+
+type keys_row = {
+  kp_point : string;
+  kp_mode : string;
+  kp_objects : int;
+  kp_sections : int;
+  kp_data_keys : int;
+  kp_vkeys : int;
+  kp_planted : int;
+  kp_detected : int;
+  kp_detected_objects : int;
+  kp_cycles : int;
+  kp_overhead_pct : float;
+  kp_sharing : int;
+  kp_recycling : int;
+  kp_vkey_evictions : int;
+  kp_vkey_loads : int;
+  kp_vkey_retag_pages : int;
+  kp_vkey_stalls : int;
+}
+
+type keys_bench = {
+  kp_threads : int;
+  kp_scale : float;
+  kp_seed : int;
+  kp_rows : keys_row list;
+}
+
+let default_keys_points =
+  [ ("10k", Kard_workloads.Keypressure.default);
+    ("100k", Kard_workloads.Keypressure.profile_100k) ]
+
+let default_keys_data_keys = [ 4; 8; Kard_mpk.Pkey.data_key_count ]
+
+(* Twice the section count: comfortably past the active set, so the
+   pool never forces sharing and the precision measurement isolates
+   association lifetime. *)
+let default_keys_pool sections = 2 * sections
+
+(* Per sweep point: one baseline run (the overhead denominator), then
+   the physical detector and the virtualized detector at each
+   physical-key budget.  Precision = detected wrong-lock plants over
+   planted; the physical rows lose detections to association churn
+   (recycling) and key sharing, the vkey rows keep every association
+   alive (DESIGN.md §11). *)
+let keys_plan ?(points = default_keys_points) ?(data_keys = default_keys_data_keys) ?pool
+    ?threads ?(scale = 1.0) ?(seed = Defaults.seed) ?shards () =
+  let point_jobs (pname, profile) =
+    let p = profile.Kard_workloads.Keypressure.sections in
+    let pool = match pool with Some n -> n | None -> default_keys_pool p in
+    let spec =
+      Kard_workloads.Keypressure.spec ~name:("keys-" ^ pname) ~description:"key-pressure point"
+        profile
+    in
+    let threads = Option.value ~default:spec.Spec.default_threads threads in
+    let configs =
+      List.concat_map
+        (fun dk ->
+          [ (Printf.sprintf "phys-%d" dk, dk, 0); (Printf.sprintf "vkeys-%d" dk, dk, pool) ])
+        data_keys
+    in
+    let jobs =
+      Job.spec ~threads ~scale ~seed ?shards Runner.Baseline spec
+      :: List.map
+           (fun (_, dk, vk) ->
+             let config =
+               { Kard_core.Config.default with Kard_core.Config.data_keys = dk; vkeys = vk }
+             in
+             Job.spec ~threads ~scale ~seed ?shards (Runner.Kard config) spec)
+           configs
+    in
+    (configs, threads, jobs)
+  in
+  let prepared = List.map (fun point -> (point, point_jobs point)) points in
+  let jobs = List.concat_map (fun (_, (_, _, jobs)) -> jobs) prepared in
+  Pool.plan jobs ~merge:(fun results ->
+      let rec split results prepared acc =
+        match prepared with
+        | [] -> List.rev acc
+        | ((pname, profile), (configs, threads, jobs)) :: rest ->
+          let n = List.length jobs in
+          let group = List.filteri (fun i _ -> i < n) results in
+          let remaining = List.filteri (fun i _ -> i >= n) results in
+          let base, kards =
+            match group with
+            | base :: kards -> (base, kards)
+            | [] -> assert false
+          in
+          let base_cycles = base.Runner.report.Machine.cycles in
+          let rows =
+            List.map2
+              (fun (mode, dk, vk) (result : Runner.result) ->
+                let stats = Option.get result.Runner.kard_stats in
+                let races = result.Runner.kard_races in
+                let distinct =
+                  List.sort_uniq compare
+                    (List.map (fun r -> r.Kard_core.Race_record.obj_id) races)
+                in
+                { kp_point = pname;
+                  kp_mode = mode;
+                  kp_objects = Kard_workloads.Keypressure.effective_objects profile ~scale;
+                  kp_sections = profile.Kard_workloads.Keypressure.sections;
+                  kp_data_keys = dk;
+                  kp_vkeys = vk;
+                  kp_planted = Kard_workloads.Keypressure.planted profile ~scale;
+                  kp_detected = List.length races;
+                  kp_detected_objects = List.length distinct;
+                  kp_cycles = result.Runner.report.Machine.cycles;
+                  kp_overhead_pct =
+                    (if base_cycles > 0 then
+                       100.
+                       *. (float_of_int result.Runner.report.Machine.cycles
+                           /. float_of_int base_cycles
+                          -. 1.)
+                     else 0.);
+                  kp_sharing = stats.Kard_core.Detector.sharing_events;
+                  kp_recycling = stats.Kard_core.Detector.recycling_events;
+                  kp_vkey_evictions = stats.Kard_core.Detector.vkey_evictions;
+                  kp_vkey_loads = stats.Kard_core.Detector.vkey_loads;
+                  kp_vkey_retag_pages = stats.Kard_core.Detector.vkey_retag_pages;
+                  kp_vkey_stalls = stats.Kard_core.Detector.vkey_stalls })
+              configs kards
+          in
+          split remaining rest ((threads, rows) :: acc)
+      in
+      let groups = split results prepared [] in
+      let threads =
+        match groups with
+        | (threads, _) :: _ -> threads
+        | [] -> Defaults.table_threads
+      in
+      { kp_threads = threads;
+        kp_scale = scale;
+        kp_seed = seed;
+        kp_rows = List.concat_map snd groups })
+
+let keys ?jobs ?points ?data_keys ?pool ?threads ?scale ?seed ?shards () =
+  Pool.execute ?jobs (keys_plan ?points ?data_keys ?pool ?threads ?scale ?seed ?shards ())
+
+let print_keys_bench b =
+  Printf.printf "key-pressure sweep: %d threads, scale %g, seed %d\n" b.kp_threads b.kp_scale
+    b.kp_seed;
+  let header =
+    [ "point"; "mode"; "objects"; "sections"; "planted"; "detected"; "objs"; "overhead";
+      "sharing"; "recycl"; "evict"; "loads"; "stalls" ]
+  in
+  let cells row =
+    [ row.kp_point;
+      row.kp_mode;
+      Text_table.fmt_int row.kp_objects;
+      string_of_int row.kp_sections;
+      string_of_int row.kp_planted;
+      string_of_int row.kp_detected;
+      string_of_int row.kp_detected_objects;
+      Text_table.fmt_pct row.kp_overhead_pct;
+      string_of_int row.kp_sharing;
+      string_of_int row.kp_recycling;
+      Text_table.fmt_int row.kp_vkey_evictions;
+      Text_table.fmt_int row.kp_vkey_loads;
+      Text_table.fmt_int row.kp_vkey_stalls ]
+  in
+  print_string (Text_table.render ~header (List.map cells b.kp_rows))
 
 (* {1 MPK micro} *)
 

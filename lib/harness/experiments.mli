@@ -345,6 +345,80 @@ val shard_bench :
 
 val print_shard_bench : shard_bench -> unit
 
+(** {1 Key-pressure precision sweep (tracked in BENCH_pr8.json)} *)
+
+type keys_row = {
+  kp_point : string;       (** Sweep point label ("10k", "100k"). *)
+  kp_mode : string;        (** Detector config label ("phys-13", "vkeys-13", ...). *)
+  kp_objects : int;        (** Effective (scaled) object population. *)
+  kp_sections : int;       (** Distinct critical sections of the point. *)
+  kp_data_keys : int;      (** Physical data-key budget of the row. *)
+  kp_vkeys : int;          (** Virtual pool size; 0 = identity mode. *)
+  kp_planted : int;        (** Wrong-lock writes planted by the workload. *)
+  kp_detected : int;       (** Surviving Kard race records. *)
+  kp_detected_objects : int; (** Distinct objects among the records. *)
+  kp_cycles : int;         (** Simulated cycles of the Kard run. *)
+  kp_overhead_pct : float; (** vs the point's shared baseline run. *)
+  kp_sharing : int;
+  kp_recycling : int;
+  kp_vkey_evictions : int;
+  kp_vkey_loads : int;
+  kp_vkey_retag_pages : int;
+  kp_vkey_stalls : int;
+}
+
+type keys_bench = {
+  kp_threads : int;
+  kp_scale : float;
+  kp_seed : int;
+  kp_rows : keys_row list; (** Point-major, config-minor. *)
+}
+
+val default_keys_points : (string * Kard_workloads.Keypressure.profile) list
+(** The 10k- and 100k-object points of the {!Kard_workloads.Keypressure}
+    family (the 1M point is reachable via [?points] but too slow for the
+    tracked bench). *)
+
+val default_keys_data_keys : int list
+(** Physical-key ablation budgets: [[4; 8; 13]]. *)
+
+val default_keys_pool : int -> int
+(** Default virtual pool for a point: twice its section count, i.e.
+    comfortably past the active set so precision isolates association
+    lifetime rather than pool sizing. *)
+
+val keys_plan :
+  ?points:(string * Kard_workloads.Keypressure.profile) list ->
+  ?data_keys:int list ->
+  ?pool:int ->
+  ?threads:int ->
+  ?scale:float ->
+  ?seed:int ->
+  ?shards:int ->
+  unit ->
+  keys_bench Pool.plan
+(** Per point: one baseline job (the overhead denominator) plus, for
+    each physical budget in [data_keys], a physical-detector row and a
+    virtualized row ([vkeys] = pool).  Precision is [kp_detected] over
+    [kp_planted]: the physical rows lose plants to association churn
+    (key recycling demotes the victim object before the wrong-lock
+    write lands), the vkey rows keep every lock association alive for
+    the whole run (DESIGN.md §11). *)
+
+val keys :
+  ?jobs:int ->
+  ?points:(string * Kard_workloads.Keypressure.profile) list ->
+  ?data_keys:int list ->
+  ?pool:int ->
+  ?threads:int ->
+  ?scale:float ->
+  ?seed:int ->
+  ?shards:int ->
+  unit ->
+  keys_bench
+
+val print_keys_bench : keys_bench -> unit
+
 (** {1 MPK microbenchmarks (section 2.2)} *)
 
 val print_micro : unit -> unit

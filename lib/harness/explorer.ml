@@ -54,7 +54,7 @@ let explore_spec_plan ?(seeds = default_seeds) ?(scale = Defaults.explorer_scale
     (spec : Spec_alias.t) =
   sweep_plan
     (List.map (fun seed ->
-         Job.spec ?threads ~scale ~seed (Runner.Kard Kard_core.Config.default) spec))
+         Job.spec ?threads ~scale ~seed (Runner.Kard (Defaults.kard_config ())) spec))
     seeds
 
 let explore_spec ?jobs ?seeds ?scale ?threads spec =

@@ -60,7 +60,17 @@ let of_kard_stats (s : Kard_core.Detector.stats) =
       field "records_redundant" (int_ s.Kard_core.Detector.records_redundant);
       field "records_pruned_spurious" (int_ s.Kard_core.Detector.records_pruned_spurious);
       field "soft_fallbacks" (int_ s.Kard_core.Detector.soft_fallbacks);
-      field "soft_faults" (int_ s.Kard_core.Detector.soft_faults) ]
+      field "soft_faults" (int_ s.Kard_core.Detector.soft_faults);
+      field "vkeys"
+        (obj
+           [ field "pool" (int_ s.Kard_core.Detector.vkey_pool);
+             field "resident" (int_ s.Kard_core.Detector.vkey_resident);
+             field "hits" (int_ s.Kard_core.Detector.vkey_hits);
+             field "misses" (int_ s.Kard_core.Detector.vkey_misses);
+             field "evictions" (int_ s.Kard_core.Detector.vkey_evictions);
+             field "loads" (int_ s.Kard_core.Detector.vkey_loads);
+             field "retag_pages" (int_ s.Kard_core.Detector.vkey_retag_pages);
+             field "stalls" (int_ s.Kard_core.Detector.vkey_stalls) ]) ]
 
 let of_summary (s : Kard_obs.Metrics.summary) =
   obj
@@ -270,6 +280,41 @@ let of_serve_sweep ~threads ~scale ~seed (s : Experiments.serve_sweep) =
            (List.map
               (fun (name, rate) -> field name (float_ rate))
               s.Experiments.ss_goodput)) ]
+
+let of_keys_row (row : Experiments.keys_row) =
+  obj
+    [ field "point" (str row.Experiments.kp_point);
+      field "mode" (str row.Experiments.kp_mode);
+      field "objects" (int_ row.Experiments.kp_objects);
+      field "sections" (int_ row.Experiments.kp_sections);
+      field "data_keys" (int_ row.Experiments.kp_data_keys);
+      field "vkeys" (int_ row.Experiments.kp_vkeys);
+      field "planted" (int_ row.Experiments.kp_planted);
+      field "detected" (int_ row.Experiments.kp_detected);
+      field "detected_objects" (int_ row.Experiments.kp_detected_objects);
+      field "detection_rate"
+        (float_
+           (if row.Experiments.kp_planted > 0 then
+              float_of_int row.Experiments.kp_detected
+              /. float_of_int row.Experiments.kp_planted
+            else 0.));
+      field "sim_cycles" (int_ row.Experiments.kp_cycles);
+      field "overhead_pct" (float_ row.Experiments.kp_overhead_pct);
+      field "sharing" (int_ row.Experiments.kp_sharing);
+      field "recycling" (int_ row.Experiments.kp_recycling);
+      field "vkey_evictions" (int_ row.Experiments.kp_vkey_evictions);
+      field "vkey_loads" (int_ row.Experiments.kp_vkey_loads);
+      field "vkey_retag_pages" (int_ row.Experiments.kp_vkey_retag_pages);
+      field "vkey_stalls" (int_ row.Experiments.kp_vkey_stalls) ]
+
+let of_keys_bench ~build (b : Experiments.keys_bench) =
+  obj
+    [ field "benchmark" (str "keys");
+      field "build" (str build);
+      field "threads" (int_ b.Experiments.kp_threads);
+      field "scale" (float_ b.Experiments.kp_scale);
+      field "seed" (int_ b.Experiments.kp_seed);
+      field "rows" (arr (List.map of_keys_row b.Experiments.kp_rows)) ]
 
 let pretty json =
   let buf = Buffer.create (String.length json * 2) in

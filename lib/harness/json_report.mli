@@ -64,5 +64,12 @@ val of_serve_sweep :
     pure-data snapshots, so the emitted bytes are identical at any
     [--jobs] value. *)
 
+val of_keys_bench : build:string -> Experiments.keys_bench -> string
+(** The tracked key-pressure precision sweep (see BENCH_pr8.json):
+    per (point, detector config) the planted / detected counts and
+    their ratio, the overhead against the point's baseline, and the
+    key-management counters (sharing, recycling, vkey cache traffic).
+    [build] labels the dune profile. *)
+
 val pretty : string -> string
 (** Re-indent a JSON string (objects and arrays, 2 spaces). *)

@@ -16,6 +16,8 @@ type t = {
   unlock : int;
   map_op : int;
   atomic_op : int;
+  vkey_load : int;
+  vkey_retag_page : int;
   rdtscp : int;
   tsan_access : int;
   tsan_sync : int;
@@ -40,6 +42,13 @@ let default =
     unlock = 30;
     map_op = 55;
     atomic_op = 25;
+    (* Virtual-key cache: loading an evicted key into a physical slot
+       walks the table and issues one batched pkey_mprotect over the
+       slot's former and new object sets.  The per-page cost is below
+       [pkey_mprotect_page] because the retag batches contiguous unique
+       pages into few syscalls (libmpk's measured ~2x batching win). *)
+    vkey_load = 1600;
+    vkey_retag_page = 24;
     rdtscp = 30;
     tsan_access = 14;
     tsan_sync = 160;

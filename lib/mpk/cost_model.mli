@@ -25,6 +25,13 @@ type t = {
   unlock : int;
   map_op : int;              (** One section-object / key-section map op. *)
   atomic_op : int;           (** Internal synchronization of the runtime. *)
+  vkey_load : int;           (** Virtual-key cache: load an evicted key
+                                 into a physical slot (table walk plus
+                                 the batched syscall's fixed cost). *)
+  vkey_retag_page : int;     (** Per page retagged during a vkey
+                                 load/evict; below [pkey_mprotect_page]
+                                 because the retag batches ranges into
+                                 few syscalls (libmpk). *)
   rdtscp : int;
   tsan_access : int;         (** TSan shadow-memory work per access. *)
   tsan_sync : int;           (** TSan work per lock/unlock. *)

@@ -126,6 +126,45 @@ let pkey_mprotect t ~base ~len pkey =
     Kard_obs.Trace.observe t.trace "hw.pages_retagged" pages);
   t.cost.Cost_model.pkey_mprotect_base + (pages * t.cost.Cost_model.pkey_mprotect_page)
 
+(* Does any registered thread's PKRU currently grant [pkey]?  The
+   vkey layer's pinning ground truth: a slot some saved context still
+   grants must not be evicted, or that thread would touch the newly
+   resident key's objects unchecked.  O(threads), cold fault path
+   only. *)
+let any_grant t pkey =
+  let n = Array.length t.cores in
+  let rec scan i =
+    if i >= n then false
+    else
+      match t.cores.(i) with
+      | Some core when Pkru.get core.pkru pkey <> Perm.No_access -> true
+      | Some _ | None -> scan (i + 1)
+  in
+  scan 0
+
+(* Batched retag for the virtual-key cache: tag every range with
+   [pkey] as ONE counted syscall (libmpk's eviction batches the
+   per-object ranges into a single kernel crossing), charging the
+   cheaper [vkey_retag_page] per page.  Returns [(pages, cycles)]. *)
+let retag_batch t ranges pkey =
+  let pages =
+    List.fold_left
+      (fun acc (base, len) -> acc + Page_table.set_pkey_range t.page_table ~base ~len pkey)
+      0 ranges
+  in
+  if pages > 0 then begin
+    t.pkey_mprotect_calls <- t.pkey_mprotect_calls + 1;
+    t.pages_retagged <- t.pages_retagged + pages;
+    match t.trace with
+    | None -> ()
+    | Some tr ->
+      Kard_obs.Trace.emit tr ~tid:(-1)
+        (Kard_obs.Event.Pkey_mprotect { base = fst (List.hd ranges); pages; pkey = Pkey.to_int pkey });
+      Kard_obs.Trace.incr t.trace "hw.pkey_mprotect";
+      Kard_obs.Trace.observe t.trace "hw.pages_retagged" pages
+  end;
+  (pages, pages * t.cost.Cost_model.vkey_retag_page)
+
 let try_access t ~tid ~addr ~access ~ip ~time =
   let core = core_of t tid in
   let vpage = Page.vpage_of_addr addr in

@@ -68,6 +68,20 @@ val set_pkru_in_context : t -> tid:int -> Pkru.t -> unit
 val pkey_mprotect : t -> base:Page.addr -> len:int -> Pkey.t -> int
 (** Tag a range of pages with a key; returns cycles consumed. *)
 
+val retag_batch : t -> (Page.addr * int) list -> Pkey.t -> int * int
+(** Batched retag for the virtual-key cache: tag every [(base, len)]
+    range with the key as {e one} counted syscall (libmpk batches the
+    per-object ranges of an evicted/loaded key into a single kernel
+    crossing), at the cheaper {!Cost_model.t.vkey_retag_page} per page.
+    Returns [(pages_retagged, cycles)]; an empty batch counts and
+    costs nothing. *)
+
+val any_grant : t -> Pkey.t -> bool
+(** Does any registered thread's PKRU grant the key (read or write)?
+    The vkey layer's pinning ground truth — a physical slot some saved
+    context still grants must not be evicted.  O(threads); cold fault
+    path only. *)
+
 (** {1 Access checking} *)
 
 val try_access :

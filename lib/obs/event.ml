@@ -22,6 +22,7 @@ type kind =
   | Key_assign of { key : int; obj_id : int; assign : assign_kind }
   | Key_demote of { obj_id : int; to_ro : bool }
   | Key_migrate of { obj_id : int; from_key : int; to_key : int }
+  | Vkey_load of { vkey : int; slot : int; evicted : int; pages : int }
   | Pkey_occupancy of { live : int }
   | Alloc of { obj_id : int; size : int; alloc : alloc_kind }
   | Free of { obj_id : int }
@@ -38,7 +39,7 @@ let category = function
   | Lock_acquire _ | Lock_release _ -> "lock"
   | Fault_raised _ | Fault_resolved _ -> "fault"
   | Wrpkru | Rdpkru | Pkey_mprotect _ | Pkey_occupancy _ -> "pkey"
-  | Key_assign _ | Key_demote _ | Key_migrate _ -> "key"
+  | Key_assign _ | Key_demote _ | Key_migrate _ | Vkey_load _ -> "key"
   | Alloc _ | Free _ -> "alloc"
   | Race _ -> "race"
   | Step _ -> "step"
@@ -54,6 +55,7 @@ let name = function
   | Key_assign _ -> "key-assign"
   | Key_demote _ -> "key-demote"
   | Key_migrate _ -> "key-migrate"
+  | Vkey_load _ -> "vkey-load"
   | Pkey_occupancy _ -> "live-pkeys"
   | Alloc _ -> "alloc"
   | Free _ -> "free"
@@ -96,6 +98,9 @@ let args = function
     [ ("obj", Int obj_id); ("to", Str (if to_ro then "read-only" else "not-accessed")) ]
   | Key_migrate { obj_id; from_key; to_key } ->
     [ ("obj", Int obj_id); ("from", Int from_key); ("to", Int to_key) ]
+  | Vkey_load { vkey; slot; evicted; pages } ->
+    [ ("vkey", Int vkey); ("slot", Int slot); ("evicted", Int evicted);
+      ("pages", Int pages) ]
   | Pkey_occupancy { live } -> [ ("live", Int live) ]
   | Alloc { obj_id; size; alloc } ->
     [ ("obj", Int obj_id); ("size", Int size); ("kind", Str (alloc_str alloc)) ]

@@ -32,6 +32,10 @@ type kind =
   | Key_demote of { obj_id : int; to_ro : bool }
       (** Domain demotion: to Read-only when [to_ro], else Not-accessed. *)
   | Key_migrate of { obj_id : int; from_key : int; to_key : int }
+  | Vkey_load of { vkey : int; slot : int; evicted : int; pages : int }
+      (** The virtual-key cache loaded [vkey] into physical slot
+          [slot], evicting resident key [evicted] ([-1] if the slot
+          was free) and retagging [pages] pages in one batch. *)
   | Pkey_occupancy of { live : int }
       (** Data keys currently held, sampled on every change. *)
   | Alloc of { obj_id : int; size : int; alloc : alloc_kind }

@@ -1,0 +1,61 @@
+(** The key-pressure workload family: tens of thousands to a million
+    lock-protected objects spread over far more critical sections than
+    there are physical protection keys, with a rotating hot window and
+    deterministically planted wrong-lock (ILU) races.
+
+    The family exists to measure detection {e precision} as a function
+    of object count and key-space size: under the physical 13-key
+    detector, key recycling destroys a victim object's lock
+    association within ~13 section entries, so most planted races are
+    silently re-identified; a virtual pool at least as large as
+    [sections] keeps every association alive (DESIGN.md §11). *)
+
+type profile = {
+  objects : int;             (** Lock-protected heap objects. *)
+  object_size : int;
+  sections : int;            (** Distinct critical sections — the key
+                                 pressure.  Object [j] is owned by
+                                 section [j mod sections]. *)
+  stripes : int;             (** Lock stripes; section [s] locks stripe
+                                 [s mod stripes].  Must be >= 2 so a
+                                 plant can pick a victim on a different
+                                 stripe. *)
+  entries : int;             (** Section entries, all threads. *)
+  writes_per_entry : int;
+  hot_window : int;          (** Objects per section touched per epoch. *)
+  rotate_every : int;        (** Entries per hot-window epoch. *)
+  plant_every : int;         (** One wrong-lock write every N entries;
+                                 [0] disables planting (race free). *)
+  cs_compute : int;
+  compute : int;
+  min_entries : int;         (** Scaling floor ({!Builder.scale_factor}). *)
+}
+
+val default : profile
+(** The 10k-object point (96 sections, 16 stripes). *)
+
+val profile_100k : profile
+val profile_1m : profile
+
+val build : profile -> threads:int -> scale:float -> seed:int -> Kard_sched.Machine.t -> unit
+
+val effective_entries : profile -> scale:float -> int
+
+val effective_objects : profile -> scale:float -> int
+(** Objects a run at this scale allocates: scaled like a mass
+    population but never below [sections]. *)
+
+val planted : profile -> scale:float -> int
+(** How many wrong-lock writes a run at this scale executes — the
+    denominator of the precision measurement. *)
+
+val spec : name:string -> description:string -> profile -> Spec.t
+(** Wrap a profile as a registry workload (category real-world,
+    4 threads by default). *)
+
+val keys_10k : Spec.t
+val keys_100k : Spec.t
+val keys_1m : Spec.t
+
+val all : Spec.t list
+(** [keys-10k], [keys-100k], [keys-1m]. *)

@@ -4,7 +4,8 @@ let all = benchmarks @ real_world
 let lock_free = Lockfree.all
 let serving = Openloop.all
 let contention = Contended.all
-let extended = all @ lock_free @ serving @ contention
+let key_pressure = Keypressure.all
+let extended = all @ lock_free @ serving @ contention @ key_pressure
 
 let find name =
   match List.find_opt (fun spec -> String.equal spec.Spec.name name) extended with

@@ -18,8 +18,13 @@ val serving : Spec.t list
 val contention : Spec.t list
 (** The lock-convoy stress model ({!Contended.all}). *)
 
+val key_pressure : Spec.t list
+(** The high-object-count virtual-key pressure family
+    ({!Keypressure.all}). *)
+
 val extended : Spec.t list
-(** [all] plus [lock_free] plus [serving] plus [contention]. *)
+(** [all] plus [lock_free] plus [serving] plus [contention] plus
+    [key_pressure]. *)
 
 val find : string -> Spec.t
 (** Searches [extended]. @raise Not_found for unknown names. *)

@@ -37,7 +37,7 @@ let assert_identical name (compiled : Runner.result) (oracle : Runner.result) =
     oracle.Runner.report.Machine.steps;
   check_string (name ^ ": json") (Json_report.of_result compiled) (Json_report.of_result oracle)
 
-let detectors = [ Runner.Baseline; Runner.Kard Kard_core.Config.default ]
+let detectors = [ Runner.Baseline; Runner.Kard (Kard_harness.Defaults.kard_config ()) ]
 
 let test_workloads_oracle () =
   List.iter
@@ -58,7 +58,7 @@ let test_workloads_oracle_reseeded () =
   List.iter
     (fun seed ->
       let run interp =
-        Runner.run ~interp ~scale:0.005 ~seed ~detector:(Runner.Kard Kard_core.Config.default)
+        Runner.run ~interp ~scale:0.005 ~seed ~detector:(Runner.Kard (Kard_harness.Defaults.kard_config ()))
           spec
       in
       assert_identical (Printf.sprintf "memcached seed=%d" seed) (run `Compiled) (run `Thunks))
@@ -145,7 +145,7 @@ let test_dynamic_program_oracle () =
    wobble while still catching any per-step box sneaking back in. *)
 let test_allocation_budget () =
   let spec = Registry.find "memcached" in
-  let detector = Runner.Kard Kard_core.Config.default in
+  let detector = Runner.Kard (Kard_harness.Defaults.kard_config ()) in
   (* Warm once so module initialization doesn't bill the budget. *)
   ignore (Runner.run ~threads:8 ~scale:0.01 ~seed:42 ~detector spec : Runner.result);
   let before = Gc.quick_stat () in

@@ -27,7 +27,7 @@ let test_domain_default_and_migration () =
 
 let test_domain_key_index () =
   let d = Domain_state.create () in
-  let k1 = Pkey.of_int 1 in
+  let k1 = 1 in
   Domain_state.set d ~obj_id:1 (Domain_state.Read_write k1);
   Domain_state.set d ~obj_id:2 (Domain_state.Read_write k1);
   check_int "two objects on k1" 2 (List.length (Domain_state.objects_with_key d k1));
@@ -39,7 +39,7 @@ let test_domain_key_index () =
 let test_domain_counts () =
   let d = Domain_state.create () in
   Domain_state.set d ~obj_id:1 Domain_state.Read_only;
-  Domain_state.set d ~obj_id:2 (Domain_state.Read_write (Pkey.of_int 3));
+  Domain_state.set d ~obj_id:2 (Domain_state.Read_write 3);
   (* Setting a fresh object to Not-accessed is a no-op: that is
      already its implicit domain. *)
   Domain_state.set d ~obj_id:3 Domain_state.Not_accessed;
@@ -90,7 +90,7 @@ let holder ?(perm = Perm.Read_write) ?(section = 10) ?(lock = 1) ?(proactive = f
 
 let test_ksmap_exclusive_write () =
   let m = Ksmap.create () in
-  let k = Pkey.of_int 1 in
+  let k = 1 in
   Ksmap.acquire m k (holder 0);
   check "second rw denied" false (Ksmap.can_acquire m k ~tid:1 Perm.Read_write);
   check "ro denied under rw" false (Ksmap.can_acquire m k ~tid:1 Perm.Read_only);
@@ -102,7 +102,7 @@ let test_ksmap_exclusive_write () =
 
 let test_ksmap_shared_read () =
   let m = Ksmap.create () in
-  let k = Pkey.of_int 2 in
+  let k = 2 in
   Ksmap.acquire m k (holder ~perm:Perm.Read_only 0);
   check "second reader allowed" true (Ksmap.can_acquire m k ~tid:1 Perm.Read_only);
   Ksmap.acquire m k (holder ~perm:Perm.Read_only ~section:20 1);
@@ -112,7 +112,7 @@ let test_ksmap_shared_read () =
 
 let test_ksmap_release_and_timestamp () =
   let m = Ksmap.create () in
-  let k = Pkey.of_int 3 in
+  let k = 3 in
   Ksmap.acquire m k (holder 0);
   Ksmap.release m k ~tid:0 ~time:1000;
   check "released" true (Ksmap.holders m k = []);
@@ -124,7 +124,7 @@ let test_ksmap_release_and_timestamp () =
 
 let test_ksmap_upgrade () =
   let m = Ksmap.create () in
-  let k = Pkey.of_int 4 in
+  let k = 4 in
   Ksmap.acquire m k (holder ~perm:Perm.Read_only 0);
   Ksmap.acquire m k (holder ~perm:Perm.Read_write 0);
   (match Ksmap.write_holder m k with
@@ -134,7 +134,7 @@ let test_ksmap_upgrade () =
 
 let test_ksmap_force_acquire () =
   let m = Ksmap.create () in
-  let k = Pkey.of_int 5 in
+  let k = 5 in
   Ksmap.acquire m k (holder 0);
   check "normal acquire raises" true
     (try
@@ -146,11 +146,11 @@ let test_ksmap_force_acquire () =
 
 let test_ksmap_sections () =
   let m = Ksmap.create () in
-  Ksmap.acquire m (Pkey.of_int 1) (holder ~section:10 0);
-  Ksmap.acquire m (Pkey.of_int 2) (holder ~section:20 1);
+  Ksmap.acquire m 1 (holder ~section:10 0);
+  Ksmap.acquire m 2 (holder ~section:20 1);
   check "section 10 active" true (Ksmap.is_section_active m ~section:10);
   check_int "two active" 2 (List.length (Ksmap.active_sections m));
-  Ksmap.release m (Pkey.of_int 1) ~tid:0 ~time:0;
+  Ksmap.release m 1 ~tid:0 ~time:0;
   check "section 10 inactive" false (Ksmap.is_section_active m ~section:10)
 
 (* {1 Key_assign: the three rules of section 5.4} *)
@@ -161,9 +161,9 @@ let assign_env () =
 
 let test_assign_reuse_rule () =
   let ka, ksmap, domains, somap = assign_env () in
-  Ksmap.acquire ksmap (Pkey.of_int 5) (holder 0);
+  Ksmap.acquire ksmap 5 (holder 0);
   (match Key_assign.choose ka ~ksmap ~domains ~somap ~tid:0 ~section:10 with
-  | Key_assign.Reuse k -> check_int "reuses held key" 5 (Pkey.to_int k)
+  | Key_assign.Reuse k -> check_int "reuses held key" 5 k
   | _ -> Alcotest.fail "expected Reuse")
 
 let test_assign_fresh_rule () =
@@ -183,7 +183,7 @@ let test_assign_recycle_rule () =
     (Key_assign.available_keys ka);
   (match Key_assign.choose ka ~ksmap ~domains ~somap ~tid:0 ~section:10 with
   | Key_assign.Recycle (k, objs) ->
-    check_int "cheapest key" 5 (Pkey.to_int k);
+    check_int "cheapest key" 5 k;
     check_int "its objects listed" 1 (List.length objs)
   | _ -> Alcotest.fail "expected Recycle")
 
@@ -283,6 +283,83 @@ let test_soft_outside_section () =
     (Soft_keys.access s ~obj_id:1 ~tid:1 ~section:(Some 20) ~lock:(Some 2) ~access:`Write
     = Soft_keys.Soft_ok)
 
+(* {1 Key_assign saturation: the full-table decisions} *)
+
+(* Put every data key under protection (one object each, recorded in
+   the somap under its holder's section) and, unless [skip] says
+   otherwise, under a live holder too. *)
+let saturate ?(skip = fun _ -> false) ka ksmap domains somap =
+  List.iteri
+    (fun i key ->
+      Domain_state.set domains ~obj_id:(100 + i) (Domain_state.Read_write key);
+      Somap.record somap ~section:(20 + i) ~obj_id:(100 + i) Somap.Needs_write;
+      if not (skip i) then Ksmap.acquire ksmap key (holder ~section:(20 + i) ~lock:i i))
+    (Key_assign.available_keys ka)
+
+let test_assign_saturation_share () =
+  let ka, ksmap, domains, somap = assign_env () in
+  saturate ka ksmap domains somap;
+  Somap.record somap ~section:10 ~obj_id:500 Somap.Needs_write;
+  match Key_assign.choose ka ~ksmap ~domains ~somap ~tid:50 ~section:10 with
+  | Key_assign.Share k ->
+    check "shared key is a data key" true (List.mem k (Key_assign.available_keys ka));
+    check "shared key is genuinely held" true (Ksmap.holders ksmap k <> [])
+  | d ->
+    Alcotest.failf "expected Share at full saturation, got %s"
+      (Format.asprintf "%a" Key_assign.pp_decision d)
+
+let test_assign_saturation_recycle () =
+  (* One holder short of saturation: the single unheld key must be
+     recycled — sharing is strictly a last resort. *)
+  let ka, ksmap, domains, somap = assign_env () in
+  let spare_idx = 7 in
+  saturate ~skip:(fun i -> i = spare_idx) ka ksmap domains somap;
+  let spare = List.nth (Key_assign.available_keys ka) spare_idx in
+  Domain_state.set domains ~obj_id:300 (Domain_state.Read_write spare);
+  match Key_assign.choose ka ~ksmap ~domains ~somap ~tid:50 ~section:10 with
+  | Key_assign.Recycle (k, objs) ->
+    check_int "the single unheld key" spare k;
+    check "every protected object demoted" true
+      (List.sort compare objs
+      = List.sort compare (Domain_state.objects_with_key domains spare))
+  | d ->
+    Alcotest.failf "expected Recycle of the unheld key, got %s"
+      (Format.asprintf "%a" Key_assign.pp_decision d)
+
+let test_assign_saturation_soft_spill () =
+  (* The section 8 fallback at the sharing moment: [choose] still says
+     Share, but with [software_fallback] on the detector pools the
+     object instead of force-acquiring — conflicts on it are caught in
+     the pool while the saturated key table is left untouched. *)
+  let config = { Config.default with Config.software_fallback = true } in
+  let ka = Key_assign.create config in
+  let ksmap = Ksmap.create () in
+  let domains = Domain_state.create () in
+  let somap = Somap.create () in
+  saturate ka ksmap domains somap;
+  (match Key_assign.choose ka ~ksmap ~domains ~somap ~tid:50 ~section:10 with
+  | Key_assign.Share _ -> ()
+  | d ->
+    Alcotest.failf "expected Share at full saturation, got %s"
+      (Format.asprintf "%a" Key_assign.pp_decision d));
+  let soft = Soft_keys.create () in
+  Soft_keys.add_object soft ~obj_id:500;
+  check "spilled object pooled" true (Soft_keys.mem soft ~obj_id:500);
+  check "spill claims no data key" true
+    (List.for_all
+       (fun k -> not (List.mem 500 (Domain_state.objects_with_key domains k)))
+       (Key_assign.available_keys ka));
+  check "spiller's write claims in the pool" true
+    (Soft_keys.access soft ~obj_id:500 ~tid:50 ~section:(Some 10) ~lock:(Some 9) ~access:`Write
+    = Soft_keys.Soft_ok);
+  (match
+     Soft_keys.access soft ~obj_id:500 ~tid:3 ~section:(Some 23) ~lock:(Some 3) ~access:`Write
+   with
+  | Soft_keys.Soft_conflict [ h ] -> check_int "conflict blames the pool holder" 50 h.Ksmap.tid
+  | _ -> Alcotest.fail "expected a soft conflict on the spilled object");
+  check "key table still fully held after the spill" true
+    (List.for_all (fun k -> Ksmap.holders ksmap k <> []) (Key_assign.available_keys ka))
+
 (* {1 Key assignment properties} *)
 
 let assign_state_gen =
@@ -361,7 +438,13 @@ let () =
           Alcotest.test_case "rule 3a: recycle" `Quick test_assign_recycle_rule;
           Alcotest.test_case "rule 3b: share" `Quick test_assign_share_rule;
           Alcotest.test_case "key budget" `Quick test_assign_key_budget;
-          Alcotest.test_case "stats" `Quick test_assign_stats ] );
+          Alcotest.test_case "stats" `Quick test_assign_stats;
+          Alcotest.test_case "saturation: recycle the one unheld key" `Quick
+            test_assign_saturation_recycle;
+          Alcotest.test_case "saturation: share when all keys held" `Quick
+            test_assign_saturation_share;
+          Alcotest.test_case "saturation: soft pool takes the spill" `Quick
+            test_assign_saturation_soft_spill ] );
       ("key_assign properties", [ QCheck_alcotest.to_alcotest assign_decision_prop ]);
       ( "soft_keys",
         [ Alcotest.test_case "pool membership" `Quick test_soft_pool_membership;

@@ -190,7 +190,7 @@ let run_wide ~base ~configs n =
     (fun ci config ->
       for i = 0 to n - 1 do
         let rand = Random.State.make [| base + ci; i |] in
-        let prog = Kard_fuzz.Prog.generate ~rand in
+        let prog = Kard_fuzz.Prog.generate ~rand () in
         let mseed = Random.State.int rand 1_000_000 in
         let o = Kard_fuzz.Harness.run ~config ~seed:mseed prog in
         if o.Kard_fuzz.Harness.unexpected then

@@ -18,7 +18,7 @@ let check_int = Alcotest.(check int)
 let test_generator_valid () =
   for i = 0 to 199 do
     let rand = Random.State.make [| 977; i |] in
-    let prog = Prog.generate ~rand in
+    let prog = Prog.generate ~rand () in
     match Prog.check prog with
     | Ok () -> ()
     | Error e -> Alcotest.failf "generated program %d invalid: %s" i e
@@ -30,7 +30,7 @@ let test_generator_covers_key_pressure () =
   let small = ref 0 and big = ref 0 in
   for i = 0 to 99 do
     let rand = Random.State.make [| 978; i |] in
-    let prog = Prog.generate ~rand in
+    let prog = Prog.generate ~rand () in
     if prog.Prog.slots > 13 then incr big else incr small
   done;
   check "some small programs" true (!small > 10);
@@ -200,7 +200,7 @@ let test_proactive_nested_release_classifies () =
 let test_harness_no_unexpected () =
   for i = 0 to 39 do
     let rand = Random.State.make [| 42; i |] in
-    let prog = Prog.generate ~rand in
+    let prog = Prog.generate ~rand () in
     let mseed = Random.State.int rand 1_000_000 in
     let o = Harness.run ~seed:mseed prog in
     if o.Harness.unexpected then
@@ -292,7 +292,7 @@ let test_shrinker_minimizes_injected_bug () =
      injected-bug divergence survives minimization down to a two-line
      repro. *)
   let rand = Random.State.make [| 42; 4 |] in
-  let prog = Prog.generate ~rand in
+  let prog = Prog.generate ~rand () in
   let mseed = Random.State.int rand 1_000_000 in
   let oracle = injected_oracle ~mseed in
   check "seed program triggers the injected bug" true (oracle prog);

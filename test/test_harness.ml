@@ -124,13 +124,13 @@ let test_table_formats () =
 
 let test_runner_detector_names () =
   check "baseline" true (Runner.detector_name Runner.Baseline = "baseline");
-  check "kard" true (Runner.detector_name (Runner.Kard Kard_core.Config.default) = "kard");
+  check "kard" true (Runner.detector_name (Runner.Kard (Kard_harness.Defaults.kard_config ())) = "kard");
   check "tsan" true (Runner.detector_name Runner.Tsan = "tsan")
 
 let test_runner_overhead_math () =
   let spec = Registry.find "aget" in
   let base = Runner.run ~scale:0.002 ~detector:Runner.Baseline spec in
-  let kard = Runner.run ~scale:0.002 ~detector:(Runner.Kard Kard_core.Config.default) spec in
+  let kard = Runner.run ~scale:0.002 ~detector:(Runner.Kard (Kard_harness.Defaults.kard_config ())) spec in
   let pct = Runner.overhead_pct ~baseline:base kard in
   check "kard costs something" true (pct > 0.);
   check "self overhead is zero" true (abs_float (Runner.overhead_pct ~baseline:base base) < 1e-9)
@@ -288,7 +288,7 @@ let test_json_race () =
   check "holder section" true (contains json "\"section\":9")
 
 let test_json_result () =
-  let r = Runner.run ~scale:0.002 ~detector:(Runner.Kard Kard_core.Config.default)
+  let r = Runner.run ~scale:0.002 ~detector:(Runner.Kard (Kard_harness.Defaults.kard_config ()))
       (Registry.find "aget")
   in
   let json = Json.of_result r in
@@ -314,7 +314,7 @@ let test_json_metrics () =
 let test_json_traced_result () =
   let tr = Kard_obs.Trace.create () in
   let r =
-    Runner.run ~trace:tr ~scale:0.002 ~detector:(Runner.Kard Kard_core.Config.default)
+    Runner.run ~trace:tr ~scale:0.002 ~detector:(Runner.Kard (Kard_harness.Defaults.kard_config ()))
       (Registry.find "aget")
   in
   let json = Json.of_result r in
@@ -322,7 +322,7 @@ let test_json_traced_result () =
   check "category counts" true (contains json "\"categories\":{");
   check "metrics registry" true (contains json "\"metrics\":{");
   let untraced =
-    Runner.run ~scale:0.002 ~detector:(Runner.Kard Kard_core.Config.default)
+    Runner.run ~scale:0.002 ~detector:(Runner.Kard (Kard_harness.Defaults.kard_config ()))
       (Registry.find "aget")
   in
   check "untraced run embeds neither" false (contains (Json.of_result untraced) "\"metrics\":{")

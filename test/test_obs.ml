@@ -207,7 +207,7 @@ let test_snapshot_of_metrics () =
 let traced_run () =
   let tr = Trace.create () in
   let r =
-    Runner.run ~trace:tr ~scale:0.002 ~seed:42 ~detector:(Runner.Kard Kard_core.Config.default)
+    Runner.run ~trace:tr ~scale:0.002 ~seed:42 ~detector:(Runner.Kard (Kard_harness.Defaults.kard_config ()))
       (Registry.find "memcached")
   in
   (tr, r)
@@ -298,7 +298,7 @@ let test_chrome_export_empty () =
 
 let test_tracing_costs_no_cycles () =
   let spec = Registry.find "aget" in
-  let detector = Runner.Kard Kard_core.Config.default in
+  let detector = Runner.Kard (Kard_harness.Defaults.kard_config ()) in
   let plain = Runner.run ~scale:0.002 ~seed:7 ~detector spec in
   let traced = Runner.run ~trace:(Trace.create ()) ~scale:0.002 ~seed:7 ~detector spec in
   let p = plain.Runner.report and t = traced.Runner.report in

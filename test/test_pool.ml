@@ -111,7 +111,7 @@ let test_crash_smallest_index () =
    reports: any cross-run shared mutable state would show up here as a
    divergence (or a crash). *)
 let test_concurrent_identical_jobs () =
-  let job = Job.spec ~scale ~seed:7 (Runner.Kard Kard_core.Config.default) (Registry.find "aget") in
+  let job = Job.spec ~scale ~seed:7 (Runner.Kard (Defaults.kard_config ())) (Registry.find "aget") in
   match Pool.run_jobs ~jobs:2 [ job; job ] with
   | [ a; b ] ->
     check "identical reports" true (a = b);
@@ -129,7 +129,7 @@ let test_run_jobs_oracle () =
     List.concat_map
       (fun seed ->
         [ Job.spec ~scale ~seed Runner.Baseline spec;
-          Job.spec ~scale ~seed (Runner.Kard Kard_core.Config.default) spec ])
+          Job.spec ~scale ~seed (Runner.Kard (Defaults.kard_config ())) spec ])
       [ 1; 2; 3 ]
   in
   let serial = Pool.run_jobs ~jobs:1 jobs in
@@ -168,7 +168,7 @@ let test_json_byte_identical () =
   let spec = Registry.find "aget" in
   let jobs =
     List.map
-      (fun seed -> Job.spec ~scale ~seed (Runner.Kard Kard_core.Config.default) spec)
+      (fun seed -> Job.spec ~scale ~seed (Runner.Kard (Defaults.kard_config ())) spec)
       [ 1; 2; 3; 4 ]
   in
   let render results =
@@ -188,7 +188,7 @@ let test_trace_oracle () =
       (fun seed ->
         Job.spec ~scale ~seed
           ~trace:(Job.trace_request ~capacity:4096 ())
-          (Runner.Kard Kard_core.Config.default) spec)
+          (Runner.Kard (Defaults.kard_config ())) spec)
       [ 1; 2 ]
   in
   let export results =
@@ -204,7 +204,7 @@ let test_trace_oracle () =
 (* {1 Job construction & defaults} *)
 
 let test_job_defaults () =
-  let job = Job.spec (Runner.Kard Kard_core.Config.default) (Registry.find "aget") in
+  let job = Job.spec (Runner.Kard (Defaults.kard_config ())) (Registry.find "aget") in
   let r = Job.run job in
   check "default scale" true (r.Runner.scale = Defaults.scale);
   check_int "default seed" Defaults.seed r.Runner.seed;

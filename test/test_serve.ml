@@ -98,7 +98,7 @@ let test_goodput () =
 
 let sweep ~jobs =
   Experiments.serve ~jobs
-    ~detectors:[ ("none", Runner.Baseline); ("kard", Runner.Kard Kard_core.Config.default) ]
+    ~detectors:[ ("none", Runner.Baseline); ("kard", Runner.Kard (Kard_harness.Defaults.kard_config ())) ]
     ~rates:[ 10.0; 28.0 ] ~scale:0.01 ~seed:42 ()
 
 let test_sweep_jobs_identical () =

@@ -239,7 +239,7 @@ let test_convoy_trace_identity () =
     let trace = Kard_obs.Trace.create () in
     let r =
       Runner.run ~trace ~shards ~threads:convoy_threads ~scale:convoy_scale
-        ~detector:(Runner.Kard Kard_core.Config.default) Contended.convoy
+        ~detector:(Runner.Kard (Kard_harness.Defaults.kard_config ())) Contended.convoy
     in
     (r, Kard_obs.Chrome_trace.to_json ~t:(Option.get r.Runner.trace))
   in
@@ -253,7 +253,7 @@ let test_convoy_trace_identity () =
 let test_serve_point_identity () =
   let sweep shards =
     Experiments.serve ~jobs:1
-      ~detectors:[ ("kard", Runner.Kard Kard_core.Config.default) ]
+      ~detectors:[ ("kard", Runner.Kard (Kard_harness.Defaults.kard_config ())) ]
       ~rates:[ 10.0 ] ~threads:4 ~scale:0.01 ~shards ()
   in
   let s1 = sweep 1 and s2 = sweep 2 in

@@ -39,13 +39,13 @@ let completion_case (spec : Spec.t) =
         (fun detector ->
           let r = Runner.run ~scale:tiny_scale ~detector spec in
           check "made progress" true (r.Runner.report.Machine.cycles > 0))
-        [ Runner.Baseline; Runner.Alloc; Runner.Kard Kard_core.Config.default; Runner.Tsan ])
+        [ Runner.Baseline; Runner.Alloc; Runner.Kard (Kard_harness.Defaults.kard_config ()); Runner.Tsan ])
 
 (* {1 Benchmarks are race-free under Kard} *)
 
 let race_free_case (spec : Spec.t) =
   Alcotest.test_case spec.Spec.name `Slow (fun () ->
-      let r = Runner.run ~scale:tiny_scale ~detector:(Runner.Kard Kard_core.Config.default) spec in
+      let r = Runner.run ~scale:tiny_scale ~detector:(Runner.Kard (Kard_harness.Defaults.kard_config ())) spec in
       check_int "no ILU records" 0 (List.length r.Runner.kard_ilu_races))
 
 (* {1 Structural statistics match the paper's columns} *)
@@ -85,7 +85,7 @@ let distinct_objs races =
 let app_race_case name expected =
   Alcotest.test_case name `Slow (fun () ->
       let spec = Registry.find name in
-      let r = Runner.run ~scale:0.01 ~detector:(Runner.Kard Kard_core.Config.default) spec in
+      let r = Runner.run ~scale:0.01 ~detector:(Runner.Kard (Kard_harness.Defaults.kard_config ())) spec in
       check_int "racy objects" expected (distinct_objs r.Runner.kard_races))
 
 let test_pigz_fp_is_not_seen_by_tsan () =
@@ -95,7 +95,7 @@ let test_pigz_fp_is_not_seen_by_tsan () =
 
 let test_aget_race_is_the_counter () =
   let spec = Registry.find "aget" in
-  let r = Runner.run ~scale:0.01 ~detector:(Runner.Kard Kard_core.Config.default) spec in
+  let r = Runner.run ~scale:0.01 ~detector:(Runner.Kard (Kard_harness.Defaults.kard_config ())) spec in
   match r.Runner.kard_ilu_races with
   | race :: _ ->
     check "faulting side is the lock-free reader" true
@@ -127,7 +127,7 @@ let test_synth_effective_entries () =
 
 let lockfree_case (spec : Spec.t) =
   Alcotest.test_case spec.Spec.name `Slow (fun () ->
-      let kard = Runner.run ~scale:tiny_scale ~detector:(Runner.Kard Kard_core.Config.default) spec in
+      let kard = Runner.run ~scale:tiny_scale ~detector:(Runner.Kard (Kard_harness.Defaults.kard_config ())) spec in
       check_int "no critical sections" 0 kard.Runner.report.Machine.cs_entries;
       check_int "no faults" 0 kard.Runner.report.Machine.faults;
       check_int "no races" 0 (List.length kard.Runner.kard_races);
