@@ -10,8 +10,8 @@
 
    Experiment ids: micro, bechamel, figure2, table1 (= table4 =
    scenarios), table3, table5, table6, figure5, nginx-sweep, memory,
-   throughput, parallel, serve, shard, keys, obs, nolock, explore,
-   ablation.
+   throughput, parallel, serve, shard, keys, sampling, obs, nolock,
+   explore, ablation.
 
    [throughput] additionally writes its rows as JSON to --bench-out
    (default BENCH_pr4.json): the tracked simulator ops/sec benchmark
@@ -39,6 +39,13 @@
    (object-count point, detector config), physical-key ablation
    4/8/13 each with and without the virtual-key pool; rows are
    simulation outputs, byte-identical at any --jobs/--shards value.
+   [sampling] writes --sampling-out (default BENCH_pr9.json): the
+   sampling sweep — detection probability and detection-latency
+   distribution (CS entries until the first race record) per
+   (subject, rate), the subset check against the same-seed rate-1.0
+   runs, plus the serve sweep rerun with sampled-kard detectors; rows
+   are simulation outputs, byte-identical at any --jobs/--shards
+   value.
 
    Table experiments run on the Domain pool; --jobs (or $KARD_JOBS)
    sets the worker count, defaulting to the host core count.
@@ -58,6 +65,7 @@ let parallel_out = ref Kard_harness.Defaults.parallel_out
 let serve_out = ref Kard_harness.Defaults.serve_out
 let shard_out = ref Kard_harness.Defaults.shard_out
 let keys_out = ref Kard_harness.Defaults.keys_out
+let sampling_out = ref Kard_harness.Defaults.sampling_out
 let build_label = ref "dev"
 
 (* [None] lets Pool fall back to $KARD_JOBS / the host core count. *)
@@ -357,6 +365,25 @@ let keys () =
   close_out oc;
   Printf.printf "wrote %s\n" !keys_out
 
+(* {1 Tracked sampling sweep (BENCH_pr9.json)} *)
+
+let sampling () =
+  (* Race scenarios run at full scale regardless; --scale only moves
+     the key-pressure subject off its 0.1 default. *)
+  let scale = if !scale = 0.01 then None else Some !scale in
+  let b = Experiments.sampling ?jobs:!jobs ?scale ?shards:!shards () in
+  Experiments.print_sampling b;
+  let json =
+    Kard_harness.Json_report.of_sampling_bench ~build:!build_label
+      ~threads:Kard_harness.Defaults.table_threads ~scale:Kard_harness.Defaults.serve_scale
+      ~seed:Kard_harness.Defaults.seed b
+  in
+  let oc = open_out !sampling_out in
+  output_string oc (Kard_harness.Json_report.pretty json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" !sampling_out
+
 (* {1 Driver} *)
 
 let experiments =
@@ -385,6 +412,7 @@ let experiments =
     ("serve", serve);
     ("shard", shard);
     ("keys", keys);
+    ("sampling", sampling);
     ("obs", obs);
     ("nolock", nolock);
     ("explore", explore);
@@ -395,6 +423,13 @@ let () =
   let rec parse = function
     | [] -> ()
     | "--only" :: name :: rest ->
+      (* Fail fast on a typo: a name outside the registry would
+         otherwise silently drop out of a multi-name selection. *)
+      if not (List.mem_assoc name experiments) then begin
+        Printf.eprintf "unknown experiment %S; known experiments:\n" name;
+        List.iter (fun (n, _) -> Printf.eprintf "  %s\n" n) experiments;
+        exit 2
+      end;
       only := name :: !only;
       parse rest
     | "--scale" :: s :: rest ->
@@ -414,6 +449,9 @@ let () =
       parse rest
     | "--keys-out" :: path :: rest ->
       keys_out := path;
+      parse rest
+    | "--sampling-out" :: path :: rest ->
+      sampling_out := path;
       parse rest
     | "--shards" :: n :: rest ->
       shards := Some (int_of_string n);

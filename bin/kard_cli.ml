@@ -5,8 +5,9 @@
      run <workload>            run one workload under one detector
      scenario <name>           run one controlled race scenario
      trace <workload>          run with tracing; export a Chrome/Perfetto trace
-     bench                     tracked benchmarks: throughput (Defaults.throughput_out) or
-                               --only keys, the key-pressure precision sweep (Defaults.keys_out)
+     bench                     tracked benchmarks: throughput (Defaults.throughput_out),
+                               --only keys, the key-pressure precision sweep (Defaults.keys_out),
+                               or --only sampling, the sampling sweep (Defaults.sampling_out)
      serve-sweep               open-loop serving latency/goodput sweep (writes Defaults.serve_out)
      repro <experiment>        regenerate a paper table/figure
      fuzz                      differential fuzzing campaign over random programs
@@ -55,6 +56,22 @@ let vkeys_arg =
 let with_vkeys vkeys detector =
   match (vkeys, detector) with
   | Some n, Runner.Kard c -> Runner.Kard { c with Kard_core.Config.vkeys = n }
+  | _, d -> d
+
+let sampling_arg =
+  Arg.(value & opt (some float) None
+       & info [ "sampling" ] ~docv:"RATE"
+           ~doc:
+             "Sampling rate in (0,1] for the kard detector (default: $(b,\\$KARD_SAMPLING) or \
+              1.0).  1.0 is full Kard — byte-identical to the unsampled detector; below it a \
+              seeded per-object/per-section policy decides what gets pkey protection each \
+              epoch, and unsampled accesses take a near-zero fast path.  Reports under a rate \
+              are always a subset of full Kard's (DESIGN.md section 12).")
+
+(* Like --vkeys: only the kard detector has a sampling policy. *)
+let with_sampling sampling detector =
+  match (sampling, detector) with
+  | Some r, Runner.Kard c -> Runner.Kard { c with Kard_core.Config.sampling = r }
   | _, d -> d
 
 let threads_arg =
@@ -186,10 +203,10 @@ let run_cmd =
          & info [ "seeds" ] ~docv:"S,S,..."
              ~doc:"Run one job per seed (reported in seed-list order) instead of --seed alone.")
   in
-  let action name detector vkeys threads scale seed seeds jobs shards json =
+  let action name detector vkeys sampling threads scale seed seeds jobs shards json =
     match Registry.find name with
     | spec ->
-      let detector = with_vkeys vkeys detector in
+      let detector = with_sampling sampling (with_vkeys vkeys detector) in
       let seeds = Option.value ~default:[ seed ] seeds in
       let results =
         Pool.run_jobs ?jobs
@@ -210,28 +227,39 @@ let run_cmd =
     | exception Not_found -> Printf.eprintf "unknown workload %S; try `kard list`\n" name
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one workload under one detector")
-    Term.(const action $ name_arg $ detector_arg $ vkeys_arg $ threads_arg $ scale_arg $ seed_arg
-          $ seeds_arg $ jobs_arg $ shards_arg $ json_arg)
+    Term.(const action $ name_arg $ detector_arg $ vkeys_arg $ sampling_arg $ threads_arg
+          $ scale_arg $ seed_arg $ seeds_arg $ jobs_arg $ shards_arg $ json_arg)
 
 let scenario_cmd =
   let name_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"SCENARIO" ~doc:"Scenario name.")
   in
-  let action name detector vkeys seed shards =
+  let action name detector vkeys sampling seed shards =
     match Race_suite.find name with
     | scenario ->
       (* A scenario normally runs under its own configuration; --vkeys
-         overrides just the pool on top of it. *)
+         and --sampling override just those knobs on top of it. *)
       let override_config =
-        match vkeys with
-        | Some n -> Some { scenario.Race_suite.config with Kard_core.Config.vkeys = n }
-        | None -> None
+        match (vkeys, sampling) with
+        | None, None -> None
+        | _ ->
+          let c = scenario.Race_suite.config in
+          let c =
+            match vkeys with Some n -> { c with Kard_core.Config.vkeys = n } | None -> c
+          in
+          let c =
+            match sampling with
+            | Some r -> { c with Kard_core.Config.sampling = r }
+            | None -> c
+          in
+          Some c
       in
       print_result (Runner.run_scenario ?shards ~seed ?override_config ~detector scenario)
     | exception Not_found -> Printf.eprintf "unknown scenario %S; try `kard list`\n" name
   in
   Cmd.v (Cmd.info "scenario" ~doc:"Run one controlled race scenario")
-    Term.(const action $ name_arg $ detector_arg $ vkeys_arg $ seed_arg $ shards_arg)
+    Term.(const action $ name_arg $ detector_arg $ vkeys_arg $ sampling_arg $ seed_arg
+          $ shards_arg)
 
 (* trace: run a workload with the observability sink on and export a
    Perfetto-loadable Chrome trace plus the metrics registry. *)
@@ -254,8 +282,8 @@ let trace_cmd =
          & info [ "capacity" ] ~docv:"N"
              ~doc:"Event ring capacity; oldest events are dropped beyond it.")
   in
-  let action name detector vkeys threads scale seed shards out steps capacity =
-    let detector = with_vkeys vkeys detector in
+  let action name detector vkeys sampling threads scale seed shards out steps capacity =
+    let detector = with_sampling sampling (with_vkeys vkeys detector) in
     if capacity <= 0 then Printf.eprintf "trace: --capacity must be positive (got %d)\n" capacity
     else
     match Registry.find name with
@@ -280,8 +308,8 @@ let trace_cmd =
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Run a workload with event tracing on; write a Perfetto-loadable Chrome trace")
-    Term.(const action $ name_arg $ detector_arg $ vkeys_arg $ threads_arg $ scale_arg $ seed_arg
-          $ shards_arg $ out_arg $ steps_arg $ capacity_arg)
+    Term.(const action $ name_arg $ detector_arg $ vkeys_arg $ sampling_arg $ threads_arg
+          $ scale_arg $ seed_arg $ shards_arg $ out_arg $ steps_arg $ capacity_arg)
 
 (* hunt: sweep seeds until a schedule manifests a race, then replay
    that exact interleaving to confirm — the race-debugging loop. *)
@@ -351,10 +379,12 @@ let bench_cmd =
     let parse = function
       | "throughput" -> Ok `Throughput
       | "keys" -> Ok `Keys
-      | s -> Error (`Msg (Printf.sprintf "unknown benchmark %S (throughput or keys)" s))
+      | "sampling" -> Ok `Sampling
+      | s -> Error (`Msg (Printf.sprintf "unknown benchmark %S (throughput, keys or sampling)" s))
     in
     let print fmt o =
-      Format.pp_print_string fmt (match o with `Throughput -> "throughput" | `Keys -> "keys")
+      Format.pp_print_string fmt
+        (match o with `Throughput -> "throughput" | `Keys -> "keys" | `Sampling -> "sampling")
     in
     Arg.conv (parse, print)
   in
@@ -363,8 +393,9 @@ let bench_cmd =
          & info [ "only" ] ~docv:"BENCH"
              ~doc:
                "Which tracked benchmark to run: $(b,throughput) (simulator ops/sec, \
-                BENCH_pr4.json) or $(b,keys) (the key-pressure precision sweep, \
-                BENCH_pr8.json).")
+                BENCH_pr4.json), $(b,keys) (the key-pressure precision sweep, BENCH_pr8.json) \
+                or $(b,sampling) (detection probability/latency vs rate plus the sampled-kard \
+                serve sweep, BENCH_pr9.json).")
   in
   let out_arg =
     Arg.(value & opt (some string) None
@@ -409,12 +440,25 @@ let bench_cmd =
       output_char oc '\n';
       close_out oc;
       Printf.printf "wrote %s\n" out
+    | `Sampling ->
+      let out = Option.value ~default:Defaults.sampling_out out in
+      let b = Experiments.sampling ?jobs ?scale ?shards () in
+      Experiments.print_sampling b;
+      let json =
+        Kard_harness.Json_report.of_sampling_bench ~build:"dev"
+          ~threads:Defaults.table_threads ~scale:Defaults.serve_scale ~seed:Defaults.seed b
+      in
+      let oc = open_out out in
+      output_string oc (Kard_harness.Json_report.pretty json);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote %s\n" out
   in
   Cmd.v
     (Cmd.info "bench"
        ~doc:
-         "Run a tracked benchmark: simulator throughput (default) or the key-pressure \
-          precision sweep (--only keys)")
+         "Run a tracked benchmark: simulator throughput (default), the key-pressure precision \
+          sweep (--only keys) or the sampling sweep (--only sampling)")
     Term.(const action $ only_arg $ scale_opt_arg $ seed_arg $ threads_arg $ vkeys_arg $ jobs_arg
           $ shards_arg $ out_arg)
 
@@ -472,9 +516,18 @@ let serve_sweep_cmd =
     Arg.(value & opt int Defaults.table_threads
          & info [ "t"; "threads" ] ~docv:"N" ~doc:"Worker thread count of the simulated server.")
   in
-  let action server model rates slo threads scale seed jobs shards out =
+  let action server model rates slo threads scale seed jobs shards sampling out =
+    (* --sampling swaps the default kard contestant for a sampled one
+       (same "kard" label, so goodput keys stay comparable). *)
+    let detectors =
+      match sampling with
+      | None -> Experiments.serve_detectors
+      | Some _ ->
+        List.map (fun (name, d) -> (name, with_sampling sampling d)) Experiments.serve_detectors
+    in
     let sweep =
-      Experiments.serve ?jobs ~server ~model ~rates ~threads ~scale ~seed ~slo ?shards ()
+      Experiments.serve ?jobs ~server ~model ~detectors ~rates ~threads ~scale ~seed ~slo
+        ?shards ()
     in
     Experiments.print_serve sweep;
     let json = Kard_harness.Json_report.of_serve_sweep ~threads ~scale ~seed sweep in
@@ -490,7 +543,7 @@ let serve_sweep_cmd =
          "Open-loop serving benchmark: sweep offered load over detectors, report latency \
           percentiles and goodput under the p99 SLO")
     Term.(const action $ server_arg $ arrivals_arg $ rates_arg $ slo_arg $ threads_opt_arg
-          $ serve_scale_arg $ seed_arg $ jobs_arg $ shards_arg $ out_arg)
+          $ serve_scale_arg $ seed_arg $ jobs_arg $ shards_arg $ sampling_arg $ out_arg)
 
 (* fuzz: the differential campaign.  Exit code 1 on any unexpected
    divergence so CI can gate on it. *)
@@ -508,8 +561,8 @@ let fuzz_cmd =
                "Corpus directory: campaign state (resumable), per-class exemplar repros, and \
                 minimized repros for unexpected divergences.")
   in
-  let action count seed corpus jobs shards =
-    let r = Kard_fuzz.Campaign.run ?jobs ?corpus ?shards ~count ~seed () in
+  let action count seed corpus jobs shards sampling =
+    let r = Kard_fuzz.Campaign.run ?jobs ?corpus ?shards ?sampling ~count ~seed () in
     Format.printf "%a@." Kard_fuzz.Campaign.report r;
     Printf.printf "(%d programs this invocation%s)\n" r.Kard_fuzz.Campaign.programs
       (match corpus with None -> "" | Some dir -> Printf.sprintf ", corpus %s" dir);
@@ -521,7 +574,7 @@ let fuzz_cmd =
          "Differential fuzzing: random programs under the Kard runtime, replayed through pure \
           Algorithm 1, happens-before and Eraser-lockset oracles; every divergence must match \
           the documented taxonomy")
-    Term.(const action $ count_arg $ seed_arg $ corpus_arg $ jobs_arg $ shards_arg)
+    Term.(const action $ count_arg $ seed_arg $ corpus_arg $ jobs_arg $ shards_arg $ sampling_arg)
 
 (* repro *)
 

@@ -15,6 +15,9 @@ type t = {
   exit_delay_cycles : int;
   section_identity : section_identity;
   vkeys : int;
+  sampling : float;
+  sampling_epoch : int;
+  sampling_seed : int;
 }
 
 let default =
@@ -29,12 +32,15 @@ let default =
     software_fallback = false;
     exit_delay_cycles = 0;
     section_identity = By_call_site;
-    vkeys = 0 }
+    vkeys = 0;
+    sampling = 1.0;
+    sampling_epoch = 2_000_000;
+    sampling_seed = 0x5eed }
 
 let pp fmt t =
   Format.fprintf fmt
     "@[<h>{keys=%d proactive=%b interleave=%b ts-prune=%b dedupe=%b meta-prune=%b recycle=%b \
-     share-disjoint=%b soft-fallback=%b vkeys=%d}@]"
+     share-disjoint=%b soft-fallback=%b vkeys=%d sampling=%g}@]"
     t.data_keys t.proactive_acquisition t.protection_interleaving t.timestamp_pruning
     t.redundancy_pruning t.metadata_pruning t.prefer_recycle t.share_disjoint_sections
-    t.software_fallback t.vkeys
+    t.software_fallback t.vkeys t.sampling

@@ -62,6 +62,29 @@ type t = {
           (11 under [software_fallback], whose pool key moves to
           [k12]).  Sharing becomes a last resort {e after} eviction,
           shrinking the Table 4 false-negative window. *)
+  sampling : float;
+      (** Fraction of objects under pkey protection (HardRace-style
+          selective monitoring, DESIGN.md §12).  [1.0] (the default)
+          is full Kard, byte-identical to the pre-sampling detector.
+          Below 1.0 a seeded per-object policy decides at first
+          allocation whether an object is {e sampled}; unsampled
+          objects keep the default key ([k_def]) and never fault,
+          retag, or occupy ksmap/vkey state — their accesses are the
+          near-zero fast path.  Reports under sampling are always a
+          subset of full Kard's: races can be delayed or missed,
+          never invented. *)
+  sampling_epoch : int;
+      (** Virtual-clock cycles per sampling epoch.  At each epoch
+          boundary the sampled set rotates deterministically (the
+          hash is salted with the epoch number) so long runs
+          eventually cover every object.  The boundary is observed at
+          section entry against the machine's virtual clock, which is
+          identical at any [--jobs]/[--shards] count — rotation never
+          breaks determinism.  [0] disables rotation (a fixed sampled
+          set for the whole run). *)
+  sampling_seed : int;
+      (** Salt of the sampling hash; reports are a pure function of
+          (seed, rate, epoch schedule). *)
 }
 
 val default : t

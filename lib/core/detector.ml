@@ -24,6 +24,10 @@ type frame = {
           per-entry WRPKRU cost to the metrics registry. *)
   mutable acquired : int array; (* keys (virtual in vkey mode), as ints *)
   mutable nacquired : int;
+  mutable sampled : bool;
+      (** Whether this section ran the full entry protocol; an
+          unsampled section skipped the k_na retraction, the
+          proactive walk and the PKRU switch (DESIGN.md §12). *)
 }
 
 type thread_state = {
@@ -62,6 +66,15 @@ type stats = {
   vkey_loads : int;
   vkey_retag_pages : int;
   vkey_stalls : int;
+  sampling_rate : float;
+  sampled_sections : int;
+  skipped_sections : int;
+  sampled_objects : int;
+  skipped_objects : int;
+  skipped_accesses : int;
+  sampling_rotations : int;
+  sampling_rearm_pages : int;
+  first_race_cs : int;
 }
 
 type t = {
@@ -115,6 +128,28 @@ type t = {
   prov_ro_blamed : Dense.Bitset.t;
   prov_proactive_blame : Dense.Bitset.t;
   prov_vkey_blamed : Dense.Bitset.t;
+  (* The sampling layer (DESIGN.md §12).  [unsampled] holds the
+     objects currently on the default-key fast path; [skip_list] is
+     every object ever unsampled (rotation iterates it to re-arm),
+     deduplicated by [skip_ever].  [cur_epoch] only advances at
+     section entry, so every sampling decision is a pure function of
+     state that is identical at any --jobs/--shards count. *)
+  sampling : Sampling.t;
+  mutable cur_epoch : int;
+  unsampled : Dense.Bitset.t;
+  skip_ever : Dense.Bitset.t;
+  mutable skip_list : int array;
+  mutable skip_n : int;
+  prov_sampling_skipped : Dense.Bitset.t;
+  mutable sampled_sections : int;
+  mutable skipped_sections : int;
+  mutable sampled_objects : int;
+  mutable skipped_objects : int;
+  mutable skipped_accesses : int;
+  mutable sampling_rotations : int;
+  mutable sampling_rearm_pages : int;
+  mutable cs_entries : int;
+  mutable first_race_cs : int; (* cs_entries at the first fresh record; -1 = none *)
   (* Result slot for [proactive_walk]: the walk accumulates the
      section-entry PKRU here instead of returning a (pkru, cycles)
      tuple, keeping the per-section-entry path allocation-free. *)
@@ -194,6 +229,22 @@ let create ?(config = Config.default) env =
     prov_ro_blamed = Dense.Bitset.create ~capacity:256 ();
     prov_proactive_blame = Dense.Bitset.create ~capacity:256 ();
     prov_vkey_blamed = Dense.Bitset.create ~capacity:256 ();
+    sampling = Sampling.of_config config;
+    cur_epoch = 0;
+    unsampled = Dense.Bitset.create ~capacity:256 ();
+    skip_ever = Dense.Bitset.create ~capacity:256 ();
+    skip_list = [||];
+    skip_n = 0;
+    prov_sampling_skipped = Dense.Bitset.create ~capacity:256 ();
+    sampled_sections = 0;
+    skipped_sections = 0;
+    sampled_objects = 0;
+    skipped_objects = 0;
+    skipped_accesses = 0;
+    sampling_rotations = 0;
+    sampling_rearm_pages = 0;
+    cs_entries = 0;
+    first_race_cs = -1;
     walk_pkru = Pkru.all_access }
 
 let cost t = t.env.Hooks.cost
@@ -260,7 +311,8 @@ let push_frame ts ~lock ~site ~saved_pkru ~wrpkru_at_entry =
       Array.init cap (fun i ->
           if i < ts.depth then ts.frames.(i)
           else
-            { lock; site; saved_pkru; wrpkru_at_entry; acquired = Array.make 4 0; nacquired = 0 })
+            { lock; site; saved_pkru; wrpkru_at_entry; acquired = Array.make 4 0; nacquired = 0;
+              sampled = true })
     in
     ts.frames <- bigger
   end;
@@ -271,6 +323,7 @@ let push_frame ts ~lock ~site ~saved_pkru ~wrpkru_at_entry =
   frame.saved_pkru <- saved_pkru;
   frame.wrpkru_at_entry <- wrpkru_at_entry;
   frame.nacquired <- 0;
+  frame.sampled <- true;
   frame
 
 let holds_lock ts lock =
@@ -374,7 +427,7 @@ let demote_to_ro t (meta : Obj_meta.t) =
 (* Batch-retag every page of [objs] to [pkey]: one counted syscall for
    the whole list, charged at the cheaper per-page vkey rate (libmpk's
    eviction batches the ranges into a single kernel crossing). *)
-let retag_objects t objs pkey =
+let retag_batch_objects t objs pkey =
   let ranges =
     List.filter_map
       (fun obj_id ->
@@ -386,9 +439,106 @@ let retag_objects t objs pkey =
         | None -> None)
       objs
   in
-  let pages, cycles = Mpk_hw.retag_batch (hw t) ranges pkey in
+  Mpk_hw.retag_batch (hw t) ranges pkey
+
+let retag_objects t objs pkey =
+  let pages, cycles = retag_batch_objects t objs pkey in
   Vkey.note_retag_pages t.vkey pages;
   (pages, cycles)
+
+(* {2 The sampling layer (DESIGN.md §12)} *)
+
+let skip_note t obj_id =
+  Dense.Bitset.add t.unsampled obj_id;
+  Dense.Bitset.add t.prov_sampling_skipped obj_id;
+  if not (Dense.Bitset.mem t.skip_ever obj_id) then begin
+    Dense.Bitset.add t.skip_ever obj_id;
+    if t.skip_n = Array.length t.skip_list then begin
+      let bigger = Array.make (Dense.grow_pow2 t.skip_n t.skip_n) 0 in
+      Array.blit t.skip_list 0 bigger 0 t.skip_n;
+      t.skip_list <- bigger
+    end;
+    t.skip_list.(t.skip_n) <- obj_id;
+    t.skip_n <- t.skip_n + 1
+  end
+
+(* Release every piece of detector state an object leaving the
+   sampled set holds; after this only the retag to the default key
+   remains and accesses are the zero-cost fast path. *)
+let drain_note t obj_id =
+  t.skipped_objects <- t.skipped_objects + 1;
+  skip_note t obj_id;
+  Domain_state.forget t.domains ~obj_id;
+  Section_object_map.forget_object t.somap ~obj_id;
+  Interleave.finish t.interleave ~obj_id;
+  match trace t with
+  | None -> ()
+  | Some tr ->
+    Kard_obs.Trace.emit tr ~tid:(-1)
+      (Kard_obs.Event.Key_demote { obj_id; to_ro = false })
+
+(* Defensive path: rotations drain eagerly ({!maybe_rotate}), so an
+   object drawn out of the sampled set should never fault — but if one
+   does (tags it still carries), drain it here and retry. *)
+let drain_unsampled t (meta : Obj_meta.t) =
+  drain_note t meta.Obj_meta.id;
+  let c = cost t in
+  let mprotect = protect_pages t meta Pkey.k_def in
+  { Hooks.fault_cycles = mprotect + c.Cost_model.map_op; action = Hooks.Retry }
+
+(* Epoch rotation, observed at section entry against the virtual
+   clock: fast-path objects redrawn into the new epoch's sampled set
+   are re-armed to [k_na] (their next access re-identifies them), and
+   live objects sliding out of the window are drained — state
+   released, pages back to the default key — right here, one batched
+   retag per direction instead of a full fault round trip per outed
+   object.  The policy scan itself is bookkeeping the real runtime
+   folds into the epoch timer, so only the retags are charged — to
+   the entering section. *)
+let maybe_rotate t =
+  if not (Sampling.enabled t.sampling) || Sampling.epoch_cycles t.sampling = 0 then 0
+  else begin
+    let e = Sampling.epoch_of t.sampling ~now:(now t) in
+    if e = t.cur_epoch then 0
+    else begin
+      t.cur_epoch <- e;
+      t.sampling_rotations <- t.sampling_rotations + 1;
+      let rearm = ref [] in
+      for i = t.skip_n - 1 downto 0 do
+        let obj_id = t.skip_list.(i) in
+        if Dense.Bitset.mem t.unsampled obj_id
+           && Sampling.sampled_obj t.sampling ~epoch:e ~obj_id
+        then begin
+          Dense.Bitset.remove t.unsampled obj_id;
+          rearm := obj_id :: !rearm
+        end
+      done;
+      let drain = ref [] in
+      Meta_table.iter t.env.Hooks.meta (fun (m : Obj_meta.t) ->
+          let obj_id = m.Obj_meta.id in
+          if
+            (not (Dense.Bitset.mem t.unsampled obj_id))
+            && not (Sampling.sampled_obj t.sampling ~epoch:e ~obj_id)
+          then drain := obj_id :: !drain);
+      let drain = List.sort compare !drain in
+      List.iter (fun obj_id -> drain_note t obj_id) drain;
+      let drain_cycles =
+        match drain with
+        | [] -> 0
+        | objs -> snd (retag_batch_objects t objs Pkey.k_def)
+      in
+      let rearm_cycles =
+        match !rearm with
+        | [] -> 0
+        | objs ->
+          t.sampled_objects <- t.sampled_objects + List.length objs;
+          let pages, cycles = retag_batch_objects t objs Pkey.k_na in
+          t.sampling_rearm_pages <- t.sampling_rearm_pages + pages;
+          cycles
+      in
+      drain_cycles + rearm_cycles
+    end
+  end
 
 (* Make [key] resident (virtual mode), driving the effects the vkey
    table itself never performs: the displaced key's objects are
@@ -658,6 +808,7 @@ let log_race t (fault : Fault.t) (meta : Obj_meta.t) holding =
         (Interleave.observe t.interleave ~obj_id:meta.Obj_meta.id ~tid:fault.Fault.thread
            ~offset:record.Race_record.offset)
   | `Fresh ->
+    if t.first_race_cs < 0 then t.first_race_cs <- t.cs_entries;
     (match trace t with
     | None -> ()
     | Some tr ->
@@ -946,7 +1097,14 @@ let on_fault t (fault : Fault.t) =
   match Meta_table.find_vpage t.env.Hooks.meta fault.Fault.vpage with
   | None -> anomaly ()
   | Some meta ->
-    if Pkey.equal fault.Fault.pkey Pkey.k_na then handle_na_fault t fault meta
+    if
+      Sampling.enabled t.sampling
+      && not (Sampling.sampled_obj t.sampling ~epoch:t.cur_epoch ~obj_id:meta.Obj_meta.id)
+    then
+      (* A rotation drew the object out of the sampled set after it
+         was tagged: this fault is the lazy drain point. *)
+      drain_unsampled t meta
+    else if Pkey.equal fault.Fault.pkey Pkey.k_na then handle_na_fault t fault meta
     else if Pkey.equal fault.Fault.pkey Pkey.k_ro then handle_ro_fault t fault meta
     else if
       t.config.Config.software_fallback
@@ -1052,30 +1210,54 @@ let on_lock t ~tid ~lock ~site =
     | Config.By_lock -> lock
   in
   let c = cost t in
+  let enabled = Sampling.enabled t.sampling in
+  let rotation = if enabled then maybe_rotate t else 0 in
+  t.cs_entries <- t.cs_entries + 1;
   let ts = thread_state t tid in
   let pkru0 = Mpk_hw.pkru_of (hw t) ~tid in
   let frame =
     push_frame ts ~lock ~site ~saved_pkru:pkru0 ~wrpkru_at_entry:(Mpk_hw.wrpkru_count (hw t))
   in
-  active_enter t ~site ~tid;
-  (* Internal synchronization scales with concurrently executing
-     sections: the runtime's maps are shared state. *)
-  let sync_cost = c.Cost_model.atomic_op * (1 + t.active_count) in
-  (* Retract k_na for the duration of the section (section 5.3). *)
-  let cycles =
-    if t.config.Config.proactive_acquisition then
-      proactive_walk t c ~tid ~frame
-        (Section_object_map.objects_of t.somap ~section:site)
-        (Pkru.set pkru0 Pkey.k_na Perm.No_access)
-        (sync_cost + c.Cost_model.map_op)
-    else begin
-      t.walk_pkru <- Pkru.set pkru0 Pkey.k_na Perm.No_access;
-      sync_cost + c.Cost_model.map_op
-    end
-  in
-  let cycles = cycles + Mpk_hw.wrpkru (hw t) ~tid t.walk_pkru in
-  sample_occupancy t;
-  cycles
+  if enabled && not (Sampling.sampled_section t.sampling ~epoch:t.cur_epoch ~section:site)
+  then begin
+    (* Unsampled section: the near-zero fast path.  No k_na
+       retraction (so nothing identifies), no proactive walk, no
+       ksmap traffic, no active-set entry — the PKRU is opened to
+       all-access for the section's duration so nothing inside can
+       fault either (a reactive fault costs a 24k-cycle round trip,
+       which would dwarf the protocol it replaces).  The section's
+       accesses are simply invisible to the detector — the
+       sampled-miss semantic — and the only charges are the policy
+       check and the PKRU switch the exit undoes. *)
+    frame.sampled <- false;
+    t.skipped_sections <- t.skipped_sections + 1;
+    rotation + c.Cost_model.sampling_check + Mpk_hw.wrpkru (hw t) ~tid Pkru.all_access
+  end
+  else begin
+    if enabled then begin
+      t.sampled_sections <- t.sampled_sections + 1;
+      Kard_obs.Trace.incr (trace t) "sampling.sampled_sections"
+    end;
+    active_enter t ~site ~tid;
+    (* Internal synchronization scales with concurrently executing
+       sections: the runtime's maps are shared state. *)
+    let sync_cost = c.Cost_model.atomic_op * (1 + t.active_count) in
+    (* Retract k_na for the duration of the section (section 5.3). *)
+    let cycles =
+      if t.config.Config.proactive_acquisition then
+        proactive_walk t c ~tid ~frame
+          (Section_object_map.objects_of t.somap ~section:site)
+          (Pkru.set pkru0 Pkey.k_na Perm.No_access)
+          (sync_cost + c.Cost_model.map_op)
+      else begin
+        t.walk_pkru <- Pkru.set pkru0 Pkey.k_na Perm.No_access;
+        sync_cost + c.Cost_model.map_op
+      end
+    in
+    let cycles = cycles + Mpk_hw.wrpkru (hw t) ~tid t.walk_pkru in
+    sample_occupancy t;
+    cycles + rotation + (if enabled then c.Cost_model.sampling_check else 0)
+  end
 
 let on_unlock t ~tid ~lock =
   let c = cost t in
@@ -1089,7 +1271,12 @@ let on_unlock t ~tid ~lock =
         (Printf.sprintf "Kard: thread %d releases lock %d but innermost section holds %d" tid lock
            frame.lock);
     ts.depth <- ts.depth - 1;
-    let cycles = ref (c.Cost_model.rdtscp + c.Cost_model.atomic_op) in
+    (* An unsampled frame never entered the active set or touched the
+       ksmap; its exit only restores the PKRU its entry opened to
+       all-access. *)
+    let cycles =
+      ref (if frame.sampled then c.Cost_model.rdtscp + c.Cost_model.atomic_op else 0)
+    in
     (* Delay injection (section 5.5): the thread sleeps at section
        exit, so its keys remain effectively held for the configured
        extra cycles — the release stamp lands in the future, making
@@ -1120,11 +1307,12 @@ let on_unlock t ~tid ~lock =
     cycles := !cycles + Mpk_hw.wrpkru (hw t) ~tid frame.saved_pkru;
     (match trace t with
     | None -> ()
-    | Some _ ->
+    | Some _ when frame.sampled ->
       Kard_obs.Trace.observe (trace t) "kard.cs_wrpkru"
         (Mpk_hw.wrpkru_count (hw t) - frame.wrpkru_at_entry);
-      sample_occupancy t);
-    active_exit t ~site:frame.site ~tid;
+      sample_occupancy t
+    | Some _ -> ());
+    if frame.sampled then active_exit t ~site:frame.site ~tid;
     !cycles
   end
 
@@ -1138,7 +1326,23 @@ let on_spawn t ~tid =
   Mpk_hw.set_pkru_in_context (hw t) ~tid initial_pkru;
   (cost t).Cost_model.wrpkru
 
-let on_alloc t ~tid:_ meta = protect_pages t meta Pkey.k_na
+let on_alloc t ~tid:_ (meta : Obj_meta.t) =
+  if
+    Sampling.enabled t.sampling
+    && not (Sampling.sampled_obj t.sampling ~epoch:t.cur_epoch ~obj_id:meta.Obj_meta.id)
+  then begin
+    (* Unsampled: the pages keep the default key, which every PKRU
+       grants, so the object can never fault, retag, or occupy
+       ksmap/vkey state until a rotation re-arms it — allocation on
+       the fast path costs nothing. *)
+    t.skipped_objects <- t.skipped_objects + 1;
+    skip_note t meta.Obj_meta.id;
+    0
+  end
+  else begin
+    if Sampling.enabled t.sampling then t.sampled_objects <- t.sampled_objects + 1;
+    protect_pages t meta Pkey.k_na
+  end
 
 let on_free t ~tid:_ (meta : Obj_meta.t) =
   let obj_id = meta.Obj_meta.id in
@@ -1163,20 +1367,53 @@ let metadata_bytes t =
   + (per_section * Section_object_map.section_count t.somap)
   + (per_record * Pruning.logged t.pruning)
 
+(* Observability of the fast path: when sampling is active, count the
+   accesses that land on unsampled objects.  The count charges zero
+   cycles — the simulated fast path really is free — but the hooks
+   stop being pure no-ops, so [pure_access] must say so (the sharded
+   burst engine then falls back to the direct engine, which is
+   byte-identical).  At rate 1.0 the hooks stay the pure zeros and
+   nothing changes. *)
+let count_skipped t addr =
+  (match Meta_table.find_vpage t.env.Hooks.meta (Page.vpage_of_addr addr) with
+  | Some (meta : Obj_meta.t) when Dense.Bitset.mem t.unsampled meta.Obj_meta.id ->
+    t.skipped_accesses <- t.skipped_accesses + 1;
+    Kard_obs.Trace.incr (trace t) "sampling.skipped_accesses"
+  | Some _ | None -> ());
+  0
+
+let count_skipped_block t (block : Kard_sched.Op.block) =
+  (match Meta_table.find_vpage t.env.Hooks.meta (Page.vpage_of_addr block.Kard_sched.Op.base) with
+  | Some (meta : Obj_meta.t) when Dense.Bitset.mem t.unsampled meta.Obj_meta.id ->
+    t.skipped_accesses <- t.skipped_accesses + block.Kard_sched.Op.count;
+    Kard_obs.Trace.incr (trace t) "sampling.skipped_accesses"
+  | Some _ | None -> ());
+  0
+
 let hooks t =
+  let counting = Sampling.enabled t.sampling in
   { Hooks.name = "kard";
-    pure_access = true;
+    pure_access = not counting;
     on_spawn = (fun ~tid -> on_spawn t ~tid);
     on_global = (fun meta -> on_alloc t ~tid:(-1) meta);
     on_alloc = (fun ~tid meta -> on_alloc t ~tid meta);
     on_free = (fun ~tid meta -> on_free t ~tid meta);
     on_lock = (fun ~tid ~lock ~site -> on_lock t ~tid ~lock ~site);
     on_unlock = (fun ~tid ~lock -> on_unlock t ~tid ~lock);
-    (* Kard's whole point: no per-access instrumentation. *)
-    on_read = (fun ~tid:_ ~addr:_ -> 0);
-    on_write = (fun ~tid:_ ~addr:_ -> 0);
-    on_read_block = (fun ~tid:_ ~block:_ -> 0);
-    on_write_block = (fun ~tid:_ ~block:_ -> 0);
+    (* Kard's whole point: no per-access instrumentation.  The
+       sampling counters are the one exception, and they charge 0. *)
+    on_read =
+      (if counting then fun ~tid:_ ~addr -> count_skipped t addr
+       else fun ~tid:_ ~addr:_ -> 0);
+    on_write =
+      (if counting then fun ~tid:_ ~addr -> count_skipped t addr
+       else fun ~tid:_ ~addr:_ -> 0);
+    on_read_block =
+      (if counting then fun ~tid:_ ~block -> count_skipped_block t block
+       else fun ~tid:_ ~block:_ -> 0);
+    on_write_block =
+      (if counting then fun ~tid:_ ~block -> count_skipped_block t block
+       else fun ~tid:_ ~block:_ -> 0);
     on_fault = (fun fault -> on_fault t fault);
     on_thread_exit = (fun ~tid:_ -> 0);
     on_finish = (fun () -> ());
@@ -1217,7 +1454,16 @@ let stats t : stats =
     vkey_evictions = vs.Vkey.st_evictions;
     vkey_loads = vs.Vkey.st_loads;
     vkey_retag_pages = vs.Vkey.st_retag_pages;
-    vkey_stalls = vs.Vkey.st_stalls }
+    vkey_stalls = vs.Vkey.st_stalls;
+    sampling_rate = Sampling.rate t.sampling;
+    sampled_sections = t.sampled_sections;
+    skipped_sections = t.skipped_sections;
+    sampled_objects = t.sampled_objects;
+    skipped_objects = t.skipped_objects;
+    skipped_accesses = t.skipped_accesses;
+    sampling_rotations = t.sampling_rotations;
+    sampling_rearm_pages = t.sampling_rearm_pages;
+    first_race_cs = t.first_race_cs }
 
 let unique_ro_objects t = Dense.Bitset.count t.ro_seen
 let unique_rw_objects t = Dense.Bitset.count t.rw_seen
@@ -1234,6 +1480,7 @@ type provenance = {
   ro_blamed : bool;
   proactive_blamed : bool;
   vkey_blamed : bool;
+  sampling_skipped : bool;
 }
 
 let provenance t ~obj_id =
@@ -1247,7 +1494,11 @@ let provenance t ~obj_id =
     ro_identified = Dense.Bitset.mem t.ro_seen obj_id;
     ro_blamed = Dense.Bitset.mem t.prov_ro_blamed obj_id;
     proactive_blamed = Dense.Bitset.mem t.prov_proactive_blame obj_id;
-    vkey_blamed = Dense.Bitset.mem t.prov_vkey_blamed obj_id }
+    vkey_blamed = Dense.Bitset.mem t.prov_vkey_blamed obj_id;
+    sampling_skipped = Dense.Bitset.mem t.prov_sampling_skipped obj_id }
+let sampling_active t = Sampling.enabled t.sampling
+let cs_entries t = t.cs_entries
+let first_race_cs t = t.first_race_cs
 let domains t = t.domains
 let section_object_map t = t.somap
 let key_section_map t = t.ksmap

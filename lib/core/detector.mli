@@ -40,6 +40,24 @@ type stats = {
   vkey_retag_pages : int; (** Pages batch-retagged by loads/evictions. *)
   vkey_stalls : int;      (** Misses with every slot pinned (emulated
                               unprotected — the vkey miss window). *)
+  sampling_rate : float;  (** [Config.sampling]; 1.0 = full Kard. *)
+  sampled_sections : int; (** Section entries that ran the full entry
+                              protocol while sampling was active. *)
+  skipped_sections : int; (** Section entries on the fast path: no
+                              k_na retraction, walk, or PKRU switch. *)
+  sampled_objects : int;  (** Protection decisions in favour (at
+                              allocation or rotation re-arm). *)
+  skipped_objects : int;  (** Fast-path decisions (allocation skip or
+                              rotation drain). *)
+  skipped_accesses : int; (** Accesses that landed on unsampled
+                              objects (charged zero cycles). *)
+  sampling_rotations : int; (** Epoch boundaries observed. *)
+  sampling_rearm_pages : int; (** Pages batch-retagged back to [k_na]
+                                  by rotation re-arms. *)
+  first_race_cs : int;    (** Critical-section entries at the first
+                              fresh race record, [-1] if none — the
+                              detection-latency measure of the
+                              sampling sweep. *)
 }
 
 val create : ?config:Config.t -> Kard_sched.Hooks.env -> t
@@ -93,9 +111,28 @@ type provenance = {
                            slot was pinned, or a proactive acquisition
                            skipped because the object's key was
                            evicted at section entry (DESIGN.md §11). *)
+  sampling_skipped : bool;  (** Ever on the sampling fast path: left
+                                unprotected at allocation, or drained
+                                to the default key by an epoch
+                                rotation (DESIGN.md §12) — faults the
+                                full detector would have seen never
+                                fired while the bit's condition
+                                held. *)
 }
 
 val provenance : t -> obj_id:int -> provenance
+
+val sampling_active : t -> bool
+(** Whether the run sampled at a rate below 1.0. *)
+
+val cs_entries : t -> int
+(** Total critical-section entries observed (sampled or not) — the
+    denominator of the detection-latency metric. *)
+
+val first_race_cs : t -> int
+(** [cs_entries] at the moment the first fresh race record was
+    logged, or [-1] if the run logged none: the detection-latency
+    measure of the sampling sweep (CS entries until first catch). *)
 
 val vkey_stats : t -> Kard_mpk.Vkey.stats
 (** Virtual-key cache counters (all zero in identity mode). *)

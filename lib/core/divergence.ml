@@ -16,6 +16,7 @@ type cls =
   | Lockset_shared_read_miss
   | Lockset_init_miss
   | Vkey_eviction_blame
+  | Sampling_missed_race
   | Shard_divergence
   | Unexpected
 
@@ -38,6 +39,7 @@ let all =
     Lockset_shared_read_miss;
     Lockset_init_miss;
     Vkey_eviction_blame;
+    Sampling_missed_race;
     Shard_divergence;
     Unexpected;
   ]
@@ -60,6 +62,7 @@ let name = function
   | Lockset_shared_read_miss -> "lockset-shared-read-miss"
   | Lockset_init_miss -> "lockset-init-miss"
   | Vkey_eviction_blame -> "vkey-eviction-blame"
+  | Sampling_missed_race -> "sampling-missed-race"
   | Shard_divergence -> "shard-divergence"
   | Unexpected -> "unexpected"
 
@@ -124,6 +127,10 @@ let describe = function
        was pinned so an access was emulated unprotected (missed fault), or a \
        proactive acquisition was skipped because the object's virtual key was \
        evicted at section entry — Algorithm 1 has no cache and no such window"
+  | Sampling_missed_race ->
+      "Kard under-reports by design: the sampling policy left the object (or \
+       the racing section) unprotected this epoch, so the conflicting access \
+       never faulted — the HardRace trade: detection latency, never soundness"
   | Shard_divergence ->
       "the sharded machine diverged: a run at shards>1 produced a different \
        report or race-record list than the same run at shards=1, breaching \

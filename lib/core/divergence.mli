@@ -163,6 +163,17 @@ type cls =
           and disappears when the pool fits in the physical slots.
           Evidence: the object carries the [vkey_blamed] provenance
           bit. *)
+  | Sampling_missed_race
+      (** Algorithm 1 flags an object the sampled Kard misses: the
+          sampling policy (DESIGN.md §12) left the object — or every
+          section that would have blamed it — unprotected during the
+          conflict, so no fault fired.  This is the HardRace trade
+          made explicit: at rate < 1.0 the detector only ever
+          {e removes} protection (unsampled pages keep the default
+          key), so misses in this class are the designed cost of the
+          near-zero fast path, and the sampled report set must remain
+          a subset of full Kard's.  Only admissible while sampling is
+          active; over-reports are {e never} explained by sampling. *)
   | Shard_divergence
       (** The sharded machine diverged: running the same program,
           seed and configuration at shards>1 produced a different

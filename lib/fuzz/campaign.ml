@@ -23,7 +23,21 @@ let configs =
     ("keys4-shards3", { d with Config.data_keys = 4 }, 3, `Default);
     ("vkeys64", { d with Config.vkeys = 64 }, 1, `Vkey_rotation);
     ("vkeys64-keys4", { d with Config.data_keys = 4; vkeys = 64 }, 1, `Vkey_rotation);
-    ("vkeys64-shards2", { d with Config.vkeys = 64 }, 2, `Vkey_rotation) ]
+    ("vkeys64-shards2", { d with Config.vkeys = 64 }, 2, `Vkey_rotation);
+    (* The sampling entries keep the subset contract under the three
+       oracles: misses classify as the expected sampling-missed-race,
+       while an over-report a full-detector mechanism cannot explain
+       still fails the campaign.  The short epoch forces rotations
+       (drain-at-fault, batched re-arm) inside even these small
+       programs; the sharded entry runs the dual-machine gate with
+       sampling active. *)
+    ("sampling50", { d with Config.sampling = 0.5; sampling_epoch = 100_000 }, 1, `Default);
+    ("sampling25-keys4",
+     { d with Config.sampling = 0.25; sampling_epoch = 100_000; data_keys = 4 }, 1, `Default);
+    ("sampling50-vkeys64",
+     { d with Config.sampling = 0.5; sampling_epoch = 100_000; vkeys = 64 }, 1, `Vkey_rotation);
+    ("sampling25-shards2",
+     { d with Config.sampling = 0.25; sampling_epoch = 100_000 }, 2, `Default) ]
 
 type result = {
   programs : int;
@@ -45,10 +59,15 @@ type job_out = {
   shrunk_src : string option; (* unexpected ones also carry the minimized one *)
 }
 
-let run_one ?shards ~seed i =
+let run_one ?shards ?sampling ~seed i =
   let rand = Random.State.make [| seed; i |] in
   let config_name, config, entry_shards, pressure =
     List.nth configs (i mod List.length configs)
+  in
+  let config =
+    match sampling with
+    | None -> config
+    | Some r -> { config with Config.sampling = r; sampling_epoch = 100_000 }
   in
   let prog = Prog.generate ~pressure ~rand () in
   let mseed = Random.State.int rand 1_000_000 in
@@ -184,7 +203,7 @@ let report fmt r =
       (String.concat " " (List.map string_of_int idxs)));
   Format.fprintf fmt "@]"
 
-let run ?jobs ?corpus ?shards ~count ~seed () =
+let run ?jobs ?corpus ?shards ?sampling ~count ~seed () =
   Option.iter (fun dir -> if not (Sys.file_exists dir) then Sys.mkdir dir 0o755) corpus;
   let st = match corpus with None -> empty_state seed | Some dir -> load_state dir ~seed in
   let start = st.st_done in
@@ -192,7 +211,7 @@ let run ?jobs ?corpus ?shards ~count ~seed () =
   let outs =
     Pool.map ?jobs
       ~label:(fun _ i -> Printf.sprintf "fuzz program %d" i)
-      (run_one ?shards ~seed) todo
+      (run_one ?shards ?sampling ~seed) todo
   in
   (* Merge in submission (= index) order: exemplars are the lowest
      index per class, so corpus contents are jobs-invariant. *)

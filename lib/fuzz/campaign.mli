@@ -53,6 +53,7 @@ val run :
   ?jobs:int ->
   ?corpus:string ->
   ?shards:int ->
+  ?sampling:float ->
   count:int ->
   seed:int ->
   unit ->
@@ -61,10 +62,14 @@ val run :
     already records, 0 without a corpus or on a fresh one).  [count]
     is the cumulative target.  [shards] overrides every config
     entry's shard count (so [--shards 1] disables the shard gate and
-    [--shards N] applies it to all programs); campaign results then
-    depend on the override, so resumable corpora should keep it
-    fixed.  @raise Failure if the corpus directory belongs to a
-    different campaign seed. *)
+    [--shards N] applies it to all programs); [sampling] overrides
+    every entry's sampling rate (with a 100k-cycle epoch, so
+    rotations happen inside small programs) — under a rate below 1.0
+    residual Kard misses classify as the expected
+    [sampling-missed-race].  Campaign results then depend on the
+    overrides, so resumable corpora should keep them fixed.
+    @raise Failure if the corpus directory belongs to a different
+    campaign seed. *)
 
 val report : Format.formatter -> result -> unit
 (** The summary block (also what [summary.txt] contains). *)

@@ -10,7 +10,7 @@ type obj_verdict = {
   classes : D.cls list;
 }
 
-let classify ~provenance ~kard ~alg1 ~hb ~lockset =
+let classify ?(sampling = false) ~provenance ~kard ~alg1 ~hb ~lockset () =
   let hb_tbl = Hashtbl.create 8 in
   List.iter (fun (h : Oracles.hb_obj) -> Hashtbl.replace hb_tbl h.Oracles.obj h) hb;
   let ls_tbl = Hashtbl.create 8 in
@@ -48,6 +48,14 @@ let classify ~provenance ~kard ~alg1 ~hb ~lockset =
       else if p.Detector.demoted then add D.Demotion_miss
       else if p.Detector.ro_identified then add D.Ro_shadow_miss
       else if p.Detector.vkey_blamed then add D.Vkey_eviction_blame
+      else if sampling then
+        (* Under a rate < 1.0 any residual miss is the designed trade:
+           the object — or every section that would have blamed it —
+           was outside the sampled set when the conflict ran, so no
+           fault fired.  Only the miss direction: sampling removes
+           protection, it never invents a record, so [k && not a]
+           above still demands one of the full-detector mechanisms. *)
+        add D.Sampling_missed_race
       else add D.Unexpected
     end;
     (* Axis 2: key-based detection (Algorithm 1 as the semantic

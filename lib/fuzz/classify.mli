@@ -18,13 +18,19 @@ type obj_verdict = {
 }
 
 val classify :
+  ?sampling:bool ->
   provenance:(obj_id:int -> Kard_core.Detector.provenance) ->
   kard:int list ->
   alg1:int list ->
   hb:Oracles.hb_obj list ->
   lockset:Oracles.lockset_obj list ->
+  unit ->
   obj_verdict list
 (** One verdict per object flagged by at least one detector, sorted
-    by object id. *)
+    by object id.  [sampling] (default [false]) marks the run as
+    having sampled below rate 1.0: residual Kard misses then classify
+    as {!Kard_core.Divergence.Sampling_missed_race} instead of
+    [Unexpected] — the miss direction only; over-reports are never
+    excused by sampling. *)
 
 val pp_verdict : Format.formatter -> obj_verdict -> unit

@@ -69,8 +69,9 @@ let run ?(kard_filter = fun (_ : Race_record.t) -> true)
     let lockset = Oracles.lockset events in
     let verdicts =
       Classify.classify
+        ~sampling:(config.Config.sampling < 1.0)
         ~provenance:(fun ~obj_id -> provenance_filter (Detector.provenance detector ~obj_id))
-        ~kard ~alg1 ~hb ~lockset
+        ~kard ~alg1 ~hb ~lockset ()
     in
     let divergent = List.filter (fun v -> v.Classify.classes <> []) verdicts in
     let shard_ok = shards <= 1 || shard_gate ~config ~seed ~shards prog in

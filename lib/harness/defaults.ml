@@ -12,6 +12,7 @@ let parallel_out = "BENCH_pr3.json"
 let serve_out = "BENCH_pr6.json"
 let shard_out = "BENCH_pr7.json"
 let keys_out = "BENCH_pr8.json"
+let sampling_out = "BENCH_pr9.json"
 
 let jobs_env = "KARD_JOBS"
 
@@ -51,4 +52,22 @@ let vkeys () =
     | Some _ | None -> 0)
   | None -> 0
 
-let kard_config () = { Kard_core.Config.default with Kard_core.Config.vkeys = vkeys () }
+let sampling_env = "KARD_SAMPLING"
+
+(* 1.0 = full Kard (sampling disabled, byte-identical to the unsampled
+   detector), so the default changes nothing; an override in (0, 1]
+   turns the whole default-config surface into a sampled detector at
+   that rate.  Malformed or out-of-range values are ignored rather
+   than clamped — a typo must not silently weaken detection. *)
+let sampling () =
+  match Sys.getenv_opt sampling_env with
+  | Some s ->
+    (match float_of_string_opt (String.trim s) with
+    | Some r when r > 0.0 && r <= 1.0 -> r
+    | Some _ | None -> 1.0)
+  | None -> 1.0
+
+let kard_config () =
+  { Kard_core.Config.default with
+    Kard_core.Config.vkeys = vkeys ();
+    sampling = sampling () }

@@ -51,6 +51,11 @@ val keys_out : string
 (** Tracked output of [kard bench -e keys] (the key-pressure sweep):
     ["BENCH_pr8.json"]. *)
 
+val sampling_out : string
+(** Tracked output of [kard bench -e sampling] (the sampling sweep:
+    detection probability / latency vs rate, plus sampled-kard serve
+    goodput): ["BENCH_pr9.json"]. *)
+
 val jobs_env : string
 (** Name of the environment variable overriding the worker count:
     ["KARD_JOBS"]. *)
@@ -80,7 +85,18 @@ val vkeys : unit -> int
     byte-identical to the pre-vkey detector).  A malformed override is
     ignored. *)
 
+val sampling_env : string
+(** Name of the environment variable overriding the sampling rate:
+    ["KARD_SAMPLING"]. *)
+
+val sampling : unit -> float
+(** Sampling rate for default-config Kard runs: [$KARD_SAMPLING] when
+    set to a float in (0, 1], otherwise [1.0] (full Kard —
+    byte-identical to the unsampled detector).  A malformed or
+    out-of-range override is ignored, never clamped. *)
+
 val kard_config : unit -> Kard_core.Config.t
-(** [Config.default] with {!vkeys} applied — what every "default kard"
-    surface (CLI, bench driver, test harness) should construct, so the
-    whole suite can be swept under virtual keys from the environment. *)
+(** [Config.default] with {!vkeys} and {!sampling} applied — what
+    every "default kard" surface (CLI, bench driver, test harness)
+    should construct, so the whole suite can be swept under virtual
+    keys or a sampling rate from the environment. *)

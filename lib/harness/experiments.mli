@@ -419,6 +419,96 @@ val keys :
 
 val print_keys_bench : keys_bench -> unit
 
+(** {1 Sampling sweep (tracked in BENCH_pr9.json)} *)
+
+type sampling_row = {
+  sp_subject : string;      (** Race scenario or key-pressure point. *)
+  sp_rate : float;          (** [Config.sampling] of the row's runs. *)
+  sp_runs : int;            (** Seeds swept. *)
+  sp_detected : int;        (** Runs with >= 1 surviving race record. *)
+  sp_detection_pct : float;
+  sp_subset_ok : bool;
+      (** Every run's race-object set was a subset of the same seed's
+          rate-1.0 set: sampling delayed or missed, never invented.
+          Asserted on the pinned-schedule scenario subjects only —
+          open-schedule subjects (keypressure) reschedule under
+          sampling's different charges, so cross-run containment is
+          undefined and the flag is vacuously [true] there (the fuzz
+          taxonomy covers those via same-execution oracles). *)
+  sp_latency_min : int;     (** Detection latency — critical-section
+                                entries until the first fresh race
+                                record — over the detecting runs;
+                                [-1] when none detected. *)
+  sp_latency_p50 : int;
+  sp_latency_max : int;
+  sp_mean_cs_entries : float;  (** Mean CS entries per run (the
+                                   latency denominator's scale). *)
+  sp_sampled_sections : int;   (** Aggregate over the row's runs. *)
+  sp_skipped_sections : int;
+  sp_skipped_accesses : int;
+  sp_mean_cycles : float;
+}
+
+type sampling_bench = {
+  sp_epoch : int;           (** [Config.sampling_epoch] of the sweep. *)
+  sp_seeds : int list;
+  sp_rates : float list;
+  sp_rows : sampling_row list;  (** Subject-major, rate-minor. *)
+  sp_serve : serve_sweep;
+      (** The open-loop nginx sweep rerun with sampled-kard detectors
+          ("kard-s10"/"kard-s25"/"kard-s50") next to "none" and the
+          full "kard" — the goodput-under-SLO recovery claim. *)
+}
+
+val default_sampling_rates : float list
+(** [[0.1; 0.25; 0.5; 1.0]] — 1.0 is the full-Kard reference the
+    subset check compares against. *)
+
+val default_sampling_scenarios : string list
+(** Race-suite subjects with reliable full-rate detection across the
+    seed sweep, so the rate column is what moves probability. *)
+
+val default_serve_sampling_rates : float list
+(** [[0.1; 0.25; 0.5]] — the sampled-kard serve contestants. *)
+
+val default_sampling_epoch : int
+(** [100_000] simulated cycles per sampling epoch. *)
+
+val serve_sampling_detectors : float list -> (string * Runner.detector) list
+(** ["none"], full ["kard"], then one ["kard-sNN"] per rate. *)
+
+val sampling_plan :
+  ?scenarios:string list ->
+  ?rates:float list ->
+  ?epoch:int ->
+  ?seeds:int list ->
+  ?serve_rates:float list ->
+  ?scale:float ->
+  ?slo:int ->
+  ?shards:int ->
+  unit ->
+  sampling_bench Pool.plan
+(** One Kard run per (subject, rate, seed), plus the serve sweep's
+    jobs; the merge aggregates detection probability, the
+    detection-latency distribution and the subset check per row.
+    [scale] (default 0.1) applies to the key-pressure subject only —
+    scenarios always run at full scale. *)
+
+val sampling :
+  ?jobs:int ->
+  ?scenarios:string list ->
+  ?rates:float list ->
+  ?epoch:int ->
+  ?seeds:int list ->
+  ?serve_rates:float list ->
+  ?scale:float ->
+  ?slo:int ->
+  ?shards:int ->
+  unit ->
+  sampling_bench
+
+val print_sampling : sampling_bench -> unit
+
 (** {1 MPK microbenchmarks (section 2.2)} *)
 
 val print_micro : unit -> unit

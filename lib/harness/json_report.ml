@@ -70,7 +70,18 @@ let of_kard_stats (s : Kard_core.Detector.stats) =
              field "evictions" (int_ s.Kard_core.Detector.vkey_evictions);
              field "loads" (int_ s.Kard_core.Detector.vkey_loads);
              field "retag_pages" (int_ s.Kard_core.Detector.vkey_retag_pages);
-             field "stalls" (int_ s.Kard_core.Detector.vkey_stalls) ]) ]
+             field "stalls" (int_ s.Kard_core.Detector.vkey_stalls) ]);
+      field "sampling"
+        (obj
+           [ field "rate" (float_ s.Kard_core.Detector.sampling_rate);
+             field "sampled_sections" (int_ s.Kard_core.Detector.sampled_sections);
+             field "skipped_sections" (int_ s.Kard_core.Detector.skipped_sections);
+             field "sampled_objects" (int_ s.Kard_core.Detector.sampled_objects);
+             field "skipped_objects" (int_ s.Kard_core.Detector.skipped_objects);
+             field "skipped_accesses" (int_ s.Kard_core.Detector.skipped_accesses);
+             field "rotations" (int_ s.Kard_core.Detector.sampling_rotations);
+             field "rearm_pages" (int_ s.Kard_core.Detector.sampling_rearm_pages);
+             field "first_race_cs" (int_ s.Kard_core.Detector.first_race_cs) ]) ]
 
 let of_summary (s : Kard_obs.Metrics.summary) =
   obj
@@ -315,6 +326,35 @@ let of_keys_bench ~build (b : Experiments.keys_bench) =
       field "scale" (float_ b.Experiments.kp_scale);
       field "seed" (int_ b.Experiments.kp_seed);
       field "rows" (arr (List.map of_keys_row b.Experiments.kp_rows)) ]
+
+let of_sampling_row (row : Experiments.sampling_row) =
+  obj
+    [ field "subject" (str row.Experiments.sp_subject);
+      field "rate" (float_ row.Experiments.sp_rate);
+      field "runs" (int_ row.Experiments.sp_runs);
+      field "detected_runs" (int_ row.Experiments.sp_detected);
+      field "detection_pct" (float_ row.Experiments.sp_detection_pct);
+      field "subset_ok" (bool_ row.Experiments.sp_subset_ok);
+      field "latency_cs_entries"
+        (obj
+           [ field "min" (int_ row.Experiments.sp_latency_min);
+             field "p50" (int_ row.Experiments.sp_latency_p50);
+             field "max" (int_ row.Experiments.sp_latency_max) ]);
+      field "mean_cs_entries" (float_ row.Experiments.sp_mean_cs_entries);
+      field "sampled_sections" (int_ row.Experiments.sp_sampled_sections);
+      field "skipped_sections" (int_ row.Experiments.sp_skipped_sections);
+      field "skipped_accesses" (int_ row.Experiments.sp_skipped_accesses);
+      field "mean_sim_cycles" (float_ row.Experiments.sp_mean_cycles) ]
+
+let of_sampling_bench ~build ~threads ~scale ~seed (b : Experiments.sampling_bench) =
+  obj
+    [ field "benchmark" (str "sampling");
+      field "build" (str build);
+      field "epoch_cycles" (int_ b.Experiments.sp_epoch);
+      field "seeds" (arr (List.map int_ b.Experiments.sp_seeds));
+      field "rates" (arr (List.map float_ b.Experiments.sp_rates));
+      field "rows" (arr (List.map of_sampling_row b.Experiments.sp_rows));
+      field "serve" (of_serve_sweep ~threads ~scale ~seed b.Experiments.sp_serve) ]
 
 let pretty json =
   let buf = Buffer.create (String.length json * 2) in

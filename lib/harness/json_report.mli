@@ -71,5 +71,20 @@ val of_keys_bench : build:string -> Experiments.keys_bench -> string
     key-management counters (sharing, recycling, vkey cache traffic).
     [build] labels the dune profile. *)
 
+val of_sampling_bench :
+  build:string ->
+  threads:int ->
+  scale:float ->
+  seed:int ->
+  Experiments.sampling_bench ->
+  string
+(** The tracked sampling sweep (see BENCH_pr9.json): per (subject,
+    rate) the detection probability, the detection-latency
+    distribution in critical-section entries, the subset check against
+    the same-seed rate-1.0 runs and the fast-path counters; plus the
+    embedded ["serve"] sweep with sampled-kard detectors — the
+    goodput-under-SLO recovery claim.  [threads]/[scale]/[seed]
+    describe the serve section.  [build] labels the dune profile. *)
+
 val pretty : string -> string
 (** Re-indent a JSON string (objects and arrays, 2 spaces). *)

@@ -18,6 +18,7 @@ type t = {
   atomic_op : int;
   vkey_load : int;
   vkey_retag_page : int;
+  sampling_check : int;
   rdtscp : int;
   tsan_access : int;
   tsan_sync : int;
@@ -49,6 +50,11 @@ let default =
        pages into few syscalls (libmpk's measured ~2x batching win). *)
     vkey_load = 1600;
     vkey_retag_page = 24;
+    (* Sampling decision at section entry: one multiplicative hash
+       and a compare against the fixed-point rate threshold — a
+       handful of ALU ops, no memory traffic (HardRace reports the
+       check itself is noise next to one WRPKRU). *)
+    sampling_check = 6;
     rdtscp = 30;
     tsan_access = 14;
     tsan_sync = 160;

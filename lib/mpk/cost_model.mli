@@ -32,6 +32,8 @@ type t = {
                                  load/evict; below [pkey_mprotect_page]
                                  because the retag batches ranges into
                                  few syscalls (libmpk). *)
+  sampling_check : int;      (** Seeded hash + threshold compare of the
+                                 sampling policy at section entry. *)
   rdtscp : int;
   tsan_access : int;         (** TSan shadow-memory work per access. *)
   tsan_sync : int;           (** TSan work per lock/unlock. *)

@@ -53,6 +53,19 @@ module Bitset = struct
     end
 
   let count t = t.count
+
+  let remove t i =
+    if i >= 0 then begin
+      let word = i / bits_per_word in
+      if word < Array.length t.words then begin
+        let bit = 1 lsl (i mod bits_per_word) in
+        let w = t.words.(word) in
+        if w land bit <> 0 then begin
+          t.words.(word) <- w land lnot bit;
+          t.count <- t.count - 1
+        end
+      end
+    end
 end
 
 (* A FIFO ring over ints, used for lock waiter queues: [push]/[pop]

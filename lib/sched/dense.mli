@@ -23,6 +23,9 @@ module Bitset : sig
 
   val count : t -> int
   (** Number of distinct members, maintained incrementally. *)
+
+  val remove : t -> int -> unit
+  (** Idempotent; clearing an absent (or negative) index is a no-op. *)
 end
 
 (** A FIFO ring buffer over ints: [Queue]'s push/pop without the

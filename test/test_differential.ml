@@ -10,16 +10,23 @@
    that effective key assignment never multiplexes two generated
    objects onto one key — key grouping is a deliberate
    over-approximation of the MPK design that the idealized
-   per-object-key algorithm cannot express, so under this restriction
-   the runtime and Algorithm 1 must agree {e exactly}.  It stays as
-   the fast tier-1 contract.
+   per-object-key algorithm cannot express.  Even so, exact agreement
+   is not the contract: the runtime's fault-driven view legitimately
+   diverges from the replayed event order through a handful of
+   documented mechanisms (release-window rescue, RO-domain write
+   blame, proactive entry-walk holds, interleave pruning, demotion),
+   each of which stamps a per-object provenance bit.  The tier-1
+   contract is {e evidence-bounded agreement}: every disagreement in
+   either direction must be explained by the matching provenance bit
+   on that object — an over-report with no precision-losing mechanism
+   on record, or a silent miss with none, still fails.
 
-   The full-surface generator from [lib/fuzz] drops that restriction
-   (object reuse, >13 live objects, nested and inconsistent locking,
-   atomics): there the two detectors may diverge, but only within the
-   documented taxonomy — every divergence must classify as expected
-   ([wide] cases below; the 10k campaign in EXPERIMENTS.md is the
-   full-strength version). *)
+   The full-surface generator from [lib/fuzz] drops the
+   one-object-per-site restriction (object reuse, >13 live objects,
+   nested and inconsistent locking, atomics): there the two detectors
+   diverge more broadly, but only within the documented taxonomy —
+   every divergence must classify as expected ([wide] cases below; the
+   10k campaign in EXPERIMENTS.md is the full-strength version). *)
 
 module Machine = Kard_sched.Machine
 module Program = Kard_sched.Program
@@ -48,6 +55,20 @@ let plan_gen =
     return { r_obj; r_lock; r_ops }
   in
   list_size (int_range 2 3) (list_size (int_range 0 6) round)
+
+let print_plan plan =
+  String.concat "\n"
+    (List.mapi
+       (fun t rounds ->
+         Printf.sprintf "thread %d: %s" t
+           (String.concat " "
+              (List.map
+                 (fun r ->
+                   Printf.sprintf "(o%d,l%d,[%s])" r.r_obj r.r_lock
+                     (String.concat ""
+                        (List.map (function `R -> "R" | `W -> "W") r.r_ops)))
+                 rounds)))
+       plan)
 
 let trace_event_of_hooks trace bases =
   let obj_of_addr addr =
@@ -81,10 +102,17 @@ let trace_event_of_hooks trace bases =
           | None -> ());
           hooks.Hooks.on_write ~tid ~addr) }
 
+type outcome = {
+  kard_objs : int list;    (* plan indices the runtime flagged *)
+  pure_objs : int list;    (* plan indices Algorithm 1 flagged *)
+  prov : int -> Detector.provenance;  (* by plan index *)
+}
+
 let run_plan ~seed (plan : plan) =
   let cell = ref None in
   let trace = ref [] in
   let bases = Array.make n_objects 0 in
+  let ids = Array.make n_objects (-1) in
   let allocated = ref 0 in
   let make_detector env = trace_event_of_hooks trace bases (Detector.make ~cell env) in
   let machine =
@@ -113,6 +141,7 @@ let run_plan ~seed (plan : plan) =
         (Kard_workloads.Builder.alloc_many ~n:n_objects ~size:64 ~site:7000
            ~into:(fun i meta ->
              bases.(i) <- meta.Kard_alloc.Obj_meta.base;
+             ids.(i) <- meta.Kard_alloc.Obj_meta.id;
              incr allocated))
         work
     else work
@@ -135,25 +164,55 @@ let run_plan ~seed (plan : plan) =
   let pure = A.create () in
   let pure_races = A.run pure (List.rev !trace) in
   let pure_objs = List.sort_uniq compare (List.map (fun (r : A.race) -> r.A.obj) pure_races) in
-  (kard_objs, pure_objs)
+  { kard_objs; pure_objs; prov = (fun i -> Detector.provenance detector ~obj_id:ids.(i)) }
 
-let subset a b = List.for_all (fun x -> List.mem x b) a
+(* The evidence-bounded agreement contract.  An over-report (runtime
+   flags an object Algorithm 1 does not) is legitimate only under a
+   mechanism that blames without an algorithm-granted hold: the
+   release-timestamp rescue window, RO-domain write-fault blame, or a
+   proactive entry-walk hold (contested keys skipped at entry, nested
+   exits dropping an outer hold — the QCHECK_SEED=182957440 repro is
+   exactly this class).  An under-report is legitimate only when the
+   object's record or association was discarded: interleave pruning,
+   demotion to Not-accessed, or invisibility in the Read-only
+   domain. *)
+let explained (o : outcome) =
+  List.for_all
+    (fun i ->
+      List.mem i o.pure_objs
+      ||
+      let p = o.prov i in
+      p.Detector.rescued || p.Detector.ro_blamed || p.Detector.proactive_blamed)
+    o.kard_objs
+  && List.for_all
+       (fun i ->
+         List.mem i o.kard_objs
+         ||
+         let p = o.prov i in
+         p.Detector.pruned || p.Detector.demoted || p.Detector.ro_identified)
+       o.pure_objs
+
+let explain_failure ~seed plan (o : outcome) =
+  Printf.sprintf "seed %d: kard=[%s] pure=[%s]\n%s" seed
+    (String.concat ";" (List.map string_of_int o.kard_objs))
+    (String.concat ";" (List.map string_of_int o.pure_objs))
+    (print_plan plan)
 
 let differential_prop =
-  QCheck.Test.make ~name:"kard and Algorithm 1 agree on racy objects" ~count:120
-    (QCheck.make ~print:(fun _ -> "<plan>") plan_gen)
+  QCheck.Test.make ~name:"kard and Algorithm 1 agree modulo provenance evidence" ~count:120
+    (QCheck.make ~print:print_plan plan_gen)
     (fun plan ->
-      let kard_objs, pure_objs = run_plan ~seed:11 plan in
-      subset kard_objs pure_objs && subset pure_objs kard_objs)
+      let o = run_plan ~seed:11 plan in
+      explained o || QCheck.Test.fail_report (explain_failure ~seed:11 plan o))
 
 let seeds_prop =
   QCheck.Test.make ~name:"agreement holds across scheduler seeds" ~count:40
-    (QCheck.make ~print:(fun _ -> "<plan>") plan_gen)
+    (QCheck.make ~print:print_plan plan_gen)
     (fun plan ->
       List.for_all
         (fun seed ->
-          let kard_objs, pure_objs = run_plan ~seed plan in
-          subset kard_objs pure_objs && subset pure_objs kard_objs)
+          let o = run_plan ~seed plan in
+          explained o || QCheck.Test.fail_report (explain_failure ~seed plan o))
         [ 2; 3 ])
 
 let test_known_racy_plan () =
@@ -162,9 +221,9 @@ let test_known_racy_plan () =
     [ [ { r_obj = 0; r_lock = 0; r_ops = [ `W ] }; { r_obj = 0; r_lock = 0; r_ops = [ `W ] } ];
       [ { r_obj = 0; r_lock = 1; r_ops = [ `W ] }; { r_obj = 0; r_lock = 1; r_ops = [ `W ] } ] ]
   in
-  let kard_objs, pure_objs = run_plan ~seed:11 plan in
-  Alcotest.(check (list int)) "pure flags object 0" [ 0 ] pure_objs;
-  Alcotest.(check (list int)) "kard flags object 0" [ 0 ] kard_objs
+  let o = run_plan ~seed:11 plan in
+  Alcotest.(check (list int)) "pure flags object 0" [ 0 ] o.pure_objs;
+  Alcotest.(check (list int)) "kard flags object 0" [ 0 ] o.kard_objs
 
 let test_known_clean_plan () =
   (* Consistent locking: nobody flags anything. *)
@@ -173,9 +232,35 @@ let test_known_clean_plan () =
       [ { r_obj = 1; r_lock = 2; r_ops = [ `W ] } ];
       [ { r_obj = 2; r_lock = 0; r_ops = [ `R ] } ] ]
   in
-  let kard_objs, pure_objs = run_plan ~seed:11 plan in
-  Alcotest.(check (list int)) "pure clean" [] pure_objs;
-  Alcotest.(check (list int)) "kard clean" [] kard_objs
+  let o = run_plan ~seed:11 plan in
+  Alcotest.(check (list int)) "pure clean" [] o.pure_objs;
+  Alcotest.(check (list int)) "kard clean" [] o.kard_objs
+
+(* The minimized repro for the historical flake (CHANGES.md PR 8,
+   QCHECK_SEED=182957440): thread 1's nested revisits of o2 under l0
+   while thread 0 writes o2 under l0/l2 produce a race record whose
+   blamed hold was formed by the proactive entry walk — Algorithm 1
+   never grants it, so the runtime over-reports o2 with the
+   [proactive_blamed] bit set.  Locked in as a regression test: the
+   record must survive, and the evidence contract must explain it. *)
+let test_proactive_repro_plan () =
+  let r obj lock ops = { r_obj = obj; r_lock = lock; r_ops = ops } in
+  let plan =
+    [ [ r 2 2 [ `W; `R ]; r 0 2 [ `R; `W ]; r 2 2 [ `R; `R; `W ]; r 2 0 [ `R; `W; `R ] ];
+      [ r 3 1 [ `R; `R ]; r 3 2 [ `W; `W; `W ]; r 2 0 [ `W ]; r 2 0 [ `R ]; r 1 0 [ `W; `R ] ] ]
+  in
+  let o = run_plan ~seed:11 plan in
+  Alcotest.(check bool) "evidence explains the divergence" true (explained o);
+  if not (List.equal Int.equal o.kard_objs o.pure_objs) then
+    List.iter
+      (fun i ->
+        if not (List.mem i o.pure_objs) then
+          Alcotest.(check bool)
+            (Printf.sprintf "over-report of o%d carries blame evidence" i)
+            true
+            (let p = o.prov i in
+             p.Detector.rescued || p.Detector.ro_blamed || p.Detector.proactive_blamed))
+      o.kard_objs
 
 (* {1 Wide generator: full surface, taxonomy-bounded divergence}
 
@@ -218,6 +303,7 @@ let () =
     [ ( "differential",
         [ Alcotest.test_case "known racy plan" `Quick test_known_racy_plan;
           Alcotest.test_case "known clean plan" `Quick test_known_clean_plan;
+          Alcotest.test_case "proactive-hold over-report repro" `Quick test_proactive_repro_plan;
           QCheck_alcotest.to_alcotest differential_prop;
           QCheck_alcotest.to_alcotest seeds_prop ] );
       ( "wide",

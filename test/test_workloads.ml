@@ -13,6 +13,13 @@ let check_int = Alcotest.(check int)
 
 let tiny_scale = 0.002
 
+(* The documented-race assertions below count exact detections, so
+   they pin the sampling rate at 1.0 (the identity — DESIGN.md §12):
+   under an ambient $KARD_SAMPLING the races would legitimately be
+   sampled out.  Other knobs ($KARD_VKEYS, $KARD_SHARDS) still apply. *)
+let full_kard () =
+  { (Kard_harness.Defaults.kard_config ()) with Kard_core.Config.sampling = 1.0 }
+
 (* {1 Catalog shape} *)
 
 let test_registry_complete () =
@@ -85,7 +92,7 @@ let distinct_objs races =
 let app_race_case name expected =
   Alcotest.test_case name `Slow (fun () ->
       let spec = Registry.find name in
-      let r = Runner.run ~scale:0.01 ~detector:(Runner.Kard (Kard_harness.Defaults.kard_config ())) spec in
+      let r = Runner.run ~scale:0.01 ~detector:(Runner.Kard (full_kard ())) spec in
       check_int "racy objects" expected (distinct_objs r.Runner.kard_races))
 
 let test_pigz_fp_is_not_seen_by_tsan () =
@@ -95,7 +102,7 @@ let test_pigz_fp_is_not_seen_by_tsan () =
 
 let test_aget_race_is_the_counter () =
   let spec = Registry.find "aget" in
-  let r = Runner.run ~scale:0.01 ~detector:(Runner.Kard (Kard_harness.Defaults.kard_config ())) spec in
+  let r = Runner.run ~scale:0.01 ~detector:(Runner.Kard (full_kard ())) spec in
   match r.Runner.kard_ilu_races with
   | race :: _ ->
     check "faulting side is the lock-free reader" true
