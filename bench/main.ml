@@ -10,8 +10,8 @@
 
    Experiment ids: micro, bechamel, figure2, table1 (= table4 =
    scenarios), table3, table5, table6, figure5, nginx-sweep, memory,
-   throughput, parallel, serve, shard, keys, sampling, obs, nolock,
-   explore, ablation.
+   throughput, parallel, serve, shard, keys, sampling, record, obs,
+   nolock, explore, ablation.
 
    [throughput] additionally writes its rows as JSON to --bench-out
    (default BENCH_pr4.json): the tracked simulator ops/sec benchmark
@@ -45,7 +45,12 @@
    (subject, rate), the subset check against the same-seed rate-1.0
    runs, plus the serve sweep rerun with sampled-kard detectors; rows
    are simulation outputs, byte-identical at any --jobs/--shards
-   value.
+   value.  [record] writes --record-out (default BENCH_pr10.json):
+   record/replay overhead — host-time cost of the nondeterminism
+   recorder, the simulated-cycle overhead (contract: exactly 0), log
+   bytes per step against the DESIGN.md section 13 budget, and a
+   strict-replay identity check per subject; its cells are wall-clock
+   timed, so like [throughput] it stays serial.
 
    Table experiments run on the Domain pool; --jobs (or $KARD_JOBS)
    sets the worker count, defaulting to the host core count.
@@ -66,6 +71,7 @@ let serve_out = ref Kard_harness.Defaults.serve_out
 let shard_out = ref Kard_harness.Defaults.shard_out
 let keys_out = ref Kard_harness.Defaults.keys_out
 let sampling_out = ref Kard_harness.Defaults.sampling_out
+let record_out = ref Kard_harness.Defaults.record_out
 let build_label = ref "dev"
 
 (* [None] lets Pool fall back to $KARD_JOBS / the host core count. *)
@@ -384,6 +390,20 @@ let sampling () =
   close_out oc;
   Printf.printf "wrote %s\n" !sampling_out
 
+(* {1 Tracked record/replay overhead benchmark (BENCH_pr10.json)} *)
+
+let record () =
+  (* Wall-clock timed cells: serial like [throughput], and the default
+     subjects already mix spec, key-pressure and scenario targets. *)
+  let b = Experiments.record_bench ~scale:!scale ?shards:!shards () in
+  Experiments.print_record b;
+  let json = Kard_harness.Json_report.of_record_bench ~build:!build_label b in
+  let oc = open_out !record_out in
+  output_string oc (Kard_harness.Json_report.pretty json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" !record_out
+
 (* {1 Driver} *)
 
 let experiments =
@@ -413,6 +433,7 @@ let experiments =
     ("shard", shard);
     ("keys", keys);
     ("sampling", sampling);
+    ("record", record);
     ("obs", obs);
     ("nolock", nolock);
     ("explore", explore);
@@ -452,6 +473,9 @@ let () =
       parse rest
     | "--sampling-out" :: path :: rest ->
       sampling_out := path;
+      parse rest
+    | "--record-out" :: path :: rest ->
+      record_out := path;
       parse rest
     | "--shards" :: n :: rest ->
       shards := Some (int_of_string n);

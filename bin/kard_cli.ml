@@ -5,9 +5,12 @@
      run <workload>            run one workload under one detector
      scenario <name>           run one controlled race scenario
      trace <workload>          run with tracing; export a Chrome/Perfetto trace
+     record <target>           run with the nondeterminism recorder on; write a replay log
+     replay <file>             re-execute a recorded log, verifying fidelity against the tape
      bench                     tracked benchmarks: throughput (Defaults.throughput_out),
                                --only keys, the key-pressure precision sweep (Defaults.keys_out),
-                               or --only sampling, the sampling sweep (Defaults.sampling_out)
+                               --only sampling, the sampling sweep (Defaults.sampling_out),
+                               or --only record, recording overhead (Defaults.record_out)
      serve-sweep               open-loop serving latency/goodput sweep (writes Defaults.serve_out)
      repro <experiment>        regenerate a paper table/figure
      fuzz                      differential fuzzing campaign over random programs
@@ -22,6 +25,9 @@ module Experiments = Kard_harness.Experiments
 module Defaults = Kard_harness.Defaults
 module Job = Kard_harness.Job
 module Pool = Kard_harness.Pool
+module Record = Kard_harness.Record
+module Log = Kard_replay.Log
+module Campaign = Kard_fuzz.Campaign
 
 open Cmdliner
 
@@ -372,6 +378,164 @@ let hunt_cmd =
     (Cmd.info "hunt" ~doc:"Sweep schedules for a race, then replay the found interleaving")
     Term.(const action $ name_arg $ tries_arg $ jobs_arg)
 
+(* record / replay: the nondeterminism-log layer (DESIGN.md §13).
+   With --json both commands print only the run's result JSON on
+   stdout — status and fidelity lines go to stderr — so CI can diff a
+   recorded run against its replay byte-for-byte.  Targets are
+   workloads, scenario:NAME, or fuzz:SEED:INDEX (a campaign program,
+   reconstructed from the pair). *)
+
+let fuzz_build (r : Campaign.reconstructed) machine =
+  let (_ : Kard_fuzz.Prog.run_ctx) =
+    Kard_fuzz.Prog.spawn_all r.Campaign.rp_prog ~machine ~on_event:(fun _ -> ())
+  in
+  ()
+
+let print_or_json ~json result =
+  if json then
+    print_endline (Kard_harness.Json_report.pretty (Kard_harness.Json_report.of_result result))
+  else print_result result
+
+let sanitize_target name =
+  String.map (function ':' | '/' -> '-' | c -> c) name
+
+let record_cmd =
+  let target_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"TARGET"
+             ~doc:
+               "What to record: a workload name, $(b,scenario:)NAME, or \
+                $(b,fuzz:)SEED$(b,:)INDEX (program INDEX of fuzz campaign SEED, reconstructed \
+                from the pair — no program file needed).")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "out"; "output" ] ~docv:"FILE"
+             ~doc:"Replay-log output path (default: $(docv) derived from the target name).")
+  in
+  let action target detector vkeys sampling threads scale seed shards out json =
+    let fail msg =
+      Printf.eprintf "record: %s\n" msg;
+      exit 2
+    in
+    let out = Option.value ~default:(sanitize_target target ^ ".rlog") out in
+    let result, log =
+      match Campaign.of_target target with
+      | Some (cseed, i) ->
+        (* A campaign program records under its campaign entry's
+           detector configuration and machine seed by default;
+           --sampling/--vkeys (e.g. record cheap, replay full) and
+           --seed still apply on top. *)
+        let r = Campaign.reconstruct ~seed:cseed i in
+        let detector =
+          with_sampling sampling (with_vkeys vkeys (Runner.Kard r.Campaign.rp_config))
+        in
+        let seed =
+          if seed = Defaults.seed then r.Campaign.rp_machine_seed else seed
+        in
+        Record.record_build ?shards
+          ~threads:(r.Campaign.rp_prog.Kard_fuzz.Prog.workers + 1)
+          ~scale:1.0 ~seed ~detector ~target (fuzz_build r)
+          (Printf.sprintf "fuzz-%d-%d" cseed i)
+      | None -> (
+        match Record.find_subject target with
+        | Error msg -> fail msg
+        | Ok subject ->
+          let detector = with_sampling sampling (with_vkeys vkeys detector) in
+          let override_config =
+            match subject with
+            | Record.Scenario sc when vkeys <> None || sampling <> None ->
+              let c = sc.Race_suite.config in
+              let c =
+                match vkeys with Some n -> { c with Kard_core.Config.vkeys = n } | None -> c
+              in
+              let c =
+                match sampling with
+                | Some r -> { c with Kard_core.Config.sampling = r }
+                | None -> c
+              in
+              Some c
+            | Record.Scenario _ | Record.Spec _ -> None
+          in
+          Record.record ?threads ~scale ~seed ?shards ?override_config ~detector subject)
+    in
+    Log.to_file out log;
+    Printf.eprintf "recorded %s: %d picks, %d grants, %d bytes -> %s\n"
+      log.Log.header.Log.target (Log.pick_count log) (Log.grant_count log)
+      (String.length (Log.encode log)) out;
+    print_or_json ~json result
+  in
+  Cmd.v
+    (Cmd.info "record"
+       ~doc:
+         "Run a target with the nondeterminism recorder on and write a compact replay log \
+          (schedule picks, lock-grant order, anchors; recording costs zero simulated cycles)")
+    Term.(const action $ target_arg $ detector_arg $ vkeys_arg $ sampling_arg $ threads_arg
+          $ scale_arg $ seed_arg $ shards_arg $ out_arg $ json_arg)
+
+let replay_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE" ~doc:"Replay log written by $(b,kard record).")
+  in
+  let detector_opt_arg =
+    Arg.(value & opt (some detector_conv) None
+         & info [ "d"; "detector" ] ~docv:"DETECTOR"
+             ~doc:
+               "Replay under this detector instead of the recorded one (cross-detector replay: \
+                record under cheap sampling, re-detect under full kard, tsan or lockset; \
+                fidelity checking drops to schedule-only strength).")
+  in
+  let action file detector vkeys sampling shards json =
+    let fail msg =
+      Printf.eprintf "replay: %s\n" msg;
+      exit 2
+    in
+    let log = try Log.of_file file with Log.Error e -> fail (Log.error_to_string e) in
+    let h = log.Log.header in
+    Printf.eprintf "replaying %s: %s, %d picks, %d grants\n" file
+      (Format.asprintf "%a" Log.pp_header h)
+      (Log.pick_count log) (Log.grant_count log);
+    (* An explicit -d/--vkeys/--sampling builds an override detector;
+       otherwise the header's own detector replays in strict mode. *)
+    let detector =
+      match (detector, vkeys, sampling) with
+      | None, None, None -> None
+      | _ ->
+        let base =
+          match detector with
+          | Some d -> d
+          | None -> (match Record.detector_of_header h with Ok d -> d | Error msg -> fail msg)
+        in
+        Some (with_sampling sampling (with_vkeys vkeys base))
+    in
+    let outcome =
+      match Campaign.of_target h.Log.target with
+      | Some (cseed, i) ->
+        let r = Campaign.reconstruct ~seed:cseed i in
+        Record.replay_build ?shards ?detector log (fuzz_build r)
+          (Printf.sprintf "fuzz-%d-%d" cseed i)
+      | None -> Record.replay ?shards ?detector log
+    in
+    match outcome with
+    | Error msg -> fail msg
+    | Ok (result, fidelity) ->
+      print_or_json ~json result;
+      (match fidelity with
+      | Ok () -> Printf.eprintf "replay fidelity: ok (tape fully consumed)\n"
+      | Error msg ->
+        Printf.eprintf "replay fidelity: DIVERGED\n%s\n" msg;
+        exit 1)
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Re-execute a recorded run from its nondeterminism log, byte-identical to the \
+          original, verifying every pick, lock grant and anchor against the tape (exit 1 on \
+          divergence)")
+    Term.(const action $ file_arg $ detector_opt_arg $ vkeys_arg $ sampling_arg $ shards_arg
+          $ json_arg)
+
 (* bench: the tracked simulator-throughput benchmark (BENCH_pr4.json). *)
 
 let bench_cmd =
@@ -380,22 +544,34 @@ let bench_cmd =
       | "throughput" -> Ok `Throughput
       | "keys" -> Ok `Keys
       | "sampling" -> Ok `Sampling
-      | s -> Error (`Msg (Printf.sprintf "unknown benchmark %S (throughput, keys or sampling)" s))
+      | "record" -> Ok `Record
+      | s ->
+        Error
+          (`Msg (Printf.sprintf "unknown benchmark %S (throughput, keys, sampling or record)" s))
     in
     let print fmt o =
       Format.pp_print_string fmt
-        (match o with `Throughput -> "throughput" | `Keys -> "keys" | `Sampling -> "sampling")
+        (match o with
+        | `Throughput -> "throughput"
+        | `Keys -> "keys"
+        | `Sampling -> "sampling"
+        | `Record -> "record")
     in
     Arg.conv (parse, print)
   in
+  (* The tracked filenames render from Defaults so the help text can
+     never go stale against where `kard bench` actually writes. *)
   let only_arg =
     Arg.(value & opt only_conv `Throughput
          & info [ "only" ] ~docv:"BENCH"
              ~doc:
-               "Which tracked benchmark to run: $(b,throughput) (simulator ops/sec, \
-                BENCH_pr4.json), $(b,keys) (the key-pressure precision sweep, BENCH_pr8.json) \
-                or $(b,sampling) (detection probability/latency vs rate plus the sampled-kard \
-                serve sweep, BENCH_pr9.json).")
+               (Printf.sprintf
+                  "Which tracked benchmark to run: $(b,throughput) (simulator ops/sec, %s), \
+                   $(b,keys) (the key-pressure precision sweep, %s), $(b,sampling) (detection \
+                   probability/latency vs rate plus the sampled-kard serve sweep, %s) or \
+                   $(b,record) (record/replay overhead and log bytes per step, %s)."
+                  Defaults.throughput_out Defaults.keys_out Defaults.sampling_out
+                  Defaults.record_out))
   in
   let out_arg =
     Arg.(value & opt (some string) None
@@ -453,12 +629,23 @@ let bench_cmd =
       output_char oc '\n';
       close_out oc;
       Printf.printf "wrote %s\n" out
+    | `Record ->
+      let out = Option.value ~default:Defaults.record_out out in
+      let b = Experiments.record_bench ?scale ~seed ?shards () in
+      Experiments.print_record b;
+      let json = Kard_harness.Json_report.of_record_bench ~build:"dev" b in
+      let oc = open_out out in
+      output_string oc (Kard_harness.Json_report.pretty json);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote %s\n" out
   in
   Cmd.v
     (Cmd.info "bench"
        ~doc:
          "Run a tracked benchmark: simulator throughput (default), the key-pressure precision \
-          sweep (--only keys) or the sampling sweep (--only sampling)")
+          sweep (--only keys), the sampling sweep (--only sampling) or record/replay overhead \
+          (--only record)")
     Term.(const action $ only_arg $ scale_opt_arg $ seed_arg $ threads_arg $ vkeys_arg $ jobs_arg
           $ shards_arg $ out_arg)
 
@@ -561,8 +748,18 @@ let fuzz_cmd =
                "Corpus directory: campaign state (resumable), per-class exemplar repros, and \
                 minimized repros for unexpected divergences.")
   in
-  let action count seed corpus jobs shards sampling =
-    let r = Kard_fuzz.Campaign.run ?jobs ?corpus ?shards ?sampling ~count ~seed () in
+  let replay_arg =
+    Arg.(value & flag
+         & info [ "replay" ]
+             ~doc:
+               "Run the record/replay gate on every program (default: only the replay-oracle \
+                config entries): record the run's nondeterminism log, round-trip the codec, \
+                strictly replay, and demand an identical report and race list.  Any difference \
+                is the never-expected replay-divergence class.")
+  in
+  let action count seed corpus jobs shards sampling replay =
+    let replay = if replay then Some true else None in
+    let r = Kard_fuzz.Campaign.run ?jobs ?corpus ?shards ?sampling ?replay ~count ~seed () in
     Format.printf "%a@." Kard_fuzz.Campaign.report r;
     Printf.printf "(%d programs this invocation%s)\n" r.Kard_fuzz.Campaign.programs
       (match corpus with None -> "" | Some dir -> Printf.sprintf ", corpus %s" dir);
@@ -574,7 +771,8 @@ let fuzz_cmd =
          "Differential fuzzing: random programs under the Kard runtime, replayed through pure \
           Algorithm 1, happens-before and Eraser-lockset oracles; every divergence must match \
           the documented taxonomy")
-    Term.(const action $ count_arg $ seed_arg $ corpus_arg $ jobs_arg $ shards_arg $ sampling_arg)
+    Term.(const action $ count_arg $ seed_arg $ corpus_arg $ jobs_arg $ shards_arg $ sampling_arg
+          $ replay_arg)
 
 (* repro *)
 
@@ -626,5 +824,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; scenario_cmd; trace_cmd; hunt_cmd; bench_cmd; serve_sweep_cmd;
-            repro_cmd; fuzz_cmd ]))
+          [ list_cmd; run_cmd; scenario_cmd; trace_cmd; hunt_cmd; record_cmd; replay_cmd;
+            bench_cmd; serve_sweep_cmd; repro_cmd; fuzz_cmd ]))

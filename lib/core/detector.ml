@@ -1394,6 +1394,7 @@ let hooks t =
   let counting = Sampling.enabled t.sampling in
   { Hooks.name = "kard";
     pure_access = not counting;
+    on_pick = (fun ~tid:_ -> ());
     on_spawn = (fun ~tid -> on_spawn t ~tid);
     on_global = (fun meta -> on_alloc t ~tid:(-1) meta);
     on_alloc = (fun ~tid meta -> on_alloc t ~tid meta);

@@ -18,6 +18,7 @@ type cls =
   | Vkey_eviction_blame
   | Sampling_missed_race
   | Shard_divergence
+  | Replay_divergence
   | Unexpected
 
 let all =
@@ -41,6 +42,7 @@ let all =
     Vkey_eviction_blame;
     Sampling_missed_race;
     Shard_divergence;
+    Replay_divergence;
     Unexpected;
   ]
 
@@ -64,6 +66,7 @@ let name = function
   | Vkey_eviction_blame -> "vkey-eviction-blame"
   | Sampling_missed_race -> "sampling-missed-race"
   | Shard_divergence -> "shard-divergence"
+  | Replay_divergence -> "replay-divergence"
   | Unexpected -> "unexpected"
 
 let of_name s = List.find_opt (fun c -> String.equal (name c) s) all
@@ -135,9 +138,16 @@ let describe = function
       "the sharded machine diverged: a run at shards>1 produced a different \
        report or race-record list than the same run at shards=1, breaching \
        the burst engine's determinism contract (DESIGN.md section 10): real bug"
+  | Replay_divergence ->
+      "record/replay broke: re-executing the run from its nondeterminism log \
+       produced a different report or race-record list, the log failed its \
+       encode/decode round trip, or the replay tape did not match — breaching \
+       the replay layer's determinism contract (DESIGN.md section 13): real bug"
   | Unexpected -> "no documented mechanism explains the disagreement: real bug"
 
-let expected = function Shard_divergence | Unexpected -> false | _ -> true
+let expected = function
+  | Shard_divergence | Replay_divergence | Unexpected -> false
+  | _ -> true
 
 let index c =
   let rec go i = function

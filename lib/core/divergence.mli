@@ -182,6 +182,18 @@ type cls =
           {e no} such difference, so this class is never expected —
           it gates the sharded execution engine behind the fuzz
           campaign's oracle equivalence. *)
+  | Replay_divergence
+      (** Record/replay broke: re-executing a run from its recorded
+          nondeterminism log (DESIGN.md §13) produced a different
+          machine report or race-record list, the log failed its
+          encode/decode round trip, or the replay tape itself did not
+          match (a pick, grant or anchor diverged, or the tape was not
+          fully consumed).  The log captures {e all} nondeterminism —
+          schedule picks and lock-grant order — so replay admits no
+          difference whatsoever; this class is never expected.  It
+          gates the record/replay layer behind the fuzz campaign's
+          oracle equivalence, exactly as {!Shard_divergence} gates the
+          burst engine. *)
   | Unexpected
       (** No documented mechanism explains the disagreement: a real
           bug in the runtime, an oracle, or the classifier. *)
@@ -198,8 +210,8 @@ val describe : cls -> string
 (** One-line human description. *)
 
 val expected : cls -> bool
-(** [true] for every class except {!Shard_divergence} and
-    {!Unexpected}. *)
+(** [true] for every class except {!Shard_divergence},
+    {!Replay_divergence} and {!Unexpected}. *)
 
 val compare : cls -> cls -> int
 val equal : cls -> cls -> bool

@@ -2,28 +2,29 @@ module D = Kard_core.Divergence
 module Config = Kard_core.Config
 module Pool = Kard_harness.Pool
 
-(* (name, detector config, machine shard count, generator pressure).
-   The sharded entries make the burst engine a standing fuzz subject:
-   every program they draw also runs the dual-machine shard gate
-   (Harness.run ?shards), so a determinism breach surfaces as the
-   never-expected shard-divergence class and fails the campaign.  The
-   vkey rotation entries pair a virtual pool with the high-pressure
-   generator profile (every program past the 13 physical keys, half
-   far past), keeping the cache's load/evict/stall windows — and
-   their one expected evidence class, vkey-eviction-blame — under the
-   three oracles; the sharded one additionally gates vkey eviction
-   against burst-engine determinism. *)
+(* (name, detector config, machine shard count, generator pressure,
+   replay gate).  The sharded entries make the burst engine a
+   standing fuzz subject: every program they draw also runs the
+   dual-machine shard gate (Harness.run ?shards), so a determinism
+   breach surfaces as the never-expected shard-divergence class and
+   fails the campaign.  The vkey rotation entries pair a virtual pool
+   with the high-pressure generator profile (every program past the
+   13 physical keys, half far past), keeping the cache's
+   load/evict/stall windows — and their one expected evidence class,
+   vkey-eviction-blame — under the three oracles; the sharded one
+   additionally gates vkey eviction against burst-engine
+   determinism. *)
 let configs =
   let d = Config.default in
-  [ ("default", d, 1, `Default);
-    ("keys4", { d with Config.data_keys = 4 }, 1, `Default);
-    ("keys4-soft", { d with Config.data_keys = 4; software_fallback = true }, 1, `Default);
-    ("by-lock", { d with Config.section_identity = Config.By_lock }, 1, `Default);
-    ("default-shards4", d, 4, `Default);
-    ("keys4-shards3", { d with Config.data_keys = 4 }, 3, `Default);
-    ("vkeys64", { d with Config.vkeys = 64 }, 1, `Vkey_rotation);
-    ("vkeys64-keys4", { d with Config.data_keys = 4; vkeys = 64 }, 1, `Vkey_rotation);
-    ("vkeys64-shards2", { d with Config.vkeys = 64 }, 2, `Vkey_rotation);
+  [ ("default", d, 1, `Default, false);
+    ("keys4", { d with Config.data_keys = 4 }, 1, `Default, false);
+    ("keys4-soft", { d with Config.data_keys = 4; software_fallback = true }, 1, `Default, false);
+    ("by-lock", { d with Config.section_identity = Config.By_lock }, 1, `Default, false);
+    ("default-shards4", d, 4, `Default, false);
+    ("keys4-shards3", { d with Config.data_keys = 4 }, 3, `Default, false);
+    ("vkeys64", { d with Config.vkeys = 64 }, 1, `Vkey_rotation, false);
+    ("vkeys64-keys4", { d with Config.data_keys = 4; vkeys = 64 }, 1, `Vkey_rotation, false);
+    ("vkeys64-shards2", { d with Config.vkeys = 64 }, 2, `Vkey_rotation, false);
     (* The sampling entries keep the subset contract under the three
        oracles: misses classify as the expected sampling-missed-race,
        while an over-report a full-detector mechanism cannot explain
@@ -31,13 +32,26 @@ let configs =
        (drain-at-fault, batched re-arm) inside even these small
        programs; the sharded entry runs the dual-machine gate with
        sampling active. *)
-    ("sampling50", { d with Config.sampling = 0.5; sampling_epoch = 100_000 }, 1, `Default);
+    ("sampling50", { d with Config.sampling = 0.5; sampling_epoch = 100_000 }, 1, `Default, false);
     ("sampling25-keys4",
-     { d with Config.sampling = 0.25; sampling_epoch = 100_000; data_keys = 4 }, 1, `Default);
+     { d with Config.sampling = 0.25; sampling_epoch = 100_000; data_keys = 4 }, 1, `Default,
+     false);
     ("sampling50-vkeys64",
-     { d with Config.sampling = 0.5; sampling_epoch = 100_000; vkeys = 64 }, 1, `Vkey_rotation);
+     { d with Config.sampling = 0.5; sampling_epoch = 100_000; vkeys = 64 }, 1, `Vkey_rotation,
+     false);
     ("sampling25-shards2",
-     { d with Config.sampling = 0.25; sampling_epoch = 100_000 }, 2, `Default) ]
+     { d with Config.sampling = 0.25; sampling_epoch = 100_000 }, 2, `Default, false);
+    (* The replay-oracle entries (DESIGN.md §13) run the record/replay
+       gate on their programs: record the run's nondeterminism log,
+       round-trip it through the wire codec, strictly replay it, and
+       demand an identical report and race list — any difference is
+       the never-expected replay-divergence class.  One entry keeps
+       the default detector; the other pairs replay with the burst
+       engine and a sampled detector, the configuration where a
+       clock-reading recorder would break first. *)
+    ("replay-oracle", d, 1, `Default, true);
+    ("replay-oracle-sampling50-shards2",
+     { d with Config.sampling = 0.5; sampling_epoch = 100_000 }, 2, `Default, true) ]
 
 type result = {
   programs : int;
@@ -59,20 +73,59 @@ type job_out = {
   shrunk_src : string option; (* unexpected ones also carry the minimized one *)
 }
 
-let run_one ?shards ?sampling ~seed i =
+(* The derivation every consumer shares: program [i] of campaign
+   [seed] is a pure function of the pair, so a recorded log whose
+   header says [fuzz:seed:i] can be re-executed anywhere — `kard
+   record`/`kard replay` rebuild the program through this exact
+   path. *)
+type reconstructed = {
+  rp_prog : Prog.t;
+  rp_config_name : string;
+  rp_config : Config.t;
+  rp_shards : int;
+  rp_replay : bool;
+  rp_machine_seed : int;
+}
+
+let reconstruct ~seed i =
   let rand = Random.State.make [| seed; i |] in
-  let config_name, config, entry_shards, pressure =
+  let config_name, config, entry_shards, pressure, replay =
     List.nth configs (i mod List.length configs)
-  in
-  let config =
-    match sampling with
-    | None -> config
-    | Some r -> { config with Config.sampling = r; sampling_epoch = 100_000 }
   in
   let prog = Prog.generate ~pressure ~rand () in
   let mseed = Random.State.int rand 1_000_000 in
-  let shards = Option.value ~default:entry_shards shards in
-  let outcome = Harness.run ~config ~shards ~seed:mseed prog in
+  { rp_prog = prog;
+    rp_config_name = config_name;
+    rp_config = config;
+    rp_shards = entry_shards;
+    rp_replay = replay;
+    rp_machine_seed = mseed }
+
+let target ~seed i = Printf.sprintf "fuzz:%d:%d" seed i
+
+let of_target s =
+  match String.split_on_char ':' s with
+  | [ "fuzz"; seed; i ] -> (
+    match (int_of_string_opt seed, int_of_string_opt i) with
+    | Some seed, Some i when i >= 0 -> Some (seed, i)
+    | _ -> None)
+  | _ -> None
+
+let run_one ?shards ?sampling ?replay ~seed i =
+  let r = reconstruct ~seed i in
+  let config_name = r.rp_config_name in
+  let config =
+    match sampling with
+    | None -> r.rp_config
+    | Some rate -> { r.rp_config with Config.sampling = rate; sampling_epoch = 100_000 }
+  in
+  let prog = r.rp_prog in
+  let mseed = r.rp_machine_seed in
+  let shards = Option.value ~default:r.rp_shards shards in
+  let replay = Option.value ~default:r.rp_replay replay in
+  let outcome =
+    Harness.run ~config ~shards ~replay ~replay_target:(target ~seed i) ~seed:mseed prog
+  in
   let obj_classes =
     List.concat_map (fun (v : Classify.obj_verdict) -> v.Classify.classes) outcome.Harness.divergent
     @ (if List.exists (D.equal D.Shard_divergence) outcome.Harness.classes then
@@ -91,7 +144,7 @@ let run_one ?shards ?sampling ~seed i =
   let shrunk_src =
     if not is_unexpected then None
     else begin
-      let oracle p = (Harness.run ~config ~shards ~seed:mseed p).Harness.unexpected in
+      let oracle p = (Harness.run ~config ~shards ~replay ~seed:mseed p).Harness.unexpected in
       let small, _evals = Shrink.minimize ~oracle prog in
       Some (header ", minimized" ^ Prog.to_ocaml small)
     end
@@ -190,7 +243,7 @@ let result_of_state st ~programs =
 let report fmt r =
   Format.fprintf fmt "@[<v 0>fuzz campaign: %d programs, %d divergent@," r.total r.divergent;
   Format.fprintf fmt "configs: %s@,"
-    (String.concat ", " (List.map (fun (n, _, _, _) -> n) configs));
+    (String.concat ", " (List.map (fun (n, _, _, _, _) -> n) configs));
   if r.class_counts = [] then Format.fprintf fmt "no divergences@,"
   else
     List.iter
@@ -203,7 +256,7 @@ let report fmt r =
       (String.concat " " (List.map string_of_int idxs)));
   Format.fprintf fmt "@]"
 
-let run ?jobs ?corpus ?shards ?sampling ~count ~seed () =
+let run ?jobs ?corpus ?shards ?sampling ?replay ~count ~seed () =
   Option.iter (fun dir -> if not (Sys.file_exists dir) then Sys.mkdir dir 0o755) corpus;
   let st = match corpus with None -> empty_state seed | Some dir -> load_state dir ~seed in
   let start = st.st_done in
@@ -211,7 +264,7 @@ let run ?jobs ?corpus ?shards ?sampling ~count ~seed () =
   let outs =
     Pool.map ?jobs
       ~label:(fun _ i -> Printf.sprintf "fuzz program %d" i)
-      (run_one ?shards ?sampling ~seed) todo
+      (run_one ?shards ?sampling ?replay ~seed) todo
   in
   (* Merge in submission (= index) order: exemplars are the lowest
      index per class, so corpus contents are jobs-invariant. *)

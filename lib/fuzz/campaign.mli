@@ -26,19 +26,48 @@
       [unexpected-<index>-full.ml]. *)
 
 val configs :
-  (string * Kard_core.Config.t * int * [ `Default | `Vkey_rotation ]) list
+  (string * Kard_core.Config.t * int * [ `Default | `Vkey_rotation ] * bool) list
 (** The (name, detector configuration, machine shard count, generator
-    pressure) entries a campaign cycles through: the default; a 4-key
-    detector (forcing grouping, recycling and sharing); a 4-key
-    detector with the software fallback; lock-identity sections; two
-    {e sharded} entries (4 and 3 shards) whose programs also run the
-    dual-machine shard gate ({!Harness.run}), so burst-engine
-    determinism is fuzzed alongside oracle equivalence; and three
-    {e vkey rotation} entries — a 64-key virtual pool over the full
-    and the 4-key physical budget, plus a sharded one — drawn with
-    the [`Vkey_rotation] generator profile ({!Prog.generate}) so
-    every program outruns the physical keys and the cache's
-    load/evict/stall windows sit under the oracles. *)
+    pressure, replay gate) entries a campaign cycles through: the
+    default; a 4-key detector (forcing grouping, recycling and
+    sharing); a 4-key detector with the software fallback;
+    lock-identity sections; two {e sharded} entries (4 and 3 shards)
+    whose programs also run the dual-machine shard gate
+    ({!Harness.run}), so burst-engine determinism is fuzzed alongside
+    oracle equivalence; three {e vkey rotation} entries — a 64-key
+    virtual pool over the full and the 4-key physical budget, plus a
+    sharded one — drawn with the [`Vkey_rotation] generator profile
+    ({!Prog.generate}) so every program outruns the physical keys and
+    the cache's load/evict/stall windows sit under the oracles; four
+    {e sampling} entries; and two {e replay-oracle} entries whose
+    programs also run the record/replay gate (record the
+    nondeterminism log, round-trip the codec, strictly replay, demand
+    identical results — any difference is the never-expected
+    replay-divergence class), one on the default detector and one
+    pairing replay with sampling and the burst engine. *)
+
+type reconstructed = {
+  rp_prog : Prog.t;
+  rp_config_name : string;
+  rp_config : Kard_core.Config.t;
+  rp_shards : int;
+  rp_replay : bool;
+  rp_machine_seed : int;
+}
+
+val reconstruct : seed:int -> int -> reconstructed
+(** Rebuild program [i] of campaign [seed]: the generator state, the
+    {!configs} entry and the machine seed are all pure functions of
+    the pair, so a log recorded from a campaign program — header
+    target [fuzz:seed:i] — can be re-executed anywhere without
+    shipping the program itself. *)
+
+val target : seed:int -> int -> string
+(** [fuzz:<seed>:<i>], the header target of a recorded campaign
+    program. *)
+
+val of_target : string -> (int * int) option
+(** Parse {!target}'s form back to [(seed, i)]. *)
 
 type result = {
   programs : int;       (** Programs run in this invocation. *)
@@ -54,6 +83,7 @@ val run :
   ?corpus:string ->
   ?shards:int ->
   ?sampling:float ->
+  ?replay:bool ->
   count:int ->
   seed:int ->
   unit ->
@@ -66,8 +96,11 @@ val run :
     every entry's sampling rate (with a 100k-cycle epoch, so
     rotations happen inside small programs) — under a rate below 1.0
     residual Kard misses classify as the expected
-    [sampling-missed-race].  Campaign results then depend on the
-    overrides, so resumable corpora should keep them fixed.
+    [sampling-missed-race]; [replay] overrides every entry's replay
+    flag (so [--replay] runs the record/replay gate on {e every}
+    program, not just the replay-oracle entries).  Campaign results
+    then depend on the overrides, so resumable corpora should keep
+    them fixed.
     @raise Failure if the corpus directory belongs to a different
     campaign seed. *)
 

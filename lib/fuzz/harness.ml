@@ -4,6 +4,9 @@ module Detector = Kard_core.Detector
 module Config = Kard_core.Config
 module D = Kard_core.Divergence
 module Race_record = Kard_core.Race_record
+module Log = Kard_replay.Log
+module Recorder = Kard_replay.Recorder
+module Replayer = Kard_replay.Replayer
 
 type outcome = {
   verdicts : Classify.obj_verdict list;
@@ -39,9 +42,49 @@ let shard_gate ~config ~seed ~shards prog =
   | Error a, Error b -> String.equal a b
   | Ok _, Error _ | Error _, Ok _ -> false
 
+(* The record/replay layer (DESIGN.md §13) is gated the same way: the
+   program runs once more on an unwrapped Kard machine with the
+   recorder composed in, the log is pushed through its wire encoding
+   and back — so the codec round-trips on every generated program —
+   and a strict replay driven by the decoded tape must reproduce the
+   report and race-record list exactly, with every pick, grant and
+   anchor matching and the tape fully consumed.  Like the shard gate,
+   the unwrapped hooks stay pure, so at shards>1 recording and replay
+   both genuinely run on the burst engine. *)
+let replay_gate ?(target = "fuzz") ~config ~seed ~shards prog =
+  let run_wrapped ?schedule wrap =
+    let cell = ref None in
+    let make_detector env = wrap env (Detector.make ~config ~cell env) in
+    let machine =
+      Machine.create ~seed ?schedule ~shards ~allocator ~make_detector ()
+    in
+    let (_ : Prog.run_ctx) = Prog.spawn_all prog ~machine ~on_event:(fun _ -> ()) in
+    match Machine.run machine with
+    | exception Machine.Stuck msg -> Error msg
+    | report -> Ok (report, Detector.races (Option.get !cell))
+  in
+  let recorder = Recorder.create () in
+  let recorded = run_wrapped (Recorder.wrap recorder) in
+  let header =
+    { Log.detector = "kard"; target; threads = prog.Prog.workers + 1; scale = 1.0; seed;
+      shards; config = Some config }
+  in
+  match Log.decode (Log.encode (Recorder.log recorder ~header)) with
+  | exception Log.Error _ -> false
+  | log -> (
+    let replayer = Replayer.create ~mode:Replayer.Strict log in
+    let replayed =
+      run_wrapped ~schedule:(Replayer.schedule replayer) (Replayer.wrap replayer)
+    in
+    Replayer.check replayer = Ok ()
+    && match (recorded, replayed) with
+       | Ok a, Ok b -> a = b
+       | Error a, Error b -> String.equal a b
+       | Ok _, Error _ | Error _, Ok _ -> false)
+
 let run ?(kard_filter = fun (_ : Race_record.t) -> true)
     ?(provenance_filter = fun (p : Detector.provenance) -> p) ?(config = Config.default)
-    ?(shards = 1) ~seed prog =
+    ?(shards = 1) ?(replay = false) ?replay_target ~seed prog =
   let cell = ref None in
   let log = Trace_log.create () in
   let make_detector env =
@@ -75,9 +118,13 @@ let run ?(kard_filter = fun (_ : Race_record.t) -> true)
     in
     let divergent = List.filter (fun v -> v.Classify.classes <> []) verdicts in
     let shard_ok = shards <= 1 || shard_gate ~config ~seed ~shards prog in
+    let replay_ok =
+      (not replay) || replay_gate ?target:replay_target ~config ~seed ~shards prog
+    in
     let classes =
       List.sort_uniq D.compare
         ((if shard_ok then [] else [ D.Shard_divergence ])
+        @ (if replay_ok then [] else [ D.Replay_divergence ])
         @ List.concat_map (fun v -> v.Classify.classes) divergent)
     in
     let unexpected = List.exists (fun c -> not (D.expected c)) classes in

@@ -13,7 +13,9 @@ type outcome = {
   classes : Kard_core.Divergence.cls list;
       (** Union over [divergent], sorted; additionally contains
           {!Kard_core.Divergence.Shard_divergence} when the sharded
-          dual run (below) diverged. *)
+          dual run (below) diverged, and
+          {!Kard_core.Divergence.Replay_divergence} when the
+          record/replay gate (below) did. *)
   unexpected : bool;
   stuck : string option;
       (** The machine raised [Stuck] — impossible for a {!Prog.check}ed
@@ -25,6 +27,8 @@ val run :
   ?provenance_filter:(Kard_core.Detector.provenance -> Kard_core.Detector.provenance) ->
   ?config:Kard_core.Config.t ->
   ?shards:int ->
+  ?replay:bool ->
+  ?replay_target:string ->
   seed:int ->
   Prog.t ->
   outcome
@@ -44,6 +48,17 @@ val run :
     latter on the burst engine — whose full reports and race-record
     lists must be structurally identical.  A mismatch adds the
     never-expected {!Kard_core.Divergence.Shard_divergence} class, so
-    oracle equivalence gates the sharded execution engine. *)
+    oracle equivalence gates the sharded execution engine.
+
+    [replay] (default false) additionally runs the {e replay gate}:
+    the program once more on an unwrapped Kard machine with the
+    {!Kard_replay.Recorder} composed in, the log round-tripped
+    through its wire encoding, and a strict {!Kard_replay.Replayer}
+    re-execution that must reproduce the report and race-record list
+    exactly with the tape fully consumed.  Any difference adds the
+    never-expected {!Kard_core.Divergence.Replay_divergence} class —
+    the campaign cross-checks log fidelity on generated programs the
+    same way it gates the burst engine.  [replay_target] names the
+    log's header target (default ["fuzz"]). *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

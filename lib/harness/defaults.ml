@@ -13,6 +13,7 @@ let serve_out = "BENCH_pr6.json"
 let shard_out = "BENCH_pr7.json"
 let keys_out = "BENCH_pr8.json"
 let sampling_out = "BENCH_pr9.json"
+let record_out = "BENCH_pr10.json"
 
 let jobs_env = "KARD_JOBS"
 

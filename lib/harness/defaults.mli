@@ -56,6 +56,13 @@ val sampling_out : string
     detection probability / latency vs rate, plus sampled-kard serve
     goodput): ["BENCH_pr9.json"]. *)
 
+val record_out : string
+(** Tracked output of [kard bench --only record] (recording overhead
+    and log bytes/step of the record/replay layer):
+    ["BENCH_pr10.json"].  CLI help strings must render this value —
+    not a hardcoded filename — so the tracked name can move without
+    leaving stale references. *)
+
 val jobs_env : string
 (** Name of the environment variable overriding the worker count:
     ["KARD_JOBS"]. *)

@@ -1277,6 +1277,141 @@ let print_sampling b =
   print_newline ();
   print_serve b.sp_serve
 
+(* {1 Record/replay overhead (BENCH_pr10.json)} *)
+
+type record_row = {
+  rc_subject : string;
+  rc_detector : string;
+  rc_steps : int;
+  rc_sim_cycles : int;
+  rc_sim_overhead_cycles : int;
+  rc_plain_seconds : float;
+  rc_recorded_seconds : float;
+  rc_host_overhead_pct : float;
+  rc_log_bytes : int;
+  rc_bytes_per_step : float;
+  rc_picks : int;
+  rc_grants : int;
+  rc_replay_identical : bool;
+}
+
+type record_bench = {
+  rc_scale : float;
+  rc_seed : int;
+  rc_shards : int;
+  rc_rows : record_row list;
+}
+
+(* A function, not a value: the kard detector reads $KARD_VKEYS and
+   $KARD_SAMPLING at construction time. *)
+let default_record_subjects () =
+  let kard = Runner.Kard (Defaults.kard_config ()) in
+  [ ("memcached", Runner.Baseline);
+    ("memcached", kard);
+    ("aget", kard);
+    ("keys-10k", kard);
+    ("scenario:ilu-lock-lock", kard) ]
+
+(* The detection outcome of a run, minus the trace sink (compared as
+   Chrome JSON by the tests; [Trace.t] holds closures). *)
+let record_fingerprint (r : Runner.result) =
+  ( r.Runner.report,
+    r.Runner.kard_races,
+    r.Runner.kard_ilu_races,
+    r.Runner.tsan_races,
+    r.Runner.lockset_warnings )
+
+(* Per (subject, detector): a plain run, a recorded run (contract:
+   same result, zero extra simulated cycles — [rc_sim_overhead_cycles]
+   is tracked precisely so the file proves it stays 0), a strict
+   replay of the log (must reproduce the recorded result and pass the
+   tape-fidelity check), and the encoded log's size against the
+   DESIGN.md §13 bytes-per-step budget.  Host-time overhead of the
+   recording wrapper is what [rc_host_overhead_pct] measures — like
+   [throughput], the cells run serially because they are wall-clock
+   timed. *)
+let record_bench ?subjects ?(scale = Defaults.scale) ?(seed = Defaults.seed) ?shards () =
+  let subjects =
+    match subjects with Some s -> s | None -> default_record_subjects ()
+  in
+  let shards = match shards with Some n -> n | None -> Defaults.shards () in
+  (* Warm-up, so the first timed cell is not charged for image
+     start-up. *)
+  ignore
+    (Runner.run ~threads:2 ~scale:(scale /. 4.) ~seed ~detector:Runner.Baseline
+       (Registry.find "memcached"));
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let rows =
+    List.map
+      (fun (name, detector) ->
+        let subject =
+          match Record.find_subject name with Ok s -> s | Error e -> invalid_arg e
+        in
+        let plain, plain_s =
+          time (fun () ->
+              match subject with
+              | Record.Spec spec -> Runner.run ~shards ~scale ~seed ~detector spec
+              | Record.Scenario sc -> Runner.run_scenario ~shards ~seed ~detector sc)
+        in
+        let (recorded, log), recorded_s =
+          time (fun () -> Record.record ~shards ~scale ~seed ~detector subject)
+        in
+        let bytes = Kard_replay.Log.encode log in
+        let replay_identical =
+          match Record.replay ~shards log with
+          | Ok (replayed, Ok ()) ->
+            record_fingerprint replayed = record_fingerprint recorded
+          | Ok (_, Error _) | Error _ -> false
+        in
+        let steps = recorded.Runner.report.Machine.steps in
+        { rc_subject = name;
+          rc_detector = recorded.Runner.detector_name;
+          rc_steps = steps;
+          rc_sim_cycles = recorded.Runner.report.Machine.cycles;
+          rc_sim_overhead_cycles =
+            recorded.Runner.report.Machine.cycles - plain.Runner.report.Machine.cycles;
+          rc_plain_seconds = plain_s;
+          rc_recorded_seconds = recorded_s;
+          rc_host_overhead_pct =
+            (if plain_s > 0. then 100. *. (recorded_s -. plain_s) /. plain_s else 0.);
+          rc_log_bytes = String.length bytes;
+          rc_bytes_per_step =
+            (if steps > 0 then float_of_int (String.length bytes) /. float_of_int steps
+             else 0.);
+          rc_picks = Kard_replay.Log.pick_count log;
+          rc_grants = Kard_replay.Log.grant_count log;
+          rc_replay_identical = replay_identical })
+      subjects
+  in
+  { rc_scale = scale; rc_seed = seed; rc_shards = shards; rc_rows = rows }
+
+let print_record b =
+  Printf.printf "record/replay: scale %g, seed %d, shards %d\n" b.rc_scale b.rc_seed
+    b.rc_shards;
+  let header =
+    [ "subject"; "detector"; "steps"; "sim-ovh"; "plain s"; "rec s"; "host-ovh"; "log B";
+      "B/step"; "picks"; "grants"; "replay" ]
+  in
+  let cells row =
+    [ row.rc_subject;
+      row.rc_detector;
+      Text_table.fmt_int row.rc_steps;
+      string_of_int row.rc_sim_overhead_cycles;
+      Printf.sprintf "%.3f" row.rc_plain_seconds;
+      Printf.sprintf "%.3f" row.rc_recorded_seconds;
+      Text_table.fmt_pct row.rc_host_overhead_pct;
+      Text_table.fmt_int row.rc_log_bytes;
+      Printf.sprintf "%.3f" row.rc_bytes_per_step;
+      Text_table.fmt_int row.rc_picks;
+      Text_table.fmt_int row.rc_grants;
+      (if row.rc_replay_identical then "identical" else "DIVERGED") ]
+  in
+  print_string (Text_table.render ~header (List.map cells b.rc_rows))
+
 (* {1 MPK micro} *)
 
 let print_micro () =

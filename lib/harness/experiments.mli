@@ -509,6 +509,51 @@ val sampling :
 
 val print_sampling : sampling_bench -> unit
 
+(** {1 Record/replay overhead (BENCH_pr10.json)} *)
+
+type record_row = {
+  rc_subject : string;          (** Target name as resolved by {!Record.find_subject}. *)
+  rc_detector : string;
+  rc_steps : int;               (** Machine steps of the recorded run. *)
+  rc_sim_cycles : int;
+  rc_sim_overhead_cycles : int;
+      (** Recorded-run cycles minus plain-run cycles.  The recorder
+          charges nothing, so the contract — and what the tracked file
+          proves — is that this is exactly [0]. *)
+  rc_plain_seconds : float;     (** Host wall-clock of the unrecorded run. *)
+  rc_recorded_seconds : float;  (** Host wall-clock with the recorder wrapped in. *)
+  rc_host_overhead_pct : float; (** Recording's host-time cost in percent. *)
+  rc_log_bytes : int;           (** Size of the encoded log. *)
+  rc_bytes_per_step : float;
+      (** [rc_log_bytes / rc_steps] — against the DESIGN.md §13 budget
+          of ~1 byte per step plus ~3 per lock grant. *)
+  rc_picks : int;
+  rc_grants : int;
+  rc_replay_identical : bool;
+      (** Strict replay of the log reproduced the recorded result
+          (report, races, warnings) and passed the tape-fidelity
+          check. *)
+}
+
+type record_bench = {
+  rc_scale : float;
+  rc_seed : int;
+  rc_shards : int;
+  rc_rows : record_row list;
+}
+
+val default_record_subjects : unit -> (string * Runner.detector) list
+(** memcached under baseline and kard, aget, the keys-10k key-pressure
+    workload, and the ilu-lock-lock scenario — a function because the
+    kard config reads [$KARD_VKEYS]/[$KARD_SAMPLING]. *)
+
+val record_bench :
+  ?subjects:(string * Runner.detector) list ->
+  ?scale:float -> ?seed:int -> ?shards:int -> unit -> record_bench
+(** Deliberately serial (wall-clock timed cells), like {!throughput}. *)
+
+val print_record : record_bench -> unit
+
 (** {1 MPK microbenchmarks (section 2.2)} *)
 
 val print_micro : unit -> unit

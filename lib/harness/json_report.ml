@@ -356,6 +356,32 @@ let of_sampling_bench ~build ~threads ~scale ~seed (b : Experiments.sampling_ben
       field "rows" (arr (List.map of_sampling_row b.Experiments.sp_rows));
       field "serve" (of_serve_sweep ~threads ~scale ~seed b.Experiments.sp_serve) ]
 
+let of_record_row (row : Experiments.record_row) =
+  obj
+    [ field "subject" (str row.Experiments.rc_subject);
+      field "detector" (str row.Experiments.rc_detector);
+      field "steps" (int_ row.Experiments.rc_steps);
+      field "sim_cycles" (int_ row.Experiments.rc_sim_cycles);
+      field "sim_overhead_cycles" (int_ row.Experiments.rc_sim_overhead_cycles);
+      field "plain_host_seconds" (float_ row.Experiments.rc_plain_seconds);
+      field "recorded_host_seconds" (float_ row.Experiments.rc_recorded_seconds);
+      field "host_overhead_pct" (float_ row.Experiments.rc_host_overhead_pct);
+      field "log_bytes" (int_ row.Experiments.rc_log_bytes);
+      field "bytes_per_step" (float_ row.Experiments.rc_bytes_per_step);
+      field "picks" (int_ row.Experiments.rc_picks);
+      field "grants" (int_ row.Experiments.rc_grants);
+      field "replay_identical" (bool_ row.Experiments.rc_replay_identical) ]
+
+let of_record_bench ~build (b : Experiments.record_bench) =
+  obj
+    [ field "benchmark" (str "record");
+      field "build" (str build);
+      field "log_format_version" (int_ Kard_replay.Log.version);
+      field "scale" (float_ b.Experiments.rc_scale);
+      field "seed" (int_ b.Experiments.rc_seed);
+      field "shards" (int_ b.Experiments.rc_shards);
+      field "rows" (arr (List.map of_record_row b.Experiments.rc_rows)) ]
+
 let pretty json =
   let buf = Buffer.create (String.length json * 2) in
   let indent = ref 0 in

@@ -86,5 +86,13 @@ val of_sampling_bench :
     goodput-under-SLO recovery claim.  [threads]/[scale]/[seed]
     describe the serve section.  [build] labels the dune profile. *)
 
+val of_record_bench : build:string -> Experiments.record_bench -> string
+(** The tracked record/replay overhead benchmark (see
+    BENCH_pr10.json): per (subject, detector) the recording wrapper's
+    host-time overhead, the simulated-cycle overhead (contract:
+    exactly 0), the encoded log's size and bytes-per-step against the
+    DESIGN.md §13 budget, and whether a strict replay reproduced the
+    recorded result.  [build] labels the dune profile. *)
+
 val pretty : string -> string
 (** Re-indent a JSON string (objects and arrays, 2 spaces). *)

@@ -36,7 +36,7 @@ let detector_name = function
 
 let kard_allocator = Machine.Unique_page { granule = 32; recycle_virtual_pages = false }
 
-let run_build ?trace ?interp ?shards ~threads ~scale ~seed ~detector build name =
+let run_build ?schedule ?wrap ?trace ?interp ?shards ~threads ~scale ~seed ~detector build name =
   let shards = match shards with Some n -> n | None -> Defaults.shards () in
   let kard_cell = ref None in
   let tsan_cell = ref None in
@@ -49,7 +49,12 @@ let run_build ?trace ?interp ?shards ~threads ~scale ~seed ~detector build name 
     | Tsan -> (Machine.Native, Kard_baselines.Tsan.make ~max_threads:(threads + 1) ~cell:tsan_cell)
     | Lockset -> (Machine.Native, Kard_baselines.Lockset.make ~cell:lockset_cell)
   in
-  let machine = Machine.create ~seed ?trace ?interp ~shards ~allocator ~make_detector () in
+  let make_detector =
+    match wrap with
+    | None -> make_detector
+    | Some w -> fun env -> w env (make_detector env)
+  in
+  let machine = Machine.create ~seed ?schedule ?trace ?interp ~shards ~allocator ~make_detector () in
   build machine;
   let report = Machine.run machine in
   let kard_stats = Option.map Detector.stats !kard_cell in
@@ -70,22 +75,23 @@ let run_build ?trace ?interp ?shards ~threads ~scale ~seed ~detector build name 
       (match !lockset_cell with Some l -> Kard_baselines.Lockset.warnings l | None -> []);
     trace }
 
-let run ?trace ?interp ?shards ?threads ?(scale = Defaults.scale) ?(seed = Defaults.seed)
-    ~detector (spec : Spec_alias.t) =
+let run ?schedule ?wrap ?trace ?interp ?shards ?threads ?(scale = Defaults.scale)
+    ?(seed = Defaults.seed) ~detector (spec : Spec_alias.t) =
   let threads = Option.value ~default:spec.Kard_workloads.Spec.default_threads threads in
-  run_build ?trace ?interp ?shards ~threads ~scale ~seed ~detector
+  run_build ?schedule ?wrap ?trace ?interp ?shards ~threads ~scale ~seed ~detector
     (fun machine -> spec.Kard_workloads.Spec.build ~threads ~scale ~seed machine)
     spec.Kard_workloads.Spec.name
 
-let run_scenario ?trace ?interp ?shards ?(seed = Defaults.seed) ?override_config ~detector
-    (scenario : Kard_workloads.Race_suite.t) =
+let run_scenario ?schedule ?wrap ?trace ?interp ?shards ?(seed = Defaults.seed) ?override_config
+    ~detector (scenario : Kard_workloads.Race_suite.t) =
   let detector =
     match detector, override_config with
     | Kard _, Some config -> Kard config
     | Kard _, None -> Kard scenario.Kard_workloads.Race_suite.config
     | ((Baseline | Alloc | Tsan | Lockset) as d), _ -> d
   in
-  run_build ?trace ?interp ?shards ~threads:scenario.Kard_workloads.Race_suite.threads ~scale:1.0
+  run_build ?schedule ?wrap ?trace ?interp ?shards
+    ~threads:scenario.Kard_workloads.Race_suite.threads ~scale:1.0
     ~seed
     ~detector
     scenario.Kard_workloads.Race_suite.build scenario.Kard_workloads.Race_suite.name

@@ -28,13 +28,32 @@ type result = {
 
 val detector_name : detector -> string
 
+val run_build :
+  ?schedule:Kard_sched.Schedule.t ->
+  ?wrap:(Kard_sched.Hooks.env -> Kard_sched.Hooks.t -> Kard_sched.Hooks.t) ->
+  ?trace:Kard_obs.Trace.t ->
+  ?interp:Kard_sched.Machine.interp ->
+  ?shards:int ->
+  threads:int -> scale:float -> seed:int -> detector:detector ->
+  (Kard_sched.Machine.t -> unit) -> string -> result
+(** The primitive behind {!run} and {!run_scenario}: run an arbitrary
+    machine-builder under a detector.  The record/replay layer uses it
+    for targets that are neither specs nor scenarios (fuzz-campaign
+    programs). *)
+
 val run :
+  ?schedule:Kard_sched.Schedule.t ->
+  ?wrap:(Kard_sched.Hooks.env -> Kard_sched.Hooks.t -> Kard_sched.Hooks.t) ->
   ?trace:Kard_obs.Trace.t ->
   ?interp:Kard_sched.Machine.interp ->
   ?shards:int ->
   ?threads:int -> ?scale:float -> ?seed:int -> detector:detector -> Spec_alias.t -> result
 (** Defaults: the spec's default thread count, {!Defaults.scale},
     {!Defaults.seed}.
+    [schedule] overrides the seeded schedule (the record/replay layer
+    passes [Schedule.Replay] here; [seed] still reaches the workload
+    builder).  [wrap] composes around the detector's hooks at machine
+    construction — the recording and replay-verification wrappers.
     [trace] turns on observability for the run (see
     {!Kard_sched.Machine.create}); the filled sink comes back in
     [result.trace].  [interp] selects the machine's interpreter
@@ -44,6 +63,8 @@ val run :
     results are byte-identical at any count. *)
 
 val run_scenario :
+  ?schedule:Kard_sched.Schedule.t ->
+  ?wrap:(Kard_sched.Hooks.env -> Kard_sched.Hooks.t -> Kard_sched.Hooks.t) ->
   ?trace:Kard_obs.Trace.t ->
   ?interp:Kard_sched.Machine.interp ->
   ?shards:int ->

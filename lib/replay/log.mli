@@ -1,0 +1,82 @@
+(** The compact nondeterminism log: versioned binary format.
+
+    A run of the simulated machine is fully determined by its program,
+    its configuration and two streams the scheduler layer funnels:
+    the schedule picks and the lock-grant order (FIFO wakeup makes the
+    grants a pure function of the picks, but the log carries them
+    anyway — they are the replay-time fidelity check, and the bytes
+    are cheap).  The log records the configuration fingerprint in a
+    header and the streams as a tagged byte body; see DESIGN.md
+    section 13 for the wire-format contract and the bytes-per-step
+    budget (~1 byte per scheduler step for the first 240 threads,
+    plus ~3 bytes per lock acquisition and a few bytes per anchor).
+
+    Decoding is strict: a truncated body, an unknown tag, a
+    non-canonical encoding or a trailer/body count mismatch all raise
+    {!Error} rather than produce a best-effort log — replaying an
+    approximate schedule would silently re-execute a different run. *)
+
+type header = {
+  detector : string;  (** Runner detector name: ["kard"], ["baseline"], ... *)
+  target : string;
+      (** What was recorded: ["spec:NAME"], ["scenario:NAME"] or
+          ["fuzz:SEED:INDEX"] (a campaign-generated program,
+          reconstructible from the two integers). *)
+  threads : int;
+  scale : float;  (** Exact bit pattern — not a decimal rendering. *)
+  seed : int;
+  shards : int;
+  config : Kard_core.Config.t option;
+      (** The full detector configuration for kard recordings ([None]
+          for detectors without one): every knob, not just the CLI
+          surface, so scenario configs replay exactly. *)
+}
+
+type event =
+  | Pick of int  (** The scheduler chose this tid for the next step. *)
+  | Grant of { lock : int; tid : int }
+      (** [tid] entered the critical section on [lock] (the machine's
+          [on_lock] point — uncontended acquire or FIFO ownership
+          transfer), at a committed virtual clock even under the burst
+          engine. *)
+  | Anchor of { picks : int; clock : int }
+      (** Periodic checkpoint: absolute pick count and absolute
+          virtual clock at a grant.  Pins clock-derived state —
+          open-loop arrival timetables, sampling-epoch rotation — to
+          the recorded timeline; verified on same-config replays,
+          skipped (clock half) on cross-detector ones. *)
+
+type t = { header : header; events : event list }
+
+type error =
+  | Bad_magic          (** Not a kard replay log. *)
+  | Version_mismatch of int  (** A log from a different format version. *)
+  | Truncated          (** Ran out of bytes mid-record or before the end marker. *)
+  | Corrupt of string  (** Structurally invalid (bad tag, count mismatch, ...). *)
+
+exception Error of error
+
+val error_to_string : error -> string
+
+val magic : string
+(** First four bytes of every log: ["KRDL"]. *)
+
+val version : int
+(** The wire-format version this build reads and writes. *)
+
+val encode : t -> string
+(** @raise Invalid_argument on negative tids or non-monotone anchors
+    (a recorder bug, not an input error). *)
+
+val decode : string -> t
+(** Inverse of {!encode}. @raise Error on anything malformed. *)
+
+val to_file : string -> t -> unit
+val of_file : string -> t
+
+val picks : t -> int array
+(** The pick stream alone — feed to {!Kard_sched.Schedule.Replay}. *)
+
+val pick_count : t -> int
+val grant_count : t -> int
+val pp_header : Format.formatter -> header -> unit

@@ -1,0 +1,149 @@
+module Hooks = Kard_sched.Hooks
+module Schedule = Kard_sched.Schedule
+
+type mode =
+  | Strict
+  | Schedule_only
+
+type violation = {
+  at : string;
+  expected : string;
+  actual : string;
+}
+
+let pp_violation fmt v =
+  Format.fprintf fmt "@[<h>%s: expected %s, got %s@]" v.at v.expected v.actual
+
+(* Anchors keyed by the grant count at which they were recorded. *)
+type anchor = { a_grant : int; a_picks : int; a_clock : int }
+
+type t = {
+  mode : mode;
+  picks : int array;
+  grants : (int * int) array;  (* (lock, tid) in grant order *)
+  anchors : anchor array;
+  mutable pick_cursor : int;
+  mutable grant_cursor : int;
+  mutable anchor_cursor : int;
+  mutable rev_violations : violation list;
+  max_violations : int;
+}
+
+let create ?(mode = Strict) (log : Log.t) =
+  let picks = Array.make (Log.pick_count log) 0 in
+  let grants = Array.make (Log.grant_count log) (0, 0) in
+  let rev_anchors = ref [] in
+  let pi = ref 0 and gi = ref 0 in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Log.Pick tid ->
+        picks.(!pi) <- tid;
+        incr pi
+      | Log.Grant { lock; tid } ->
+        grants.(!gi) <- (lock, tid);
+        incr gi
+      | Log.Anchor { picks; clock } ->
+        rev_anchors := { a_grant = !gi; a_picks = picks; a_clock = clock } :: !rev_anchors)
+    log.Log.events;
+  { mode;
+    picks;
+    grants;
+    anchors = Array.of_list (List.rev !rev_anchors);
+    pick_cursor = 0;
+    grant_cursor = 0;
+    anchor_cursor = 0;
+    rev_violations = [];
+    max_violations = 16 }
+
+let schedule t = Schedule.Replay t.picks
+
+let record_violation t ~at ~expected ~actual =
+  if List.length t.rev_violations < t.max_violations then
+    t.rev_violations <- { at; expected; actual } :: t.rev_violations
+
+let wrap t (env : Hooks.env) (hooks : Hooks.t) =
+  { hooks with
+    Hooks.on_pick =
+      (fun ~tid ->
+        let i = t.pick_cursor in
+        t.pick_cursor <- i + 1;
+        if i >= Array.length t.picks then
+          record_violation t
+            ~at:(Printf.sprintf "pick %d" i)
+            ~expected:(Printf.sprintf "end of tape (%d picks)" (Array.length t.picks))
+            ~actual:(Printf.sprintf "tid %d" tid)
+        else if t.picks.(i) <> tid then
+          (* [Schedule.Replay] fell back to round-robin: the replayed
+             machine's runnable set diverged from the recording. *)
+          record_violation t
+            ~at:(Printf.sprintf "pick %d" i)
+            ~expected:(Printf.sprintf "tid %d" t.picks.(i))
+            ~actual:(Printf.sprintf "tid %d" tid);
+        hooks.Hooks.on_pick ~tid);
+    on_lock =
+      (fun ~tid ~lock ~site ->
+        let g = t.grant_cursor in
+        t.grant_cursor <- g + 1;
+        (if g >= Array.length t.grants then
+           record_violation t
+             ~at:(Printf.sprintf "grant %d" g)
+             ~expected:(Printf.sprintf "end of grants (%d recorded)" (Array.length t.grants))
+             ~actual:(Printf.sprintf "lock %d to tid %d" lock tid)
+         else
+           let exp_lock, exp_tid = t.grants.(g) in
+           if exp_lock <> lock || exp_tid <> tid then
+             record_violation t
+               ~at:(Printf.sprintf "grant %d" g)
+               ~expected:(Printf.sprintf "lock %d to tid %d" exp_lock exp_tid)
+               ~actual:(Printf.sprintf "lock %d to tid %d" lock tid));
+        (* Anchors were recorded immediately after their grant, so
+           verify every anchor keyed to the now-current grant count. *)
+        while
+          t.anchor_cursor < Array.length t.anchors
+          && t.anchors.(t.anchor_cursor).a_grant = t.grant_cursor
+        do
+          let a = t.anchors.(t.anchor_cursor) in
+          t.anchor_cursor <- t.anchor_cursor + 1;
+          if a.a_picks <> t.pick_cursor then
+            record_violation t
+              ~at:(Printf.sprintf "anchor after grant %d" a.a_grant)
+              ~expected:(Printf.sprintf "%d picks" a.a_picks)
+              ~actual:(Printf.sprintf "%d picks" t.pick_cursor);
+          (* The clock half only holds when the replay runs the same
+             detector configuration: cycle charges differ otherwise. *)
+          match t.mode with
+          | Schedule_only -> ()
+          | Strict ->
+            let now = env.Hooks.now () in
+            if a.a_clock <> now then
+              record_violation t
+                ~at:(Printf.sprintf "anchor after grant %d" a.a_grant)
+                ~expected:(Printf.sprintf "clock %d" a.a_clock)
+                ~actual:(Printf.sprintf "clock %d" now)
+        done;
+        hooks.Hooks.on_lock ~tid ~lock ~site) }
+
+let violations t = List.rev t.rev_violations
+
+let check t =
+  let leftovers =
+    (if t.pick_cursor < Array.length t.picks then
+       [ { at = "end of run";
+           expected = Printf.sprintf "%d picks" (Array.length t.picks);
+           actual = Printf.sprintf "%d picks" t.pick_cursor } ]
+     else [])
+    @
+    if t.grant_cursor < Array.length t.grants then
+      [ { at = "end of run";
+          expected = Printf.sprintf "%d grants" (Array.length t.grants);
+          actual = Printf.sprintf "%d grants" t.grant_cursor } ]
+    else []
+  in
+  match violations t @ leftovers with
+  | [] -> Ok ()
+  | vs ->
+    Error
+      (Format.asprintf "@[<v>%a@]"
+         (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_violation)
+         vs)

@@ -15,6 +15,7 @@ type fault_outcome = { fault_cycles : int; action : fault_action }
 type t = {
   name : string;
   pure_access : bool;
+  on_pick : tid:int -> unit;
   on_spawn : tid:int -> int;
   on_global : Kard_alloc.Obj_meta.t -> int;
   on_alloc : tid:int -> Kard_alloc.Obj_meta.t -> int;
@@ -34,6 +35,7 @@ type t = {
 let null ~name =
   { name;
     pure_access = true;
+    on_pick = (fun ~tid:_ -> ());
     on_spawn = (fun ~tid:_ -> 0);
     on_global = (fun _ -> 0);
     on_alloc = (fun ~tid:_ _ -> 0);

@@ -551,6 +551,7 @@ let run_direct t =
       if t.steps > t.max_steps then
         raise (Stuck (Printf.sprintf "max_steps (%d) exceeded" t.max_steps));
       let tid = Schedule.pick t.sched ~runnable:t.runnable in
+      t.hooks.Hooks.on_pick ~tid;
       step_thread t (thread_by_tid t tid);
       loop ()
     end
@@ -670,6 +671,7 @@ let run_burst t =
             raise (Stuck (Printf.sprintf "max_steps (%d) exceeded" t.max_steps))
           end;
           let tid = Schedule.pick t.sched ~runnable:t.runnable in
+          t.hooks.Hooks.on_pick ~tid;
           step_thread_burst t b commit (thread_by_tid t tid);
           loop ()
         end

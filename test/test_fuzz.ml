@@ -47,7 +47,9 @@ let test_taxonomy_names_roundtrip () =
     (List.for_all
        (fun c ->
          D.expected c
-         = not (D.equal c D.Unexpected || D.equal c D.Shard_divergence))
+         = not
+             (D.equal c D.Unexpected || D.equal c D.Shard_divergence
+             || D.equal c D.Replay_divergence))
        D.all)
 
 (* {1 Oracle units} *)
@@ -274,6 +276,40 @@ let test_campaign_seed_mismatch_fails () =
   | exception Failure _ -> ());
   rm_rf c
 
+(* {1 The replay oracle} *)
+
+let test_replay_gate_no_divergence () =
+  (* The record/replay gate on a 20-program sweep: every program must
+     round-trip its nondeterminism log and replay to the identical
+     report and race list — Replay_divergence is never expected. *)
+  for i = 0 to 19 do
+    let rand = Random.State.make [| 1042; i |] in
+    let prog = Prog.generate ~rand () in
+    let mseed = Random.State.int rand 1_000_000 in
+    let o = Harness.run ~replay:true ~seed:mseed prog in
+    if List.mem D.Replay_divergence o.Harness.classes then
+      Alcotest.failf "program %d diverged under the replay gate:@ %a" i Harness.pp_outcome o;
+    if o.Harness.unexpected then
+      Alcotest.failf "program %d diverged unexpectedly:@ %a" i Harness.pp_outcome o
+  done
+
+let test_fuzz_target_roundtrip () =
+  check "target parses back" true (Campaign.of_target (Campaign.target ~seed:42 13) = Some (42, 13));
+  check "junk targets rejected" true
+    (Campaign.of_target "fuzz:x:y" = None && Campaign.of_target "spec:memcached" = None);
+  let a = Campaign.reconstruct ~seed:42 13 and b = Campaign.reconstruct ~seed:42 13 in
+  check "reconstruction is pure" true (a = b);
+  check "entry 13 runs the replay oracle" true a.Campaign.rp_replay
+
+let test_campaign_rotation_covers_replay () =
+  (* One full trip through the config rotation, which includes the
+     two replay-oracle entries, must report nothing unexpected. *)
+  check_int "rotation length" 15 (List.length Campaign.configs);
+  check "rotation includes replay-oracle entries" true
+    (List.exists (fun (_, _, _, _, replay) -> replay) Campaign.configs);
+  let r = Campaign.run ~jobs:2 ~count:(List.length Campaign.configs) ~seed:4242 () in
+  check "no unexpected across one full rotation" true (r.Campaign.unexpected_indices = [])
+
 (* {1 Shrinker} *)
 
 (* The injected detector bug: the runtime "loses" both its race
@@ -355,6 +391,12 @@ let () =
             test_campaign_jobs_invariant;
           Alcotest.test_case "resume-identical corpus" `Quick test_campaign_resume_identity;
           Alcotest.test_case "seed mismatch rejected" `Quick test_campaign_seed_mismatch_fails ] );
+      ( "replay-oracle",
+        [ Alcotest.test_case "20-program sweep under the gate" `Quick
+            test_replay_gate_no_divergence;
+          Alcotest.test_case "fuzz target round-trips" `Quick test_fuzz_target_roundtrip;
+          Alcotest.test_case "rotation covers replay configs" `Quick
+            test_campaign_rotation_covers_replay ] );
       ( "shrinker",
         [ Alcotest.test_case "injected bug minimizes small" `Quick
             test_shrinker_minimizes_injected_bug;
